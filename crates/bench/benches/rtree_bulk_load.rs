@@ -1,0 +1,29 @@
+//! Criterion bench: Hilbert bulk loading under the two packing policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usj_datagen::{Preset, WorkloadSpec};
+use usj_io::{MachineConfig, SimEnv};
+use usj_rtree::{bulk::bulk_load, BulkLoadConfig};
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let workload = WorkloadSpec::preset(Preset::NJ).with_scale(400).generate(42);
+    let mut group = c.benchmark_group("rtree_bulk_load");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("packed_75_plus_20", BulkLoadConfig::default()),
+        ("fully_packed", BulkLoadConfig::fully_packed()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut env = SimEnv::new(MachineConfig::machine3());
+                let tree = bulk_load(&mut env, black_box(&workload.roads), cfg).unwrap();
+                black_box(tree.nodes())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_load);
+criterion_main!(benches);

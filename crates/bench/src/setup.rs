@@ -1,0 +1,178 @@
+//! Shared experiment set-up: workload generation, index construction and
+//! stream materialisation.
+
+use usj_core::{JoinInput, SpatialJoin};
+use usj_datagen::{Preset, Workload, WorkloadSpec};
+use usj_io::{ItemStream, MachineConfig, SimEnv};
+use usj_rtree::RTree;
+
+/// Global knobs shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Divisor applied to the paper's object counts (Table 2).
+    pub scale: u64,
+    /// Seed of the deterministic workload generator.
+    pub seed: u64,
+    /// Data sets to run on.
+    pub presets: Vec<Preset>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: 200,
+            seed: 42,
+            presets: Preset::all().to_vec(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration small enough for unit tests and criterion benches.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            scale: 1_000,
+            seed: 42,
+            presets: Preset::small().to_vec(),
+        }
+    }
+}
+
+/// One preset's data materialised on a fresh simulated device: the raw
+/// workload, both R-trees and both flat streams.
+pub struct PreparedWorkload {
+    /// The simulation environment holding the device the data lives on.
+    pub env: SimEnv,
+    /// The generated workload (kept for reference-join checks).
+    pub workload: Workload,
+    /// R-tree over the road relation.
+    pub roads_tree: RTree,
+    /// R-tree over the hydrography relation.
+    pub hydro_tree: RTree,
+    /// Flat (non-indexed) stream of the road relation.
+    pub roads_stream: ItemStream,
+    /// Flat (non-indexed) stream of the hydrography relation.
+    pub hydro_stream: ItemStream,
+}
+
+impl PreparedWorkload {
+    /// Generates and materialises one preset on a fresh device for `machine`.
+    ///
+    /// Index construction and file materialisation run with I/O accounting
+    /// disabled, mirroring the paper's methodology of measuring the join in
+    /// isolation (index build cost is discussed separately in Section 6.3).
+    pub fn build(preset: Preset, config: &ExperimentConfig, machine: MachineConfig) -> Self {
+        let workload = WorkloadSpec::preset(preset)
+            .with_scale(config.scale)
+            .generate(config.seed);
+        let mut env = SimEnv::new(machine);
+        let (roads_tree, hydro_tree, roads_stream, hydro_stream) = env.unaccounted(|env| {
+            let rt = RTree::bulk_load(env, &workload.roads).expect("bulk load roads");
+            let ht = RTree::bulk_load(env, &workload.hydro).expect("bulk load hydro");
+            let rs = ItemStream::from_items(env, &workload.roads).expect("roads stream");
+            let hs = ItemStream::from_items(env, &workload.hydro).expect("hydro stream");
+            (rt, ht, rs, hs)
+        });
+        env.device.reset_stats();
+        PreparedWorkload {
+            env,
+            workload,
+            roads_tree,
+            hydro_tree,
+            roads_stream,
+            hydro_stream,
+        }
+    }
+
+    /// The indexed inputs `(roads, hydro)`.
+    ///
+    /// Note: the returned inputs borrow the trees, so they cannot be used in
+    /// the same expression as a mutable borrow of `self.env`; bind the tree
+    /// references first (`JoinInput::Indexed(&p.roads_tree)`) when the
+    /// environment is needed mutably in the same scope.
+    pub fn indexed_inputs(&self) -> (JoinInput<'_>, JoinInput<'_>) {
+        (
+            JoinInput::Indexed(&self.roads_tree),
+            JoinInput::Indexed(&self.hydro_tree),
+        )
+    }
+
+    /// The non-indexed inputs `(roads, hydro)`.
+    pub fn stream_inputs(&self) -> (JoinInput<'_>, JoinInput<'_>) {
+        (
+            JoinInput::Stream(&self.roads_stream),
+            JoinInput::Stream(&self.hydro_stream),
+        )
+    }
+
+    /// Runs `join` on the indexed representation `(roads ⋈ hydro)`.
+    pub fn run_indexed<J: SpatialJoin>(&mut self, join: &J) -> usj_core::JoinResult {
+        join.run(
+            &mut self.env,
+            JoinInput::Indexed(&self.roads_tree),
+            JoinInput::Indexed(&self.hydro_tree),
+        )
+        .expect("indexed join")
+    }
+
+    /// Runs `join` on the non-indexed representation `(roads ⋈ hydro)`.
+    pub fn run_streams<J: SpatialJoin>(&mut self, join: &J) -> usj_core::JoinResult {
+        join.run(
+            &mut self.env,
+            JoinInput::Stream(&self.roads_stream),
+            JoinInput::Stream(&self.hydro_stream),
+        )
+        .expect("stream join")
+    }
+
+    /// Runs one of the four algorithms on its natural input representation
+    /// (indexed for PQ/ST, flat streams for SSSJ/PBSM), as in the paper.
+    pub fn run_algorithm(&mut self, alg: usj_core::JoinAlgorithm) -> usj_core::JoinResult {
+        use usj_core::JoinAlgorithm as A;
+        match alg {
+            A::Pq | A::St => alg
+                .run(
+                    &mut self.env,
+                    JoinInput::Indexed(&self.roads_tree),
+                    JoinInput::Indexed(&self.hydro_tree),
+                )
+                .expect("indexed join"),
+            A::Sssj | A::Pbsm => alg
+                .run(
+                    &mut self.env,
+                    JoinInput::Stream(&self.roads_stream),
+                    JoinInput::Stream(&self.hydro_stream),
+                )
+                .expect("stream join"),
+        }
+    }
+
+    /// Resets the device statistics and head position before a measurement.
+    pub fn reset(&mut self) {
+        self.env.device.reset_stats();
+        self.env.cpu = usj_io::CpuCounter::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_workload_has_consistent_sizes() {
+        let cfg = ExperimentConfig::quick();
+        let p = PreparedWorkload::build(Preset::NJ, &cfg, MachineConfig::machine3());
+        assert_eq!(p.roads_tree.num_items() as usize, p.workload.roads.len());
+        assert_eq!(p.hydro_stream.len() as usize, p.workload.hydro.len());
+        // Setup I/O is not charged.
+        assert_eq!(p.env.device.stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn default_config_covers_all_presets() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.presets.len(), 6);
+        assert_eq!(cfg.scale, 200);
+        assert_eq!(ExperimentConfig::quick().presets.len(), 3);
+    }
+}

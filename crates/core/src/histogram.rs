@@ -1,0 +1,245 @@
+//! Spatial selectivity estimation.
+//!
+//! Section 6.3 of the paper proposes choosing between the indexed and
+//! non-indexed execution strategies with a cost model whose key input is an
+//! estimate of how much of the data actually participates in the join. The
+//! paper points at the spatial histograms of Acharya, Poosala & Ramaswamy
+//! (SIGMOD 1999); this module implements the simple uniform-grid variant: a
+//! count of MBRs per grid cell, from which the overlap between two relations
+//! can be estimated without touching the indexes.
+
+use usj_geom::{Item, Rect};
+use usj_io::{CpuOp, ItemStream, Result, SimEnv};
+
+/// A uniform-grid spatial histogram.
+#[derive(Debug, Clone)]
+pub struct GridHistogram {
+    region: Rect,
+    cells_per_side: usize,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl GridHistogram {
+    /// Creates an empty histogram with `cells_per_side`² cells over `region`.
+    pub fn new(region: Rect, cells_per_side: usize) -> Self {
+        let cells_per_side = cells_per_side.max(1);
+        GridHistogram {
+            region,
+            cells_per_side,
+            counts: vec![0; cells_per_side * cells_per_side],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram from an in-memory slice.
+    pub fn from_items(region: Rect, cells_per_side: usize, items: &[Item]) -> Self {
+        let mut h = Self::new(region, cells_per_side);
+        for it in items {
+            h.add(&it.rect);
+        }
+        h
+    }
+
+    /// Builds a histogram from a stream with one sequential scan.
+    pub fn from_stream(
+        env: &mut SimEnv,
+        region: Rect,
+        cells_per_side: usize,
+        stream: &ItemStream,
+    ) -> Result<Self> {
+        let mut h = Self::new(region, cells_per_side);
+        let mut reader = stream.reader();
+        while let Some(it) = reader.next(env)? {
+            env.charge(CpuOp::RectTest, 1);
+            h.add(&it.rect);
+        }
+        Ok(h)
+    }
+
+    /// Grid resolution.
+    pub fn cells_per_side(&self) -> usize {
+        self.cells_per_side
+    }
+
+    /// Total number of rectangles counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn cell_of(&self, x: f32, y: f32) -> (usize, usize) {
+        let n = self.cells_per_side;
+        let w = self.region.width().max(f32::MIN_POSITIVE);
+        let h = self.region.height().max(f32::MIN_POSITIVE);
+        let cx = (((x - self.region.lo.x) / w) * n as f32).clamp(0.0, n as f32 - 1.0) as usize;
+        let cy = (((y - self.region.lo.y) / h) * n as f32).clamp(0.0, n as f32 - 1.0) as usize;
+        (cx, cy)
+    }
+
+    /// Adds one rectangle: its centre cell is counted (centre-point
+    /// assignment keeps the histogram an exact partition of the relation).
+    pub fn add(&mut self, r: &Rect) {
+        let c = r.center();
+        let (cx, cy) = self.cell_of(c.x, c.y);
+        self.counts[cy * self.cells_per_side + cx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of rectangles whose centre falls inside `window` (the cells are
+    /// counted conservatively: any cell overlapping the window contributes
+    /// fully).
+    pub fn count_in_window(&self, window: &Rect) -> u64 {
+        if self.total == 0 || !self.region.intersects(window) {
+            return 0;
+        }
+        let (x0, y0) = self.cell_of(window.lo.x, window.lo.y);
+        let (x1, y1) = self.cell_of(window.hi.x, window.hi.y);
+        let mut n = 0;
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                n += self.counts[cy * self.cells_per_side + cx];
+            }
+        }
+        n
+    }
+
+    /// Fraction of this relation's rectangles lying in cells where `other`
+    /// has at least one rectangle (cells are dilated by one in each direction
+    /// to account for rectangles extending beyond their centre cell).
+    ///
+    /// This is the "how much of me does the join actually need" estimate used
+    /// by the cost-based join selector.
+    pub fn overlap_fraction(&self, other: &GridHistogram) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        assert_eq!(
+            self.cells_per_side, other.cells_per_side,
+            "histograms must share a grid"
+        );
+        let n = self.cells_per_side;
+        let mut covered = 0u64;
+        for cy in 0..n {
+            for cx in 0..n {
+                if self.counts[cy * n + cx] == 0 {
+                    continue;
+                }
+                // Dilate the other relation's occupancy by one cell.
+                let mut occupied = false;
+                'scan: for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let ox = cx as i64 + dx;
+                        let oy = cy as i64 + dy;
+                        if ox < 0 || oy < 0 || ox >= n as i64 || oy >= n as i64 {
+                            continue;
+                        }
+                        if other.counts[oy as usize * n + ox as usize] > 0 {
+                            occupied = true;
+                            break 'scan;
+                        }
+                    }
+                }
+                if occupied {
+                    covered += self.counts[cy * n + cx];
+                }
+            }
+        }
+        covered as f64 / self.total as f64
+    }
+
+    /// Rough estimate of the number of intersecting pairs between the two
+    /// relations, assuming rectangles are small relative to a cell and
+    /// uniformly distributed within each cell.
+    pub fn estimate_join_pairs(&self, other: &GridHistogram) -> f64 {
+        assert_eq!(self.cells_per_side, other.cells_per_side);
+        let n = self.cells_per_side;
+        let mut est = 0.0;
+        for i in 0..n * n {
+            // Within a cell the expected number of intersections is
+            // proportional to the product of the counts; the constant is
+            // folded into the caller's calibration.
+            est += self.counts[i] as f64 * other.counts[i] as f64;
+        }
+        est / (n as f64 * n as f64).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Rect {
+        Rect::from_coords(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn block(x0: f32, y0: f32, n: u32, id_base: u32) -> Vec<Item> {
+        (0..n)
+            .map(|i| {
+                let x = x0 + (i % 10) as f32;
+                let y = y0 + (i / 10) as f32;
+                Item::new(Rect::from_coords(x, y, x + 0.5, y + 0.5), id_base + i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_every_item_once() {
+        let items = block(10.0, 10.0, 200, 0);
+        let h = GridHistogram::from_items(region(), 16, &items);
+        assert_eq!(h.total(), 200);
+        assert_eq!(h.cells_per_side(), 16);
+        assert_eq!(h.count_in_window(&region()), 200);
+    }
+
+    #[test]
+    fn window_counts_are_monotone_in_window_size() {
+        let items = block(10.0, 10.0, 300, 0);
+        let h = GridHistogram::from_items(region(), 32, &items);
+        let small = h.count_in_window(&Rect::from_coords(10.0, 10.0, 15.0, 15.0));
+        let large = h.count_in_window(&Rect::from_coords(0.0, 0.0, 60.0, 60.0));
+        assert!(small <= large);
+        assert_eq!(h.count_in_window(&Rect::from_coords(80.0, 80.0, 90.0, 90.0)), 0);
+    }
+
+    #[test]
+    fn overlap_fraction_detects_disjoint_and_colocated_relations() {
+        let a = GridHistogram::from_items(region(), 20, &block(5.0, 5.0, 200, 0));
+        let b_far = GridHistogram::from_items(region(), 20, &block(80.0, 80.0, 200, 1000));
+        let b_same = GridHistogram::from_items(region(), 20, &block(6.0, 6.0, 200, 2000));
+        assert_eq!(a.overlap_fraction(&b_far), 0.0);
+        assert!(a.overlap_fraction(&b_same) > 0.8);
+        // A relation overlapping only part of `a`.
+        let b_half = GridHistogram::from_items(region(), 20, &block(5.0, 5.0, 100, 3000));
+        let f = a.overlap_fraction(&b_half);
+        assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_harmless() {
+        let a = GridHistogram::new(region(), 8);
+        let b = GridHistogram::from_items(region(), 8, &block(0.0, 0.0, 50, 0));
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.overlap_fraction(&b), 0.0);
+        assert_eq!(a.count_in_window(&region()), 0);
+        assert_eq!(a.estimate_join_pairs(&b), 0.0);
+    }
+
+    #[test]
+    fn join_estimate_grows_with_density() {
+        let a = GridHistogram::from_items(region(), 16, &block(10.0, 10.0, 100, 0));
+        let b_sparse = GridHistogram::from_items(region(), 16, &block(10.0, 10.0, 50, 1000));
+        let b_dense = GridHistogram::from_items(region(), 16, &block(10.0, 10.0, 500, 2000));
+        assert!(a.estimate_join_pairs(&b_dense) > a.estimate_join_pairs(&b_sparse));
+    }
+
+    #[test]
+    fn from_stream_equals_from_items() {
+        let mut env = SimEnv::new(usj_io::MachineConfig::machine3());
+        let items = block(20.0, 20.0, 400, 0);
+        let s = ItemStream::from_items(&mut env, &items).unwrap();
+        let h1 = GridHistogram::from_stream(&mut env, region(), 16, &s).unwrap();
+        let h2 = GridHistogram::from_items(region(), 16, &items);
+        assert_eq!(h1.total(), h2.total());
+        assert_eq!(h1.count_in_window(&region()), h2.count_in_window(&region()));
+    }
+}

@@ -1,0 +1,149 @@
+//! The unified spatial-join algorithms.
+//!
+//! This crate is the paper's primary contribution plus the three algorithms
+//! it is compared against, all running on the simulated external-memory
+//! substrate of [`usj_io`]:
+//!
+//! * [`pq`] — **Priority-Queue-Driven Traversal (PQ)**, the new algorithm:
+//!   an index adapter extracts the rectangles of an R-tree in sorted
+//!   (lower-y) order with a priority queue, touching every node at most once,
+//!   and feeds them — together with any sorted non-indexed inputs — into the
+//!   same plane-sweep used by SSSJ. Indexed and non-indexed inputs are thus
+//!   processed by one algorithm (Section 4).
+//! * [`sssj`] — Scalable Sweeping-Based Spatial Join: external sort by lower
+//!   y-coordinate followed by a single plane-sweep scan (Section 3.1).
+//! * [`pbsm`] — Partition-Based Spatial Merge join: tile-hash partitioning
+//!   followed by an in-memory sweep per partition (Section 3.2).
+//! * [`st`] — Synchronized R-tree Traversal: depth-first traversal of two
+//!   R-trees with an LRU buffer pool (Section 3.3).
+//! * [`multiway`] — the 3-way intersection join built by cascading PQ
+//!   (Section 4).
+//! * [`histogram`] / [`cost`] — spatial selectivity estimation and the cost
+//!   model of Section 6.3 that decides when to use the indexes ("use the
+//!   index only when the join involves less than ~60 % of the leaves").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod histogram;
+pub mod input;
+pub mod multiway;
+pub mod pbsm;
+pub mod pq;
+pub mod result;
+pub mod sssj;
+pub mod st;
+
+pub use cost::{CostBasedJoin, CostEstimate, JoinPlan};
+pub use input::JoinInput;
+pub use pbsm::PbsmJoin;
+pub use pq::PqJoin;
+pub use result::{JoinResult, MemoryStats};
+pub use sssj::SssjJoin;
+pub use st::StJoin;
+
+use usj_io::{Result, SimEnv};
+
+/// The four join algorithms of the comparative study, as a value — used by
+/// the experiment harness to iterate over algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinAlgorithm {
+    /// Scalable Sweeping-based Spatial Join (non-indexed).
+    Sssj,
+    /// Partition-Based Spatial Merge join (non-indexed).
+    Pbsm,
+    /// Priority-Queue-Driven Traversal (works on indexed and non-indexed inputs).
+    Pq,
+    /// Synchronized R-tree Traversal (indexed only).
+    St,
+}
+
+impl JoinAlgorithm {
+    /// All algorithms in the order the paper's Figure 3 lists them
+    /// (SJ, PB, PQ, ST).
+    pub fn all() -> [JoinAlgorithm; 4] {
+        [
+            JoinAlgorithm::Sssj,
+            JoinAlgorithm::Pbsm,
+            JoinAlgorithm::Pq,
+            JoinAlgorithm::St,
+        ]
+    }
+
+    /// Short display name used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            JoinAlgorithm::Sssj => "SJ",
+            JoinAlgorithm::Pbsm => "PB",
+            JoinAlgorithm::Pq => "PQ",
+            JoinAlgorithm::St => "ST",
+        }
+    }
+
+    /// Full display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinAlgorithm::Sssj => "SSSJ",
+            JoinAlgorithm::Pbsm => "PBSM",
+            JoinAlgorithm::Pq => "PQ",
+            JoinAlgorithm::St => "ST",
+        }
+    }
+
+    /// Runs the algorithm with its default configuration, discarding the
+    /// output pairs (the paper's measurements exclude writing the output).
+    pub fn run(
+        self,
+        env: &mut SimEnv,
+        left: JoinInput<'_>,
+        right: JoinInput<'_>,
+    ) -> Result<JoinResult> {
+        match self {
+            JoinAlgorithm::Sssj => SssjJoin::default().run(env, left, right),
+            JoinAlgorithm::Pbsm => PbsmJoin::default().run(env, left, right),
+            JoinAlgorithm::Pq => PqJoin::default().run(env, left, right),
+            JoinAlgorithm::St => StJoin::default().run(env, left, right),
+        }
+    }
+}
+
+/// The interface shared by the four join implementations.
+pub trait SpatialJoin {
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the join, reporting every intersecting `(left_id, right_id)` pair
+    /// to `sink` and returning the accounting summary.
+    fn run_with(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'_>,
+        right: JoinInput<'_>,
+        sink: &mut dyn FnMut(u32, u32),
+    ) -> Result<JoinResult>;
+
+    /// Runs the join discarding the output pairs (the paper measures the
+    /// filter step excluding output writing).
+    fn run(&self, env: &mut SimEnv, left: JoinInput<'_>, right: JoinInput<'_>) -> Result<JoinResult> {
+        self.run_with(env, left, right, &mut |_, _| {})
+    }
+
+    /// Runs the join and collects the output pairs in memory (intended for
+    /// tests and small workloads).
+    fn run_collect(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'_>,
+        right: JoinInput<'_>,
+    ) -> Result<(JoinResult, Vec<(u32, u32)>)> {
+        let mut out = Vec::new();
+        let res = self.run_with(env, left, right, &mut |a, b| out.push((a, b)))?;
+        Ok((res, out))
+    }
+}
+
+#[cfg(test)]
+mod algorithm_tests;
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,271 @@
+//! Multi-way intersection joins.
+//!
+//! Section 4 of the paper points out that because PQ produces its output in
+//! sorted (lower-y) order, a 3-way intersection join can be evaluated by
+//! feeding the output of one two-way join directly into a second join with a
+//! third indexed or non-indexed input — no intermediate materialisation or
+//! re-sorting is needed. This module implements that cascade: the pairs of
+//! the first sweep become "composite" rectangles (the intersection of the two
+//! partners, which is produced in ascending lower-y order) and stream into a
+//! second sweep against the third relation.
+
+use usj_geom::{Item, Rect};
+use usj_io::{CpuOp, Result, SimEnv};
+use usj_sweep::{Side, StripedSweep, SweepDriver};
+
+use crate::input::JoinInput;
+use crate::pq::PqJoin;
+use crate::result::MemoryStats;
+
+/// Result of a 3-way intersection join.
+#[derive(Debug, Clone, Default)]
+pub struct MultiwayResult {
+    /// Number of `(a, b, c)` triples whose three MBRs have a common pairwise
+    /// intersection pattern `a∩b ≠ ∅ ∧ (a∩b)∩c ≠ ∅`.
+    pub triples: u64,
+    /// Number of intermediate `(a, b)` pairs produced by the first sweep.
+    pub intermediate_pairs: u64,
+    /// Index pages requested across all three inputs.
+    pub index_page_requests: u64,
+    /// I/O performed by the whole cascade.
+    pub io: usj_io::IoStats,
+    /// Maximum internal memory used by the queues and sweep structures.
+    pub memory: MemoryStats,
+}
+
+/// Runs the cascaded 3-way intersection join `(a ⋈ b) ⋈ c`, reporting every
+/// triple of identifiers to `sink`.
+pub fn three_way_join(
+    env: &mut SimEnv,
+    a: JoinInput<'_>,
+    b: JoinInput<'_>,
+    c: JoinInput<'_>,
+    sink: &mut dyn FnMut(u32, u32, u32),
+) -> Result<MultiwayResult> {
+    let measurement = env.begin();
+    let pq = PqJoin::default();
+
+    let (mut a_src, a_bbox) = pq.make_source(env, &a, None)?;
+    let (mut b_src, b_bbox) = pq.make_source(env, &b, None)?;
+    let (mut c_src, c_bbox) = pq.make_source(env, &c, None)?;
+    let region = a_bbox.union(&b_bbox).union(&c_bbox);
+
+    // First sweep joins a and b; its output pairs (intersection rectangles)
+    // are produced in ascending lower-y order and feed the second sweep
+    // together with the items of c.
+    let mut first: SweepDriver<StripedSweep> = SweepDriver::new(region.lo.x, region.hi.x);
+    let mut second: SweepDriver<StripedSweep> = SweepDriver::new(region.lo.x, region.hi.x);
+
+    // Composite bookkeeping: composite id -> (a_id, b_id).
+    let mut composites: Vec<(u32, u32)> = Vec::new();
+    // Rectangles of items seen by the first sweep, needed to build the
+    // intersection rectangle of a reported pair. Keyed by id.
+    let mut a_rects: std::collections::HashMap<u32, Rect> = std::collections::HashMap::new();
+    let mut b_rects: std::collections::HashMap<u32, Rect> = std::collections::HashMap::new();
+
+    let mut triples = 0u64;
+    let mut intermediate = 0u64;
+
+    let mut a_next = a_src.next(env)?;
+    let mut b_next = b_src.next(env)?;
+    let mut c_next = c_src.next(env)?;
+
+    while a_next.is_some() || b_next.is_some() {
+        // Which of the two first-join inputs supplies the next event?
+        let take_a = match (&a_next, &b_next) {
+            (Some(x), Some(y)) => {
+                env.charge(CpuOp::Compare, 1);
+                x.cmp_by_lower_y(y) != std::cmp::Ordering::Greater
+            }
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let event = if take_a {
+            a_next.take().expect("checked above")
+        } else {
+            b_next.take().expect("checked above")
+        };
+        let event_y = event.rect.lo.y;
+
+        // Before advancing the first sweep past event_y, feed every c item
+        // that lies below it into the second sweep so its events stay sorted.
+        while let Some(citem) = c_next {
+            env.charge(CpuOp::Compare, 1);
+            if citem.rect.lo.y > event_y {
+                c_next = Some(citem);
+                break;
+            }
+            second.push(Side::Right, citem, |comp_id, c_id| {
+                let (aid, bid) = composites[comp_id as usize];
+                triples += 1;
+                sink(aid, bid, c_id);
+            });
+            c_next = c_src.next(env)?;
+        }
+
+        // Advance the first sweep; every reported pair becomes a composite
+        // rectangle pushed into the second sweep immediately (its lower-y is
+        // exactly event_y, so ordering is preserved).
+        let mut produced: Vec<(u32, u32)> = Vec::new();
+        if take_a {
+            a_rects.insert(event.id, event.rect);
+            first.push(Side::Left, event, |x, y| produced.push((x, y)));
+            a_next = a_src.next(env)?;
+        } else {
+            b_rects.insert(event.id, event.rect);
+            first.push(Side::Right, event, |x, y| produced.push((x, y)));
+            b_next = b_src.next(env)?;
+        }
+        for (aid, bid) in produced {
+            intermediate += 1;
+            let ra = a_rects[&aid];
+            let rb = b_rects[&bid];
+            let inter = ra
+                .intersection(&rb)
+                .expect("reported pairs always intersect");
+            let comp_id = composites.len() as u32;
+            composites.push((aid, bid));
+            second.push(Side::Left, Item::new(inter, comp_id), |comp_id, c_id| {
+                let (aid, bid) = composites[comp_id as usize];
+                triples += 1;
+                sink(aid, bid, c_id);
+            });
+        }
+    }
+    // Remaining c items may still match composites already in the structure.
+    while let Some(citem) = c_next {
+        second.push(Side::Right, citem, |comp_id, c_id| {
+            let (aid, bid) = composites[comp_id as usize];
+            triples += 1;
+            sink(aid, bid, c_id);
+        });
+        c_next = c_src.next(env)?;
+    }
+
+    env.charge(CpuOp::OutputPair, triples);
+    let first_stats = first.finish();
+    let second_stats = second.finish();
+    let (io, _) = env.since(&measurement);
+    Ok(MultiwayResult {
+        triples,
+        intermediate_pairs: intermediate,
+        index_page_requests: a_src.nodes_read() + b_src.nodes_read() + c_src.nodes_read(),
+        io,
+        memory: MemoryStats {
+            priority_queue_bytes: a_src.max_queue_bytes()
+                + b_src.max_queue_bytes()
+                + c_src.max_queue_bytes(),
+            sweep_structure_bytes: first_stats.max_structure_bytes
+                + second_stats.max_structure_bytes,
+            other_bytes: composites.len() * std::mem::size_of::<(u32, u32)>(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_io::{ItemStream, MachineConfig};
+    use usj_rtree::RTree;
+
+    fn env() -> SimEnv {
+        SimEnv::new(MachineConfig::machine3())
+    }
+
+    fn brute_triples(a: &[Item], b: &[Item], c: &[Item]) -> u64 {
+        let mut n = 0;
+        for x in a {
+            for y in b {
+                let Some(i) = x.rect.intersection(&y.rect) else { continue };
+                for z in c {
+                    if i.intersects(&z.rect) {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    fn scatter(n: u32, seed: u32, size: f32, id_base: u32) -> Vec<Item> {
+        // Simple deterministic pseudo-random scatter.
+        let mut state = seed as u64 * 2654435761 + 1;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((state >> 33) % 1000) as f32 / 10.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((state >> 33) % 1000) as f32 / 10.0;
+                Item::new(Rect::from_coords(x, y, x + size, y + size), id_base + i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn three_way_matches_brute_force() {
+        let mut env = env();
+        let a = scatter(120, 1, 4.0, 0);
+        let b = scatter(100, 2, 4.0, 10_000);
+        let c = scatter(80, 3, 4.0, 20_000);
+        let expected = brute_triples(&a, &b, &c);
+        assert!(expected > 0, "test workload should produce triples");
+
+        let ta = RTree::bulk_load(&mut env, &a).unwrap();
+        let tb = RTree::bulk_load(&mut env, &b).unwrap();
+        let sc = ItemStream::from_items(&mut env, &c).unwrap();
+        let mut got = 0u64;
+        let res = three_way_join(
+            &mut env,
+            JoinInput::Indexed(&ta),
+            JoinInput::Indexed(&tb),
+            JoinInput::Stream(&sc),
+            &mut |_, _, _| got += 1,
+        )
+        .unwrap();
+        assert_eq!(res.triples, expected);
+        assert_eq!(got, expected);
+        assert!(res.intermediate_pairs >= res.triples.min(1));
+        assert!(res.index_page_requests > 0);
+    }
+
+    #[test]
+    fn empty_third_input_gives_no_triples() {
+        let mut env = env();
+        let a = scatter(50, 1, 4.0, 0);
+        let b = scatter(50, 2, 4.0, 10_000);
+        let empty = ItemStream::from_items(&mut env, &[]).unwrap();
+        let sa = ItemStream::from_items(&mut env, &a).unwrap();
+        let sb = ItemStream::from_items(&mut env, &b).unwrap();
+        let res = three_way_join(
+            &mut env,
+            JoinInput::Stream(&sa),
+            JoinInput::Stream(&sb),
+            JoinInput::Stream(&empty),
+            &mut |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(res.triples, 0);
+        assert!(res.intermediate_pairs > 0);
+    }
+
+    #[test]
+    fn all_non_indexed_inputs_work() {
+        let mut env = env();
+        let a = scatter(60, 5, 5.0, 0);
+        let b = scatter(60, 6, 5.0, 10_000);
+        let c = scatter(60, 7, 5.0, 20_000);
+        let sa = ItemStream::from_items(&mut env, &a).unwrap();
+        let sb = ItemStream::from_items(&mut env, &b).unwrap();
+        let sc = ItemStream::from_items(&mut env, &c).unwrap();
+        let res = three_way_join(
+            &mut env,
+            JoinInput::Stream(&sa),
+            JoinInput::Stream(&sb),
+            JoinInput::Stream(&sc),
+            &mut |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(res.triples, brute_triples(&a, &b, &c));
+        assert_eq!(res.index_page_requests, 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests: every join algorithm must agree with a brute-force
+//! join on arbitrary rectangle sets, for every input representation.
+
+use proptest::prelude::*;
+use usj_geom::{Item, Rect};
+use usj_io::{ItemStream, MachineConfig, SimEnv};
+use usj_rtree::RTree;
+
+use crate::{JoinInput, PbsmJoin, PqJoin, SpatialJoin, SssjJoin, StJoin};
+
+fn arb_items(max_len: usize, id_base: u32) -> impl Strategy<Value = Vec<Item>> {
+    prop::collection::vec(
+        (
+            -200.0f32..200.0,
+            -200.0f32..200.0,
+            0.0f32..40.0,
+            0.0f32..40.0,
+        ),
+        1..max_len,
+    )
+    .prop_map(move |v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h))| {
+                Item::new(Rect::from_coords(x, y, x + w, y + h), id_base + i as u32)
+            })
+            .collect()
+    })
+}
+
+fn brute(a: &[Item], b: &[Item]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for x in a {
+        for y in b {
+            if x.rect.intersects(&y.rect) {
+                out.push((x.id, y.id));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pq_matches_brute_force_on_all_input_combinations(
+        a in arb_items(80, 0),
+        b in arb_items(80, 10_000),
+    ) {
+        let mut env = SimEnv::new(MachineConfig::machine3());
+        let expected = brute(&a, &b);
+
+        let ta = RTree::bulk_load(&mut env, &a).unwrap();
+        let tb = RTree::bulk_load(&mut env, &b).unwrap();
+        let sa = ItemStream::from_items(&mut env, &a).unwrap();
+        let sb = ItemStream::from_items(&mut env, &b).unwrap();
+
+        for (l, r) in [
+            (JoinInput::Indexed(&ta), JoinInput::Indexed(&tb)),
+            (JoinInput::Indexed(&ta), JoinInput::Stream(&sb)),
+            (JoinInput::Stream(&sa), JoinInput::Indexed(&tb)),
+            (JoinInput::Stream(&sa), JoinInput::Stream(&sb)),
+        ] {
+            let (_, mut pairs) = PqJoin::default().run_collect(&mut env, l, r).unwrap();
+            pairs.sort_unstable();
+            prop_assert_eq!(&pairs, &expected);
+        }
+    }
+
+    #[test]
+    fn sssj_and_pbsm_match_brute_force(
+        a in arb_items(80, 0),
+        b in arb_items(80, 10_000),
+    ) {
+        let mut env = SimEnv::new(MachineConfig::machine3());
+        let expected = brute(&a, &b);
+        let sa = ItemStream::from_items(&mut env, &a).unwrap();
+        let sb = ItemStream::from_items(&mut env, &b).unwrap();
+
+        let (_, mut sssj) = SssjJoin::default()
+            .run_collect(&mut env, JoinInput::Stream(&sa), JoinInput::Stream(&sb))
+            .unwrap();
+        sssj.sort_unstable();
+        prop_assert_eq!(&sssj, &expected);
+
+        let (_, mut pbsm) = PbsmJoin::default()
+            .with_partitions(4)
+            .run_collect(&mut env, JoinInput::Stream(&sa), JoinInput::Stream(&sb))
+            .unwrap();
+        pbsm.sort_unstable();
+        prop_assert_eq!(&pbsm, &expected);
+    }
+
+    #[test]
+    fn st_matches_brute_force(
+        a in arb_items(60, 0),
+        b in arb_items(60, 10_000),
+    ) {
+        let mut env = SimEnv::new(MachineConfig::machine3());
+        let expected = brute(&a, &b);
+        let ta = RTree::bulk_load(&mut env, &a).unwrap();
+        let tb = RTree::bulk_load(&mut env, &b).unwrap();
+        let (_, mut st) = StJoin::default()
+            .run_collect(&mut env, JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
+            .unwrap();
+        st.sort_unstable();
+        st.dedup();
+        prop_assert_eq!(&st, &expected);
+    }
+
+    #[test]
+    fn pruned_pq_never_changes_the_result(
+        a in arb_items(60, 0),
+        b in arb_items(30, 10_000),
+    ) {
+        let mut env = SimEnv::new(MachineConfig::machine3());
+        let ta = RTree::bulk_load(&mut env, &a).unwrap();
+        let tb = RTree::bulk_load(&mut env, &b).unwrap();
+        let plain = PqJoin::default()
+            .run(&mut env, JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
+            .unwrap();
+        let pruned = PqJoin::default()
+            .with_pruning()
+            .run(&mut env, JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
+            .unwrap();
+        prop_assert_eq!(plain.pairs, pruned.pairs);
+        prop_assert!(pruned.index_page_requests <= plain.index_page_requests);
+    }
+}

@@ -1,0 +1,336 @@
+//! Synchronized R-tree Traversal (ST).
+//!
+//! ST (Brinkhoff, Kriegel & Seeger, SIGMOD 1993 — Section 3.3 of the paper)
+//! joins two R-trees by a synchronized depth-first traversal: for every pair
+//! of nodes whose directory rectangles intersect, the intersecting pairs of
+//! child entries are computed (with the forward sweep, restricted to entries
+//! overlapping the intersection of the two node rectangles) and the traversal
+//! recurses into them; pairs of leaf entries are reported as results.
+//!
+//! Because the traversal revisits nodes, ST runs on top of a generous LRU
+//! buffer pool (22 MB in the paper's configuration). Its page requests and
+//! its largely *sequential* access pattern on bulk-loaded trees (children are
+//! laid out consecutively, and DFS visits all leaves of a parent in a row)
+//! are exactly what Table 4 and Figure 2 examine.
+
+use usj_geom::Item;
+use usj_io::{CpuOp, LruBufferPool, PageId, Result, SimEnv};
+use usj_rtree::{NodeKind, RTree};
+use usj_sweep::{sweep_join, ForwardSweep, SweepJoinStats};
+
+use crate::input::JoinInput;
+use crate::result::{JoinResult, MemoryStats};
+use crate::SpatialJoin;
+
+/// Configuration of the ST join.
+#[derive(Debug, Clone, Copy)]
+pub struct StJoin {
+    /// Size of the LRU buffer pool in bytes (the paper gives ST 22 MB of the
+    /// 24 MB of free memory).
+    pub buffer_pool_bytes: usize,
+}
+
+impl Default for StJoin {
+    fn default() -> Self {
+        StJoin {
+            buffer_pool_bytes: 22 * 1024 * 1024,
+        }
+    }
+}
+
+impl StJoin {
+    /// Sets the buffer-pool size (builder style).
+    pub fn with_buffer_pool_bytes(mut self, bytes: usize) -> Self {
+        self.buffer_pool_bytes = bytes.max(usj_io::PAGE_SIZE);
+        self
+    }
+}
+
+impl SpatialJoin for StJoin {
+    fn name(&self) -> &'static str {
+        "ST"
+    }
+
+    fn run_with(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'_>,
+        right: JoinInput<'_>,
+        sink: &mut dyn FnMut(u32, u32),
+    ) -> Result<JoinResult> {
+        let measurement = env.begin();
+
+        // ST is an index join: non-indexed inputs are bulk-loaded first (the
+        // equivalent of the on-the-fly index construction the paper's related
+        // work discusses); the construction cost is part of this run's
+        // accounting so the comparison stays honest.
+        let built_left;
+        let built_right;
+        let left_tree: &RTree = match left {
+            JoinInput::Indexed(t) => t,
+            JoinInput::Stream(s) | JoinInput::SortedStream(s) => {
+                built_left = RTree::bulk_load_stream(env, s)?;
+                &built_left
+            }
+        };
+        let right_tree: &RTree = match right {
+            JoinInput::Indexed(t) => t,
+            JoinInput::Stream(s) | JoinInput::SortedStream(s) => {
+                built_right = RTree::bulk_load_stream(env, s)?;
+                &built_right
+            }
+        };
+
+        let mut pool = LruBufferPool::with_capacity_bytes(self.buffer_pool_bytes);
+        let mut pairs = 0u64;
+        let mut sweep_total = SweepJoinStats::default();
+        let mut max_node_pair_bytes = 0usize;
+
+        // Explicit DFS stack of node pairs whose directory rectangles
+        // intersect.
+        let mut stack: Vec<(PageId, PageId)> = Vec::new();
+        env.charge(CpuOp::RectTest, 1);
+        if left_tree.bbox().intersects(&right_tree.bbox()) {
+            stack.push((left_tree.root(), right_tree.root()));
+        }
+        while let Some((pa, pb)) = stack.pop() {
+            let node_a = left_tree.read_node_pooled(env, &mut pool, pa)?;
+            let node_b = right_tree.read_node_pooled(env, &mut pool, pb)?;
+
+            // Restrict both entry sets to the intersection of the two node
+            // rectangles (Brinkhoff et al.'s search-space restriction).
+            env.charge(CpuOp::RectTest, 1);
+            let Some(common) = node_a.mbr().intersection(&node_b.mbr()) else {
+                continue;
+            };
+            let a_entries: Vec<Item> = node_a
+                .entries
+                .iter()
+                .filter(|e| {
+                    env.cpu.bump(CpuOp::RectTest);
+                    e.rect.intersects(&common)
+                })
+                .map(|e| e.as_item())
+                .collect();
+            let b_entries: Vec<Item> = node_b
+                .entries
+                .iter()
+                .filter(|e| {
+                    env.cpu.bump(CpuOp::RectTest);
+                    e.rect.intersects(&common)
+                })
+                .map(|e| e.as_item())
+                .collect();
+            max_node_pair_bytes = max_node_pair_bytes
+                .max((a_entries.len() + b_entries.len()) * std::mem::size_of::<Item>());
+
+            // Intersecting pairs of entries, computed with the forward sweep.
+            let mut matches: Vec<(u32, u32)> = Vec::new();
+            let stats = sweep_join::<ForwardSweep, _>(&a_entries, &b_entries, |a, b| {
+                matches.push((a, b));
+            });
+            env.charge(CpuOp::RectTest, stats.rect_tests);
+            env.charge(
+                CpuOp::Compare,
+                (a_entries.len() + b_entries.len()) as u64,
+            );
+            sweep_total = SweepJoinStats {
+                pairs: sweep_total.pairs,
+                left_items: sweep_total.left_items + stats.left_items,
+                right_items: sweep_total.right_items + stats.right_items,
+                rect_tests: sweep_total.rect_tests + stats.rect_tests,
+                max_structure_bytes: sweep_total.max_structure_bytes.max(stats.max_structure_bytes),
+                max_resident: sweep_total.max_resident.max(stats.max_resident),
+            };
+
+            match (node_a.kind, node_b.kind) {
+                (NodeKind::Leaf, NodeKind::Leaf) => {
+                    for (a, b) in matches {
+                        pairs += 1;
+                        sink(a, b);
+                    }
+                }
+                (NodeKind::Internal, NodeKind::Internal) => {
+                    // Depth-first: children pushed in reverse so the leftmost
+                    // pair is explored first.
+                    for (a, b) in matches.into_iter().rev() {
+                        stack.push((PageId::from(a), PageId::from(b)));
+                    }
+                }
+                (NodeKind::Leaf, NodeKind::Internal) => {
+                    // Trees of different heights: descend only the internal
+                    // side. Several leaf entries may match the same child, so
+                    // deduplicate the children before recursing.
+                    let mut children: Vec<u32> = matches.into_iter().map(|(_, b)| b).collect();
+                    children.sort_unstable();
+                    children.dedup();
+                    for b in children.into_iter().rev() {
+                        stack.push((pa, PageId::from(b)));
+                    }
+                }
+                (NodeKind::Internal, NodeKind::Leaf) => {
+                    let mut children: Vec<u32> = matches.into_iter().map(|(a, _)| a).collect();
+                    children.sort_unstable();
+                    children.dedup();
+                    for a in children.into_iter().rev() {
+                        stack.push((PageId::from(a), pb));
+                    }
+                }
+            }
+        }
+        env.charge(CpuOp::OutputPair, pairs);
+        sweep_total.pairs = pairs;
+
+        let (io, cpu) = env.since(&measurement);
+        Ok(JoinResult {
+            pairs,
+            io,
+            cpu,
+            index_page_requests: pool.stats().misses,
+            sweep: sweep_total,
+            memory: MemoryStats {
+                priority_queue_bytes: 0,
+                sweep_structure_bytes: sweep_total.max_structure_bytes,
+                other_bytes: max_node_pair_bytes
+                    + pool.resident_pages() * usj_io::PAGE_SIZE,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_geom::Rect;
+    use usj_io::MachineConfig;
+
+    fn env() -> SimEnv {
+        SimEnv::new(MachineConfig::machine3())
+    }
+
+    fn grid(n: u32, cell: f32, id_base: u32) -> Vec<Item> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let x = i as f32 * cell;
+                let y = j as f32 * cell;
+                out.push(Item::new(
+                    Rect::from_coords(x, y, x + cell * 0.6, y + cell * 0.6),
+                    id_base + i * n + j,
+                ));
+            }
+        }
+        out
+    }
+
+    fn brute(a: &[Item], b: &[Item]) -> u64 {
+        a.iter()
+            .map(|x| b.iter().filter(|y| x.rect.intersects(&y.rect)).count() as u64)
+            .sum()
+    }
+
+    #[test]
+    fn matches_brute_force_on_offset_grids() {
+        let mut env = env();
+        let a = grid(30, 10.0, 0);
+        let b: Vec<Item> = grid(30, 10.0, 100_000)
+            .into_iter()
+            .map(|mut it| {
+                it.rect = Rect::from_coords(
+                    it.rect.lo.x + 3.0,
+                    it.rect.lo.y + 3.0,
+                    it.rect.hi.x + 3.0,
+                    it.rect.hi.y + 3.0,
+                );
+                it
+            })
+            .collect();
+        let ta = RTree::bulk_load(&mut env, &a).unwrap();
+        let tb = RTree::bulk_load(&mut env, &b).unwrap();
+        let res = StJoin::default()
+            .run(&mut env, JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
+            .unwrap();
+        assert_eq!(res.pairs, brute(&a, &b));
+        assert!(res.pairs > 0);
+        assert!(res.index_page_requests > 0);
+    }
+
+    #[test]
+    fn small_trees_fit_in_the_pool_and_are_read_once() {
+        let mut env = env();
+        let a = grid(25, 5.0, 0);
+        let b = grid(25, 5.0, 100_000);
+        let ta = RTree::bulk_load(&mut env, &a).unwrap();
+        let tb = RTree::bulk_load(&mut env, &b).unwrap();
+        env.device.reset_stats();
+        let res = StJoin::default()
+            .run(&mut env, JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
+            .unwrap();
+        // With a 22 MB pool both small trees fit, so no page is requested
+        // from disk more than once.
+        assert!(res.index_page_requests <= ta.nodes() + tb.nodes());
+    }
+
+    #[test]
+    fn tiny_buffer_pool_causes_repeated_page_requests() {
+        let mut env = env();
+        let a = grid(45, 5.0, 0);
+        let b = grid(45, 5.0, 100_000);
+        let ta = RTree::bulk_load(&mut env, &a).unwrap();
+        let tb = RTree::bulk_load(&mut env, &b).unwrap();
+        let big = StJoin::default()
+            .run(&mut env, JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
+            .unwrap();
+        let small = StJoin::default()
+            .with_buffer_pool_bytes(4 * usj_io::PAGE_SIZE)
+            .run(&mut env, JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
+            .unwrap();
+        assert_eq!(big.pairs, small.pairs);
+        assert!(
+            small.index_page_requests > big.index_page_requests,
+            "a starved pool must request more pages ({} vs {})",
+            small.index_page_requests,
+            big.index_page_requests
+        );
+    }
+
+    #[test]
+    fn disjoint_trees_touch_almost_nothing() {
+        let mut env = env();
+        let a = grid(20, 5.0, 0);
+        let b: Vec<Item> = grid(20, 5.0, 100_000)
+            .into_iter()
+            .map(|mut it| {
+                it.rect = Rect::from_coords(
+                    it.rect.lo.x + 10_000.0,
+                    it.rect.lo.y,
+                    it.rect.hi.x + 10_000.0,
+                    it.rect.hi.y,
+                );
+                it
+            })
+            .collect();
+        let ta = RTree::bulk_load(&mut env, &a).unwrap();
+        let tb = RTree::bulk_load(&mut env, &b).unwrap();
+        let res = StJoin::default()
+            .run(&mut env, JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
+            .unwrap();
+        assert_eq!(res.pairs, 0);
+        assert!(res.index_page_requests <= 2, "only the roots may be touched");
+    }
+
+    #[test]
+    fn non_indexed_inputs_are_bulk_loaded_first() {
+        let mut env = env();
+        let a = grid(15, 5.0, 0);
+        let b = grid(15, 5.0, 100_000);
+        let sa = usj_io::ItemStream::from_items(&mut env, &a).unwrap();
+        let tb = RTree::bulk_load(&mut env, &b).unwrap();
+        let res = StJoin::default()
+            .run(&mut env, JoinInput::Stream(&sa), JoinInput::Indexed(&tb))
+            .unwrap();
+        assert_eq!(res.pairs, brute(&a, &b));
+        // Bulk loading writes pages, which shows up in the I/O accounting.
+        assert!(res.io.pages_written > 0);
+    }
+}

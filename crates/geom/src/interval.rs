@@ -1,0 +1,100 @@
+//! 1-D closed intervals.
+//!
+//! The plane-sweep reduction turns the 2-D rectangle-intersection problem into
+//! a dynamic 1-D *interval* intersection problem: only rectangles cut by the
+//! same horizontal sweep line need to be tested, and for those only the
+//! x-projections matter.
+
+/// A closed 1-D interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f32,
+    /// Upper endpoint.
+    pub hi: f32,
+}
+
+impl Interval {
+    /// Creates a new interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `lo > hi`.
+    #[inline]
+    pub fn new(lo: f32, hi: f32) -> Self {
+        debug_assert!(lo <= hi, "interval endpoints out of order");
+        Interval { lo, hi }
+    }
+
+    /// Length of the interval.
+    #[inline]
+    pub fn len(&self) -> f32 {
+        (self.hi - self.lo).max(0.0)
+    }
+
+    /// Returns `true` for a degenerate (single-point) interval.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Closed-interval overlap test (touching intervals overlap).
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Returns `true` if `x` lies inside the interval.
+    #[inline]
+    pub fn contains(&self, x: f32) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Smallest interval covering both operands.
+    #[inline]
+    pub fn union(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_cases() {
+        let a = Interval::new(0.0, 2.0);
+        assert!(a.overlaps(&Interval::new(1.0, 3.0)));
+        assert!(a.overlaps(&Interval::new(2.0, 3.0))); // touching
+        assert!(a.overlaps(&Interval::new(-1.0, 0.0))); // touching
+        assert!(!a.overlaps(&Interval::new(2.5, 3.0)));
+        assert!(a.overlaps(&Interval::new(0.5, 1.5))); // containment
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.5, 5.0);
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn contains_and_len() {
+        let a = Interval::new(1.0, 4.0);
+        assert!(a.contains(1.0));
+        assert!(a.contains(4.0));
+        assert!(!a.contains(4.5));
+        assert_eq!(a.len(), 3.0);
+        assert!(!a.is_degenerate());
+        assert!(Interval::new(2.0, 2.0).is_degenerate());
+    }
+
+    #[test]
+    fn union_covers_operands() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(3.0, 4.0);
+        let u = a.union(&b);
+        assert_eq!(u, Interval::new(0.0, 4.0));
+        assert!(u.overlaps(&a) && u.overlaps(&b));
+    }
+}

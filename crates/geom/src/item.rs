@@ -1,0 +1,116 @@
+//! Identified MBR records — the 20-byte data-file layout of the paper.
+
+use crate::{Point, Rect};
+
+/// Object identifier carried through the filter step.
+///
+/// The paper's data files store a 4-byte identifier per MBR, and each output
+/// item is a pair of identifiers of overlapping MBRs.
+pub type ObjectId = u32;
+
+/// Size in bytes of a serialized [`Item`]: four `f32` coordinates plus a
+/// 4-byte identifier, exactly as in the TIGER MBR files used by the paper.
+pub const ITEM_BYTES: usize = 20;
+
+/// A minimal bounding rectangle together with the identifier of the spatial
+/// object it approximates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Item {
+    /// The object's MBR.
+    pub rect: Rect,
+    /// The object's identifier.
+    pub id: ObjectId,
+}
+
+impl Item {
+    /// Creates a new identified rectangle.
+    #[inline]
+    pub fn new(rect: Rect, id: ObjectId) -> Self {
+        Item { rect, id }
+    }
+
+    /// Serializes the item into its fixed 20-byte little-endian layout.
+    #[inline]
+    pub fn encode(&self, out: &mut [u8]) {
+        assert!(out.len() >= ITEM_BYTES, "output buffer too small for Item");
+        out[0..4].copy_from_slice(&self.rect.lo.x.to_le_bytes());
+        out[4..8].copy_from_slice(&self.rect.lo.y.to_le_bytes());
+        out[8..12].copy_from_slice(&self.rect.hi.x.to_le_bytes());
+        out[12..16].copy_from_slice(&self.rect.hi.y.to_le_bytes());
+        out[16..20].copy_from_slice(&self.id.to_le_bytes());
+    }
+
+    /// Deserializes an item from its fixed 20-byte little-endian layout.
+    #[inline]
+    pub fn decode(buf: &[u8]) -> Self {
+        assert!(buf.len() >= ITEM_BYTES, "input buffer too small for Item");
+        let f = |i: usize| f32::from_le_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]);
+        let id = u32::from_le_bytes([buf[16], buf[17], buf[18], buf[19]]);
+        Item {
+            rect: Rect {
+                lo: Point::new(f(0), f(4)),
+                hi: Point::new(f(8), f(12)),
+            },
+            id,
+        }
+    }
+
+    /// Sweep order: by lower y-coordinate, ties broken deterministically.
+    #[inline]
+    pub fn cmp_by_lower_y(&self, other: &Item) -> std::cmp::Ordering {
+        self.rect
+            .cmp_by_lower_y(&other.rect)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Sorts a slice of items into sweep order (ascending lower y-coordinate).
+pub fn sort_by_lower_y(items: &mut [Item]) {
+    items.sort_unstable_by(Item::cmp_by_lower_y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(x0: f32, y0: f32, x1: f32, y1: f32, id: u32) -> Item {
+        Item::new(Rect::from_coords(x0, y0, x1, y1), id)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let it = item(1.25, -3.5, 7.75, 0.0, 0xDEAD_BEEF);
+        let mut buf = [0u8; ITEM_BYTES];
+        it.encode(&mut buf);
+        assert_eq!(Item::decode(&buf), it);
+    }
+
+    #[test]
+    fn encoded_size_matches_paper_record_size() {
+        assert_eq!(ITEM_BYTES, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer too small")]
+    fn encode_rejects_short_buffer() {
+        let it = item(0.0, 0.0, 1.0, 1.0, 1);
+        let mut buf = [0u8; ITEM_BYTES - 1];
+        it.encode(&mut buf);
+    }
+
+    #[test]
+    fn sort_is_by_lower_y_then_stable_tiebreak() {
+        let mut v = vec![
+            item(0.0, 3.0, 1.0, 4.0, 1),
+            item(0.0, 1.0, 1.0, 9.0, 2),
+            item(5.0, 1.0, 6.0, 2.0, 3),
+            item(0.0, 2.0, 1.0, 2.5, 4),
+        ];
+        sort_by_lower_y(&mut v);
+        let ys: Vec<f32> = v.iter().map(|i| i.rect.lo.y).collect();
+        assert_eq!(ys, vec![1.0, 1.0, 2.0, 3.0]);
+        // Ties broken by lower x: item 2 (x=0) before item 3 (x=5).
+        assert_eq!(v[0].id, 2);
+        assert_eq!(v[1].id, 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! 2-D points.
+
+/// A two-dimensional point with single-precision coordinates.
+///
+/// The paper stores each MBR as four 4-byte coordinates, so the natural
+/// coordinate type for this reproduction is `f32`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f32,
+    /// Vertical coordinate (the plane-sweep direction used by the paper).
+    pub y: f32,
+}
+
+impl Point {
+    /// Creates a new point.
+    #[inline]
+    pub fn new(x: f32, y: f32) -> Self {
+        Point { x, y }
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = f64::from(self.x) - f64::from(other.x);
+        let dy = f64::from(self.y) - f64::from(other.y);
+        dx * dx + dy * dy
+    }
+}
+
+impl From<(f32, f32)> for Point {
+    fn from((x, y): (f32, f32)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(3.0, 2.0);
+        assert_eq!(a.min(b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(b), Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn distance_sq_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance_sq(b), b.distance_sq(a));
+        assert_eq!(a.distance_sq(a), 0.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (2.5, -1.0).into();
+        assert_eq!(p, Point::new(2.5, -1.0));
+    }
+}

@@ -1,0 +1,322 @@
+//! The simulated block device.
+//!
+//! The device is an in-memory array of 8 KiB pages. Its job is not to persist
+//! data but to *account* for every access the way a 1999 SCSI/IDE disk would
+//! experience it: a multi-page operation whose first page immediately follows
+//! the last page touched by the previous operation is *sequential* (no seek);
+//! anything else is *random* (one seek). This is exactly the distinction the
+//! paper argues must be modelled to understand spatial-join performance.
+
+use crate::error::{IoSimError, Result};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::stats::IoStats;
+
+/// The simulated disk.
+#[derive(Debug, Default)]
+pub struct BlockDevice {
+    pages: Vec<Page>,
+    stats: IoStats,
+    /// Page that would be under the head after the previous operation
+    /// (`last accessed page + 1`), or `None` before the first access.
+    head: Option<PageId>,
+    /// When `true`, accesses are recorded in the statistics. Preprocessing
+    /// steps that the paper excludes from its measurements (e.g. workload
+    /// materialisation) run with accounting disabled.
+    accounting: bool,
+}
+
+impl BlockDevice {
+    /// Creates an empty device with accounting enabled.
+    pub fn new() -> Self {
+        BlockDevice {
+            pages: Vec::new(),
+            stats: IoStats::default(),
+            head: None,
+            accounting: true,
+        }
+    }
+
+    /// Number of pages currently allocated.
+    #[inline]
+    pub fn allocated_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Total allocated bytes.
+    #[inline]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_pages() * PAGE_SIZE as u64
+    }
+
+    /// Current accumulated I/O statistics.
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets the I/O statistics (the allocated pages are untouched) and the
+    /// head position.
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+        self.head = None;
+    }
+
+    /// Enables or disables accounting; returns the previous setting.
+    pub fn set_accounting(&mut self, on: bool) -> bool {
+        std::mem::replace(&mut self.accounting, on)
+    }
+
+    /// Whether accesses are currently recorded.
+    #[inline]
+    pub fn accounting(&self) -> bool {
+        self.accounting
+    }
+
+    /// Allocates `n` zero-filled pages at the end of the device and returns
+    /// the identifier of the first one.
+    ///
+    /// Allocation itself is free: the cost of actually writing the pages is
+    /// charged when they are written.
+    pub fn allocate(&mut self, n: u64) -> PageId {
+        let first = self.pages.len() as PageId;
+        self.pages
+            .extend(std::iter::repeat_with(Page::zeroed).take(n as usize));
+        first
+    }
+
+    fn check_range(&self, first: PageId, n: u64) -> Result<()> {
+        let end = first.checked_add(n).ok_or(IoSimError::PageOutOfBounds {
+            page: first,
+            allocated: self.allocated_pages(),
+        })?;
+        if end > self.allocated_pages() || n == 0 {
+            return Err(IoSimError::PageOutOfBounds {
+                page: first + n.saturating_sub(1),
+                allocated: self.allocated_pages(),
+            });
+        }
+        Ok(())
+    }
+
+    fn record(&mut self, first: PageId, n: u64, is_read: bool) {
+        if !self.accounting {
+            return;
+        }
+        let sequential = self.head == Some(first);
+        match (is_read, sequential) {
+            (true, true) => self.stats.seq_read_ops += 1,
+            (true, false) => self.stats.rand_read_ops += 1,
+            (false, true) => self.stats.seq_write_ops += 1,
+            (false, false) => self.stats.rand_write_ops += 1,
+        }
+        if is_read {
+            self.stats.pages_read += n;
+        } else {
+            self.stats.pages_written += n;
+        }
+        self.head = Some(first + n);
+    }
+
+    /// Reads a single page, returning a copy of its contents.
+    pub fn read_page(&mut self, page: PageId) -> Result<Vec<u8>> {
+        self.check_range(page, 1)?;
+        self.record(page, 1, true);
+        Ok(self.pages[page as usize].bytes().to_vec())
+    }
+
+    /// Reads `n` consecutive pages starting at `first` as one I/O operation.
+    pub fn read_pages(&mut self, first: PageId, n: u64) -> Result<Vec<u8>> {
+        self.check_range(first, n)?;
+        self.record(first, n, true);
+        let mut out = Vec::with_capacity(n as usize * PAGE_SIZE);
+        for i in 0..n {
+            out.extend_from_slice(self.pages[(first + i) as usize].bytes());
+        }
+        Ok(out)
+    }
+
+    /// Writes a single page (the buffer is truncated or zero-padded to the
+    /// page size) as one I/O operation.
+    pub fn write_page(&mut self, page: PageId, data: &[u8]) -> Result<()> {
+        if data.len() > PAGE_SIZE {
+            return Err(IoSimError::OffsetOutOfPage {
+                offset: 0,
+                len: data.len(),
+            });
+        }
+        self.check_range(page, 1)?;
+        self.record(page, 1, false);
+        let dst = self.pages[page as usize].bytes_mut();
+        dst[..data.len()].copy_from_slice(data);
+        for b in dst[data.len()..].iter_mut() {
+            *b = 0;
+        }
+        Ok(())
+    }
+
+    /// Writes `n` consecutive pages starting at `first` as one I/O operation.
+    ///
+    /// `data` must be at most `n * PAGE_SIZE` bytes; the tail of the last page
+    /// is zero-filled.
+    pub fn write_pages(&mut self, first: PageId, n: u64, data: &[u8]) -> Result<()> {
+        if data.len() > n as usize * PAGE_SIZE {
+            return Err(IoSimError::OffsetOutOfPage {
+                offset: 0,
+                len: data.len(),
+            });
+        }
+        self.check_range(first, n)?;
+        self.record(first, n, false);
+        for i in 0..n as usize {
+            let dst = self.pages[first as usize + i].bytes_mut();
+            let start = i * PAGE_SIZE;
+            let end = ((i + 1) * PAGE_SIZE).min(data.len());
+            if start < data.len() {
+                let chunk = &data[start..end];
+                dst[..chunk.len()].copy_from_slice(chunk);
+                for b in dst[chunk.len()..].iter_mut() {
+                    *b = 0;
+                }
+            } else {
+                for b in dst.iter_mut() {
+                    *b = 0;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_read_back_zeroes() {
+        let mut d = BlockDevice::new();
+        let p = d.allocate(3);
+        assert_eq!(p, 0);
+        assert_eq!(d.allocated_pages(), 3);
+        let data = d.read_page(1).unwrap();
+        assert_eq!(data.len(), PAGE_SIZE);
+        assert!(data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut d = BlockDevice::new();
+        let p = d.allocate(2);
+        d.write_page(p, b"hello world").unwrap();
+        let back = d.read_page(p).unwrap();
+        assert_eq!(&back[..11], b"hello world");
+        assert!(back[11..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn multi_page_write_read_roundtrip() {
+        let mut d = BlockDevice::new();
+        let p = d.allocate(4);
+        let data: Vec<u8> = (0..PAGE_SIZE * 3).map(|i| (i % 251) as u8).collect();
+        d.write_pages(p, 3, &data).unwrap();
+        let back = d.read_pages(p, 3).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn out_of_bounds_accesses_are_rejected() {
+        let mut d = BlockDevice::new();
+        d.allocate(2);
+        assert!(d.read_page(2).is_err());
+        assert!(d.read_pages(1, 2).is_err());
+        assert!(d.write_page(5, b"x").is_err());
+        assert!(d.read_pages(0, 0).is_err());
+    }
+
+    #[test]
+    fn oversized_write_is_rejected() {
+        let mut d = BlockDevice::new();
+        let p = d.allocate(1);
+        let big = vec![1u8; PAGE_SIZE + 1];
+        assert!(matches!(
+            d.write_page(p, &big),
+            Err(IoSimError::OffsetOutOfPage { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_vs_random_classification() {
+        let mut d = BlockDevice::new();
+        d.allocate(10);
+        // First access is always random (head position unknown).
+        d.read_page(0).unwrap();
+        // Next page follows the head: sequential.
+        d.read_page(1).unwrap();
+        d.read_page(2).unwrap();
+        // Jump: random.
+        d.read_page(7).unwrap();
+        // Follows the jump: sequential.
+        d.read_page(8).unwrap();
+        // Re-reading an earlier page: random.
+        d.read_page(0).unwrap();
+        let s = d.stats();
+        assert_eq!(s.rand_read_ops, 3);
+        assert_eq!(s.seq_read_ops, 3);
+        assert_eq!(s.pages_read, 6);
+    }
+
+    #[test]
+    fn multi_page_ops_count_once_but_transfer_all_pages() {
+        let mut d = BlockDevice::new();
+        d.allocate(64);
+        d.read_pages(0, 16).unwrap();
+        d.read_pages(16, 16).unwrap();
+        d.read_pages(0, 16).unwrap();
+        let s = d.stats();
+        assert_eq!(s.read_ops(), 3);
+        assert_eq!(s.rand_read_ops, 2);
+        assert_eq!(s.seq_read_ops, 1);
+        assert_eq!(s.pages_read, 48);
+    }
+
+    #[test]
+    fn writes_interleaved_with_reads_track_head() {
+        let mut d = BlockDevice::new();
+        d.allocate(10);
+        d.write_page(0, b"a").unwrap(); // random (first)
+        d.write_page(1, b"b").unwrap(); // sequential
+        d.read_page(2).unwrap(); // sequential (follows the write)
+        d.write_page(9, b"c").unwrap(); // random
+        let s = d.stats();
+        assert_eq!(s.rand_write_ops, 2);
+        assert_eq!(s.seq_write_ops, 1);
+        assert_eq!(s.seq_read_ops, 1);
+    }
+
+    #[test]
+    fn accounting_can_be_disabled() {
+        let mut d = BlockDevice::new();
+        d.allocate(4);
+        let was = d.set_accounting(false);
+        assert!(was);
+        d.read_page(0).unwrap();
+        d.write_page(1, b"x").unwrap();
+        assert_eq!(d.stats().total_ops(), 0);
+        d.set_accounting(true);
+        d.read_page(2).unwrap();
+        assert_eq!(d.stats().total_ops(), 1);
+    }
+
+    #[test]
+    fn reset_stats_clears_counts_and_head() {
+        let mut d = BlockDevice::new();
+        d.allocate(4);
+        d.read_page(0).unwrap();
+        d.read_page(1).unwrap();
+        d.reset_stats();
+        assert_eq!(d.stats().total_ops(), 0);
+        // After a reset the head position is unknown, so the next access is
+        // random even if it would have been sequential.
+        d.read_page(2).unwrap();
+        assert_eq!(d.stats().rand_read_ops, 1);
+    }
+}

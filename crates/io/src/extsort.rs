@@ -1,0 +1,342 @@
+//! External multiway mergesort over item streams.
+//!
+//! Both non-indexed inputs of SSSJ/PQ and the R-tree bulk-loading procedure
+//! start by sorting their input: SSSJ sorts by the lower y-coordinate of each
+//! MBR, bulk loading sorts by the Hilbert value of each MBR centre. The sort
+//! is the classic external-memory multiway mergesort: sorted runs of at most
+//! the available internal memory are formed in one sequential pass, then
+//! merged with a k-way merge whose fan-in is limited by the number of logical
+//! blocks that fit in memory.
+
+use std::cmp::Ordering;
+
+use usj_geom::{Item, Rect, ITEM_BYTES};
+
+use crate::error::Result;
+use crate::page::PAGE_SIZE;
+use crate::sim::SimEnv;
+use crate::stats::CpuOp;
+use crate::stream::{ItemStream, ItemStreamReader, ItemStreamWriter};
+
+/// Statistics describing one external sort.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SortStats {
+    /// Number of initial sorted runs formed.
+    pub initial_runs: u64,
+    /// Number of merge passes performed (0 if a single run sufficed).
+    pub merge_passes: u64,
+    /// Records sorted.
+    pub items: u64,
+    /// Bounding box of all sorted records, gathered for free during run
+    /// formation (SSSJ uses it to size the sweep structure's strips).
+    pub bbox: Rect,
+}
+
+/// Sorts `input` by ascending lower y-coordinate (the plane-sweep order).
+pub fn external_sort_by_lower_y(env: &mut SimEnv, input: &ItemStream) -> Result<ItemStream> {
+    external_sort_by(env, input, Item::cmp_by_lower_y).map(|(s, _)| s)
+}
+
+/// Sorts `input` with an arbitrary comparator, returning the sorted stream
+/// and the sort statistics.
+pub fn external_sort_by<F>(
+    env: &mut SimEnv,
+    input: &ItemStream,
+    cmp: F,
+) -> Result<(ItemStream, SortStats)>
+where
+    F: Fn(&Item, &Item) -> Ordering + Copy,
+{
+    let pages_per_block = input.pages_per_block();
+    let mut stats = SortStats {
+        items: input.len(),
+        bbox: Rect::empty(),
+        ..SortStats::default()
+    };
+
+    // Run formation: fill half the internal memory, sort, write out.
+    let run_capacity = ((env.memory_limit / 2) / ITEM_BYTES).max(1024);
+    let mut runs: Vec<ItemStream> = Vec::new();
+    let mut reader = input.reader();
+    let mut buffer: Vec<Item> = Vec::with_capacity(run_capacity.min(input.len() as usize + 1));
+    loop {
+        let item = reader.next(env)?;
+        if let Some(it) = item {
+            stats.bbox = stats.bbox.union(&it.rect);
+            buffer.push(it);
+        }
+        if buffer.len() >= run_capacity || (item.is_none() && !buffer.is_empty()) {
+            sort_in_memory(env, &mut buffer, cmp);
+            let mut w = ItemStreamWriter::new(env, pages_per_block);
+            w.extend(env, &buffer)?;
+            runs.push(w.finish(env)?);
+            buffer.clear();
+        }
+        if item.is_none() {
+            break;
+        }
+    }
+    stats.initial_runs = runs.len() as u64;
+
+    if runs.is_empty() {
+        // Empty input: produce an empty stream.
+        let w = ItemStreamWriter::new(env, pages_per_block);
+        return Ok((w.finish(env)?, stats));
+    }
+
+    // Merge passes: k-way merge with fan-in limited by the memory available
+    // for one logical block per run plus one output block.
+    let block_bytes = (pages_per_block as usize) * PAGE_SIZE;
+    let fan_in = ((env.memory_limit / 2) / block_bytes).max(2);
+    while runs.len() > 1 {
+        stats.merge_passes += 1;
+        let mut next_level: Vec<ItemStream> = Vec::new();
+        for group in runs.chunks(fan_in) {
+            if group.len() == 1 {
+                next_level.push(group[0].clone());
+                continue;
+            }
+            next_level.push(merge_group(env, group, cmp, pages_per_block)?);
+        }
+        runs = next_level;
+    }
+    Ok((runs.pop().expect("at least one run"), stats))
+}
+
+/// Sorts a buffer in memory, charging the deterministic CPU counters for the
+/// comparisons and record moves a real quicksort would perform.
+pub fn sort_in_memory<F>(env: &mut SimEnv, buffer: &mut [Item], cmp: F)
+where
+    F: Fn(&Item, &Item) -> Ordering + Copy,
+{
+    let n = buffer.len() as u64;
+    if n > 1 {
+        let log = (64 - n.leading_zeros()) as u64;
+        env.charge(CpuOp::Compare, n * log);
+        env.charge(CpuOp::ItemMove, n);
+    }
+    buffer.sort_unstable_by(cmp);
+}
+
+/// One entry of the k-way merge heap.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    item: Item,
+    run: usize,
+}
+
+/// Minimal binary min-heap parameterised by an external comparator.
+struct MergeHeap<F> {
+    entries: Vec<HeapEntry>,
+    cmp: F,
+}
+
+impl<F> MergeHeap<F>
+where
+    F: Fn(&Item, &Item) -> Ordering + Copy,
+{
+    fn new(cmp: F) -> Self {
+        MergeHeap {
+            entries: Vec::new(),
+            cmp,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn push(&mut self, env: &mut SimEnv, e: HeapEntry) {
+        env.charge(CpuOp::HeapOp, 1);
+        self.entries.push(e);
+        let mut i = self.entries.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            env.charge(CpuOp::Compare, 1);
+            if (self.cmp)(&self.entries[i].item, &self.entries[parent].item) == Ordering::Less {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self, env: &mut SimEnv) -> Option<HeapEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        env.charge(CpuOp::HeapOp, 1);
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        let out = self.entries.pop();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < self.entries.len() {
+                env.charge(CpuOp::Compare, 1);
+                if (self.cmp)(&self.entries[l].item, &self.entries[smallest].item) == Ordering::Less
+                {
+                    smallest = l;
+                }
+            }
+            if r < self.entries.len() {
+                env.charge(CpuOp::Compare, 1);
+                if (self.cmp)(&self.entries[r].item, &self.entries[smallest].item) == Ordering::Less
+                {
+                    smallest = r;
+                }
+            }
+            if smallest == i {
+                break;
+            }
+            self.entries.swap(i, smallest);
+            i = smallest;
+        }
+        out
+    }
+}
+
+fn merge_group<F>(
+    env: &mut SimEnv,
+    group: &[ItemStream],
+    cmp: F,
+    pages_per_block: u64,
+) -> Result<ItemStream>
+where
+    F: Fn(&Item, &Item) -> Ordering + Copy,
+{
+    let mut readers: Vec<ItemStreamReader> = group.iter().map(|s| s.reader()).collect();
+    let mut heap = MergeHeap::new(cmp);
+    for (run, r) in readers.iter_mut().enumerate() {
+        if let Some(item) = r.next(env)? {
+            heap.push(env, HeapEntry { item, run });
+        }
+    }
+    let mut out = ItemStreamWriter::new(env, pages_per_block);
+    while heap.len() > 0 {
+        let e = heap.pop(env).expect("non-empty heap");
+        out.push(env, e.item)?;
+        if let Some(next) = readers[e.run].next(env)? {
+            heap.push(env, HeapEntry { item: next, run: e.run });
+        }
+    }
+    out.finish(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use usj_geom::Rect;
+
+    fn env_with_memory(bytes: usize) -> SimEnv {
+        SimEnv::new(MachineConfig::machine3()).with_memory_limit(bytes)
+    }
+
+    fn random_items(n: u32, seed: u64) -> Vec<Item> {
+        // Simple deterministic LCG so the io crate does not need a rand
+        // dependency for its own tests.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((state >> 33) % 1_000_000) as f32 / 100.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((state >> 33) % 1_000_000) as f32 / 100.0;
+                Item::new(Rect::from_coords(x, y, x + 1.0, y + 1.0), i)
+            })
+            .collect()
+    }
+
+    fn is_sorted_by_y(items: &[Item]) -> bool {
+        items.windows(2).all(|w| w[0].rect.lo.y <= w[1].rect.lo.y)
+    }
+
+    #[test]
+    fn sorts_small_input_in_one_run() {
+        let mut env = env_with_memory(4 * 1024 * 1024);
+        let data = random_items(1000, 1);
+        let s = ItemStream::from_items(&mut env, &data).unwrap();
+        let (sorted, stats) = external_sort_by(&mut env, &s, Item::cmp_by_lower_y).unwrap();
+        let out = sorted.read_all(&mut env).unwrap();
+        assert_eq!(out.len(), data.len());
+        assert!(is_sorted_by_y(&out));
+        assert_eq!(stats.initial_runs, 1);
+        assert_eq!(stats.merge_passes, 0);
+        // The bounding box gathered during run formation covers every record.
+        for it in &out {
+            assert!(stats.bbox.contains(&it.rect));
+        }
+    }
+
+    #[test]
+    fn sorts_multi_run_input() {
+        // Memory limit small enough to force several runs (run capacity is
+        // clamped to >= 1024 items, so use more items than that).
+        let mut env = env_with_memory(64 * 1024);
+        let data = random_items(10_000, 2);
+        let s = ItemStream::from_items_with_block(&mut env, &data, 2).unwrap();
+        let (sorted, stats) = external_sort_by(&mut env, &s, Item::cmp_by_lower_y).unwrap();
+        let out = sorted.read_all(&mut env).unwrap();
+        assert_eq!(out.len(), data.len());
+        assert!(is_sorted_by_y(&out));
+        assert!(stats.initial_runs > 1, "expected multiple runs, got {stats:?}");
+        assert!(stats.merge_passes >= 1);
+        // The multiset of ids must be preserved.
+        let mut in_ids: Vec<u32> = data.iter().map(|i| i.id).collect();
+        let mut out_ids: Vec<u32> = out.iter().map(|i| i.id).collect();
+        in_ids.sort_unstable();
+        out_ids.sort_unstable();
+        assert_eq!(in_ids, out_ids);
+    }
+
+    #[test]
+    fn empty_and_single_item_streams() {
+        let mut env = env_with_memory(1024 * 1024);
+        let empty = ItemStream::from_items(&mut env, &[]).unwrap();
+        let sorted = external_sort_by_lower_y(&mut env, &empty).unwrap();
+        assert!(sorted.is_empty());
+
+        let one = ItemStream::from_items(&mut env, &random_items(1, 3)).unwrap();
+        let sorted = external_sort_by_lower_y(&mut env, &one).unwrap();
+        assert_eq!(sorted.len(), 1);
+    }
+
+    #[test]
+    fn custom_comparator_sorts_by_id_descending() {
+        let mut env = env_with_memory(1024 * 1024);
+        let data = random_items(500, 4);
+        let s = ItemStream::from_items(&mut env, &data).unwrap();
+        let (sorted, _) =
+            external_sort_by(&mut env, &s, |a, b| b.id.cmp(&a.id)).unwrap();
+        let out = sorted.read_all(&mut env).unwrap();
+        assert!(out.windows(2).all(|w| w[0].id >= w[1].id));
+    }
+
+    #[test]
+    fn sorting_charges_cpu_and_io() {
+        let mut env = env_with_memory(64 * 1024);
+        let data = random_items(5_000, 5);
+        let s = ItemStream::from_items_with_block(&mut env, &data, 2).unwrap();
+        let m = env.begin();
+        let _ = external_sort_by_lower_y(&mut env, &s).unwrap();
+        let (io, cpu) = env.since(&m);
+        assert!(io.pages_read > 0);
+        assert!(io.pages_written > 0);
+        assert!(cpu.get(CpuOp::Compare) > 0);
+        assert!(cpu.get(CpuOp::HeapOp) > 0);
+    }
+
+    #[test]
+    fn already_sorted_input_stays_sorted() {
+        let mut env = env_with_memory(64 * 1024);
+        let mut data = random_items(3_000, 6);
+        data.sort_unstable_by(Item::cmp_by_lower_y);
+        let s = ItemStream::from_items_with_block(&mut env, &data, 2).unwrap();
+        let sorted = external_sort_by_lower_y(&mut env, &s).unwrap();
+        assert_eq!(sorted.read_all(&mut env).unwrap(), data);
+    }
+}

@@ -1,0 +1,54 @@
+//! Simulated external-memory substrate.
+//!
+//! The paper's entire evaluation revolves around the behaviour of disk I/O:
+//! how many pages each join algorithm requests, whether those requests are
+//! *sequential* or *random*, and how the answer interacts with the relative
+//! CPU/disk performance of three 1999-era machines (Table 1). None of that
+//! hardware is available to a reproduction, so this crate builds the closest
+//! synthetic equivalent:
+//!
+//! * [`device::BlockDevice`] — an in-memory "disk" of 8 KiB pages that records
+//!   every read and write operation and classifies it as sequential or random
+//!   based on the position of the previous access.
+//! * [`stats::IoStats`] / [`stats::CpuCounter`] — deterministic operation
+//!   counters which replace `getrusage`/`gettimeofday` measurements.
+//! * [`machine::MachineConfig`] — the three hardware platforms of Table 1
+//!   expressed as a cost model (CPU clock, average random-access latency,
+//!   peak sequential transfer rate).
+//! * [`cost::CostModel`] — converts the recorded counters into the two time
+//!   measures used in the paper: the *estimated* cost (every page request
+//!   charged the average random read time, Figure 2(a)–(c)) and the
+//!   *observed* cost (sequential and random accesses charged differently,
+//!   Figure 2(d)–(f) and Figure 3).
+//! * [`buffer::LruBufferPool`] — the LRU page cache used by the ST join.
+//! * [`stream::ItemStream`] — sequential record streams (the TPIE-style
+//!   stream abstraction used by SSSJ and PBSM), with a configurable logical
+//!   block size.
+//! * [`extsort`] — external multiway mergesort over item streams, used by
+//!   SSSJ's preprocessing and by R-tree bulk loading.
+//! * [`sim::SimEnv`] — bundles a device, a machine model and the CPU counter
+//!   into the single environment value the join algorithms operate on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod cost;
+pub mod device;
+pub mod error;
+pub mod extsort;
+pub mod machine;
+pub mod page;
+pub mod sim;
+pub mod stats;
+pub mod stream;
+
+pub use buffer::LruBufferPool;
+pub use cost::{CostBreakdown, CostModel};
+pub use device::BlockDevice;
+pub use error::{IoSimError, Result};
+pub use machine::MachineConfig;
+pub use page::{PageId, PAGE_SIZE};
+pub use sim::SimEnv;
+pub use stats::{CpuCounter, CpuOp, IoStats};
+pub use stream::{ItemStream, ItemStreamReader, ItemStreamWriter};

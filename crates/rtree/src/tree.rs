@@ -1,0 +1,337 @@
+//! The [`RTree`] handle: node access, window queries and statistics.
+
+use usj_geom::{Item, Rect};
+use usj_io::{CpuOp, LruBufferPool, PageId, Result, SimEnv, PAGE_SIZE};
+
+use crate::node::{Node, NodeKind};
+
+/// A bulk-loaded, read-only R-tree stored on the simulated device.
+///
+/// The tree is immutable after bulk loading, matching the paper's setup
+/// (packed trees built once per data set; Section 6.3 discusses separately
+/// what repeated updates would do to the layout).
+#[derive(Debug, Clone)]
+pub struct RTree {
+    root: PageId,
+    height: u32,
+    num_items: u64,
+    /// Number of nodes on each level, leaves first.
+    level_counts: Vec<u64>,
+    bbox: Rect,
+}
+
+/// Summary statistics of a tree, used by Table 2 and the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RTreeStats {
+    /// Total number of nodes (the "lower bound" page count of Table 4).
+    pub nodes: u64,
+    /// Number of leaf nodes.
+    pub leaves: u64,
+    /// Number of internal nodes.
+    pub internal: u64,
+    /// Height of the tree (1 for a single leaf).
+    pub height: u32,
+    /// Number of data items indexed.
+    pub items: u64,
+    /// Size of the index on disk in bytes.
+    pub size_bytes: u64,
+    /// Average leaf fill relative to the maximum fanout.
+    pub avg_leaf_fill: f64,
+}
+
+impl RTree {
+    /// Internal constructor used by the bulk loader.
+    pub(crate) fn from_build(
+        root: PageId,
+        height: u32,
+        num_items: u64,
+        level_counts: Vec<u64>,
+        bbox: Rect,
+    ) -> Self {
+        RTree {
+            root,
+            height,
+            num_items,
+            level_counts,
+            bbox,
+        }
+    }
+
+    /// Bulk loads a tree from an in-memory slice with the default
+    /// configuration (convenience wrapper around [`crate::bulk::bulk_load`]).
+    pub fn bulk_load(env: &mut SimEnv, items: &[Item]) -> Result<RTree> {
+        crate::bulk::bulk_load(env, items, crate::bulk::BulkLoadConfig::default())
+    }
+
+    /// Bulk loads a tree from an item stream with the default configuration.
+    pub fn bulk_load_stream(env: &mut SimEnv, input: &usj_io::ItemStream) -> Result<RTree> {
+        crate::bulk::bulk_load_stream(env, input, crate::bulk::BulkLoadConfig::default())
+    }
+
+    /// Page number of the root node.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Height of the tree (a single-leaf tree has height 1).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of indexed items.
+    pub fn num_items(&self) -> u64 {
+        self.num_items
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> u64 {
+        self.level_counts.first().copied().unwrap_or(0)
+    }
+
+    /// Number of internal nodes.
+    pub fn num_internal(&self) -> u64 {
+        self.level_counts.iter().skip(1).sum()
+    }
+
+    /// Total number of nodes; this is the paper's "lower bound" on page
+    /// requests for a dense join involving the whole tree.
+    pub fn nodes(&self) -> u64 {
+        self.level_counts.iter().sum()
+    }
+
+    /// Nodes per level, leaves first.
+    pub fn level_counts(&self) -> &[u64] {
+        &self.level_counts
+    }
+
+    /// Size of the index on disk, in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.nodes() * PAGE_SIZE as u64
+    }
+
+    /// Bounding box of the indexed data.
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> RTreeStats {
+        let leaves = self.num_leaves();
+        RTreeStats {
+            nodes: self.nodes(),
+            leaves,
+            internal: self.num_internal(),
+            height: self.height,
+            items: self.num_items,
+            size_bytes: self.size_bytes(),
+            avg_leaf_fill: if leaves == 0 {
+                0.0
+            } else {
+                self.num_items as f64 / (leaves as f64 * crate::node::MAX_FANOUT as f64)
+            },
+        }
+    }
+
+    /// Reads and decodes a node directly from the device (one page request).
+    pub fn read_node(&self, env: &mut SimEnv, page: PageId) -> Result<Node> {
+        let bytes = env.device.read_page(page)?;
+        let node = Node::decode(&bytes)?;
+        env.charge(CpuOp::ItemMove, node.len() as u64);
+        Ok(node)
+    }
+
+    /// Reads a node through an LRU buffer pool (hits avoid the page request).
+    pub fn read_node_pooled(
+        &self,
+        env: &mut SimEnv,
+        pool: &mut LruBufferPool,
+        page: PageId,
+    ) -> Result<Node> {
+        let bytes = pool.get(&mut env.device, page)?;
+        let node = Node::decode(&bytes)?;
+        env.charge(CpuOp::ItemMove, node.len() as u64);
+        Ok(node)
+    }
+
+    /// Window query: returns every indexed item whose MBR intersects `window`.
+    ///
+    /// Performs a depth-first traversal reading only nodes whose directory
+    /// rectangle intersects the window.
+    pub fn window_query(&self, env: &mut SimEnv, window: &Rect) -> Result<Vec<Item>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(env, page)?;
+            for e in &node.entries {
+                env.charge(CpuOp::RectTest, 1);
+                if !e.rect.intersects(window) {
+                    continue;
+                }
+                match node.kind {
+                    NodeKind::Leaf => out.push(e.as_item()),
+                    NodeKind::Internal => stack.push(e.child_page()),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Counts the leaf pages whose directory rectangle intersects `window`
+    /// without descending into them (used by the cost-based join selector to
+    /// estimate what fraction of the index a join would touch).
+    pub fn leaves_intersecting(&self, env: &mut SimEnv, window: &Rect) -> Result<u64> {
+        if self.height <= 1 {
+            return Ok(1);
+        }
+        let mut count = 0u64;
+        let mut stack = vec![(self.root, self.height)];
+        while let Some((page, level)) = stack.pop() {
+            let node = self.read_node(env, page)?;
+            for e in &node.entries {
+                env.charge(CpuOp::RectTest, 1);
+                if !e.rect.intersects(window) {
+                    continue;
+                }
+                if level == 2 {
+                    // Children of this node are leaves.
+                    count += 1;
+                } else {
+                    stack.push((e.child_page(), level - 1));
+                }
+            }
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_io::MachineConfig;
+
+    fn env() -> SimEnv {
+        SimEnv::new(MachineConfig::machine3())
+    }
+
+    fn grid_items(n_side: u32) -> Vec<Item> {
+        let mut out = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                let x = i as f32 * 10.0;
+                let y = j as f32 * 10.0;
+                out.push(Item::new(
+                    Rect::from_coords(x, y, x + 5.0, y + 5.0),
+                    i * n_side + j,
+                ));
+            }
+        }
+        out
+    }
+
+    fn brute_query(items: &[Item], window: &Rect) -> Vec<u32> {
+        let mut ids: Vec<u32> = items
+            .iter()
+            .filter(|it| it.rect.intersects(window))
+            .map(|it| it.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn window_query_matches_brute_force() {
+        let mut env = env();
+        let items = grid_items(40);
+        let tree = RTree::bulk_load(&mut env, &items).unwrap();
+        for window in [
+            Rect::from_coords(0.0, 0.0, 50.0, 50.0),
+            Rect::from_coords(100.0, 100.0, 102.0, 300.0),
+            Rect::from_coords(-10.0, -10.0, -1.0, -1.0),
+            Rect::from_coords(0.0, 0.0, 400.0, 400.0),
+        ] {
+            let mut got: Vec<u32> = tree
+                .window_query(&mut env, &window)
+                .unwrap()
+                .iter()
+                .map(|it| it.id)
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_query(&items, &window), "window {window:?}");
+        }
+    }
+
+    #[test]
+    fn query_reads_fewer_pages_than_full_scan_for_small_windows() {
+        let mut env = env();
+        let items = grid_items(60);
+        let tree = RTree::bulk_load(&mut env, &items).unwrap();
+        env.device.reset_stats();
+        let window = Rect::from_coords(0.0, 0.0, 30.0, 30.0);
+        let _ = tree.window_query(&mut env, &window).unwrap();
+        let pages = env.device.stats().pages_read;
+        assert!(
+            pages < tree.nodes(),
+            "small window query should not touch all {} nodes (touched {pages})",
+            tree.nodes()
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut env = env();
+        let items = grid_items(50);
+        let tree = RTree::bulk_load(&mut env, &items).unwrap();
+        let s = tree.stats();
+        assert_eq!(s.nodes, s.leaves + s.internal);
+        assert_eq!(s.items, 2500);
+        assert_eq!(s.size_bytes, s.nodes * PAGE_SIZE as u64);
+        assert!(s.avg_leaf_fill > 0.5 && s.avg_leaf_fill <= 1.0);
+        assert_eq!(s.height, tree.height());
+        assert_eq!(tree.level_counts().len() as u32, tree.height());
+    }
+
+    #[test]
+    fn pooled_reads_hit_the_buffer_pool() {
+        let mut env = env();
+        let items = grid_items(30);
+        let tree = RTree::bulk_load(&mut env, &items).unwrap();
+        let mut pool = LruBufferPool::new(64);
+        env.device.reset_stats();
+        let root = tree.root();
+        let _ = tree.read_node_pooled(&mut env, &mut pool, root).unwrap();
+        let _ = tree.read_node_pooled(&mut env, &mut pool, root).unwrap();
+        let _ = tree.read_node_pooled(&mut env, &mut pool, root).unwrap();
+        assert_eq!(env.device.stats().pages_read, 1);
+        assert_eq!(pool.stats().hits, 2);
+    }
+
+    #[test]
+    fn leaves_intersecting_bounds_the_join_extent() {
+        let mut env = env();
+        let items = grid_items(60);
+        let tree = RTree::bulk_load(&mut env, &items).unwrap();
+        let all = tree.leaves_intersecting(&mut env, &tree.bbox()).unwrap();
+        assert_eq!(all, tree.num_leaves());
+        let some = tree
+            .leaves_intersecting(&mut env, &Rect::from_coords(0.0, 0.0, 30.0, 30.0))
+            .unwrap();
+        assert!(some >= 1);
+        assert!(some < all);
+        let none = tree
+            .leaves_intersecting(&mut env, &Rect::from_coords(-100.0, -100.0, -50.0, -50.0))
+            .unwrap();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn empty_tree_window_query_returns_nothing() {
+        let mut env = env();
+        let tree = RTree::bulk_load(&mut env, &[]).unwrap();
+        let got = tree
+            .window_query(&mut env, &Rect::from_coords(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        assert!(got.is_empty());
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.num_internal(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The `Forward-Sweep` interval structure.
+//!
+//! This is the structure used by most earlier spatial-join implementations
+//! (including the original PBSM and the R-tree tree join): the active
+//! rectangles of each input are kept in a single unordered list, every query
+//! scans the entire list, and expired entries are removed when the sweep
+//! line passes them.
+
+use usj_geom::Item;
+
+use crate::structure::{SweepStats, SweepStructure};
+
+/// Unordered active-list interval structure.
+#[derive(Debug, Default)]
+pub struct ForwardSweep {
+    active: Vec<Item>,
+    stats: SweepStats,
+}
+
+impl ForwardSweep {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        ForwardSweep::default()
+    }
+
+    fn note_size(&mut self) {
+        self.stats.max_resident = self.stats.max_resident.max(self.active.len());
+        self.stats.max_bytes = self.stats.max_bytes.max(self.bytes());
+    }
+}
+
+impl SweepStructure for ForwardSweep {
+    fn with_extent(_x_lo: f32, _x_hi: f32) -> Self {
+        ForwardSweep::new()
+    }
+
+    fn insert(&mut self, item: Item) {
+        self.active.push(item);
+        self.stats.inserts += 1;
+        self.note_size();
+    }
+
+    fn expire_before(&mut self, y: f32) -> usize {
+        let before = self.active.len();
+        self.active.retain(|it| it.rect.hi.y >= y);
+        let removed = before - self.active.len();
+        self.stats.expirations += removed as u64;
+        removed
+    }
+
+    fn query<F: FnMut(&Item)>(&mut self, query: &Item, mut report: F) {
+        let qx = query.rect.x_interval();
+        for it in &self.active {
+            self.stats.rect_tests += 1;
+            if qx.overlaps(&it.rect.x_interval()) {
+                report(it);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.active.len() * std::mem::size_of::<Item>()
+    }
+
+    fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    fn name() -> &'static str {
+        "Forward-Sweep"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_geom::Rect;
+
+    fn item(x0: f32, y0: f32, x1: f32, y1: f32, id: u32) -> Item {
+        Item::new(Rect::from_coords(x0, y0, x1, y1), id)
+    }
+
+    fn collect_query(s: &mut ForwardSweep, q: &Item) -> Vec<u32> {
+        let mut out = Vec::new();
+        s.query(q, |it| out.push(it.id));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn query_reports_only_x_overlapping_items() {
+        let mut s = ForwardSweep::new();
+        s.insert(item(0.0, 0.0, 2.0, 10.0, 1));
+        s.insert(item(5.0, 0.0, 6.0, 10.0, 2));
+        s.insert(item(1.5, 0.0, 5.5, 10.0, 3));
+        let q = item(1.0, 1.0, 2.0, 2.0, 99);
+        assert_eq!(collect_query(&mut s, &q), vec![1, 3]);
+    }
+
+    #[test]
+    fn expire_removes_items_below_the_sweep_line() {
+        let mut s = ForwardSweep::new();
+        s.insert(item(0.0, 0.0, 1.0, 1.0, 1));
+        s.insert(item(0.0, 0.0, 1.0, 5.0, 2));
+        s.insert(item(0.0, 0.0, 1.0, 3.0, 3));
+        assert_eq!(s.expire_before(3.0), 1); // only item 1 (hi.y = 1) expires
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.expire_before(3.0), 0); // idempotent at the same line
+        assert_eq!(s.expire_before(10.0), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn items_touching_the_sweep_line_are_kept() {
+        let mut s = ForwardSweep::new();
+        s.insert(item(0.0, 0.0, 1.0, 2.0, 1));
+        assert_eq!(s.expire_before(2.0), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_inserts_tests_and_memory() {
+        let mut s = ForwardSweep::new();
+        for i in 0..10 {
+            s.insert(item(i as f32, 0.0, i as f32 + 1.0, 10.0, i));
+        }
+        let q = item(0.0, 0.0, 100.0, 1.0, 99);
+        let mut n = 0;
+        s.query(&q, |_| n += 1);
+        assert_eq!(n, 10);
+        let st = s.stats();
+        assert_eq!(st.inserts, 10);
+        assert_eq!(st.rect_tests, 10);
+        assert_eq!(st.max_resident, 10);
+        assert_eq!(st.max_bytes, 10 * std::mem::size_of::<Item>());
+        s.expire_before(100.0);
+        assert_eq!(s.stats().expirations, 10);
+    }
+
+    #[test]
+    fn with_extent_ignores_the_extent() {
+        let s = ForwardSweep::with_extent(0.0, 100.0);
+        assert!(s.is_empty());
+        assert_eq!(ForwardSweep::name(), "Forward-Sweep");
+    }
+}

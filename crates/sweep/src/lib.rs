@@ -1,0 +1,37 @@
+//! Plane-sweep interval structures and the sweep-join driver.
+//!
+//! All four join algorithms in the paper ultimately reduce rectangle
+//! intersection to a *dynamic 1-D interval intersection* problem: a
+//! horizontal sweep line moves upward through the data, and only rectangles
+//! currently cut by the line — represented by their x-projections — need to
+//! be tested against each other. Two internal-memory structures for the
+//! active intervals are compared in the SSSJ paper and reused here:
+//!
+//! * [`ForwardSweep`] — the classic structure used by earlier spatial-join
+//!   implementations: one unordered active list per input, scanned linearly
+//!   for every query.
+//! * [`StripedSweep`] — the x-extent is divided into vertical strips and each
+//!   active interval is registered in every strip it overlaps, so queries
+//!   only inspect the strips they intersect. The SSSJ paper measured it to be
+//!   2–5× faster than the alternatives on real data.
+//!
+//! The [`SweepDriver`] consumes two y-sorted item sequences (in-memory slices
+//! or, in the join crate, streams extracted from R-trees) and produces the
+//! intersecting pairs plus detailed operation counts, which the simulation
+//! environment later converts into CPU time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod forward;
+pub mod striped;
+pub mod structure;
+
+pub use driver::{sweep_join, sweep_join_count, Side, SweepDriver, SweepJoinStats};
+pub use forward::ForwardSweep;
+pub use striped::StripedSweep;
+pub use structure::{SweepStats, SweepStructure};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,279 @@
+//! The `Striped-Sweep` interval structure.
+//!
+//! The x-extent of the data is divided into a fixed number of vertical
+//! strips. Every active interval is registered in each strip it overlaps, so
+//! a query only has to look at the strips its own x-projection touches —
+//! typically a small constant number for the short road/hydrography segments
+//! of the TIGER data. The SSSJ study found this structure to be a factor of
+//! 2–5 faster than `Forward-Sweep` and the tree-based alternatives on most
+//! real-life data sets, which is why both SSSJ and PQ use it.
+//!
+//! Because an interval may be registered in several strips, a query could see
+//! the same partner more than once. Duplicates are suppressed by reporting a
+//! pair only in its *canonical* strip — the strip containing the larger of
+//! the two lower x-endpoints, i.e. the leftmost strip where both intervals
+//! are present.
+
+use usj_geom::Item;
+
+use crate::structure::{SweepStats, SweepStructure};
+
+/// Default number of strips.
+///
+/// The SSSJ implementation tunes the strip count to the data; 256 is a good
+/// middle ground for the workloads in this reproduction (hundreds of strips
+/// keep the per-strip lists short without wasting memory on empty strips).
+pub const DEFAULT_STRIPS: usize = 256;
+
+/// Striped active-list interval structure.
+#[derive(Debug)]
+pub struct StripedSweep {
+    strips: Vec<Vec<Item>>,
+    x_lo: f32,
+    x_hi: f32,
+    resident: usize,
+    copies: usize,
+    stats: SweepStats,
+}
+
+impl StripedSweep {
+    /// Creates a structure with an explicit strip count over `[x_lo, x_hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strips == 0`.
+    pub fn with_strips(x_lo: f32, x_hi: f32, strips: usize) -> Self {
+        assert!(strips > 0, "strip count must be positive");
+        let (x_lo, x_hi) = if x_hi > x_lo { (x_lo, x_hi) } else { (x_lo, x_lo + 1.0) };
+        StripedSweep {
+            strips: vec![Vec::new(); strips],
+            x_lo,
+            x_hi,
+            resident: 0,
+            copies: 0,
+            stats: SweepStats::default(),
+        }
+    }
+
+    /// Number of strips.
+    pub fn strip_count(&self) -> usize {
+        self.strips.len()
+    }
+
+    #[inline]
+    fn strip_of(&self, x: f32) -> usize {
+        let n = self.strips.len();
+        let t = (f64::from(x) - f64::from(self.x_lo)) / (f64::from(self.x_hi) - f64::from(self.x_lo));
+        let idx = (t * n as f64).floor();
+        if idx < 0.0 {
+            0
+        } else if idx >= n as f64 {
+            n - 1
+        } else {
+            idx as usize
+        }
+    }
+
+    /// Strip range `[first, last]` overlapped by an item's x-projection.
+    #[inline]
+    fn strip_range(&self, item: &Item) -> (usize, usize) {
+        (self.strip_of(item.rect.lo.x), self.strip_of(item.rect.hi.x))
+    }
+
+    /// Home strip of an item: the strip containing its lower x-endpoint.
+    #[inline]
+    fn home_strip(&self, item: &Item) -> usize {
+        self.strip_of(item.rect.lo.x)
+    }
+
+    fn note_size(&mut self) {
+        self.stats.max_resident = self.stats.max_resident.max(self.resident);
+        self.stats.max_bytes = self.stats.max_bytes.max(self.bytes());
+    }
+}
+
+impl SweepStructure for StripedSweep {
+    fn with_extent(x_lo: f32, x_hi: f32) -> Self {
+        StripedSweep::with_strips(x_lo, x_hi, DEFAULT_STRIPS)
+    }
+
+    fn insert(&mut self, item: Item) {
+        let (first, last) = self.strip_range(&item);
+        for s in first..=last {
+            self.strips[s].push(item);
+            self.copies += 1;
+        }
+        self.resident += 1;
+        self.stats.inserts += 1;
+        self.note_size();
+    }
+
+    fn expire_before(&mut self, y: f32) -> usize {
+        let mut removed_unique = 0;
+        let mut removed_copies = 0;
+        // An item is counted as expired in its home strip only, so the unique
+        // count is exact even though copies live in several strips.
+        let x_lo = self.x_lo;
+        let x_hi = self.x_hi;
+        let n = self.strips.len();
+        let strip_of = |x: f32| -> usize {
+            let t = (f64::from(x) - f64::from(x_lo)) / (f64::from(x_hi) - f64::from(x_lo));
+            let idx = (t * n as f64).floor();
+            if idx < 0.0 {
+                0
+            } else if idx >= n as f64 {
+                n - 1
+            } else {
+                idx as usize
+            }
+        };
+        for (s, strip) in self.strips.iter_mut().enumerate() {
+            let before = strip.len();
+            strip.retain(|it| {
+                let expired = it.rect.hi.y < y;
+                if expired && strip_of(it.rect.lo.x) == s {
+                    removed_unique += 1;
+                }
+                !expired
+            });
+            removed_copies += before - strip.len();
+        }
+        self.copies -= removed_copies;
+        self.resident -= removed_unique;
+        self.stats.expirations += removed_unique as u64;
+        removed_unique
+    }
+
+    fn query<F: FnMut(&Item)>(&mut self, query: &Item, mut report: F) {
+        let (first, last) = self.strip_range(query);
+        let q_home = self.home_strip(query);
+        let qx = query.rect.x_interval();
+        for s in first..=last {
+            for it in &self.strips[s] {
+                self.stats.rect_tests += 1;
+                if !qx.overlaps(&it.rect.x_interval()) {
+                    continue;
+                }
+                // Canonical strip of the pair: where the rightmost of the two
+                // lower endpoints falls. Report the pair only there.
+                let canonical = q_home.max(self.strip_of(it.rect.lo.x));
+                if canonical == s {
+                    report(it);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.resident
+    }
+
+    fn bytes(&self) -> usize {
+        self.copies * std::mem::size_of::<Item>()
+            + self.strips.len() * std::mem::size_of::<Vec<Item>>()
+    }
+
+    fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    fn name() -> &'static str {
+        "Striped-Sweep"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_geom::Rect;
+
+    fn item(x0: f32, y0: f32, x1: f32, y1: f32, id: u32) -> Item {
+        Item::new(Rect::from_coords(x0, y0, x1, y1), id)
+    }
+
+    fn collect_query(s: &mut StripedSweep, q: &Item) -> Vec<u32> {
+        let mut out = Vec::new();
+        s.query(q, |it| out.push(it.id));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn reports_each_overlapping_item_exactly_once() {
+        let mut s = StripedSweep::with_strips(0.0, 100.0, 10);
+        // This item spans many strips.
+        s.insert(item(5.0, 0.0, 95.0, 10.0, 1));
+        s.insert(item(40.0, 0.0, 60.0, 10.0, 2));
+        s.insert(item(96.0, 0.0, 99.0, 10.0, 3));
+        // Query also spans many strips: each overlap must be reported once.
+        let q = item(0.0, 1.0, 100.0, 2.0, 99);
+        assert_eq!(collect_query(&mut s, &q), vec![1, 2, 3]);
+        // Narrow query inside the long item's extent.
+        let q2 = item(50.0, 1.0, 51.0, 2.0, 98);
+        assert_eq!(collect_query(&mut s, &q2), vec![1, 2]);
+    }
+
+    #[test]
+    fn items_outside_query_strips_are_never_tested() {
+        let mut s = StripedSweep::with_strips(0.0, 100.0, 10);
+        s.insert(item(90.0, 0.0, 91.0, 10.0, 1));
+        let before = s.stats().rect_tests;
+        let q = item(5.0, 1.0, 6.0, 2.0, 99);
+        assert_eq!(collect_query(&mut s, &q), Vec::<u32>::new());
+        // The lone item lives in strip 9; the query touches strip 0 only.
+        assert_eq!(s.stats().rect_tests, before);
+    }
+
+    #[test]
+    fn expire_counts_unique_items() {
+        let mut s = StripedSweep::with_strips(0.0, 100.0, 10);
+        s.insert(item(0.0, 0.0, 100.0, 1.0, 1)); // copies in all 10 strips
+        s.insert(item(0.0, 0.0, 5.0, 5.0, 2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.expire_before(2.0), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.expire_before(10.0), 1);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.stats().expirations, 2);
+    }
+
+    #[test]
+    fn coordinates_outside_the_extent_are_clamped() {
+        let mut s = StripedSweep::with_strips(0.0, 10.0, 4);
+        s.insert(item(-5.0, 0.0, -1.0, 10.0, 1));
+        s.insert(item(11.0, 0.0, 20.0, 10.0, 2));
+        let q = item(-10.0, 1.0, 30.0, 2.0, 99);
+        assert_eq!(collect_query(&mut s, &q), vec![1, 2]);
+    }
+
+    #[test]
+    fn degenerate_extent_does_not_panic() {
+        let mut s = StripedSweep::with_strips(5.0, 5.0, 8);
+        s.insert(item(4.0, 0.0, 6.0, 10.0, 1));
+        let q = item(5.0, 1.0, 5.0, 2.0, 9);
+        assert_eq!(collect_query(&mut s, &q), vec![1]);
+    }
+
+    #[test]
+    fn memory_accounting_counts_copies() {
+        let mut s = StripedSweep::with_strips(0.0, 100.0, 10);
+        s.insert(item(0.0, 0.0, 100.0, 1.0, 1));
+        let item_sz = std::mem::size_of::<Item>();
+        assert!(s.bytes() >= 10 * item_sz);
+        assert_eq!(s.stats().max_resident, 1);
+    }
+
+    #[test]
+    fn default_extent_constructor_uses_default_strip_count() {
+        let s = StripedSweep::with_extent(0.0, 1.0);
+        assert_eq!(s.strip_count(), DEFAULT_STRIPS);
+        assert_eq!(StripedSweep::name(), "Striped-Sweep");
+    }
+
+    #[test]
+    #[should_panic(expected = "strip count")]
+    fn zero_strips_rejected() {
+        let _ = StripedSweep::with_strips(0.0, 1.0, 0);
+    }
+}

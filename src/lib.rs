@@ -1,0 +1,67 @@
+//! # Unified Spatial Join
+//!
+//! A from-scratch Rust reproduction of *"A Unified Approach for Indexed and
+//! Non-Indexed Spatial Joins"* (Arge, Procopiuc, Ramaswamy, Suel, Vahrenhold,
+//! Vitter — EDBT 2000).
+//!
+//! This facade crate re-exports the workspace crates so downstream users can
+//! depend on a single package:
+//!
+//! * [`geom`] — rectangles, points, intervals, Hilbert curve.
+//! * [`io`] — the simulated external-memory substrate: block device with
+//!   sequential/random I/O accounting, LRU buffer pool, record streams,
+//!   external multiway mergesort, and the three machine cost models from
+//!   Table 1 of the paper.
+//! * [`rtree`] — packed, Hilbert bulk-loaded R-trees stored on the simulated
+//!   disk.
+//! * [`sweep`] — the `Forward-Sweep` and `Striped-Sweep` interval structures
+//!   and the plane-sweep join driver.
+//! * [`datagen`] — TIGER-like synthetic workloads matching Table 2.
+//! * [`join`] — the four spatial-join algorithms (SSSJ, PBSM, ST and the
+//!   paper's new PQ join), the multi-way extension, and the cost model that
+//!   decides between indexed and non-indexed execution.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use unified_spatial_join::prelude::*;
+//!
+//! // Generate a small TIGER-like workload.
+//! let workload = WorkloadSpec::preset(Preset::NJ).with_scale(200).generate(42);
+//!
+//! // Build the simulated machine and an R-tree over the road relation.
+//! let machine = MachineConfig::machine3();
+//! let mut env = SimEnv::new(machine);
+//! let roads_tree = RTree::bulk_load(&mut env, &workload.roads).unwrap();
+//! let hydro_tree = RTree::bulk_load(&mut env, &workload.hydro).unwrap();
+//!
+//! // Run the paper's PQ join on the two indexed inputs.
+//! let result = PqJoin::default()
+//!     .run(&mut env, JoinInput::Indexed(&roads_tree), JoinInput::Indexed(&hydro_tree))
+//!     .unwrap();
+//! assert!(result.pairs > 0);
+//! ```
+
+pub use usj_core as join;
+pub use usj_datagen as datagen;
+pub use usj_geom as geom;
+pub use usj_io as io;
+pub use usj_rtree as rtree;
+pub use usj_sweep as sweep;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use usj_core::{
+        cost::{CostBasedJoin, CostEstimate, JoinPlan},
+        pbsm::PbsmJoin,
+        pq::PqJoin,
+        sssj::SssjJoin,
+        st::StJoin,
+        JoinAlgorithm, JoinInput, JoinResult, SpatialJoin,
+    };
+    pub use usj_datagen::{Preset, Workload, WorkloadSpec};
+    pub use usj_geom::{Interval, Point, Rect};
+    pub use usj_io::{machine::MachineConfig, sim::SimEnv, stats::IoStats};
+    pub use usj_rtree::RTree;
+    pub use usj_sweep::{ForwardSweep, StripedSweep, SweepStructure};
+}

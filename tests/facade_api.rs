@@ -1,0 +1,88 @@
+//! Smoke tests for the facade crate: the re-exports and the prelude expose
+//! everything a downstream user needs, with the documented names.
+
+use unified_spatial_join::prelude::*;
+
+#[test]
+fn prelude_types_are_usable_together() {
+    let rect = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+    let interval: Interval = rect.x_interval();
+    assert!(interval.overlaps(&Interval::new(0.5, 2.0)));
+    let p = Point::new(0.5, 0.5);
+    assert!(rect.contains_point(p));
+
+    let machine = MachineConfig::machine1();
+    assert_eq!(machine.cpu_mhz, 50.0);
+    let env = SimEnv::new(machine);
+    assert_eq!(env.device.stats(), IoStats::default());
+}
+
+#[test]
+fn sweep_structures_are_reexported() {
+    use unified_spatial_join::geom::Item;
+    let mut fw = ForwardSweep::with_extent(0.0, 10.0);
+    let mut st = StripedSweep::with_extent(0.0, 10.0);
+    let it = Item::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 1);
+    fw.insert(it);
+    st.insert(it);
+    assert_eq!(fw.len(), 1);
+    assert_eq!(st.len(), 1);
+}
+
+#[test]
+fn workload_presets_are_reachable_through_the_facade() {
+    let spec = WorkloadSpec::preset(Preset::NJ).with_scale(2_000);
+    let w: Workload = spec.generate(9);
+    assert_eq!(w.preset, Preset::NJ);
+    assert!(!w.roads.is_empty() && !w.hydro.is_empty());
+}
+
+#[test]
+fn join_algorithms_and_results_are_reachable_through_the_facade() {
+    use unified_spatial_join::join::JoinAlgorithm;
+    assert_eq!(JoinAlgorithm::all().len(), 4);
+    let spec = WorkloadSpec::preset(Preset::NJ).with_scale(2_000);
+    let w = spec.generate(10);
+    let mut env = SimEnv::new(MachineConfig::machine3());
+    let tree = RTree::bulk_load(&mut env, &w.roads).unwrap();
+    let hydro_tree = RTree::bulk_load(&mut env, &w.hydro).unwrap();
+
+    for joiner in [
+        &PqJoin::default() as &dyn ErasedRun,
+        &StJoin::default(),
+        &SssjJoin::default(),
+        &PbsmJoin::default(),
+    ] {
+        let result: JoinResultAlias = joiner.run_erased(
+            &mut env,
+            JoinInput::Indexed(&tree),
+            JoinInput::Indexed(&hydro_tree),
+        );
+        assert_eq!(result.pairs, w.reference_join_size());
+    }
+}
+
+/// Type alias proving `JoinResult` is exported with its documented name.
+type JoinResultAlias = unified_spatial_join::join::JoinResult;
+
+/// Object-safe adapter used by the test above to iterate over the four
+/// concrete join types without generics.
+trait ErasedRun {
+    fn run_erased<'a>(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'a>,
+        right: JoinInput<'a>,
+    ) -> JoinResultAlias;
+}
+
+impl<T: SpatialJoin> ErasedRun for T {
+    fn run_erased<'a>(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'a>,
+        right: JoinInput<'a>,
+    ) -> JoinResultAlias {
+        self.run(env, left, right).unwrap()
+    }
+}
