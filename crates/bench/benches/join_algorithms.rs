@@ -1,32 +1,25 @@
-//! Criterion bench: wall-clock comparison of the four join algorithms on one
-//! TIGER-like data set (the host-machine analogue of Figure 3).
+//! Wall-clock comparison of the four join algorithms on one TIGER-like data
+//! set (the host-machine analogue of Figure 3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use usj_bench::{ExperimentConfig, PreparedWorkload};
+use usj_bench::{ExperimentConfig, PreparedWorkload, QuickBench};
 use usj_core::JoinAlgorithm;
 use usj_datagen::Preset;
 use usj_io::MachineConfig;
 
-fn bench_join_algorithms(c: &mut Criterion) {
+fn main() {
     let cfg = ExperimentConfig {
         scale: 400,
         seed: 42,
         presets: vec![Preset::NJ],
     };
-    let mut group = c.benchmark_group("join_algorithms_nj");
-    group.sample_size(10);
+    println!("join_algorithms_nj (scale {})", cfg.scale);
+    let harness = QuickBench::new();
     for alg in JoinAlgorithm::all() {
-        group.bench_function(alg.name(), |b| {
-            b.iter(|| {
-                let mut p = PreparedWorkload::build(Preset::NJ, &cfg, MachineConfig::machine3());
-                let res = p.run_algorithm(alg);
-                black_box(res.pairs)
-            })
+        harness.bench(alg.name(), || {
+            let mut p = PreparedWorkload::build(Preset::NJ, &cfg, MachineConfig::machine3());
+            let res = p.run_algorithm(alg);
+            black_box(res.pairs)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_join_algorithms);
-criterion_main!(benches);

@@ -1,29 +1,23 @@
-//! Criterion bench: Hilbert bulk loading under the two packing policies.
+//! Hilbert bulk loading under the two packing policies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use usj_bench::QuickBench;
 use usj_datagen::{Preset, WorkloadSpec};
 use usj_io::{MachineConfig, SimEnv};
 use usj_rtree::{bulk::bulk_load, BulkLoadConfig};
 
-fn bench_bulk_load(c: &mut Criterion) {
+fn main() {
     let workload = WorkloadSpec::preset(Preset::NJ).with_scale(400).generate(42);
-    let mut group = c.benchmark_group("rtree_bulk_load");
-    group.sample_size(10);
+    println!("rtree_bulk_load ({} MBRs)", workload.roads.len());
+    let harness = QuickBench::new();
     for (name, cfg) in [
         ("packed_75_plus_20", BulkLoadConfig::default()),
         ("fully_packed", BulkLoadConfig::fully_packed()),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut env = SimEnv::new(MachineConfig::machine3());
-                let tree = bulk_load(&mut env, black_box(&workload.roads), cfg).unwrap();
-                black_box(tree.nodes())
-            })
+        harness.bench(name, || {
+            let mut env = SimEnv::new(MachineConfig::machine3());
+            let tree = bulk_load(&mut env, black_box(&workload.roads), cfg).unwrap();
+            black_box(tree.nodes())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_bulk_load);
-criterion_main!(benches);

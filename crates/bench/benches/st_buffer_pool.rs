@@ -1,36 +1,29 @@
-//! Criterion bench: the ST join with the paper's 22 MB buffer pool versus a
-//! starved pool (the buffer-pool sensitivity discussed in Section 6.2).
+//! The ST join with the paper's 22 MB buffer pool versus a starved pool
+//! (the buffer-pool sensitivity discussed in Section 6.2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use usj_bench::{ExperimentConfig, PreparedWorkload};
+use usj_bench::{ExperimentConfig, PreparedWorkload, QuickBench};
 use usj_core::StJoin;
 use usj_datagen::Preset;
 use usj_io::MachineConfig;
 
-fn bench_st_buffer_pool(c: &mut Criterion) {
+fn main() {
     let cfg = ExperimentConfig {
         scale: 400,
         seed: 42,
         presets: vec![Preset::NY],
     };
-    let mut group = c.benchmark_group("st_buffer_pool_ny");
-    group.sample_size(10);
+    println!("st_buffer_pool_ny (scale {})", cfg.scale);
+    let harness = QuickBench::new();
     for (name, bytes) in [
         ("pool_22mb", 22usize * 1024 * 1024),
         ("pool_256kb", 256 * 1024),
         ("pool_64kb", 64 * 1024),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut p = PreparedWorkload::build(Preset::NY, &cfg, MachineConfig::machine3());
-                let res = p.run_indexed(&StJoin::default().with_buffer_pool_bytes(bytes));
-                black_box((res.pairs, res.index_page_requests))
-            })
+        harness.bench(name, || {
+            let mut p = PreparedWorkload::build(Preset::NY, &cfg, MachineConfig::machine3());
+            let res = p.run_indexed(&StJoin::default().with_buffer_pool_bytes(bytes));
+            black_box((res.pairs, res.index_page_requests))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_st_buffer_pool);
-criterion_main!(benches);

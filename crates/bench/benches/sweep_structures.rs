@@ -1,37 +1,33 @@
-//! Criterion bench: Forward-Sweep vs Striped-Sweep on a TIGER-like workload
-//! (the factor-2-to-5 claim of Section 3.1).
+//! Forward-Sweep vs Striped-Sweep on a TIGER-like workload (the
+//! factor-2-to-5 claim of Section 3.1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use usj_bench::QuickBench;
 use usj_datagen::{Preset, WorkloadSpec};
 use usj_sweep::{sweep_join, ForwardSweep, StripedSweep};
 
-fn bench_sweep_structures(c: &mut Criterion) {
+fn main() {
     let workload = WorkloadSpec::preset(Preset::NJ).with_scale(400).generate(42);
-    let mut group = c.benchmark_group("sweep_structures");
-    group.sample_size(10);
-    group.bench_function("forward_sweep", |b| {
-        b.iter(|| {
-            let stats = sweep_join::<ForwardSweep, _>(
-                black_box(&workload.roads),
-                black_box(&workload.hydro),
-                |_, _| {},
-            );
-            black_box(stats.pairs)
-        })
+    println!(
+        "sweep_structures ({} x {} MBRs)",
+        workload.roads.len(),
+        workload.hydro.len()
+    );
+    let harness = QuickBench::new();
+    harness.bench("forward_sweep", || {
+        let stats = sweep_join::<ForwardSweep, _>(
+            black_box(&workload.roads),
+            black_box(&workload.hydro),
+            |_, _| {},
+        );
+        black_box(stats.pairs)
     });
-    group.bench_function("striped_sweep", |b| {
-        b.iter(|| {
-            let stats = sweep_join::<StripedSweep, _>(
-                black_box(&workload.roads),
-                black_box(&workload.hydro),
-                |_, _| {},
-            );
-            black_box(stats.pairs)
-        })
+    harness.bench("striped_sweep", || {
+        let stats = sweep_join::<StripedSweep, _>(
+            black_box(&workload.roads),
+            black_box(&workload.hydro),
+            |_, _| {},
+        );
+        black_box(stats.pairs)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_sweep_structures);
-criterion_main!(benches);

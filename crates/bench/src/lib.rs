@@ -25,10 +25,12 @@
 //! is what the harness reproduces and what `EXPERIMENTS.md` records.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
+pub mod quick;
 pub mod setup;
 
 pub use experiments::*;
+pub use quick::{BenchReport, QuickBench};
 pub use setup::{ExperimentConfig, PreparedWorkload};

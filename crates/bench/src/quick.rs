@@ -1,0 +1,121 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The offline build environment cannot fetch `criterion`, so the bench
+//! targets in this crate use this minimal stand-in: fixed warm-up, a fixed
+//! number of timed samples, and a one-line median/min/max report per case.
+//! It is deliberately simple — no outlier rejection, no statistical tests —
+//! but the numbers it produces are stable enough to compare alternatives
+//! within one run (which is all the paper-style A/B benches here need).
+
+use std::time::{Duration, Instant};
+
+/// Configuration for one group of benchmark cases.
+#[derive(Debug, Clone, Copy)]
+pub struct QuickBench {
+    /// Timed samples per case.
+    pub samples: usize,
+    /// Untimed warm-up iterations per case.
+    pub warmup: usize,
+}
+
+impl Default for QuickBench {
+    fn default() -> Self {
+        QuickBench {
+            samples: 10,
+            warmup: 2,
+        }
+    }
+}
+
+impl QuickBench {
+    /// A harness with the default 10 samples and 2 warm-up iterations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the number of timed samples (builder style).
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Overrides the number of warm-up iterations (builder style).
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Runs `f` repeatedly, prints a one-line report, and returns the timing
+    /// summary. The closure's return value is passed through
+    /// [`std::hint::black_box`] so the work cannot be optimised away.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchReport {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        let report = BenchReport {
+            name: name.to_string(),
+            median: times[times.len() / 2],
+            min: times[0],
+            max: times[times.len() - 1],
+            samples: times.len(),
+        };
+        println!("{report}");
+        report
+    }
+}
+
+/// Timing summary of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Case name as passed to [`QuickBench::bench`].
+    pub name: String,
+    /// Median of the timed samples.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl BenchReport {
+    /// Median time in seconds, for speedup arithmetic.
+    pub fn median_secs(&self) -> f64 {
+        self.median.as_secs_f64()
+    }
+}
+
+impl std::fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<32} median {:>10.3?}  (min {:.3?}, max {:.3?}, n={})",
+            self.name, self.median, self.min, self.max, self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let r = QuickBench::new()
+            .with_samples(3)
+            .with_warmup(1)
+            .bench("noop", || 1 + 1);
+        assert_eq!(r.samples, 3);
+        assert!(r.min <= r.median && r.median <= r.max);
+        assert!(r.median_secs() >= 0.0);
+        assert!(format!("{r}").contains("noop"));
+    }
+}

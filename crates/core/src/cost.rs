@@ -71,6 +71,41 @@ pub fn crossover_fraction(machine: &MachineConfig) -> f64 {
 }
 
 /// The cost-based algorithm selector.
+///
+/// # Example
+///
+/// The selector estimates the indexed (PQ with pruning) and non-indexed
+/// (SSSJ) strategies and runs the cheaper one, returning which plan it
+/// picked alongside the estimate and the join result.
+///
+/// ```
+/// use usj_core::{CostBasedJoin, JoinInput};
+/// use usj_geom::{Item, Rect};
+/// use usj_io::{MachineConfig, SimEnv};
+/// use usj_rtree::RTree;
+///
+/// let mut env = SimEnv::new(MachineConfig::machine3());
+/// let grid: Vec<Item> = (0..2500)
+///     .map(|i| {
+///         let (x, y) = ((i % 50) as f32, (i / 50) as f32);
+///         Item::new(Rect::from_coords(x, y, x + 0.9, y + 0.9), i)
+///     })
+///     .collect();
+/// // A localized probe set: only one corner of the grid participates.
+/// let probes = vec![Item::new(Rect::from_coords(0.1, 0.1, 1.5, 1.5), 9000)];
+///
+/// let left = RTree::bulk_load(&mut env, &grid).unwrap();
+/// let right = RTree::bulk_load(&mut env, &probes).unwrap();
+/// let (plan, estimate, result) = CostBasedJoin::default()
+///     .run(&mut env, JoinInput::Indexed(&left), JoinInput::Indexed(&right))
+///     .unwrap();
+/// // The unforced plan is whatever the estimate says is cheaper, and the
+/// // localized probe touches only a fraction of the big index's leaves.
+/// assert_eq!(plan, estimate.plan());
+/// assert!(estimate.touched_fraction < 1.0);
+/// // The probe overlaps the 2x2 block of cells (0..=1, 0..=1).
+/// assert_eq!(result.pairs, 4);
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CostBasedJoin {
     /// Force a specific plan instead of estimating (useful for experiments).

@@ -21,14 +21,19 @@
 //! * [`histogram`] / [`cost`] — spatial selectivity estimation and the cost
 //!   model of Section 6.3 that decides when to use the indexes ("use the
 //!   index only when the join involves less than ~60 % of the leaves").
+//! * [`parallel`] — the partition-parallel executor (not part of the paper):
+//!   spatial sharding by Hilbert ranges or PBSM-style tiles, a worker pool
+//!   running any of the serial joins on forked environments, and exact
+//!   reference-point deduplication.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cost;
 pub mod histogram;
 pub mod input;
 pub mod multiway;
+pub mod parallel;
 pub mod pbsm;
 pub mod pq;
 pub mod result;
@@ -37,6 +42,7 @@ pub mod st;
 
 pub use cost::{CostBasedJoin, CostEstimate, JoinPlan};
 pub use input::JoinInput;
+pub use parallel::{HilbertPartitioner, ParallelJoin, Partitioner, ShardMap, TilePartitioner};
 pub use pbsm::PbsmJoin;
 pub use pq::PqJoin;
 pub use result::{JoinResult, MemoryStats};
@@ -145,5 +151,8 @@ pub trait SpatialJoin {
 
 #[cfg(test)]
 mod algorithm_tests;
-#[cfg(test)]
+// Property-based tests need the external `proptest` crate, which the
+// offline build environment cannot provide; they are opt-in behind the
+// `proptest` feature (see KNOWN_FAILURES.md).
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

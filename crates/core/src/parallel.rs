@@ -1,0 +1,852 @@
+//! The parallel partitioned join executor.
+//!
+//! All four joins of the paper run single-threaded over one simulated disk.
+//! This module adds the first step towards the sharded architecture the
+//! roadmap calls for: both inputs are split into `K` *spatial shards*, the
+//! shards are fanned out across a pool of `std::thread` workers, and every
+//! worker runs an ordinary serial [`SpatialJoin`] (PQ, PBSM, SSSJ or ST)
+//! against its own private [`SimEnv`] obtained with [`SimEnv::fork`] — its
+//! own simulated disk, its own I/O and CPU counters.
+//!
+//! Three pieces make the result exactly equal to a serial execution:
+//!
+//! 1. **Replication.** A [`Partitioner`] builds a [`ShardMap`]: a grid of
+//!    cells over the data space with every cell owned by one shard. Each
+//!    rectangle is replicated into every shard owning a cell it overlaps, so
+//!    any intersecting pair is guaranteed to meet in at least one shard.
+//! 2. **Reference-point deduplication.** A pair may meet in several shards;
+//!    it is reported only by the shard owning the cell that contains the
+//!    pair's *reference point* (the lower-left corner of the intersection —
+//!    the same trick PBSM uses for its tiles, lifted to the shard level).
+//! 3. **Accounting roll-up.** Every worker's I/O and CPU deltas are merged
+//!    into one [`JoinResult`] with [`JoinResult::merge`], so the aggregate
+//!    accounting equals the sum of its parts; [`ParallelJoin::run_detailed`]
+//!    additionally exposes the per-shard breakdown.
+//!
+//! Two partitioning strategies are provided: [`TilePartitioner`] assigns
+//! grid cells to shards round-robin (PBSM-style, good load balance, no
+//! locality) and [`HilbertPartitioner`] assigns contiguous runs of the
+//! Hilbert-ordered cells (spatially coherent shards, the same ordering the
+//! R-tree bulk loader uses).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use usj_geom::{hilbert, Item, Rect};
+use usj_io::{CpuOp, ItemStream, Result, SimEnv};
+use usj_rtree::RTree;
+
+use crate::input::JoinInput;
+use crate::result::JoinResult;
+use crate::SpatialJoin;
+
+/// Default number of grid cells per axis used by both partitioners.
+///
+/// 64 × 64 cells keeps the cell-to-shard table tiny while still giving the
+/// Hilbert partitioner enough resolution to form coherent shards; rectangles
+/// large enough to span many cells are replicated, exactly as in PBSM.
+pub const DEFAULT_CELLS_PER_SIDE: usize = 64;
+
+/// Splits the data space into `K` spatial shards for the parallel executor.
+///
+/// Implementations only decide *which shard owns which grid cell*; the
+/// replication and deduplication machinery is shared and lives in
+/// [`ShardMap`].
+pub trait Partitioner {
+    /// Human-readable strategy name (used in logs and benches).
+    fn name(&self) -> &'static str;
+
+    /// Builds the cell-to-shard map for `shards` shards over `region`.
+    fn build(&self, region: Rect, shards: usize) -> ShardMap;
+}
+
+/// A grid over the data space with every cell assigned to one shard.
+///
+/// The map answers two questions: into which shards must a rectangle be
+/// replicated ([`ShardMap::shards_of_rect`]), and which single shard owns a
+/// point ([`ShardMap::shard_of_point`] — used for the reference-point
+/// deduplication test).
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    region: Rect,
+    cells_per_side: usize,
+    shards: usize,
+    /// Row-major cell index → owning shard.
+    cell_to_shard: Vec<u32>,
+}
+
+impl ShardMap {
+    /// Creates a map from an explicit cell-ownership table.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cell_to_shard` has `cells_per_side²` entries, every
+    /// entry is smaller than `shards`, and `shards > 0`.
+    pub fn new(
+        region: Rect,
+        cells_per_side: usize,
+        shards: usize,
+        cell_to_shard: Vec<u32>,
+    ) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        assert_eq!(
+            cell_to_shard.len(),
+            cells_per_side * cells_per_side,
+            "ownership table must cover the whole grid"
+        );
+        assert!(
+            cell_to_shard.iter().all(|&s| (s as usize) < shards),
+            "cell owned by an out-of-range shard"
+        );
+        ShardMap {
+            region,
+            cells_per_side,
+            shards,
+            cell_to_shard,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Grid resolution (cells per axis).
+    pub fn cells_per_side(&self) -> usize {
+        self.cells_per_side
+    }
+
+    /// The data-space region the grid covers.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Row-major index of the grid cell containing `(x, y)`; coordinates
+    /// outside the region are clamped onto the border cells.
+    pub fn cell_of(&self, x: f32, y: f32) -> usize {
+        let n = self.cells_per_side;
+        let w = self.region.width().max(f32::MIN_POSITIVE);
+        let h = self.region.height().max(f32::MIN_POSITIVE);
+        let cx = (((x - self.region.lo.x) / w) * n as f32).clamp(0.0, n as f32 - 1.0) as usize;
+        let cy = (((y - self.region.lo.y) / h) * n as f32).clamp(0.0, n as f32 - 1.0) as usize;
+        cy * n + cx
+    }
+
+    /// The shard owning the cell that contains `(x, y)`.
+    pub fn shard_of_point(&self, x: f32, y: f32) -> usize {
+        self.cell_to_shard[self.cell_of(x, y)] as usize
+    }
+
+    /// Collects into `out` the distinct shards owning any cell overlapped by
+    /// `r` — the shards `r` must be replicated into.
+    pub fn shards_of_rect(&self, r: &Rect, out: &mut Vec<usize>) {
+        out.clear();
+        let n = self.cells_per_side;
+        let lo = self.cell_of(r.lo.x, r.lo.y);
+        let hi = self.cell_of(r.hi.x, r.hi.y);
+        let (cx0, cy0) = (lo % n, lo / n);
+        let (cx1, cy1) = (hi % n, hi / n);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let s = self.cell_to_shard[cy * n + cx] as usize;
+                if !out.contains(&s) {
+                    out.push(s);
+                    if out.len() == self.shards {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// PBSM-style sharding: grid cells are dealt to shards round-robin.
+///
+/// Neighbouring cells land on different shards, which spreads any local
+/// hot-spot evenly (good load balance) at the price of replicating every
+/// rectangle that spans a cell boundary into several shards.
+#[derive(Debug, Clone, Copy)]
+pub struct TilePartitioner {
+    /// Grid resolution (cells per axis).
+    pub cells_per_side: usize,
+}
+
+impl Default for TilePartitioner {
+    fn default() -> Self {
+        TilePartitioner {
+            cells_per_side: DEFAULT_CELLS_PER_SIDE,
+        }
+    }
+}
+
+impl Partitioner for TilePartitioner {
+    fn name(&self) -> &'static str {
+        "tile"
+    }
+
+    fn build(&self, region: Rect, shards: usize) -> ShardMap {
+        let n = self.cells_per_side.max(1);
+        let cells = (0..n * n).map(|c| (c % shards.max(1)) as u32).collect();
+        ShardMap::new(region, n, shards.max(1), cells)
+    }
+}
+
+/// Hilbert-range sharding: the grid cells are ordered along a Hilbert curve
+/// and split into `K` contiguous runs of equal length.
+///
+/// Each shard is a spatially coherent blob (the Hilbert curve's locality),
+/// so only rectangles near shard borders are replicated — the same ordering
+/// that gives the bulk-loaded R-trees their clustering, reused as a sharding
+/// key.
+#[derive(Debug, Clone, Copy)]
+pub struct HilbertPartitioner {
+    /// Grid resolution (cells per axis); rounded up to a power of two for
+    /// the Hilbert ordering.
+    pub cells_per_side: usize,
+}
+
+impl Default for HilbertPartitioner {
+    fn default() -> Self {
+        HilbertPartitioner {
+            cells_per_side: DEFAULT_CELLS_PER_SIDE,
+        }
+    }
+}
+
+impl Partitioner for HilbertPartitioner {
+    fn name(&self) -> &'static str {
+        "hilbert"
+    }
+
+    fn build(&self, region: Rect, shards: usize) -> ShardMap {
+        let shards = shards.max(1);
+        let n = self.cells_per_side.max(2).next_power_of_two();
+        let total = n * n;
+        // Rank every cell along the coarse Hilbert curve, then cut the rank
+        // sequence into `shards` equal runs.
+        let mut by_rank: Vec<(u64, usize)> = (0..total)
+            .map(|c| {
+                let (cx, cy) = (c % n, c / n);
+                (
+                    hilbert::xy_to_hilbert_on_side(n as u32, cx as u32, cy as u32),
+                    c,
+                )
+            })
+            .collect();
+        by_rank.sort_unstable();
+        let run = total.div_ceil(shards);
+        let mut cells = vec![0u32; total];
+        for (rank, &(_, cell)) in by_rank.iter().enumerate() {
+            cells[cell] = ((rank / run).min(shards - 1)) as u32;
+        }
+        ShardMap::new(region, n, shards, cells)
+    }
+}
+
+/// Outcome of one [`ParallelJoin::run_detailed`] execution.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// The merged, externally visible result — what
+    /// [`SpatialJoin::run_with`] returns.
+    pub total: JoinResult,
+    /// The coordinator's own share: reading the inputs and scattering the
+    /// shards (its `pairs` is always zero).
+    pub coordinator: JoinResult,
+    /// One result per shard, in shard order, measured on that shard's forked
+    /// environment. `total` equals `coordinator` merged with every entry.
+    pub shards: Vec<JoinResult>,
+}
+
+/// A partition-parallel executor wrapping any serial [`SpatialJoin`].
+///
+/// See the [module documentation](self) for the partitioning and
+/// deduplication scheme. The executor is itself a [`SpatialJoin`], so it
+/// composes with everything that accepts one (the experiment harness, the
+/// cost-based selector's plan runners, …).
+///
+/// The executor reports exactly the serial algorithms' *pair set*, in an
+/// order that is deterministic (shards are drained in shard order) but
+/// generally different from a serial sweep's emission order.
+///
+/// **Precondition:** object identifiers must be unique *within each input*
+/// (as in all the paper's data files, where the id is the record's key).
+/// The reference-point deduplication looks rectangles up by id, so two
+/// distinct rectangles sharing an id within one input would dedup against
+/// the wrong geometry; this is debug-asserted per shard.
+///
+/// # Example
+///
+/// ```
+/// use usj_core::parallel::{HilbertPartitioner, ParallelJoin};
+/// use usj_core::{JoinInput, PqJoin, SpatialJoin};
+/// use usj_geom::{Item, Rect};
+/// use usj_io::{ItemStream, MachineConfig, SimEnv};
+///
+/// let mut env = SimEnv::new(MachineConfig::machine3());
+/// // A 10x10 grid of unit squares against four long horizontal slabs.
+/// let grid: Vec<Item> = (0..100)
+///     .map(|i| {
+///         let (x, y) = ((i % 10) as f32, (i / 10) as f32);
+///         Item::new(Rect::from_coords(x, y, x + 0.8, y + 0.8), i)
+///     })
+///     .collect();
+/// let slabs: Vec<Item> = (0..4)
+///     .map(|i| Item::new(Rect::from_coords(0.0, 2.5 * i as f32, 10.0, 2.5 * i as f32 + 0.5), 1000 + i))
+///     .collect();
+/// let left = ItemStream::from_items(&mut env, &grid).unwrap();
+/// let right = ItemStream::from_items(&mut env, &slabs).unwrap();
+///
+/// let parallel = ParallelJoin::new(PqJoin::default(), HilbertPartitioner::default())
+///     .with_threads(4)
+///     .with_shards(4);
+/// let result = parallel
+///     .run(&mut env, JoinInput::Stream(&left), JoinInput::Stream(&right))
+///     .unwrap();
+///
+/// // The parallel pair count equals the serial one.
+/// let serial = PqJoin::default()
+///     .run(&mut env, JoinInput::Stream(&left), JoinInput::Stream(&right))
+///     .unwrap();
+/// assert_eq!(result.pairs, serial.pairs);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelJoin<J, P> {
+    inner: J,
+    partitioner: P,
+    threads: usize,
+    shards: usize,
+    region_hint: Option<Rect>,
+    index_shards: bool,
+}
+
+impl<J: SpatialJoin + Sync, P: Partitioner> ParallelJoin<J, P> {
+    /// Wraps `inner` with `partitioner`, defaulting to one shard and one
+    /// worker thread per available CPU (at most 8 by default — raise it
+    /// explicitly for wider machines).
+    pub fn new(inner: J, partitioner: P) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        ParallelJoin {
+            inner,
+            partitioner,
+            threads,
+            shards: threads,
+            region_hint: None,
+            index_shards: false,
+        }
+    }
+
+    /// Sets the worker-thread count (builder style). The thread count never
+    /// affects the reported pairs or their order — only wall-clock time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the shard count independently of the thread count (builder
+    /// style). More shards than threads gives the work queue slack to
+    /// balance skewed data.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Provides the data-space bounding box, skipping the discovery scan
+    /// (builder style).
+    pub fn with_region(mut self, region: Rect) -> Self {
+        self.region_hint = Some(region);
+        self
+    }
+
+    /// Makes every worker bulk-load packed R-trees over its shard and hand
+    /// the inner join indexed inputs (builder style). Required for inner
+    /// joins that are only meaningful on indexes (ST); index construction is
+    /// unaccounted, mirroring how the serial experiments prepare indexes.
+    pub fn with_indexed_shards(mut self) -> Self {
+        self.index_shards = true;
+        self
+    }
+
+    /// Configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Runs the join and returns the per-shard accounting breakdown along
+    /// with the merged total. [`SpatialJoin::run_with`] is a thin wrapper
+    /// over this method.
+    pub fn run_detailed(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'_>,
+        right: JoinInput<'_>,
+        sink: &mut dyn FnMut(u32, u32),
+    ) -> Result<ParallelRun> {
+        let measurement = env.begin();
+
+        let left_stream = left.to_stream(env)?;
+        let right_stream = right.to_stream(env)?;
+
+        // Data-space bounding box: the hint if given; otherwise union the
+        // indexes' known root rectangles and scan only the sides whose
+        // extent is unknown (the same policy as PBSM, minus redundant
+        // passes over indexed inputs).
+        let region = match self.region_hint {
+            Some(r) => r,
+            None => {
+                let mut bbox = Rect::empty();
+                for (input, stream) in [(&left, &left_stream), (&right, &right_stream)] {
+                    match input.known_bbox() {
+                        Some(b) => bbox = bbox.union(&b),
+                        None => {
+                            let mut r = stream.reader();
+                            while let Some(it) = r.next(env)? {
+                                env.charge(CpuOp::RectTest, 1);
+                                bbox = bbox.union(&it.rect);
+                            }
+                        }
+                    }
+                }
+                if bbox.is_empty() {
+                    Rect::from_coords(0.0, 0.0, 1.0, 1.0)
+                } else {
+                    bbox
+                }
+            }
+        };
+
+        let map = self.partitioner.build(region, self.shards);
+        let shards = map.shards();
+
+        // Scatter both inputs into per-shard buffers, replicating every
+        // rectangle into each shard whose cells it overlaps.
+        let scatter = |env: &mut SimEnv, stream: &ItemStream| -> Result<Vec<Vec<Item>>> {
+            let mut parts: Vec<Vec<Item>> = vec![Vec::new(); shards];
+            let mut reader = stream.reader();
+            let mut targets = Vec::with_capacity(4);
+            while let Some(it) = reader.next(env)? {
+                map.shards_of_rect(&it.rect, &mut targets);
+                env.charge(CpuOp::ItemMove, targets.len() as u64);
+                for &p in &targets {
+                    parts[p].push(it);
+                }
+            }
+            Ok(parts)
+        };
+        let shard_left = scatter(env, &left_stream)?;
+        let shard_right = scatter(env, &right_stream)?;
+
+        // Coordinator accounting closes here: reading the inputs plus the
+        // scatter CPU work. The in-memory scatter buffers are its working
+        // set.
+        let (io, cpu) = env.since(&measurement);
+        let mut coordinator = JoinResult {
+            io,
+            cpu,
+            ..JoinResult::default()
+        };
+        coordinator.memory.other_bytes = shard_left
+            .iter()
+            .chain(shard_right.iter())
+            .map(|v| v.len() * std::mem::size_of::<Item>())
+            .sum();
+
+        // Fan the shards out over the worker pool. Each worker pulls shard
+        // indices from a shared queue and runs every shard on a fresh fork
+        // of the coordinator's environment.
+        let threads = self.threads.min(shards).max(1);
+        let queue = AtomicUsize::new(0);
+        let slots: Vec<ShardSlot> = (0..shards).map(|_| Mutex::new(None)).collect();
+        let env_ref: &SimEnv = env;
+        let map_ref = &map;
+        let inner = &self.inner;
+        let index_shards = self.index_shards;
+        let shard_left_ref = &shard_left;
+        let shard_right_ref = &shard_right;
+        let slots_ref = &slots;
+        let queue_ref = &queue;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move || loop {
+                    let i = queue_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= shards {
+                        break;
+                    }
+                    let outcome = run_shard(
+                        env_ref.fork(),
+                        inner,
+                        &shard_left_ref[i],
+                        &shard_right_ref[i],
+                        map_ref,
+                        i,
+                        index_shards,
+                    );
+                    *slots_ref[i].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+
+        // Merge in shard order, so the report — and the order pairs reach
+        // the sink — is deterministic regardless of the thread count.
+        let mut total = coordinator.clone();
+        let mut shard_results = Vec::with_capacity(shards);
+        for slot in slots {
+            let (result, pairs) = slot
+                .into_inner()
+                .expect("worker poisoned a result slot")
+                .expect("worker exited without reporting its shard")?;
+            for &(a, b) in &pairs {
+                sink(a, b);
+            }
+            total.merge(&result);
+            shard_results.push(result);
+        }
+        Ok(ParallelRun {
+            total,
+            coordinator,
+            shards: shard_results,
+        })
+    }
+}
+
+/// One shard's outcome slot, filled by whichever worker claims the shard.
+type ShardSlot = Mutex<Option<Result<(JoinResult, Vec<(u32, u32)>)>>>;
+
+/// Joins one shard on its own forked environment, returning the shard's
+/// accounting and its deduplicated pairs.
+fn run_shard<J: SpatialJoin>(
+    mut wenv: SimEnv,
+    inner: &J,
+    left_items: &[Item],
+    right_items: &[Item],
+    map: &ShardMap,
+    shard: usize,
+    index_shards: bool,
+) -> Result<(JoinResult, Vec<(u32, u32)>)> {
+    let mut pairs = Vec::new();
+    if left_items.is_empty() || right_items.is_empty() {
+        return Ok((JoinResult::default(), pairs));
+    }
+    let measurement = wenv.begin();
+
+    // Rectangle lookup for the reference-point ownership test. Ids must be
+    // unique within each input (see the `ParallelJoin` docs) or the lookup
+    // would resolve to the wrong geometry.
+    let left_rects: HashMap<u32, Rect> = left_items.iter().map(|it| (it.id, it.rect)).collect();
+    let right_rects: HashMap<u32, Rect> = right_items.iter().map(|it| (it.id, it.rect)).collect();
+    debug_assert_eq!(left_rects.len(), left_items.len(), "duplicate ids in the left input");
+    debug_assert_eq!(right_rects.len(), right_items.len(), "duplicate ids in the right input");
+    let mut dedup_sink = |a: u32, b: u32| {
+        let ra = &left_rects[&a];
+        let rb = &right_rects[&b];
+        // Reference point: the lower-left corner of the intersection. It
+        // lies inside both rectangles, so the shard owning its cell has both
+        // replicas and reports the pair — exactly once across all shards.
+        let ref_x = ra.lo.x.max(rb.lo.x);
+        let ref_y = ra.lo.y.max(rb.lo.y);
+        if map.shard_of_point(ref_x, ref_y) == shard {
+            pairs.push((a, b));
+        }
+    };
+
+    let mut result = if index_shards {
+        // Index construction is preprocessing, unaccounted like the serial
+        // experiments' index builds.
+        let left_tree = wenv.unaccounted(|e| RTree::bulk_load(e, left_items))?;
+        let right_tree = wenv.unaccounted(|e| RTree::bulk_load(e, right_items))?;
+        inner.run_with(
+            &mut wenv,
+            JoinInput::Indexed(&left_tree),
+            JoinInput::Indexed(&right_tree),
+            &mut dedup_sink,
+        )?
+    } else {
+        // Materialising the shard streams on the worker's disk is the
+        // scatter write a real partitioned system would pay; it is charged
+        // to the worker.
+        let left_stream = ItemStream::from_items(&mut wenv, left_items)?;
+        let right_stream = ItemStream::from_items(&mut wenv, right_items)?;
+        inner.run_with(
+            &mut wenv,
+            JoinInput::Stream(&left_stream),
+            JoinInput::Stream(&right_stream),
+            &mut dedup_sink,
+        )?
+    };
+
+    // The shard's accounting covers everything that happened on the forked
+    // environment (stream materialisation + the inner join), and its pair
+    // count is the deduplicated one.
+    let (io, cpu) = wenv.since(&measurement);
+    result.io = io;
+    result.cpu = cpu;
+    result.pairs = pairs.len() as u64;
+    result.sweep.pairs = result.pairs;
+    Ok((result, pairs))
+}
+
+impl<J: SpatialJoin + Sync, P: Partitioner> SpatialJoin for ParallelJoin<J, P> {
+    fn name(&self) -> &'static str {
+        "Parallel"
+    }
+
+    fn run_with(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'_>,
+        right: JoinInput<'_>,
+        sink: &mut dyn FnMut(u32, u32),
+    ) -> Result<JoinResult> {
+        Ok(self.run_detailed(env, left, right, sink)?.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PbsmJoin, PqJoin, SssjJoin, StJoin};
+    use usj_io::MachineConfig;
+
+    fn env() -> SimEnv {
+        SimEnv::new(MachineConfig::machine3())
+    }
+
+    /// Long horizontal and vertical crossers: every pair of shards shares
+    /// replicated rectangles, stressing the deduplication.
+    fn crossers(n: u32) -> (Vec<Item>, Vec<Item>) {
+        let horiz = (0..n)
+            .map(|i| Item::new(Rect::from_coords(0.0, i as f32, n as f32, i as f32 + 0.1), i))
+            .collect();
+        let vert = (0..n)
+            .map(|i| {
+                Item::new(
+                    Rect::from_coords(i as f32, 0.0, i as f32 + 0.1, n as f32),
+                    1000 + i,
+                )
+            })
+            .collect();
+        (horiz, vert)
+    }
+
+    fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn shard_maps_cover_every_cell_with_valid_shards() {
+        let region = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        for shards in [1usize, 2, 5, 16] {
+            for map in [
+                TilePartitioner::default().build(region, shards),
+                HilbertPartitioner::default().build(region, shards),
+            ] {
+                assert_eq!(map.shards(), shards);
+                let n = map.cells_per_side();
+                let mut seen = vec![false; shards];
+                for cy in 0..n {
+                    for cx in 0..n {
+                        let x = 10.0 * (cx as f32 + 0.5) / n as f32;
+                        let y = 10.0 * (cy as f32 + 0.5) / n as f32;
+                        seen[map.shard_of_point(x, y)] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "a shard owns no cell");
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_shards_are_contiguous_runs() {
+        let region = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let map = HilbertPartitioner { cells_per_side: 8 }.build(region, 4);
+        // Walking the curve, the shard id must be non-decreasing.
+        let mut last = 0usize;
+        let n = map.cells_per_side();
+        let mut ranked: Vec<(u64, usize)> = (0..n * n)
+            .map(|c| {
+                let (cx, cy) = (c % n, c / n);
+                (
+                    hilbert::xy_to_hilbert_on_side(n as u32, cx as u32, cy as u32),
+                    c,
+                )
+            })
+            .collect();
+        ranked.sort_unstable();
+        for (_, cell) in ranked {
+            let s = map.cell_to_shard[cell] as usize;
+            assert!(s >= last, "shard ids must be contiguous along the curve");
+            last = s;
+        }
+        assert_eq!(last, 3, "all four shards used");
+    }
+
+    #[test]
+    fn replication_targets_include_the_reference_cell_owner() {
+        let region = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let map = HilbertPartitioner::default().build(region, 7);
+        let r = Rect::from_coords(12.3, 40.0, 57.9, 44.5);
+        let mut targets = Vec::new();
+        map.shards_of_rect(&r, &mut targets);
+        assert!(targets.contains(&map.shard_of_point(r.lo.x, r.lo.y)));
+        assert!(targets.contains(&map.shard_of_point(r.hi.x, r.hi.y)));
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_crossers_for_both_partitioners() {
+        let (h, v) = crossers(30);
+        let mut e = env();
+        let sh = ItemStream::from_items(&mut e, &h).unwrap();
+        let sv = ItemStream::from_items(&mut e, &v).unwrap();
+        let (serial, serial_pairs) = PqJoin::default()
+            .run_collect(&mut e, JoinInput::Stream(&sh), JoinInput::Stream(&sv))
+            .unwrap();
+        assert_eq!(serial.pairs, 900);
+
+        for shards in [1usize, 3, 8] {
+            let hilbert = ParallelJoin::new(PqJoin::default(), HilbertPartitioner::default())
+                .with_threads(4)
+                .with_shards(shards);
+            let (res, pairs) = hilbert
+                .run_collect(&mut e, JoinInput::Stream(&sh), JoinInput::Stream(&sv))
+                .unwrap();
+            assert_eq!(res.pairs, serial.pairs, "hilbert, {shards} shards");
+            assert_eq!(sorted(pairs), sorted(serial_pairs.clone()));
+
+            let tile = ParallelJoin::new(SssjJoin::default(), TilePartitioner::default())
+                .with_threads(3)
+                .with_shards(shards);
+            let (res, pairs) = tile
+                .run_collect(&mut e, JoinInput::Stream(&sh), JoinInput::Stream(&sv))
+                .unwrap();
+            assert_eq!(res.pairs, serial.pairs, "tile, {shards} shards");
+            assert_eq!(sorted(pairs), sorted(serial_pairs.clone()));
+        }
+    }
+
+    #[test]
+    fn pair_order_is_independent_of_the_thread_count() {
+        let (h, v) = crossers(20);
+        let mut e = env();
+        let sh = ItemStream::from_items(&mut e, &h).unwrap();
+        let sv = ItemStream::from_items(&mut e, &v).unwrap();
+        let run = |threads: usize, e: &mut SimEnv| {
+            ParallelJoin::new(PbsmJoin::default(), HilbertPartitioner::default())
+                .with_threads(threads)
+                .with_shards(6)
+                .run_collect(e, JoinInput::Stream(&sh), JoinInput::Stream(&sv))
+                .unwrap()
+                .1
+        };
+        let one = run(1, &mut e);
+        let four = run(4, &mut e);
+        assert_eq!(one, four, "pair order must be deterministic");
+    }
+
+    #[test]
+    fn merged_stats_equal_the_sum_of_the_parts() {
+        let (h, v) = crossers(25);
+        let mut e = env();
+        let sh = ItemStream::from_items(&mut e, &h).unwrap();
+        let sv = ItemStream::from_items(&mut e, &v).unwrap();
+        let run = ParallelJoin::new(PqJoin::default(), TilePartitioner::default())
+            .with_threads(4)
+            .with_shards(5)
+            .run_detailed(
+                &mut e,
+                JoinInput::Stream(&sh),
+                JoinInput::Stream(&sv),
+                &mut |_, _| {},
+            )
+            .unwrap();
+        assert_eq!(run.shards.len(), 5);
+
+        // The acceptance property: the total I/O statistics are exactly the
+        // coordinator's plus every worker's.
+        let mut expected_io = run.coordinator.io;
+        let mut expected_cpu = run.coordinator.cpu;
+        let mut expected_pairs = 0;
+        for s in &run.shards {
+            expected_io.merge(&s.io);
+            expected_cpu.merge(&s.cpu);
+            expected_pairs += s.pairs;
+        }
+        assert_eq!(run.total.io, expected_io);
+        assert_eq!(run.total.cpu, expected_cpu);
+        assert_eq!(run.total.pairs, expected_pairs);
+        // Workers did real, accounted work on their own devices.
+        assert!(run.shards.iter().any(|s| s.io.total_ops() > 0));
+        assert!(run.coordinator.io.pages_read > 0);
+    }
+
+    #[test]
+    fn indexed_shards_support_the_st_join() {
+        let (h, v) = crossers(20);
+        let mut e = env();
+        let sh = ItemStream::from_items(&mut e, &h).unwrap();
+        let sv = ItemStream::from_items(&mut e, &v).unwrap();
+        let serial = PqJoin::default()
+            .run(&mut e, JoinInput::Stream(&sh), JoinInput::Stream(&sv))
+            .unwrap();
+        let res = ParallelJoin::new(StJoin::default(), HilbertPartitioner::default())
+            .with_threads(4)
+            .with_shards(4)
+            .with_indexed_shards()
+            .run(&mut e, JoinInput::Stream(&sh), JoinInput::Stream(&sv))
+            .unwrap();
+        assert_eq!(res.pairs, serial.pairs);
+        assert!(res.index_page_requests > 0, "ST read its shard indexes");
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let mut e = env();
+        let empty = ItemStream::from_items(&mut e, &[]).unwrap();
+        let (h, _) = crossers(5);
+        let sh = ItemStream::from_items(&mut e, &h).unwrap();
+        let res = ParallelJoin::new(PbsmJoin::default(), TilePartitioner::default())
+            .with_shards(4)
+            .run(&mut e, JoinInput::Stream(&empty), JoinInput::Stream(&sh))
+            .unwrap();
+        assert_eq!(res.pairs, 0);
+    }
+
+    #[test]
+    fn region_hint_skips_the_discovery_scan() {
+        let (h, v) = crossers(10);
+        let mut e = env();
+        let sh = ItemStream::from_items(&mut e, &h).unwrap();
+        let sv = ItemStream::from_items(&mut e, &v).unwrap();
+        let hinted = ParallelJoin::new(SssjJoin::default(), HilbertPartitioner::default())
+            .with_shards(2)
+            .with_region(Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let unhinted =
+            ParallelJoin::new(SssjJoin::default(), HilbertPartitioner::default()).with_shards(2);
+        let a = hinted
+            .run_detailed(
+                &mut e,
+                JoinInput::Stream(&sh),
+                JoinInput::Stream(&sv),
+                &mut |_, _| {},
+            )
+            .unwrap();
+        let b = unhinted
+            .run_detailed(
+                &mut e,
+                JoinInput::Stream(&sh),
+                JoinInput::Stream(&sv),
+                &mut |_, _| {},
+            )
+            .unwrap();
+        assert_eq!(a.total.pairs, b.total.pairs);
+        assert!(a.coordinator.io.pages_read < b.coordinator.io.pages_read);
+    }
+}

@@ -24,6 +24,34 @@ use crate::result::{JoinResult, MemoryStats};
 use crate::SpatialJoin;
 
 /// Configuration of the PBSM join.
+///
+/// # Example
+///
+/// PBSM partitions flat inputs over a tile grid and sweeps each partition
+/// in memory; replicated pairs are suppressed by the reference-point test,
+/// so every intersecting pair is reported exactly once.
+///
+/// ```
+/// use usj_core::{JoinInput, PbsmJoin, SpatialJoin};
+/// use usj_geom::{Item, Rect};
+/// use usj_io::{ItemStream, MachineConfig, SimEnv};
+///
+/// let mut env = SimEnv::new(MachineConfig::machine3());
+/// // Long crossing rectangles overlap many tiles and partitions each.
+/// let horiz: Vec<Item> = (0..10)
+///     .map(|i| Item::new(Rect::from_coords(0.0, i as f32, 10.0, i as f32 + 0.1), i))
+///     .collect();
+/// let vert: Vec<Item> = (0..10)
+///     .map(|i| Item::new(Rect::from_coords(i as f32, 0.0, i as f32 + 0.1, 10.0), 100 + i))
+///     .collect();
+/// let l = ItemStream::from_items(&mut env, &horiz).unwrap();
+/// let r = ItemStream::from_items(&mut env, &vert).unwrap();
+/// let result = PbsmJoin::default()
+///     .with_partitions(4)
+///     .run(&mut env, JoinInput::Stream(&l), JoinInput::Stream(&r))
+///     .unwrap();
+/// assert_eq!(result.pairs, 100);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct PbsmJoin {
     /// Tiles per side of the tile grid (the paper uses 128 after finding
@@ -218,7 +246,7 @@ impl SpatialJoin for PbsmJoin {
             });
             env.charge(CpuOp::RectTest, stats.rect_tests);
             env.charge(CpuOp::Compare, (l.len() + r.len()) as u64);
-            sweep_total = combine_sweep(sweep_total, stats);
+            sweep_total.merge(&stats);
         }
         env.charge(CpuOp::OutputPair, pairs);
         sweep_total.pairs = pairs;
@@ -237,20 +265,6 @@ impl SpatialJoin for PbsmJoin {
                 other_bytes: max_partition_bytes,
             },
         })
-    }
-}
-
-fn combine_sweep(
-    a: usj_sweep::SweepJoinStats,
-    b: usj_sweep::SweepJoinStats,
-) -> usj_sweep::SweepJoinStats {
-    usj_sweep::SweepJoinStats {
-        pairs: a.pairs + b.pairs,
-        left_items: a.left_items + b.left_items,
-        right_items: a.right_items + b.right_items,
-        rect_tests: a.rect_tests + b.rect_tests,
-        max_structure_bytes: a.max_structure_bytes.max(b.max_structure_bytes),
-        max_resident: a.max_resident.max(b.max_resident),
     }
 }
 

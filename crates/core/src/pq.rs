@@ -273,6 +273,32 @@ impl<'a> SortedSource<'a> {
 }
 
 /// Configuration of the PQ join.
+///
+/// # Example
+///
+/// PQ is the unified algorithm: it accepts any mix of indexed and
+/// non-indexed inputs. Here one side is an R-tree, the other a flat stream.
+///
+/// ```
+/// use usj_core::{JoinInput, PqJoin, SpatialJoin};
+/// use usj_geom::{Item, Rect};
+/// use usj_io::{ItemStream, MachineConfig, SimEnv};
+/// use usj_rtree::RTree;
+///
+/// let mut env = SimEnv::new(MachineConfig::machine3());
+/// let columns: Vec<Item> = (0..50)
+///     .map(|i| Item::new(Rect::from_coords(i as f32, 0.0, i as f32 + 0.5, 10.0), i))
+///     .collect();
+/// let band = vec![Item::new(Rect::from_coords(0.0, 4.0, 50.0, 5.0), 1000)];
+///
+/// let tree = RTree::bulk_load(&mut env, &columns).unwrap();
+/// let stream = ItemStream::from_items(&mut env, &band).unwrap();
+/// let result = PqJoin::default()
+///     .run(&mut env, JoinInput::Indexed(&tree), JoinInput::Stream(&stream))
+///     .unwrap();
+/// // The band crosses every column once.
+/// assert_eq!(result.pairs, 50);
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PqJoin {
     /// When `true`, the index adapters only visit subtrees that can intersect

@@ -21,18 +21,38 @@ use crate::result::{JoinResult, MemoryStats};
 use crate::SpatialJoin;
 
 /// Configuration of the SSSJ join.
-#[derive(Debug, Clone, Copy)]
+///
+/// # Example
+///
+/// SSSJ works on flat (non-indexed) inputs: it externally sorts both by
+/// lower y-coordinate and runs one plane sweep.
+///
+/// ```
+/// use usj_core::{JoinInput, SssjJoin, SpatialJoin};
+/// use usj_geom::{Item, Rect};
+/// use usj_io::{ItemStream, MachineConfig, SimEnv};
+///
+/// let mut env = SimEnv::new(MachineConfig::machine3());
+/// let rows: Vec<Item> = (0..20)
+///     .map(|i| Item::new(Rect::from_coords(0.0, i as f32, 20.0, i as f32 + 0.5), i))
+///     .collect();
+/// let cols: Vec<Item> = (0..20)
+///     .map(|i| Item::new(Rect::from_coords(i as f32, 0.0, i as f32 + 0.5, 20.0), 100 + i))
+///     .collect();
+/// let l = ItemStream::from_items(&mut env, &rows).unwrap();
+/// let r = ItemStream::from_items(&mut env, &cols).unwrap();
+/// let result = SssjJoin::default()
+///     .run(&mut env, JoinInput::Stream(&l), JoinInput::Stream(&r))
+///     .unwrap();
+/// // Every row crosses every column.
+/// assert_eq!(result.pairs, 400);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SssjJoin {
     /// Optional bounding box of the data, used to size the striped sweep
     /// structure without an extra scan. When absent it is derived from the
     /// sort pass.
     pub region_hint: Option<Rect>,
-}
-
-impl Default for SssjJoin {
-    fn default() -> Self {
-        SssjJoin { region_hint: None }
-    }
 }
 
 impl SssjJoin {

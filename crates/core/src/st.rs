@@ -23,6 +23,37 @@ use crate::result::{JoinResult, MemoryStats};
 use crate::SpatialJoin;
 
 /// Configuration of the ST join.
+///
+/// # Example
+///
+/// ST traverses two R-trees in lockstep through an LRU buffer pool; its
+/// I/O accounting reports the index page requests of Table 4.
+///
+/// ```
+/// use usj_core::{JoinInput, StJoin, SpatialJoin};
+/// use usj_geom::{Item, Rect};
+/// use usj_io::{MachineConfig, SimEnv};
+/// use usj_rtree::RTree;
+///
+/// let mut env = SimEnv::new(MachineConfig::machine3());
+/// let boxes: Vec<Item> = (0..100)
+///     .map(|i| {
+///         let (x, y) = ((i % 10) as f32, (i / 10) as f32);
+///         Item::new(Rect::from_coords(x, y, x + 0.9, y + 0.9), i)
+///     })
+///     .collect();
+/// let probes = vec![Item::new(Rect::from_coords(2.2, 2.2, 3.8, 3.8), 500)];
+///
+/// let left = RTree::bulk_load(&mut env, &boxes).unwrap();
+/// let right = RTree::bulk_load(&mut env, &probes).unwrap();
+/// let result = StJoin::default()
+///     .with_buffer_pool_bytes(1 << 20)
+///     .run(&mut env, JoinInput::Indexed(&left), JoinInput::Indexed(&right))
+///     .unwrap();
+/// // The probe overlaps the 2x2 block of cells (2..=3, 2..=3).
+/// assert_eq!(result.pairs, 4);
+/// assert!(result.index_page_requests > 0);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct StJoin {
     /// Size of the LRU buffer pool in bytes (the paper gives ST 22 MB of the

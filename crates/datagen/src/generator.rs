@@ -1,7 +1,6 @@
 //! The synthetic road / hydrography generators.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use usj_geom::{Item, Point, Rect};
 
 /// Parameters controlling the road generator.
@@ -71,7 +70,7 @@ pub struct GeneratorConfig {
 /// A deterministic generator for one region of TIGER-like data.
 #[derive(Debug)]
 pub struct TigerLikeGenerator {
-    rng: StdRng,
+    rng: SmallRng,
     region: Rect,
     config: GeneratorConfig,
     counties: Vec<Point>,
@@ -83,7 +82,7 @@ impl TigerLikeGenerator {
     /// from the expected road count so that county density stays constant
     /// across presets.
     pub fn new(seed: u64, region: Rect, expected_roads: u64, config: GeneratorConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let n_counties = (expected_roads as usize / config.roads.segments_per_county).max(1);
         // Counties on a jittered grid, so clusters cover the region evenly
         // the way real counties tile a state.
@@ -96,8 +95,8 @@ impl TigerLikeGenerator {
                 if counties.len() >= n_counties {
                     break 'outer;
                 }
-                let cx = region.lo.x + (gx as f32 + 0.5 + rng.gen_range(-0.25..0.25)) * dx;
-                let cy = region.lo.y + (gy as f32 + 0.5 + rng.gen_range(-0.25..0.25)) * dy;
+                let cx = region.lo.x + (gx as f32 + 0.5 + rng.gen_range_f32(-0.25, 0.25)) * dx;
+                let cy = region.lo.y + (gy as f32 + 0.5 + rng.gen_range_f32(-0.25, 0.25)) * dy;
                 counties.push(Point::new(cx, cy));
             }
         }
@@ -126,12 +125,12 @@ impl TigerLikeGenerator {
     /// Approximate normal sample built from uniform draws (Irwin–Hall with
     /// 4 terms), good enough for clustering and free of extra dependencies.
     fn approx_normal(&mut self, mean: f32, sigma: f32) -> f32 {
-        let sum: f32 = (0..4).map(|_| self.rng.gen_range(-1.0f32..1.0)).sum();
+        let sum: f32 = (0..4).map(|_| self.rng.gen_range_f32(-1.0, 1.0)).sum();
         mean + sum * 0.5 * sigma * 1.73
     }
 
     fn random_county_point(&mut self) -> Point {
-        let idx = self.rng.gen_range(0..self.counties.len());
+        let idx = self.rng.gen_range_usize(0, self.counties.len());
         let c = self.counties[idx];
         let sigma = self.county_sigma;
         let x = self.approx_normal(c.x, sigma);
@@ -146,8 +145,8 @@ impl TigerLikeGenerator {
         let mut out = Vec::with_capacity(count as usize);
         for i in 0..count {
             let center = self.random_county_point();
-            let len = cfg.segment_len * self.rng.gen_range(0.4..1.6);
-            let thick = cfg.thickness * self.rng.gen_range(0.5..1.5);
+            let len = cfg.segment_len * self.rng.gen_range_f32(0.4, 1.6);
+            let thick = cfg.thickness * self.rng.gen_range_f32(0.5, 1.5);
             // Streets run mostly along the axes; give each a slight skew so
             // MBRs are not all perfectly degenerate.
             let horizontal = self.rng.gen_bool(0.5);
@@ -170,11 +169,11 @@ impl TigerLikeGenerator {
         // county and drift, crossing road clusters on the way.
         while (out.len() as u64) < river_target {
             let mut pos = self.random_county_point();
-            let mut heading: f32 = self.rng.gen_range(0.0..std::f32::consts::TAU);
+            let mut heading: f32 = self.rng.gen_range_f32(0.0, std::f32::consts::TAU);
             let steps = cfg.river_segments.min((river_target - out.len() as u64) as usize);
             for _ in 0..steps {
-                heading += self.rng.gen_range(-0.5..0.5);
-                let len = cfg.river_segment_len * self.rng.gen_range(0.6..1.4);
+                heading += self.rng.gen_range_f32(-0.5, 0.5);
+                let len = cfg.river_segment_len * self.rng.gen_range_f32(0.6, 1.4);
                 let dx = heading.cos() * len;
                 let dy = heading.sin() * len;
                 let next = self.clamp_point(Point::new(pos.x + dx, pos.y + dy));
@@ -194,7 +193,7 @@ impl TigerLikeGenerator {
         // Lakes and ponds: compact boxes near counties.
         while (out.len() as u64) < count {
             let center = self.random_county_point();
-            let side = cfg.lake_side * self.rng.gen_range(0.3..2.0);
+            let side = cfg.lake_side * self.rng.gen_range_f32(0.3, 2.0);
             let lo = self.clamp_point(Point::new(center.x - side * 0.5, center.y - side * 0.5));
             let hi = self.clamp_point(Point::new(center.x + side * 0.5, center.y + side * 0.5));
             out.push(Item::new(Rect::from_corners(lo, hi), id));
@@ -280,10 +279,14 @@ mod tests {
     fn data_is_clustered_not_uniform() {
         // Count occupied coarse grid cells: clustered data leaves a large
         // fraction of cells empty compared to a uniform scatter.
+        // A 32x32 grid over 4 000 points: a uniform scatter would leave
+        // almost no cell empty (expected occupancy ~98 %), while the county
+        // clustering empties a visible fraction of the cells (~75-85 %
+        // occupancy across seeds).
         let side = 100.0f32;
         let mut g = TigerLikeGenerator::new(4, region(side), 4_000, GeneratorConfig::default());
         let roads = g.roads(4_000, 0);
-        let cells = 20usize;
+        let cells = 32usize;
         let mut occupied = vec![false; cells * cells];
         for it in &roads {
             let c = it.rect.center();
@@ -292,7 +295,7 @@ mod tests {
             occupied[cy * cells + cx] = true;
         }
         let frac = occupied.iter().filter(|&&o| o).count() as f64 / (cells * cells) as f64;
-        assert!(frac < 0.95, "road data looks uniform (occupancy {frac})");
+        assert!(frac < 0.9, "road data looks uniform (occupancy {frac})");
         assert!(frac > 0.05, "road data collapsed into a point (occupancy {frac})");
     }
 

@@ -22,15 +22,19 @@
 //! pair per road object. The generator is deterministic given a seed.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod generator;
 pub mod preset;
+pub mod rng;
 pub mod workload;
 
 pub use generator::{GeneratorConfig, HydroConfig, RoadConfig};
 pub use preset::Preset;
 pub use workload::{DatasetStats, Workload, WorkloadSpec};
 
-#[cfg(test)]
+// Property-based tests need the external `proptest` crate, which the
+// offline build environment cannot provide; they are opt-in behind the
+// `proptest` feature (see KNOWN_FAILURES.md).
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

@@ -19,22 +19,33 @@ pub const HILBERT_SIDE: u32 = 1 << HILBERT_ORDER;
 ///
 /// `x` and `y` must be smaller than [`HILBERT_SIDE`]. The returned value is in
 /// `0 .. HILBERT_SIDE^2`.
-pub fn xy_to_hilbert(mut x: u32, mut y: u32) -> u64 {
-    debug_assert!(x < HILBERT_SIDE && y < HILBERT_SIDE);
+pub fn xy_to_hilbert(x: u32, y: u32) -> u64 {
+    xy_to_hilbert_on_side(HILBERT_SIDE, x, y)
+}
+
+/// [`xy_to_hilbert`] on a curve covering a `side` × `side` grid instead of
+/// the full [`HILBERT_SIDE`] grid. `side` must be a power of two; `x` and `y`
+/// must be smaller than `side`. The returned value is in `0 .. side^2`.
+///
+/// Coarse curves are used where a full-resolution Hilbert value would be
+/// wasted — e.g. ordering the cells of the parallel executor's shard grid.
+pub fn xy_to_hilbert_on_side(side: u32, mut x: u32, mut y: u32) -> u64 {
+    debug_assert!(side.is_power_of_two());
+    debug_assert!(x < side && y < side);
     let mut rx: u32;
     let mut ry: u32;
     let mut d: u64 = 0;
-    let mut s: u32 = HILBERT_SIDE / 2;
+    let mut s: u32 = side / 2;
     while s > 0 {
         rx = u32::from((x & s) > 0);
         ry = u32::from((y & s) > 0);
         d += u64::from(s) * u64::from(s) * u64::from((3 * rx) ^ ry);
         // Rotate the quadrant (the forward transform rotates within the full
-        // grid, hence HILBERT_SIDE - 1 rather than s - 1).
+        // grid, hence side - 1 rather than s - 1).
         if ry == 0 {
             if rx == 1 {
-                x = (HILBERT_SIDE - 1).wrapping_sub(x);
-                y = (HILBERT_SIDE - 1).wrapping_sub(y);
+                x = (side - 1).wrapping_sub(x);
+                y = (side - 1).wrapping_sub(y);
             }
             std::mem::swap(&mut x, &mut y);
         }
@@ -73,7 +84,8 @@ pub fn hilbert_to_xy(mut d: u64) -> (u32, u32) {
 /// Hilbert grid. Values outside the range are clamped.
 #[inline]
 pub fn quantize(v: f32, lo: f32, hi: f32) -> u32 {
-    if !(hi > lo) {
+    // Degenerate or NaN range: everything maps to cell 0.
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return 0;
     }
     let t = ((f64::from(v) - f64::from(lo)) / (f64::from(hi) - f64::from(lo))).clamp(0.0, 1.0);
@@ -102,6 +114,22 @@ mod tests {
                 assert_eq!(hilbert_to_xy(d), (x, y), "roundtrip failed for ({x},{y})");
             }
         }
+    }
+
+    #[test]
+    fn coarse_curve_matches_the_reference_order() {
+        // An order-3 (8x8) curve must be a bijection onto 0..64 and keep the
+        // adjacency property.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                seen.insert(xy_to_hilbert_on_side(8, x, y));
+            }
+        }
+        assert_eq!(seen.len(), 64);
+        assert!(seen.iter().all(|&d| d < 64));
+        // The full-resolution entry point agrees with the dedicated function.
+        assert_eq!(xy_to_hilbert_on_side(HILBERT_SIDE, 123, 456), xy_to_hilbert(123, 456));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   loading (Kamel & Faloutsos packing heuristic).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod hilbert;
 pub mod interval;
@@ -29,5 +29,8 @@ pub use item::{Item, ObjectId, ITEM_BYTES};
 pub use point::Point;
 pub use rect::Rect;
 
-#[cfg(test)]
+// Property-based tests need the external `proptest` crate, which the
+// offline build environment cannot provide; they are opt-in behind the
+// `proptest` feature (see KNOWN_FAILURES.md).
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

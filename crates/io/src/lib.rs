@@ -30,7 +30,7 @@
 //!   into the single environment value the join algorithms operate on.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod buffer;
 pub mod cost;

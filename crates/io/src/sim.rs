@@ -51,6 +51,28 @@ impl SimEnv {
         self
     }
 
+    /// Creates an independent *worker* environment: the same machine model
+    /// and internal-memory limit, but a fresh (empty) simulated disk and
+    /// zeroed CPU counters.
+    ///
+    /// This is the unit of isolation used by the parallel partitioned
+    /// executor: every shard of a `ParallelJoin` run (in the core crate)
+    /// gets its own forked environment, so per-shard I/O and CPU
+    /// accounting never interleave and can later be rolled up with
+    /// [`IoStats::merge`](crate::stats::IoStats::merge) /
+    /// [`CpuCounter::merge`](crate::stats::CpuCounter::merge). Forking does
+    /// not copy any pages: data a worker needs must be re-materialised in
+    /// (scattered to) the forked environment, which is exactly the
+    /// distribution cost a real partitioned system would pay.
+    pub fn fork(&self) -> SimEnv {
+        SimEnv {
+            device: BlockDevice::new(),
+            machine: self.machine.clone(),
+            cpu: CpuCounter::new(),
+            memory_limit: self.memory_limit,
+        }
+    }
+
     /// The cost model for this environment's machine.
     pub fn cost_model(&self) -> CostModel {
         CostModel::new(self.machine.clone())
@@ -111,6 +133,31 @@ mod tests {
         assert_eq!(env.memory_limit, DEFAULT_MEMORY_LIMIT);
         let env = env.with_memory_limit(1024);
         assert_eq!(env.memory_limit, 1024);
+    }
+
+    #[test]
+    fn fork_is_isolated_from_the_parent() {
+        let mut env = SimEnv::new(MachineConfig::machine2()).with_memory_limit(4096);
+        let p = env.device.allocate(2);
+        env.device.read_page(p).unwrap();
+        env.charge(CpuOp::Compare, 7);
+
+        let mut worker = env.fork();
+        // Same machine and memory budget...
+        assert_eq!(worker.machine, env.machine);
+        assert_eq!(worker.memory_limit, 4096);
+        // ...but a fresh disk and zeroed counters.
+        assert_eq!(worker.device.allocated_pages(), 0);
+        assert_eq!(worker.device.stats(), IoStats::default());
+        assert_eq!(worker.cpu.total(), 0);
+
+        // Traffic in the fork never shows up in the parent and vice versa.
+        let q = worker.device.allocate(3);
+        worker.device.read_page(q).unwrap();
+        worker.charge(CpuOp::HeapOp, 3);
+        assert_eq!(env.device.stats().read_ops(), 1);
+        assert_eq!(env.cpu.get(CpuOp::HeapOp), 0);
+        assert_eq!(worker.device.stats().read_ops(), 1);
     }
 
     #[test]

@@ -80,6 +80,16 @@ impl IoStats {
             pages_written: self.pages_written + other.pages_written,
         }
     }
+
+    /// Adds `other` into `self` component-wise.
+    ///
+    /// Used to roll the per-worker statistics of a parallel partitioned run
+    /// up into one aggregate: merging every worker's delta into the
+    /// coordinator's own delta yields exactly the traffic an equivalent
+    /// serial execution of all shards would have produced.
+    pub fn merge(&mut self, other: &IoStats) {
+        *self = self.combined(other);
+    }
 }
 
 /// Kinds of CPU work tracked by the deterministic CPU model.
@@ -181,6 +191,11 @@ impl CpuCounter {
         }
         out
     }
+
+    /// Adds `other` into `self` component-wise (see [`IoStats::merge`]).
+    pub fn merge(&mut self, other: &CpuCounter) {
+        *self = self.combined(other);
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +252,38 @@ mod tests {
         assert_eq!(c.get(CpuOp::HeapOp), 1);
         assert_eq!(c.get(CpuOp::RectTest), 0);
         assert_eq!(c.total(), 16);
+    }
+
+    #[test]
+    fn merge_is_in_place_combined() {
+        let mut a = IoStats {
+            seq_read_ops: 3,
+            rand_read_ops: 2,
+            seq_write_ops: 1,
+            rand_write_ops: 4,
+            pages_read: 10,
+            pages_written: 6,
+        };
+        let b = IoStats {
+            seq_read_ops: 1,
+            rand_read_ops: 1,
+            seq_write_ops: 0,
+            rand_write_ops: 2,
+            pages_read: 4,
+            pages_written: 3,
+        };
+        let combined = a.combined(&b);
+        a.merge(&b);
+        assert_eq!(a, combined);
+
+        let mut c = CpuCounter::new();
+        c.add(CpuOp::Compare, 5);
+        let mut d = CpuCounter::new();
+        d.add(CpuOp::Compare, 2);
+        d.add(CpuOp::HeapOp, 1);
+        let expect = c.combined(&d);
+        c.merge(&d);
+        assert_eq!(c, expect);
     }
 
     #[test]

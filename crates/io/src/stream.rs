@@ -211,10 +211,8 @@ impl ItemStreamReader {
 
     /// Returns the next record, or `None` at end of stream.
     pub fn next(&mut self, env: &mut SimEnv) -> Result<Option<Item>> {
-        if self.buffer_pos >= self.buffer.len() {
-            if !self.fill(env)? {
-                return Ok(None);
-            }
+        if self.buffer_pos >= self.buffer.len() && !self.fill(env)? {
+            return Ok(None);
         }
         let it = self.buffer[self.buffer_pos];
         self.buffer_pos += 1;

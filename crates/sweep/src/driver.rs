@@ -54,6 +54,21 @@ pub struct SweepJoinStats {
     pub max_resident: usize,
 }
 
+impl SweepJoinStats {
+    /// Accumulates `other` into `self`: counters are summed, peak sizes take
+    /// the maximum. Used when one logical join is executed as several sweeps
+    /// (PBSM partitions, parallel shards) whose statistics must roll up into
+    /// one summary.
+    pub fn merge(&mut self, other: &SweepJoinStats) {
+        self.pairs += other.pairs;
+        self.left_items += other.left_items;
+        self.right_items += other.right_items;
+        self.rect_tests += other.rect_tests;
+        self.max_structure_bytes = self.max_structure_bytes.max(other.max_structure_bytes);
+        self.max_resident = self.max_resident.max(other.max_resident);
+    }
+}
+
 /// A streaming plane-sweep join over two y-sorted inputs.
 #[derive(Debug)]
 pub struct SweepDriver<S: SweepStructure> {

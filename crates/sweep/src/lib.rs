@@ -21,7 +21,7 @@
 //! environment later converts into CPU time.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod driver;
 pub mod forward;
@@ -33,5 +33,8 @@ pub use forward::ForwardSweep;
 pub use striped::StripedSweep;
 pub use structure::{SweepStats, SweepStructure};
 
-#[cfg(test)]
+// Property-based tests need the external `proptest` crate, which the
+// offline build environment cannot provide; they are opt-in behind the
+// `proptest` feature (see KNOWN_FAILURES.md).
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

@@ -18,8 +18,9 @@
 //!   and the plane-sweep join driver.
 //! * [`datagen`] — TIGER-like synthetic workloads matching Table 2.
 //! * [`join`] — the four spatial-join algorithms (SSSJ, PBSM, ST and the
-//!   paper's new PQ join), the multi-way extension, and the cost model that
-//!   decides between indexed and non-indexed execution.
+//!   paper's new PQ join), the multi-way extension, the cost model that
+//!   decides between indexed and non-indexed execution, and the parallel
+//!   partitioned executor that shards any of them across a worker pool.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use usj_sweep as sweep;
 pub mod prelude {
     pub use usj_core::{
         cost::{CostBasedJoin, CostEstimate, JoinPlan},
+        parallel::{HilbertPartitioner, ParallelJoin, Partitioner, ShardMap, TilePartitioner},
         pbsm::PbsmJoin,
         pq::PqJoin,
         sssj::SssjJoin,
