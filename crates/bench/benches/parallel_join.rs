@@ -8,7 +8,7 @@
 use std::hint::black_box;
 use usj_bench::QuickBench;
 use usj_core::parallel::{HilbertPartitioner, ParallelJoin};
-use usj_core::{JoinInput, PqJoin, SpatialJoin};
+use usj_core::{JoinInput, JoinOperator, PqJoin};
 use usj_datagen::{Preset, WorkloadSpec};
 use usj_io::{ItemStream, MachineConfig, SimEnv};
 

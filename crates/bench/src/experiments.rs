@@ -1,8 +1,8 @@
 //! The experiments: one function per table/figure of the paper.
 
 use usj_core::{
-    cost::{crossover_fraction, CostBasedJoin},
-    JoinAlgorithm, JoinInput, PbsmJoin, PqJoin, SpatialJoin, SssjJoin, StJoin,
+    cost::crossover_fraction, Algo, JoinAlgorithm, JoinInput, JoinOperator, PbsmJoin, PqJoin,
+    SpatialQuery, SssjJoin, StJoin,
 };
 use usj_datagen::{Preset, WorkloadSpec};
 use usj_geom::Rect;
@@ -227,14 +227,15 @@ pub fn crossover(cfg: &ExperimentConfig) {
         let _ = (&roads_stream, &hydro_stream);
         env.device.reset_stats();
 
-        let selector = CostBasedJoin::default();
-        let est = selector
-            .estimate(
-                &mut env,
-                &JoinInput::Indexed(&roads_tree),
-                &JoinInput::Indexed(&hydro_tree),
-            )
-            .expect("estimate");
+        // The builder's Auto planner is the Section 6.3 selector.
+        let plan = SpatialQuery::new(
+            JoinInput::Indexed(&roads_tree),
+            JoinInput::Indexed(&hydro_tree),
+        )
+        .algorithm(Algo::Auto)
+        .plan(&mut env)
+        .expect("query plan");
+        let est = plan.cost.expect("auto plans carry the cost estimate");
 
         // Run both strategies to see what the right call was.
         env.device.reset_stats();

@@ -1,7 +1,7 @@
 //! Shared experiment set-up: workload generation, index construction and
 //! stream materialisation.
 
-use usj_core::{JoinInput, SpatialJoin};
+use usj_core::{JoinInput, JoinOperator, SpatialQuery};
 use usj_datagen::{Preset, Workload, WorkloadSpec};
 use usj_io::{ItemStream, MachineConfig, SimEnv};
 use usj_rtree::RTree;
@@ -106,7 +106,7 @@ impl PreparedWorkload {
     }
 
     /// Runs `join` on the indexed representation `(roads ⋈ hydro)`.
-    pub fn run_indexed<J: SpatialJoin>(&mut self, join: &J) -> usj_core::JoinResult {
+    pub fn run_indexed<J: JoinOperator>(&mut self, join: &J) -> usj_core::JoinResult {
         join.run(
             &mut self.env,
             JoinInput::Indexed(&self.roads_tree),
@@ -116,7 +116,7 @@ impl PreparedWorkload {
     }
 
     /// Runs `join` on the non-indexed representation `(roads ⋈ hydro)`.
-    pub fn run_streams<J: SpatialJoin>(&mut self, join: &J) -> usj_core::JoinResult {
+    pub fn run_streams<J: JoinOperator>(&mut self, join: &J) -> usj_core::JoinResult {
         join.run(
             &mut self.env,
             JoinInput::Stream(&self.roads_stream),
@@ -126,25 +126,24 @@ impl PreparedWorkload {
     }
 
     /// Runs one of the four algorithms on its natural input representation
-    /// (indexed for PQ/ST, flat streams for SSSJ/PBSM), as in the paper.
+    /// (indexed for PQ/ST, flat streams for SSSJ/PBSM), as in the paper —
+    /// driven through the [`SpatialQuery`] builder.
     pub fn run_algorithm(&mut self, alg: usj_core::JoinAlgorithm) -> usj_core::JoinResult {
         use usj_core::JoinAlgorithm as A;
-        match alg {
-            A::Pq | A::St => alg
-                .run(
-                    &mut self.env,
-                    JoinInput::Indexed(&self.roads_tree),
-                    JoinInput::Indexed(&self.hydro_tree),
-                )
-                .expect("indexed join"),
-            A::Sssj | A::Pbsm => alg
-                .run(
-                    &mut self.env,
-                    JoinInput::Stream(&self.roads_stream),
-                    JoinInput::Stream(&self.hydro_stream),
-                )
-                .expect("stream join"),
-        }
+        let (left, right) = match alg {
+            A::Pq | A::St => (
+                JoinInput::Indexed(&self.roads_tree),
+                JoinInput::Indexed(&self.hydro_tree),
+            ),
+            A::Sssj | A::Pbsm => (
+                JoinInput::Stream(&self.roads_stream),
+                JoinInput::Stream(&self.hydro_stream),
+            ),
+        };
+        SpatialQuery::new(left, right)
+            .algorithm(alg.into())
+            .run(&mut self.env)
+            .expect("join through the query builder")
     }
 
     /// Resets the device statistics and head position before a measurement.

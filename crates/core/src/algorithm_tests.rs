@@ -5,7 +5,7 @@ use usj_datagen::{Preset, WorkloadSpec};
 use usj_io::{ItemStream, MachineConfig, SimEnv};
 use usj_rtree::RTree;
 
-use crate::{JoinAlgorithm, JoinInput, SpatialJoin};
+use crate::{JoinAlgorithm, JoinInput, JoinOperator};
 
 fn env() -> SimEnv {
     SimEnv::new(MachineConfig::machine3())

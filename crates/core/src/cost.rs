@@ -22,8 +22,9 @@ use usj_io::{MachineConfig, Result, SimEnv, PAGE_SIZE};
 use crate::input::JoinInput;
 use crate::pq::PqJoin;
 use crate::result::JoinResult;
+use crate::sink::{CountSink, PairSink};
 use crate::sssj::SssjJoin;
-use crate::SpatialJoin;
+use crate::JoinOperator;
 
 /// The execution strategy chosen by the cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,20 +186,35 @@ impl CostBasedJoin {
         })
     }
 
-    /// Estimates, picks the cheaper strategy and runs it.
+    /// Estimates, picks the cheaper strategy and runs it, streaming the
+    /// output pairs to `sink`.
+    pub fn run_with(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'_>,
+        right: JoinInput<'_>,
+        sink: &mut dyn PairSink,
+    ) -> Result<(JoinPlan, CostEstimate, JoinResult)> {
+        let estimate = self.estimate(env, &left, &right)?;
+        let plan = self.force_plan.unwrap_or_else(|| estimate.plan());
+        let result = match plan {
+            JoinPlan::Indexed => PqJoin::default()
+                .with_pruning()
+                .run_with(env, left, right, sink)?,
+            JoinPlan::NonIndexed => SssjJoin::default().run_with(env, left, right, sink)?,
+        };
+        Ok((plan, estimate, result))
+    }
+
+    /// Estimates, picks the cheaper strategy and runs it, discarding the
+    /// output pairs.
     pub fn run(
         &self,
         env: &mut SimEnv,
         left: JoinInput<'_>,
         right: JoinInput<'_>,
     ) -> Result<(JoinPlan, CostEstimate, JoinResult)> {
-        let estimate = self.estimate(env, &left, &right)?;
-        let plan = self.force_plan.unwrap_or_else(|| estimate.plan());
-        let result = match plan {
-            JoinPlan::Indexed => PqJoin::default().with_pruning().run(env, left, right)?,
-            JoinPlan::NonIndexed => SssjJoin::default().run(env, left, right)?,
-        };
-        Ok((plan, estimate, result))
+        self.run_with(env, left, right, &mut CountSink::default())
     }
 }
 

@@ -61,7 +61,12 @@ impl<'a> JoinInput<'a> {
 
     /// Materialises the relation as a y-sorted stream plus its bounding box.
     ///
-    /// * A `SortedStream` is returned as-is (its bounding box is recomputed
+    /// `bbox_hint` is honoured for *every* variant: a caller that already
+    /// knows the data-space extent (a region-hinted join, an indexed input's
+    /// root rectangle) gets it echoed back instead of the bbox folded during
+    /// the sort, so downstream consumers see a consistent region.
+    ///
+    /// * A `SortedStream` is returned as-is (its bounding box is scanned
     ///   only if `bbox_hint` is absent).
     /// * A `Stream` is sorted with the external mergesort.
     /// * An `Indexed` relation is *dumped*: every node is read once in page
@@ -83,13 +88,13 @@ impl<'a> JoinInput<'a> {
             }
             JoinInput::Stream(s) => {
                 let (sorted, stats) = extsort::external_sort_by(env, s, usj_geom::Item::cmp_by_lower_y)?;
-                Ok((sorted, stats.bbox))
+                Ok((sorted, bbox_hint.unwrap_or(stats.bbox)))
             }
             JoinInput::Indexed(tree) => {
                 let dumped = dump_tree(env, tree)?;
                 let (sorted, stats) =
                     extsort::external_sort_by(env, &dumped, usj_geom::Item::cmp_by_lower_y)?;
-                Ok((sorted, stats.bbox))
+                Ok((sorted, bbox_hint.unwrap_or(stats.bbox)))
             }
         }
     }
@@ -210,6 +215,21 @@ mod tests {
             assert!(bbox1.contains(&it.rect));
             assert!(bbox2.contains(&it.rect));
         }
+    }
+
+    #[test]
+    fn bbox_hint_is_honoured_for_stream_and_indexed_variants() {
+        let mut env = env();
+        let data = items(300);
+        let s = ItemStream::from_items(&mut env, &data).unwrap();
+        let tree = RTree::bulk_load(&mut env, &data).unwrap();
+        let hint = Rect::from_coords(-5.0, -5.0, 500.0, 500.0);
+        let (_, b1) = JoinInput::Stream(&s).to_sorted_stream(&mut env, Some(hint)).unwrap();
+        let (_, b2) = JoinInput::Indexed(&tree)
+            .to_sorted_stream(&mut env, Some(hint))
+            .unwrap();
+        assert_eq!(b1, hint);
+        assert_eq!(b2, hint);
     }
 
     #[test]

@@ -36,16 +36,24 @@ pub mod multiway;
 pub mod parallel;
 pub mod pbsm;
 pub mod pq;
+pub mod predicate;
+pub mod query;
 pub mod result;
+pub mod sink;
 pub mod sssj;
 pub mod st;
 
 pub use cost::{CostBasedJoin, CostEstimate, JoinPlan};
+pub use histogram::GridHistogram;
 pub use input::JoinInput;
+pub use multiway::MultiwayJoin;
 pub use parallel::{HilbertPartitioner, ParallelJoin, Partitioner, ShardMap, TilePartitioner};
 pub use pbsm::PbsmJoin;
 pub use pq::PqJoin;
+pub use predicate::Predicate;
+pub use query::{Algo, Execution, PartitionStrategy, QueryPlan, SpatialQuery};
 pub use result::{JoinResult, MemoryStats};
+pub use sink::{CollectSink, CountSink, LimitSink, PairSink, SampleSink, TripleSink};
 pub use sssj::SssjJoin;
 pub use st::StJoin;
 
@@ -99,40 +107,54 @@ impl JoinAlgorithm {
 
     /// Runs the algorithm with its default configuration, discarding the
     /// output pairs (the paper's measurements exclude writing the output).
+    ///
+    /// This routes through [`SpatialQuery`], the single algorithm-dispatch
+    /// site of the crate.
     pub fn run(
         self,
         env: &mut SimEnv,
         left: JoinInput<'_>,
         right: JoinInput<'_>,
     ) -> Result<JoinResult> {
-        match self {
-            JoinAlgorithm::Sssj => SssjJoin::default().run(env, left, right),
-            JoinAlgorithm::Pbsm => PbsmJoin::default().run(env, left, right),
-            JoinAlgorithm::Pq => PqJoin::default().run(env, left, right),
-            JoinAlgorithm::St => StJoin::default().run(env, left, right),
-        }
+        SpatialQuery::new(left, right).algorithm(self.into()).run(env)
     }
 }
 
-/// The interface shared by the four join implementations.
-pub trait SpatialJoin {
+/// The interface shared by the join implementations (the four serial
+/// algorithms and the parallel executor wrapping them).
+///
+/// Output pairs stream through a [`PairSink`], whose
+/// [`ControlFlow`](std::ops::ControlFlow)-returning
+/// [`emit`](PairSink::emit) lets consumers stop the join early (LIMIT-style
+/// queries). A stopped join returns normally with the accounting of the work
+/// it actually performed; [`JoinResult::pairs`] counts the pairs delivered to
+/// the sink.
+pub trait JoinOperator {
     /// Human-readable algorithm name.
     fn name(&self) -> &'static str;
 
-    /// Runs the join, reporting every intersecting `(left_id, right_id)` pair
-    /// to `sink` and returning the accounting summary.
+    /// The pair-selection predicate this operator evaluates.
+    ///
+    /// Wrappers (the parallel executor) use this to keep their replication
+    /// and deduplication geometry consistent with the inner operator.
+    fn predicate(&self) -> Predicate {
+        Predicate::Intersects
+    }
+
+    /// Runs the join, streaming every accepted `(left_id, right_id)` pair to
+    /// `sink` and returning the accounting summary.
     fn run_with(
         &self,
         env: &mut SimEnv,
         left: JoinInput<'_>,
         right: JoinInput<'_>,
-        sink: &mut dyn FnMut(u32, u32),
+        sink: &mut dyn PairSink,
     ) -> Result<JoinResult>;
 
     /// Runs the join discarding the output pairs (the paper measures the
     /// filter step excluding output writing).
     fn run(&self, env: &mut SimEnv, left: JoinInput<'_>, right: JoinInput<'_>) -> Result<JoinResult> {
-        self.run_with(env, left, right, &mut |_, _| {})
+        self.run_with(env, left, right, &mut CountSink::default())
     }
 
     /// Runs the join and collects the output pairs in memory (intended for
@@ -143,11 +165,77 @@ pub trait SpatialJoin {
         left: JoinInput<'_>,
         right: JoinInput<'_>,
     ) -> Result<(JoinResult, Vec<(u32, u32)>)> {
-        let mut out = Vec::new();
-        let res = self.run_with(env, left, right, &mut |a, b| out.push((a, b)))?;
-        Ok((res, out))
+        let mut sink = CollectSink::default();
+        let res = self.run_with(env, left, right, &mut sink)?;
+        Ok((res, sink.pairs))
     }
 }
+
+/// Boxed operators forward to their contents, so heterogeneous algorithm
+/// choices (the query planner's) can flow through generic executors.
+impl JoinOperator for Box<dyn JoinOperator + Send + Sync> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn predicate(&self) -> Predicate {
+        (**self).predicate()
+    }
+
+    fn run_with(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'_>,
+        right: JoinInput<'_>,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinResult> {
+        (**self).run_with(env, left, right, sink)
+    }
+}
+
+/// The pre-0.2 join interface: a bare `FnMut(u32, u32)` output callback.
+///
+/// Kept for one release as a thin shim over [`JoinOperator`] so existing
+/// callers keep compiling; it cannot express predicates or early
+/// termination. Every `JoinOperator` automatically implements it. Note that
+/// importing *both* traits makes `run`/`run_collect` calls ambiguous — switch
+/// imports to `JoinOperator` (or drive joins through [`SpatialQuery`])
+/// instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `JoinOperator` with a `PairSink`, or the `SpatialQuery` builder"
+)]
+pub trait SpatialJoin: JoinOperator {
+    /// Runs the join, reporting every intersecting `(left_id, right_id)` pair
+    /// to `sink` and returning the accounting summary.
+    fn run_with(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'_>,
+        right: JoinInput<'_>,
+        sink: &mut dyn FnMut(u32, u32),
+    ) -> Result<JoinResult> {
+        JoinOperator::run_with(self, env, left, right, &mut |a: u32, b: u32| sink(a, b))
+    }
+
+    /// Runs the join discarding the output pairs.
+    fn run(&self, env: &mut SimEnv, left: JoinInput<'_>, right: JoinInput<'_>) -> Result<JoinResult> {
+        JoinOperator::run(self, env, left, right)
+    }
+
+    /// Runs the join and collects the output pairs in memory.
+    fn run_collect(
+        &self,
+        env: &mut SimEnv,
+        left: JoinInput<'_>,
+        right: JoinInput<'_>,
+    ) -> Result<(JoinResult, Vec<(u32, u32)>)> {
+        JoinOperator::run_collect(self, env, left, right)
+    }
+}
+
+#[allow(deprecated)]
+impl<T: JoinOperator + ?Sized> SpatialJoin for T {}
 
 #[cfg(test)]
 mod algorithm_tests;

@@ -8,14 +8,21 @@
 //! the first sweep become "composite" rectangles (the intersection of the two
 //! partners, which is produced in ascending lower-y order) and stream into a
 //! second sweep against the third relation.
+//!
+//! Output triples stream through a [`TripleSink`], so LIMIT-style early
+//! termination works across the whole cascade.
 
-use usj_geom::{Item, Rect};
+use usj_geom::Item;
 use usj_io::{CpuOp, Result, SimEnv};
 use usj_sweep::{Side, StripedSweep, SweepDriver};
 
 use crate::input::JoinInput;
 use crate::pq::PqJoin;
 use crate::result::MemoryStats;
+use crate::sink::TripleSink;
+
+/// An output triple of object identifiers `(a_id, b_id, c_id)`.
+pub type Triple = (u32, u32, u32);
 
 /// Result of a 3-way intersection join.
 #[derive(Debug, Clone, Default)]
@@ -33,14 +40,84 @@ pub struct MultiwayResult {
     pub memory: MemoryStats,
 }
 
-/// Runs the cascaded 3-way intersection join `(a ⋈ b) ⋈ c`, reporting every
+/// The cascaded 3-way intersection join `(a ⋈ b) ⋈ c` (Section 4).
+///
+/// A configuration type so the facade can expose the multi-way join next to
+/// the two-way operators; today it has no knobs beyond its existence.
+///
+/// # Example
+///
+/// ```
+/// use usj_core::{JoinInput, MultiwayJoin};
+/// use usj_geom::{Item, Rect};
+/// use usj_io::{ItemStream, MachineConfig, SimEnv};
+///
+/// let mut env = SimEnv::new(MachineConfig::machine3());
+/// let sq = |x: f32, y: f32, id| Item::new(Rect::from_coords(x, y, x + 2.0, y + 2.0), id);
+/// let a = ItemStream::from_items(&mut env, &[sq(0.0, 0.0, 1)]).unwrap();
+/// let b = ItemStream::from_items(&mut env, &[sq(1.0, 1.0, 2)]).unwrap();
+/// let c = ItemStream::from_items(&mut env, &[sq(1.5, 1.5, 3)]).unwrap();
+/// let (res, triples) = MultiwayJoin
+///     .run_collect(
+///         &mut env,
+///         JoinInput::Stream(&a),
+///         JoinInput::Stream(&b),
+///         JoinInput::Stream(&c),
+///     )
+///     .unwrap();
+/// assert_eq!(res.triples, 1);
+/// assert_eq!(triples, vec![(1, 2, 3)]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiwayJoin;
+
+impl MultiwayJoin {
+    /// Runs the cascade, reporting every triple of identifiers to `sink`.
+    pub fn run_with(
+        &self,
+        env: &mut SimEnv,
+        a: JoinInput<'_>,
+        b: JoinInput<'_>,
+        c: JoinInput<'_>,
+        sink: &mut dyn TripleSink,
+    ) -> Result<MultiwayResult> {
+        three_way_join(env, a, b, c, sink)
+    }
+
+    /// Runs the cascade discarding the output triples.
+    pub fn run(
+        &self,
+        env: &mut SimEnv,
+        a: JoinInput<'_>,
+        b: JoinInput<'_>,
+        c: JoinInput<'_>,
+    ) -> Result<MultiwayResult> {
+        self.run_with(env, a, b, c, &mut |_, _, _| {})
+    }
+
+    /// Runs the cascade collecting the triples in memory (tests, small
+    /// workloads).
+    pub fn run_collect(
+        &self,
+        env: &mut SimEnv,
+        a: JoinInput<'_>,
+        b: JoinInput<'_>,
+        c: JoinInput<'_>,
+    ) -> Result<(MultiwayResult, Vec<Triple>)> {
+        let mut out = Vec::new();
+        let res = self.run_with(env, a, b, c, &mut |x, y, z| out.push((x, y, z)))?;
+        Ok((res, out))
+    }
+}
+
+/// Runs the cascaded 3-way intersection join `(a ⋈ b) ⋈ c`, streaming every
 /// triple of identifiers to `sink`.
 pub fn three_way_join(
     env: &mut SimEnv,
     a: JoinInput<'_>,
     b: JoinInput<'_>,
     c: JoinInput<'_>,
-    sink: &mut dyn FnMut(u32, u32, u32),
+    sink: &mut dyn TripleSink,
 ) -> Result<MultiwayResult> {
     let measurement = env.begin();
     let pq = PqJoin::default();
@@ -58,19 +135,16 @@ pub fn three_way_join(
 
     // Composite bookkeeping: composite id -> (a_id, b_id).
     let mut composites: Vec<(u32, u32)> = Vec::new();
-    // Rectangles of items seen by the first sweep, needed to build the
-    // intersection rectangle of a reported pair. Keyed by id.
-    let mut a_rects: std::collections::HashMap<u32, Rect> = std::collections::HashMap::new();
-    let mut b_rects: std::collections::HashMap<u32, Rect> = std::collections::HashMap::new();
 
     let mut triples = 0u64;
     let mut intermediate = 0u64;
+    let mut done = false;
 
     let mut a_next = a_src.next(env)?;
     let mut b_next = b_src.next(env)?;
     let mut c_next = c_src.next(env)?;
 
-    while a_next.is_some() || b_next.is_some() {
+    while !done && (a_next.is_some() || b_next.is_some()) {
         // Which of the two first-join inputs supplies the next event?
         let take_a = match (&a_next, &b_next) {
             (Some(x), Some(y)) => {
@@ -95,10 +169,16 @@ pub fn three_way_join(
                 c_next = Some(citem);
                 break;
             }
-            second.push(Side::Right, citem, |comp_id, c_id| {
-                let (aid, bid) = composites[comp_id as usize];
-                triples += 1;
-                sink(aid, bid, c_id);
+            second.push(Side::Right, citem, |comp, cit| {
+                if done {
+                    return;
+                }
+                let (aid, bid) = composites[comp.id as usize];
+                if sink.emit(aid, bid, cit.id).is_break() {
+                    done = true;
+                } else {
+                    triples += 1;
+                }
             });
             c_next = c_src.next(env)?;
         }
@@ -106,38 +186,48 @@ pub fn three_way_join(
         // Advance the first sweep; every reported pair becomes a composite
         // rectangle pushed into the second sweep immediately (its lower-y is
         // exactly event_y, so ordering is preserved).
-        let mut produced: Vec<(u32, u32)> = Vec::new();
+        let mut produced: Vec<(Item, Item)> = Vec::new();
         if take_a {
-            a_rects.insert(event.id, event.rect);
-            first.push(Side::Left, event, |x, y| produced.push((x, y)));
+            first.push(Side::Left, event, |x, y| produced.push((*x, *y)));
             a_next = a_src.next(env)?;
         } else {
-            b_rects.insert(event.id, event.rect);
-            first.push(Side::Right, event, |x, y| produced.push((x, y)));
+            first.push(Side::Right, event, |x, y| produced.push((*x, *y)));
             b_next = b_src.next(env)?;
         }
-        for (aid, bid) in produced {
+        for (ia, ib) in produced {
             intermediate += 1;
-            let ra = a_rects[&aid];
-            let rb = b_rects[&bid];
-            let inter = ra
-                .intersection(&rb)
+            let inter = ia
+                .rect
+                .intersection(&ib.rect)
                 .expect("reported pairs always intersect");
             let comp_id = composites.len() as u32;
-            composites.push((aid, bid));
-            second.push(Side::Left, Item::new(inter, comp_id), |comp_id, c_id| {
-                let (aid, bid) = composites[comp_id as usize];
-                triples += 1;
-                sink(aid, bid, c_id);
+            composites.push((ia.id, ib.id));
+            second.push(Side::Left, Item::new(inter, comp_id), |comp, cit| {
+                if done {
+                    return;
+                }
+                let (aid, bid) = composites[comp.id as usize];
+                if sink.emit(aid, bid, cit.id).is_break() {
+                    done = true;
+                } else {
+                    triples += 1;
+                }
             });
         }
     }
     // Remaining c items may still match composites already in the structure.
-    while let Some(citem) = c_next {
-        second.push(Side::Right, citem, |comp_id, c_id| {
-            let (aid, bid) = composites[comp_id as usize];
-            triples += 1;
-            sink(aid, bid, c_id);
+    while !done {
+        let Some(citem) = c_next else { break };
+        second.push(Side::Right, citem, |comp, cit| {
+            if done {
+                return;
+            }
+            let (aid, bid) = composites[comp.id as usize];
+            if sink.emit(aid, bid, cit.id).is_break() {
+                done = true;
+            } else {
+                triples += 1;
+            }
         });
         c_next = c_src.next(env)?;
     }
@@ -165,6 +255,8 @@ pub fn three_way_join(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::ops::ControlFlow;
+    use usj_geom::Rect;
     use usj_io::{ItemStream, MachineConfig};
     use usj_rtree::RTree;
 
@@ -236,14 +328,14 @@ mod tests {
         let empty = ItemStream::from_items(&mut env, &[]).unwrap();
         let sa = ItemStream::from_items(&mut env, &a).unwrap();
         let sb = ItemStream::from_items(&mut env, &b).unwrap();
-        let res = three_way_join(
-            &mut env,
-            JoinInput::Stream(&sa),
-            JoinInput::Stream(&sb),
-            JoinInput::Stream(&empty),
-            &mut |_, _, _| {},
-        )
-        .unwrap();
+        let res = MultiwayJoin
+            .run(
+                &mut env,
+                JoinInput::Stream(&sa),
+                JoinInput::Stream(&sb),
+                JoinInput::Stream(&empty),
+            )
+            .unwrap();
         assert_eq!(res.triples, 0);
         assert!(res.intermediate_pairs > 0);
     }
@@ -257,15 +349,56 @@ mod tests {
         let sa = ItemStream::from_items(&mut env, &a).unwrap();
         let sb = ItemStream::from_items(&mut env, &b).unwrap();
         let sc = ItemStream::from_items(&mut env, &c).unwrap();
-        let res = three_way_join(
-            &mut env,
-            JoinInput::Stream(&sa),
-            JoinInput::Stream(&sb),
-            JoinInput::Stream(&sc),
-            &mut |_, _, _| {},
-        )
-        .unwrap();
+        let res = MultiwayJoin
+            .run(
+                &mut env,
+                JoinInput::Stream(&sa),
+                JoinInput::Stream(&sb),
+                JoinInput::Stream(&sc),
+            )
+            .unwrap();
         assert_eq!(res.triples, brute_triples(&a, &b, &c));
         assert_eq!(res.index_page_requests, 0);
+    }
+
+    /// A sink that stops the cascade after `limit` triples.
+    struct TripleLimit {
+        limit: u64,
+        got: u64,
+    }
+
+    impl TripleSink for TripleLimit {
+        fn emit(&mut self, _: u32, _: u32, _: u32) -> ControlFlow<()> {
+            if self.got >= self.limit {
+                return ControlFlow::Break(());
+            }
+            self.got += 1;
+            ControlFlow::Continue(())
+        }
+    }
+
+    #[test]
+    fn limited_sink_stops_the_cascade_early() {
+        let mut env = env();
+        let a = scatter(80, 11, 5.0, 0);
+        let b = scatter(80, 12, 5.0, 10_000);
+        let c = scatter(80, 13, 5.0, 20_000);
+        let total = brute_triples(&a, &b, &c);
+        assert!(total > 5);
+        let sa = ItemStream::from_items(&mut env, &a).unwrap();
+        let sb = ItemStream::from_items(&mut env, &b).unwrap();
+        let sc = ItemStream::from_items(&mut env, &c).unwrap();
+        let mut sink = TripleLimit { limit: 3, got: 0 };
+        let res = MultiwayJoin
+            .run_with(
+                &mut env,
+                JoinInput::Stream(&sa),
+                JoinInput::Stream(&sb),
+                JoinInput::Stream(&sc),
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(res.triples, 3);
+        assert_eq!(sink.got, 3);
     }
 }

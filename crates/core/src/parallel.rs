@@ -4,7 +4,7 @@
 //! This module adds the first step towards the sharded architecture the
 //! roadmap calls for: both inputs are split into `K` *spatial shards*, the
 //! shards are fanned out across a pool of `std::thread` workers, and every
-//! worker runs an ordinary serial [`SpatialJoin`] (PQ, PBSM, SSSJ or ST)
+//! worker runs an ordinary serial [`JoinOperator`] (PQ, PBSM, SSSJ or ST)
 //! against its own private [`SimEnv`] obtained with [`SimEnv::fork`] — its
 //! own simulated disk, its own I/O and CPU counters.
 //!
@@ -38,8 +38,10 @@ use usj_io::{CpuOp, ItemStream, Result, SimEnv};
 use usj_rtree::RTree;
 
 use crate::input::JoinInput;
+use crate::predicate::Predicate;
 use crate::result::JoinResult;
-use crate::SpatialJoin;
+use crate::sink::PairSink;
+use crate::JoinOperator;
 
 /// Default number of grid cells per axis used by both partitioners.
 ///
@@ -248,7 +250,7 @@ impl Partitioner for HilbertPartitioner {
 #[derive(Debug, Clone)]
 pub struct ParallelRun {
     /// The merged, externally visible result — what
-    /// [`SpatialJoin::run_with`] returns.
+    /// [`JoinOperator::run_with`] returns.
     pub total: JoinResult,
     /// The coordinator's own share: reading the inputs and scattering the
     /// shards (its `pairs` is always zero).
@@ -258,12 +260,15 @@ pub struct ParallelRun {
     pub shards: Vec<JoinResult>,
 }
 
-/// A partition-parallel executor wrapping any serial [`SpatialJoin`].
+/// A partition-parallel executor wrapping any serial [`JoinOperator`].
 ///
 /// See the [module documentation](self) for the partitioning and
-/// deduplication scheme. The executor is itself a [`SpatialJoin`], so it
+/// deduplication scheme. The executor is itself a [`JoinOperator`], so it
 /// composes with everything that accepts one (the experiment harness, the
-/// cost-based selector's plan runners, …).
+/// cost-based selector's plan runners, the query builder, …). The inner
+/// operator's [`predicate`](JoinOperator::predicate) is honoured: its
+/// ε-expansion is applied to the replication and deduplication geometry, so
+/// distance joins shard exactly like intersection joins.
 ///
 /// The executor reports exactly the serial algorithms' *pair set*, in an
 /// order that is deterministic (shards are drained in shard order) but
@@ -279,7 +284,7 @@ pub struct ParallelRun {
 ///
 /// ```
 /// use usj_core::parallel::{HilbertPartitioner, ParallelJoin};
-/// use usj_core::{JoinInput, PqJoin, SpatialJoin};
+/// use usj_core::{JoinInput, JoinOperator, PqJoin};
 /// use usj_geom::{Item, Rect};
 /// use usj_io::{ItemStream, MachineConfig, SimEnv};
 ///
@@ -320,7 +325,7 @@ pub struct ParallelJoin<J, P> {
     index_shards: bool,
 }
 
-impl<J: SpatialJoin + Sync, P: Partitioner> ParallelJoin<J, P> {
+impl<J: JoinOperator + Sync, P: Partitioner> ParallelJoin<J, P> {
     /// Wraps `inner` with `partitioner`, defaulting to one shard and one
     /// worker thread per available CPU (at most 8 by default — raise it
     /// explicitly for wider machines).
@@ -381,16 +386,17 @@ impl<J: SpatialJoin + Sync, P: Partitioner> ParallelJoin<J, P> {
     }
 
     /// Runs the join and returns the per-shard accounting breakdown along
-    /// with the merged total. [`SpatialJoin::run_with`] is a thin wrapper
+    /// with the merged total. [`JoinOperator::run_with`] is a thin wrapper
     /// over this method.
     pub fn run_detailed(
         &self,
         env: &mut SimEnv,
         left: JoinInput<'_>,
         right: JoinInput<'_>,
-        sink: &mut dyn FnMut(u32, u32),
+        sink: &mut dyn PairSink,
     ) -> Result<ParallelRun> {
         let measurement = env.begin();
+        let eps = self.inner.predicate().epsilon();
 
         let left_stream = left.to_stream(env)?;
         let right_stream = right.to_stream(env)?;
@@ -427,22 +433,26 @@ impl<J: SpatialJoin + Sync, P: Partitioner> ParallelJoin<J, P> {
         let shards = map.shards();
 
         // Scatter both inputs into per-shard buffers, replicating every
-        // rectangle into each shard whose cells it overlaps.
-        let scatter = |env: &mut SimEnv, stream: &ItemStream| -> Result<Vec<Vec<Item>>> {
-            let mut parts: Vec<Vec<Item>> = vec![Vec::new(); shards];
-            let mut reader = stream.reader();
-            let mut targets = Vec::with_capacity(4);
-            while let Some(it) = reader.next(env)? {
-                map.shards_of_rect(&it.rect, &mut targets);
-                env.charge(CpuOp::ItemMove, targets.len() as u64);
-                for &p in &targets {
-                    parts[p].push(it);
+        // rectangle into each shard whose cells it overlaps. Left rectangles
+        // are *targeted* with their ε-expansion (so near-miss partners of a
+        // distance join meet in at least one shard) but stored unexpanded —
+        // the inner operator applies its own predicate expansion.
+        let scatter =
+            |env: &mut SimEnv, stream: &ItemStream, expand: f32| -> Result<Vec<Vec<Item>>> {
+                let mut parts: Vec<Vec<Item>> = vec![Vec::new(); shards];
+                let mut reader = stream.reader();
+                let mut targets = Vec::with_capacity(4);
+                while let Some(it) = reader.next(env)? {
+                    map.shards_of_rect(&it.rect.expanded(expand), &mut targets);
+                    env.charge(CpuOp::ItemMove, targets.len() as u64);
+                    for &p in &targets {
+                        parts[p].push(it);
+                    }
                 }
-            }
-            Ok(parts)
-        };
-        let shard_left = scatter(env, &left_stream)?;
-        let shard_right = scatter(env, &right_stream)?;
+                Ok(parts)
+            };
+        let shard_left = scatter(env, &left_stream, eps)?;
+        let shard_right = scatter(env, &right_stream, 0.0)?;
 
         // Coordinator accounting closes here: reading the inputs plus the
         // scatter CPU work. The in-memory scatter buffers are its working
@@ -488,6 +498,7 @@ impl<J: SpatialJoin + Sync, P: Partitioner> ParallelJoin<J, P> {
                         map_ref,
                         i,
                         index_shards,
+                        eps,
                     );
                     *slots_ref[i].lock().unwrap() = Some(outcome);
                 });
@@ -495,20 +506,34 @@ impl<J: SpatialJoin + Sync, P: Partitioner> ParallelJoin<J, P> {
         });
 
         // Merge in shard order, so the report — and the order pairs reach
-        // the sink — is deterministic regardless of the thread count.
+        // the sink — is deterministic regardless of the thread count. When
+        // the sink stops the drain early, the shard work is already done (the
+        // accounting still rolls up completely) but only the delivered pairs
+        // are counted.
         let mut total = coordinator.clone();
         let mut shard_results = Vec::with_capacity(shards);
+        let mut delivered = 0u64;
+        let mut done = false;
         for slot in slots {
             let (result, pairs) = slot
                 .into_inner()
                 .expect("worker poisoned a result slot")
                 .expect("worker exited without reporting its shard")?;
             for &(a, b) in &pairs {
-                sink(a, b);
+                if done {
+                    break;
+                }
+                if sink.emit(a, b).is_break() {
+                    done = true;
+                } else {
+                    delivered += 1;
+                }
             }
             total.merge(&result);
             shard_results.push(result);
         }
+        total.pairs = delivered;
+        total.sweep.pairs = delivered;
         Ok(ParallelRun {
             total,
             coordinator,
@@ -522,7 +547,8 @@ type ShardSlot = Mutex<Option<Result<(JoinResult, Vec<(u32, u32)>)>>>;
 
 /// Joins one shard on its own forked environment, returning the shard's
 /// accounting and its deduplicated pairs.
-fn run_shard<J: SpatialJoin>(
+#[allow(clippy::too_many_arguments)]
+fn run_shard<J: JoinOperator>(
     mut wenv: SimEnv,
     inner: &J,
     left_items: &[Item],
@@ -530,6 +556,7 @@ fn run_shard<J: SpatialJoin>(
     map: &ShardMap,
     shard: usize,
     index_shards: bool,
+    eps: f32,
 ) -> Result<(JoinResult, Vec<(u32, u32)>)> {
     let mut pairs = Vec::new();
     if left_items.is_empty() || right_items.is_empty() {
@@ -545,11 +572,13 @@ fn run_shard<J: SpatialJoin>(
     debug_assert_eq!(left_rects.len(), left_items.len(), "duplicate ids in the left input");
     debug_assert_eq!(right_rects.len(), right_items.len(), "duplicate ids in the right input");
     let mut dedup_sink = |a: u32, b: u32| {
-        let ra = &left_rects[&a];
+        // The same ε-expanded geometry the scatter used for replication.
+        let ra = left_rects[&a].expanded(eps);
         let rb = &right_rects[&b];
         // Reference point: the lower-left corner of the intersection. It
-        // lies inside both rectangles, so the shard owning its cell has both
-        // replicas and reports the pair — exactly once across all shards.
+        // lies inside both (expanded) rectangles, so the shard owning its
+        // cell has both replicas and reports the pair — exactly once across
+        // all shards.
         let ref_x = ra.lo.x.max(rb.lo.x);
         let ref_y = ra.lo.y.max(rb.lo.y);
         if map.shard_of_point(ref_x, ref_y) == shard {
@@ -593,9 +622,13 @@ fn run_shard<J: SpatialJoin>(
     Ok((result, pairs))
 }
 
-impl<J: SpatialJoin + Sync, P: Partitioner> SpatialJoin for ParallelJoin<J, P> {
+impl<J: JoinOperator + Sync, P: Partitioner> JoinOperator for ParallelJoin<J, P> {
     fn name(&self) -> &'static str {
         "Parallel"
+    }
+
+    fn predicate(&self) -> Predicate {
+        self.inner.predicate()
     }
 
     fn run_with(
@@ -603,7 +636,7 @@ impl<J: SpatialJoin + Sync, P: Partitioner> SpatialJoin for ParallelJoin<J, P> {
         env: &mut SimEnv,
         left: JoinInput<'_>,
         right: JoinInput<'_>,
-        sink: &mut dyn FnMut(u32, u32),
+        sink: &mut dyn PairSink,
     ) -> Result<JoinResult> {
         Ok(self.run_detailed(env, left, right, sink)?.total)
     }

@@ -13,15 +13,15 @@
 //! 128 × 128 (the 32 × 32 grid suggested originally produced overfull
 //! partitions on the TIGER data); the ablation harness exercises both.
 
-use std::collections::HashMap;
-
-use usj_geom::{Item, Rect};
+use usj_geom::Rect;
 use usj_io::{CpuOp, ItemStream, ItemStreamWriter, Result, SimEnv};
 use usj_sweep::{sweep_join, ForwardSweep};
 
 use crate::input::JoinInput;
+use crate::predicate::Predicate;
 use crate::result::{JoinResult, MemoryStats};
-use crate::SpatialJoin;
+use crate::sink::PairSink;
+use crate::JoinOperator;
 
 /// Configuration of the PBSM join.
 ///
@@ -32,7 +32,7 @@ use crate::SpatialJoin;
 /// so every intersecting pair is reported exactly once.
 ///
 /// ```
-/// use usj_core::{JoinInput, PbsmJoin, SpatialJoin};
+/// use usj_core::{JoinInput, JoinOperator, PbsmJoin};
 /// use usj_geom::{Item, Rect};
 /// use usj_io::{ItemStream, MachineConfig, SimEnv};
 ///
@@ -63,6 +63,8 @@ pub struct PbsmJoin {
     /// Optional bounding box of the data space; when `None` one sequential
     /// scan over both inputs computes it.
     pub region_hint: Option<Rect>,
+    /// The pair-selection predicate (default: MBR intersection).
+    pub predicate: Predicate,
 }
 
 impl Default for PbsmJoin {
@@ -71,6 +73,7 @@ impl Default for PbsmJoin {
             tiles_per_side: 128,
             partitions: None,
             region_hint: None,
+            predicate: Predicate::default(),
         }
     }
 }
@@ -91,6 +94,12 @@ impl PbsmJoin {
     /// Sets the data-space bounding box (builder style).
     pub fn with_region(mut self, region: Rect) -> Self {
         self.region_hint = Some(region);
+        self
+    }
+
+    /// Sets the join predicate (builder style).
+    pub fn with_predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
         self
     }
 }
@@ -143,9 +152,13 @@ impl TileGrid {
     }
 }
 
-impl SpatialJoin for PbsmJoin {
+impl JoinOperator for PbsmJoin {
     fn name(&self) -> &'static str {
         "PBSM"
+    }
+
+    fn predicate(&self) -> Predicate {
+        self.predicate
     }
 
     fn run_with(
@@ -153,14 +166,18 @@ impl SpatialJoin for PbsmJoin {
         env: &mut SimEnv,
         left: JoinInput<'_>,
         right: JoinInput<'_>,
-        sink: &mut dyn FnMut(u32, u32),
+        sink: &mut dyn PairSink,
     ) -> Result<JoinResult> {
         let measurement = env.begin();
+        let predicate = self.predicate;
+        let eps = predicate.epsilon();
 
         let left_stream = left.to_stream(env)?;
         let right_stream = right.to_stream(env)?;
 
-        // Data-space bounding box: use the hint or one sequential scan.
+        // Data-space bounding box: use the hint or one sequential scan. The
+        // grid is grown by ε so the expanded left rectangles it partitions
+        // stay covered.
         let region = match self.region_hint {
             Some(r) => r,
             None => {
@@ -178,7 +195,8 @@ impl SpatialJoin for PbsmJoin {
                     bbox
                 }
             }
-        };
+        }
+        .expanded(eps);
 
         // Partition count: both partitions of a pair must fit in memory
         // together with the sweep working space, so size each partition to a
@@ -195,53 +213,66 @@ impl SpatialJoin for PbsmJoin {
 
         // Phase 1: distribute both inputs to the partitions (replicating
         // rectangles that overlap several partitions' tiles). Writing to many
-        // partition streams at once is the "non-sequential write pass".
+        // partition streams at once is the "non-sequential write pass". Left
+        // rectangles are ε-expanded *before* partitioning so that near-miss
+        // pairs meet in at least one partition.
         let mut replicated = 0u64;
-        let mut distribute = |env: &mut SimEnv, stream: &ItemStream| -> Result<Vec<ItemStream>> {
-            let mut writers: Vec<ItemStreamWriter> = (0..partitions)
-                .map(|_| ItemStreamWriter::new(env, 8))
-                .collect();
-            let mut reader = stream.reader();
-            let mut targets = Vec::with_capacity(4);
-            while let Some(it) = reader.next(env)? {
-                grid.partitions_of(&it.rect, &mut targets);
-                env.charge(CpuOp::ItemMove, targets.len() as u64);
-                replicated += targets.len() as u64 - 1;
-                for &p in &targets {
-                    writers[p].push(env, it)?;
+        let mut distribute =
+            |env: &mut SimEnv, stream: &ItemStream, left_side: bool| -> Result<Vec<ItemStream>> {
+                let mut writers: Vec<ItemStreamWriter> = (0..partitions)
+                    .map(|_| ItemStreamWriter::new(env, 8))
+                    .collect();
+                let mut reader = stream.reader();
+                let mut targets = Vec::with_capacity(4);
+                while let Some(mut it) = reader.next(env)? {
+                    if left_side {
+                        it = predicate.expand_left(it);
+                    }
+                    grid.partitions_of(&it.rect, &mut targets);
+                    env.charge(CpuOp::ItemMove, targets.len() as u64);
+                    replicated += targets.len() as u64 - 1;
+                    for &p in &targets {
+                        writers[p].push(env, it)?;
+                    }
                 }
-            }
-            writers.into_iter().map(|w| w.finish(env)).collect()
-        };
-        let left_parts = distribute(env, &left_stream)?;
-        let right_parts = distribute(env, &right_stream)?;
+                writers.into_iter().map(|w| w.finish(env)).collect()
+            };
+        let left_parts = distribute(env, &left_stream, true)?;
+        let right_parts = distribute(env, &right_stream, false)?;
 
         // Phase 2: join each partition in memory with the forward sweep,
         // suppressing duplicates with the reference-point test.
         let mut pairs = 0u64;
+        let mut done = false;
         let mut sweep_total = usj_sweep::SweepJoinStats::default();
         let mut max_partition_bytes = 0usize;
         for p in 0..partitions {
+            if done {
+                break;
+            }
             let l = left_parts[p].read_all(env)?;
             let r = right_parts[p].read_all(env)?;
             if l.is_empty() || r.is_empty() {
                 continue;
             }
-            max_partition_bytes =
-                max_partition_bytes.max((l.len() + r.len()) * std::mem::size_of::<Item>());
-            let left_rects: HashMap<u32, Rect> = l.iter().map(|it| (it.id, it.rect)).collect();
-            let right_rects: HashMap<u32, Rect> = r.iter().map(|it| (it.id, it.rect)).collect();
+            max_partition_bytes = max_partition_bytes
+                .max((l.len() + r.len()) * std::mem::size_of::<usj_geom::Item>());
             let stats = sweep_join::<ForwardSweep, _>(&l, &r, |a, b| {
-                // Reference point: upper-left corner of the intersection —
-                // report the pair only in the partition owning its tile.
-                let ra = &left_rects[&a];
-                let rb = &right_rects[&b];
-                let ref_x = ra.lo.x.max(rb.lo.x);
-                let ref_y = ra.lo.y.max(rb.lo.y);
+                // Reference point: lower-left corner of the intersection of
+                // the (expanded) rectangles — report the pair only in the
+                // partition owning its tile.
+                if done {
+                    return;
+                }
+                let ref_x = a.rect.lo.x.max(b.rect.lo.x);
+                let ref_y = a.rect.lo.y.max(b.rect.lo.y);
                 let tile = grid.tile_of(ref_x, ref_y);
-                if grid.partition_of_tile(tile) == p {
-                    pairs += 1;
-                    sink(a, b);
+                if grid.partition_of_tile(tile) == p && predicate.accepts(&a.rect, &b.rect) {
+                    if sink.emit(a.id, b.id).is_break() {
+                        done = true;
+                    } else {
+                        pairs += 1;
+                    }
                 }
             });
             env.charge(CpuOp::RectTest, stats.rect_tests);
@@ -271,6 +302,7 @@ impl SpatialJoin for PbsmJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use usj_geom::Item;
     use usj_io::MachineConfig;
 
     fn env() -> SimEnv {

@@ -33,8 +33,10 @@ use usj_rtree::{NodeKind, RTree};
 use usj_sweep::{Side, StripedSweep, SweepDriver};
 
 use crate::input::JoinInput;
+use crate::predicate::Predicate;
 use crate::result::{JoinResult, MemoryStats};
-use crate::SpatialJoin;
+use crate::sink::PairSink;
+use crate::JoinOperator;
 
 /// Total order wrapper for `f32` priority-queue keys.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -280,7 +282,7 @@ impl<'a> SortedSource<'a> {
 /// non-indexed inputs. Here one side is an R-tree, the other a flat stream.
 ///
 /// ```
-/// use usj_core::{JoinInput, PqJoin, SpatialJoin};
+/// use usj_core::{JoinInput, JoinOperator, PqJoin};
 /// use usj_geom::{Item, Rect};
 /// use usj_io::{ItemStream, MachineConfig, SimEnv};
 /// use usj_rtree::RTree;
@@ -308,6 +310,8 @@ pub struct PqJoin {
     pub prune_to_other: bool,
     /// Optional data-space hint used to size the striped sweep structure.
     pub region_hint: Option<Rect>,
+    /// The pair-selection predicate (default: MBR intersection).
+    pub predicate: Predicate,
 }
 
 impl PqJoin {
@@ -320,6 +324,12 @@ impl PqJoin {
     /// Sets the region hint (builder style).
     pub fn with_region(mut self, region: Rect) -> Self {
         self.region_hint = Some(region);
+        self
+    }
+
+    /// Sets the join predicate (builder style).
+    pub fn with_predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
         self
     }
 
@@ -345,9 +355,13 @@ impl PqJoin {
     }
 }
 
-impl SpatialJoin for PqJoin {
+impl JoinOperator for PqJoin {
     fn name(&self) -> &'static str {
         "PQ"
+    }
+
+    fn predicate(&self) -> Predicate {
+        self.predicate
     }
 
     fn run_with(
@@ -355,13 +369,20 @@ impl SpatialJoin for PqJoin {
         env: &mut SimEnv,
         left: JoinInput<'_>,
         right: JoinInput<'_>,
-        sink: &mut dyn FnMut(u32, u32),
+        sink: &mut dyn PairSink,
     ) -> Result<JoinResult> {
         let measurement = env.begin();
+        let predicate = self.predicate;
+        let eps = predicate.epsilon();
 
         // Pruning rectangles: each side may restrict the other's traversal.
+        // Under a distance predicate the prune windows grow by ε, so no
+        // near-miss subtree is skipped.
         let (left_prune, right_prune) = if self.prune_to_other {
-            (right.known_bbox(), left.known_bbox())
+            (
+                right.known_bbox().map(|b| predicate.expand_rect(b)),
+                left.known_bbox().map(|b| predicate.expand_rect(b)),
+            )
         } else {
             (None, None)
         };
@@ -370,13 +391,17 @@ impl SpatialJoin for PqJoin {
         let (mut right_src, right_bbox) = self.make_source(env, &right, right_prune)?;
         let region = self
             .region_hint
-            .unwrap_or_else(|| left_bbox.union(&right_bbox));
+            .unwrap_or_else(|| left_bbox.union(&right_bbox))
+            .expanded(eps);
 
+        // Left items are ε-expanded as they leave their source — a uniform
+        // shift of the sort keys, so the merge order stays correct.
         let mut driver: SweepDriver<StripedSweep> = SweepDriver::new(region.lo.x, region.hi.x);
         let mut pairs = 0u64;
-        let mut lnext = left_src.next(env)?;
+        let mut done = false;
+        let mut lnext = left_src.next(env)?.map(|it| predicate.expand_left(it));
         let mut rnext = right_src.next(env)?;
-        while lnext.is_some() || rnext.is_some() {
+        while !done && (lnext.is_some() || rnext.is_some()) {
             let take_left = match (&lnext, &rnext) {
                 (Some(a), Some(b)) => {
                     env.charge(CpuOp::Compare, 1);
@@ -388,15 +413,27 @@ impl SpatialJoin for PqJoin {
             if take_left {
                 let item = lnext.take().expect("checked above");
                 driver.push(Side::Left, item, |a, b| {
-                    pairs += 1;
-                    sink(a, b);
+                    if done || !predicate.accepts(&a.rect, &b.rect) {
+                        return;
+                    }
+                    if sink.emit(a.id, b.id).is_break() {
+                        done = true;
+                    } else {
+                        pairs += 1;
+                    }
                 });
-                lnext = left_src.next(env)?;
+                lnext = left_src.next(env)?.map(|it| predicate.expand_left(it));
             } else {
                 let item = rnext.take().expect("checked above");
                 driver.push(Side::Right, item, |a, b| {
-                    pairs += 1;
-                    sink(a, b);
+                    if done || !predicate.accepts(&a.rect, &b.rect) {
+                        return;
+                    }
+                    if sink.emit(a.id, b.id).is_break() {
+                        done = true;
+                    } else {
+                        pairs += 1;
+                    }
                 });
                 rnext = right_src.next(env)?;
             }

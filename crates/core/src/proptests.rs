@@ -6,7 +6,7 @@ use usj_geom::{Item, Rect};
 use usj_io::{ItemStream, MachineConfig, SimEnv};
 use usj_rtree::RTree;
 
-use crate::{JoinInput, PbsmJoin, PqJoin, SpatialJoin, SssjJoin, StJoin};
+use crate::{JoinInput, JoinOperator, PbsmJoin, PqJoin, SssjJoin, StJoin};
 
 fn arb_items(max_len: usize, id_base: u32) -> impl Strategy<Value = Vec<Item>> {
     prop::collection::vec(

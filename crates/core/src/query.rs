@@ -1,0 +1,812 @@
+//! The unified query surface: one builder over every algorithm, predicate
+//! and execution strategy.
+//!
+//! The paper's central claim is *unification* — one algorithm serving indexed
+//! and non-indexed inputs alike. This module lifts that unification to the
+//! API: instead of choosing between `SssjJoin`/`PbsmJoin`/`PqJoin`/`StJoin`,
+//! `CostBasedJoin` and `ParallelJoin` by hand, callers describe the query
+//! once and let the builder lower it:
+//!
+//! ```text
+//! SpatialQuery::new(left, right)      -- what to join
+//!     .algorithm(Algo::Auto)          -- how (or let the §6.3 cost model pick)
+//!     .predicate(Predicate::WithinDistance(eps))
+//!     .execution(Execution::parallel())
+//!     .plan(&mut env)?                -- inspectable QueryPlan, or
+//!     .execute(&mut env, &mut sink)?  -- stream pairs into any PairSink
+//! ```
+//!
+//! Every combination of algorithm × predicate × execution is reachable, and
+//! the output streams through a [`PairSink`] — counting, collecting,
+//! sampling and LIMIT-style early termination all compose with every plan.
+//!
+//! This module is also the crate's **single algorithm-dispatch site**
+//! ([`JoinAlgorithm::run`] and the experiment harness route through it), so
+//! adding an algorithm means touching exactly one `match`.
+
+use std::fmt;
+
+use usj_geom::Rect;
+use usj_io::{Result, SimEnv};
+
+use crate::cost::{CostBasedJoin, CostEstimate, JoinPlan};
+use crate::input::JoinInput;
+use crate::parallel::{HilbertPartitioner, ParallelJoin, Partitioner, ShardMap, TilePartitioner};
+use crate::pbsm::PbsmJoin;
+use crate::pq::PqJoin;
+use crate::predicate::Predicate;
+use crate::result::JoinResult;
+use crate::sink::{CollectSink, CountSink, LimitSink, PairSink};
+use crate::sssj::SssjJoin;
+use crate::st::StJoin;
+use crate::{JoinAlgorithm, JoinOperator};
+
+/// The algorithm selection of a [`SpatialQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algo {
+    /// Let the Section 6.3 cost model decide between the indexed (pruned PQ)
+    /// and non-indexed (SSSJ) strategies, exactly as [`CostBasedJoin`] does.
+    #[default]
+    Auto,
+    /// Scalable Sweeping-based Spatial Join (sort + sweep, ignores indexes).
+    Sssj,
+    /// Partition-Based Spatial Merge join (tile-hash partitioning).
+    Pbsm,
+    /// Priority-Queue-Driven Traversal (the paper's unified algorithm).
+    Pq,
+    /// Synchronized R-tree Traversal (builds indexes on non-indexed inputs).
+    St,
+}
+
+impl From<JoinAlgorithm> for Algo {
+    fn from(alg: JoinAlgorithm) -> Self {
+        match alg {
+            JoinAlgorithm::Sssj => Algo::Sssj,
+            JoinAlgorithm::Pbsm => Algo::Pbsm,
+            JoinAlgorithm::Pq => Algo::Pq,
+            JoinAlgorithm::St => Algo::St,
+        }
+    }
+}
+
+/// The spatial-sharding strategy of a parallel execution (a value-level
+/// stand-in for the concrete [`Partitioner`] implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Contiguous Hilbert-curve runs: spatially coherent shards, minimal
+    /// replication ([`HilbertPartitioner`]).
+    #[default]
+    Hilbert,
+    /// Round-robin tile deal: best load balance, more replication
+    /// ([`TilePartitioner`]).
+    Tile,
+}
+
+impl PartitionStrategy {
+    /// Strategy name, matching [`Partitioner::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionStrategy::Hilbert => "hilbert",
+            PartitionStrategy::Tile => "tile",
+        }
+    }
+
+    fn build(&self, region: Rect, shards: usize) -> ShardMap {
+        match self {
+            PartitionStrategy::Hilbert => HilbertPartitioner::default().build(region, shards),
+            PartitionStrategy::Tile => TilePartitioner::default().build(region, shards),
+        }
+    }
+}
+
+/// The execution strategy of a [`SpatialQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// Single-threaded, exactly the serial algorithms of the paper.
+    #[default]
+    Serial,
+    /// Spatially sharded across a worker pool ([`ParallelJoin`]).
+    Parallel {
+        /// How grid cells are dealt to shards.
+        partitioner: PartitionStrategy,
+        /// Worker threads; `0` means the executor's default (one per CPU,
+        /// capped at 8).
+        threads: usize,
+        /// Spatial shards; `0` means one shard per worker thread.
+        shards: usize,
+    },
+}
+
+impl Execution {
+    /// Parallel execution with the default Hilbert partitioner, thread count
+    /// and shard count.
+    pub fn parallel() -> Self {
+        Execution::Parallel {
+            partitioner: PartitionStrategy::default(),
+            threads: 0,
+            shards: 0,
+        }
+    }
+}
+
+/// The lowered, inspectable form of a [`SpatialQuery`]: which algorithm will
+/// run, why, and how the data space is sharded if the execution is parallel.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The concrete algorithm the query lowers to ([`Algo::Auto`] resolved).
+    pub algorithm: JoinAlgorithm,
+    /// The pair-selection predicate.
+    pub predicate: Predicate,
+    /// The §6.3 cost estimate, present when [`Algo::Auto`] consulted it.
+    pub cost: Option<CostEstimate>,
+    /// The strategy the estimate picked, present when [`Algo::Auto`]
+    /// consulted it.
+    pub chosen: Option<JoinPlan>,
+    /// Sharding of a parallel execution; `None` for serial plans.
+    pub parallelism: Option<ParallelPlan>,
+}
+
+/// The parallel-execution part of a [`QueryPlan`].
+#[derive(Debug, Clone)]
+pub struct ParallelPlan {
+    /// The partitioning strategy.
+    pub partitioner: PartitionStrategy,
+    /// Resolved worker-thread count.
+    pub threads: usize,
+    /// Resolved shard count.
+    pub shards: usize,
+    /// The cell-to-shard map the executor will replicate against.
+    pub shard_map: ShardMap,
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} join, {} predicate", self.algorithm.name(), self.predicate.name())?;
+        if let (Some(cost), Some(chosen)) = (&self.cost, &self.chosen) {
+            write!(
+                f,
+                ", auto-selected {:?} (indexed {:.2}s vs sorted {:.2}s, touches {:.0}% of the index)",
+                chosen,
+                cost.indexed_secs,
+                cost.non_indexed_secs,
+                cost.touched_fraction * 100.0
+            )?;
+        }
+        match &self.parallelism {
+            None => write!(f, ", serial"),
+            Some(p) => write!(
+                f,
+                ", parallel over {} {} shards on {} threads",
+                p.shards,
+                p.partitioner.name(),
+                p.threads
+            ),
+        }
+    }
+}
+
+/// A fluent builder describing a two-way spatial join: inputs, algorithm,
+/// predicate and execution strategy.
+///
+/// The builder lowers to an inspectable [`QueryPlan`] ([`SpatialQuery::plan`])
+/// and executes through any [`PairSink`] ([`SpatialQuery::execute`]), with
+/// [`run`](SpatialQuery::run) / [`count`](SpatialQuery::count) /
+/// [`collect`](SpatialQuery::collect) / [`first`](SpatialQuery::first)
+/// convenience wrappers for the common sinks.
+///
+/// # Example
+///
+/// ```
+/// use usj_core::{Algo, Execution, JoinInput, Predicate, SpatialQuery};
+/// use usj_geom::{Item, Rect};
+/// use usj_io::{ItemStream, MachineConfig, SimEnv};
+///
+/// let mut env = SimEnv::new(MachineConfig::machine3());
+/// let rows: Vec<Item> = (0..10)
+///     .map(|i| Item::new(Rect::from_coords(0.0, i as f32, 10.0, i as f32 + 0.4), i))
+///     .collect();
+/// let cols: Vec<Item> = (0..10)
+///     .map(|i| Item::new(Rect::from_coords(i as f32, 0.0, i as f32 + 0.4, 10.0), 100 + i))
+///     .collect();
+/// let l = ItemStream::from_items(&mut env, &rows).unwrap();
+/// let r = ItemStream::from_items(&mut env, &cols).unwrap();
+///
+/// // Intersection join, algorithm picked by the cost model.
+/// let n = SpatialQuery::new(JoinInput::Stream(&l), JoinInput::Stream(&r))
+///     .algorithm(Algo::Auto)
+///     .count(&mut env)
+///     .unwrap();
+/// assert_eq!(n, 100);
+///
+/// // The same query as a parallel ε-distance join, stopping after 5 pairs.
+/// let (_, pairs) = SpatialQuery::new(JoinInput::Stream(&l), JoinInput::Stream(&r))
+///     .algorithm(Algo::Pq)
+///     .predicate(Predicate::WithinDistance(0.5))
+///     .execution(Execution::parallel())
+///     .first(&mut env, 5)
+///     .unwrap();
+/// assert_eq!(pairs.len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpatialQuery<'a> {
+    left: JoinInput<'a>,
+    right: JoinInput<'a>,
+    algo: Algo,
+    predicate: Predicate,
+    execution: Execution,
+    region_hint: Option<Rect>,
+}
+
+impl<'a> SpatialQuery<'a> {
+    /// Starts a query joining `left` against `right`.
+    pub fn new(left: JoinInput<'a>, right: JoinInput<'a>) -> Self {
+        SpatialQuery {
+            left,
+            right,
+            algo: Algo::default(),
+            predicate: Predicate::default(),
+            execution: Execution::default(),
+            region_hint: None,
+        }
+    }
+
+    /// Selects the join algorithm (default: [`Algo::Auto`]).
+    pub fn algorithm(mut self, algo: Algo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Selects the pair predicate (default: [`Predicate::Intersects`]).
+    pub fn predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Selects the execution strategy (default: [`Execution::Serial`]).
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Provides the data-space bounding box, sparing the algorithms their
+    /// region-discovery scans.
+    pub fn region_hint(mut self, region: Rect) -> Self {
+        self.region_hint = Some(region);
+        self
+    }
+
+    /// Resolves [`Algo::Auto`] through the cost model. Returns the concrete
+    /// algorithm, the estimate (when consulted) and whether PQ should prune
+    /// (the auto-selected indexed strategy prunes, mirroring
+    /// [`CostBasedJoin`]).
+    fn resolve(
+        &self,
+        env: &mut SimEnv,
+    ) -> Result<(JoinAlgorithm, Option<CostEstimate>, Option<JoinPlan>, bool)> {
+        Ok(match self.algo {
+            Algo::Sssj => (JoinAlgorithm::Sssj, None, None, false),
+            Algo::Pbsm => (JoinAlgorithm::Pbsm, None, None, false),
+            Algo::Pq => (JoinAlgorithm::Pq, None, None, false),
+            Algo::St => (JoinAlgorithm::St, None, None, false),
+            Algo::Auto => {
+                let est = CostBasedJoin::default().estimate(env, &self.left, &self.right)?;
+                let chosen = est.plan();
+                let alg = match chosen {
+                    JoinPlan::Indexed => JoinAlgorithm::Pq,
+                    JoinPlan::NonIndexed => JoinAlgorithm::Sssj,
+                };
+                (alg, Some(est), Some(chosen), chosen == JoinPlan::Indexed)
+            }
+        })
+    }
+
+    /// The crate's single algorithm-dispatch site: constructs the serial
+    /// operator for a resolved algorithm.
+    fn operator_for(
+        &self,
+        algorithm: JoinAlgorithm,
+        pruning: bool,
+    ) -> Box<dyn JoinOperator + Send + Sync> {
+        match algorithm {
+            JoinAlgorithm::Sssj => Box::new(SssjJoin {
+                region_hint: self.region_hint,
+                predicate: self.predicate,
+            }),
+            JoinAlgorithm::Pbsm => Box::new(
+                PbsmJoin::default()
+                    .with_predicate(self.predicate)
+                    .with_region_opt(self.region_hint),
+            ),
+            JoinAlgorithm::Pq => Box::new(PqJoin {
+                prune_to_other: pruning,
+                region_hint: self.region_hint,
+                predicate: self.predicate,
+            }),
+            JoinAlgorithm::St => Box::new(StJoin::default().with_predicate(self.predicate)),
+        }
+    }
+
+    /// Lowers the query to an inspectable [`QueryPlan`] without executing it.
+    ///
+    /// Resolving [`Algo::Auto`] prices both strategies (reading the index
+    /// directories), and planning a parallel execution over inputs of unknown
+    /// extent scans them once to place the shard grid; both costs are charged
+    /// to `env` like any other accounted work.
+    pub fn plan(&self, env: &mut SimEnv) -> Result<QueryPlan> {
+        let (algorithm, cost, chosen, _) = self.resolve(env)?;
+        let parallelism = match self.execution {
+            Execution::Serial => None,
+            Execution::Parallel {
+                partitioner,
+                threads,
+                shards,
+            } => {
+                let (threads, shards) = resolved_parallelism(threads, shards);
+                let region = self.discover_region(env)?;
+                Some(ParallelPlan {
+                    partitioner,
+                    threads,
+                    shards,
+                    shard_map: partitioner.build(region, shards),
+                })
+            }
+        };
+        Ok(QueryPlan {
+            algorithm,
+            predicate: self.predicate,
+            cost,
+            chosen,
+            parallelism,
+        })
+    }
+
+    /// Executes the query, streaming every accepted pair into `sink`.
+    pub fn execute(&self, env: &mut SimEnv, sink: &mut dyn PairSink) -> Result<JoinResult> {
+        let (algorithm, _, _, pruning) = self.resolve(env)?;
+        let op = self.operator_for(algorithm, pruning);
+        match self.execution {
+            Execution::Serial => op.run_with(env, self.left, self.right, sink),
+            Execution::Parallel {
+                partitioner,
+                threads,
+                shards,
+            } => self.dispatch_parallel(
+                env,
+                op,
+                algorithm,
+                partitioner,
+                threads,
+                shards,
+                self.region_hint,
+                sink,
+            ),
+        }
+    }
+
+    /// Executes a previously computed [`QueryPlan`] (from
+    /// [`plan`](SpatialQuery::plan) on this same query), streaming pairs
+    /// into `sink`.
+    ///
+    /// This skips the resolution work `execute` would repeat: the
+    /// [`Algo::Auto`] cost estimate is not re-priced, and a parallel plan's
+    /// data-space region is reused from its shard map instead of being
+    /// rediscovered with another scan.
+    pub fn execute_planned(
+        &self,
+        env: &mut SimEnv,
+        plan: &QueryPlan,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinResult> {
+        let pruning = plan.chosen == Some(JoinPlan::Indexed);
+        let op = self.operator_for(plan.algorithm, pruning);
+        match &plan.parallelism {
+            None => op.run_with(env, self.left, self.right, sink),
+            Some(p) => self.dispatch_parallel(
+                env,
+                op,
+                plan.algorithm,
+                p.partitioner,
+                p.threads,
+                p.shards,
+                Some(p.shard_map.region()),
+                sink,
+            ),
+        }
+    }
+
+    /// Executes a previously computed [`QueryPlan`], discarding the pairs.
+    pub fn run_planned(&self, env: &mut SimEnv, plan: &QueryPlan) -> Result<JoinResult> {
+        self.execute_planned(env, plan, &mut CountSink::default())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_parallel(
+        &self,
+        env: &mut SimEnv,
+        op: Box<dyn JoinOperator + Send + Sync>,
+        algorithm: JoinAlgorithm,
+        partitioner: PartitionStrategy,
+        threads: usize,
+        shards: usize,
+        region: Option<Rect>,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinResult> {
+        // ST only makes sense on indexes, so its shards are bulk-loaded; the
+        // other algorithms join the shard streams directly.
+        let index_shards = algorithm == JoinAlgorithm::St;
+        match partitioner {
+            PartitionStrategy::Hilbert => self.run_parallel(
+                env,
+                op,
+                HilbertPartitioner::default(),
+                threads,
+                shards,
+                index_shards,
+                region,
+                sink,
+            ),
+            PartitionStrategy::Tile => self.run_parallel(
+                env,
+                op,
+                TilePartitioner::default(),
+                threads,
+                shards,
+                index_shards,
+                region,
+                sink,
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel<P: Partitioner>(
+        &self,
+        env: &mut SimEnv,
+        op: Box<dyn JoinOperator + Send + Sync>,
+        partitioner: P,
+        threads: usize,
+        shards: usize,
+        index_shards: bool,
+        region: Option<Rect>,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinResult> {
+        // Resolve the 0-means-default counts exactly as `plan()` does, so
+        // the executed sharding always matches the inspectable plan.
+        let (threads, shards) = resolved_parallelism(threads, shards);
+        let mut pj = ParallelJoin::new(op, partitioner)
+            .with_threads(threads)
+            .with_shards(shards);
+        if let Some(region) = region {
+            pj = pj.with_region(region);
+        }
+        if index_shards {
+            pj = pj.with_indexed_shards();
+        }
+        pj.run_with(env, self.left, self.right, sink)
+    }
+
+    /// Executes the query, discarding the pairs (the paper's measurement
+    /// mode) and returning the accounting summary.
+    pub fn run(&self, env: &mut SimEnv) -> Result<JoinResult> {
+        self.execute(env, &mut CountSink::default())
+    }
+
+    /// Executes the query and returns only the number of accepted pairs.
+    pub fn count(&self, env: &mut SimEnv) -> Result<u64> {
+        Ok(self.run(env)?.pairs)
+    }
+
+    /// Executes the query, collecting every pair in memory.
+    pub fn collect(&self, env: &mut SimEnv) -> Result<(JoinResult, Vec<(u32, u32)>)> {
+        let mut sink = CollectSink::default();
+        let res = self.execute(env, &mut sink)?;
+        Ok((res, sink.pairs))
+    }
+
+    /// Executes the query with a `LIMIT`: collects at most `limit` pairs,
+    /// stopping the join — and its I/O — as soon as they are found.
+    pub fn first(
+        &self,
+        env: &mut SimEnv,
+        limit: u64,
+    ) -> Result<(JoinResult, Vec<(u32, u32)>)> {
+        let mut sink = LimitSink::new(CollectSink::default(), limit);
+        let res = self.execute(env, &mut sink)?;
+        Ok((res, sink.into_inner().pairs))
+    }
+
+    /// Data-space region for shard-map planning: the hint, the union of the
+    /// known index bounding boxes, or one discovery scan.
+    fn discover_region(&self, env: &mut SimEnv) -> Result<Rect> {
+        if let Some(r) = self.region_hint {
+            return Ok(r);
+        }
+        if let (Some(a), Some(b)) = (self.left.known_bbox(), self.right.known_bbox()) {
+            return Ok(a.union(&b));
+        }
+        let mut bbox = Rect::empty();
+        for input in [&self.left, &self.right] {
+            match input.known_bbox() {
+                Some(b) => bbox = bbox.union(&b),
+                None => {
+                    let stream = input.to_stream(env)?;
+                    let mut r = stream.reader();
+                    while let Some(it) = r.next(env)? {
+                        env.charge(usj_io::CpuOp::RectTest, 1);
+                        bbox = bbox.union(&it.rect);
+                    }
+                }
+            }
+        }
+        Ok(if bbox.is_empty() {
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0)
+        } else {
+            bbox
+        })
+    }
+}
+
+/// Resolves `0`-means-default thread and shard counts the same way
+/// [`ParallelJoin::new`] does.
+fn resolved_parallelism(threads: usize, shards: usize) -> (usize, usize) {
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    };
+    let shards = if shards > 0 { shards } else { threads };
+    (threads, shards)
+}
+
+impl PbsmJoin {
+    /// `with_region` that accepts an optional rectangle (builder plumbing for
+    /// the query lowering).
+    fn with_region_opt(self, region: Option<Rect>) -> Self {
+        match region {
+            Some(r) => self.with_region(r),
+            None => self,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_geom::Item;
+    use usj_io::{ItemStream, MachineConfig};
+    use usj_rtree::RTree;
+
+    fn env() -> SimEnv {
+        SimEnv::new(MachineConfig::machine3())
+    }
+
+    fn grid(n: u32, cell: f32, offset: f32, id_base: u32) -> Vec<Item> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let x = offset + i as f32 * cell;
+                let y = offset + j as f32 * cell;
+                out.push(Item::new(
+                    Rect::from_coords(x, y, x + cell * 0.7, y + cell * 0.7),
+                    id_base + i * n + j,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn every_algorithm_is_reachable_and_agrees() {
+        let mut e = env();
+        let a = grid(15, 4.0, 0.0, 0);
+        let b = grid(15, 4.0, 1.5, 100_000);
+        let sa = ItemStream::from_items(&mut e, &a).unwrap();
+        let sb = ItemStream::from_items(&mut e, &b).unwrap();
+        let expected: u64 = a
+            .iter()
+            .map(|x| b.iter().filter(|y| x.rect.intersects(&y.rect)).count() as u64)
+            .sum();
+        for algo in [Algo::Auto, Algo::Sssj, Algo::Pbsm, Algo::Pq, Algo::St] {
+            let n = SpatialQuery::new(JoinInput::Stream(&sa), JoinInput::Stream(&sb))
+                .algorithm(algo)
+                .count(&mut e)
+                .unwrap();
+            assert_eq!(n, expected, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn auto_resolution_mirrors_the_cost_based_join() {
+        let mut e = env();
+        // Localized right side: the indexed plan wins (cf. cost.rs tests).
+        let a = grid(80, 3.0, 0.0, 0);
+        let b = grid(8, 3.0, 0.0, 100_000);
+        let ta = RTree::bulk_load(&mut e, &a).unwrap();
+        let tb = RTree::bulk_load(&mut e, &b).unwrap();
+        let q = SpatialQuery::new(JoinInput::Indexed(&ta), JoinInput::Indexed(&tb));
+        let plan = q.plan(&mut e).unwrap();
+        let (legacy_plan, legacy_est, legacy_res) = CostBasedJoin::default()
+            .run(&mut e, JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
+            .unwrap();
+        assert_eq!(plan.chosen, Some(legacy_plan));
+        assert_eq!(plan.cost.unwrap(), legacy_est);
+        assert_eq!(plan.algorithm, JoinAlgorithm::Pq);
+        let res = q.run(&mut e).unwrap();
+        assert_eq!(res, legacy_res, "auto execution must match CostBasedJoin");
+    }
+
+    #[test]
+    fn parallel_plans_expose_their_shard_map() {
+        let mut e = env();
+        let a = grid(10, 4.0, 0.0, 0);
+        let ta = RTree::bulk_load(&mut e, &a).unwrap();
+        let plan = SpatialQuery::new(JoinInput::Indexed(&ta), JoinInput::Indexed(&ta))
+            .algorithm(Algo::Pq)
+            .execution(Execution::Parallel {
+                partitioner: PartitionStrategy::Tile,
+                threads: 3,
+                shards: 5,
+            })
+            .plan(&mut e)
+            .unwrap();
+        let text = format!("{plan}");
+        let p = plan.parallelism.expect("parallel plan");
+        assert_eq!(p.threads, 3);
+        assert_eq!(p.shards, 5);
+        assert_eq!(p.shard_map.shards(), 5);
+        assert!(p.shard_map.region().contains(&ta.bbox()));
+        assert!(text.contains("PQ") && text.contains("tile"), "{text}");
+    }
+
+    #[test]
+    fn contains_predicate_reports_only_contained_pairs() {
+        let mut e = env();
+        // Big boxes on the left, small boxes on the right: half the small
+        // boxes sit inside a big one, half straddle the border.
+        let big: Vec<Item> = (0..5)
+            .map(|i| Item::new(Rect::from_coords(i as f32 * 10.0, 0.0, i as f32 * 10.0 + 8.0, 8.0), i))
+            .collect();
+        let small: Vec<Item> = (0..10)
+            .map(|i| {
+                let x = i as f32 * 5.0;
+                Item::new(Rect::from_coords(x, 1.0, x + 2.0, 3.0), 100 + i)
+            })
+            .collect();
+        let sb = ItemStream::from_items(&mut e, &big).unwrap();
+        let ss = ItemStream::from_items(&mut e, &small).unwrap();
+        let expected: Vec<(u32, u32)> = {
+            let mut v: Vec<(u32, u32)> = big
+                .iter()
+                .flat_map(|x| {
+                    small
+                        .iter()
+                        .filter(|y| x.rect.contains(&y.rect))
+                        .map(|y| (x.id, y.id))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert!(!expected.is_empty());
+        for algo in [Algo::Sssj, Algo::Pbsm, Algo::Pq, Algo::St] {
+            let (_, mut pairs) = SpatialQuery::new(JoinInput::Stream(&sb), JoinInput::Stream(&ss))
+                .algorithm(algo)
+                .predicate(Predicate::Contains)
+                .collect(&mut e)
+                .unwrap();
+            pairs.sort_unstable();
+            assert_eq!(pairs, expected, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn limit_zero_delivers_and_counts_nothing() {
+        let mut e = env();
+        let a = grid(10, 4.0, 0.0, 0);
+        let sa = ItemStream::from_items(&mut e, &a).unwrap();
+        for execution in [Execution::Serial, Execution::parallel()] {
+            let (res, pairs) = SpatialQuery::new(JoinInput::Stream(&sa), JoinInput::Stream(&sa))
+                .algorithm(Algo::Pq)
+                .execution(execution)
+                .first(&mut e, 0)
+                .unwrap();
+            assert!(pairs.is_empty(), "{execution:?}");
+            assert_eq!(res.pairs, 0, "{execution:?}: LIMIT 0 must count zero pairs");
+        }
+    }
+
+    #[test]
+    fn executed_sharding_matches_the_plan_for_default_counts() {
+        let mut e = env();
+        let a = grid(12, 4.0, 0.0, 0);
+        let b = grid(12, 4.0, 1.0, 100_000);
+        let sa = ItemStream::from_items(&mut e, &a).unwrap();
+        let sb = ItemStream::from_items(&mut e, &b).unwrap();
+        // threads pinned, shards left to "one per worker thread".
+        let q = SpatialQuery::new(JoinInput::Stream(&sa), JoinInput::Stream(&sb))
+            .algorithm(Algo::Pbsm)
+            .execution(Execution::Parallel {
+                partitioner: PartitionStrategy::Hilbert,
+                threads: 3,
+                shards: 0,
+            });
+        let plan = q.plan(&mut e).unwrap();
+        let p = plan.parallelism.as_ref().expect("parallel plan");
+        assert_eq!(p.shards, 3, "0 shards means one per worker thread");
+        // The executed result must agree with an explicit ParallelJoin using
+        // the planned counts.
+        let (res, pairs) = q.collect(&mut e).unwrap();
+        let explicit = ParallelJoin::new(
+            PbsmJoin::default(),
+            HilbertPartitioner::default(),
+        )
+        .with_threads(p.threads)
+        .with_shards(p.shards);
+        let (exp_res, exp_pairs) = explicit
+            .run_collect(&mut e, JoinInput::Stream(&sa), JoinInput::Stream(&sb))
+            .unwrap();
+        assert_eq!(res.pairs, exp_res.pairs);
+        assert_eq!(pairs, exp_pairs, "pair order depends on the shard map");
+    }
+
+    #[test]
+    fn execute_planned_reuses_the_plan_without_re_estimating() {
+        let mut e = env();
+        let a = grid(80, 3.0, 0.0, 0);
+        let b = grid(8, 3.0, 0.0, 100_000);
+        let ta = RTree::bulk_load(&mut e, &a).unwrap();
+        let tb = RTree::bulk_load(&mut e, &b).unwrap();
+        let q = SpatialQuery::new(JoinInput::Indexed(&ta), JoinInput::Indexed(&tb));
+        let plan = q.plan(&mut e).unwrap();
+        assert_eq!(plan.algorithm, JoinAlgorithm::Pq);
+
+        // Executing the plan performs no estimation I/O beyond the join's
+        // own: it matches a one-shot run() (whose returned accounting also
+        // excludes the estimate) pair for pair.
+        let planned = q.run_planned(&mut e, &plan).unwrap();
+        let oneshot = q.run(&mut e).unwrap();
+        assert_eq!(planned, oneshot);
+
+        // And the device-level delta of the planned execution is smaller
+        // than resolve+run, because the directory probe is skipped.
+        let m = e.begin();
+        let _ = q.run_planned(&mut e, &plan).unwrap();
+        let (planned_io, _) = e.since(&m);
+        let m = e.begin();
+        let _ = q.run(&mut e).unwrap();
+        let (resolved_io, _) = e.since(&m);
+        assert!(
+            planned_io.pages_read < resolved_io.pages_read,
+            "planned {} vs resolved {}",
+            planned_io.pages_read,
+            resolved_io.pages_read
+        );
+    }
+
+    #[test]
+    fn first_stops_early_and_returns_exactly_the_limit() {
+        let mut e = env();
+        let a = grid(70, 4.0, 0.0, 0);
+        let b = grid(70, 4.0, 1.5, 100_000);
+        let ta = RTree::bulk_load(&mut e, &a).unwrap();
+        let tb = RTree::bulk_load(&mut e, &b).unwrap();
+        assert!(ta.nodes() + tb.nodes() > 10, "trees must span many pages");
+        let q = SpatialQuery::new(JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
+            .algorithm(Algo::Pq);
+        let full = q.run(&mut e).unwrap();
+        assert!(full.pairs > 10);
+        let (limited, pairs) = q.first(&mut e, 7).unwrap();
+        assert_eq!(pairs.len(), 7);
+        assert_eq!(limited.pairs, 7);
+        assert!(
+            limited.index_page_requests < full.index_page_requests,
+            "LIMIT must stop the index traversal early ({} vs {})",
+            limited.index_page_requests,
+            full.index_page_requests
+        );
+    }
+}

@@ -37,7 +37,11 @@ impl MemoryStats {
 }
 
 /// Summary of one join execution.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every counter, so equality means two executions were
+/// byte-identical in accounting — the property the query-builder equivalence
+/// suite asserts against the legacy entry points.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct JoinResult {
     /// Intersecting pairs reported (after duplicate elimination).
     pub pairs: u64,

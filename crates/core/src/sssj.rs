@@ -17,8 +17,10 @@ use usj_io::{CpuOp, Result, SimEnv};
 use usj_sweep::{Side, StripedSweep, SweepDriver};
 
 use crate::input::JoinInput;
+use crate::predicate::Predicate;
 use crate::result::{JoinResult, MemoryStats};
-use crate::SpatialJoin;
+use crate::sink::PairSink;
+use crate::JoinOperator;
 
 /// Configuration of the SSSJ join.
 ///
@@ -28,7 +30,7 @@ use crate::SpatialJoin;
 /// lower y-coordinate and runs one plane sweep.
 ///
 /// ```
-/// use usj_core::{JoinInput, SssjJoin, SpatialJoin};
+/// use usj_core::{JoinInput, JoinOperator, SssjJoin};
 /// use usj_geom::{Item, Rect};
 /// use usj_io::{ItemStream, MachineConfig, SimEnv};
 ///
@@ -53,6 +55,8 @@ pub struct SssjJoin {
     /// structure without an extra scan. When absent it is derived from the
     /// sort pass.
     pub region_hint: Option<Rect>,
+    /// The pair-selection predicate (default: MBR intersection).
+    pub predicate: Predicate,
 }
 
 impl SssjJoin {
@@ -61,11 +65,21 @@ impl SssjJoin {
         self.region_hint = Some(region);
         self
     }
+
+    /// Sets the join predicate (builder style).
+    pub fn with_predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
 }
 
-impl SpatialJoin for SssjJoin {
+impl JoinOperator for SssjJoin {
     fn name(&self) -> &'static str {
         "SSSJ"
+    }
+
+    fn predicate(&self) -> Predicate {
+        self.predicate
     }
 
     fn run_with(
@@ -73,9 +87,11 @@ impl SpatialJoin for SssjJoin {
         env: &mut SimEnv,
         left: JoinInput<'_>,
         right: JoinInput<'_>,
-        sink: &mut dyn FnMut(u32, u32),
+        sink: &mut dyn PairSink,
     ) -> Result<JoinResult> {
         let measurement = env.begin();
+        let predicate = self.predicate;
+        let eps = predicate.epsilon();
 
         // Phase 1: sort both inputs by lower y-coordinate. Indexed inputs are
         // deliberately treated as flat files — this is the "ignore the index"
@@ -84,16 +100,20 @@ impl SpatialJoin for SssjJoin {
         let (right_sorted, right_bbox) = right.to_sorted_stream(env, self.region_hint)?;
         let region = self
             .region_hint
-            .unwrap_or_else(|| left_bbox.union(&right_bbox));
+            .unwrap_or_else(|| left_bbox.union(&right_bbox))
+            .expanded(eps);
 
-        // Phase 2: single synchronized scan over the two sorted streams.
+        // Phase 2: single synchronized scan over the two sorted streams. Left
+        // items are ε-expanded as they are read — a uniform shift of their
+        // sort keys, so the merge order below stays correct.
         let mut driver: SweepDriver<StripedSweep> = SweepDriver::new(region.lo.x, region.hi.x);
         let mut lr = left_sorted.reader();
         let mut rr = right_sorted.reader();
-        let mut lnext = lr.next(env)?;
+        let mut lnext = lr.next(env)?.map(|it| predicate.expand_left(it));
         let mut rnext = rr.next(env)?;
         let mut pairs = 0u64;
-        while lnext.is_some() || rnext.is_some() {
+        let mut done = false;
+        while !done && (lnext.is_some() || rnext.is_some()) {
             let take_left = match (&lnext, &rnext) {
                 (Some(a), Some(b)) => {
                     env.charge(CpuOp::Compare, 1);
@@ -105,15 +125,27 @@ impl SpatialJoin for SssjJoin {
             if take_left {
                 let item = lnext.take().expect("checked above");
                 driver.push(Side::Left, item, |a, b| {
-                    pairs += 1;
-                    sink(a, b);
+                    if done || !predicate.accepts(&a.rect, &b.rect) {
+                        return;
+                    }
+                    if sink.emit(a.id, b.id).is_break() {
+                        done = true;
+                    } else {
+                        pairs += 1;
+                    }
                 });
-                lnext = lr.next(env)?;
+                lnext = lr.next(env)?.map(|it| predicate.expand_left(it));
             } else {
                 let item = rnext.take().expect("checked above");
                 driver.push(Side::Right, item, |a, b| {
-                    pairs += 1;
-                    sink(a, b);
+                    if done || !predicate.accepts(&a.rect, &b.rect) {
+                        return;
+                    }
+                    if sink.emit(a.id, b.id).is_break() {
+                        done = true;
+                    } else {
+                        pairs += 1;
+                    }
                 });
                 rnext = rr.next(env)?;
             }

@@ -19,8 +19,10 @@ use usj_rtree::{NodeKind, RTree};
 use usj_sweep::{sweep_join, ForwardSweep, SweepJoinStats};
 
 use crate::input::JoinInput;
+use crate::predicate::Predicate;
 use crate::result::{JoinResult, MemoryStats};
-use crate::SpatialJoin;
+use crate::sink::PairSink;
+use crate::JoinOperator;
 
 /// Configuration of the ST join.
 ///
@@ -30,7 +32,7 @@ use crate::SpatialJoin;
 /// I/O accounting reports the index page requests of Table 4.
 ///
 /// ```
-/// use usj_core::{JoinInput, StJoin, SpatialJoin};
+/// use usj_core::{JoinInput, JoinOperator, StJoin};
 /// use usj_geom::{Item, Rect};
 /// use usj_io::{MachineConfig, SimEnv};
 /// use usj_rtree::RTree;
@@ -59,12 +61,15 @@ pub struct StJoin {
     /// Size of the LRU buffer pool in bytes (the paper gives ST 22 MB of the
     /// 24 MB of free memory).
     pub buffer_pool_bytes: usize,
+    /// The pair-selection predicate (default: MBR intersection).
+    pub predicate: Predicate,
 }
 
 impl Default for StJoin {
     fn default() -> Self {
         StJoin {
             buffer_pool_bytes: 22 * 1024 * 1024,
+            predicate: Predicate::default(),
         }
     }
 }
@@ -75,11 +80,21 @@ impl StJoin {
         self.buffer_pool_bytes = bytes.max(usj_io::PAGE_SIZE);
         self
     }
+
+    /// Sets the join predicate (builder style).
+    pub fn with_predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
 }
 
-impl SpatialJoin for StJoin {
+impl JoinOperator for StJoin {
     fn name(&self) -> &'static str {
         "ST"
+    }
+
+    fn predicate(&self) -> Predicate {
+        self.predicate
     }
 
     fn run_with(
@@ -87,9 +102,11 @@ impl SpatialJoin for StJoin {
         env: &mut SimEnv,
         left: JoinInput<'_>,
         right: JoinInput<'_>,
-        sink: &mut dyn FnMut(u32, u32),
+        sink: &mut dyn PairSink,
     ) -> Result<JoinResult> {
         let measurement = env.begin();
+        let predicate = self.predicate;
+        let eps = predicate.epsilon();
 
         // ST is an index join: non-indexed inputs are bulk-loaded first (the
         // equivalent of the on-the-fly index construction the paper's related
@@ -113,35 +130,43 @@ impl SpatialJoin for StJoin {
         };
 
         let mut pool = LruBufferPool::with_capacity_bytes(self.buffer_pool_bytes);
-        let mut pairs = 0u64;
         let mut sweep_total = SweepJoinStats::default();
         let mut max_node_pair_bytes = 0usize;
 
         // Explicit DFS stack of node pairs whose directory rectangles
-        // intersect.
+        // intersect. Left directory rectangles are ε-expanded throughout: an
+        // expanded parent MBR covers its expanded children, so the traversal
+        // is exact for the distance predicate too.
+        let mut pairs = 0u64;
+        let mut done = false;
         let mut stack: Vec<(PageId, PageId)> = Vec::new();
         env.charge(CpuOp::RectTest, 1);
-        if left_tree.bbox().intersects(&right_tree.bbox()) {
+        if left_tree.bbox().expanded(eps).intersects(&right_tree.bbox()) {
             stack.push((left_tree.root(), right_tree.root()));
         }
         while let Some((pa, pb)) = stack.pop() {
+            if done {
+                break;
+            }
             let node_a = left_tree.read_node_pooled(env, &mut pool, pa)?;
             let node_b = right_tree.read_node_pooled(env, &mut pool, pb)?;
 
             // Restrict both entry sets to the intersection of the two node
             // rectangles (Brinkhoff et al.'s search-space restriction).
             env.charge(CpuOp::RectTest, 1);
-            let Some(common) = node_a.mbr().intersection(&node_b.mbr()) else {
+            let Some(common) = node_a.mbr().expanded(eps).intersection(&node_b.mbr()) else {
                 continue;
             };
             let a_entries: Vec<Item> = node_a
                 .entries
                 .iter()
-                .filter(|e| {
+                .filter_map(|e| {
                     env.cpu.bump(CpuOp::RectTest);
-                    e.rect.intersects(&common)
+                    let expanded = e.rect.expanded(eps);
+                    expanded
+                        .intersects(&common)
+                        .then(|| Item::new(expanded, e.as_item().id))
                 })
-                .map(|e| e.as_item())
                 .collect();
             let b_entries: Vec<Item> = node_b
                 .entries
@@ -156,9 +181,15 @@ impl SpatialJoin for StJoin {
                 .max((a_entries.len() + b_entries.len()) * std::mem::size_of::<Item>());
 
             // Intersecting pairs of entries, computed with the forward sweep.
+            // At the leaf level the candidates are additionally refined with
+            // the predicate (containment is a data-rectangle test — applying
+            // it to directory rectangles would wrongly prune subtrees).
+            let leaf_level = node_a.kind == NodeKind::Leaf && node_b.kind == NodeKind::Leaf;
             let mut matches: Vec<(u32, u32)> = Vec::new();
             let stats = sweep_join::<ForwardSweep, _>(&a_entries, &b_entries, |a, b| {
-                matches.push((a, b));
+                if !leaf_level || predicate.accepts(&a.rect, &b.rect) {
+                    matches.push((a.id, b.id));
+                }
             });
             env.charge(CpuOp::RectTest, stats.rect_tests);
             env.charge(
@@ -177,8 +208,11 @@ impl SpatialJoin for StJoin {
             match (node_a.kind, node_b.kind) {
                 (NodeKind::Leaf, NodeKind::Leaf) => {
                     for (a, b) in matches {
+                        if sink.emit(a, b).is_break() {
+                            done = true;
+                            break;
+                        }
                         pairs += 1;
-                        sink(a, b);
                     }
                 }
                 (NodeKind::Internal, NodeKind::Internal) => {

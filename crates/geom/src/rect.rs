@@ -147,6 +147,25 @@ impl Rect {
         })
     }
 
+    /// The rectangle grown by `eps` on every side (Minkowski sum with a
+    /// `2eps × 2eps` square).
+    ///
+    /// This is the ε-expansion used by the distance join: two rectangles are
+    /// within Chebyshev (L∞) distance `eps` of each other exactly when one of
+    /// them, expanded by `eps`, intersects the other. Expanding with
+    /// `eps == 0.0` returns the rectangle unchanged; empty rectangles stay
+    /// empty for small `eps`.
+    #[inline]
+    pub fn expanded(&self, eps: f32) -> Rect {
+        if eps == 0.0 {
+            return *self;
+        }
+        Rect {
+            lo: Point::new(self.lo.x - eps, self.lo.y - eps),
+            hi: Point::new(self.hi.x + eps, self.hi.y + eps),
+        }
+    }
+
     /// Area increase caused by enlarging `self` to also cover `other`.
     ///
     /// Used by the bulk-loading packing heuristic ("include additional

@@ -91,11 +91,16 @@ impl<S: SweepStructure> SweepDriver<S> {
 
     /// Advances the sweep line to `item.rect.lo.y` and processes `item` from
     /// input `side`, reporting every join partner to `report` as
-    /// `(left_id, right_id)`.
+    /// `(left_item, right_item)`.
+    ///
+    /// The full items (not just identifiers) are reported so that callers can
+    /// refine the candidate pair with a stricter predicate — containment,
+    /// reference-point deduplication, exact distance — without keeping their
+    /// own id-to-rectangle side tables.
     ///
     /// Items must be pushed in ascending lower-y order across *both* sides;
     /// this is asserted in debug builds.
-    pub fn push<F: FnMut(u32, u32)>(&mut self, side: Side, item: Item, mut report: F) {
+    pub fn push<F: FnMut(&Item, &Item)>(&mut self, side: Side, item: Item, mut report: F) {
         let y = item.rect.lo.y;
         debug_assert!(
             y >= self.last_y,
@@ -107,14 +112,14 @@ impl<S: SweepStructure> SweepDriver<S> {
         match side {
             Side::Left => {
                 self.right.query(&item, |other| {
-                    report(item.id, other.id);
+                    report(&item, other);
                 });
                 self.left.insert(item);
                 self.stats.left_items += 1;
             }
             Side::Right => {
                 self.left.query(&item, |other| {
-                    report(other.id, item.id);
+                    report(other, &item);
                 });
                 self.right.insert(item);
                 self.stats.right_items += 1;
@@ -151,17 +156,40 @@ impl<S: SweepStructure> SweepDriver<S> {
     }
 }
 
-/// Joins two in-memory, y-sorted slices, reporting pairs to a callback.
+/// Joins two in-memory slices, reporting intersecting `(left, right)` item
+/// pairs to a callback.
 ///
 /// Inputs that are not sorted are handled by sorting copies first, so the
 /// function is safe to call on arbitrary slices (PBSM partitions arrive
 /// unsorted, for example). Returns the join statistics.
-pub fn sweep_join<S, F>(left: &[Item], right: &[Item], mut report: F) -> SweepJoinStats
+pub fn sweep_join<S, F>(left: &[Item], right: &[Item], report: F) -> SweepJoinStats
 where
     S: SweepStructure,
-    F: FnMut(u32, u32),
+    F: FnMut(&Item, &Item),
 {
-    let mut l: Vec<Item> = left.to_vec();
+    sweep_join_eps::<S, F>(left, right, 0.0, report)
+}
+
+/// [`sweep_join`] with ε-expansion of the left input.
+///
+/// Every left rectangle is grown by `eps` on all sides before the sweep, so
+/// the reported pairs are exactly the pairs whose Chebyshev (L∞) distance is
+/// at most `eps` — the within-distance join predicate. The callback receives
+/// the *expanded* left item; with `eps == 0.0` this is identical to
+/// [`sweep_join`].
+///
+/// Expanding only one side keeps the test symmetric (`d(a, b) <= eps` is
+/// symmetric) while shifting every left sort key by the same constant, which
+/// preserves the sorted order the sweep relies on.
+pub fn sweep_join_eps<S, F>(left: &[Item], right: &[Item], eps: f32, mut report: F) -> SweepJoinStats
+where
+    S: SweepStructure,
+    F: FnMut(&Item, &Item),
+{
+    let mut l: Vec<Item> = left
+        .iter()
+        .map(|it| Item::new(it.rect.expanded(eps), it.id))
+        .collect();
     let mut r: Vec<Item> = right.to_vec();
     l.sort_unstable_by(Item::cmp_by_lower_y);
     r.sort_unstable_by(Item::cmp_by_lower_y);
@@ -236,7 +264,7 @@ mod tests {
 
     fn run<S: SweepStructure>(left: &[Item], right: &[Item]) -> Vec<(u32, u32)> {
         let mut out = Vec::new();
-        sweep_join::<S, _>(left, right, |a, b| out.push((a, b)));
+        sweep_join::<S, _>(left, right, |a, b| out.push((a.id, b.id)));
         out.sort_unstable();
         out
     }
@@ -310,8 +338,12 @@ mod tests {
     fn driver_reports_sides_in_left_right_order() {
         let mut driver: SweepDriver<ForwardSweep> = SweepDriver::new(0.0, 10.0);
         let mut pairs = Vec::new();
-        driver.push(Side::Right, item(0.0, 0.0, 5.0, 5.0, 100), |a, b| pairs.push((a, b)));
-        driver.push(Side::Left, item(1.0, 1.0, 2.0, 2.0, 7), |a, b| pairs.push((a, b)));
+        driver.push(Side::Right, item(0.0, 0.0, 5.0, 5.0, 100), |a, b| {
+            pairs.push((a.id, b.id))
+        });
+        driver.push(Side::Left, item(1.0, 1.0, 2.0, 2.0, 7), |a, b| {
+            pairs.push((a.id, b.id))
+        });
         assert_eq!(pairs, vec![(7, 100)]);
     }
 
@@ -321,6 +353,27 @@ mod tests {
         let right = vec![item(1.0, 1.0, 2.0, 2.0, 2)];
         assert_eq!(run::<ForwardSweep>(&left, &right), vec![(1, 2)]);
         assert_eq!(run::<StripedSweep>(&left, &right), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn eps_expansion_reports_near_pairs() {
+        // Two unit squares a gap of 1.0 apart in x: disjoint under the plain
+        // intersect join, within distance under eps >= 1.0.
+        let left = vec![item(0.0, 0.0, 1.0, 1.0, 1)];
+        let right = vec![item(2.0, 0.0, 3.0, 1.0, 2)];
+        assert_eq!(run::<StripedSweep>(&left, &right), vec![]);
+        let mut near = Vec::new();
+        sweep_join_eps::<StripedSweep, _>(&left, &right, 1.0, |a, b| near.push((a.id, b.id)));
+        assert_eq!(near, vec![(1, 2)]);
+        // The callback sees the expanded left rectangle.
+        sweep_join_eps::<StripedSweep, _>(&left, &right, 1.5, |a, b| {
+            assert_eq!(a.rect.lo.x, -1.5);
+            assert_eq!(b.rect.lo.x, 2.0);
+        });
+        // Below the gap, still nothing.
+        let mut far = Vec::new();
+        sweep_join_eps::<StripedSweep, _>(&left, &right, 0.5, |a, b| far.push((a.id, b.id)));
+        assert!(far.is_empty());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod forward;
 pub mod striped;
 pub mod structure;
 
-pub use driver::{sweep_join, sweep_join_count, Side, SweepDriver, SweepJoinStats};
+pub use driver::{sweep_join, sweep_join_count, sweep_join_eps, Side, SweepDriver, SweepJoinStats};
 pub use forward::ForwardSweep;
 pub use striped::StripedSweep;
 pub use structure::{SweepStats, SweepStructure};

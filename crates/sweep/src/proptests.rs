@@ -41,7 +41,7 @@ fn brute(left: &[Item], right: &[Item]) -> Vec<(u32, u32)> {
 
 fn run<S: SweepStructure>(left: &[Item], right: &[Item]) -> Vec<(u32, u32)> {
     let mut out = Vec::new();
-    sweep_join::<S, _>(left, right, |a, b| out.push((a, b)));
+    sweep_join::<S, _>(left, right, |a, b| out.push((a.id, b.id)));
     out.sort_unstable();
     out
 }

@@ -1,8 +1,7 @@
 //! The Section 6.3 scenario: joining a *localized* relation (hydrography of
-//! one "state") against a country-wide relation (all roads). The cost-based
-//! selector decides whether to traverse the indexes or to ignore them and
-//! sort — the paper's point being that "index available" does not imply
-//! "index fastest".
+//! one "state") against a country-wide relation (all roads). `Algo::Auto`
+//! decides whether to traverse the indexes or to ignore them and sort — the
+//! paper's point being that "index available" does not imply "index fastest".
 //!
 //! ```text
 //! cargo run --release --example cost_based_selection
@@ -51,14 +50,17 @@ fn main() {
         });
         env.device.reset_stats();
 
-        let selector = CostBasedJoin::default();
-        let (plan, estimate, result) = selector
-            .run(
-                &mut env,
-                JoinInput::Indexed(&roads_tree),
-                JoinInput::Indexed(&hydro_tree),
-            )
-            .expect("cost-based join");
+        // The builder lowers Algo::Auto to an inspectable plan (which
+        // strategy, and why) and then executes it.
+        let query = SpatialQuery::new(
+            JoinInput::Indexed(&roads_tree),
+            JoinInput::Indexed(&hydro_tree),
+        )
+        .algorithm(Algo::Auto);
+        let plan = query.plan(&mut env).expect("query plan");
+        let estimate = plan.cost.expect("auto plans carry the estimate");
+        // `run_planned` reuses the plan instead of re-pricing the estimate.
+        let result = query.run_planned(&mut env, &plan).expect("cost-based join");
         println!(
             "{:>9.0}% {:>10} {:>12.2} {:>14.2} {:>14.2} {:>12}",
             window_frac * 100.0,
@@ -66,7 +68,7 @@ fn main() {
             estimate.touched_fraction,
             estimate.indexed_secs,
             estimate.non_indexed_secs,
-            format!("{plan:?} ({} pairs)", result.pairs)
+            format!("{:?} ({} pairs)", plan.chosen.expect("auto plan"), result.pairs)
         );
     }
     println!("\n(Small windows touch a small fraction of the road index, so the indexed plan wins; country-wide joins fall back to the sort-based SSSJ.)");

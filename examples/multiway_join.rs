@@ -12,7 +12,6 @@
 
 use unified_spatial_join::datagen::generator::{GeneratorConfig, TigerLikeGenerator};
 use unified_spatial_join::io::ItemStream;
-use unified_spatial_join::join::multiway::three_way_join;
 use unified_spatial_join::prelude::*;
 
 fn main() {
@@ -47,18 +46,19 @@ fn main() {
     );
 
     let mut sample = Vec::new();
-    let result = three_way_join(
-        &mut env,
-        JoinInput::Indexed(&roads_tree),
-        JoinInput::Indexed(&hydro_tree),
-        JoinInput::Stream(&zones_stream),
-        &mut |road, hydro, zone| {
-            if sample.len() < 5 {
-                sample.push((road, hydro, zone));
-            }
-        },
-    )
-    .expect("3-way join");
+    let result = MultiwayJoin
+        .run_with(
+            &mut env,
+            JoinInput::Indexed(&roads_tree),
+            JoinInput::Indexed(&hydro_tree),
+            JoinInput::Stream(&zones_stream),
+            &mut |road: u32, hydro: u32, zone: u32| {
+                if sample.len() < 5 {
+                    sample.push((road, hydro, zone));
+                }
+            },
+        )
+        .expect("3-way join");
 
     println!("\n3-way join (roads ⋈ hydro) ⋈ zones");
     println!("  intermediate road-hydro pairs : {}", result.intermediate_pairs);

@@ -1,5 +1,6 @@
 //! The parallel partitioned executor: shard a TIGER-like join spatially and
-//! fan it out across a worker pool, with exact serial-equivalent results.
+//! fan it out across a worker pool, with exact serial-equivalent results —
+//! all through the `SpatialQuery` builder.
 //!
 //! ```text
 //! cargo run --release --example parallel_join
@@ -7,7 +8,7 @@
 
 use std::time::Instant;
 
-use unified_spatial_join::join::parallel::{HilbertPartitioner, ParallelJoin, TilePartitioner};
+use unified_spatial_join::join::parallel::{ParallelJoin, TilePartitioner};
 use unified_spatial_join::prelude::*;
 
 fn main() {
@@ -29,14 +30,10 @@ fn main() {
     );
 
     // 2. Serial baseline: the paper's PQ join.
+    let serial_query = SpatialQuery::new(JoinInput::Stream(&roads), JoinInput::Stream(&hydro))
+        .algorithm(Algo::Pq);
     let t = Instant::now();
-    let serial = PqJoin::default()
-        .run(
-            &mut env,
-            JoinInput::Stream(&roads),
-            JoinInput::Stream(&hydro),
-        )
-        .expect("serial PQ join");
+    let serial = serial_query.run(&mut env).expect("serial PQ join");
     println!(
         "serial PQ:      {:>8} pairs  {:>8.1?}  ({} simulated I/Os)",
         serial.pairs,
@@ -47,31 +44,25 @@ fn main() {
     // 3. The same join, Hilbert-sharded across 1..=8 worker threads. The
     //    pair count is identical at every thread count.
     for threads in [1usize, 2, 4, 8] {
-        let join = ParallelJoin::new(PqJoin::default(), HilbertPartitioner::default())
-            .with_threads(threads)
-            .with_shards(16);
+        let query = serial_query.execution(Execution::Parallel {
+            partitioner: PartitionStrategy::Hilbert,
+            threads,
+            shards: 16,
+        });
         let t = Instant::now();
-        let run = join
-            .run_detailed(
-                &mut env,
-                JoinInput::Stream(&roads),
-                JoinInput::Stream(&hydro),
-                &mut |_, _| {},
-            )
-            .expect("parallel join");
-        assert_eq!(run.total.pairs, serial.pairs, "parallel must equal serial");
+        let run = query.run(&mut env).expect("parallel join");
+        assert_eq!(run.pairs, serial.pairs, "parallel must equal serial");
         println!(
-            "hilbert x{threads}:     {:>8} pairs  {:>8.1?}  ({} simulated I/Os: coordinator {}, workers {})",
-            run.total.pairs,
+            "hilbert x{threads}:     {:>8} pairs  {:>8.1?}  ({} simulated I/Os)",
+            run.pairs,
             t.elapsed(),
-            run.total.io.total_ops(),
-            run.coordinator.io.total_ops(),
-            run.total.io.total_ops() - run.coordinator.io.total_ops(),
+            run.io.total_ops(),
         );
     }
 
     // 4. Per-shard breakdown under the PBSM-style tile partitioner: the
     //    round-robin cell deal balances the load, Hilbert keeps locality.
+    //    (`ParallelJoin::run_detailed` exposes what the builder aggregates.)
     let join = ParallelJoin::new(PqJoin::default(), TilePartitioner::default())
         .with_threads(4)
         .with_shards(4);
@@ -80,7 +71,7 @@ fn main() {
             &mut env,
             JoinInput::Stream(&roads),
             JoinInput::Stream(&hydro),
-            &mut |_, _| {},
+            &mut CountSink::default(),
         )
         .expect("tile-sharded join");
     println!("tile x4 shards:");

@@ -1,5 +1,5 @@
 //! Quickstart: generate a TIGER-like workload, build R-trees on the simulated
-//! disk and run the paper's PQ join.
+//! disk and run the paper's PQ join through the `SpatialQuery` builder.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -30,14 +30,15 @@ fn main() {
     );
     env.device.reset_stats();
 
-    // 3. Run the Priority-Queue-Driven Traversal join on the two indexes.
-    let result = PqJoin::default()
-        .run(
-            &mut env,
-            JoinInput::Indexed(&roads_tree),
-            JoinInput::Indexed(&hydro_tree),
-        )
-        .expect("PQ join");
+    // 3. Describe the join once and run it. `Algo::Pq` forces the paper's
+    //    Priority-Queue-Driven Traversal; `Algo::Auto` would let the §6.3
+    //    cost model decide.
+    let query = SpatialQuery::new(
+        JoinInput::Indexed(&roads_tree),
+        JoinInput::Indexed(&hydro_tree),
+    )
+    .algorithm(Algo::Pq);
+    let result = query.run(&mut env).expect("PQ join");
 
     // 4. Report what the paper's tables report.
     println!("\nPQ join results");

@@ -1,5 +1,6 @@
 //! Compare all four join algorithms (SSSJ, PBSM, PQ, ST) on one TIGER-like
-//! data set and all three simulated machines — a miniature Figure 3.
+//! data set and all three simulated machines — a miniature Figure 3, driven
+//! through the `SpatialQuery` builder.
 //!
 //! ```text
 //! cargo run --release --example tiger_comparison [scale]
@@ -45,22 +46,22 @@ fn main() {
                 )
             });
             env.device.reset_stats();
-            let result = match alg {
-                JoinAlgorithm::Pq | JoinAlgorithm::St => alg
-                    .run(
-                        &mut env,
-                        JoinInput::Indexed(&roads_tree),
-                        JoinInput::Indexed(&hydro_tree),
-                    )
-                    .unwrap(),
-                _ => alg
-                    .run(
-                        &mut env,
-                        JoinInput::Stream(&roads_stream),
-                        JoinInput::Stream(&hydro_stream),
-                    )
-                    .unwrap(),
+            // Each algorithm gets its natural input representation, then the
+            // builder does the dispatch.
+            let (left, right) = match alg {
+                JoinAlgorithm::Pq | JoinAlgorithm::St => (
+                    JoinInput::Indexed(&roads_tree),
+                    JoinInput::Indexed(&hydro_tree),
+                ),
+                _ => (
+                    JoinInput::Stream(&roads_stream),
+                    JoinInput::Stream(&hydro_stream),
+                ),
             };
+            let result = SpatialQuery::new(left, right)
+                .algorithm(alg.into())
+                .run(&mut env)
+                .unwrap();
             let cost = result.observed_cost(&machine);
             println!(
                 "  {:<6} {:>12} {:>12.2} {:>12.2} {:>12.2} {:>14}",

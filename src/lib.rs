@@ -24,21 +24,31 @@
 //!
 //! ## Quickstart
 //!
+//! Joins are described with the [`SpatialQuery`](prelude::SpatialQuery)
+//! builder: pick an algorithm (or let the paper's §6.3 cost model pick),
+//! a predicate, and an execution strategy, then stream the result pairs
+//! into any sink.
+//!
 //! ```
 //! use unified_spatial_join::prelude::*;
 //!
 //! // Generate a small TIGER-like workload.
 //! let workload = WorkloadSpec::preset(Preset::NJ).with_scale(200).generate(42);
 //!
-//! // Build the simulated machine and an R-tree over the road relation.
+//! // Build the simulated machine and an R-tree over each relation.
 //! let machine = MachineConfig::machine3();
 //! let mut env = SimEnv::new(machine);
 //! let roads_tree = RTree::bulk_load(&mut env, &workload.roads).unwrap();
 //! let hydro_tree = RTree::bulk_load(&mut env, &workload.hydro).unwrap();
 //!
-//! // Run the paper's PQ join on the two indexed inputs.
-//! let result = PqJoin::default()
-//!     .run(&mut env, JoinInput::Indexed(&roads_tree), JoinInput::Indexed(&hydro_tree))
+//! // Describe and run the join; Algo::Auto routes through the cost model,
+//! // Algo::Pq forces the paper's unified algorithm.
+//! let result = SpatialQuery::new(
+//!         JoinInput::Indexed(&roads_tree),
+//!         JoinInput::Indexed(&hydro_tree),
+//!     )
+//!     .algorithm(Algo::Pq)
+//!     .run(&mut env)
 //!     .unwrap();
 //! assert!(result.pairs > 0);
 //! ```
@@ -51,15 +61,23 @@ pub use usj_rtree as rtree;
 pub use usj_sweep as sweep;
 
 /// Commonly used items, re-exported for convenience.
+///
+/// The deprecated `SpatialJoin` shim trait is deliberately *not* part of the
+/// prelude (importing it next to [`JoinOperator`](usj_core::JoinOperator)
+/// makes `run`/`run_collect` calls ambiguous); reach it explicitly as
+/// `unified_spatial_join::join::SpatialJoin` during migration.
 pub mod prelude {
     pub use usj_core::{
         cost::{CostBasedJoin, CostEstimate, JoinPlan},
         parallel::{HilbertPartitioner, ParallelJoin, Partitioner, ShardMap, TilePartitioner},
         pbsm::PbsmJoin,
         pq::PqJoin,
+        query::{Algo, Execution, PartitionStrategy, QueryPlan, SpatialQuery},
         sssj::SssjJoin,
         st::StJoin,
-        JoinAlgorithm, JoinInput, JoinResult, SpatialJoin,
+        CollectSink, CountSink, GridHistogram, JoinAlgorithm, JoinInput, JoinOperator,
+        JoinResult, LimitSink, MemoryStats, MultiwayJoin, PairSink, Predicate, SampleSink,
+        TripleSink,
     };
     pub use usj_datagen::{Preset, Workload, WorkloadSpec};
     pub use usj_geom::{Interval, Point, Rect};

@@ -47,42 +47,82 @@ fn join_algorithms_and_results_are_reachable_through_the_facade() {
     let tree = RTree::bulk_load(&mut env, &w.roads).unwrap();
     let hydro_tree = RTree::bulk_load(&mut env, &w.hydro).unwrap();
 
+    // `JoinOperator` is object-safe, so the four concrete joins erase
+    // directly — no adapter trait needed.
     for joiner in [
-        &PqJoin::default() as &dyn ErasedRun,
+        &PqJoin::default() as &dyn JoinOperator,
         &StJoin::default(),
         &SssjJoin::default(),
         &PbsmJoin::default(),
     ] {
-        let result: JoinResultAlias = joiner.run_erased(
+        let result: JoinResultAlias = joiner
+            .run(
+                &mut env,
+                JoinInput::Indexed(&tree),
+                JoinInput::Indexed(&hydro_tree),
+            )
+            .unwrap();
+        assert_eq!(result.pairs, w.reference_join_size());
+    }
+}
+
+#[test]
+fn query_builder_and_sinks_are_reachable_through_the_facade() {
+    let w = WorkloadSpec::preset(Preset::NJ).with_scale(2_000).generate(10);
+    let mut env = SimEnv::new(MachineConfig::machine3());
+    let tree = RTree::bulk_load(&mut env, &w.roads).unwrap();
+    let hydro_tree = RTree::bulk_load(&mut env, &w.hydro).unwrap();
+    let (result, pairs) = SpatialQuery::new(
+        JoinInput::Indexed(&tree),
+        JoinInput::Indexed(&hydro_tree),
+    )
+    .algorithm(Algo::Auto)
+    .predicate(Predicate::Intersects)
+    .execution(Execution::Serial)
+    .collect(&mut env)
+    .unwrap();
+    assert_eq!(result.pairs, w.reference_join_size());
+    assert_eq!(pairs.len() as u64, result.pairs);
+
+    // The memory report and the selectivity histogram are exported too.
+    let stats: MemoryStats = result.memory;
+    assert!(stats.total_bytes() > 0);
+    let hist = GridHistogram::from_items(w.region, 16, &w.roads);
+    assert!(hist.total() > 0);
+
+    // Multi-way joins are reachable without digging into submodules.
+    let zones = RTree::bulk_load(&mut env, &w.hydro).unwrap();
+    let res = MultiwayJoin
+        .run(
             &mut env,
             JoinInput::Indexed(&tree),
             JoinInput::Indexed(&hydro_tree),
-        );
-        assert_eq!(result.pairs, w.reference_join_size());
-    }
+            JoinInput::Indexed(&zones),
+        )
+        .unwrap();
+    assert!(res.triples > 0);
 }
 
 /// Type alias proving `JoinResult` is exported with its documented name.
 type JoinResultAlias = unified_spatial_join::join::JoinResult;
 
-/// Object-safe adapter used by the test above to iterate over the four
-/// concrete join types without generics.
-trait ErasedRun {
-    fn run_erased<'a>(
-        &self,
-        env: &mut SimEnv,
-        left: JoinInput<'a>,
-        right: JoinInput<'a>,
-    ) -> JoinResultAlias;
-}
-
-impl<T: SpatialJoin> ErasedRun for T {
-    fn run_erased<'a>(
-        &self,
-        env: &mut SimEnv,
-        left: JoinInput<'a>,
-        right: JoinInput<'a>,
-    ) -> JoinResultAlias {
-        self.run(env, left, right).unwrap()
-    }
+/// The deprecated shim stays reachable (not via the prelude) for one release.
+#[test]
+#[allow(deprecated)]
+fn legacy_spatial_join_shim_still_compiles() {
+    use unified_spatial_join::join::SpatialJoin;
+    let w = WorkloadSpec::preset(Preset::NJ).with_scale(4_000).generate(1);
+    let mut env = SimEnv::new(MachineConfig::machine3());
+    let tree = RTree::bulk_load(&mut env, &w.roads).unwrap();
+    let hydro_tree = RTree::bulk_load(&mut env, &w.hydro).unwrap();
+    let mut n = 0u64;
+    let res = SpatialJoin::run_with(
+        &PqJoin::default(),
+        &mut env,
+        JoinInput::Indexed(&tree),
+        JoinInput::Indexed(&hydro_tree),
+        &mut |_, _| n += 1,
+    )
+    .unwrap();
+    assert_eq!(res.pairs, n);
 }
