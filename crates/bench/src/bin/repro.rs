@@ -5,7 +5,8 @@
 //!
 //! experiments:
 //!   table2 table3 table4 fig2-estimated fig2-observed fig3 crossover
-//!   ablation-sweep ablation-buffer ablation-tiles ablation-packing all
+//!   ablation-sweep ablation-buffer ablation-tiles ablation-packing
+//!   low-memory all
 //! ```
 
 use usj_bench::{ExperimentConfig, *};
@@ -80,6 +81,7 @@ fn main() {
         "ablation-buffer" => ablation_buffer(&cfg),
         "ablation-tiles" => ablation_tiles(&cfg),
         "ablation-packing" => ablation_packing(&cfg),
+        "low-memory" => low_memory(&cfg),
         "all" => run_all(&cfg),
         other => die(&format!("unknown experiment '{other}'")),
     }

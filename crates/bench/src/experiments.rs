@@ -396,6 +396,53 @@ pub fn ablation_packing(cfg: &ExperimentConfig) {
     println!("(paper: tightly packed, space-efficient structures perform better, at some risk of overlap)");
 }
 
+/// Memory-adaptivity experiment (not in the paper): every algorithm on every
+/// preset at 4, 16 and 64 MB internal-memory limits, recording the measured
+/// peak, the sweep spill volume and the total I/O. The pair counts must not
+/// move — only the I/O may, which is exactly the "runs at any memory size"
+/// degradation story of Sections 3.1–3.2.
+pub fn low_memory(cfg: &ExperimentConfig) {
+    println!(
+        "\n== Low-memory sweep: spill I/O vs memory limit (scale divisor {}) ==",
+        cfg.scale
+    );
+    println!(
+        "{:<10} {:>6} {:>5} {:>10} {:>10} {:>9} {:>7} {:>10} {:>10}",
+        "Data set", "Limit", "Alg", "Pairs", "Peak MB", "Spilled", "Splits", "Pages rd", "Pages wr"
+    );
+    for &preset in &cfg.presets {
+        for limit_mb in [4usize, 16, 64] {
+            let mut p = PreparedWorkload::build(preset, cfg, MachineConfig::machine3());
+            p.env.set_memory_limit(limit_mb * 1024 * 1024);
+            let mut pair_counts = Vec::new();
+            for alg in JoinAlgorithm::all() {
+                let res = p.run_algorithm(alg);
+                assert!(
+                    res.memory.peak_bytes <= p.env.memory_limit,
+                    "{preset} {alg:?}: measured peak over the limit"
+                );
+                pair_counts.push(res.pairs);
+                println!(
+                    "{:<10} {:>4}MB {:>5} {:>10} {:>10.3} {:>9} {:>7} {:>10} {:>10}",
+                    preset.name(),
+                    limit_mb,
+                    alg.short_name(),
+                    res.pairs,
+                    mb(res.memory.peak_bytes as u64),
+                    res.sweep.spilled_items,
+                    res.sweep.spill_runs,
+                    res.io.pages_read,
+                    res.io.pages_written,
+                );
+                p.reset();
+            }
+            pair_counts.dedup();
+            assert_eq!(pair_counts.len(), 1, "{preset}: algorithms disagree at {limit_mb} MB");
+        }
+    }
+    println!("(the memory governor guarantees Peak <= Limit; shrinking the limit may only add spill/repartition I/O, never change the pairs)");
+}
+
 /// Runs every experiment in sequence.
 pub fn run_all(cfg: &ExperimentConfig) {
     table2(cfg);
@@ -409,6 +456,7 @@ pub fn run_all(cfg: &ExperimentConfig) {
     ablation_buffer(cfg);
     ablation_tiles(cfg);
     ablation_packing(cfg);
+    low_memory(cfg);
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! | `repro ablation-buffer` | ST page requests vs buffer-pool size (Sec. 6.2) |
 //! | `repro ablation-tiles` | PBSM 32×32 vs 128×128 tiles (Sec. 3.2) |
 //! | `repro ablation-packing` | 75 %+20 % packing vs full packing (Sec. 7) |
+//! | `repro low-memory` | memory governor: spill I/O vs 4/16/64 MB limits |
 //! | `repro all` | everything above |
 //!
 //! Every experiment accepts `--scale <divisor>` (default 200) which divides

@@ -51,7 +51,7 @@ pub use parallel::{HilbertPartitioner, ParallelJoin, Partitioner, ShardMap, Tile
 pub use pbsm::PbsmJoin;
 pub use pq::PqJoin;
 pub use predicate::Predicate;
-pub use query::{Algo, Execution, PartitionStrategy, QueryPlan, SpatialQuery};
+pub use query::{Algo, Execution, MemoryPlan, PartitionStrategy, QueryPlan, SpatialQuery};
 pub use result::{JoinResult, MemoryStats};
 pub use sink::{CollectSink, CountSink, LimitSink, PairSink, SampleSink, TripleSink};
 pub use sssj::SssjJoin;

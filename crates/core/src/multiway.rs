@@ -120,6 +120,7 @@ pub fn three_way_join(
     sink: &mut dyn TripleSink,
 ) -> Result<MultiwayResult> {
     let measurement = env.begin();
+    env.memory.begin_phase();
     let pq = PqJoin::default();
 
     let (mut a_src, a_bbox) = pq.make_source(env, &a, None)?;
@@ -135,6 +136,13 @@ pub fn three_way_join(
 
     // Composite bookkeeping: composite id -> (a_id, b_id).
     let mut composites: Vec<(u32, u32)> = Vec::new();
+
+    // The cascaded sweeps run on the plain in-memory driver (no spilling
+    // mode for the 3-way cascade yet), so their structures and the composite
+    // table register with the gauge wholesale: a run that outgrows the limit
+    // fails with `MemoryLimitExceeded` rather than silently overcommitting,
+    // and the reported peak stays a true measurement.
+    let mut sweep_claim = env.memory.reserve_empty();
 
     let mut triples = 0u64;
     let mut intermediate = 0u64;
@@ -214,6 +222,11 @@ pub fn three_way_join(
                 }
             });
         }
+        sweep_claim.try_set(
+            first.bytes()
+                + second.bytes()
+                + composites.len() * std::mem::size_of::<(u32, u32)>(),
+        )?;
     }
     // Remaining c items may still match composites already in the structure.
     while !done {
@@ -229,6 +242,11 @@ pub fn three_way_join(
                 triples += 1;
             }
         });
+        sweep_claim.try_set(
+            first.bytes()
+                + second.bytes()
+                + composites.len() * std::mem::size_of::<(u32, u32)>(),
+        )?;
         c_next = c_src.next(env)?;
     }
 
@@ -248,6 +266,7 @@ pub fn three_way_join(
             sweep_structure_bytes: first_stats.max_structure_bytes
                 + second_stats.max_structure_bytes,
             other_bytes: composites.len() * std::mem::size_of::<(u32, u32)>(),
+            peak_bytes: env.memory.peak(),
         },
     })
 }

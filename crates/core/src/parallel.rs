@@ -396,6 +396,7 @@ impl<J: JoinOperator + Sync, P: Partitioner> ParallelJoin<J, P> {
         sink: &mut dyn PairSink,
     ) -> Result<ParallelRun> {
         let measurement = env.begin();
+        env.memory.begin_phase();
         let eps = self.inner.predicate().epsilon();
 
         let left_stream = left.to_stream(env)?;
@@ -437,7 +438,12 @@ impl<J: JoinOperator + Sync, P: Partitioner> ParallelJoin<J, P> {
         // are *targeted* with their ε-expansion (so near-miss partners of a
         // distance join meet in at least one shard) but stored unexpanded —
         // the inner operator applies its own predicate expansion.
-        let scatter =
+        // The coordinator's scatter buffers are a real working set and are
+        // claimed from its memory gauge (a dataset whose replicated scatter
+        // exceeds the coordinator's memory fails loudly instead of silently
+        // overcommitting).
+        let mut scatter_claim = env.memory.reserve_empty();
+        let mut scatter =
             |env: &mut SimEnv, stream: &ItemStream, expand: f32| -> Result<Vec<Vec<Item>>> {
                 let mut parts: Vec<Vec<Item>> = vec![Vec::new(); shards];
                 let mut reader = stream.reader();
@@ -445,6 +451,7 @@ impl<J: JoinOperator + Sync, P: Partitioner> ParallelJoin<J, P> {
                 while let Some(it) = reader.next(env)? {
                     map.shards_of_rect(&it.rect.expanded(expand), &mut targets);
                     env.charge(CpuOp::ItemMove, targets.len() as u64);
+                    scatter_claim.try_grow(targets.len() * std::mem::size_of::<Item>())?;
                     for &p in &targets {
                         parts[p].push(it);
                     }
@@ -468,6 +475,7 @@ impl<J: JoinOperator + Sync, P: Partitioner> ParallelJoin<J, P> {
             .chain(shard_right.iter())
             .map(|v| v.len() * std::mem::size_of::<Item>())
             .sum();
+        coordinator.memory.peak_bytes = env.memory.peak();
 
         // Fan the shards out over the worker pool. Each worker pulls shard
         // indices from a shared queue and runs every shard on a fresh fork
@@ -566,7 +574,13 @@ fn run_shard<J: JoinOperator>(
 
     // Rectangle lookup for the reference-point ownership test. Ids must be
     // unique within each input (see the `ParallelJoin` docs) or the lookup
-    // would resolve to the wrong geometry.
+    // would resolve to the wrong geometry. The maps are part of the worker's
+    // working set (~2× an entry per item with hashing overhead).
+    let _dedup_claim = wenv.memory.try_reserve(
+        (left_items.len() + right_items.len())
+            * 2
+            * std::mem::size_of::<(u32, Rect)>(),
+    )?;
     let left_rects: HashMap<u32, Rect> = left_items.iter().map(|it| (it.id, it.rect)).collect();
     let right_rects: HashMap<u32, Rect> = right_items.iter().map(|it| (it.id, it.rect)).collect();
     debug_assert_eq!(left_rects.len(), left_items.len(), "duplicate ids in the left input");
@@ -619,6 +633,9 @@ fn run_shard<J: JoinOperator>(
     result.cpu = cpu;
     result.pairs = pairs.len() as u64;
     result.sweep.pairs = result.pairs;
+    // The worker's measured peak covers the dedup maps and shard streams in
+    // addition to whatever the inner join reported on this gauge.
+    result.memory.peak_bytes = result.memory.peak_bytes.max(wenv.memory.peak());
     Ok((result, pairs))
 }
 

@@ -12,10 +12,24 @@
 //! Following the implementation note in the paper, the default tile grid is
 //! 128 × 128 (the 32 × 32 grid suggested originally produced overfull
 //! partitions on the TIGER data); the ablation harness exercises both.
+//!
+//! ## Memory-adaptive repartitioning
+//!
+//! Partition sizing is an estimate; a skewed input can put arbitrarily many
+//! rectangles into one tile, and the original PBSM answers by *recursively
+//! repartitioning* any partition that does not fit in memory. This
+//! implementation does the same under the memory governor: before a
+//! partition is loaded, its bytes are claimed from the
+//! [`MemoryGauge`](usj_io::MemoryGauge); if the claim fails, the partition
+//! is re-replicated over a fresh tile grid covering *its own* bounding box
+//! (so a cluster that fell into one parent tile spreads out again), with the
+//! reference-point test applied at every level of the split so no pair is
+//! duplicated or lost. Indivisible clusters (identical rectangles) fall back
+//! to a memory-bounded chunked sweep that streams one side past the other.
 
-use usj_geom::Rect;
-use usj_io::{CpuOp, ItemStream, ItemStreamWriter, Result, SimEnv};
-use usj_sweep::{sweep_join, ForwardSweep};
+use usj_geom::{Item, Rect, ITEM_BYTES};
+use usj_io::{CpuOp, ItemStream, ItemStreamWriter, Result, SimEnv, PAGE_SIZE};
+use usj_sweep::{sweep_join, ForwardSweep, SweepJoinStats};
 
 use crate::input::JoinInput;
 use crate::predicate::Predicate;
@@ -104,7 +118,19 @@ impl PbsmJoin {
     }
 }
 
+/// Recursion limit of the repartitioning (beyond it the chunked fallback
+/// takes over; each level shrinks the region to the overfull partition's
+/// bounding box, so eight levels outrun `f32` resolution anyway).
+const MAX_SPLIT_DEPTH: usize = 8;
+
+/// Fan-out of one repartitioning level.
+const SPLIT_PARTITIONS: usize = 4;
+
+/// Logical block size (in pages) of the sub-partition scratch streams.
+const SPLIT_PAGES_PER_BLOCK: u64 = 2;
+
 /// Geometry of the tile grid.
+#[derive(Debug, Clone)]
 struct TileGrid {
     region: Rect,
     tiles_per_side: usize,
@@ -169,6 +195,7 @@ impl JoinOperator for PbsmJoin {
         sink: &mut dyn PairSink,
     ) -> Result<JoinResult> {
         let measurement = env.begin();
+        env.memory.begin_phase();
         let predicate = self.predicate;
         let eps = predicate.epsilon();
 
@@ -200,11 +227,17 @@ impl JoinOperator for PbsmJoin {
 
         // Partition count: both partitions of a pair must fit in memory
         // together with the sweep working space, so size each partition to a
-        // quarter of the internal memory.
+        // quarter of the internal memory. The fan-out is additionally capped
+        // so the distribution writers' block buffers (one logical block per
+        // partition) fit in that same quarter — partitions that end up
+        // overfull are split recursively below instead.
         let total_bytes = left_stream.data_bytes() + right_stream.data_bytes();
+        let max_fanout = ((env.memory_limit / 4) / PAGE_SIZE).max(1);
         let partitions = self
             .partitions
-            .unwrap_or_else(|| ((total_bytes as usize).div_ceil(env.memory_limit / 4)).max(1));
+            .unwrap_or_else(|| ((total_bytes as usize).div_ceil(env.memory_limit / 4)).max(1))
+            .min(max_fanout);
+        let writer_ppb = (((env.memory_limit / 4) / PAGE_SIZE) / partitions).clamp(1, 8) as u64;
         let grid = TileGrid {
             region,
             tiles_per_side: self.tiles_per_side,
@@ -217,70 +250,66 @@ impl JoinOperator for PbsmJoin {
         // rectangles are ε-expanded *before* partitioning so that near-miss
         // pairs meet in at least one partition.
         let mut replicated = 0u64;
-        let mut distribute =
-            |env: &mut SimEnv, stream: &ItemStream, left_side: bool| -> Result<Vec<ItemStream>> {
-                let mut writers: Vec<ItemStreamWriter> = (0..partitions)
-                    .map(|_| ItemStreamWriter::new(env, 8))
-                    .collect();
-                let mut reader = stream.reader();
-                let mut targets = Vec::with_capacity(4);
-                while let Some(mut it) = reader.next(env)? {
-                    if left_side {
-                        it = predicate.expand_left(it);
-                    }
-                    grid.partitions_of(&it.rect, &mut targets);
-                    env.charge(CpuOp::ItemMove, targets.len() as u64);
-                    replicated += targets.len() as u64 - 1;
-                    for &p in &targets {
-                        writers[p].push(env, it)?;
-                    }
+        let mut distribute = |env: &mut SimEnv,
+                              stream: &ItemStream,
+                              left_side: bool|
+         -> Result<(Vec<ItemStream>, Vec<Rect>)> {
+            let mut writers: Vec<ItemStreamWriter> = (0..partitions)
+                .map(|_| ItemStreamWriter::new(env, writer_ppb))
+                .collect();
+            // Per-partition bounding boxes, folded for free during the
+            // write pass: a later recursive split re-grids over exactly this
+            // box without a dedicated scan.
+            let mut bboxes = vec![Rect::empty(); partitions];
+            let mut reader = stream.reader();
+            let mut targets = Vec::with_capacity(4);
+            while let Some(mut it) = reader.next(env)? {
+                if left_side {
+                    it = predicate.expand_left(it);
                 }
-                writers.into_iter().map(|w| w.finish(env)).collect()
-            };
-        let left_parts = distribute(env, &left_stream, true)?;
-        let right_parts = distribute(env, &right_stream, false)?;
+                grid.partitions_of(&it.rect, &mut targets);
+                env.charge(CpuOp::ItemMove, targets.len() as u64);
+                replicated += targets.len() as u64 - 1;
+                for &p in &targets {
+                    bboxes[p] = bboxes[p].union(&it.rect);
+                    writers[p].push(env, it)?;
+                }
+            }
+            let streams = writers
+                .into_iter()
+                .map(|w| w.finish(env))
+                .collect::<Result<Vec<_>>>()?;
+            Ok((streams, bboxes))
+        };
+        let (left_parts, left_bboxes) = distribute(env, &left_stream, true)?;
+        let (right_parts, right_bboxes) = distribute(env, &right_stream, false)?;
 
         // Phase 2: join each partition in memory with the forward sweep,
-        // suppressing duplicates with the reference-point test.
-        let mut pairs = 0u64;
-        let mut done = false;
-        let mut sweep_total = usj_sweep::SweepJoinStats::default();
-        let mut max_partition_bytes = 0usize;
+        // suppressing duplicates with the reference-point test; partitions
+        // that do not fit the memory budget are repartitioned recursively.
+        let mut run = PbsmRun {
+            predicate,
+            tiles_per_side: self.tiles_per_side,
+            pairs: 0,
+            done: false,
+            sweep_total: SweepJoinStats::default(),
+            max_partition_bytes: 0,
+            sink,
+        };
+        let mut path = vec![(grid, 0usize)];
         for p in 0..partitions {
-            if done {
+            if run.done {
                 break;
             }
-            let l = left_parts[p].read_all(env)?;
-            let r = right_parts[p].read_all(env)?;
-            if l.is_empty() || r.is_empty() {
-                continue;
-            }
-            max_partition_bytes = max_partition_bytes
-                .max((l.len() + r.len()) * std::mem::size_of::<usj_geom::Item>());
-            let stats = sweep_join::<ForwardSweep, _>(&l, &r, |a, b| {
-                // Reference point: lower-left corner of the intersection of
-                // the (expanded) rectangles — report the pair only in the
-                // partition owning its tile.
-                if done {
-                    return;
-                }
-                let ref_x = a.rect.lo.x.max(b.rect.lo.x);
-                let ref_y = a.rect.lo.y.max(b.rect.lo.y);
-                let tile = grid.tile_of(ref_x, ref_y);
-                if grid.partition_of_tile(tile) == p && predicate.accepts(&a.rect, &b.rect) {
-                    if sink.emit(a.id, b.id).is_break() {
-                        done = true;
-                    } else {
-                        pairs += 1;
-                    }
-                }
-            });
-            env.charge(CpuOp::RectTest, stats.rect_tests);
-            env.charge(CpuOp::Compare, (l.len() + r.len()) as u64);
-            sweep_total.merge(&stats);
+            path[0].1 = p;
+            let bbox = left_bboxes[p].union(&right_bboxes[p]);
+            run.join_partition(env, &mut path, &left_parts[p], &right_parts[p], bbox, 0)?;
         }
-        env.charge(CpuOp::OutputPair, pairs);
+        env.charge(CpuOp::OutputPair, run.pairs);
+        let pairs = run.pairs;
+        let mut sweep_total = run.sweep_total;
         sweep_total.pairs = pairs;
+        let max_partition_bytes = run.max_partition_bytes;
 
         let (io, cpu) = env.since(&measurement);
         let _ = replicated;
@@ -294,8 +323,259 @@ impl JoinOperator for PbsmJoin {
                 priority_queue_bytes: 0,
                 sweep_structure_bytes: sweep_total.max_structure_bytes,
                 other_bytes: max_partition_bytes,
+                peak_bytes: env.memory.peak(),
             },
         })
+    }
+}
+
+/// The shared pair-acceptance path of the in-memory sweep and the chunked
+/// fallback. Reference point: lower-left corner of the intersection of the
+/// (expanded) rectangles — the pair is reported only when that point's tile
+/// belongs to the chosen partition at *every* split level of `path`, which
+/// keeps the output duplicate-free under arbitrary re-replication; the
+/// predicate refines the surviving candidates before they reach the sink.
+fn report_candidate(
+    predicate: Predicate,
+    path: &[(TileGrid, usize)],
+    sink: &mut dyn PairSink,
+    pairs: &mut u64,
+    done: &mut bool,
+    a: &Item,
+    b: &Item,
+) {
+    if *done {
+        return;
+    }
+    let ref_x = a.rect.lo.x.max(b.rect.lo.x);
+    let ref_y = a.rect.lo.y.max(b.rect.lo.y);
+    if !path
+        .iter()
+        .all(|(g, p)| g.partition_of_tile(g.tile_of(ref_x, ref_y)) == *p)
+    {
+        return;
+    }
+    if !predicate.accepts(&a.rect, &b.rect) {
+        return;
+    }
+    if sink.emit(a.id, b.id).is_break() {
+        *done = true;
+    } else {
+        *pairs += 1;
+    }
+}
+
+/// Upper bound on the block-buffer bytes one reader over `s` will charge to
+/// the gauge (one logical block, capped by the stream's total size).
+fn reader_bound(s: &ItemStream) -> usize {
+    (s.data_bytes() as usize).min(s.pages_per_block() as usize * PAGE_SIZE)
+}
+
+/// Mutable state threaded through the recursive partition joins.
+struct PbsmRun<'a> {
+    predicate: Predicate,
+    tiles_per_side: usize,
+    pairs: u64,
+    done: bool,
+    sweep_total: SweepJoinStats,
+    max_partition_bytes: usize,
+    sink: &'a mut dyn PairSink,
+}
+
+impl PbsmRun<'_> {
+    /// Joins one (possibly nested) partition.
+    ///
+    /// `path` is the chain of `(grid, partition)` choices that led here; a
+    /// pair is reported only when its reference point maps to the chosen
+    /// partition at *every* level, which keeps the output duplicate-free
+    /// under arbitrary re-replication. `bbox` covers the partition's data
+    /// (folded during the distribution write pass) and seeds the grid of a
+    /// recursive split.
+    fn join_partition(
+        &mut self,
+        env: &mut SimEnv,
+        path: &mut Vec<(TileGrid, usize)>,
+        left: &ItemStream,
+        right: &ItemStream,
+        bbox: Rect,
+        depth: usize,
+    ) -> Result<()> {
+        if self.done || left.is_empty() || right.is_empty() {
+            return Ok(());
+        }
+        // In-memory envelope: the partition vectors, the sweep's sorted
+        // copies and its active lists — 3× the data is a safe bound for the
+        // copy-free forward sweep.
+        let data = (left.data_bytes() + right.data_bytes()) as usize;
+        let envelope = 3 * data + reader_bound(left) + reader_bound(right);
+        if depth < MAX_SPLIT_DEPTH {
+            if env.memory.headroom() >= envelope {
+                // Claim the vectors/copies/active-list share; the stream
+                // readers charge their own block buffers on top (the
+                // envelope above left room for them).
+                let _claim = env.memory.try_reserve(3 * data)?;
+                return self.sweep_in_memory(env, path, left, right);
+            }
+            return self.split(env, path, left, right, bbox, depth);
+        }
+        self.chunked_fallback(env, path, left, right)
+    }
+
+    /// The fitting case: load both sides and run the plain in-memory sweep.
+    fn sweep_in_memory(
+        &mut self,
+        env: &mut SimEnv,
+        path: &[(TileGrid, usize)],
+        left: &ItemStream,
+        right: &ItemStream,
+    ) -> Result<()> {
+        let l = left.read_all(env)?;
+        let r = right.read_all(env)?;
+        self.max_partition_bytes = self
+            .max_partition_bytes
+            .max((l.len() + r.len()) * std::mem::size_of::<Item>());
+        let PbsmRun {
+            predicate,
+            sink,
+            pairs,
+            done,
+            ..
+        } = self;
+        let stats = sweep_join::<ForwardSweep, _>(&l, &r, |a, b| {
+            report_candidate(*predicate, path, &mut **sink, pairs, done, a, b)
+        });
+        env.charge(CpuOp::RectTest, stats.rect_tests);
+        env.charge(CpuOp::Compare, (l.len() + r.len()) as u64);
+        self.sweep_total.merge(&stats);
+        Ok(())
+    }
+
+    /// The overflow case: re-replicate the partition over a finer grid that
+    /// covers only *its* data (so a cluster confined to one parent tile
+    /// spreads out) and recurse into the sub-partitions.
+    fn split(
+        &mut self,
+        env: &mut SimEnv,
+        path: &mut Vec<(TileGrid, usize)>,
+        left: &ItemStream,
+        right: &ItemStream,
+        bbox: Rect,
+        depth: usize,
+    ) -> Result<()> {
+        let sub = TileGrid {
+            region: bbox,
+            tiles_per_side: self.tiles_per_side,
+            partitions: SPLIT_PARTITIONS,
+        };
+        let redistribute =
+            |env: &mut SimEnv, stream: &ItemStream| -> Result<(Vec<ItemStream>, Vec<Rect>)> {
+                let mut writers: Vec<ItemStreamWriter> = (0..SPLIT_PARTITIONS)
+                    .map(|_| ItemStreamWriter::new(env, SPLIT_PAGES_PER_BLOCK))
+                    .collect();
+                let mut bboxes = vec![Rect::empty(); SPLIT_PARTITIONS];
+                let mut reader = stream.reader();
+                let mut targets = Vec::with_capacity(4);
+                while let Some(it) = reader.next(env)? {
+                    // Left rectangles were ε-expanded at the top-level
+                    // distribution; no second expansion here.
+                    sub.partitions_of(&it.rect, &mut targets);
+                    env.charge(CpuOp::ItemMove, targets.len() as u64);
+                    for &p in &targets {
+                        bboxes[p] = bboxes[p].union(&it.rect);
+                        writers[p].push(env, it)?;
+                    }
+                }
+                let streams = writers
+                    .into_iter()
+                    .map(|w| w.finish(env))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok((streams, bboxes))
+            };
+        let (left_parts, left_bboxes) = redistribute(env, left)?;
+        let (right_parts, right_bboxes) = redistribute(env, right)?;
+        for p in 0..SPLIT_PARTITIONS {
+            if self.done {
+                break;
+            }
+            let (ls, rs) = (&left_parts[p], &right_parts[p]);
+            path.push((sub.clone(), p));
+            if ls.len() == left.len() && rs.len() == right.len() {
+                // The cluster is indivisible (e.g. identical rectangles):
+                // splitting again cannot make progress, so stream it through
+                // the memory-bounded chunked sweep instead.
+                self.chunked_fallback(env, path, ls, rs)?;
+            } else {
+                let sub_bbox = left_bboxes[p].union(&right_bboxes[p]);
+                self.join_partition(env, path, ls, rs, sub_bbox, depth + 1)?;
+            }
+            path.pop();
+        }
+        Ok(())
+    }
+
+    /// Last-resort path for partitions that cannot be split further: a
+    /// block-nested sweep that loads one memory-sized chunk of the left side
+    /// at a time and streams the right side past it. Memory stays bounded;
+    /// the price is re-reading the right partition once per left chunk —
+    /// charged I/O, exactly the degradation a real system would pay.
+    fn chunked_fallback(
+        &mut self,
+        env: &mut SimEnv,
+        path: &[(TileGrid, usize)],
+        left: &ItemStream,
+        right: &ItemStream,
+    ) -> Result<()> {
+        let avail = env
+            .memory
+            .headroom()
+            .saturating_sub(reader_bound(left) + reader_bound(right));
+        let chunk_bytes = (avail / 8).max(4 * 1024);
+        let chunk_items = (chunk_bytes / ITEM_BYTES).max(1);
+        // Two chunks plus the sweep's copies and active lists; the stream
+        // readers charge their own block buffers out of the slack above.
+        let _claim = env.memory.try_reserve(6 * chunk_bytes)?;
+        let mut lr = left.reader();
+        loop {
+            let mut lchunk = Vec::with_capacity(chunk_items);
+            while lchunk.len() < chunk_items {
+                match lr.next(env)? {
+                    Some(it) => lchunk.push(it),
+                    None => break,
+                }
+            }
+            if lchunk.is_empty() {
+                return Ok(());
+            }
+            let mut rr = right.reader();
+            loop {
+                if self.done {
+                    return Ok(());
+                }
+                let mut rchunk = Vec::with_capacity(chunk_items);
+                while rchunk.len() < chunk_items {
+                    match rr.next(env)? {
+                        Some(it) => rchunk.push(it),
+                        None => break,
+                    }
+                }
+                if rchunk.is_empty() {
+                    break;
+                }
+                let PbsmRun {
+                    predicate,
+                    sink,
+                    pairs,
+                    done,
+                    ..
+                } = self;
+                let stats = sweep_join::<ForwardSweep, _>(&lchunk, &rchunk, |a, b| {
+                    report_candidate(*predicate, path, &mut **sink, pairs, done, a, b)
+                });
+                env.charge(CpuOp::RectTest, stats.rect_tests);
+                env.charge(CpuOp::Compare, (lchunk.len() + rchunk.len()) as u64);
+                self.sweep_total.merge(&stats);
+            }
+        }
     }
 }
 

@@ -28,9 +28,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use usj_geom::{Item, Rect};
-use usj_io::{CpuOp, Result, SimEnv};
+use usj_io::{CpuOp, MemoryReservation, Result, SimEnv};
 use usj_rtree::{NodeKind, RTree};
-use usj_sweep::{Side, StripedSweep, SweepDriver};
+use usj_sweep::{Side, SpillingSweepDriver};
 
 use crate::input::JoinInput;
 use crate::predicate::Predicate;
@@ -89,6 +89,9 @@ pub struct PqExtractor<'a> {
     nodes_read: u64,
     staged_bytes: usize,
     max_bytes: usize,
+    /// Gauge claim on the queues and staged leaf buffers, kept in sync with
+    /// `current_bytes` — the PQ working set is governed like every other.
+    reservation: MemoryReservation,
 }
 
 impl<'a> PqExtractor<'a> {
@@ -111,8 +114,11 @@ impl<'a> PqExtractor<'a> {
             nodes_read: 0,
             staged_bytes: 0,
             max_bytes: 0,
+            reservation: env.memory.reserve_empty(),
         };
-        ex.note_bytes();
+        // The initial state is one 12-byte root entry; if even that fails to
+        // reserve, the first `next` call re-checks and surfaces the error.
+        let _ = ex.note_bytes();
         ex
     }
 
@@ -132,8 +138,10 @@ impl<'a> PqExtractor<'a> {
             + self.staged_bytes
     }
 
-    fn note_bytes(&mut self) {
-        self.max_bytes = self.max_bytes.max(self.current_bytes());
+    fn note_bytes(&mut self) -> Result<()> {
+        let bytes = self.current_bytes();
+        self.max_bytes = self.max_bytes.max(bytes);
+        self.reservation.try_set(bytes)
     }
 
     fn stage_leaf(&mut self, env: &mut SimEnv, mut items: Vec<Item>) {
@@ -214,7 +222,7 @@ impl<'a> PqExtractor<'a> {
                         self.stage_leaf(env, items);
                     }
                 }
-                self.note_bytes();
+                self.note_bytes()?;
             } else {
                 env.charge(CpuOp::HeapOp, 1);
                 let Reverse(head) = self.heads.pop().expect("peeked above");
@@ -235,7 +243,7 @@ impl<'a> PqExtractor<'a> {
                     *cursor = 0;
                     self.free_buffers.push(head.buffer);
                 }
-                self.note_bytes();
+                self.note_bytes()?;
                 return Ok(Some(item));
             }
         }
@@ -372,6 +380,7 @@ impl JoinOperator for PqJoin {
         sink: &mut dyn PairSink,
     ) -> Result<JoinResult> {
         let measurement = env.begin();
+        env.memory.begin_phase();
         let predicate = self.predicate;
         let eps = predicate.epsilon();
 
@@ -395,8 +404,10 @@ impl JoinOperator for PqJoin {
             .expanded(eps);
 
         // Left items are ε-expanded as they leave their source — a uniform
-        // shift of the sort keys, so the merge order stays correct.
-        let mut driver: SweepDriver<StripedSweep> = SweepDriver::new(region.lo.x, region.hi.x);
+        // shift of the sort keys, so the merge order stays correct. The
+        // memory-governed spilling driver evicts cold sweep state to the
+        // simulated device if it ever outgrows the budget.
+        let mut driver = SpillingSweepDriver::new(env, region.lo.x, region.hi.x);
         let mut pairs = 0u64;
         let mut done = false;
         let mut lnext = left_src.next(env)?.map(|it| predicate.expand_left(it));
@@ -412,7 +423,7 @@ impl JoinOperator for PqJoin {
             };
             if take_left {
                 let item = lnext.take().expect("checked above");
-                driver.push(Side::Left, item, |a, b| {
+                driver.push(env, Side::Left, item, |a, b| {
                     if done || !predicate.accepts(&a.rect, &b.rect) {
                         return;
                     }
@@ -421,11 +432,11 @@ impl JoinOperator for PqJoin {
                     } else {
                         pairs += 1;
                     }
-                });
+                })?;
                 lnext = left_src.next(env)?.map(|it| predicate.expand_left(it));
             } else {
                 let item = rnext.take().expect("checked above");
-                driver.push(Side::Right, item, |a, b| {
+                driver.push(env, Side::Right, item, |a, b| {
                     if done || !predicate.accepts(&a.rect, &b.rect) {
                         return;
                     }
@@ -434,15 +445,27 @@ impl JoinOperator for PqJoin {
                     } else {
                         pairs += 1;
                     }
-                });
+                })?;
                 rnext = right_src.next(env)?;
             }
         }
-        driver.add_pairs(pairs);
-        let structure_stats = driver.structure_stats();
-        env.charge(CpuOp::RectTest, structure_stats.rect_tests);
+        let mut sweep = if done {
+            driver.discard()
+        } else {
+            driver.finish(env, |a, b| {
+                if done || !predicate.accepts(&a.rect, &b.rect) {
+                    return;
+                }
+                if sink.emit(a.id, b.id).is_break() {
+                    done = true;
+                } else {
+                    pairs += 1;
+                }
+            })?
+        };
+        sweep.pairs = pairs;
+        env.charge(CpuOp::RectTest, sweep.rect_tests);
         env.charge(CpuOp::OutputPair, pairs);
-        let sweep = driver.finish();
 
         let (io, cpu) = env.since(&measurement);
         Ok(JoinResult {
@@ -455,6 +478,7 @@ impl JoinOperator for PqJoin {
                 priority_queue_bytes: left_src.max_queue_bytes() + right_src.max_queue_bytes(),
                 sweep_structure_bytes: sweep.max_structure_bytes,
                 other_bytes: 0,
+                peak_bytes: env.memory.peak(),
             },
         })
     }

@@ -1,30 +1,24 @@
-//! Property-based tests: every join algorithm must agree with a brute-force
-//! join on arbitrary rectangle sets, for every input representation.
+//! Property-based tests on the in-tree `usj_proptest` harness: every join
+//! algorithm must agree with a brute-force join on arbitrary rectangle sets,
+//! for every input representation — and stay within the memory limit.
 
-use proptest::prelude::*;
 use usj_geom::{Item, Rect};
 use usj_io::{ItemStream, MachineConfig, SimEnv};
+use usj_proptest::{forall, Gen};
 use usj_rtree::RTree;
 
 use crate::{JoinInput, JoinOperator, PbsmJoin, PqJoin, SssjJoin, StJoin};
 
-fn arb_items(max_len: usize, id_base: u32) -> impl Strategy<Value = Vec<Item>> {
-    prop::collection::vec(
-        (
-            -200.0f32..200.0,
-            -200.0f32..200.0,
-            0.0f32..40.0,
-            0.0f32..40.0,
-        ),
-        1..max_len,
-    )
-    .prop_map(move |v| {
-        v.into_iter()
-            .enumerate()
-            .map(|(i, (x, y, w, h))| {
-                Item::new(Rect::from_coords(x, y, x + w, y + h), id_base + i as u32)
-            })
-            .collect()
+fn arb_items(g: &mut Gen, max_len: usize, id_base: u32) -> Vec<Item> {
+    let mut next = 0u32;
+    g.vec(1, max_len, |g| {
+        let x = g.f32_in(-200.0, 200.0);
+        let y = g.f32_in(-200.0, 200.0);
+        let w = g.f32_in(0.0, 40.0);
+        let h = g.f32_in(0.0, 40.0);
+        let id = id_base + next;
+        next += 1;
+        Item::new(Rect::from_coords(x, y, x + w, y + h), id)
     })
 }
 
@@ -41,14 +35,11 @@ fn brute(a: &[Item], b: &[Item]) -> Vec<(u32, u32)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn pq_matches_brute_force_on_all_input_combinations(
-        a in arb_items(80, 0),
-        b in arb_items(80, 10_000),
-    ) {
+#[test]
+fn pq_matches_brute_force_on_all_input_combinations() {
+    forall!(24, |g| {
+        let a = arb_items(g, 80, 0);
+        let b = arb_items(g, 80, 10_000);
         let mut env = SimEnv::new(MachineConfig::machine3());
         let expected = brute(&a, &b);
 
@@ -65,15 +56,16 @@ proptest! {
         ] {
             let (_, mut pairs) = PqJoin::default().run_collect(&mut env, l, r).unwrap();
             pairs.sort_unstable();
-            prop_assert_eq!(&pairs, &expected);
+            assert_eq!(&pairs, &expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn sssj_and_pbsm_match_brute_force(
-        a in arb_items(80, 0),
-        b in arb_items(80, 10_000),
-    ) {
+#[test]
+fn sssj_and_pbsm_match_brute_force() {
+    forall!(24, |g| {
+        let a = arb_items(g, 80, 0);
+        let b = arb_items(g, 80, 10_000);
         let mut env = SimEnv::new(MachineConfig::machine3());
         let expected = brute(&a, &b);
         let sa = ItemStream::from_items(&mut env, &a).unwrap();
@@ -83,21 +75,22 @@ proptest! {
             .run_collect(&mut env, JoinInput::Stream(&sa), JoinInput::Stream(&sb))
             .unwrap();
         sssj.sort_unstable();
-        prop_assert_eq!(&sssj, &expected);
+        assert_eq!(&sssj, &expected);
 
         let (_, mut pbsm) = PbsmJoin::default()
             .with_partitions(4)
             .run_collect(&mut env, JoinInput::Stream(&sa), JoinInput::Stream(&sb))
             .unwrap();
         pbsm.sort_unstable();
-        prop_assert_eq!(&pbsm, &expected);
-    }
+        assert_eq!(&pbsm, &expected);
+    });
+}
 
-    #[test]
-    fn st_matches_brute_force(
-        a in arb_items(60, 0),
-        b in arb_items(60, 10_000),
-    ) {
+#[test]
+fn st_matches_brute_force() {
+    forall!(24, |g| {
+        let a = arb_items(g, 60, 0);
+        let b = arb_items(g, 60, 10_000);
         let mut env = SimEnv::new(MachineConfig::machine3());
         let expected = brute(&a, &b);
         let ta = RTree::bulk_load(&mut env, &a).unwrap();
@@ -107,14 +100,15 @@ proptest! {
             .unwrap();
         st.sort_unstable();
         st.dedup();
-        prop_assert_eq!(&st, &expected);
-    }
+        assert_eq!(&st, &expected);
+    });
+}
 
-    #[test]
-    fn pruned_pq_never_changes_the_result(
-        a in arb_items(60, 0),
-        b in arb_items(30, 10_000),
-    ) {
+#[test]
+fn pruned_pq_never_changes_the_result() {
+    forall!(24, |g| {
+        let a = arb_items(g, 60, 0);
+        let b = arb_items(g, 30, 10_000);
         let mut env = SimEnv::new(MachineConfig::machine3());
         let ta = RTree::bulk_load(&mut env, &a).unwrap();
         let tb = RTree::bulk_load(&mut env, &b).unwrap();
@@ -125,7 +119,42 @@ proptest! {
             .with_pruning()
             .run(&mut env, JoinInput::Indexed(&ta), JoinInput::Indexed(&tb))
             .unwrap();
-        prop_assert_eq!(plain.pairs, pruned.pairs);
-        prop_assert!(pruned.index_page_requests <= plain.index_page_requests);
-    }
+        assert_eq!(plain.pairs, pruned.pairs);
+        assert!(pruned.index_page_requests <= plain.index_page_requests);
+    });
+}
+
+#[test]
+fn every_algorithm_respects_a_small_memory_limit_on_arbitrary_inputs() {
+    forall!(12, |g| {
+        let a = arb_items(g, 120, 0);
+        let b = arb_items(g, 120, 10_000);
+        let expected = brute(&a, &b);
+        // 256 KB: small enough that the governor's degradation paths are in
+        // play for the denser draws, large enough for the stream buffers.
+        let limit = 256 * 1024;
+        let mut env = SimEnv::new(MachineConfig::machine3()).with_memory_limit(limit);
+        let sa = ItemStream::from_items_with_block(&mut env, &a, 2).unwrap();
+        let sb = ItemStream::from_items_with_block(&mut env, &b, 2).unwrap();
+        let joins: [&dyn JoinOperator; 4] = [
+            &SssjJoin::default(),
+            &PbsmJoin::default(),
+            &PqJoin::default(),
+            &StJoin::default(),
+        ];
+        for join in joins {
+            let (res, mut pairs) = join
+                .run_collect(&mut env, JoinInput::Stream(&sa), JoinInput::Stream(&sb))
+                .unwrap();
+            pairs.sort_unstable();
+            pairs.dedup();
+            assert_eq!(&pairs, &expected, "{}", join.name());
+            assert!(
+                res.memory.peak_bytes <= limit,
+                "{}: peak {} over the {limit}-byte limit",
+                join.name(),
+                res.memory.peak_bytes
+            );
+        }
+    });
 }

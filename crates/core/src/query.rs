@@ -144,6 +144,71 @@ pub struct QueryPlan {
     pub chosen: Option<JoinPlan>,
     /// Sharding of a parallel execution; `None` for serial plans.
     pub parallelism: Option<ParallelPlan>,
+    /// How the plan expects to behave under the environment's internal
+    /// memory limit (repartitioning depth, spill volume).
+    pub memory: MemoryPlan,
+}
+
+/// The memory-adaptivity part of a [`QueryPlan`]: what the memory governor
+/// is expected to make the chosen algorithm do under the environment's
+/// limit. Both figures are *planning heuristics* — uniform-distribution
+/// upper bounds, not measurements; the measured counterpart arrives in
+/// `JoinResult` (`memory.peak_bytes`, `sweep.spilled_items`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryPlan {
+    /// The internal-memory limit (bytes) the plan was made against.
+    pub memory_limit: usize,
+    /// Expected PBSM repartitioning depth: `0` when every level-1 partition
+    /// is expected to fit, `n` when `n` recursive splitting levels are
+    /// expected. Always `0` for the non-partitioning algorithms.
+    pub partition_depth: u32,
+    /// Expected bytes the sweep driver will spill to the simulated device —
+    /// the amount by which the worst-case sweep working set exceeds its
+    /// budget. `0` when everything is expected to fit.
+    pub spill_estimate_bytes: u64,
+}
+
+impl MemoryPlan {
+    /// Computes the heuristic for `algorithm` over inputs of the given total
+    /// and smaller-side byte sizes, mirroring the runtime sizing rules:
+    /// PBSM partitions of a quarter of memory with the fan-out capped by the
+    /// distribution writers (one page each in a quarter of memory), a
+    /// partition admitted when its 3× in-memory envelope fits the full
+    /// memory, a 4-way split per repartitioning level, and a sweep budget of
+    /// half the free memory for SSSJ/PQ.
+    fn estimate(
+        algorithm: JoinAlgorithm,
+        memory_limit: usize,
+        total_bytes: u64,
+        smaller_bytes: u64,
+    ) -> MemoryPlan {
+        let mut plan = MemoryPlan {
+            memory_limit,
+            partition_depth: 0,
+            spill_estimate_bytes: 0,
+        };
+        match algorithm {
+            JoinAlgorithm::Pbsm => {
+                let quarter = (memory_limit / 4).max(1) as u64;
+                let max_fanout = ((memory_limit / 4) / usj_io::PAGE_SIZE).max(1) as u64;
+                let partitions = total_bytes.div_ceil(quarter).max(1).min(max_fanout);
+                let mut need = 3 * total_bytes / partitions;
+                let budget = memory_limit.max(1) as u64;
+                while need > budget && plan.partition_depth < 8 {
+                    plan.partition_depth += 1;
+                    need /= 4;
+                }
+            }
+            JoinAlgorithm::Sssj | JoinAlgorithm::Pq => {
+                // Worst case the whole smaller side is alive at one sweep
+                // position; the driver's budget is half the free memory.
+                let budget = (memory_limit / 2) as u64;
+                plan.spill_estimate_bytes = smaller_bytes.saturating_sub(budget);
+            }
+            JoinAlgorithm::St => {}
+        }
+        plan
+    }
 }
 
 /// The parallel-execution part of a [`QueryPlan`].
@@ -173,15 +238,34 @@ impl fmt::Display for QueryPlan {
             )?;
         }
         match &self.parallelism {
-            None => write!(f, ", serial"),
+            None => write!(f, ", serial")?,
             Some(p) => write!(
                 f,
                 ", parallel over {} {} shards on {} threads",
                 p.shards,
                 p.partitioner.name(),
                 p.threads
-            ),
+            )?,
         }
+        if self.memory.partition_depth > 0 {
+            write!(
+                f,
+                ", ~{}-level repartitioning expected",
+                self.memory.partition_depth
+            )?;
+        }
+        if self.memory.spill_estimate_bytes > 0 {
+            write!(
+                f,
+                ", ~{:.1} MB sweep spill expected",
+                self.memory.spill_estimate_bytes as f64 / (1024.0 * 1024.0)
+            )?;
+        }
+        write!(
+            f,
+            " ({} MB memory limit)",
+            self.memory.memory_limit / (1024 * 1024)
+        )
     }
 }
 
@@ -351,12 +435,21 @@ impl<'a> SpatialQuery<'a> {
                 })
             }
         };
+        let left_bytes = self.left.len() * usj_geom::ITEM_BYTES as u64;
+        let right_bytes = self.right.len() * usj_geom::ITEM_BYTES as u64;
+        let memory = MemoryPlan::estimate(
+            algorithm,
+            env.memory_limit,
+            left_bytes + right_bytes,
+            left_bytes.min(right_bytes),
+        );
         Ok(QueryPlan {
             algorithm,
             predicate: self.predicate,
             cost,
             chosen,
             parallelism,
+            memory,
         })
     }
 

@@ -14,10 +14,23 @@ pub struct MemoryStats {
     /// Maximum size of any other in-memory working set (PBSM partition
     /// buffers, ST node pairs, …) in bytes.
     pub other_bytes: usize,
+    /// *Measured* high-water mark of every gauge-registered working set
+    /// during the join, as recorded by the environment's
+    /// [`MemoryGauge`](usj_io::MemoryGauge).
+    ///
+    /// Unlike the three per-structure maxima above (which peak at different
+    /// moments and therefore may sum to more than was ever held at once),
+    /// this is the actual simultaneous footprint — the quantity the memory
+    /// governor guarantees never exceeds `SimEnv::memory_limit`.
+    pub peak_bytes: usize,
 }
 
 impl MemoryStats {
     /// Total of all tracked working sets.
+    ///
+    /// This sums the per-structure maxima (not
+    /// [`peak_bytes`](MemoryStats::peak_bytes), which is a concurrent
+    /// measurement of its own).
     pub fn total_bytes(&self) -> usize {
         self.priority_queue_bytes + self.sweep_structure_bytes + self.other_bytes
     }
@@ -33,6 +46,7 @@ impl MemoryStats {
         self.priority_queue_bytes = self.priority_queue_bytes.max(other.priority_queue_bytes);
         self.sweep_structure_bytes = self.sweep_structure_bytes.max(other.sweep_structure_bytes);
         self.other_bytes = self.other_bytes.max(other.other_bytes);
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
     }
 }
 
@@ -106,8 +120,9 @@ mod tests {
             priority_queue_bytes: 100,
             sweep_structure_bytes: 50,
             other_bytes: 25,
+            peak_bytes: 130,
         };
-        assert_eq!(m.total_bytes(), 175);
+        assert_eq!(m.total_bytes(), 175, "peak_bytes is not part of the sum");
     }
 
     #[test]

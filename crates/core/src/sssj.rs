@@ -14,7 +14,7 @@
 
 use usj_geom::Rect;
 use usj_io::{CpuOp, Result, SimEnv};
-use usj_sweep::{Side, StripedSweep, SweepDriver};
+use usj_sweep::{Side, SpillingSweepDriver};
 
 use crate::input::JoinInput;
 use crate::predicate::Predicate;
@@ -90,6 +90,7 @@ impl JoinOperator for SssjJoin {
         sink: &mut dyn PairSink,
     ) -> Result<JoinResult> {
         let measurement = env.begin();
+        env.memory.begin_phase();
         let predicate = self.predicate;
         let eps = predicate.epsilon();
 
@@ -105,10 +106,14 @@ impl JoinOperator for SssjJoin {
 
         // Phase 2: single synchronized scan over the two sorted streams. Left
         // items are ε-expanded as they are read — a uniform shift of their
-        // sort keys, so the merge order below stays correct.
-        let mut driver: SweepDriver<StripedSweep> = SweepDriver::new(region.lo.x, region.hi.x);
+        // sort keys, so the merge order below stays correct. The driver is
+        // the memory-governed spilling sweep: when the structures outgrow the
+        // budget it evicts cold items to the simulated device (this is the
+        // degradation path the original SSSJ's worst-case partitioning step
+        // covers; for the paper's workloads it never triggers).
         let mut lr = left_sorted.reader();
         let mut rr = right_sorted.reader();
+        let mut driver = SpillingSweepDriver::new(env, region.lo.x, region.hi.x);
         let mut lnext = lr.next(env)?.map(|it| predicate.expand_left(it));
         let mut rnext = rr.next(env)?;
         let mut pairs = 0u64;
@@ -124,7 +129,7 @@ impl JoinOperator for SssjJoin {
             };
             if take_left {
                 let item = lnext.take().expect("checked above");
-                driver.push(Side::Left, item, |a, b| {
+                driver.push(env, Side::Left, item, |a, b| {
                     if done || !predicate.accepts(&a.rect, &b.rect) {
                         return;
                     }
@@ -133,11 +138,11 @@ impl JoinOperator for SssjJoin {
                     } else {
                         pairs += 1;
                     }
-                });
+                })?;
                 lnext = lr.next(env)?.map(|it| predicate.expand_left(it));
             } else {
                 let item = rnext.take().expect("checked above");
-                driver.push(Side::Right, item, |a, b| {
+                driver.push(env, Side::Right, item, |a, b| {
                     if done || !predicate.accepts(&a.rect, &b.rect) {
                         return;
                     }
@@ -146,15 +151,29 @@ impl JoinOperator for SssjJoin {
                     } else {
                         pairs += 1;
                     }
-                });
+                })?;
                 rnext = rr.next(env)?;
             }
         }
-        driver.add_pairs(pairs);
-        let structure_stats = driver.structure_stats();
-        env.charge(CpuOp::RectTest, structure_stats.rect_tests);
+        // Fix up any pending spill epoch — unless the sink stopped the join,
+        // in which case the remaining fix-up I/O is skipped entirely.
+        let mut sweep = if done {
+            driver.discard()
+        } else {
+            driver.finish(env, |a, b| {
+                if done || !predicate.accepts(&a.rect, &b.rect) {
+                    return;
+                }
+                if sink.emit(a.id, b.id).is_break() {
+                    done = true;
+                } else {
+                    pairs += 1;
+                }
+            })?
+        };
+        sweep.pairs = pairs;
+        env.charge(CpuOp::RectTest, sweep.rect_tests);
         env.charge(CpuOp::OutputPair, pairs);
-        let sweep = driver.finish();
 
         let (io, cpu) = env.since(&measurement);
         Ok(JoinResult {
@@ -167,6 +186,7 @@ impl JoinOperator for SssjJoin {
                 priority_queue_bytes: 0,
                 sweep_structure_bytes: sweep.max_structure_bytes,
                 other_bytes: 0,
+                peak_bytes: env.memory.peak(),
             },
         })
     }

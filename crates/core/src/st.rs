@@ -105,6 +105,7 @@ impl JoinOperator for StJoin {
         sink: &mut dyn PairSink,
     ) -> Result<JoinResult> {
         let measurement = env.begin();
+        env.memory.begin_phase();
         let predicate = self.predicate;
         let eps = predicate.epsilon();
 
@@ -129,7 +130,21 @@ impl JoinOperator for StJoin {
             }
         };
 
-        let mut pool = LruBufferPool::with_capacity_bytes(self.buffer_pool_bytes);
+        // The pool is governed: its configured size is clamped to the memory
+        // headroom minus a slack for the per-node-pair entry vectors — 1/12
+        // of the headroom (the paper's 22 MB pool is exactly 24 MB minus
+        // that slack, so the default configuration is unchanged), but never
+        // below the worst-case envelope of one node pair (two full-fanout
+        // nodes × the 3× sweep factor), so small-limit runs cannot strand
+        // the traversal behind a full pool that only sheds pages for its own
+        // inserts.
+        let headroom = env.memory.headroom();
+        let node_pair_envelope = 3 * 2 * usj_rtree::node::MAX_FANOUT * std::mem::size_of::<Item>();
+        let slack = (headroom / 12).max(node_pair_envelope);
+        let pool_budget = self
+            .buffer_pool_bytes
+            .min(headroom.saturating_sub(slack).max(usj_io::PAGE_SIZE));
+        let mut pool = LruBufferPool::with_capacity_bytes_gauged(pool_budget, &env.memory);
         let mut sweep_total = SweepJoinStats::default();
         let mut max_node_pair_bytes = 0usize;
 
@@ -179,6 +194,11 @@ impl JoinOperator for StJoin {
                 .collect();
             max_node_pair_bytes = max_node_pair_bytes
                 .max((a_entries.len() + b_entries.len()) * std::mem::size_of::<Item>());
+            // The entry vectors plus the sweep's internal sorted copies and
+            // active lists (3× is a safe envelope for two node loads).
+            let _node_claim = env.memory.try_reserve(
+                3 * (a_entries.len() + b_entries.len()) * std::mem::size_of::<Item>(),
+            )?;
 
             // Intersecting pairs of entries, computed with the forward sweep.
             // At the leaf level the candidates are additionally refined with
@@ -203,6 +223,7 @@ impl JoinOperator for StJoin {
                 rect_tests: sweep_total.rect_tests + stats.rect_tests,
                 max_structure_bytes: sweep_total.max_structure_bytes.max(stats.max_structure_bytes),
                 max_resident: sweep_total.max_resident.max(stats.max_resident),
+                ..sweep_total
             };
 
             match (node_a.kind, node_b.kind) {
@@ -258,6 +279,7 @@ impl JoinOperator for StJoin {
                 sweep_structure_bytes: sweep_total.max_structure_bytes,
                 other_bytes: max_node_pair_bytes
                     + pool.resident_pages() * usj_io::PAGE_SIZE,
+                peak_bytes: env.memory.peak(),
             },
         })
     }

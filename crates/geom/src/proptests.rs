@@ -1,109 +1,148 @@
-//! Property-based tests for the geometry primitives.
+//! Property-based tests for the geometry primitives, on the in-tree
+//! `usj_proptest` harness.
+
+use usj_proptest::{forall, Gen};
 
 use crate::{hilbert, Interval, Item, Point, Rect, ITEM_BYTES};
-use proptest::prelude::*;
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (
-        -1000.0f32..1000.0,
-        -1000.0f32..1000.0,
-        0.0f32..100.0,
-        0.0f32..100.0,
-    )
-        .prop_map(|(x, y, w, h)| Rect::from_coords(x, y, x + w, y + h))
+fn arb_rect(g: &mut Gen) -> Rect {
+    let x = g.f32_in(-1000.0, 1000.0);
+    let y = g.f32_in(-1000.0, 1000.0);
+    let w = g.f32_in(0.0, 100.0);
+    let h = g.f32_in(0.0, 100.0);
+    Rect::from_coords(x, y, x + w, y + h)
 }
 
-fn arb_item() -> impl Strategy<Value = Item> {
-    (arb_rect(), any::<u32>()).prop_map(|(r, id)| Item::new(r, id))
+fn arb_item(g: &mut Gen) -> Item {
+    let r = arb_rect(g);
+    Item::new(r, g.u32())
 }
 
-proptest! {
-    #[test]
-    fn rect_intersection_is_symmetric(a in arb_rect(), b in arb_rect()) {
-        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
-    }
+#[test]
+fn rect_intersection_is_symmetric() {
+    forall!(256, |g| {
+        let (a, b) = (arb_rect(g), arb_rect(g));
+        assert_eq!(a.intersects(&b), b.intersects(&a));
+    });
+}
 
-    #[test]
-    fn rect_intersects_iff_both_projections_overlap(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_intersects_iff_both_projections_overlap() {
+    forall!(256, |g| {
+        let (a, b) = (arb_rect(g), arb_rect(g));
         let expected = a.x_interval().overlaps(&b.x_interval())
             && a.y_interval().overlaps(&b.y_interval());
-        prop_assert_eq!(a.intersects(&b), expected);
-    }
+        assert_eq!(a.intersects(&b), expected);
+    });
+}
 
-    #[test]
-    fn rect_union_contains_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_union_contains_both() {
+    forall!(256, |g| {
+        let (a, b) = (arb_rect(g), arb_rect(g));
         let u = a.union(&b);
-        prop_assert!(u.contains(&a));
-        prop_assert!(u.contains(&b));
-    }
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
+    });
+}
 
-    #[test]
-    fn rect_intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_intersection_contained_in_both() {
+    forall!(256, |g| {
+        let (a, b) = (arb_rect(g), arb_rect(g));
         if let Some(i) = a.intersection(&b) {
-            prop_assert!(a.contains(&i));
-            prop_assert!(b.contains(&i));
-            prop_assert!(a.intersects(&b));
+            assert!(a.contains(&i));
+            assert!(b.contains(&i));
+            assert!(a.intersects(&b));
         } else {
-            prop_assert!(!a.intersects(&b));
+            assert!(!a.intersects(&b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn rect_enlargement_is_nonnegative(a in arb_rect(), b in arb_rect()) {
-        prop_assert!(a.enlargement(&b) >= -1e-3);
-    }
+#[test]
+fn rect_enlargement_is_nonnegative() {
+    forall!(256, |g| {
+        let (a, b) = (arb_rect(g), arb_rect(g));
+        assert!(a.enlargement(&b) >= -1e-3);
+    });
+}
 
-    #[test]
-    fn rect_every_rect_intersects_itself(a in arb_rect()) {
-        prop_assert!(a.intersects(&a));
-        prop_assert!(a.contains(&a));
-        prop_assert!(a.contains_point(a.center()));
-    }
+#[test]
+fn rect_every_rect_intersects_itself() {
+    forall!(256, |g| {
+        let a = arb_rect(g);
+        assert!(a.intersects(&a));
+        assert!(a.contains(&a));
+        assert!(a.contains_point(a.center()));
+    });
+}
 
-    #[test]
-    fn interval_overlap_matches_naive(a in -100.0f32..100.0, la in 0.0f32..50.0,
-                                      b in -100.0f32..100.0, lb in 0.0f32..50.0) {
+#[test]
+fn interval_overlap_matches_naive() {
+    forall!(256, |g| {
+        let a = g.f32_in(-100.0, 100.0);
+        let la = g.f32_in(0.0, 50.0);
+        let b = g.f32_in(-100.0, 100.0);
+        let lb = g.f32_in(0.0, 50.0);
         let i1 = Interval::new(a, a + la);
         let i2 = Interval::new(b, b + lb);
         let naive = !(i1.hi < i2.lo || i2.hi < i1.lo);
-        prop_assert_eq!(i1.overlaps(&i2), naive);
-    }
+        assert_eq!(i1.overlaps(&i2), naive);
+    });
+}
 
-    #[test]
-    fn item_encode_decode_roundtrip(it in arb_item()) {
+#[test]
+fn item_encode_decode_roundtrip() {
+    forall!(256, |g| {
+        let it = arb_item(g);
         let mut buf = [0u8; ITEM_BYTES];
         it.encode(&mut buf);
-        prop_assert_eq!(Item::decode(&buf), it);
-    }
+        assert_eq!(Item::decode(&buf), it);
+    });
+}
 
-    #[test]
-    fn hilbert_roundtrip(x in 0u32..hilbert::HILBERT_SIDE, y in 0u32..hilbert::HILBERT_SIDE) {
+#[test]
+fn hilbert_roundtrip() {
+    forall!(256, |g| {
+        let x = g.u32_in(0, hilbert::HILBERT_SIDE);
+        let y = g.u32_in(0, hilbert::HILBERT_SIDE);
         let d = hilbert::xy_to_hilbert(x, y);
-        prop_assert_eq!(hilbert::hilbert_to_xy(d), (x, y));
-    }
+        assert_eq!(hilbert::hilbert_to_xy(d), (x, y));
+    });
+}
 
-    #[test]
-    fn hilbert_value_is_deterministic(x in -500.0f32..500.0, y in -500.0f32..500.0) {
+#[test]
+fn hilbert_value_is_deterministic() {
+    forall!(256, |g| {
+        let x = g.f32_in(-500.0, 500.0);
+        let y = g.f32_in(-500.0, 500.0);
         let space = Rect::from_coords(-500.0, -500.0, 500.0, 500.0);
-        prop_assert_eq!(hilbert::hilbert_value(x, y, &space),
-                        hilbert::hilbert_value(x, y, &space));
-    }
+        assert_eq!(
+            hilbert::hilbert_value(x, y, &space),
+            hilbert::hilbert_value(x, y, &space)
+        );
+    });
+}
 
-    #[test]
-    fn sort_by_lower_y_is_sorted(mut items in prop::collection::vec(arb_item(), 0..200)) {
+#[test]
+fn sort_by_lower_y_is_sorted() {
+    forall!(128, |g| {
+        let mut items = g.vec(0, 200, arb_item);
         crate::item::sort_by_lower_y(&mut items);
         for w in items.windows(2) {
-            prop_assert!(w[0].rect.lo.y <= w[1].rect.lo.y);
+            assert!(w[0].rect.lo.y <= w[1].rect.lo.y);
         }
-    }
+    });
+}
 
-    #[test]
-    fn point_min_max_bound(a in any::<(f32, f32)>(), b in any::<(f32, f32)>()) {
-        prop_assume!(a.0.is_finite() && a.1.is_finite() && b.0.is_finite() && b.1.is_finite());
-        let pa = Point::new(a.0, a.1);
-        let pb = Point::new(b.0, b.1);
+#[test]
+fn point_min_max_bound() {
+    forall!(256, |g| {
+        let pa = Point::new(g.f32_in(-1e6, 1e6), g.f32_in(-1e6, 1e6));
+        let pb = Point::new(g.f32_in(-1e6, 1e6), g.f32_in(-1e6, 1e6));
         let lo = pa.min(pb);
         let hi = pa.max(pb);
-        prop_assert!(lo.x <= hi.x && lo.y <= hi.y);
-    }
+        assert!(lo.x <= hi.x && lo.y <= hi.y);
+    });
 }

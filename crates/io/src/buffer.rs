@@ -10,6 +10,7 @@ use std::rc::Rc;
 
 use crate::device::BlockDevice;
 use crate::error::Result;
+use crate::gauge::{MemoryGauge, MemoryReservation};
 use crate::page::{PageId, PAGE_SIZE};
 
 /// Statistics kept by the buffer pool.
@@ -60,6 +61,10 @@ pub struct LruBufferPool {
     lru: BTreeMap<u64, PageId>,
     next_stamp: u64,
     stats: BufferPoolStats,
+    /// Gauge claim on the resident pages, when the pool is governed (see
+    /// [`LruBufferPool::with_capacity_bytes_gauged`]). Grows on insert and
+    /// shrinks on eviction, so the pool's footprint is measured, not assumed.
+    reservation: Option<MemoryReservation>,
 }
 
 impl LruBufferPool {
@@ -76,6 +81,7 @@ impl LruBufferPool {
             lru: BTreeMap::new(),
             next_stamp: 0,
             stats: BufferPoolStats::default(),
+            reservation: None,
         }
     }
 
@@ -83,6 +89,20 @@ impl LruBufferPool {
     /// the paper's "22 MB buffer pool" configuration.
     pub fn with_capacity_bytes(bytes: usize) -> Self {
         Self::new((bytes / PAGE_SIZE).max(1))
+    }
+
+    /// Creates a pool sized in bytes whose resident pages are charged to
+    /// `gauge`.
+    ///
+    /// The capacity is additionally clamped to the gauge's current headroom
+    /// (but never below one page), so a pool configured for the paper's
+    /// 22 MB cannot overcommit a 4 MB environment: it simply caches less and
+    /// pays more page requests — the degradation Section 3.3 describes.
+    pub fn with_capacity_bytes_gauged(bytes: usize, gauge: &MemoryGauge) -> Self {
+        let clamped = bytes.min(gauge.headroom().max(PAGE_SIZE));
+        let mut pool = Self::with_capacity_bytes(clamped);
+        pool.reservation = Some(gauge.reserve_empty());
+        pool
     }
 
     /// Maximum number of resident pages.
@@ -104,6 +124,9 @@ impl LruBufferPool {
     pub fn clear(&mut self) {
         self.cache.clear();
         self.lru.clear();
+        if let Some(r) = &mut self.reservation {
+            r.release();
+        }
     }
 
     fn touch(&mut self, page: PageId) {
@@ -118,15 +141,21 @@ impl LruBufferPool {
         self.lru.insert(stamp, page);
     }
 
-    fn evict_if_full(&mut self) {
-        while self.cache.len() >= self.capacity_pages {
-            let Some((&stamp, &victim)) = self.lru.iter().next() else {
-                break;
-            };
-            self.lru.remove(&stamp);
-            self.cache.remove(&victim);
-            self.stats.evictions += 1;
+    fn evict_one(&mut self) -> bool {
+        let Some((&stamp, &victim)) = self.lru.iter().next() else {
+            return false;
+        };
+        self.lru.remove(&stamp);
+        self.cache.remove(&victim);
+        self.stats.evictions += 1;
+        if let Some(r) = &mut self.reservation {
+            r.shrink(PAGE_SIZE);
         }
+        true
+    }
+
+    fn evict_if_full(&mut self) {
+        while self.cache.len() >= self.capacity_pages && self.evict_one() {}
     }
 
     /// Fetches a page through the pool. Misses are read from `device` (one
@@ -140,6 +169,26 @@ impl LruBufferPool {
         self.stats.misses += 1;
         let bytes = Rc::new(device.read_page(page)?);
         self.evict_if_full();
+        // A governed pool charges the incoming page to the gauge; under
+        // pressure from other working sets it sheds cached pages rather than
+        // overcommit, failing only when even a single-page pool cannot fit.
+        if self.reservation.is_some() {
+            loop {
+                let grown = self
+                    .reservation
+                    .as_mut()
+                    .expect("checked above")
+                    .try_grow(PAGE_SIZE);
+                match grown {
+                    Ok(()) => break,
+                    Err(e) => {
+                        if !self.evict_one() {
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
         self.cache.insert(page, (Rc::clone(&bytes), 0));
         self.touch(page);
         Ok(bytes)
@@ -252,5 +301,41 @@ mod tests {
     #[should_panic(expected = "at least one page")]
     fn zero_capacity_is_rejected() {
         let _ = LruBufferPool::new(0);
+    }
+
+    #[test]
+    fn gauged_pool_charges_resident_pages_and_clamps_to_headroom() {
+        use crate::gauge::MemoryGauge;
+        let mut d = device_with_pages(16);
+        // Headroom of 3 pages: a 22 MB configuration is clamped down.
+        let gauge = MemoryGauge::new(3 * PAGE_SIZE);
+        let mut pool = LruBufferPool::with_capacity_bytes_gauged(22 * 1024 * 1024, &gauge);
+        assert_eq!(pool.capacity_pages(), 3);
+        for i in 0..8u64 {
+            pool.get(&mut d, i).unwrap();
+            assert!(gauge.current() <= 3 * PAGE_SIZE);
+            assert_eq!(gauge.current(), pool.resident_pages() * PAGE_SIZE);
+        }
+        assert_eq!(gauge.peak(), 3 * PAGE_SIZE);
+        pool.clear();
+        assert_eq!(gauge.current(), 0);
+    }
+
+    #[test]
+    fn gauged_pool_sheds_pages_under_external_pressure() {
+        use crate::gauge::MemoryGauge;
+        let mut d = device_with_pages(8);
+        let gauge = MemoryGauge::new(4 * PAGE_SIZE);
+        let mut pool = LruBufferPool::with_capacity_bytes_gauged(4 * PAGE_SIZE, &gauge);
+        pool.get(&mut d, 0).unwrap();
+        pool.get(&mut d, 1).unwrap();
+        pool.get(&mut d, 2).unwrap();
+        // Another working set claims most of the memory: the pool must evict
+        // down to what still fits instead of overcommitting.
+        let _pressure = gauge.try_reserve(PAGE_SIZE).unwrap();
+        pool.get(&mut d, 3).unwrap();
+        assert!(pool.resident_pages() <= 3);
+        assert!(gauge.current() <= 4 * PAGE_SIZE);
+        assert!(pool.contains(3), "the newly fetched page is resident");
     }
 }

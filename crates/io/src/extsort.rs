@@ -54,11 +54,16 @@ where
         ..SortStats::default()
     };
 
-    // Run formation: fill half the internal memory, sort, write out.
+    // Run formation: fill half the internal memory, sort, write out. The run
+    // buffer is the sort's dominant working set, so it is claimed from the
+    // memory governor up front (the stream reader and run writer buffers
+    // charge themselves).
     let run_capacity = ((env.memory_limit / 2) / ITEM_BYTES).max(1024);
+    let buffer_capacity = run_capacity.min(input.len() as usize + 1);
+    let run_reservation = env.memory.try_reserve(buffer_capacity * ITEM_BYTES)?;
     let mut runs: Vec<ItemStream> = Vec::new();
     let mut reader = input.reader();
-    let mut buffer: Vec<Item> = Vec::with_capacity(run_capacity.min(input.len() as usize + 1));
+    let mut buffer: Vec<Item> = Vec::with_capacity(buffer_capacity);
     loop {
         let item = reader.next(env)?;
         if let Some(it) = item {
@@ -76,6 +81,7 @@ where
             break;
         }
     }
+    drop(run_reservation);
     stats.initial_runs = runs.len() as u64;
 
     if runs.is_empty() {

@@ -21,6 +21,9 @@
 //!   *observed* cost (sequential and random accesses charged differently,
 //!   Figure 2(d)–(f) and Figure 3).
 //! * [`buffer::LruBufferPool`] — the LRU page cache used by the ST join.
+//! * [`gauge::MemoryGauge`] — the memory governor: every allocation-heavy
+//!   structure registers its bytes, making the internal-memory limit a hard,
+//!   measured invariant instead of an advisory sizing hint.
 //! * [`stream::ItemStream`] — sequential record streams (the TPIE-style
 //!   stream abstraction used by SSSJ and PBSM), with a configurable logical
 //!   block size.
@@ -37,6 +40,7 @@ pub mod cost;
 pub mod device;
 pub mod error;
 pub mod extsort;
+pub mod gauge;
 pub mod machine;
 pub mod page;
 pub mod sim;
@@ -47,6 +51,7 @@ pub use buffer::LruBufferPool;
 pub use cost::{CostBreakdown, CostModel};
 pub use device::BlockDevice;
 pub use error::{IoSimError, Result};
+pub use gauge::{MemoryGauge, MemoryReservation};
 pub use machine::MachineConfig;
 pub use page::{PageId, PAGE_SIZE};
 pub use sim::SimEnv;

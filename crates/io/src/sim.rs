@@ -2,6 +2,7 @@
 
 use crate::cost::{CostBreakdown, CostModel};
 use crate::device::BlockDevice;
+use crate::gauge::MemoryGauge;
 use crate::machine::MachineConfig;
 use crate::stats::{CpuCounter, CpuOp, IoStats};
 
@@ -30,7 +31,17 @@ pub struct SimEnv {
     /// Deterministic CPU-work counter.
     pub cpu: CpuCounter,
     /// Internal memory available to the algorithms, in bytes.
+    ///
+    /// Mutate it only through [`SimEnv::with_memory_limit`] /
+    /// [`SimEnv::set_memory_limit`], which keep the enforcing
+    /// [`memory`](SimEnv::memory) gauge in sync.
     pub memory_limit: usize,
+    /// The memory governor enforcing [`memory_limit`](SimEnv::memory_limit):
+    /// allocation-heavy structures (sweep active lists, PBSM partition
+    /// buffers, stream block buffers, the PQ heaps, the ST buffer pool)
+    /// register their bytes here, so the reported peak is *measured* and
+    /// exceeding the limit is impossible by construction.
+    pub memory: MemoryGauge,
 }
 
 impl SimEnv {
@@ -42,13 +53,25 @@ impl SimEnv {
             machine,
             cpu: CpuCounter::new(),
             memory_limit: DEFAULT_MEMORY_LIMIT,
+            memory: MemoryGauge::new(DEFAULT_MEMORY_LIMIT),
         }
     }
 
     /// Sets the internal-memory limit (builder style).
     pub fn with_memory_limit(mut self, bytes: usize) -> Self {
-        self.memory_limit = bytes;
+        self.set_memory_limit(bytes);
         self
+    }
+
+    /// Sets the internal-memory limit, replacing the gauge.
+    ///
+    /// Call this between joins (any [`MemoryReservation`] still alive keeps
+    /// charging the *old* gauge — the new one starts empty).
+    ///
+    /// [`MemoryReservation`]: crate::gauge::MemoryReservation
+    pub fn set_memory_limit(&mut self, bytes: usize) {
+        self.memory_limit = bytes;
+        self.memory = MemoryGauge::new(bytes);
     }
 
     /// Creates an independent *worker* environment: the same machine model
@@ -70,6 +93,10 @@ impl SimEnv {
             machine: self.machine.clone(),
             cpu: CpuCounter::new(),
             memory_limit: self.memory_limit,
+            // Each worker gets a fresh gauge with the same budget: the
+            // per-worker peak is the invariant of interest, which is why
+            // `MemoryStats::merge` takes maxima rather than sums.
+            memory: MemoryGauge::new(self.memory_limit),
         }
     }
 

@@ -11,6 +11,7 @@
 use usj_geom::{Item, ITEM_BYTES};
 
 use crate::error::{IoSimError, Result};
+use crate::gauge::MemoryReservation;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::sim::SimEnv;
 use crate::stats::CpuOp;
@@ -86,12 +87,32 @@ impl ItemStream {
 
     /// Creates a reader positioned at the first record.
     pub fn reader(&self) -> ItemStreamReader {
+        self.reader_from(0)
+    }
+
+    /// Creates a reader positioned at record `start` (clamped to the stream
+    /// length). Blocks before the start are never read — only the block
+    /// containing `start` pays for the records in front of it.
+    pub fn reader_from(&self, start: u64) -> ItemStreamReader {
+        let items_per_block = self.pages_per_block * ITEMS_PER_PAGE as u64;
+        let (block, delivered, skip) = if start >= self.len {
+            // Exhausted from the outset: no block needs reading at all.
+            (self.extents.len(), self.len, 0)
+        } else {
+            (
+                (start / items_per_block) as usize,
+                start / items_per_block * items_per_block,
+                start % items_per_block,
+            )
+        };
         ItemStreamReader {
             stream: self.clone(),
-            next_block: 0,
+            next_block: block,
             buffer: Vec::new(),
+            reservation: None,
             buffer_pos: 0,
-            items_delivered: 0,
+            items_delivered: delivered,
+            pending_skip: skip,
         }
     }
 
@@ -112,6 +133,9 @@ pub struct ItemStreamWriter {
     extents: Vec<PageId>,
     pages_per_block: u64,
     buffer: Vec<Item>,
+    /// Gauge claim on the block buffer, grown per record and released on
+    /// every flush, so partially filled buffers are charged exactly.
+    reservation: MemoryReservation,
     len: u64,
     finished: bool,
 }
@@ -123,12 +147,13 @@ impl ItemStreamWriter {
     }
 
     /// Starts a new stream with an explicit logical block size (in pages).
-    pub fn new(_env: &mut SimEnv, pages_per_block: u64) -> Self {
+    pub fn new(env: &mut SimEnv, pages_per_block: u64) -> Self {
         assert!(pages_per_block > 0, "logical block must be at least one page");
         ItemStreamWriter {
             extents: Vec::new(),
             pages_per_block,
             buffer: Vec::with_capacity((pages_per_block as usize) * ITEMS_PER_PAGE),
+            reservation: env.memory.reserve_empty(),
             len: 0,
             finished: false,
         }
@@ -143,6 +168,7 @@ impl ItemStreamWriter {
         if self.finished {
             return Err(IoSimError::InvalidStreamState("push after finish"));
         }
+        self.reservation.try_grow(ITEM_BYTES)?;
         self.buffer.push(item);
         self.len += 1;
         if self.buffer.len() >= self.items_per_block() {
@@ -178,6 +204,7 @@ impl ItemStreamWriter {
         env.device.write_pages(first, pages_needed, &bytes)?;
         self.extents.push(first);
         self.buffer.clear();
+        self.reservation.release();
         Ok(())
     }
 
@@ -199,8 +226,16 @@ pub struct ItemStreamReader {
     stream: ItemStream,
     next_block: usize,
     buffer: Vec<Item>,
+    /// Gauge claim on the block buffer, (re)established on every refill.
+    /// `None` until the first block is read (readers are created without an
+    /// environment).
+    reservation: Option<MemoryReservation>,
     buffer_pos: usize,
     items_delivered: u64,
+    /// Records to step over inside the first block read (a
+    /// [`reader_from`](ItemStream::reader_from) start that is not
+    /// block-aligned).
+    pending_skip: u64,
 }
 
 impl ItemStreamReader {
@@ -230,15 +265,24 @@ impl ItemStreamReader {
 
     fn fill(&mut self, env: &mut SimEnv) -> Result<bool> {
         if self.next_block >= self.stream.extents.len() {
+            self.reservation = None;
             return Ok(false);
         }
         let remaining = self.stream.len - self.items_delivered;
         if remaining == 0 {
+            self.reservation = None;
             return Ok(false);
         }
         let items_per_block = self.stream.pages_per_block * ITEMS_PER_PAGE as u64;
         let in_this_block = remaining.min(items_per_block);
         let pages = in_this_block.div_ceil(ITEMS_PER_PAGE as u64);
+        match &mut self.reservation {
+            Some(r) => r.try_set(in_this_block as usize * ITEM_BYTES)?,
+            None => {
+                self.reservation =
+                    Some(env.memory.try_reserve(in_this_block as usize * ITEM_BYTES)?)
+            }
+        }
         let first = self.stream.extents[self.next_block];
         let bytes = env.device.read_pages(first, pages)?;
         self.buffer.clear();
@@ -251,6 +295,15 @@ impl ItemStreamReader {
         env.charge(CpuOp::ItemMove, in_this_block);
         self.buffer_pos = 0;
         self.next_block += 1;
+        if self.pending_skip > 0 {
+            let skip = self.pending_skip.min(self.buffer.len() as u64);
+            self.buffer_pos = skip as usize;
+            self.items_delivered += skip;
+            self.pending_skip = 0;
+            if self.buffer_pos >= self.buffer.len() {
+                return self.fill(env);
+            }
+        }
         Ok(true)
     }
 }
@@ -329,6 +382,46 @@ mod tests {
         assert!(io.rand_read_ops <= 1, "reads: {io:?}");
         assert!(io.seq_write_ops >= 4);
         assert!(io.seq_read_ops >= 4);
+    }
+
+    #[test]
+    fn reader_from_skips_whole_blocks_without_reading_them() {
+        let mut env = env();
+        // 5 blocks of 2 pages each plus a partial tail.
+        let data = items((ITEMS_PER_PAGE as u32) * 10 + 7);
+        let s = ItemStream::from_items_with_block(&mut env, &data, 2).unwrap();
+        let items_per_block = 2 * ITEMS_PER_PAGE as u64;
+        for start in [
+            0u64,
+            1,
+            items_per_block - 1,
+            items_per_block,
+            items_per_block * 3 + 17,
+            s.len() - 1,
+            s.len(),
+            s.len() + 5,
+        ] {
+            let m = env.begin();
+            let mut r = s.reader_from(start);
+            let mut got = Vec::new();
+            while let Some(it) = r.next(&mut env).unwrap() {
+                got.push(it);
+            }
+            let (io, _) = env.since(&m);
+            let expected_start = start.min(s.len()) as usize;
+            assert_eq!(got, data[expected_start..], "start {start}");
+            // Only the blocks from the starting one onward are read.
+            let blocks_needed = if expected_start as u64 >= s.len() {
+                0
+            } else {
+                5 + 1 - expected_start as u64 / items_per_block
+            };
+            assert!(
+                io.pages_read <= blocks_needed * 2,
+                "start {start}: read {} pages for {blocks_needed} blocks",
+                io.pages_read
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! A minimal, dependency-free property-testing harness.
+//!
+//! The workspace's property tests were written for the external `proptest`
+//! crate, which the offline build environment cannot fetch. This crate
+//! vendors the 5 % of it those tests actually use:
+//!
+//! * [`Gen`] — a SplitMix64-driven generator with uniform primitives
+//!   (`f32_in`, `usize_in`, `vec`, …); equal seeds produce equal values on
+//!   every platform, so failures are reproducible by seed.
+//! * [`forall!`] — runs a property body for a fixed number of cases, each
+//!   with a deterministic per-case seed. On failure it prints the case index
+//!   and seed before propagating the panic. There is **no shrinking**: the
+//!   printed seed is the minimal repro handle.
+//!
+//! ```
+//! usj_proptest::forall!(64, |g| {
+//!     let a = g.f32_in(-100.0, 100.0);
+//!     let b = g.f32_in(-100.0, 100.0);
+//!     assert_eq!(a.max(b), b.max(a));
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// A seedable SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014) with
+/// the uniform primitives the workspace's property tests need.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from a 64-bit seed. Equal seeds produce equal
+    /// sequences on every platform.
+    pub fn new(seed: u64) -> Self {
+        Gen { state: seed }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniformly distributed `u32`.
+    pub fn u32(&mut self) -> u32 {
+        (self.u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Multiply-shift range reduction (Lemire).
+        lo + ((u128::from(self.u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`, built from the top 53 bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + ((self.u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)) * (hi - lo)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// A vector of `len` elements drawn with `f`, where `len` is uniform in
+    /// `[min_len, max_len)` (mirroring `prop::collection::vec(_, a..b)`).
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = if min_len + 1 >= max_len {
+            min_len
+        } else {
+            self.usize_in(min_len, max_len)
+        };
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Derives the deterministic seed of one `forall!` case.
+///
+/// Public because the [`forall!`] macro expands calls to it in downstream
+/// crates; also handy for replaying a reported failure by hand.
+pub fn case_seed(case: u64) -> u64 {
+    // One SplitMix64 step over the case index, so consecutive cases get
+    // well-separated seeds.
+    let mut z = case.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs a property body for `cases` deterministic cases.
+///
+/// ```text
+/// forall!(64, |g| { ... });          // 64 cases, `g: &mut Gen` in scope
+/// ```
+///
+/// On a failing case the macro prints the case index and its seed (replay
+/// with `Gen::new(seed)`) and re-raises the panic, so `cargo test` reports
+/// the property as failed with the original assertion message.
+#[macro_export]
+macro_rules! forall {
+    ($cases:expr, |$g:ident| $body:block) => {{
+        let cases: u64 = $cases;
+        for case in 0..cases {
+            let seed = $crate::case_seed(case);
+            let mut gen = $crate::Gen::new(seed);
+            let $g = &mut gen;
+            let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "forall! case {}/{} failed; replay with usj_proptest::Gen::new({:#018x})",
+                    case + 1,
+                    cases,
+                    seed
+                );
+                ::std::panic::resume_unwind(payload);
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Gen::new(42);
+        let mut b = Gen::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        forall!(128, |g| {
+            let x = g.f32_in(-3.0, 7.0);
+            assert!((-3.0..7.0).contains(&x));
+            let n = g.usize_in(2, 9);
+            assert!((2..9).contains(&n));
+            let v = g.vec(0, 5, |g| g.u32());
+            assert!(v.len() < 5);
+        });
+    }
+
+    #[test]
+    fn case_seeds_are_distinct() {
+        let mut seeds: Vec<u64> = (0..1000).map(case_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn failing_case_propagates_the_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            forall!(16, |g| {
+                assert!(g.u64_in(0, 10) < 5, "roughly half the cases fail");
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn empty_vec_range_yields_fixed_length() {
+        let mut g = Gen::new(1);
+        assert_eq!(g.vec(3, 4, |g| g.u32()).len(), 3);
+        assert_eq!(g.vec(0, 1, |g| g.u32()).len(), 0);
+    }
+}

@@ -1,45 +1,39 @@
-//! Property-based tests: a bulk-loaded tree must answer every window query
-//! exactly like a brute-force scan, regardless of the data distribution.
+//! Property-based tests on the in-tree `usj_proptest` harness: a bulk-loaded
+//! tree must answer every window query exactly like a brute-force scan,
+//! regardless of the data distribution.
 
-use proptest::prelude::*;
 use usj_geom::{Item, Rect};
 use usj_io::{MachineConfig, SimEnv};
+use usj_proptest::{forall, Gen};
 
 use crate::bulk::{bulk_load, BulkLoadConfig};
 
-fn arb_items(max_len: usize) -> impl Strategy<Value = Vec<Item>> {
-    prop::collection::vec(
-        (
-            -1000.0f32..1000.0,
-            -1000.0f32..1000.0,
-            0.0f32..50.0,
-            0.0f32..50.0,
-        ),
-        0..max_len,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .enumerate()
-            .map(|(i, (x, y, w, h))| Item::new(Rect::from_coords(x, y, x + w, y + h), i as u32))
-            .collect()
+fn arb_items(g: &mut Gen, max_len: usize) -> Vec<Item> {
+    let mut next = 0u32;
+    g.vec(0, max_len, |g| {
+        let x = g.f32_in(-1000.0, 1000.0);
+        let y = g.f32_in(-1000.0, 1000.0);
+        let w = g.f32_in(0.0, 50.0);
+        let h = g.f32_in(0.0, 50.0);
+        let id = next;
+        next += 1;
+        Item::new(Rect::from_coords(x, y, x + w, y + h), id)
     })
 }
 
-fn arb_window() -> impl Strategy<Value = Rect> {
-    (
-        -1200.0f32..1200.0,
-        -1200.0f32..1200.0,
-        0.0f32..800.0,
-        0.0f32..800.0,
-    )
-        .prop_map(|(x, y, w, h)| Rect::from_coords(x, y, x + w, y + h))
+fn arb_window(g: &mut Gen) -> Rect {
+    let x = g.f32_in(-1200.0, 1200.0);
+    let y = g.f32_in(-1200.0, 1200.0);
+    let w = g.f32_in(0.0, 800.0);
+    let h = g.f32_in(0.0, 800.0);
+    Rect::from_coords(x, y, x + w, y + h)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn window_query_equals_brute_force(items in arb_items(600), window in arb_window()) {
+#[test]
+fn window_query_equals_brute_force() {
+    forall!(48, |g| {
+        let items = arb_items(g, 600);
+        let window = arb_window(g);
         let mut env = SimEnv::new(MachineConfig::machine3());
         let tree = bulk_load(&mut env, &items, BulkLoadConfig::default()).unwrap();
         let mut got: Vec<u32> = tree
@@ -55,14 +49,17 @@ proptest! {
             .map(|it| it.id)
             .collect();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn every_item_is_reachable(items in arb_items(500)) {
+#[test]
+fn every_item_is_reachable() {
+    forall!(48, |g| {
+        let items = arb_items(g, 500);
         let mut env = SimEnv::new(MachineConfig::machine3());
         let tree = bulk_load(&mut env, &items, BulkLoadConfig::default()).unwrap();
-        prop_assert_eq!(tree.num_items(), items.len() as u64);
+        assert_eq!(tree.num_items(), items.len() as u64);
         let mut got: Vec<u32> = tree
             .window_query(&mut env, &tree.bbox())
             .unwrap()
@@ -72,21 +69,26 @@ proptest! {
         got.sort_unstable();
         let mut expected: Vec<u32> = items.iter().map(|it| it.id).collect();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn node_counts_are_within_fanout_bounds(items in arb_items(800)) {
-        prop_assume!(!items.is_empty());
+#[test]
+fn node_counts_are_within_fanout_bounds() {
+    forall!(48, |g| {
+        let items = arb_items(g, 800);
+        if items.is_empty() {
+            return;
+        }
         let mut env = SimEnv::new(MachineConfig::machine3());
         let cfg = BulkLoadConfig::default();
         let tree = bulk_load(&mut env, &items, cfg).unwrap();
         // Leaves hold between fill_target (except the last) and max_fanout
         // items, so the leaf count is bounded both ways.
         let max_leaves = items.len().div_ceil(1).max(1) as u64;
-        prop_assert!(tree.num_leaves() <= max_leaves);
+        assert!(tree.num_leaves() <= max_leaves);
         let min_leaves = (items.len() as u64).div_ceil(cfg.max_fanout as u64);
-        prop_assert!(tree.num_leaves() >= min_leaves);
-        prop_assert!(tree.height() >= 1);
-    }
+        assert!(tree.num_leaves() >= min_leaves);
+        assert!(tree.height() >= 1);
+    });
 }

@@ -49,9 +49,17 @@ pub struct SweepJoinStats {
     /// Rectangle tests performed by the interval structures.
     pub rect_tests: u64,
     /// Maximum combined size of both structures in bytes (Table 3).
+    ///
+    /// For the spilling driver this is the *in-memory* residency only; the
+    /// spilled strips live on the simulated device.
     pub max_structure_bytes: usize,
     /// Maximum combined number of resident items.
     pub max_resident: usize,
+    /// Items evicted to the simulated device by the external spilling sweep
+    /// (zero when the structures fit in memory).
+    pub spilled_items: u64,
+    /// Spill episodes of the external spilling sweep.
+    pub spill_runs: u64,
 }
 
 impl SweepJoinStats {
@@ -66,6 +74,8 @@ impl SweepJoinStats {
         self.rect_tests += other.rect_tests;
         self.max_structure_bytes = self.max_structure_bytes.max(other.max_structure_bytes);
         self.max_resident = self.max_resident.max(other.max_resident);
+        self.spilled_items += other.spilled_items;
+        self.spill_runs += other.spill_runs;
     }
 }
 
@@ -129,10 +139,17 @@ impl<S: SweepStructure> SweepDriver<S> {
     }
 
     fn note_sizes(&mut self) {
-        let bytes = self.left.bytes() + self.right.bytes();
+        let bytes = self.bytes();
         let resident = self.left.len() + self.right.len();
         self.stats.max_structure_bytes = self.stats.max_structure_bytes.max(bytes);
         self.stats.max_resident = self.stats.max_resident.max(resident);
+    }
+
+    /// Current combined size of the two interval structures in bytes (the
+    /// instantaneous figure behind `SweepJoinStats::max_structure_bytes`) —
+    /// callers that own the driver can register it with a memory gauge.
+    pub fn bytes(&self) -> usize {
+        self.left.bytes() + self.right.bytes()
     }
 
     /// Registers `n` reported pairs in the statistics. The driver does not

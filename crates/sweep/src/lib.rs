@@ -19,17 +19,25 @@
 //! or, in the join crate, streams extracted from R-trees) and produces the
 //! intersecting pairs plus detailed operation counts, which the simulation
 //! environment later converts into CPU time.
+//!
+//! When the active intervals outgrow the internal-memory budget, the
+//! [`SpillingSweepDriver`] takes over: it evicts the soonest-to-expire items
+//! to the simulated device and recovers their missed intersections with a
+//! log-based fix-up join, keeping the memory governor's limit a hard
+//! invariant at the price of extra (charged) I/O.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod driver;
 pub mod forward;
+pub mod spill;
 pub mod striped;
 pub mod structure;
 
 pub use driver::{sweep_join, sweep_join_count, sweep_join_eps, Side, SweepDriver, SweepJoinStats};
 pub use forward::ForwardSweep;
+pub use spill::SpillingSweepDriver;
 pub use striped::StripedSweep;
 pub use structure::{SweepStats, SweepStructure};
 

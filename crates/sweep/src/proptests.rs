@@ -1,28 +1,23 @@
-//! Property-based tests: both interval structures must agree with a
-//! brute-force rectangle join on arbitrary inputs.
+//! Property-based tests on the in-tree `usj_proptest` harness: the interval
+//! structures and the spilling driver must agree with a brute-force
+//! rectangle join on arbitrary inputs.
 
-use proptest::prelude::*;
 use usj_geom::{Item, Rect};
+use usj_io::{MachineConfig, SimEnv};
+use usj_proptest::{forall, Gen};
 
-use crate::{sweep_join, ForwardSweep, StripedSweep, SweepStructure};
+use crate::{sweep_join, ForwardSweep, Side, SpillingSweepDriver, StripedSweep, SweepStructure};
 
-fn arb_items(max_len: usize, id_base: u32) -> impl Strategy<Value = Vec<Item>> {
-    prop::collection::vec(
-        (
-            -100.0f32..100.0,
-            -100.0f32..100.0,
-            0.0f32..30.0,
-            0.0f32..30.0,
-        ),
-        0..max_len,
-    )
-    .prop_map(move |v| {
-        v.into_iter()
-            .enumerate()
-            .map(|(i, (x, y, w, h))| {
-                Item::new(Rect::from_coords(x, y, x + w, y + h), id_base + i as u32)
-            })
-            .collect()
+fn arb_items(g: &mut Gen, max_len: usize, id_base: u32) -> Vec<Item> {
+    let mut next = 0u32;
+    g.vec(0, max_len, |g| {
+        let x = g.f32_in(-100.0, 100.0);
+        let y = g.f32_in(-100.0, 100.0);
+        let w = g.f32_in(0.0, 30.0);
+        let h = g.f32_in(0.0, 30.0);
+        let id = id_base + next;
+        next += 1;
+        Item::new(Rect::from_coords(x, y, x + w, y + h), id)
     })
 }
 
@@ -46,42 +41,42 @@ fn run<S: SweepStructure>(left: &[Item], right: &[Item]) -> Vec<(u32, u32)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn forward_sweep_matches_brute_force() {
+    forall!(64, |g| {
+        let left = arb_items(g, 60, 0);
+        let right = arb_items(g, 60, 10_000);
+        assert_eq!(run::<ForwardSweep>(&left, &right), brute(&left, &right));
+    });
+}
 
-    #[test]
-    fn forward_sweep_matches_brute_force(
-        left in arb_items(60, 0),
-        right in arb_items(60, 10_000),
-    ) {
-        prop_assert_eq!(run::<ForwardSweep>(&left, &right), brute(&left, &right));
-    }
+#[test]
+fn striped_sweep_matches_brute_force() {
+    forall!(64, |g| {
+        let left = arb_items(g, 60, 0);
+        let right = arb_items(g, 60, 10_000);
+        assert_eq!(run::<StripedSweep>(&left, &right), brute(&left, &right));
+    });
+}
 
-    #[test]
-    fn striped_sweep_matches_brute_force(
-        left in arb_items(60, 0),
-        right in arb_items(60, 10_000),
-    ) {
-        prop_assert_eq!(run::<StripedSweep>(&left, &right), brute(&left, &right));
-    }
-
-    #[test]
-    fn both_structures_agree_on_pair_counts(
-        left in arb_items(80, 0),
-        right in arb_items(80, 10_000),
-    ) {
+#[test]
+fn both_structures_agree_on_pair_counts() {
+    forall!(64, |g| {
+        let left = arb_items(g, 80, 0);
+        let right = arb_items(g, 80, 10_000);
         let f = sweep_join::<ForwardSweep, _>(&left, &right, |_, _| {});
         let s = sweep_join::<StripedSweep, _>(&left, &right, |_, _| {});
-        prop_assert_eq!(f.pairs, s.pairs);
-        prop_assert_eq!(f.left_items, s.left_items);
-        prop_assert_eq!(f.right_items, s.right_items);
-    }
+        assert_eq!(f.pairs, s.pairs);
+        assert_eq!(f.left_items, s.left_items);
+        assert_eq!(f.right_items, s.right_items);
+    });
+}
 
-    #[test]
-    fn striped_sweep_never_tests_more_than_forward_on_point_like_data(
-        left in arb_items(50, 0),
-        right in arb_items(50, 10_000),
-    ) {
+#[test]
+fn striped_sweep_never_tests_more_than_forward_on_point_like_data() {
+    forall!(64, |g| {
+        let left = arb_items(g, 50, 0);
+        let right = arb_items(g, 50, 10_000);
         // With narrow rectangles the striped structure should do at most the
         // work of the scan-everything structure (up to the duplicate copies
         // of strip-spanning rectangles, which these inputs avoid by keeping
@@ -90,8 +85,7 @@ proptest! {
             v.iter()
                 .map(|it| {
                     Item::new(
-                        Rect::from_coords(it.rect.lo.x, it.rect.lo.y,
-                                          it.rect.lo.x, it.rect.hi.y),
+                        Rect::from_coords(it.rect.lo.x, it.rect.lo.y, it.rect.lo.x, it.rect.hi.y),
                         it.id,
                     )
                 })
@@ -100,7 +94,53 @@ proptest! {
         let (l, r) = (narrow(&left), narrow(&right));
         let f = sweep_join::<ForwardSweep, _>(&l, &r, |_, _| {});
         let s = sweep_join::<StripedSweep, _>(&l, &r, |_, _| {});
-        prop_assert!(s.rect_tests <= f.rect_tests);
-        prop_assert_eq!(f.pairs, s.pairs);
-    }
+        assert!(s.rect_tests <= f.rect_tests);
+        assert_eq!(f.pairs, s.pairs);
+    });
+}
+
+#[test]
+fn spilling_driver_matches_brute_force_under_a_tiny_budget() {
+    forall!(32, |g| {
+        let left = arb_items(g, 120, 0);
+        let right = arb_items(g, 120, 10_000);
+        // A 64 KB environment forces the driver to spill on the denser
+        // draws; the pair set must stay exact either way.
+        let mut env = SimEnv::new(MachineConfig::machine3()).with_memory_limit(64 * 1024);
+        let mut l = left.clone();
+        let mut r = right.clone();
+        l.sort_unstable_by(Item::cmp_by_lower_y);
+        r.sort_unstable_by(Item::cmp_by_lower_y);
+        let mut driver = SpillingSweepDriver::new(&env, -100.0, 130.0);
+        let mut out = Vec::new();
+        let (mut li, mut ri) = (0, 0);
+        while li < l.len() || ri < r.len() {
+            let take_left = match (l.get(li), r.get(ri)) {
+                (Some(a), Some(b)) => a.cmp_by_lower_y(b) != std::cmp::Ordering::Greater,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_left {
+                driver
+                    .push(&mut env, Side::Left, l[li], |a, b| out.push((a.id, b.id)))
+                    .unwrap();
+                li += 1;
+            } else {
+                driver
+                    .push(&mut env, Side::Right, r[ri], |a, b| out.push((a.id, b.id)))
+                    .unwrap();
+                ri += 1;
+            }
+        }
+        driver
+            .finish(&mut env, |a, b| out.push((a.id, b.id)))
+            .unwrap();
+        out.sort_unstable();
+        assert_eq!(out, brute(&left, &right));
+        assert!(
+            env.memory.peak() <= env.memory_limit,
+            "gauge peak {} over limit",
+            env.memory.peak()
+        );
+    });
 }

@@ -1,0 +1,542 @@
+//! The external *spilling* plane-sweep driver.
+//!
+//! [`SweepDriver`](crate::SweepDriver) keeps both interval structures fully
+//! in memory — fine for the paper's real-life workloads, where Table 3 shows
+//! the sweep state staying far below 1 % of the data, but a silent budget
+//! violation on adversarial inputs (many long-lived rectangles alive at the
+//! same sweep position). This driver enforces the memory-governor budget:
+//!
+//! 1. The in-memory structures register their bytes with the environment's
+//!    [`MemoryGauge`](usj_io::MemoryGauge).
+//! 2. When they outgrow the budget, the driver *evicts* the resident items
+//!    the sweep line will expire soonest (their fix-up window is the
+//!    shortest) and writes them to a **spill batch** on the simulated
+//!    device — sequential writes, charged like any other I/O.
+//! 3. While any batch is live, every arriving item is also appended to a
+//!    shared **shadow log**. Once the sweep line has passed every spilled
+//!    item (the *epoch* ends), each batch is read back and joined against
+//!    the portion of the log that arrived after its eviction — exactly the
+//!    intersections the in-memory sweep could no longer see.
+//!
+//! Each missed pair is recovered exactly once: a pair `(s, z)` with `s`
+//! spilled and `z` arriving later is reported by the unique batch holding
+//! `s`, against the log suffix starting at `s`'s eviction; partners that
+//! arrived *before* the eviction were already reported by the in-memory
+//! probe and fall outside that suffix. The reported pair *set* is therefore
+//! identical to the all-in-memory driver's; only the order of the fix-up
+//! pairs differs (they surface when their epoch closes). Spill volume and
+//! episode counts are reported through
+//! [`SweepJoinStats::spilled_items`]/[`spill_runs`](SweepJoinStats::spill_runs).
+
+use usj_geom::Item;
+use usj_io::{ItemStream, ItemStreamWriter, MemoryReservation, Result, SimEnv};
+
+use crate::driver::{Side, SweepJoinStats};
+use crate::structure::SweepStructure;
+use crate::StripedSweep;
+
+/// Smallest in-memory budget the driver will operate with, even when the
+/// gauge headroom is lower (a handful of pages; below this the simulation
+/// degenerates into one spill per item).
+pub const MIN_SWEEP_BUDGET: usize = 4096;
+
+/// Logical block size (in pages) of the spill batches and the shadow log.
+/// Small on purpose: the writers' block buffers are themselves charged to
+/// the gauge.
+const SPILL_PAGES_PER_BLOCK: u64 = 1;
+
+/// One eviction: the spilled items of both sides, plus where in the shared
+/// shadow log the post-eviction arrivals begin.
+#[derive(Debug)]
+struct SpillBatch {
+    left: ItemStream,
+    right: ItemStream,
+    log_left_start: u64,
+    log_right_start: u64,
+}
+
+/// The live spill state: open batches and the shared shadow log of every
+/// arrival since the first of them. Ends (and is fixed up) once the sweep
+/// line passes `max_y`.
+#[derive(Debug)]
+struct SpillEpoch {
+    batches: Vec<SpillBatch>,
+    log_left: ItemStreamWriter,
+    log_right: ItemStreamWriter,
+    log_left_n: u64,
+    log_right_n: u64,
+    /// Largest upper y-coordinate among all spilled items of the epoch.
+    max_y: f32,
+}
+
+/// A memory-governed streaming plane-sweep join over two y-sorted inputs.
+///
+/// The drop-in external sibling of
+/// [`SweepDriver<StripedSweep>`](crate::SweepDriver): same push-based
+/// protocol, but `push` takes the environment (evictions and fix-ups perform
+/// simulated I/O) and the in-memory state never exceeds the budget derived
+/// from the gauge's headroom at construction.
+#[derive(Debug)]
+pub struct SpillingSweepDriver {
+    left: StripedSweep,
+    right: StripedSweep,
+    stats: SweepJoinStats,
+    last_y: f32,
+    budget: usize,
+    reservation: MemoryReservation,
+    epoch: Option<SpillEpoch>,
+    fixup_rect_tests: u64,
+}
+
+impl SpillingSweepDriver {
+    /// Creates a driver whose structures cover the x-extent `[x_lo, x_hi]`.
+    ///
+    /// The in-memory budget is half the gauge's current headroom (floored at
+    /// [`MIN_SWEEP_BUDGET`]): the other half stays free for the fix-up
+    /// working sets, the shadow-log buffers and the callers' stream buffers.
+    pub fn new(env: &SimEnv, x_lo: f32, x_hi: f32) -> Self {
+        let budget = (env.memory.headroom() / 2).max(MIN_SWEEP_BUDGET);
+        SpillingSweepDriver {
+            left: StripedSweep::with_extent(x_lo, x_hi),
+            right: StripedSweep::with_extent(x_lo, x_hi),
+            stats: SweepJoinStats::default(),
+            last_y: f32::NEG_INFINITY,
+            budget,
+            reservation: env.memory.reserve_empty(),
+            epoch: None,
+            fixup_rect_tests: 0,
+        }
+    }
+
+    /// In-memory budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Spill batches of the current epoch still awaiting their fix-up join.
+    pub fn open_batches(&self) -> usize {
+        self.epoch.as_ref().map_or(0, |e| e.batches.len())
+    }
+
+    /// Advances the sweep line to `item.rect.lo.y` and processes `item` from
+    /// input `side`, reporting every join partner as `(left_item,
+    /// right_item)`. Items must be pushed in ascending lower-y order across
+    /// both sides (asserted in debug builds).
+    ///
+    /// Fix-up pairs of a spill epoch the sweep line has passed are reported
+    /// through the same callback before the new item is processed.
+    pub fn push<F: FnMut(&Item, &Item)>(
+        &mut self,
+        env: &mut SimEnv,
+        side: Side,
+        item: Item,
+        mut report: F,
+    ) -> Result<()> {
+        let y = item.rect.lo.y;
+        debug_assert!(
+            y >= self.last_y,
+            "sweep inputs must be pushed in ascending lower-y order"
+        );
+        self.last_y = y;
+
+        // Close the epoch once every spilled item has expired.
+        if self.epoch.as_ref().is_some_and(|e| e.max_y < y) {
+            let epoch = self.epoch.take().expect("checked above");
+            self.fixup_epoch(env, epoch, &mut report)?;
+        }
+
+        self.left.expire_before(y);
+        self.right.expire_before(y);
+
+        // Shadow-log the arrival: its pairs with already-spilled items can
+        // only be discovered at fix-up time.
+        if let Some(epoch) = &mut self.epoch {
+            match side {
+                Side::Left => {
+                    epoch.log_left.push(env, item)?;
+                    epoch.log_left_n += 1;
+                }
+                Side::Right => {
+                    epoch.log_right.push(env, item)?;
+                    epoch.log_right_n += 1;
+                }
+            }
+        }
+
+        match side {
+            Side::Left => {
+                self.right.query(&item, |other| report(&item, other));
+                self.left.insert(item);
+                self.stats.left_items += 1;
+            }
+            Side::Right => {
+                self.left.query(&item, |other| report(other, &item));
+                self.right.insert(item);
+                self.stats.right_items += 1;
+            }
+        }
+        self.note_sizes();
+
+        if self.left.bytes() + self.right.bytes() > self.budget {
+            self.spill(env)?;
+        }
+        self.reservation
+            .try_set(self.left.bytes() + self.right.bytes())?;
+        Ok(())
+    }
+
+    fn note_sizes(&mut self) {
+        let bytes = self.left.bytes() + self.right.bytes();
+        let resident = self.left.len() + self.right.len();
+        self.stats.max_structure_bytes = self.stats.max_structure_bytes.max(bytes);
+        self.stats.max_resident = self.stats.max_resident.max(resident);
+    }
+
+    /// Evicts the soonest-to-expire resident items until the in-memory state
+    /// is at most half the budget, writing them to a new spill batch.
+    fn spill(&mut self, env: &mut SimEnv) -> Result<()> {
+        let mut expiries = Vec::new();
+        self.left.resident_expiries(&mut expiries);
+        self.right.resident_expiries(&mut expiries);
+        if expiries.is_empty() {
+            return Ok(());
+        }
+        let mid = expiries.len() / 2;
+        expiries.select_nth_unstable_by(mid, f32::total_cmp);
+        let cut = expiries[mid];
+
+        let mut evicted_left = self.left.evict_until(cut);
+        let mut evicted_right = self.right.evict_until(cut);
+        if self.left.bytes() + self.right.bytes() > self.budget / 2 {
+            // Median eviction was not enough (heavily duplicated expiries or
+            // strip-spanning copies): evict everything.
+            evicted_left.extend(self.left.evict_until(f32::INFINITY));
+            evicted_right.extend(self.right.evict_until(f32::INFINITY));
+        }
+        if evicted_left.is_empty() && evicted_right.is_empty() {
+            return Ok(());
+        }
+
+        let mut batch_max_y = f32::NEG_INFINITY;
+        for it in evicted_left.iter().chain(evicted_right.iter()) {
+            batch_max_y = batch_max_y.max(it.rect.hi.y);
+        }
+        let mut wl = ItemStreamWriter::new(env, SPILL_PAGES_PER_BLOCK);
+        for it in &evicted_left {
+            wl.push(env, *it)?;
+        }
+        let left = wl.finish(env)?;
+        let mut wr = ItemStreamWriter::new(env, SPILL_PAGES_PER_BLOCK);
+        for it in &evicted_right {
+            wr.push(env, *it)?;
+        }
+        let right = wr.finish(env)?;
+
+        self.stats.spilled_items += (evicted_left.len() + evicted_right.len()) as u64;
+        self.stats.spill_runs += 1;
+
+        let epoch = match &mut self.epoch {
+            Some(e) => e,
+            None => self.epoch.insert(SpillEpoch {
+                batches: Vec::new(),
+                log_left: ItemStreamWriter::new(env, SPILL_PAGES_PER_BLOCK),
+                log_right: ItemStreamWriter::new(env, SPILL_PAGES_PER_BLOCK),
+                log_left_n: 0,
+                log_right_n: 0,
+                max_y: f32::NEG_INFINITY,
+            }),
+        };
+        epoch.max_y = epoch.max_y.max(batch_max_y);
+        epoch.batches.push(SpillBatch {
+            left,
+            right,
+            log_left_start: epoch.log_left_n,
+            log_right_start: epoch.log_right_n,
+        });
+        Ok(())
+    }
+
+    /// Joins every batch of a closed epoch against its shadow-log suffix.
+    fn fixup_epoch<F: FnMut(&Item, &Item)>(
+        &mut self,
+        env: &mut SimEnv,
+        epoch: SpillEpoch,
+        report: &mut F,
+    ) -> Result<()> {
+        let log_left = epoch.log_left.finish(env)?;
+        let log_right = epoch.log_right.finish(env)?;
+        for batch in epoch.batches {
+            self.join_spilled(env, &batch.left, &log_right, batch.log_right_start, Side::Left, report)?;
+            self.join_spilled(env, &batch.right, &log_left, batch.log_left_start, Side::Right, report)?;
+        }
+        Ok(())
+    }
+
+    /// Joins one spilled batch side against the shadow-log entries that
+    /// arrived after its eviction: the batch is read back in
+    /// memory-governed chunks and the log suffix is streamed past each
+    /// chunk.
+    ///
+    /// Chunking matters: an "evict everything" batch can approach the whole
+    /// budget, and at epoch-close time the live structures may hold the
+    /// budget again — reserving the full batch could spuriously exceed the
+    /// limit, while a chunk of the *current* headroom always fits. The log
+    /// reader starts directly at the batch's suffix, so pre-eviction blocks
+    /// are never re-read (they were probed in memory; re-reporting them
+    /// would duplicate pairs).
+    fn join_spilled<F: FnMut(&Item, &Item)>(
+        &mut self,
+        env: &mut SimEnv,
+        spilled: &ItemStream,
+        log: &ItemStream,
+        log_start: u64,
+        spilled_side: Side,
+        report: &mut F,
+    ) -> Result<()> {
+        if spilled.is_empty() || log.len() <= log_start {
+            return Ok(());
+        }
+        let chunk_bytes = (env.memory.headroom() / 2)
+            .max(MIN_SWEEP_BUDGET)
+            .min(spilled.data_bytes() as usize);
+        let chunk_items = (chunk_bytes / usj_geom::ITEM_BYTES).max(1);
+        let mut claim = env.memory.try_reserve(chunk_items * usj_geom::ITEM_BYTES)?;
+        let mut spilled_reader = spilled.reader();
+        loop {
+            let mut chunk = Vec::with_capacity(chunk_items);
+            while chunk.len() < chunk_items {
+                match spilled_reader.next(env)? {
+                    Some(s) => chunk.push(s),
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            let mut reader = log.reader_from(log_start);
+            while let Some(z) = reader.next(env)? {
+                for s in &chunk {
+                    self.fixup_rect_tests += 1;
+                    if s.rect.intersects(&z.rect) {
+                        match spilled_side {
+                            Side::Left => report(s, &z),
+                            Side::Right => report(&z, s),
+                        }
+                    }
+                }
+            }
+        }
+        claim.release();
+        Ok(())
+    }
+
+    /// Registers `n` reported pairs in the statistics (the driver does not
+    /// count them itself, mirroring [`SweepDriver`](crate::SweepDriver)).
+    pub fn add_pairs(&mut self, n: u64) {
+        self.stats.pairs += n;
+    }
+
+    /// Fixes up any remaining spill epoch (reporting its pairs) and returns
+    /// the final statistics.
+    pub fn finish<F: FnMut(&Item, &Item)>(
+        mut self,
+        env: &mut SimEnv,
+        mut report: F,
+    ) -> Result<SweepJoinStats> {
+        if let Some(epoch) = self.epoch.take() {
+            self.fixup_epoch(env, epoch, &mut report)?;
+        }
+        Ok(self.stats_snapshot())
+    }
+
+    /// Abandons any pending spill state *without* reading it back — the
+    /// early-termination path (a stopped sink does not want more pairs, so
+    /// the fix-up I/O is saved).
+    pub fn discard(self) -> SweepJoinStats {
+        self.stats_snapshot()
+    }
+
+    fn stats_snapshot(&self) -> SweepJoinStats {
+        let mut stats = self.stats;
+        stats.rect_tests =
+            self.left.stats().rect_tests + self.right.stats().rect_tests + self.fixup_rect_tests;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_geom::Rect;
+    use usj_io::MachineConfig;
+
+    fn item(x0: f32, y0: f32, x1: f32, y1: f32, id: u32) -> Item {
+        Item::new(Rect::from_coords(x0, y0, x1, y1), id)
+    }
+
+    fn env_with_memory(bytes: usize) -> SimEnv {
+        SimEnv::new(MachineConfig::machine3()).with_memory_limit(bytes)
+    }
+
+    /// Dense long-lived rectangles: many are alive at once, so a small
+    /// budget must spill.
+    fn long_lived(n: u32, id_base: u32) -> Vec<Item> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 37) as f32;
+                let y = i as f32 * 0.01;
+                item(x, y, x + 3.0, y + 50.0, id_base + i)
+            })
+            .collect()
+    }
+
+    fn brute(left: &[Item], right: &[Item]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for a in left {
+            for b in right {
+                if a.rect.intersects(&b.rect) {
+                    out.push((a.id, b.id));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn run_spilling(
+        env: &mut SimEnv,
+        left: &[Item],
+        right: &[Item],
+    ) -> (Vec<(u32, u32)>, SweepJoinStats) {
+        let mut l = left.to_vec();
+        let mut r = right.to_vec();
+        l.sort_unstable_by(Item::cmp_by_lower_y);
+        r.sort_unstable_by(Item::cmp_by_lower_y);
+        let mut driver = SpillingSweepDriver::new(env, 0.0, 64.0);
+        let mut out = Vec::new();
+        let (mut li, mut ri) = (0, 0);
+        while li < l.len() || ri < r.len() {
+            let take_left = match (l.get(li), r.get(ri)) {
+                (Some(a), Some(b)) => a.cmp_by_lower_y(b) != std::cmp::Ordering::Greater,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_left {
+                driver
+                    .push(env, Side::Left, l[li], |a, b| out.push((a.id, b.id)))
+                    .unwrap();
+                li += 1;
+            } else {
+                driver
+                    .push(env, Side::Right, r[ri], |a, b| out.push((a.id, b.id)))
+                    .unwrap();
+                ri += 1;
+            }
+        }
+        driver.add_pairs(out.len() as u64);
+        let stats = driver.finish(env, |a, b| out.push((a.id, b.id))).unwrap();
+        out.sort_unstable();
+        out.dedup();
+        (out, stats)
+    }
+
+    #[test]
+    fn no_spill_when_the_budget_is_ample() {
+        let mut env = env_with_memory(16 * 1024 * 1024);
+        let left = long_lived(200, 0);
+        let right = long_lived(200, 10_000);
+        let (pairs, stats) = run_spilling(&mut env, &left, &right);
+        assert_eq!(pairs, brute(&left, &right));
+        assert_eq!(stats.spill_runs, 0);
+        assert_eq!(stats.spilled_items, 0);
+    }
+
+    #[test]
+    fn spilling_reports_the_exact_pair_set_and_charges_io() {
+        let mut env = env_with_memory(64 * 1024);
+        let left = long_lived(700, 0);
+        let right = long_lived(700, 10_000);
+        let m = env.begin();
+        let (pairs, stats) = run_spilling(&mut env, &left, &right);
+        let (io, _) = env.since(&m);
+        assert_eq!(pairs, brute(&left, &right));
+        assert!(stats.spill_runs > 0, "a 32 KB budget must spill: {stats:?}");
+        assert!(stats.spilled_items > 0);
+        assert!(io.pages_written > 0, "spill batches are written to the device");
+        assert!(io.pages_read > 0, "fix-ups read the spilled items back");
+        // The in-memory state stayed near the budget (one insertion of a
+        // strip-spanning item may overshoot before the spill reacts).
+        assert!(stats.max_structure_bytes <= 32 * 1024 + 2048, "{stats:?}");
+    }
+
+    #[test]
+    fn spill_pairs_are_reported_exactly_once() {
+        // No dedup pass: the raw report sequence must already be
+        // duplicate-free across the in-memory and fix-up paths.
+        let mut env = env_with_memory(64 * 1024);
+        let left = long_lived(500, 0);
+        let right = long_lived(500, 10_000);
+        let mut l = left.clone();
+        let mut r = right.clone();
+        l.sort_unstable_by(Item::cmp_by_lower_y);
+        r.sort_unstable_by(Item::cmp_by_lower_y);
+        let mut driver = SpillingSweepDriver::new(&env, 0.0, 64.0);
+        let mut out = Vec::new();
+        for (a, b) in l.iter().zip(r.iter()) {
+            driver
+                .push(&mut env, Side::Left, *a, |x, y| out.push((x.id, y.id)))
+                .unwrap();
+            driver
+                .push(&mut env, Side::Right, *b, |x, y| out.push((x.id, y.id)))
+                .unwrap();
+        }
+        let stats = driver
+            .finish(&mut env, |x, y| out.push((x.id, y.id)))
+            .unwrap();
+        assert!(stats.spill_runs > 0);
+        let n = out.len();
+        out.sort_unstable();
+        out.dedup();
+        assert_eq!(out.len(), n, "fix-up re-reported already-seen pairs");
+        assert_eq!(out, brute(&left, &right));
+    }
+
+    #[test]
+    fn memory_gauge_never_exceeds_the_limit_while_spilling() {
+        let mut env = env_with_memory(64 * 1024);
+        let left = long_lived(800, 0);
+        let right = long_lived(800, 10_000);
+        env.memory.begin_phase();
+        let (pairs, stats) = run_spilling(&mut env, &left, &right);
+        assert_eq!(pairs.len(), brute(&left, &right).len());
+        assert!(stats.spill_runs > 0);
+        assert!(
+            env.memory.peak() <= env.memory_limit,
+            "peak {} exceeds limit {}",
+            env.memory.peak(),
+            env.memory_limit
+        );
+    }
+
+    #[test]
+    fn discard_skips_the_fixup_io() {
+        let mut env = env_with_memory(64 * 1024);
+        let left = long_lived(500, 0);
+        let right = long_lived(500, 10_000);
+        let mut l = left.clone();
+        l.sort_unstable_by(Item::cmp_by_lower_y);
+        let mut r = right.clone();
+        r.sort_unstable_by(Item::cmp_by_lower_y);
+        let mut driver = SpillingSweepDriver::new(&env, 0.0, 64.0);
+        for (a, b) in l.iter().zip(r.iter()) {
+            driver.push(&mut env, Side::Left, *a, |_, _| {}).unwrap();
+            driver.push(&mut env, Side::Right, *b, |_, _| {}).unwrap();
+        }
+        assert!(driver.open_batches() > 0, "batches should still be open");
+        let m = env.begin();
+        let stats = driver.discard();
+        let (io, _) = env.since(&m);
+        assert!(stats.spill_runs > 0);
+        assert_eq!(io.pages_read, 0, "discard must not read the batches back");
+    }
+}

@@ -25,6 +25,23 @@ use crate::structure::{SweepStats, SweepStructure};
 /// keep the per-strip lists short without wasting memory on empty strips).
 pub const DEFAULT_STRIPS: usize = 256;
 
+/// Row index of the strip containing `x` for a structure of `n` strips over
+/// `[x_lo, x_hi]` (coordinates outside the extent clamp onto the border
+/// strips). A free function so the `retain`-based removal loops can use the
+/// same formula while the strip vector is mutably borrowed.
+#[inline]
+fn strip_index(x_lo: f32, x_hi: f32, n: usize, x: f32) -> usize {
+    let t = (f64::from(x) - f64::from(x_lo)) / (f64::from(x_hi) - f64::from(x_lo));
+    let idx = (t * n as f64).floor();
+    if idx < 0.0 {
+        0
+    } else if idx >= n as f64 {
+        n - 1
+    } else {
+        idx as usize
+    }
+}
+
 /// Striped active-list interval structure.
 #[derive(Debug)]
 pub struct StripedSweep {
@@ -62,16 +79,7 @@ impl StripedSweep {
 
     #[inline]
     fn strip_of(&self, x: f32) -> usize {
-        let n = self.strips.len();
-        let t = (f64::from(x) - f64::from(self.x_lo)) / (f64::from(self.x_hi) - f64::from(self.x_lo));
-        let idx = (t * n as f64).floor();
-        if idx < 0.0 {
-            0
-        } else if idx >= n as f64 {
-            n - 1
-        } else {
-            idx as usize
-        }
+        strip_index(self.x_lo, self.x_hi, self.strips.len(), x)
     }
 
     /// Strip range `[first, last]` overlapped by an item's x-projection.
@@ -89,6 +97,47 @@ impl StripedSweep {
     fn note_size(&mut self) {
         self.stats.max_resident = self.stats.max_resident.max(self.resident);
         self.stats.max_bytes = self.stats.max_bytes.max(self.bytes());
+    }
+
+    /// Upper y-coordinates (expiry positions) of every resident item, one
+    /// entry per unique item. The spilling driver uses this to pick an
+    /// eviction cut-off.
+    pub fn resident_expiries(&self, out: &mut Vec<f32>) {
+        for (s, strip) in self.strips.iter().enumerate() {
+            for it in strip {
+                if self.strip_of(it.rect.lo.x) == s {
+                    out.push(it.rect.hi.y);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns every resident item whose upper y-coordinate is
+    /// at most `y_cut` — the items the sweep line will expire soonest.
+    ///
+    /// Unlike [`SweepStructure::expire_before`] the removed items are still
+    /// *active* (the sweep line has not passed them); the caller takes over
+    /// responsibility for joining them against later arrivals. This is the
+    /// eviction primitive of the external spilling sweep.
+    pub fn evict_until(&mut self, y_cut: f32) -> Vec<Item> {
+        let mut evicted = Vec::new();
+        let mut removed_copies = 0;
+        let (x_lo, x_hi) = (self.x_lo, self.x_hi);
+        let n = self.strips.len();
+        for (s, strip) in self.strips.iter_mut().enumerate() {
+            let before = strip.len();
+            strip.retain(|it| {
+                let evict = it.rect.hi.y <= y_cut;
+                if evict && strip_index(x_lo, x_hi, n, it.rect.lo.x) == s {
+                    evicted.push(*it);
+                }
+                !evict
+            });
+            removed_copies += before - strip.len();
+        }
+        self.copies -= removed_copies;
+        self.resident -= evicted.len();
+        evicted
     }
 }
 
@@ -113,25 +162,13 @@ impl SweepStructure for StripedSweep {
         let mut removed_copies = 0;
         // An item is counted as expired in its home strip only, so the unique
         // count is exact even though copies live in several strips.
-        let x_lo = self.x_lo;
-        let x_hi = self.x_hi;
+        let (x_lo, x_hi) = (self.x_lo, self.x_hi);
         let n = self.strips.len();
-        let strip_of = |x: f32| -> usize {
-            let t = (f64::from(x) - f64::from(x_lo)) / (f64::from(x_hi) - f64::from(x_lo));
-            let idx = (t * n as f64).floor();
-            if idx < 0.0 {
-                0
-            } else if idx >= n as f64 {
-                n - 1
-            } else {
-                idx as usize
-            }
-        };
         for (s, strip) in self.strips.iter_mut().enumerate() {
             let before = strip.len();
             strip.retain(|it| {
                 let expired = it.rect.hi.y < y;
-                if expired && strip_of(it.rect.lo.x) == s {
+                if expired && strip_index(x_lo, x_hi, n, it.rect.lo.x) == s {
                     removed_unique += 1;
                 }
                 !expired

@@ -72,7 +72,7 @@ pub mod prelude {
         parallel::{HilbertPartitioner, ParallelJoin, Partitioner, ShardMap, TilePartitioner},
         pbsm::PbsmJoin,
         pq::PqJoin,
-        query::{Algo, Execution, PartitionStrategy, QueryPlan, SpatialQuery},
+        query::{Algo, Execution, MemoryPlan, PartitionStrategy, QueryPlan, SpatialQuery},
         sssj::SssjJoin,
         st::StJoin,
         CollectSink, CountSink, GridHistogram, JoinAlgorithm, JoinInput, JoinOperator,
