@@ -6,8 +6,11 @@
 //! experiments:
 //!   table2 table3 table4 fig2-estimated fig2-observed fig3 crossover
 //!   ablation-sweep ablation-buffer ablation-tiles ablation-packing
-//!   low-memory all
+//!   low-memory service all
 //! ```
+//!
+//! `service` additionally writes its rows as machine-readable
+//! `BENCH_service.json` in the current directory.
 
 use usj_bench::{ExperimentConfig, *};
 use usj_datagen::Preset;
@@ -82,6 +85,14 @@ fn main() {
         "ablation-tiles" => ablation_tiles(&cfg),
         "ablation-packing" => ablation_packing(&cfg),
         "low-memory" => low_memory(&cfg),
+        "service" => {
+            let rows = service_bench(&cfg);
+            let json = service_bench_json(&cfg, &rows);
+            let path = "BENCH_service.json";
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!("wrote {path} ({} rows)", rows.len());
+        }
         "all" => run_all(&cfg),
         other => die(&format!("unknown experiment '{other}'")),
     }

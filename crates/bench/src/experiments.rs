@@ -457,6 +457,7 @@ pub fn run_all(cfg: &ExperimentConfig) {
     ablation_tiles(cfg);
     ablation_packing(cfg);
     low_memory(cfg);
+    crate::service_exp::service_bench(cfg);
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 //! | `repro ablation-tiles` | PBSM 32×32 vs 128×128 tiles (Sec. 3.2) |
 //! | `repro ablation-packing` | 75 %+20 % packing vs full packing (Sec. 7) |
 //! | `repro low-memory` | memory governor: spill I/O vs 4/16/64 MB limits |
+//! | `repro service` | service throughput: 16 concurrent requests at 2/4/8 workers under a 16 MB shared budget (also writes `BENCH_service.json`) |
 //! | `repro all` | everything above |
 //!
 //! Every experiment accepts `--scale <divisor>` (default 200) which divides
@@ -30,8 +31,10 @@
 
 pub mod experiments;
 pub mod quick;
+pub mod service_exp;
 pub mod setup;
 
 pub use experiments::*;
 pub use quick::{BenchReport, QuickBench};
+pub use service_exp::{service_bench, service_bench_json, ServiceBenchRow};
 pub use setup::{ExperimentConfig, PreparedWorkload};

@@ -1,0 +1,277 @@
+//! The service throughput experiment (not in the paper): N concurrent mixed
+//! join/selection requests against a cataloged workload, at 2/4/8 workers,
+//! under one shared memory limit.
+//!
+//! This is the first entry of the bench trajectory for the service
+//! subsystem: it exercises register-once/query-many (every request reads the
+//! persisted catalog representations), gauge-based admission (each request
+//! demands 6 MB of the 16 MB shared budget, so deferrals are guaranteed),
+//! and the plan cache (the join shapes repeat). `repro service` additionally
+//! emits the rows as machine-readable `BENCH_service.json`.
+
+use std::time::Instant;
+
+use usj_core::Algo;
+use usj_datagen::WorkloadSpec;
+use usj_geom::Rect;
+use usj_io::{MachineConfig, SimEnv};
+use usj_service::{Catalog, QueryRequest, Service, ServiceConfig};
+
+use crate::setup::ExperimentConfig;
+
+/// Shared admission budget of the experiment (16 MB).
+pub const SERVICE_BENCH_MEMORY_LIMIT: usize = 16 * 1024 * 1024;
+
+/// Per-request demanded budget (6 MB: 2.67× oversubscription at 16 requests).
+pub const SERVICE_BENCH_QUERY_BUDGET: usize = 6 * 1024 * 1024;
+
+/// Budget of the one high-priority "heavy" request (12 MB): admitted first,
+/// it leaves less than one regular budget of headroom, so a head-of-queue
+/// deferral is recorded deterministically at every worker count.
+pub const SERVICE_BENCH_HEAVY_BUDGET: usize = 12 * 1024 * 1024;
+
+/// Requests per batch.
+pub const SERVICE_BENCH_REQUESTS: usize = 16;
+
+/// One measured configuration of the service experiment.
+#[derive(Debug, Clone)]
+pub struct ServiceBenchRow {
+    /// Workload preset name.
+    pub preset: String,
+    /// Worker threads of the service.
+    pub workers: usize,
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests failed.
+    pub failed: u64,
+    /// Admission deferral events.
+    pub deferrals: u64,
+    /// Plan-cache hits during the batch.
+    pub plan_cache_hits: u64,
+    /// Total pairs delivered.
+    pub pairs: u64,
+    /// Aggregate pages read across every query's forked environment.
+    pub pages_read: u64,
+    /// Aggregate pages written.
+    pub pages_written: u64,
+    /// High-water mark of the admission gauge (bytes).
+    pub peak_admitted_bytes: usize,
+    /// Largest measured per-query peak (bytes).
+    pub peak_query_bytes: usize,
+    /// Host wall-clock time of the batch in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Builds the mixed request batch: joins across the algorithms (including
+/// repeats, so the plan cache gets hits) plus half-region window selections.
+fn mixed_requests(
+    roads: usj_service::DatasetId,
+    hydro: usj_service::DatasetId,
+    region: Rect,
+) -> Vec<QueryRequest> {
+    let window = Rect::from_coords(
+        region.lo.x,
+        region.lo.y,
+        region.lo.x + region.width() * 0.5,
+        region.lo.y + region.height() * 0.5,
+    );
+    (0..SERVICE_BENCH_REQUESTS as u32)
+        .map(|i| {
+            let request = match i % 4 {
+                0 => QueryRequest::join(roads, hydro).with_algorithm(Algo::Sssj),
+                1 => QueryRequest::join(roads, hydro).with_algorithm(Algo::Pq),
+                2 => QueryRequest::join(roads, hydro).with_algorithm(Algo::St),
+                _ => QueryRequest::window(roads, window),
+            };
+            if i == 0 {
+                request
+                    .with_memory_budget(SERVICE_BENCH_HEAVY_BUDGET)
+                    .with_priority(3)
+            } else {
+                request
+                    .with_memory_budget(SERVICE_BENCH_QUERY_BUDGET)
+                    .with_priority((i % 3) as u8)
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment, printing one row per preset × worker count, and
+/// returns the rows for machine-readable emission.
+pub fn service_bench(cfg: &ExperimentConfig) -> Vec<ServiceBenchRow> {
+    println!(
+        "\n== Service throughput: {} mixed requests, {} MB shared budget (scale divisor {}) ==",
+        SERVICE_BENCH_REQUESTS,
+        SERVICE_BENCH_MEMORY_LIMIT / (1024 * 1024),
+        cfg.scale
+    );
+    println!(
+        "{:<10} {:>7} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12} {:>11} {:>9}",
+        "Data set",
+        "Workers",
+        "Complete",
+        "Deferred",
+        "PlanHits",
+        "Pairs",
+        "Pages rd",
+        "Pages wr",
+        "PeakAdm MB",
+        "PeakQry MB",
+        "Wall ms"
+    );
+    let mut rows = Vec::new();
+    for &preset in &cfg.presets {
+        let workload = WorkloadSpec::preset(preset)
+            .with_scale(cfg.scale)
+            .generate(cfg.seed);
+        for workers in [2usize, 4, 8] {
+            let mut env = SimEnv::new(MachineConfig::machine3());
+            let mut catalog = Catalog::new();
+            let (roads, hydro) = env.unaccounted(|env| {
+                (
+                    catalog
+                        .register(env, "roads", &workload.roads)
+                        .expect("register roads"),
+                    catalog
+                        .register(env, "hydro", &workload.hydro)
+                        .expect("register hydro"),
+                )
+            });
+            let service = Service::new(
+                env,
+                catalog,
+                ServiceConfig::default()
+                    .with_workers(workers)
+                    .with_memory_limit(SERVICE_BENCH_MEMORY_LIMIT),
+            );
+            let requests = mixed_requests(roads, hydro, workload.region);
+            let start = Instant::now();
+            let report = service.run(requests);
+            let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+            let stats = &report.stats;
+            assert_eq!(
+                stats.completed + stats.failed,
+                stats.submitted,
+                "{preset}: every request must resolve"
+            );
+            for outcome in &report.outcomes {
+                if let Some(result) = outcome.result() {
+                    assert!(
+                        result.memory.peak_bytes <= SERVICE_BENCH_MEMORY_LIMIT,
+                        "{preset}: per-query peak over the shared limit"
+                    );
+                }
+            }
+            println!(
+                "{:<10} {:>7} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12.1} {:>11.2} {:>9.1}",
+                preset.name(),
+                workers,
+                stats.completed,
+                stats.deferrals,
+                stats.plan_cache_hits,
+                stats.pairs,
+                stats.io.pages_read,
+                stats.io.pages_written,
+                stats.peak_admitted_bytes as f64 / (1024.0 * 1024.0),
+                stats.peak_query_bytes as f64 / (1024.0 * 1024.0),
+                wall_ms
+            );
+            rows.push(ServiceBenchRow {
+                preset: preset.name().to_string(),
+                workers,
+                requests: stats.submitted,
+                completed: stats.completed,
+                failed: stats.failed,
+                deferrals: stats.deferrals,
+                plan_cache_hits: stats.plan_cache_hits,
+                pairs: stats.pairs,
+                pages_read: stats.io.pages_read,
+                pages_written: stats.io.pages_written,
+                peak_admitted_bytes: stats.peak_admitted_bytes,
+                peak_query_bytes: stats.peak_query_bytes,
+                wall_ms,
+            });
+        }
+    }
+    println!(
+        "(admission control bounds concurrent grants to the shared budget; deferrals are the queue doing its job, not failures)"
+    );
+    rows
+}
+
+/// Renders the rows as the `BENCH_service.json` document `repro service`
+/// writes (hand-rolled JSON — the workspace is dependency-free).
+pub fn service_bench_json(cfg: &ExperimentConfig, rows: &[ServiceBenchRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"service\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", cfg.scale));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!(
+        "  \"shared_memory_limit_bytes\": {},\n",
+        SERVICE_BENCH_MEMORY_LIMIT
+    ));
+    out.push_str(&format!(
+        "  \"per_query_budget_bytes\": {},\n",
+        SERVICE_BENCH_QUERY_BUDGET
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"preset\": \"{}\", \"workers\": {}, \"requests\": {}, \"completed\": {}, \
+             \"failed\": {}, \"deferrals\": {}, \"plan_cache_hits\": {}, \"pairs\": {}, \
+             \"pages_read\": {}, \"pages_written\": {}, \"peak_admitted_bytes\": {}, \
+             \"peak_query_bytes\": {}, \"wall_ms\": {:.3}}}{}\n",
+            row.preset,
+            row.workers,
+            row.requests,
+            row.completed,
+            row.failed,
+            row.deferrals,
+            row.plan_cache_hits,
+            row.pairs,
+            row.pages_read,
+            row.pages_written,
+            row.peak_admitted_bytes,
+            row.peak_query_bytes,
+            row.wall_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_datagen::Preset;
+
+    #[test]
+    fn service_bench_runs_and_serializes_on_a_tiny_configuration() {
+        let cfg = ExperimentConfig {
+            scale: 2_000,
+            seed: 7,
+            presets: vec![Preset::NJ],
+        };
+        let rows = service_bench(&cfg);
+        assert_eq!(rows.len(), 3, "one row per worker count");
+        assert!(rows.iter().all(|r| r.completed == SERVICE_BENCH_REQUESTS as u64));
+        // The heavy request is admitted first and leaves less than one
+        // regular budget of headroom, so every configuration records at
+        // least one deferral, deterministically.
+        assert!(rows.iter().all(|r| r.deferrals > 0), "oversubscription must defer");
+        assert!(
+            rows.iter().all(|r| r.peak_admitted_bytes <= SERVICE_BENCH_MEMORY_LIMIT),
+            "admission gauge bound"
+        );
+        let json = service_bench_json(&cfg, &rows);
+        assert!(json.contains("\"experiment\": \"service\""));
+        assert!(json.contains("\"preset\": \"NJ\""));
+        assert_eq!(json.matches("\"workers\":").count(), 3);
+        // Crude structural sanity: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

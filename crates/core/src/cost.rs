@@ -131,12 +131,21 @@ impl CostBasedJoin {
 
         // Non-indexed strategy: sort both relations and sweep. Following
         // Section 6.3: three read passes and two write passes over the raw
-        // data, all sequential.
+        // data, all sequential. A side that is *already* sorted (a
+        // `SortedStream`, or a cataloged relation whose sorted run is
+        // persisted) skips the sort entirely and pays only the sweep's one
+        // read pass.
         let data_pages = |input: &JoinInput<'_>| -> f64 {
             (input.len() as f64 * ITEM_BYTES as f64 / PAGE_SIZE as f64).ceil()
         };
-        let n = data_pages(left) + data_pages(right);
-        let non_indexed_secs = 3.0 * n * seq_page + 2.0 * n * seq_page * machine.write_penalty;
+        let sorted_side_secs = |input: &JoinInput<'_>| -> f64 {
+            let pages = data_pages(input);
+            match input {
+                JoinInput::SortedStream(_) | JoinInput::Cataloged(_) => pages * seq_page,
+                _ => 3.0 * pages * seq_page + 2.0 * pages * seq_page * machine.write_penalty,
+            }
+        };
+        let non_indexed_secs = sorted_side_secs(left) + sorted_side_secs(right);
 
         // Indexed strategy: every index page the join touches costs a random
         // read. The touched fraction is estimated from the directory
@@ -145,8 +154,13 @@ impl CostBasedJoin {
         let mut touched_pages = 0.0;
         let mut total_pages = 0.0;
         for (input, other) in [(left, right), (right, left)] {
-            match input {
-                JoinInput::Indexed(tree) => {
+            let tree = match input {
+                JoinInput::Indexed(tree) => Some(*tree),
+                JoinInput::Cataloged(c) => Some(c.tree),
+                JoinInput::Stream(_) | JoinInput::SortedStream(_) => None,
+            };
+            match tree {
+                Some(tree) => {
                     let frac = match other.known_bbox() {
                         Some(bbox) => {
                             let touched = tree.leaves_intersecting(env, &bbox)? as f64;
@@ -161,12 +175,11 @@ impl CostBasedJoin {
                     touched_pages += pages;
                     total_pages += tree.nodes() as f64;
                 }
-                JoinInput::Stream(_) | JoinInput::SortedStream(_) => {
+                None => {
                     // This side has no index: PQ sorts it exactly as SSSJ
-                    // would.
+                    // would (or reads it straight if it is already sorted).
                     let pages = data_pages(input);
-                    indexed_secs +=
-                        3.0 * pages * seq_page + 2.0 * pages * seq_page * machine.write_penalty;
+                    indexed_secs += sorted_side_secs(input);
                     touched_pages += pages;
                     total_pages += pages;
                 }

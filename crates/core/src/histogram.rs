@@ -9,7 +9,12 @@
 //! can be estimated without touching the indexes.
 
 use usj_geom::{Item, Rect};
-use usj_io::{CpuOp, ItemStream, Result, SimEnv};
+use usj_io::{CpuOp, IoSimError, ItemStream, Result, SimEnv};
+
+/// Largest supported grid resolution (cells per side). [`GridHistogram::new`]
+/// clamps to it, and [`GridHistogram::decode`] rejects anything beyond it,
+/// so every constructible histogram round-trips through serialization.
+pub const MAX_HISTOGRAM_CELLS: usize = 4096;
 
 /// A uniform-grid spatial histogram.
 #[derive(Debug, Clone)]
@@ -21,9 +26,10 @@ pub struct GridHistogram {
 }
 
 impl GridHistogram {
-    /// Creates an empty histogram with `cells_per_side`² cells over `region`.
+    /// Creates an empty histogram with `cells_per_side`² cells over `region`
+    /// (clamped to `1..=`[`MAX_HISTOGRAM_CELLS`]).
     pub fn new(region: Rect, cells_per_side: usize) -> Self {
-        let cells_per_side = cells_per_side.max(1);
+        let cells_per_side = cells_per_side.clamp(1, MAX_HISTOGRAM_CELLS);
         GridHistogram {
             region,
             cells_per_side,
@@ -60,6 +66,61 @@ impl GridHistogram {
     /// Grid resolution.
     pub fn cells_per_side(&self) -> usize {
         self.cells_per_side
+    }
+
+    /// Serializes the histogram for embedding in an on-device directory
+    /// (such as the service catalog, which keeps one summary per dataset so
+    /// query costing never rescans the data).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32 + self.counts.len() * 8);
+        for v in [self.region.lo.x, self.region.lo.y, self.region.hi.x, self.region.hi.y] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.cells_per_side as u64).to_le_bytes());
+        buf.extend_from_slice(&self.total.to_le_bytes());
+        for c in &self.counts {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Decodes a histogram produced by [`encode`](GridHistogram::encode),
+    /// returning it and the number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(GridHistogram, usize)> {
+        let err = IoSimError::CorruptRecord("histogram truncated");
+        let f32_at = |off: usize| -> Result<f32> {
+            buf.get(off..off + 4)
+                .map(|b| f32::from_le_bytes(b.try_into().expect("checked length")))
+                .ok_or(err.clone())
+        };
+        let u64_at = |off: usize| -> Result<u64> {
+            buf.get(off..off + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("checked length")))
+                .ok_or(err.clone())
+        };
+        let region = Rect::from_coords(f32_at(0)?, f32_at(4)?, f32_at(8)?, f32_at(12)?);
+        let cells_per_side = u64_at(16)? as usize;
+        let total = u64_at(24)?;
+        if cells_per_side == 0 || cells_per_side > MAX_HISTOGRAM_CELLS {
+            return Err(IoSimError::CorruptRecord("histogram grid out of range"));
+        }
+        if buf.len() < 32 + cells_per_side * cells_per_side * 8 {
+            return Err(err);
+        }
+        let mut counts = Vec::with_capacity(cells_per_side * cells_per_side);
+        for i in 0..cells_per_side * cells_per_side {
+            counts.push(u64_at(32 + i * 8)?);
+        }
+        let consumed = 32 + counts.len() * 8;
+        Ok((
+            GridHistogram {
+                region,
+                cells_per_side,
+                counts,
+                total,
+            },
+            consumed,
+        ))
     }
 
     /// Total number of rectangles counted.
@@ -180,6 +241,21 @@ mod tests {
                 Item::new(Rect::from_coords(x, y, x + 0.5, y + 0.5), id_base + i)
             })
             .collect()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let items = block(10.0, 10.0, 250, 0);
+        let h = GridHistogram::from_items(region(), 24, &items);
+        let mut blob = h.encode();
+        blob.extend_from_slice(b"directory tail");
+        let (back, consumed) = GridHistogram::decode(&blob).unwrap();
+        assert_eq!(consumed, h.encode().len());
+        assert_eq!(back.total(), h.total());
+        assert_eq!(back.cells_per_side(), h.cells_per_side());
+        let w = Rect::from_coords(10.0, 10.0, 20.0, 20.0);
+        assert_eq!(back.count_in_window(&w), h.count_in_window(&w));
+        assert!(GridHistogram::decode(&blob[..20]).is_err());
     }
 
     #[test]

@@ -4,6 +4,27 @@ use usj_geom::Rect;
 use usj_io::{extsort, CpuOp, ItemStream, ItemStreamWriter, Result, SimEnv};
 use usj_rtree::{NodeKind, RTree};
 
+/// A relation registered in a dataset catalog: *both* of its prepared
+/// representations — the bulk-loaded R-tree and the y-sorted run — persisted
+/// on the device, plus the known bounding box.
+///
+/// This is what "register once, query many" buys: an algorithm that wants
+/// the index uses [`tree`](CatalogedInput::tree) without bulk-loading, an
+/// algorithm that wants sorted input uses [`sorted`](CatalogedInput::sorted)
+/// without re-sorting, and nobody scans for the bounding box. The handle is
+/// produced by the service crate's `Catalog`; it is a plain borrow so the
+/// core crate stays independent of the catalog implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogedInput<'a> {
+    /// The persisted packed R-tree over the relation.
+    pub tree: &'a RTree,
+    /// The persisted stream of the relation's MBRs, sorted by lower
+    /// y-coordinate.
+    pub sorted: &'a ItemStream,
+    /// Bounding box of the relation, recorded at registration.
+    pub bbox: Rect,
+}
+
 /// One input relation of a spatial join.
 ///
 /// The whole point of the PQ algorithm is that a relation may arrive either
@@ -19,6 +40,10 @@ pub enum JoinInput<'a> {
     /// y-coordinate (for example the output of a previous sort), so a join
     /// can skip the sorting step.
     SortedStream(&'a ItemStream),
+    /// The relation is registered in a dataset catalog, with a persisted
+    /// index *and* a persisted sorted run: every algorithm skips its
+    /// preparation I/O (no re-sort, no index build, no bbox scan).
+    Cataloged(CatalogedInput<'a>),
 }
 
 impl<'a> JoinInput<'a> {
@@ -27,6 +52,7 @@ impl<'a> JoinInput<'a> {
         match self {
             JoinInput::Indexed(tree) => tree.num_items(),
             JoinInput::Stream(s) | JoinInput::SortedStream(s) => s.len(),
+            JoinInput::Cataloged(c) => c.sorted.len(),
         }
     }
 
@@ -37,7 +63,7 @@ impl<'a> JoinInput<'a> {
 
     /// Returns `true` if the relation has an R-tree.
     pub fn is_indexed(&self) -> bool {
-        matches!(self, JoinInput::Indexed(_))
+        matches!(self, JoinInput::Indexed(_) | JoinInput::Cataloged(_))
     }
 
     /// Number of disk pages holding the relation's raw data (for indexed
@@ -47,14 +73,17 @@ impl<'a> JoinInput<'a> {
         match self {
             JoinInput::Indexed(tree) => tree.nodes(),
             JoinInput::Stream(s) | JoinInput::SortedStream(s) => s.pages(),
+            JoinInput::Cataloged(c) => c.tree.nodes(),
         }
     }
 
     /// Bounding box of the relation, if it is known without scanning
-    /// (indexed inputs know it from the root directory rectangle).
+    /// (indexed inputs know it from the root directory rectangle, cataloged
+    /// inputs from their registration record).
     pub fn known_bbox(&self) -> Option<Rect> {
         match self {
             JoinInput::Indexed(tree) => Some(tree.bbox()),
+            JoinInput::Cataloged(c) => Some(c.bbox),
             _ => None,
         }
     }
@@ -96,6 +125,9 @@ impl<'a> JoinInput<'a> {
                     extsort::external_sort_by(env, &dumped, usj_geom::Item::cmp_by_lower_y)?;
                 Ok((sorted, bbox_hint.unwrap_or(stats.bbox)))
             }
+            // The sorted run was persisted at registration: hand it back
+            // without any I/O at all. This is the catalog's headline saving.
+            JoinInput::Cataloged(c) => Ok((c.sorted.clone(), bbox_hint.unwrap_or(c.bbox))),
         }
     }
 
@@ -105,6 +137,9 @@ impl<'a> JoinInput<'a> {
         match self {
             JoinInput::Stream(s) | JoinInput::SortedStream(s) => Ok((*s).clone()),
             JoinInput::Indexed(tree) => dump_tree(env, tree),
+            // Sorted is a perfectly good unsorted stream too, and it is
+            // already on the device.
+            JoinInput::Cataloged(c) => Ok(c.sorted.clone()),
         }
     }
 }

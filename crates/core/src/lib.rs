@@ -45,7 +45,7 @@ pub mod st;
 
 pub use cost::{CostBasedJoin, CostEstimate, JoinPlan};
 pub use histogram::GridHistogram;
-pub use input::JoinInput;
+pub use input::{CatalogedInput, JoinInput};
 pub use multiway::MultiwayJoin;
 pub use parallel::{HilbertPartitioner, ParallelJoin, Partitioner, ShardMap, TilePartitioner};
 pub use pbsm::PbsmJoin;
@@ -193,49 +193,11 @@ impl JoinOperator for Box<dyn JoinOperator + Send + Sync> {
     }
 }
 
-/// The pre-0.2 join interface: a bare `FnMut(u32, u32)` output callback.
-///
-/// Kept for one release as a thin shim over [`JoinOperator`] so existing
-/// callers keep compiling; it cannot express predicates or early
-/// termination. Every `JoinOperator` automatically implements it. Note that
-/// importing *both* traits makes `run`/`run_collect` calls ambiguous — switch
-/// imports to `JoinOperator` (or drive joins through [`SpatialQuery`])
-/// instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `JoinOperator` with a `PairSink`, or the `SpatialQuery` builder"
-)]
-pub trait SpatialJoin: JoinOperator {
-    /// Runs the join, reporting every intersecting `(left_id, right_id)` pair
-    /// to `sink` and returning the accounting summary.
-    fn run_with(
-        &self,
-        env: &mut SimEnv,
-        left: JoinInput<'_>,
-        right: JoinInput<'_>,
-        sink: &mut dyn FnMut(u32, u32),
-    ) -> Result<JoinResult> {
-        JoinOperator::run_with(self, env, left, right, &mut |a: u32, b: u32| sink(a, b))
-    }
-
-    /// Runs the join discarding the output pairs.
-    fn run(&self, env: &mut SimEnv, left: JoinInput<'_>, right: JoinInput<'_>) -> Result<JoinResult> {
-        JoinOperator::run(self, env, left, right)
-    }
-
-    /// Runs the join and collects the output pairs in memory.
-    fn run_collect(
-        &self,
-        env: &mut SimEnv,
-        left: JoinInput<'_>,
-        right: JoinInput<'_>,
-    ) -> Result<(JoinResult, Vec<(u32, u32)>)> {
-        JoinOperator::run_collect(self, env, left, right)
-    }
-}
-
-#[allow(deprecated)]
-impl<T: JoinOperator + ?Sized> SpatialJoin for T {}
+// The pre-0.2 `SpatialJoin` trait (a bare `FnMut(u32, u32)` callback shim
+// over `JoinOperator`) was deprecated in 0.2.0 and has been removed as
+// promised after one release. Use `JoinOperator` with a `PairSink`, or the
+// `SpatialQuery` builder — plain closures still implement `PairSink`, so
+// `op.run_with(env, l, r, &mut |a, b| ...)` keeps working unchanged.
 
 #[cfg(test)]
 mod algorithm_tests;

@@ -202,18 +202,25 @@ impl JoinOperator for PbsmJoin {
         let left_stream = left.to_stream(env)?;
         let right_stream = right.to_stream(env)?;
 
-        // Data-space bounding box: use the hint or one sequential scan. The
-        // grid is grown by ε so the expanded left rectangles it partitions
-        // stay covered.
+        // Data-space bounding box: the hint if given; otherwise union the
+        // inputs' known bounding boxes (index root rectangles, catalog
+        // registration records) and scan only the sides whose extent is
+        // genuinely unknown. The grid is grown by ε so the expanded left
+        // rectangles it partitions stay covered.
         let region = match self.region_hint {
             Some(r) => r,
             None => {
                 let mut bbox = Rect::empty();
-                for s in [&left_stream, &right_stream] {
-                    let mut r = s.reader();
-                    while let Some(it) = r.next(env)? {
-                        env.charge(CpuOp::RectTest, 1);
-                        bbox = bbox.union(&it.rect);
+                for (input, stream) in [(&left, &left_stream), (&right, &right_stream)] {
+                    match input.known_bbox() {
+                        Some(b) => bbox = bbox.union(&b),
+                        None => {
+                            let mut r = stream.reader();
+                            while let Some(it) = r.next(env)? {
+                                env.charge(CpuOp::RectTest, 1);
+                                bbox = bbox.union(&it.rect);
+                            }
+                        }
                     }
                 }
                 if bbox.is_empty() {

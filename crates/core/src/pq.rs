@@ -359,6 +359,20 @@ impl PqJoin {
                 let (sorted, bbox) = input.to_sorted_stream(env, self.region_hint)?;
                 Ok((SortedSource::Stream(sorted.reader()), bbox))
             }
+            JoinInput::Cataloged(c) => {
+                // A cataloged relation has both representations persisted.
+                // Reading the sorted run sequentially is the cheapest source
+                // — unless a prune window restricts the traversal to part of
+                // the relation, in which case the index extractor reads only
+                // the touched subtrees.
+                match prune {
+                    Some(window) if !window.contains(&c.bbox) => Ok((
+                        SortedSource::Extractor(PqExtractor::new(env, c.tree, prune)),
+                        c.bbox,
+                    )),
+                    _ => Ok((SortedSource::Stream(c.sorted.reader()), c.bbox)),
+                }
+            }
         }
     }
 }

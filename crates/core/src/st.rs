@@ -14,8 +14,8 @@
 //! are exactly what Table 4 and Figure 2 examine.
 
 use usj_geom::Item;
-use usj_io::{CpuOp, LruBufferPool, PageId, Result, SimEnv};
-use usj_rtree::{NodeKind, RTree};
+use usj_io::{CpuOp, PageId, Result, SimEnv};
+use usj_rtree::{NodeKind, NodeStore, RTree};
 use usj_sweep::{sweep_join, ForwardSweep, SweepJoinStats};
 
 use crate::input::JoinInput;
@@ -117,6 +117,7 @@ impl JoinOperator for StJoin {
         let built_right;
         let left_tree: &RTree = match left {
             JoinInput::Indexed(t) => t,
+            JoinInput::Cataloged(c) => c.tree,
             JoinInput::Stream(s) | JoinInput::SortedStream(s) => {
                 built_left = RTree::bulk_load_stream(env, s)?;
                 &built_left
@@ -124,6 +125,7 @@ impl JoinOperator for StJoin {
         };
         let right_tree: &RTree = match right {
             JoinInput::Indexed(t) => t,
+            JoinInput::Cataloged(c) => c.tree,
             JoinInput::Stream(s) | JoinInput::SortedStream(s) => {
                 built_right = RTree::bulk_load_stream(env, s)?;
                 &built_right
@@ -144,7 +146,7 @@ impl JoinOperator for StJoin {
         let pool_budget = self
             .buffer_pool_bytes
             .min(headroom.saturating_sub(slack).max(usj_io::PAGE_SIZE));
-        let mut pool = LruBufferPool::with_capacity_bytes_gauged(pool_budget, &env.memory);
+        let mut store = NodeStore::with_capacity_bytes_gauged(pool_budget, &env.memory);
         let mut sweep_total = SweepJoinStats::default();
         let mut max_node_pair_bytes = 0usize;
 
@@ -163,8 +165,8 @@ impl JoinOperator for StJoin {
             if done {
                 break;
             }
-            let node_a = left_tree.read_node_pooled(env, &mut pool, pa)?;
-            let node_b = right_tree.read_node_pooled(env, &mut pool, pb)?;
+            let node_a = store.read(env, pa)?;
+            let node_b = store.read(env, pb)?;
 
             // Restrict both entry sets to the intersection of the two node
             // rectangles (Brinkhoff et al.'s search-space restriction).
@@ -272,13 +274,13 @@ impl JoinOperator for StJoin {
             pairs,
             io,
             cpu,
-            index_page_requests: pool.stats().misses,
+            index_page_requests: store.stats().misses,
             sweep: sweep_total,
             memory: MemoryStats {
                 priority_queue_bytes: 0,
                 sweep_structure_bytes: sweep_total.max_structure_bytes,
                 other_bytes: max_node_pair_bytes
-                    + pool.resident_pages() * usj_io::PAGE_SIZE,
+                    + store.resident_pages() * usj_io::PAGE_SIZE,
                 peak_bytes: env.memory.peak(),
             },
         })

@@ -6,6 +6,19 @@
 //! the last page touched by the previous operation is *sequential* (no seek);
 //! anything else is *random* (one seek). This is exactly the distinction the
 //! paper argues must be modelled to understand spatial-join performance.
+//!
+//! A device can additionally be created *on top of* a read-only **base
+//! snapshot** ([`BlockDevice::with_base`]): a shared, immutable prefix of
+//! pages taken from another device with [`BlockDevice::snapshot`]. This is
+//! how the query service gives every concurrent query its own device — own
+//! head position, own I/O statistics, own scratch space — over the *same*
+//! stored catalog data, without copying a byte per query. Page identifiers
+//! below the base length read from the snapshot; writes to them fail with
+//! [`IoSimError::ReadOnlyPage`] (cataloged data is immutable), and new
+//! allocations start right after the base, so the identifier space stays
+//! contiguous.
+
+use std::sync::Arc;
 
 use crate::error::{IoSimError, Result};
 use crate::page::{Page, PageId, PAGE_SIZE};
@@ -14,6 +27,8 @@ use crate::stats::IoStats;
 /// The simulated disk.
 #[derive(Debug, Default)]
 pub struct BlockDevice {
+    /// Read-only shared prefix (empty for a standalone device).
+    base: Arc<Vec<Page>>,
     pages: Vec<Page>,
     stats: IoStats,
     /// Page that would be under the head after the previous operation
@@ -29,6 +44,7 @@ impl BlockDevice {
     /// Creates an empty device with accounting enabled.
     pub fn new() -> Self {
         BlockDevice {
+            base: Arc::new(Vec::new()),
             pages: Vec::new(),
             stats: IoStats::default(),
             head: None,
@@ -36,10 +52,43 @@ impl BlockDevice {
         }
     }
 
-    /// Number of pages currently allocated.
+    /// Creates a device whose first [`base_pages`](BlockDevice::base_pages)
+    /// pages are the given read-only snapshot.
+    ///
+    /// Reads of snapshot pages are accounted like any other read; writes to
+    /// them fail with [`IoSimError::ReadOnlyPage`]. New allocations continue
+    /// after the snapshot.
+    pub fn with_base(base: Arc<Vec<Page>>) -> Self {
+        BlockDevice {
+            base,
+            ..BlockDevice::new()
+        }
+    }
+
+    /// Deep-copies every allocated page (base and own) into a new shareable
+    /// snapshot, suitable for [`BlockDevice::with_base`].
+    ///
+    /// This is an O(data) host-memory copy; it is meant to be taken *once*
+    /// (e.g. when a query service freezes its catalog), after which any
+    /// number of devices can be layered on top of the returned `Arc` for
+    /// free.
+    pub fn snapshot(&self) -> Arc<Vec<Page>> {
+        let mut all = Vec::with_capacity(self.base.len() + self.pages.len());
+        all.extend(self.base.iter().cloned());
+        all.extend(self.pages.iter().cloned());
+        Arc::new(all)
+    }
+
+    /// Number of read-only base-snapshot pages under this device.
+    #[inline]
+    pub fn base_pages(&self) -> u64 {
+        self.base.len() as u64
+    }
+
+    /// Number of pages currently allocated (including the base snapshot).
     #[inline]
     pub fn allocated_pages(&self) -> u64 {
-        self.pages.len() as u64
+        (self.base.len() + self.pages.len()) as u64
     }
 
     /// Total allocated bytes.
@@ -78,10 +127,37 @@ impl BlockDevice {
     /// Allocation itself is free: the cost of actually writing the pages is
     /// charged when they are written.
     pub fn allocate(&mut self, n: u64) -> PageId {
-        let first = self.pages.len() as PageId;
+        let first = self.allocated_pages();
         self.pages
             .extend(std::iter::repeat_with(Page::zeroed).take(n as usize));
         first
+    }
+
+    /// Resolves a page identifier to its storage (base snapshot or own).
+    fn page_ref(&self, page: PageId) -> &Page {
+        let base_len = self.base.len() as u64;
+        if page < base_len {
+            &self.base[page as usize]
+        } else {
+            &self.pages[(page - base_len) as usize]
+        }
+    }
+
+    /// Rejects writes addressed to the read-only base snapshot. Writes are
+    /// contiguous from their first page and the base is a prefix of the
+    /// identifier space, so checking the first page covers the whole range.
+    fn check_writable(&self, first: PageId) -> Result<()> {
+        if first < self.base.len() as u64 {
+            return Err(IoSimError::ReadOnlyPage { page: first });
+        }
+        Ok(())
+    }
+
+    /// Resolves an own (writable) page; callers must have passed
+    /// [`check_writable`](BlockDevice::check_writable) first.
+    fn page_mut(&mut self, page: PageId) -> &mut Page {
+        let base_len = self.base.len() as u64;
+        &mut self.pages[(page - base_len) as usize]
     }
 
     fn check_range(&self, first: PageId, n: u64) -> Result<()> {
@@ -121,7 +197,7 @@ impl BlockDevice {
     pub fn read_page(&mut self, page: PageId) -> Result<Vec<u8>> {
         self.check_range(page, 1)?;
         self.record(page, 1, true);
-        Ok(self.pages[page as usize].bytes().to_vec())
+        Ok(self.page_ref(page).bytes().to_vec())
     }
 
     /// Reads `n` consecutive pages starting at `first` as one I/O operation.
@@ -130,7 +206,7 @@ impl BlockDevice {
         self.record(first, n, true);
         let mut out = Vec::with_capacity(n as usize * PAGE_SIZE);
         for i in 0..n {
-            out.extend_from_slice(self.pages[(first + i) as usize].bytes());
+            out.extend_from_slice(self.page_ref(first + i).bytes());
         }
         Ok(out)
     }
@@ -145,8 +221,9 @@ impl BlockDevice {
             });
         }
         self.check_range(page, 1)?;
+        self.check_writable(page)?;
         self.record(page, 1, false);
-        let dst = self.pages[page as usize].bytes_mut();
+        let dst = self.page_mut(page).bytes_mut();
         dst[..data.len()].copy_from_slice(data);
         for b in dst[data.len()..].iter_mut() {
             *b = 0;
@@ -166,9 +243,10 @@ impl BlockDevice {
             });
         }
         self.check_range(first, n)?;
+        self.check_writable(first)?;
         self.record(first, n, false);
         for i in 0..n as usize {
-            let dst = self.pages[first as usize + i].bytes_mut();
+            let dst = self.page_mut(first + i as u64).bytes_mut();
             let start = i * PAGE_SIZE;
             let end = ((i + 1) * PAGE_SIZE).min(data.len());
             if start < data.len() {
@@ -304,6 +382,60 @@ mod tests {
         d.set_accounting(true);
         d.read_page(2).unwrap();
         assert_eq!(d.stats().total_ops(), 1);
+    }
+
+    #[test]
+    fn base_snapshot_is_readable_but_write_protected() {
+        let mut d = BlockDevice::new();
+        let p = d.allocate(3);
+        d.write_page(p, b"catalog").unwrap();
+        d.write_page(p + 2, b"tail").unwrap();
+
+        let base = d.snapshot();
+        let mut worker = BlockDevice::with_base(base);
+        assert_eq!(worker.base_pages(), 3);
+        assert_eq!(worker.allocated_pages(), 3);
+
+        // Base pages read back the snapshot contents, with accounting.
+        let bytes = worker.read_page(p).unwrap();
+        assert_eq!(&bytes[..7], b"catalog");
+        assert_eq!(worker.stats().pages_read, 1);
+
+        // Writes to snapshot pages are rejected without being accounted.
+        assert!(matches!(
+            worker.write_page(p, b"x"),
+            Err(IoSimError::ReadOnlyPage { page }) if page == p
+        ));
+        assert!(matches!(
+            worker.write_pages(p + 1, 2, b"xy"),
+            Err(IoSimError::ReadOnlyPage { .. })
+        ));
+        assert_eq!(worker.stats().pages_written, 0);
+
+        // New allocations continue after the base and are writable.
+        let q = worker.allocate(2);
+        assert_eq!(q, 3);
+        worker.write_page(q, b"scratch").unwrap();
+        assert_eq!(&worker.read_page(q).unwrap()[..7], b"scratch");
+
+        // The snapshot owner is unaffected by the worker's scratch writes.
+        assert_eq!(d.allocated_pages(), 3);
+        assert_eq!(&d.read_page(p).unwrap()[..7], b"catalog");
+    }
+
+    #[test]
+    fn snapshot_of_layered_device_flattens_base_and_own_pages() {
+        let mut d = BlockDevice::new();
+        let p = d.allocate(1);
+        d.write_page(p, b"first").unwrap();
+        let mut layered = BlockDevice::with_base(d.snapshot());
+        let q = layered.allocate(1);
+        layered.write_page(q, b"second").unwrap();
+
+        let mut relayered = BlockDevice::with_base(layered.snapshot());
+        assert_eq!(relayered.base_pages(), 2);
+        assert_eq!(&relayered.read_page(p).unwrap()[..5], b"first");
+        assert_eq!(&relayered.read_page(q).unwrap()[..6], b"second");
     }
 
     #[test]

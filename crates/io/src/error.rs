@@ -27,6 +27,13 @@ pub enum IoSimError {
         /// The configured limit.
         limit: usize,
     },
+    /// A write touched a page of the device's read-only base snapshot
+    /// (shared catalog storage attached with
+    /// [`BlockDevice::with_base`](crate::BlockDevice::with_base)).
+    ReadOnlyPage {
+        /// The page the write was addressed to.
+        page: u64,
+    },
     /// A record could not be decoded from its on-page representation.
     CorruptRecord(&'static str),
     /// An operation was issued against a stream in the wrong state
@@ -45,6 +52,9 @@ impl fmt::Display for IoSimError {
             }
             IoSimError::MemoryLimitExceeded { required, limit } => {
                 write!(f, "internal-memory limit exceeded: need {required} bytes, limit {limit}")
+            }
+            IoSimError::ReadOnlyPage { page } => {
+                write!(f, "page {page} belongs to the read-only base snapshot")
             }
             IoSimError::CorruptRecord(what) => write!(f, "corrupt record: {what}"),
             IoSimError::InvalidStreamState(what) => write!(f, "invalid stream state: {what}"),
@@ -73,5 +83,7 @@ mod tests {
         assert!(e.to_string().contains("bad header"));
         let e = IoSimError::InvalidStreamState("still writing");
         assert!(e.to_string().contains("still writing"));
+        let e = IoSimError::ReadOnlyPage { page: 4 };
+        assert!(e.to_string().contains("page 4"));
     }
 }

@@ -53,7 +53,7 @@ pub use device::BlockDevice;
 pub use error::{IoSimError, Result};
 pub use gauge::{MemoryGauge, MemoryReservation};
 pub use machine::MachineConfig;
-pub use page::{PageId, PAGE_SIZE};
+pub use page::{Page, PageId, PAGE_SIZE};
 pub use sim::SimEnv;
 pub use stats::{CpuCounter, CpuOp, IoStats};
 pub use stream::{ItemStream, ItemStreamReader, ItemStreamWriter};

@@ -1,9 +1,12 @@
 //! The simulation environment handed to every algorithm.
 
+use std::sync::Arc;
+
 use crate::cost::{CostBreakdown, CostModel};
 use crate::device::BlockDevice;
 use crate::gauge::MemoryGauge;
 use crate::machine::MachineConfig;
+use crate::page::Page;
 use crate::stats::{CpuCounter, CpuOp, IoStats};
 
 /// Default amount of internal memory available to the algorithms.
@@ -100,6 +103,25 @@ impl SimEnv {
         }
     }
 
+    /// Creates a worker environment like [`fork`](SimEnv::fork), but whose
+    /// device is layered over the given read-only page snapshot.
+    ///
+    /// This is the forking mode of the query service: the snapshot holds the
+    /// frozen catalog (stored sorted runs, R-tree nodes, the catalog
+    /// directory), so a worker can *read* every registered dataset — with
+    /// its reads charged to its own statistics — while all scratch
+    /// allocations stay private to the fork. Writes to snapshot pages fail
+    /// with [`IoSimError::ReadOnlyPage`](crate::IoSimError::ReadOnlyPage).
+    pub fn fork_with_base(&self, base: Arc<Vec<Page>>) -> SimEnv {
+        SimEnv {
+            device: BlockDevice::with_base(base),
+            machine: self.machine.clone(),
+            cpu: CpuCounter::new(),
+            memory_limit: self.memory_limit,
+            memory: MemoryGauge::new(self.memory_limit),
+        }
+    }
+
     /// The cost model for this environment's machine.
     pub fn cost_model(&self) -> CostModel {
         CostModel::new(self.machine.clone())
@@ -185,6 +207,28 @@ mod tests {
         assert_eq!(env.device.stats().read_ops(), 1);
         assert_eq!(env.cpu.get(CpuOp::HeapOp), 0);
         assert_eq!(worker.device.stats().read_ops(), 1);
+    }
+
+    #[test]
+    fn fork_with_base_shares_stored_pages_read_only() {
+        let mut env = SimEnv::new(MachineConfig::machine3()).with_memory_limit(1 << 20);
+        let p = env.device.allocate(2);
+        env.device.write_page(p, b"stored").unwrap();
+
+        let base = env.device.snapshot();
+        let mut worker = env.fork_with_base(base);
+        assert_eq!(worker.memory_limit, 1 << 20);
+        assert_eq!(worker.device.base_pages(), 2);
+        // The worker reads the parent's stored data on its own accounting.
+        assert_eq!(&worker.device.read_page(p).unwrap()[..6], b"stored");
+        assert_eq!(worker.device.stats().pages_read, 1);
+        assert_eq!(env.device.stats().pages_read, 0);
+        // Stored pages are immutable from the fork.
+        assert!(worker.device.write_page(p, b"x").is_err());
+        // Scratch allocations are private.
+        let q = worker.device.allocate(1);
+        worker.device.write_page(q, b"mine").unwrap();
+        assert_eq!(env.device.allocated_pages(), 2);
     }
 
     #[test]

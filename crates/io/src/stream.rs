@@ -116,6 +116,63 @@ impl ItemStream {
         }
     }
 
+    /// Serializes the stream *descriptor* (block size, length, extent list —
+    /// not the records, which already live on the device) into a byte
+    /// buffer, for embedding in an on-device directory such as the service
+    /// catalog.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24 + self.extents.len() * 8);
+        buf.extend_from_slice(&self.pages_per_block.to_le_bytes());
+        buf.extend_from_slice(&self.len.to_le_bytes());
+        buf.extend_from_slice(&(self.extents.len() as u64).to_le_bytes());
+        for e in &self.extents {
+            buf.extend_from_slice(&e.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Decodes a descriptor produced by [`encode`](ItemStream::encode),
+    /// returning the stream and the number of bytes consumed.
+    ///
+    /// The descriptor refers to device pages by identifier, so it is only
+    /// meaningful on the device (or a snapshot of the device) it was encoded
+    /// on.
+    pub fn decode(buf: &[u8]) -> Result<(ItemStream, usize)> {
+        let u64_at = |off: usize| -> Result<u64> {
+            buf.get(off..off + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("checked length")))
+                .ok_or(IoSimError::CorruptRecord("stream descriptor truncated"))
+        };
+        let pages_per_block = u64_at(0)?;
+        let len = u64_at(8)?;
+        let extent_count = u64_at(16)? as usize;
+        if pages_per_block == 0 {
+            return Err(IoSimError::CorruptRecord("stream descriptor block size"));
+        }
+        // Validate the count against the buffer *before* allocating, so a
+        // corrupt descriptor returns an error instead of attempting an
+        // absurd allocation.
+        if extent_count
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(24))
+            .map_or(true, |need| need > buf.len())
+        {
+            return Err(IoSimError::CorruptRecord("stream descriptor truncated"));
+        }
+        let mut extents = Vec::with_capacity(extent_count);
+        for i in 0..extent_count {
+            extents.push(u64_at(24 + i * 8)?);
+        }
+        Ok((
+            ItemStream {
+                extents,
+                pages_per_block,
+                len,
+            },
+            24 + extent_count * 8,
+        ))
+    }
+
     /// Reads the entire stream into memory (one sequential pass).
     pub fn read_all(&self, env: &mut SimEnv) -> Result<Vec<Item>> {
         let mut out = Vec::with_capacity(self.len as usize);
@@ -422,6 +479,22 @@ mod tests {
                 io.pages_read
             );
         }
+    }
+
+    #[test]
+    fn descriptor_roundtrip_preserves_the_stream() {
+        let mut env = env();
+        let data = items((ITEMS_PER_PAGE as u32) * 5 + 3);
+        let s = ItemStream::from_items_with_block(&mut env, &data, 2).unwrap();
+        let mut blob = s.encode();
+        blob.extend_from_slice(b"trailing directory bytes");
+        let (back, consumed) = ItemStream::decode(&blob).unwrap();
+        assert_eq!(consumed, s.encode().len());
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.pages(), s.pages());
+        assert_eq!(back.read_all(&mut env).unwrap(), data);
+        // Truncated descriptors are rejected.
+        assert!(ItemStream::decode(&blob[..10]).is_err());
     }
 
     #[test]

@@ -15,17 +15,23 @@
 //! * [`node`] — the 8 KiB on-page node format (maximum fanout 400).
 //! * [`bulk`] — Hilbert bulk loading from in-memory slices or item streams.
 //! * [`tree`] — the [`RTree`] handle: node access (optionally through an LRU
-//!   buffer pool), window queries, and tree statistics.
+//!   buffer pool), window queries, and tree statistics. The handle itself
+//!   serializes ([`RTree::encode_meta`]) so a catalog can persist trees on
+//!   the device and reopen them without rebuilding.
+//! * [`store`] — the [`NodeStore`]: a buffer-pool-backed node cache that the
+//!   ST join and the service's window/point selection queries read through.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod bulk;
 pub mod node;
+pub mod store;
 pub mod tree;
 
 pub use bulk::BulkLoadConfig;
 pub use node::{Node, NodeEntry, NodeKind, MAX_FANOUT};
+pub use store::NodeStore;
 pub use tree::{RTree, RTreeStats};
 
 // Property-based tests need the external `proptest` crate, which the

@@ -1,9 +1,12 @@
 //! The [`RTree`] handle: node access, window queries and statistics.
 
-use usj_geom::{Item, Rect};
-use usj_io::{CpuOp, LruBufferPool, PageId, Result, SimEnv, PAGE_SIZE};
+use std::ops::ControlFlow;
+
+use usj_geom::{Item, Point, Rect};
+use usj_io::{CpuOp, IoSimError, PageId, Result, SimEnv, PAGE_SIZE};
 
 use crate::node::{Node, NodeKind};
+use crate::store::NodeStore;
 
 /// A bulk-loaded, read-only R-tree stored on the simulated device.
 ///
@@ -140,19 +143,6 @@ impl RTree {
         Ok(node)
     }
 
-    /// Reads a node through an LRU buffer pool (hits avoid the page request).
-    pub fn read_node_pooled(
-        &self,
-        env: &mut SimEnv,
-        pool: &mut LruBufferPool,
-        page: PageId,
-    ) -> Result<Node> {
-        let bytes = pool.get(&mut env.device, page)?;
-        let node = Node::decode(&bytes)?;
-        env.charge(CpuOp::ItemMove, node.len() as u64);
-        Ok(node)
-    }
-
     /// Window query: returns every indexed item whose MBR intersects `window`.
     ///
     /// Performs a depth-first traversal reading only nodes whose directory
@@ -174,6 +164,144 @@ impl RTree {
             }
         }
         Ok(out)
+    }
+
+    /// Window query through a [`NodeStore`], streaming every matching item
+    /// into `visit` with [`ControlFlow`]-based early termination.
+    ///
+    /// This is the service-grade form of [`window_query`](RTree::window_query):
+    /// node reads go through the store's buffer pool (repeat queries over a
+    /// cataloged tree hit the cache instead of the device), and the consumer
+    /// can stop the traversal — a `LIMIT`ed or cancelled selection stops
+    /// paying I/O at the break point. Returns `true` when the traversal ran
+    /// to completion, `false` when `visit` broke it off.
+    pub fn window_query_via(
+        &self,
+        env: &mut SimEnv,
+        store: &mut NodeStore,
+        window: &Rect,
+        visit: &mut dyn FnMut(Item) -> ControlFlow<()>,
+    ) -> Result<bool> {
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = store.read(env, page)?;
+            for e in &node.entries {
+                env.charge(CpuOp::RectTest, 1);
+                if !e.rect.intersects(window) {
+                    continue;
+                }
+                match node.kind {
+                    NodeKind::Leaf => {
+                        if visit(e.as_item()).is_break() {
+                            return Ok(false);
+                        }
+                    }
+                    NodeKind::Internal => stack.push(e.child_page()),
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Window query through a [`NodeStore`], collecting the matching items.
+    pub fn window_query_pooled(
+        &self,
+        env: &mut SimEnv,
+        store: &mut NodeStore,
+        window: &Rect,
+    ) -> Result<Vec<Item>> {
+        let mut out = Vec::new();
+        self.window_query_via(env, store, window, &mut |it| {
+            out.push(it);
+            ControlFlow::Continue(())
+        })?;
+        Ok(out)
+    }
+
+    /// Point (stabbing) query through a [`NodeStore`]: every indexed item
+    /// whose MBR contains `point`.
+    pub fn point_query(
+        &self,
+        env: &mut SimEnv,
+        store: &mut NodeStore,
+        point: &Point,
+    ) -> Result<Vec<Item>> {
+        self.window_query_pooled(
+            env,
+            store,
+            &Rect::from_coords(point.x, point.y, point.x, point.y),
+        )
+    }
+
+    /// Serializes the tree *handle* (root page, height, item count, level
+    /// profile, bounding box — not the nodes, which already live on the
+    /// device) for embedding in an on-device directory.
+    pub fn encode_meta(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(40 + self.level_counts.len() * 8);
+        buf.extend_from_slice(&self.root.to_le_bytes());
+        buf.extend_from_slice(&self.height.to_le_bytes());
+        buf.extend_from_slice(&self.num_items.to_le_bytes());
+        buf.extend_from_slice(&(self.level_counts.len() as u32).to_le_bytes());
+        for c in &self.level_counts {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        for v in [self.bbox.lo.x, self.bbox.lo.y, self.bbox.hi.x, self.bbox.hi.y] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Decodes a handle produced by [`encode_meta`](RTree::encode_meta),
+    /// returning the tree and the number of bytes consumed. The handle
+    /// refers to device pages by identifier, so it is only meaningful on the
+    /// device (or a snapshot of the device) it was encoded on.
+    pub fn decode_meta(buf: &[u8]) -> Result<(RTree, usize)> {
+        let err = IoSimError::CorruptRecord("tree handle truncated");
+        let bytes = |off: usize, n: usize| buf.get(off..off + n).ok_or(err.clone());
+        let u64_at = |off: usize| -> Result<u64> {
+            Ok(u64::from_le_bytes(bytes(off, 8)?.try_into().expect("len")))
+        };
+        let u32_at = |off: usize| -> Result<u32> {
+            Ok(u32::from_le_bytes(bytes(off, 4)?.try_into().expect("len")))
+        };
+        let f32_at = |off: usize| -> Result<f32> {
+            Ok(f32::from_le_bytes(bytes(off, 4)?.try_into().expect("len")))
+        };
+        let root = u64_at(0)?;
+        let height = u32_at(8)?;
+        let num_items = u64_at(12)?;
+        let levels = u32_at(20)? as usize;
+        // Validate the level count against the buffer before allocating, so
+        // a corrupt handle errors instead of attempting an absurd
+        // allocation.
+        if levels
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(24 + 16))
+            .map_or(true, |need| need > buf.len())
+        {
+            return Err(err);
+        }
+        let mut level_counts = Vec::with_capacity(levels);
+        for i in 0..levels {
+            level_counts.push(u64_at(24 + i * 8)?);
+        }
+        let off = 24 + levels * 8;
+        let bbox = Rect::from_coords(
+            f32_at(off)?,
+            f32_at(off + 4)?,
+            f32_at(off + 8)?,
+            f32_at(off + 12)?,
+        );
+        Ok((
+            RTree {
+                root,
+                height,
+                num_items,
+                level_counts,
+                bbox,
+            },
+            off + 16,
+        ))
     }
 
     /// Counts the leaf pages whose directory rectangle intersects `window`
@@ -295,14 +423,14 @@ mod tests {
         let mut env = env();
         let items = grid_items(30);
         let tree = RTree::bulk_load(&mut env, &items).unwrap();
-        let mut pool = LruBufferPool::new(64);
+        let mut store = NodeStore::with_capacity_bytes(64 * PAGE_SIZE);
         env.device.reset_stats();
         let root = tree.root();
-        let _ = tree.read_node_pooled(&mut env, &mut pool, root).unwrap();
-        let _ = tree.read_node_pooled(&mut env, &mut pool, root).unwrap();
-        let _ = tree.read_node_pooled(&mut env, &mut pool, root).unwrap();
+        let _ = store.read(&mut env, root).unwrap();
+        let _ = store.read(&mut env, root).unwrap();
+        let _ = store.read(&mut env, root).unwrap();
         assert_eq!(env.device.stats().pages_read, 1);
-        assert_eq!(pool.stats().hits, 2);
+        assert_eq!(store.stats().hits, 2);
     }
 
     #[test]
@@ -321,6 +449,112 @@ mod tests {
             .leaves_intersecting(&mut env, &Rect::from_coords(-100.0, -100.0, -50.0, -50.0))
             .unwrap();
         assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn pooled_window_query_matches_the_direct_one_and_caches_repeats() {
+        let mut env = env();
+        let items = grid_items(40);
+        let tree = RTree::bulk_load(&mut env, &items).unwrap();
+        let window = Rect::from_coords(55.0, 55.0, 180.0, 180.0);
+        let mut store = NodeStore::with_capacity_bytes(1 << 20);
+
+        let mut direct: Vec<u32> = tree
+            .window_query(&mut env, &window)
+            .unwrap()
+            .iter()
+            .map(|it| it.id)
+            .collect();
+        direct.sort_unstable();
+
+        env.device.reset_stats();
+        let mut pooled: Vec<u32> = tree
+            .window_query_pooled(&mut env, &mut store, &window)
+            .unwrap()
+            .iter()
+            .map(|it| it.id)
+            .collect();
+        pooled.sort_unstable();
+        assert_eq!(pooled, direct);
+        let first_pass = env.device.stats().pages_read;
+        assert!(first_pass > 0);
+
+        // The repeat query is served from the store.
+        let again = tree.window_query_pooled(&mut env, &mut store, &window).unwrap();
+        assert_eq!(again.len(), pooled.len());
+        assert_eq!(env.device.stats().pages_read, first_pass, "repeat must be all hits");
+    }
+
+    #[test]
+    fn window_query_via_stops_early_on_break() {
+        let mut env = env();
+        let items = grid_items(60);
+        let tree = RTree::bulk_load(&mut env, &items).unwrap();
+        let mut store = NodeStore::with_capacity_bytes(1 << 20);
+        env.device.reset_stats();
+        let mut seen = 0u32;
+        let completed = tree
+            .window_query_via(&mut env, &mut store, &tree.bbox(), &mut |_| {
+                seen += 1;
+                if seen >= 5 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .unwrap();
+        assert!(!completed);
+        assert_eq!(seen, 5);
+        assert!(
+            env.device.stats().pages_read < tree.nodes(),
+            "a broken traversal must not touch the whole tree"
+        );
+    }
+
+    #[test]
+    fn point_query_matches_brute_force() {
+        let mut env = env();
+        let items = grid_items(30);
+        let tree = RTree::bulk_load(&mut env, &items).unwrap();
+        let mut store = NodeStore::with_capacity_bytes(1 << 20);
+        for p in [Point::new(12.0, 42.0), Point::new(7.0, 7.0), Point::new(-3.0, 4.0)] {
+            let mut got: Vec<u32> = tree
+                .point_query(&mut env, &mut store, &p)
+                .unwrap()
+                .iter()
+                .map(|it| it.id)
+                .collect();
+            got.sort_unstable();
+            let mut expected: Vec<u32> = items
+                .iter()
+                .filter(|it| it.rect.contains(&Rect::from_coords(p.x, p.y, p.x, p.y)))
+                .map(|it| it.id)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "point {p:?}");
+        }
+    }
+
+    #[test]
+    fn meta_roundtrip_reopens_the_same_tree() {
+        let mut env = env();
+        let items = grid_items(35);
+        let tree = RTree::bulk_load(&mut env, &items).unwrap();
+        let mut blob = tree.encode_meta();
+        blob.extend_from_slice(b"tail");
+        let (back, consumed) = RTree::decode_meta(&blob).unwrap();
+        assert_eq!(consumed, tree.encode_meta().len());
+        assert_eq!(back.root(), tree.root());
+        assert_eq!(back.height(), tree.height());
+        assert_eq!(back.num_items(), tree.num_items());
+        assert_eq!(back.level_counts(), tree.level_counts());
+        assert_eq!(back.bbox(), tree.bbox());
+        // The reopened handle traverses the same on-device nodes.
+        let window = Rect::from_coords(0.0, 0.0, 60.0, 60.0);
+        let a = back.window_query(&mut env, &window).unwrap();
+        let b = tree.window_query(&mut env, &window).unwrap();
+        assert_eq!(a, b);
+        assert!(RTree::decode_meta(&blob[..12]).is_err());
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! The query service: a stored-dataset catalog and a concurrent query
+//! executor with gauge-based admission control.
+//!
+//! Everything below the service joins *ephemeral* inputs: the ST path
+//! bulk-loads a throwaway R-tree per query, and every sort-based algorithm
+//! re-sorts its input from scratch. A system serving many queries over the
+//! same data wants the opposite — datasets registered **once**, their
+//! prepared representations persisted on the simulated device, and many
+//! concurrent queries admitted against one shared memory budget. This crate
+//! provides the three layers:
+//!
+//! * [`catalog`] — [`Catalog::register`] persists a dataset as a y-sorted
+//!   [`ItemStream`](usj_io::ItemStream) run *plus* a bulk-loaded R-tree
+//!   *plus* a [`GridHistogram`](usj_core::GridHistogram) summary. Registered
+//!   datasets feed joins through
+//!   [`JoinInput::Cataloged`](usj_core::JoinInput::Cataloged), which skips
+//!   re-sorting, index building and bounding-box scans; the whole catalog
+//!   serializes onto the device ([`Catalog::save`] / [`Catalog::load`]).
+//! * [`service`] — a [`Service`] owns a worker pool and a FIFO+priority
+//!   admission queue. Each [`QueryRequest`] (a join over two cataloged
+//!   datasets, or an index-backed window/point selection over one) is
+//!   admitted only when the shared admission gauge has headroom for its
+//!   memory estimate, then runs on a forked
+//!   [`SimEnv`](usj_io::SimEnv) layered over a read-only snapshot of the
+//!   catalog device — its own I/O accounting, its own hard per-query memory
+//!   budget. Results stream through the existing
+//!   [`PairSink`](usj_core::PairSink)/`ControlFlow` machinery with `LIMIT`
+//!   and [`CancelToken`] cancellation, and per-query plus service-wide
+//!   [`ServiceStats`] roll up like
+//!   [`JoinResult`](usj_core::JoinResult).
+//! * [`plan_cache`] — completed [`QueryPlan`](usj_core::QueryPlan)s are
+//!   memoized by query fingerprint, so repeat queries skip the planner's
+//!   cost-estimation I/O (the `Algo::Auto` directory probes).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod catalog;
+pub mod plan_cache;
+pub mod service;
+
+pub use catalog::{Catalog, Dataset, DatasetId};
+pub use plan_cache::{PlanCache, PlanKey};
+pub use service::{
+    CancelToken, JoinSpec, QueryKind, QueryOutcome, QueryRequest, QueryStatus, Service,
+    ServiceConfig, ServiceReport, ServiceStats,
+};
+
+use std::fmt;
+
+use usj_io::IoSimError;
+
+/// Errors produced by the catalog and the query service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// An error bubbled up from the simulated I/O substrate (including
+    /// `MemoryLimitExceeded` when a query outgrows its admitted budget).
+    Io(IoSimError),
+    /// A dataset name was registered twice.
+    DuplicateDataset(String),
+    /// A query referred to a dataset the catalog does not hold.
+    UnknownDataset(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "i/o: {e}"),
+            ServiceError::DuplicateDataset(name) => {
+                write!(f, "dataset '{name}' is already registered")
+            }
+            ServiceError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IoSimError> for ServiceError {
+    fn from(e: IoSimError) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServiceError>;

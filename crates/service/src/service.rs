@@ -1,0 +1,1250 @@
+//! The concurrent query service: worker pool, FIFO+priority admission
+//! queue, gauge-based admission control.
+//!
+//! A [`Service`] freezes a registered [`Catalog`] behind a read-only device
+//! snapshot and executes batches of [`QueryRequest`]s on a pool of worker
+//! threads. The scheduling contract:
+//!
+//! * **Admission order** is priority-then-FIFO: higher
+//!   [`priority`](QueryRequest::priority) first, submission order within a
+//!   priority.
+//! * **Admission control** is *gauge-based*: every request carries a memory
+//!   estimate (its [`admission_estimate`](Service::admission_estimate), or an
+//!   explicit [`memory_budget`](QueryRequest::memory_budget)), and is
+//!   admitted only when the service-wide admission
+//!   [`MemoryGauge`] — whose limit is the shared
+//!   [`ServiceConfig::memory_limit`] — can reserve that many bytes. A free
+//!   worker that cannot admit a request records a **deferral** and either
+//!   admits a later (smaller or lower-priority) request or sleeps until a
+//!   running query releases its reservation. The admitted bytes become the
+//!   worker environment's *hard* memory limit, so the measured per-query
+//!   `peak_bytes` can never exceed the granted budget, and the sum of
+//!   concurrently granted budgets can never exceed the shared limit —
+//!   admission control *bounds the aggregate footprint by construction*.
+//! * **Isolation**: every admitted query runs on
+//!   [`SimEnv::fork_with_base`] over the catalog snapshot — its own I/O
+//!   statistics and disk head, its own scratch pages, its own memory gauge.
+//! * **Results** stream through the `PairSink`/`ControlFlow` machinery:
+//!   `LIMIT` and [`CancelToken`] cancellation genuinely stop the producing
+//!   traversal, saving I/O.
+
+use std::cmp::Reverse;
+use std::fmt;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use usj_core::{
+    Algo, Execution, JoinResult, MemoryStats, PairSink, Predicate, SpatialQuery,
+};
+use usj_geom::{Point, Rect, ITEM_BYTES};
+use usj_io::{CpuCounter, CpuOp, IoSimError, IoStats, MemoryGauge, Page, SimEnv, PAGE_SIZE};
+use usj_rtree::NodeStore;
+
+use crate::catalog::{Catalog, Dataset, DatasetId};
+use crate::plan_cache::{PlanCache, PlanKey};
+use crate::{Result, ServiceError};
+
+/// Smallest budget any query is granted (stream block buffers plus sweep
+/// floors make smaller grants fail immediately).
+pub const MIN_QUERY_BUDGET: usize = 512 * 1024;
+
+/// Default admission floor for join queries: two 512 KiB stream read
+/// buffers plus sweep/partition working sets.
+pub const JOIN_BUDGET_FLOOR: usize = 2 * 1024 * 1024;
+
+/// Default admission estimate for window/point selections (node-store pool
+/// plus traversal state).
+pub const SELECTION_BUDGET: usize = 1024 * 1024;
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing admitted queries (at least 1; default 4).
+    pub workers: usize,
+    /// The shared admission budget in bytes: the sum of the budgets of all
+    /// concurrently running queries never exceeds it (default: the paper's
+    /// 24 MB free-memory figure).
+    pub memory_limit: usize,
+    /// Whether completed query plans are memoized by fingerprint
+    /// (default: on).
+    pub use_plan_cache: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            memory_limit: usj_io::sim::DEFAULT_MEMORY_LIMIT,
+            use_plan_cache: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker count (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the shared admission budget in bytes (builder style).
+    pub fn with_memory_limit(mut self, bytes: usize) -> Self {
+        self.memory_limit = bytes;
+        self
+    }
+
+    /// Disables the plan cache (builder style).
+    pub fn without_plan_cache(mut self) -> Self {
+        self.use_plan_cache = false;
+        self
+    }
+}
+
+/// A shared cancellation flag for one or more queries.
+///
+/// Setting it makes queued queries resolve to
+/// [`QueryStatus::Cancelled`] without running, and makes running queries
+/// stop at their next emitted pair (the sink breaks the producing join or
+/// traversal, so the remaining I/O is genuinely saved).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The join form of a [`QueryRequest`]: which cataloged datasets, which
+/// algorithm, predicate and execution strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinSpec {
+    /// Left input dataset.
+    pub left: DatasetId,
+    /// Right input dataset.
+    pub right: DatasetId,
+    /// Join algorithm (default [`Algo::Auto`]).
+    pub algo: Algo,
+    /// Pair predicate (default intersection).
+    pub predicate: Predicate,
+    /// Execution strategy (default serial).
+    pub execution: Execution,
+}
+
+impl JoinSpec {
+    /// A default (Auto, intersects, serial) join of `left` against `right`.
+    pub fn new(left: DatasetId, right: DatasetId) -> Self {
+        JoinSpec {
+            left,
+            right,
+            algo: Algo::default(),
+            predicate: Predicate::default(),
+            execution: Execution::default(),
+        }
+    }
+}
+
+/// What a [`QueryRequest`] asks for.
+#[derive(Debug, Clone, Copy)]
+pub enum QueryKind {
+    /// A spatial join of two cataloged datasets.
+    Join(JoinSpec),
+    /// An index-backed window selection: every item of `dataset`
+    /// intersecting `window`, streamed as `(id, 0)` pairs.
+    Window {
+        /// The cataloged dataset to select from.
+        dataset: DatasetId,
+        /// The query window.
+        window: Rect,
+    },
+    /// An index-backed point (stabbing) selection: every item of `dataset`
+    /// containing `point`, streamed as `(id, 0)` pairs.
+    Point {
+        /// The cataloged dataset to select from.
+        dataset: DatasetId,
+        /// The query point.
+        point: Point,
+    },
+}
+
+/// One query submitted to the service.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// What to run.
+    pub kind: QueryKind,
+    /// Admission priority: higher priorities are admitted first; submission
+    /// order breaks ties (FIFO within a priority).
+    pub priority: u8,
+    /// Stop after this many delivered pairs (`LIMIT n`).
+    pub limit: Option<u64>,
+    /// Whether to collect the delivered pairs into the outcome (off by
+    /// default — the paper's measurement mode discards output).
+    pub collect: bool,
+    /// Explicit per-query memory budget in bytes, overriding the service's
+    /// admission estimate (clamped to `[MIN_QUERY_BUDGET, memory_limit]`).
+    pub memory_budget: Option<usize>,
+    /// Cooperative cancellation flag.
+    pub cancel: Option<CancelToken>,
+}
+
+impl QueryRequest {
+    fn with_kind(kind: QueryKind) -> Self {
+        QueryRequest {
+            kind,
+            priority: 0,
+            limit: None,
+            collect: false,
+            memory_budget: None,
+            cancel: None,
+        }
+    }
+
+    /// A default join request of `left` against `right`.
+    pub fn join(left: DatasetId, right: DatasetId) -> Self {
+        Self::with_kind(QueryKind::Join(JoinSpec::new(left, right)))
+    }
+
+    /// A join request with an explicit specification.
+    pub fn from_spec(spec: JoinSpec) -> Self {
+        Self::with_kind(QueryKind::Join(spec))
+    }
+
+    /// A window-selection request.
+    pub fn window(dataset: DatasetId, window: Rect) -> Self {
+        Self::with_kind(QueryKind::Window { dataset, window })
+    }
+
+    /// A point-selection request.
+    pub fn point(dataset: DatasetId, point: Point) -> Self {
+        Self::with_kind(QueryKind::Point { dataset, point })
+    }
+
+    /// Selects the join algorithm (builder style; no-op for selections).
+    pub fn with_algorithm(mut self, algo: Algo) -> Self {
+        if let QueryKind::Join(spec) = &mut self.kind {
+            spec.algo = algo;
+        }
+        self
+    }
+
+    /// Selects the join predicate (builder style; no-op for selections).
+    pub fn with_predicate(mut self, predicate: Predicate) -> Self {
+        if let QueryKind::Join(spec) = &mut self.kind {
+            spec.predicate = predicate;
+        }
+        self
+    }
+
+    /// Selects the join execution strategy (builder style; no-op for
+    /// selections).
+    pub fn with_execution(mut self, execution: Execution) -> Self {
+        if let QueryKind::Join(spec) = &mut self.kind {
+            spec.execution = execution;
+        }
+        self
+    }
+
+    /// Sets the admission priority (builder style).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a `LIMIT` on delivered pairs (builder style).
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Collects the delivered pairs into the outcome (builder style).
+    pub fn collecting(mut self) -> Self {
+        self.collect = true;
+        self
+    }
+
+    /// Sets an explicit per-query memory budget (builder style).
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Attaches a cancellation token (builder style).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// How one query ended.
+#[derive(Debug, Clone)]
+pub enum QueryStatus {
+    /// The query ran to completion (or to its `LIMIT`); the accounting
+    /// summary covers exactly the work its forked environment performed.
+    Completed(JoinResult),
+    /// The query was cancelled: `None` if it never ran, `Some(partial)` with
+    /// the accounting of the work done before the cancellation stopped it.
+    Cancelled(Option<JoinResult>),
+    /// The query failed (unknown dataset, or its admitted memory budget was
+    /// genuinely insufficient).
+    Failed(ServiceError),
+}
+
+/// Per-query scheduling statistics.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Bytes reserved on the admission gauge for this query (zero if it was
+    /// never admitted). The worker environment's hard memory limit.
+    pub admitted_bytes: usize,
+    /// Times a free worker examined this request and could not admit it for
+    /// lack of gauge headroom.
+    pub deferrals: u64,
+    /// Wall-clock time from submission to admission (or to resolution, for
+    /// queries that never ran).
+    pub queue_wait: Duration,
+}
+
+/// The outcome of one submitted query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Index of the request in the submitted batch.
+    pub request: usize,
+    /// How the query ended.
+    pub status: QueryStatus,
+    /// The delivered pairs, when the request asked to
+    /// [`collect`](QueryRequest::collect) them.
+    pub pairs: Option<Vec<(u32, u32)>>,
+    /// Scheduling statistics.
+    pub stats: QueryStats,
+}
+
+impl QueryOutcome {
+    /// The accounting summary, if the query produced one (completed, or
+    /// cancelled after it started running).
+    pub fn result(&self) -> Option<&JoinResult> {
+        match &self.status {
+            QueryStatus::Completed(r) => Some(r),
+            QueryStatus::Cancelled(r) => r.as_ref(),
+            QueryStatus::Failed(_) => None,
+        }
+    }
+
+    /// Returns `true` if the query completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self.status, QueryStatus::Completed(_))
+    }
+}
+
+/// Service-wide statistics of one [`Service::run`] batch. Counters sum and
+/// peaks take maxima — the same roll-up discipline as
+/// [`JoinResult::merge`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// The shared admission budget the batch ran under.
+    pub memory_limit: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests admitted (their budget was reserved and they ran).
+    pub admitted: u64,
+    /// Requests that completed.
+    pub completed: u64,
+    /// Requests that failed.
+    pub failed: u64,
+    /// Requests cancelled (before or during execution).
+    pub cancelled: u64,
+    /// Admission deferral events: a free worker examined a request and could
+    /// not reserve its budget.
+    pub deferrals: u64,
+    /// Plan-cache lookups satisfied from the cache during this batch.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that planned from scratch during this batch.
+    pub plan_cache_misses: u64,
+    /// High-water mark of the admission gauge: the largest sum of
+    /// concurrently granted budgets (never exceeds
+    /// [`memory_limit`](ServiceStats::memory_limit) by construction).
+    pub peak_admitted_bytes: usize,
+    /// Largest *measured* per-query `peak_bytes`.
+    pub peak_query_bytes: usize,
+    /// Total pairs delivered across all queries.
+    pub pairs: u64,
+    /// Aggregate I/O of every query's forked environment.
+    pub io: IoStats,
+    /// Aggregate CPU work of every query's forked environment.
+    pub cpu: CpuCounter,
+    /// Longest queue wait of any request.
+    pub max_queue_wait: Duration,
+    /// Sum of all queue waits.
+    pub total_queue_wait: Duration,
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} submitted / {} completed / {} failed / {} cancelled on {} workers; \
+             {} deferrals under {:.1} MB shared budget (peak admitted {:.1} MB, \
+             peak query {:.2} MB); {} pairs, {} pages read, {} pages written; \
+             plan cache {}/{} hits",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.cancelled,
+            self.workers,
+            self.deferrals,
+            self.memory_limit as f64 / (1024.0 * 1024.0),
+            self.peak_admitted_bytes as f64 / (1024.0 * 1024.0),
+            self.peak_query_bytes as f64 / (1024.0 * 1024.0),
+            self.pairs,
+            self.io.pages_read,
+            self.io.pages_written,
+            self.plan_cache_hits,
+            self.plan_cache_hits + self.plan_cache_misses,
+        )
+    }
+}
+
+/// Everything one [`Service::run`] batch produced.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// One outcome per submitted request, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// The batch-wide roll-up.
+    pub stats: ServiceStats,
+}
+
+/// The concurrent query service over one frozen catalog.
+///
+/// # Example
+///
+/// ```
+/// use usj_core::Algo;
+/// use usj_geom::{Item, Rect};
+/// use usj_io::{MachineConfig, SimEnv};
+/// use usj_service::{Catalog, QueryRequest, Service, ServiceConfig};
+///
+/// let mut env = SimEnv::new(MachineConfig::machine3());
+/// let boxes: Vec<Item> = (0..400)
+///     .map(|i| {
+///         let (x, y) = ((i % 20) as f32, (i / 20) as f32);
+///         Item::new(Rect::from_coords(x, y, x + 0.9, y + 0.9), i)
+///     })
+///     .collect();
+/// let mut catalog = Catalog::new();
+/// let a = catalog.register(&mut env, "boxes", &boxes).unwrap();
+///
+/// let service = Service::new(env, catalog, ServiceConfig::default().with_workers(2));
+/// let report = service.run(vec![
+///     QueryRequest::join(a, a).with_algorithm(Algo::Pq),
+///     QueryRequest::window(a, Rect::from_coords(0.0, 0.0, 5.0, 5.0)),
+/// ]);
+/// assert_eq!(report.stats.completed, 2);
+/// assert!(report.stats.pairs > 0);
+/// ```
+#[derive(Debug)]
+pub struct Service {
+    env: SimEnv,
+    catalog: Catalog,
+    config: ServiceConfig,
+    plan_cache: Mutex<PlanCache>,
+    /// The frozen catalog storage, snapshotted once at construction and
+    /// shared by every batch's worker forks.
+    base: Arc<Vec<Page>>,
+}
+
+/// Scheduler queue shared by the workers.
+struct QueueState {
+    /// Request indices still awaiting admission, sorted by
+    /// (priority desc, submission order asc).
+    pending: Vec<usize>,
+    /// Queries currently running.
+    running: usize,
+    /// Per-request deferral counts.
+    deferrals: Vec<u64>,
+}
+
+/// Aggregate totals folded in as queries finish.
+#[derive(Default)]
+struct AggTotals {
+    admitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    pairs: u64,
+    io: IoStats,
+    cpu: CpuCounter,
+    peak_query_bytes: usize,
+    max_wait: Duration,
+    total_wait: Duration,
+}
+
+/// Borrow bundle handed to every worker.
+struct RunCtx<'a> {
+    requests: &'a [QueryRequest],
+    estimates: &'a [usize],
+    state: &'a Mutex<QueueState>,
+    cv: &'a Condvar,
+    gauge: &'a MemoryGauge,
+    base: &'a Arc<Vec<Page>>,
+    slots: &'a [Mutex<Option<QueryOutcome>>],
+    agg: &'a Mutex<AggTotals>,
+    started: Instant,
+}
+
+/// What a worker decided to do with a scanned request.
+enum Job {
+    Run(usize, usj_io::MemoryReservation),
+    Cancel(usize),
+    Fail(usize, ServiceError),
+}
+
+impl Service {
+    /// Creates a service over `catalog`, whose datasets live on `env`'s
+    /// device. The device is snapshotted *once* here — the catalog is
+    /// frozen for the service's lifetime and queries never mutate it —
+    /// and every batch's worker forks share that snapshot.
+    pub fn new(env: SimEnv, catalog: Catalog, config: ServiceConfig) -> Self {
+        let base = env.device.snapshot();
+        Service {
+            env,
+            catalog,
+            config,
+            plan_cache: Mutex::new(PlanCache::new()),
+            base,
+        }
+    }
+
+    /// The frozen catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Dissolves the service, returning the environment and catalog (e.g. to
+    /// register more datasets and build a new service).
+    pub fn into_parts(self) -> (SimEnv, Catalog) {
+        (self.env, self.catalog)
+    }
+
+    /// The memory estimate admission control will reserve for `request`: an
+    /// explicit [`memory_budget`](QueryRequest::memory_budget) clamped to
+    /// `[MIN_QUERY_BUDGET, memory_limit]`, or a size-based heuristic
+    /// (3× the input bytes with a [`JOIN_BUDGET_FLOOR`] floor for joins,
+    /// [`SELECTION_BUDGET`] for selections).
+    pub fn admission_estimate(&self, request: &QueryRequest) -> usize {
+        let limit = self.config.memory_limit;
+        if let Some(bytes) = request.memory_budget {
+            return bytes.max(MIN_QUERY_BUDGET).min(limit.max(1));
+        }
+        let want = match &request.kind {
+            QueryKind::Join(spec) => {
+                let len = |id: DatasetId| self.catalog.get(id).map_or(0, |d| d.len());
+                let bytes = (len(spec.left) + len(spec.right)) as usize * ITEM_BYTES;
+                (3 * bytes).max(JOIN_BUDGET_FLOOR)
+            }
+            QueryKind::Window { .. } | QueryKind::Point { .. } => SELECTION_BUDGET,
+        };
+        want.min(limit.max(1))
+    }
+
+    /// Executes a batch of requests on the worker pool and returns every
+    /// outcome plus the service-wide roll-up.
+    pub fn run(&self, requests: Vec<QueryRequest>) -> ServiceReport {
+        let n = requests.len();
+        let started = Instant::now();
+        let base = Arc::clone(&self.base);
+        let gauge = MemoryGauge::new(self.config.memory_limit);
+        let estimates: Vec<usize> = requests.iter().map(|r| self.admission_estimate(r)).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (Reverse(requests[i].priority), i));
+        let state = Mutex::new(QueueState {
+            pending: order,
+            running: 0,
+            deferrals: vec![0; n],
+        });
+        let cv = Condvar::new();
+        let slots: Vec<Mutex<Option<QueryOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let agg = Mutex::new(AggTotals::default());
+        let (cache_hits_before, cache_misses_before) = {
+            let cache = self.plan_cache.lock().expect("plan cache poisoned");
+            (cache.hits(), cache.misses())
+        };
+
+        let ctx = RunCtx {
+            requests: &requests,
+            estimates: &estimates,
+            state: &state,
+            cv: &cv,
+            gauge: &gauge,
+            base: &base,
+            slots: &slots,
+            agg: &agg,
+            started,
+        };
+        let workers = self.config.workers.max(1).min(n.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| self.worker_loop(&ctx));
+            }
+        });
+
+        let state = state.into_inner().expect("queue poisoned");
+        let agg = agg.into_inner().expect("totals poisoned");
+        let mut outcomes = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let mut outcome = slot
+                .into_inner()
+                .expect("slot poisoned")
+                .expect("every request resolves to an outcome");
+            outcome.stats.deferrals = state.deferrals[i];
+            outcomes.push(outcome);
+        }
+        let cache = self.plan_cache.lock().expect("plan cache poisoned");
+        let stats = ServiceStats {
+            memory_limit: self.config.memory_limit,
+            workers,
+            submitted: n as u64,
+            admitted: agg.admitted,
+            completed: agg.completed,
+            failed: agg.failed,
+            cancelled: agg.cancelled,
+            deferrals: state.deferrals.iter().sum(),
+            plan_cache_hits: cache.hits() - cache_hits_before,
+            plan_cache_misses: cache.misses() - cache_misses_before,
+            peak_admitted_bytes: gauge.peak(),
+            peak_query_bytes: agg.peak_query_bytes,
+            pairs: agg.pairs,
+            io: agg.io,
+            cpu: agg.cpu,
+            max_queue_wait: agg.max_wait,
+            total_queue_wait: agg.total_wait,
+        };
+        ServiceReport { outcomes, stats }
+    }
+
+    /// One worker: repeatedly claim the first admissible pending request (in
+    /// priority/FIFO order), run it on a forked environment, release its
+    /// budget, until the queue drains.
+    fn worker_loop(&self, ctx: &RunCtx<'_>) {
+        loop {
+            let job = {
+                let mut q = ctx.state.lock().expect("queue poisoned");
+                loop {
+                    if q.pending.is_empty() {
+                        return;
+                    }
+                    let mut picked = None;
+                    for pos in 0..q.pending.len() {
+                        let idx = q.pending[pos];
+                        let request = &ctx.requests[idx];
+                        if request.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                            picked = Some((pos, Job::Cancel(idx)));
+                            break;
+                        }
+                        match ctx.gauge.try_reserve(ctx.estimates[idx]) {
+                            Ok(reservation) => {
+                                picked = Some((pos, Job::Run(idx, reservation)));
+                                break;
+                            }
+                            Err(_) => q.deferrals[idx] += 1,
+                        }
+                    }
+                    match picked {
+                        Some((pos, job)) => {
+                            q.pending.remove(pos);
+                            if matches!(job, Job::Run(..)) {
+                                q.running += 1;
+                                // This admission may have exhausted the
+                                // shared budget for the next request in
+                                // line: record that head-of-queue deferral
+                                // at admission time, so the count reflects
+                                // the queue's oversubscription rather than
+                                // scan timing.
+                                if let Some(&next) = q.pending.first() {
+                                    if ctx.estimates[next] > ctx.gauge.headroom() {
+                                        q.deferrals[next] += 1;
+                                    }
+                                }
+                            }
+                            break job;
+                        }
+                        None if q.running == 0 => {
+                            // Nothing is running, so no reservation will ever
+                            // be released: the head request's budget simply
+                            // does not fit the shared limit. Fail it loudly
+                            // to keep the queue moving.
+                            let idx = q.pending.remove(0);
+                            break Job::Fail(
+                                idx,
+                                ServiceError::Io(IoSimError::MemoryLimitExceeded {
+                                    required: ctx.estimates[idx],
+                                    limit: self.config.memory_limit,
+                                }),
+                            );
+                        }
+                        None => {
+                            q = ctx.cv.wait(q).expect("queue poisoned");
+                        }
+                    }
+                }
+            };
+            match job {
+                Job::Run(idx, reservation) => {
+                    let granted = reservation.bytes();
+                    let wait = ctx.started.elapsed();
+                    let outcome = self.execute(idx, granted, wait, ctx);
+                    self.finish(ctx, idx, outcome, wait, true);
+                    drop(reservation);
+                    let mut q = ctx.state.lock().expect("queue poisoned");
+                    q.running -= 1;
+                    drop(q);
+                    ctx.cv.notify_all();
+                }
+                Job::Cancel(idx) => {
+                    let wait = ctx.started.elapsed();
+                    let outcome = QueryOutcome {
+                        request: idx,
+                        status: QueryStatus::Cancelled(None),
+                        pairs: None,
+                        stats: QueryStats {
+                            admitted_bytes: 0,
+                            deferrals: 0,
+                            queue_wait: wait,
+                        },
+                    };
+                    self.finish(ctx, idx, outcome, wait, false);
+                    ctx.cv.notify_all();
+                }
+                Job::Fail(idx, err) => {
+                    let wait = ctx.started.elapsed();
+                    let outcome = QueryOutcome {
+                        request: idx,
+                        status: QueryStatus::Failed(err),
+                        pairs: None,
+                        stats: QueryStats {
+                            admitted_bytes: 0,
+                            deferrals: 0,
+                            queue_wait: wait,
+                        },
+                    };
+                    self.finish(ctx, idx, outcome, wait, false);
+                    ctx.cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Folds one finished outcome into the aggregate totals and stores it.
+    fn finish(
+        &self,
+        ctx: &RunCtx<'_>,
+        idx: usize,
+        outcome: QueryOutcome,
+        wait: Duration,
+        admitted: bool,
+    ) {
+        let mut agg = ctx.agg.lock().expect("totals poisoned");
+        if admitted {
+            agg.admitted += 1;
+        }
+        match &outcome.status {
+            QueryStatus::Completed(_) => agg.completed += 1,
+            QueryStatus::Cancelled(_) => agg.cancelled += 1,
+            QueryStatus::Failed(_) => agg.failed += 1,
+        }
+        if let Some(result) = outcome.result() {
+            agg.pairs += result.pairs;
+            agg.io.merge(&result.io);
+            agg.cpu.merge(&result.cpu);
+            agg.peak_query_bytes = agg.peak_query_bytes.max(result.memory.peak_bytes);
+        }
+        agg.max_wait = agg.max_wait.max(wait);
+        agg.total_wait += wait;
+        drop(agg);
+        *ctx.slots[idx].lock().expect("slot poisoned") = Some(outcome);
+    }
+
+    /// Runs one admitted query on a fresh forked environment whose hard
+    /// memory limit is the granted budget.
+    fn execute(
+        &self,
+        idx: usize,
+        granted: usize,
+        wait: Duration,
+        ctx: &RunCtx<'_>,
+    ) -> QueryOutcome {
+        let request = &ctx.requests[idx];
+        let mut wenv = self.env.fork_with_base(Arc::clone(ctx.base));
+        wenv.set_memory_limit(granted);
+        let mut sink = ServiceSink::new(request);
+        let ran = match &request.kind {
+            QueryKind::Join(spec) => self.run_join(&mut wenv, spec, &mut sink),
+            QueryKind::Window { dataset, window } => {
+                self.run_selection(&mut wenv, *dataset, *window, granted, &mut sink)
+            }
+            QueryKind::Point { dataset, point } => self.run_selection(
+                &mut wenv,
+                *dataset,
+                Rect::from_coords(point.x, point.y, point.x, point.y),
+                granted,
+                &mut sink,
+            ),
+        };
+        let status = match ran {
+            Ok(result) if sink.cancelled => QueryStatus::Cancelled(Some(result)),
+            Ok(result) => QueryStatus::Completed(result),
+            Err(e) => QueryStatus::Failed(e),
+        };
+        QueryOutcome {
+            request: idx,
+            status,
+            pairs: sink.collected,
+            stats: QueryStats {
+                admitted_bytes: granted,
+                deferrals: 0,
+                queue_wait: wait,
+            },
+        }
+    }
+
+    fn dataset(&self, id: DatasetId) -> Result<&Dataset> {
+        self.catalog
+            .get(id)
+            .ok_or_else(|| ServiceError::UnknownDataset(format!("#{}", id.0)))
+    }
+
+    fn run_join(
+        &self,
+        wenv: &mut SimEnv,
+        spec: &JoinSpec,
+        sink: &mut ServiceSink,
+    ) -> Result<JoinResult> {
+        let left = self.dataset(spec.left)?.input();
+        let right = self.dataset(spec.right)?.input();
+        let query = SpatialQuery::new(left, right)
+            .algorithm(spec.algo)
+            .predicate(spec.predicate)
+            .execution(spec.execution);
+        // The reported accounting covers the query end to end on its forked
+        // environment — planning included. This is what makes the plan
+        // cache's saving visible: a cache hit skips the planner's
+        // cost-estimation I/O, so the repeat query's `JoinResult.io` is
+        // strictly smaller.
+        let measurement = wenv.begin();
+        let plan = if self.config.use_plan_cache {
+            let key = PlanKey::new(spec);
+            // Get-or-insert under one guard: concurrent identical queries
+            // must not both miss and plan twice (each shape is planned
+            // exactly once per service lifetime). Planning while holding
+            // the cache lock briefly serializes concurrent *planning* —
+            // execution, the expensive part, stays fully concurrent.
+            let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
+            match cache.lookup(&key) {
+                Some(plan) => plan,
+                None => {
+                    let plan = query.plan(wenv)?;
+                    cache.insert(key, plan.clone());
+                    plan
+                }
+            }
+        } else {
+            query.plan(wenv)?
+        };
+        let mut result = query.execute_planned(wenv, &plan, sink)?;
+        let (io, cpu) = wenv.since(&measurement);
+        result.io = io;
+        result.cpu = cpu;
+        Ok(result)
+    }
+
+    fn run_selection(
+        &self,
+        wenv: &mut SimEnv,
+        dataset: DatasetId,
+        window: Rect,
+        granted: usize,
+        sink: &mut ServiceSink,
+    ) -> Result<JoinResult> {
+        let ds = self.dataset(dataset)?;
+        let measurement = wenv.begin();
+        wenv.memory.begin_phase();
+        let mut store = NodeStore::with_capacity_bytes_gauged(granted, &wenv.memory);
+        ds.tree()
+            .window_query_via(wenv, &mut store, &window, &mut |item| {
+                sink.emit(item.id, 0)
+            })?;
+        wenv.charge(CpuOp::OutputPair, sink.delivered);
+        let (io, cpu) = wenv.since(&measurement);
+        Ok(JoinResult {
+            pairs: sink.delivered,
+            io,
+            cpu,
+            index_page_requests: store.stats().misses,
+            sweep: Default::default(),
+            memory: MemoryStats {
+                priority_queue_bytes: 0,
+                sweep_structure_bytes: 0,
+                other_bytes: store.resident_pages() * PAGE_SIZE,
+                peak_bytes: wenv.memory.peak(),
+            },
+        })
+    }
+}
+
+/// The sink every service query streams through: counts, optionally
+/// collects, enforces `LIMIT`, and observes the cancellation token — all by
+/// steering the producer with `ControlFlow`, so a stopped query stops
+/// *reading*, not just reporting.
+struct ServiceSink {
+    collected: Option<Vec<(u32, u32)>>,
+    delivered: u64,
+    limit: Option<u64>,
+    cancel: Option<CancelToken>,
+    cancelled: bool,
+}
+
+impl ServiceSink {
+    fn new(request: &QueryRequest) -> Self {
+        ServiceSink {
+            collected: request.collect.then(Vec::new),
+            delivered: 0,
+            limit: request.limit,
+            cancel: request.cancel.clone(),
+            cancelled: false,
+        }
+    }
+}
+
+impl PairSink for ServiceSink {
+    fn emit(&mut self, left: u32, right: u32) -> ControlFlow<()> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                self.cancelled = true;
+                return ControlFlow::Break(());
+            }
+        }
+        if self.limit.is_some_and(|l| self.delivered >= l) {
+            return ControlFlow::Break(());
+        }
+        if let Some(pairs) = &mut self.collected {
+            pairs.push((left, right));
+        }
+        self.delivered += 1;
+        ControlFlow::Continue(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_geom::Item;
+    use usj_io::MachineConfig;
+
+    fn grid(n: u32, cell: f32, offset: f32, id_base: u32) -> Vec<Item> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let x = offset + i as f32 * cell;
+                let y = offset + j as f32 * cell;
+                out.push(Item::new(
+                    Rect::from_coords(x, y, x + cell * 0.7, y + cell * 0.7),
+                    id_base + i * n + j,
+                ));
+            }
+        }
+        out
+    }
+
+    fn service_over(
+        a: &[Item],
+        b: &[Item],
+        config: ServiceConfig,
+    ) -> (Service, DatasetId, DatasetId) {
+        let mut env = SimEnv::new(MachineConfig::machine3());
+        let mut catalog = Catalog::new();
+        let ia = catalog.register(&mut env, "a", a).unwrap();
+        let ib = catalog.register(&mut env, "b", b).unwrap();
+        (Service::new(env, catalog, config), ia, ib)
+    }
+
+    #[test]
+    fn joins_and_selections_complete_with_correct_counts() {
+        let a = grid(15, 4.0, 0.0, 0);
+        let b = grid(15, 4.0, 1.5, 100_000);
+        let expected: u64 = a
+            .iter()
+            .map(|x| b.iter().filter(|y| x.rect.intersects(&y.rect)).count() as u64)
+            .sum();
+        let window = Rect::from_coords(0.0, 0.0, 20.0, 20.0);
+        let in_window = a.iter().filter(|it| it.rect.intersects(&window)).count() as u64;
+
+        let (service, ia, ib) = service_over(&a, &b, ServiceConfig::default().with_workers(3));
+        let report = service.run(vec![
+            QueryRequest::join(ia, ib).with_algorithm(Algo::Pq),
+            QueryRequest::join(ia, ib).with_algorithm(Algo::Sssj),
+            QueryRequest::join(ia, ib).with_algorithm(Algo::St),
+            QueryRequest::window(ia, window),
+        ]);
+        assert_eq!(report.stats.completed, 4);
+        assert_eq!(report.stats.failed, 0);
+        for outcome in &report.outcomes[..3] {
+            assert_eq!(outcome.result().unwrap().pairs, expected, "join #{}", outcome.request);
+        }
+        assert_eq!(report.outcomes[3].result().unwrap().pairs, in_window);
+        assert!(report.outcomes[3].result().unwrap().index_page_requests > 0);
+        assert_eq!(report.stats.pairs, expected * 3 + in_window);
+    }
+
+    #[test]
+    fn collected_pairs_match_count_only_runs() {
+        let a = grid(10, 4.0, 0.0, 0);
+        let (service, ia, _) = service_over(&a, &a, ServiceConfig::default());
+        let report = service.run(vec![
+            QueryRequest::join(ia, ia).with_algorithm(Algo::Pq).collecting(),
+            QueryRequest::join(ia, ia).with_algorithm(Algo::Pq),
+        ]);
+        let collected = report.outcomes[0].pairs.as_ref().unwrap();
+        assert_eq!(collected.len() as u64, report.outcomes[1].result().unwrap().pairs);
+        assert!(report.outcomes[1].pairs.is_none());
+    }
+
+    #[test]
+    fn limits_stop_selection_io_early() {
+        let a = grid(60, 4.0, 0.0, 0);
+        let (service, ia, _) = service_over(&a, &a, ServiceConfig::default().with_workers(1));
+        let window = Rect::from_coords(0.0, 0.0, 240.0, 240.0);
+        let report = service.run(vec![
+            QueryRequest::window(ia, window),
+            QueryRequest::window(ia, window).with_limit(3).collecting(),
+        ]);
+        let full = report.outcomes[0].result().unwrap();
+        let limited = report.outcomes[1].result().unwrap();
+        assert_eq!(limited.pairs, 3);
+        assert_eq!(report.outcomes[1].pairs.as_ref().unwrap().len(), 3);
+        assert!(
+            limited.io.pages_read < full.io.pages_read,
+            "LIMIT must stop the traversal early ({} vs {})",
+            limited.io.pages_read,
+            full.io.pages_read
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_requests_never_run() {
+        let a = grid(8, 4.0, 0.0, 0);
+        let (service, ia, _) = service_over(&a, &a, ServiceConfig::default());
+        let token = CancelToken::new();
+        token.cancel();
+        let report = service.run(vec![
+            QueryRequest::join(ia, ia).with_cancel(token.clone()),
+            QueryRequest::join(ia, ia),
+        ]);
+        assert!(matches!(report.outcomes[0].status, QueryStatus::Cancelled(None)));
+        assert!(report.outcomes[1].is_completed());
+        assert_eq!(report.stats.cancelled, 1);
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.stats.admitted, 1);
+    }
+
+    #[test]
+    fn unknown_datasets_fail_cleanly() {
+        let a = grid(6, 4.0, 0.0, 0);
+        let (service, ia, _) = service_over(&a, &a, ServiceConfig::default());
+        let report = service.run(vec![
+            QueryRequest::join(ia, DatasetId(99)),
+            QueryRequest::window(DatasetId(42), Rect::from_coords(0.0, 0.0, 1.0, 1.0)),
+        ]);
+        for outcome in &report.outcomes {
+            assert!(
+                matches!(&outcome.status, QueryStatus::Failed(ServiceError::UnknownDataset(_))),
+                "{:?}",
+                outcome.status
+            );
+        }
+        assert_eq!(report.stats.failed, 2);
+    }
+
+    #[test]
+    fn priorities_admit_before_fifo_order() {
+        let a = grid(10, 4.0, 0.0, 0);
+        // One worker: execution order equals admission order.
+        let (service, ia, _) = service_over(&a, &a, ServiceConfig::default().with_workers(1));
+        let report = service.run(vec![
+            QueryRequest::join(ia, ia).with_algorithm(Algo::Sssj),
+            QueryRequest::join(ia, ia).with_algorithm(Algo::Sssj).with_priority(5),
+            QueryRequest::join(ia, ia).with_algorithm(Algo::Sssj).with_priority(5),
+        ]);
+        // The priority-5 requests waited less than the priority-0 one which
+        // was submitted first but admitted last.
+        let w0 = report.outcomes[0].stats.queue_wait;
+        let w1 = report.outcomes[1].stats.queue_wait;
+        let w2 = report.outcomes[2].stats.queue_wait;
+        assert!(w1 <= w0 && w2 <= w0, "{w0:?} {w1:?} {w2:?}");
+        assert!(w1 <= w2, "FIFO within a priority");
+    }
+
+    #[test]
+    fn admission_respects_the_shared_budget_and_records_deferrals() {
+        let a = grid(12, 4.0, 0.0, 0);
+        let limit = 4 * 1024 * 1024;
+        let (service, ia, ib) = service_over(
+            &a,
+            &a,
+            ServiceConfig::default().with_workers(4).with_memory_limit(limit),
+        );
+        // Each request demands 3 MB of the 4 MB budget: only one runs at a
+        // time even though four workers are free.
+        let requests: Vec<QueryRequest> = (0..6)
+            .map(|_| {
+                QueryRequest::join(ia, ib)
+                    .with_algorithm(Algo::Sssj)
+                    .with_memory_budget(3 * 1024 * 1024)
+            })
+            .collect();
+        let report = service.run(requests);
+        assert_eq!(report.stats.completed, 6);
+        assert!(report.stats.deferrals > 0, "free workers must have deferred");
+        assert!(report.stats.peak_admitted_bytes <= limit);
+        for outcome in &report.outcomes {
+            assert_eq!(outcome.stats.admitted_bytes, 3 * 1024 * 1024);
+            let result = outcome.result().unwrap();
+            assert!(result.memory.peak_bytes <= outcome.stats.admitted_bytes);
+        }
+    }
+
+    #[test]
+    fn unadmittable_requests_fail_instead_of_deadlocking() {
+        let a = grid(6, 4.0, 0.0, 0);
+        // A zero shared budget can never admit anything: the scheduler must
+        // fail the requests loudly rather than park its workers forever.
+        let (service, ia, _) = service_over(
+            &a,
+            &a,
+            ServiceConfig::default().with_workers(2).with_memory_limit(0),
+        );
+        let report = service.run(vec![
+            QueryRequest::join(ia, ia),
+            QueryRequest::window(ia, Rect::from_coords(0.0, 0.0, 1.0, 1.0)),
+        ]);
+        for outcome in &report.outcomes {
+            assert!(
+                matches!(
+                    outcome.status,
+                    QueryStatus::Failed(ServiceError::Io(IoSimError::MemoryLimitExceeded { .. }))
+                ),
+                "{:?}",
+                outcome.status
+            );
+        }
+        assert_eq!(report.stats.failed, 2);
+        assert_eq!(report.stats.admitted, 0);
+
+        // A query whose *granted* budget is too small for its working set
+        // fails at run time with the same error, reported per query.
+        let b = grid(40, 4.0, 0.0, 0);
+        let (tight, ib, _) = service_over(
+            &b,
+            &b,
+            ServiceConfig::default().with_workers(1).with_memory_limit(8 * 1024),
+        );
+        let report = tight.run(vec![QueryRequest::join(ib, ib).with_algorithm(Algo::Sssj)]);
+        assert!(
+            matches!(
+                report.outcomes[0].status,
+                QueryStatus::Failed(ServiceError::Io(IoSimError::MemoryLimitExceeded { .. }))
+            ),
+            "{:?}",
+            report.outcomes[0].status
+        );
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans_across_identical_queries() {
+        // Large enough that the trees have internal levels: the Auto
+        // estimate's directory probes then cost real, measurable I/O.
+        let a = grid(40, 4.0, 0.0, 0);
+        let b = grid(40, 4.0, 1.5, 100_000);
+        let (service, ia, ib) = service_over(&a, &b, ServiceConfig::default().with_workers(1));
+        let request = || QueryRequest::join(ia, ib).with_algorithm(Algo::Auto);
+        let report = service.run(vec![request(), request(), request()]);
+        assert_eq!(report.stats.completed, 3);
+        assert_eq!(report.stats.plan_cache_misses, 1);
+        assert_eq!(report.stats.plan_cache_hits, 2);
+        // All three deliver identical pair counts...
+        let pairs: Vec<u64> = report
+            .outcomes
+            .iter()
+            .map(|o| o.result().unwrap().pairs)
+            .collect();
+        assert_eq!(pairs[0], pairs[1]);
+        assert_eq!(pairs[1], pairs[2]);
+        // ...and the cached repeats skip the Auto estimate's directory
+        // probes, so they charge strictly less I/O.
+        let first = report.outcomes[0].result().unwrap().io.pages_read;
+        let repeat = report.outcomes[1].result().unwrap().io.pages_read;
+        assert!(repeat < first, "cached plan must save I/O ({repeat} vs {first})");
+    }
+
+    #[test]
+    fn parallel_execution_runs_inside_a_worker() {
+        let a = grid(14, 4.0, 0.0, 0);
+        let b = grid(14, 4.0, 1.0, 100_000);
+        let (service, ia, ib) = service_over(&a, &b, ServiceConfig::default().with_workers(2));
+        let report = service.run(vec![
+            QueryRequest::join(ia, ib).with_algorithm(Algo::Pbsm),
+            QueryRequest::join(ia, ib)
+                .with_algorithm(Algo::Pbsm)
+                .with_execution(Execution::parallel()),
+        ]);
+        assert_eq!(report.stats.completed, 2);
+        assert_eq!(
+            report.outcomes[0].result().unwrap().pairs,
+            report.outcomes[1].result().unwrap().pairs
+        );
+    }
+
+    #[test]
+    fn point_selection_matches_brute_force() {
+        let a = grid(12, 5.0, 0.0, 0);
+        let (service, ia, _) = service_over(&a, &a, ServiceConfig::default());
+        let p = Point::new(17.0, 22.0);
+        let expected = a
+            .iter()
+            .filter(|it| {
+                it.rect.contains(&Rect::from_coords(p.x, p.y, p.x, p.y))
+            })
+            .count() as u64;
+        let report = service.run(vec![QueryRequest::point(ia, p).collecting()]);
+        let outcome = &report.outcomes[0];
+        assert_eq!(outcome.result().unwrap().pairs, expected);
+        assert_eq!(outcome.pairs.as_ref().unwrap().len() as u64, expected);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let a = grid(4, 4.0, 0.0, 0);
+        let (service, _, _) = service_over(&a, &a, ServiceConfig::default());
+        let report = service.run(Vec::new());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.stats.submitted, 0);
+        let text = format!("{}", report.stats);
+        assert!(text.contains("0 submitted"), "{text}");
+    }
+}

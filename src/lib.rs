@@ -21,6 +21,12 @@
 //!   paper's new PQ join), the multi-way extension, the cost model that
 //!   decides between indexed and non-indexed execution, and the parallel
 //!   partitioned executor that shards any of them across a worker pool.
+//! * [`service`] — the register-once/query-many layer: a dataset
+//!   [`Catalog`](prelude::Catalog) persisting sorted runs, R-trees and
+//!   histogram summaries on the device, and a concurrent
+//!   [`Service`](prelude::Service) admitting join and window/point selection
+//!   queries against a shared memory budget with gauge-based admission
+//!   control and a plan cache.
 //!
 //! ## Quickstart
 //!
@@ -58,14 +64,15 @@ pub use usj_datagen as datagen;
 pub use usj_geom as geom;
 pub use usj_io as io;
 pub use usj_rtree as rtree;
+pub use usj_service as service;
 pub use usj_sweep as sweep;
 
 /// Commonly used items, re-exported for convenience.
 ///
-/// The deprecated `SpatialJoin` shim trait is deliberately *not* part of the
-/// prelude (importing it next to [`JoinOperator`](usj_core::JoinOperator)
-/// makes `run`/`run_collect` calls ambiguous); reach it explicitly as
-/// `unified_spatial_join::join::SpatialJoin` during migration.
+/// The pre-0.2 `SpatialJoin` shim trait (deprecated in 0.2.0) has been
+/// removed; drive joins through [`JoinOperator`](usj_core::JoinOperator)
+/// (plain closures implement `PairSink`) or the
+/// [`SpatialQuery`](usj_core::SpatialQuery) builder.
 pub mod prelude {
     pub use usj_core::{
         cost::{CostBasedJoin, CostEstimate, JoinPlan},
@@ -75,13 +82,17 @@ pub mod prelude {
         query::{Algo, Execution, MemoryPlan, PartitionStrategy, QueryPlan, SpatialQuery},
         sssj::SssjJoin,
         st::StJoin,
-        CollectSink, CountSink, GridHistogram, JoinAlgorithm, JoinInput, JoinOperator,
-        JoinResult, LimitSink, MemoryStats, MultiwayJoin, PairSink, Predicate, SampleSink,
-        TripleSink,
+        CatalogedInput, CollectSink, CountSink, GridHistogram, JoinAlgorithm, JoinInput,
+        JoinOperator, JoinResult, LimitSink, MemoryStats, MultiwayJoin, PairSink, Predicate,
+        SampleSink, TripleSink,
     };
     pub use usj_datagen::{Preset, Workload, WorkloadSpec};
     pub use usj_geom::{Interval, Point, Rect};
     pub use usj_io::{machine::MachineConfig, sim::SimEnv, stats::IoStats};
-    pub use usj_rtree::RTree;
+    pub use usj_rtree::{NodeStore, RTree};
+    pub use usj_service::{
+        CancelToken, Catalog, Dataset, DatasetId, JoinSpec, PlanCache, QueryKind, QueryOutcome,
+        QueryRequest, QueryStatus, Service, ServiceConfig, ServiceReport, ServiceStats,
+    };
     pub use usj_sweep::{ForwardSweep, StripedSweep, SweepStructure};
 }

@@ -106,17 +106,16 @@ fn query_builder_and_sinks_are_reachable_through_the_facade() {
 /// Type alias proving `JoinResult` is exported with its documented name.
 type JoinResultAlias = unified_spatial_join::join::JoinResult;
 
-/// The deprecated shim stays reachable (not via the prelude) for one release.
+/// Closure callbacks keep working against `JoinOperator` now that the
+/// deprecated `SpatialJoin` shim has been removed (closures are sinks).
 #[test]
-#[allow(deprecated)]
-fn legacy_spatial_join_shim_still_compiles() {
-    use unified_spatial_join::join::SpatialJoin;
+fn closure_sinks_replace_the_removed_spatial_join_shim() {
     let w = WorkloadSpec::preset(Preset::NJ).with_scale(4_000).generate(1);
     let mut env = SimEnv::new(MachineConfig::machine3());
     let tree = RTree::bulk_load(&mut env, &w.roads).unwrap();
     let hydro_tree = RTree::bulk_load(&mut env, &w.hydro).unwrap();
     let mut n = 0u64;
-    let res = SpatialJoin::run_with(
+    let res = JoinOperator::run_with(
         &PqJoin::default(),
         &mut env,
         JoinInput::Indexed(&tree),

@@ -4,8 +4,8 @@
 //!
 //! 1. **Equivalence** — for every algorithm and two workload presets, the
 //!    builder produces a byte-identical `JoinResult` (every I/O, CPU and
-//!    memory counter) and the identical pair sequence as the legacy
-//!    `SpatialJoin` / `ParallelJoin` entry points, and `Algo::Auto` picks
+//!    memory counter) and the identical pair sequence as the direct
+//!    `JoinOperator` / `ParallelJoin` entry points, and `Algo::Auto` picks
 //!    exactly the plan `CostBasedJoin` picks.
 //! 2. **Predicates** — `WithinDistance` agrees with a brute-force oracle on
 //!    all four algorithms, serially and in parallel.
@@ -55,9 +55,7 @@ fn inputs_for<'a>(
 }
 
 #[test]
-#[allow(deprecated)]
 fn builder_is_byte_identical_to_the_legacy_serial_api() {
-    use unified_spatial_join::join::SpatialJoin;
     for (preset, scale) in [(Preset::NJ, 400), (Preset::NY, 800)] {
         for alg in JoinAlgorithm::all() {
             // Each path runs on its own freshly prepared environment (the
@@ -68,32 +66,32 @@ fn builder_is_byte_identical_to_the_legacy_serial_api() {
             let (mut env, workload, rt, ht, rs, hs) = prepare(preset, scale, 11);
             let (left, right) = inputs_for(alg, &rt, &ht, &rs, &hs);
 
-            // Legacy path: the concrete struct through the deprecated
-            // FnMut-callback trait.
+            // Legacy path: the concrete structs driven directly through
+            // `JoinOperator` (closures implement `PairSink`).
             let mut legacy_pairs = Vec::new();
             let legacy: JoinResult = match alg {
-                JoinAlgorithm::Sssj => SpatialJoin::run_with(
+                JoinAlgorithm::Sssj => JoinOperator::run_with(
                     &SssjJoin::default(),
                     &mut env,
                     left,
                     right,
                     &mut |a, b| legacy_pairs.push((a, b)),
                 ),
-                JoinAlgorithm::Pbsm => SpatialJoin::run_with(
+                JoinAlgorithm::Pbsm => JoinOperator::run_with(
                     &PbsmJoin::default(),
                     &mut env,
                     left,
                     right,
                     &mut |a, b| legacy_pairs.push((a, b)),
                 ),
-                JoinAlgorithm::Pq => SpatialJoin::run_with(
+                JoinAlgorithm::Pq => JoinOperator::run_with(
                     &PqJoin::default(),
                     &mut env,
                     left,
                     right,
                     &mut |a, b| legacy_pairs.push((a, b)),
                 ),
-                JoinAlgorithm::St => SpatialJoin::run_with(
+                JoinAlgorithm::St => JoinOperator::run_with(
                     &StJoin::default(),
                     &mut env,
                     left,

@@ -1,0 +1,296 @@
+//! Acceptance suite of the catalog + service subsystem.
+//!
+//! Three properties gate the `usj_service` subsystem:
+//!
+//! 1. **Catalog saving** — a cataloged join charges *strictly less* I/O than
+//!    the uncataloged equivalent while producing identical pairs: the ST
+//!    path stops bulk-loading throwaway R-trees per query, and the
+//!    sort-based paths stop re-sorting.
+//! 2. **Admission control** — a 16-request concurrent run under a 16 MB
+//!    shared budget completes with every per-query measured `peak_bytes`
+//!    within its granted budget (hence within the limit), with deferred
+//!    admissions actually recorded, and with the sum of concurrently
+//!    granted budgets bounded by the limit by construction.
+//! 3. **Service semantics** — persistence round-trips through a device
+//!    snapshot, cancellation stops queued work, and repeat queries hit the
+//!    plan cache.
+
+use unified_spatial_join::prelude::*;
+
+fn workload(scale: u64, seed: u64) -> Workload {
+    WorkloadSpec::preset(Preset::NJ).with_scale(scale).generate(seed)
+}
+
+fn sorted(mut pairs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Acceptance criterion 1: the cataloged ST join performs strictly less
+/// charged I/O than the uncataloged equivalent and produces byte-identical
+/// pairs.
+#[test]
+fn cataloged_st_join_charges_strictly_less_io_for_identical_pairs() {
+    let w = workload(400, 7);
+
+    // Uncataloged: ST receives flat streams and bulk-loads a throwaway
+    // R-tree per input, per query — all charged.
+    let mut env_u = SimEnv::new(MachineConfig::machine3());
+    let (roads, hydro) = env_u.unaccounted(|env| {
+        (
+            unified_spatial_join::io::ItemStream::from_items(env, &w.roads).unwrap(),
+            unified_spatial_join::io::ItemStream::from_items(env, &w.hydro).unwrap(),
+        )
+    });
+    env_u.device.reset_stats();
+    let (uncat, uncat_pairs) = StJoin::default()
+        .run_collect(&mut env_u, JoinInput::Stream(&roads), JoinInput::Stream(&hydro))
+        .unwrap();
+
+    // Cataloged: registration pays the preparation once; the query itself
+    // touches only the persisted trees.
+    let mut env_c = SimEnv::new(MachineConfig::machine3());
+    let mut catalog = Catalog::new();
+    let (ir, ih) = env_c
+        .unaccounted(|env| {
+            Ok::<_, unified_spatial_join::service::ServiceError>((
+                catalog.register(env, "roads", &w.roads)?,
+                catalog.register(env, "hydro", &w.hydro)?,
+            ))
+        })
+        .unwrap();
+    env_c.device.reset_stats();
+    let left = catalog.get(ir).unwrap().input();
+    let right = catalog.get(ih).unwrap().input();
+    let (cat, cat_pairs) = StJoin::default()
+        .run_collect(&mut env_c, left, right)
+        .unwrap();
+
+    assert!(cat.pairs > 0);
+    assert_eq!(cat.pairs, uncat.pairs);
+    assert_eq!(sorted(cat_pairs), sorted(uncat_pairs), "pair sets must be identical");
+    let cat_io = cat.io.pages_read + cat.io.pages_written;
+    let uncat_io = uncat.io.pages_read + uncat.io.pages_written;
+    assert!(
+        cat_io < uncat_io,
+        "cataloged ST must charge strictly less I/O ({cat_io} vs {uncat_io} pages)"
+    );
+    // The uncataloged run writes the throwaway indexes; the cataloged one
+    // writes nothing at all.
+    assert!(uncat.io.pages_written > 0);
+    assert_eq!(cat.io.pages_written, 0);
+}
+
+/// The sort-based algorithms save the same way: a cataloged SSSJ reads the
+/// persisted sorted run instead of sorting.
+#[test]
+fn cataloged_sort_based_joins_skip_the_sort() {
+    let w = workload(600, 3);
+    for algo in [Algo::Sssj, Algo::Pq, Algo::Pbsm] {
+        let mut env_u = SimEnv::new(MachineConfig::machine3());
+        let (roads, hydro) = env_u.unaccounted(|env| {
+            (
+                unified_spatial_join::io::ItemStream::from_items(env, &w.roads).unwrap(),
+                unified_spatial_join::io::ItemStream::from_items(env, &w.hydro).unwrap(),
+            )
+        });
+        env_u.device.reset_stats();
+        let uncat = SpatialQuery::new(JoinInput::Stream(&roads), JoinInput::Stream(&hydro))
+            .algorithm(algo)
+            .run(&mut env_u)
+            .unwrap();
+
+        let mut env_c = SimEnv::new(MachineConfig::machine3());
+        let mut catalog = Catalog::new();
+        let (ir, ih) = (
+            env_c.unaccounted(|env| catalog.register(env, "roads", &w.roads)).unwrap(),
+            env_c.unaccounted(|env| catalog.register(env, "hydro", &w.hydro)).unwrap(),
+        );
+        env_c.device.reset_stats();
+        let left = catalog.get(ir).unwrap().input();
+        let right = catalog.get(ih).unwrap().input();
+        let cat = SpatialQuery::new(left, right).algorithm(algo).run(&mut env_c).unwrap();
+
+        assert_eq!(cat.pairs, uncat.pairs, "{algo:?}");
+        let cat_io = cat.io.pages_read + cat.io.pages_written;
+        let uncat_io = uncat.io.pages_read + uncat.io.pages_written;
+        assert!(
+            cat_io < uncat_io,
+            "{algo:?}: cataloged must charge less I/O ({cat_io} vs {uncat_io})"
+        );
+    }
+}
+
+/// Acceptance criterion 2 + the concurrent-gauge satellite: a 16-request
+/// mixed batch under a 16 MB shared budget completes with every per-query
+/// peak inside its granted budget, nonzero deferrals, and the admission
+/// gauge's high-water mark inside the limit.
+#[test]
+fn sixteen_concurrent_requests_respect_a_16mb_shared_budget() {
+    let limit = 16 * 1024 * 1024;
+    let per_query = 6 * 1024 * 1024;
+    let w = workload(400, 11);
+    let mut env = SimEnv::new(MachineConfig::machine3());
+    let mut catalog = Catalog::new();
+    let ir = catalog.register(&mut env, "roads", &w.roads).unwrap();
+    let ih = catalog.register(&mut env, "hydro", &w.hydro).unwrap();
+    let region = w.region;
+    let service = Service::new(
+        env,
+        catalog,
+        ServiceConfig::default().with_workers(4).with_memory_limit(limit),
+    );
+
+    // 16 mixed requests (joins across all algorithms + window selections),
+    // each demanding 6 MB — at most two can hold reservations at once —
+    // plus one high-priority 12 MB request admitted first, which leaves
+    // less than one regular budget of headroom and therefore *forces* a
+    // recorded deferral regardless of scheduling timing.
+    let heavy = 12 * 1024 * 1024;
+    let mut requests = Vec::new();
+    for i in 0..16u32 {
+        let request = match i % 4 {
+            0 => QueryRequest::join(ir, ih).with_algorithm(Algo::Sssj),
+            1 => QueryRequest::join(ir, ih).with_algorithm(Algo::Pq),
+            2 => QueryRequest::join(ir, ih).with_algorithm(Algo::St),
+            _ => QueryRequest::window(
+                ir,
+                Rect::from_coords(
+                    region.lo.x,
+                    region.lo.y,
+                    region.lo.x + region.width() * 0.5,
+                    region.lo.y + region.height() * 0.5,
+                ),
+            ),
+        };
+        requests.push(if i == 0 {
+            request.with_memory_budget(heavy).with_priority(1)
+        } else {
+            request.with_memory_budget(per_query)
+        });
+    }
+    let report = service.run(requests);
+
+    assert_eq!(report.stats.submitted, 16);
+    assert_eq!(report.stats.completed, 16, "{}", report.stats);
+    assert_eq!(report.stats.failed, 0);
+    assert!(
+        report.stats.deferrals > 0,
+        "2.67x oversubscription must record deferred admissions"
+    );
+    // The admission gauge bounds the sum of concurrently granted budgets.
+    assert!(report.stats.peak_admitted_bytes <= limit);
+    assert!(report.stats.peak_admitted_bytes >= per_query, "something ran");
+    // Per-worker budget semantics: every query's *measured* peak stays
+    // within its granted budget, hence within the shared limit.
+    let mut total_grants = 0usize;
+    for outcome in &report.outcomes {
+        let result = outcome.result().expect("completed");
+        let expected_grant = if outcome.request == 0 { heavy } else { per_query };
+        assert_eq!(outcome.stats.admitted_bytes, expected_grant);
+        assert!(
+            result.memory.peak_bytes <= outcome.stats.admitted_bytes,
+            "query {} peaked at {} over its {} budget",
+            outcome.request,
+            result.memory.peak_bytes,
+            outcome.stats.admitted_bytes
+        );
+        assert!(result.memory.peak_bytes <= limit);
+        total_grants += outcome.stats.admitted_bytes;
+    }
+    // The workload genuinely oversubscribed the budget — without admission
+    // control the grants would have exceeded the limit six times over.
+    assert!(total_grants > limit);
+    // Identical joins agree regardless of scheduling.
+    let joins: Vec<u64> = (0..16)
+        .filter(|i| i % 4 == 0)
+        .map(|i| report.outcomes[i].result().unwrap().pairs)
+        .collect();
+    assert!(joins.windows(2).all(|p| p[0] == p[1]), "identical joins must agree");
+}
+
+/// Catalog persistence: save on the registration device, reload through a
+/// worker fork over the snapshot, query from the reloaded handle.
+#[test]
+fn catalog_persists_and_reopens_across_a_device_snapshot() {
+    let w = workload(800, 5);
+    let mut env = SimEnv::new(MachineConfig::machine3());
+    let mut catalog = Catalog::new();
+    catalog.register(&mut env, "roads", &w.roads).unwrap();
+    catalog.register(&mut env, "hydro", &w.hydro).unwrap();
+    let root = catalog.save(&mut env).unwrap();
+
+    let base = env.device.snapshot();
+    let mut worker = env.fork_with_base(base);
+    let reopened = Catalog::load(&mut worker, root).unwrap();
+    assert_eq!(reopened.len(), 2);
+
+    let (_, roads) = reopened.lookup("roads").unwrap();
+    let (_, hydro) = reopened.lookup("hydro").unwrap();
+    let reopened_count = SpatialQuery::new(roads.input(), hydro.input())
+        .algorithm(Algo::Pq)
+        .count(&mut worker)
+        .unwrap();
+    let original_count = SpatialQuery::new(
+        catalog.lookup("roads").unwrap().1.input(),
+        catalog.lookup("hydro").unwrap().1.input(),
+    )
+    .algorithm(Algo::Pq)
+    .count(&mut env)
+    .unwrap();
+    assert_eq!(reopened_count, original_count);
+    assert!(reopened_count > 0);
+}
+
+/// Cancellation mid-batch: queued requests carrying a cancelled token
+/// resolve without running, while the rest of the batch completes.
+#[test]
+fn cancellation_stops_queued_queries() {
+    let w = workload(800, 9);
+    let mut env = SimEnv::new(MachineConfig::machine3());
+    let mut catalog = Catalog::new();
+    let ir = catalog.register(&mut env, "roads", &w.roads).unwrap();
+    let ih = catalog.register(&mut env, "hydro", &w.hydro).unwrap();
+    let service = Service::new(env, catalog, ServiceConfig::default().with_workers(2));
+
+    let token = CancelToken::new();
+    token.cancel();
+    let mut requests = vec![QueryRequest::join(ir, ih).with_algorithm(Algo::Sssj)];
+    for _ in 0..4 {
+        requests.push(
+            QueryRequest::join(ir, ih)
+                .with_algorithm(Algo::Sssj)
+                .with_cancel(token.clone()),
+        );
+    }
+    let report = service.run(requests);
+    assert_eq!(report.stats.completed, 1);
+    assert_eq!(report.stats.cancelled, 4);
+    for outcome in &report.outcomes[1..] {
+        assert!(matches!(outcome.status, QueryStatus::Cancelled(None)), "{:?}", outcome.status);
+        assert_eq!(outcome.stats.admitted_bytes, 0);
+    }
+}
+
+/// The plan cache memoizes across batches: the same query shape planned in
+/// batch 1 is a hit in batch 2.
+#[test]
+fn plan_cache_persists_across_batches() {
+    let w = workload(600, 13);
+    let mut env = SimEnv::new(MachineConfig::machine3());
+    let mut catalog = Catalog::new();
+    let ir = catalog.register(&mut env, "roads", &w.roads).unwrap();
+    let ih = catalog.register(&mut env, "hydro", &w.hydro).unwrap();
+    let service = Service::new(env, catalog, ServiceConfig::default().with_workers(1));
+
+    let first = service.run(vec![QueryRequest::join(ir, ih)]);
+    assert_eq!(first.stats.plan_cache_misses, 1);
+    assert_eq!(first.stats.plan_cache_hits, 0);
+    let second = service.run(vec![QueryRequest::join(ir, ih)]);
+    assert_eq!(second.stats.plan_cache_misses, 0);
+    assert_eq!(second.stats.plan_cache_hits, 1);
+    assert_eq!(
+        first.outcomes[0].result().unwrap().pairs,
+        second.outcomes[0].result().unwrap().pairs
+    );
+}
