@@ -1,10 +1,11 @@
 //! Forward-Sweep vs Striped-Sweep on a TIGER-like workload (the
-//! factor-2-to-5 claim of Section 3.1).
+//! factor-2-to-5 claim of Section 3.1), plus the naive pre-optimization
+//! list kernel as the wall-clock baseline.
 
 use std::hint::black_box;
 use usj_bench::QuickBench;
 use usj_datagen::{Preset, WorkloadSpec};
-use usj_sweep::{sweep_join, ForwardSweep, StripedSweep};
+use usj_sweep::{sweep_join, ForwardSweep, ListSweep, StripedSweep};
 
 fn main() {
     let workload = WorkloadSpec::preset(Preset::NJ).with_scale(400).generate(42);
@@ -14,6 +15,14 @@ fn main() {
         workload.hydro.len()
     );
     let harness = QuickBench::new();
+    harness.bench("list_sweep_baseline", || {
+        let stats = sweep_join::<ListSweep, _>(
+            black_box(&workload.roads),
+            black_box(&workload.hydro),
+            |_, _| {},
+        );
+        black_box(stats.pairs)
+    });
     harness.bench("forward_sweep", || {
         let stats = sweep_join::<ForwardSweep, _>(
             black_box(&workload.roads),

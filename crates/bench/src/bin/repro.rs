@@ -6,11 +6,11 @@
 //! experiments:
 //!   table2 table3 table4 fig2-estimated fig2-observed fig3 crossover
 //!   ablation-sweep ablation-buffer ablation-tiles ablation-packing
-//!   low-memory service all
+//!   low-memory service hotpath all
 //! ```
 //!
-//! `service` additionally writes its rows as machine-readable
-//! `BENCH_service.json` in the current directory.
+//! `service` and `hotpath` additionally write their rows as machine-readable
+//! `BENCH_service.json` / `BENCH_hotpath.json` in the current directory.
 
 use usj_bench::{ExperimentConfig, *};
 use usj_datagen::Preset;
@@ -92,6 +92,18 @@ fn main() {
             std::fs::write(path, &json)
                 .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             println!("wrote {path} ({} rows)", rows.len());
+        }
+        "hotpath" => {
+            let (kernels, joins) = hotpath(&cfg);
+            let json = hotpath_json(&cfg, &kernels, &joins);
+            let path = "BENCH_hotpath.json";
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!(
+                "wrote {path} ({} kernel rows, {} join rows)",
+                kernels.len(),
+                joins.len()
+            );
         }
         "all" => run_all(&cfg),
         other => die(&format!("unknown experiment '{other}'")),

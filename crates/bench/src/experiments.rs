@@ -458,6 +458,7 @@ pub fn run_all(cfg: &ExperimentConfig) {
     ablation_packing(cfg);
     low_memory(cfg);
     crate::service_exp::service_bench(cfg);
+    crate::hotpath::hotpath(cfg);
 }
 
 #[cfg(test)]

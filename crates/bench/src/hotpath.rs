@@ -1,0 +1,366 @@
+//! The `hotpath` experiment: the first *wall-clock* point of the perf
+//! trajectory.
+//!
+//! Everything else in this crate measures the simulated cost model
+//! (deterministic I/O and CPU counters). This experiment additionally times
+//! the real kernels on the host:
+//!
+//! * **kernel section** — the raw sweep kernel on each preset's
+//!   (pre-sorted) in-memory workload: the preserved pre-PR kernels
+//!   ([`ListSweep`], the eager unordered list, and [`EagerStripedSweep`],
+//!   the eager fixed-256-strip structure the SSSJ/PQ production sweeps ran
+//!   on) against the struct-of-arrays [`ForwardSweep`] and
+//!   [`StripedSweep`]. The pair counts of all four must agree — the list
+//!   kernel is the serial oracle.
+//! * **joins section** — the four full algorithms (SSSJ/PBSM/PQ/ST) on
+//!   their natural inputs, wall-clock per run plus the charged
+//!   [`IoStats`]/[`CpuCounter`] and the measured memory peak, so regressions
+//!   in either the host time or the simulated cost model show up in the
+//!   same artifact.
+//!
+//! `repro hotpath` writes the rows as machine-readable `BENCH_hotpath.json`.
+//! Wall-clock numbers vary across hosts; the speedup *ratios* and the
+//! oracle-checked pair counts are the stable part.
+
+use std::time::Instant;
+
+use usj_datagen::WorkloadSpec;
+use usj_io::{CpuCounter, CpuOp, IoStats};
+use usj_sweep::{sweep_join, EagerStripedSweep, ForwardSweep, ListSweep, StripedSweep};
+
+use crate::quick::QuickBench;
+use crate::setup::{ExperimentConfig, PreparedWorkload};
+use usj_core::JoinAlgorithm;
+use usj_io::MachineConfig;
+
+/// Timed samples per benchmark case.
+const SAMPLES: usize = 5;
+
+/// Untimed warm-up iterations per case.
+const WARMUP: usize = 1;
+
+/// One preset's raw-kernel comparison: naive list sweep vs the SoA kernels.
+#[derive(Debug, Clone)]
+pub struct HotpathKernelRow {
+    /// Workload preset name.
+    pub preset: String,
+    /// Items in the left (road) input.
+    pub left_items: u64,
+    /// Items in the right (hydrography) input.
+    pub right_items: u64,
+    /// Intersecting pairs — identical across all three kernels (asserted).
+    pub pairs: u64,
+    /// Median wall-clock of the naive list-sweep baseline (the pre-PR
+    /// `Forward-Sweep`), milliseconds.
+    pub list_ms: f64,
+    /// Median wall-clock of the eager 256-strip baseline (the pre-PR
+    /// `Striped-Sweep` — the kernel SSSJ/PQ production sweeps ran on),
+    /// milliseconds.
+    pub eager_striped_ms: f64,
+    /// Median wall-clock of the SoA forward sweep, milliseconds.
+    pub forward_ms: f64,
+    /// Median wall-clock of the SoA striped sweep, milliseconds.
+    pub striped_ms: f64,
+    /// Rectangle tests of the list baseline (equals the forward kernel's).
+    pub list_rect_tests: u64,
+    /// Rectangle tests of the striped kernel.
+    pub striped_rect_tests: u64,
+}
+
+impl HotpathKernelRow {
+    /// Wall-clock speedup of the SoA forward kernel over the list baseline.
+    pub fn speedup_forward(&self) -> f64 {
+        self.list_ms / self.forward_ms.max(f64::EPSILON)
+    }
+
+    /// Wall-clock speedup of the SoA striped kernel over the list baseline.
+    pub fn speedup_striped(&self) -> f64 {
+        self.list_ms / self.striped_ms.max(f64::EPSILON)
+    }
+
+    /// Wall-clock speedup of the SoA striped kernel over the pre-PR striped
+    /// kernel (the production sweep path of SSSJ and PQ).
+    pub fn speedup_striped_vs_eager(&self) -> f64 {
+        self.eager_striped_ms / self.striped_ms.max(f64::EPSILON)
+    }
+}
+
+/// One preset × algorithm wall-clock measurement of a full join.
+#[derive(Debug, Clone)]
+pub struct HotpathJoinRow {
+    /// Workload preset name.
+    pub preset: String,
+    /// Algorithm short name (SJ/PB/PQ/ST).
+    pub algo: String,
+    /// Pairs reported — equal to the serial oracle's count (asserted).
+    pub pairs: u64,
+    /// Median wall-clock per run, milliseconds.
+    pub wall_ms_median: f64,
+    /// Fastest sample, milliseconds.
+    pub wall_ms_min: f64,
+    /// Slowest sample, milliseconds.
+    pub wall_ms_max: f64,
+    /// Charged I/O of one run (deterministic).
+    pub io: IoStats,
+    /// Deterministic CPU counters of one run.
+    pub cpu: CpuCounter,
+    /// Measured memory peak of one run, bytes.
+    pub peak_bytes: usize,
+}
+
+/// Runs the hotpath experiment, printing both sections and returning the
+/// rows for machine-readable emission.
+///
+/// Panics if any kernel or algorithm disagrees with the serial list-sweep
+/// oracle on the pair count — the wall-clock numbers are only meaningful
+/// while the results stay byte-identical.
+pub fn hotpath(cfg: &ExperimentConfig) -> (Vec<HotpathKernelRow>, Vec<HotpathJoinRow>) {
+    let bench = QuickBench::new().with_samples(SAMPLES).with_warmup(WARMUP);
+
+    println!(
+        "\n== Hot path: raw sweep kernel wall-clock, SoA vs pre-PR kernels (scale divisor {}) ==",
+        cfg.scale
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9}",
+        "Data set", "pairs", "list ms", "eager ms", "fwd ms", "strip ms", "fwd x", "strip x", "vs eager"
+    );
+    let mut kernel_rows = Vec::new();
+    for &preset in &cfg.presets {
+        let workload = WorkloadSpec::preset(preset)
+            .with_scale(cfg.scale)
+            .generate(cfg.seed);
+        // The kernels consume y-sorted inputs; sorting once up front times
+        // the sweep itself rather than diluting every sample with the same
+        // sort (the sort phase is measured by the joins section below).
+        let mut roads = workload.roads.clone();
+        let mut hydro = workload.hydro.clone();
+        usj_geom::sort_by_lower_y(&mut roads);
+        usj_geom::sort_by_lower_y(&mut hydro);
+        let (roads, hydro) = (&roads, &hydro);
+
+        // The serial oracle: the pre-optimization list kernel.
+        let list_stats = sweep_join::<ListSweep, _>(roads, hydro, |_, _| {});
+        let eager_stats = sweep_join::<EagerStripedSweep, _>(roads, hydro, |_, _| {});
+        let forward_stats = sweep_join::<ForwardSweep, _>(roads, hydro, |_, _| {});
+        let striped_stats = sweep_join::<StripedSweep, _>(roads, hydro, |_, _| {});
+        assert_eq!(
+            forward_stats.pairs, list_stats.pairs,
+            "{preset}: SoA forward kernel diverged from the list oracle"
+        );
+        assert_eq!(
+            striped_stats.pairs, list_stats.pairs,
+            "{preset}: SoA striped kernel diverged from the list oracle"
+        );
+        assert_eq!(
+            eager_stats.pairs, list_stats.pairs,
+            "{preset}: pre-PR striped baseline diverged from the list oracle"
+        );
+
+        let list = bench.bench(&format!("{preset}/kernel/list"), || {
+            sweep_join::<ListSweep, _>(roads, hydro, |_, _| {}).pairs
+        });
+        let eager = bench.bench(&format!("{preset}/kernel/eager-striped"), || {
+            sweep_join::<EagerStripedSweep, _>(roads, hydro, |_, _| {}).pairs
+        });
+        let forward = bench.bench(&format!("{preset}/kernel/forward-soa"), || {
+            sweep_join::<ForwardSweep, _>(roads, hydro, |_, _| {}).pairs
+        });
+        let striped = bench.bench(&format!("{preset}/kernel/striped-soa"), || {
+            sweep_join::<StripedSweep, _>(roads, hydro, |_, _| {}).pairs
+        });
+
+        let row = HotpathKernelRow {
+            preset: preset.name().to_string(),
+            left_items: roads.len() as u64,
+            right_items: hydro.len() as u64,
+            pairs: list_stats.pairs,
+            list_ms: list.median_secs() * 1000.0,
+            eager_striped_ms: eager.median_secs() * 1000.0,
+            forward_ms: forward.median_secs() * 1000.0,
+            striped_ms: striped.median_secs() * 1000.0,
+            list_rect_tests: list_stats.rect_tests,
+            striped_rect_tests: striped_stats.rect_tests,
+        };
+        println!(
+            "{:<10} {:>10} {:>10.3} {:>9.3} {:>9.3} {:>9.3} {:>7.2}x {:>7.2}x {:>8.2}x",
+            row.preset,
+            row.pairs,
+            row.list_ms,
+            row.eager_striped_ms,
+            row.forward_ms,
+            row.striped_ms,
+            row.speedup_forward(),
+            row.speedup_striped(),
+            row.speedup_striped_vs_eager(),
+        );
+        kernel_rows.push(row);
+    }
+
+    println!("\n== Hot path: full algorithms wall-clock (charged I/O unchanged by construction) ==");
+    println!(
+        "{:<10} {:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "Data set", "Alg", "pairs", "wall ms", "min ms", "max ms", "pages rd", "pages wr", "peak KB"
+    );
+    let mut join_rows = Vec::new();
+    for &preset in &cfg.presets {
+        let oracle_pairs = kernel_rows
+            .iter()
+            .find(|r| r.preset == preset.name())
+            .expect("kernel row exists for every preset")
+            .pairs;
+        for alg in JoinAlgorithm::all() {
+            let mut p = PreparedWorkload::build(preset, cfg, MachineConfig::machine3());
+            let report = bench.bench(&format!("{preset}/join/{}", alg.short_name()), || {
+                p.reset();
+                p.run_algorithm(alg)
+            });
+            // One more deterministic run for the recorded counters.
+            p.reset();
+            let result = p.run_algorithm(alg);
+            assert_eq!(
+                result.pairs, oracle_pairs,
+                "{preset} {alg:?}: pair count diverged from the serial oracle"
+            );
+            let row = HotpathJoinRow {
+                preset: preset.name().to_string(),
+                algo: alg.short_name().to_string(),
+                pairs: result.pairs,
+                wall_ms_median: report.median_secs() * 1000.0,
+                wall_ms_min: report.min.as_secs_f64() * 1000.0,
+                wall_ms_max: report.max.as_secs_f64() * 1000.0,
+                io: result.io,
+                cpu: result.cpu,
+                peak_bytes: result.memory.peak_bytes,
+            };
+            println!(
+                "{:<10} {:>5} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10} {:>10} {:>10.1}",
+                row.preset,
+                row.algo,
+                row.pairs,
+                row.wall_ms_median,
+                row.wall_ms_min,
+                row.wall_ms_max,
+                row.io.pages_read,
+                row.io.pages_written,
+                row.peak_bytes as f64 / 1024.0,
+            );
+            join_rows.push(row);
+        }
+    }
+    println!(
+        "(list/eager = pre-PR kernels kept as oracle/baseline; 'vs eager' is the SSSJ/PQ production sweep path; wall-clock varies per host, pair counts and charged I/O are deterministic)"
+    );
+    (kernel_rows, join_rows)
+}
+
+/// Renders the rows as the `BENCH_hotpath.json` document `repro hotpath`
+/// writes (hand-rolled JSON — the workspace is dependency-free).
+pub fn hotpath_json(
+    cfg: &ExperimentConfig,
+    kernels: &[HotpathKernelRow],
+    joins: &[HotpathJoinRow],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"hotpath\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", cfg.scale));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"samples\": {SAMPLES},\n"));
+    out.push_str("  \"kernel\": [\n");
+    for (i, r) in kernels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"preset\": \"{}\", \"left_items\": {}, \"right_items\": {}, \"pairs\": {}, \
+             \"list_ms\": {:.4}, \"eager_striped_ms\": {:.4}, \"forward_ms\": {:.4}, \"striped_ms\": {:.4}, \
+             \"speedup_forward_vs_list\": {:.3}, \"speedup_striped_vs_list\": {:.3}, \
+             \"speedup_striped_vs_eager_striped\": {:.3}, \
+             \"list_rect_tests\": {}, \"striped_rect_tests\": {}}}{}\n",
+            r.preset,
+            r.left_items,
+            r.right_items,
+            r.pairs,
+            r.list_ms,
+            r.eager_striped_ms,
+            r.forward_ms,
+            r.striped_ms,
+            r.speedup_forward(),
+            r.speedup_striped(),
+            r.speedup_striped_vs_eager(),
+            r.list_rect_tests,
+            r.striped_rect_tests,
+            if i + 1 == kernels.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"joins\": [\n");
+    for (i, r) in joins.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"preset\": \"{}\", \"algo\": \"{}\", \"pairs\": {}, \
+             \"wall_ms_median\": {:.4}, \"wall_ms_min\": {:.4}, \"wall_ms_max\": {:.4}, \
+             \"pages_read\": {}, \"pages_written\": {}, \
+             \"seq_read_ops\": {}, \"rand_read_ops\": {}, \"seq_write_ops\": {}, \"rand_write_ops\": {}, \
+             \"cpu_compare\": {}, \"cpu_heap_op\": {}, \"cpu_rect_test\": {}, \
+             \"cpu_item_move\": {}, \"cpu_output_pair\": {}, \"peak_bytes\": {}}}{}\n",
+            r.preset,
+            r.algo,
+            r.pairs,
+            r.wall_ms_median,
+            r.wall_ms_min,
+            r.wall_ms_max,
+            r.io.pages_read,
+            r.io.pages_written,
+            r.io.seq_read_ops,
+            r.io.rand_read_ops,
+            r.io.seq_write_ops,
+            r.io.rand_write_ops,
+            r.cpu.get(CpuOp::Compare),
+            r.cpu.get(CpuOp::HeapOp),
+            r.cpu.get(CpuOp::RectTest),
+            r.cpu.get(CpuOp::ItemMove),
+            r.cpu.get(CpuOp::OutputPair),
+            r.peak_bytes,
+            if i + 1 == joins.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Host wall-clock of one closure call, milliseconds (exposed for smoke
+/// tests that want a single ad-hoc measurement).
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_datagen::Preset;
+
+    #[test]
+    fn hotpath_runs_and_serializes_on_a_tiny_configuration() {
+        let cfg = ExperimentConfig {
+            scale: 2_000,
+            seed: 7,
+            presets: vec![Preset::NJ, Preset::NY],
+        };
+        let (kernels, joins) = hotpath(&cfg);
+        assert_eq!(kernels.len(), 2, "one kernel row per preset");
+        assert_eq!(joins.len(), 2 * 4, "one join row per preset x algorithm");
+        // Pair counts are oracle-checked inside hotpath(); re-check the
+        // cross-section consistency here.
+        for k in &kernels {
+            for j in joins.iter().filter(|j| j.preset == k.preset) {
+                assert_eq!(j.pairs, k.pairs, "{}/{}", j.preset, j.algo);
+            }
+        }
+        let json = hotpath_json(&cfg, &kernels, &joins);
+        assert!(json.contains("\"experiment\": \"hotpath\""));
+        assert_eq!(json.matches("\"algo\":").count(), 8);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let (_, ms) = time_ms(|| 1 + 1);
+        assert!(ms >= 0.0);
+    }
+}

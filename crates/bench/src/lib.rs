@@ -18,6 +18,7 @@
 //! | `repro ablation-packing` | 75 %+20 % packing vs full packing (Sec. 7) |
 //! | `repro low-memory` | memory governor: spill I/O vs 4/16/64 MB limits |
 //! | `repro service` | service throughput: 16 concurrent requests at 2/4/8 workers under a 16 MB shared budget (also writes `BENCH_service.json`) |
+//! | `repro hotpath` | wall-clock of the real kernels: SoA sweep vs the naive list baseline, plus all four algorithms (also writes `BENCH_hotpath.json`) |
 //! | `repro all` | everything above |
 //!
 //! Every experiment accepts `--scale <divisor>` (default 200) which divides
@@ -30,11 +31,13 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod hotpath;
 pub mod quick;
 pub mod service_exp;
 pub mod setup;
 
 pub use experiments::*;
+pub use hotpath::{hotpath, hotpath_json, HotpathJoinRow, HotpathKernelRow};
 pub use quick::{BenchReport, QuickBench};
 pub use service_exp::{service_bench, service_bench_json, ServiceBenchRow};
 pub use setup::{ExperimentConfig, PreparedWorkload};

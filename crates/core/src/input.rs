@@ -116,13 +116,17 @@ impl<'a> JoinInput<'a> {
                 Ok(((*s).clone(), bbox))
             }
             JoinInput::Stream(s) => {
-                let (sorted, stats) = extsort::external_sort_by(env, s, usj_geom::Item::cmp_by_lower_y)?;
+                let (sorted, stats) = extsort::external_sort_by_key(env, s, usj_geom::Item::sweep_key, usj_geom::Item::cmp_by_lower_y)?;
                 Ok((sorted, bbox_hint.unwrap_or(stats.bbox)))
             }
             JoinInput::Indexed(tree) => {
                 let dumped = dump_tree(env, tree)?;
-                let (sorted, stats) =
-                    extsort::external_sort_by(env, &dumped, usj_geom::Item::cmp_by_lower_y)?;
+                let (sorted, stats) = extsort::external_sort_by_key(
+                    env,
+                    &dumped,
+                    usj_geom::Item::sweep_key,
+                    usj_geom::Item::cmp_by_lower_y,
+                )?;
                 Ok((sorted, bbox_hint.unwrap_or(stats.bbox)))
             }
             // The sorted run was persisted at registration: hand it back

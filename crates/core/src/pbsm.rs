@@ -29,7 +29,7 @@
 
 use usj_geom::{Item, Rect, ITEM_BYTES};
 use usj_io::{CpuOp, ItemStream, ItemStreamWriter, Result, SimEnv, PAGE_SIZE};
-use usj_sweep::{sweep_join, ForwardSweep, SweepJoinStats};
+use usj_sweep::{sweep_join_eps_with, ForwardSweep, SweepJoinStats, SweepScratch};
 
 use crate::input::JoinInput;
 use crate::predicate::Predicate;
@@ -302,6 +302,9 @@ impl JoinOperator for PbsmJoin {
             sweep_total: SweepJoinStats::default(),
             max_partition_bytes: 0,
             sink,
+            load_left: Vec::new(),
+            load_right: Vec::new(),
+            scratch: SweepScratch::new(),
         };
         let mut path = vec![(grid, 0usize)];
         for p in 0..partitions {
@@ -387,6 +390,13 @@ struct PbsmRun<'a> {
     sweep_total: SweepJoinStats,
     max_partition_bytes: usize,
     sink: &'a mut dyn PairSink,
+    /// Reusable partition-load buffers: one pair of scatter targets shared
+    /// by every partition (and every recursion level) instead of two fresh
+    /// vectors per partition.
+    load_left: Vec<Item>,
+    load_right: Vec<Item>,
+    /// Reusable sorted-copy buffers of the per-partition sweeps.
+    scratch: SweepScratch,
 }
 
 impl PbsmRun<'_> {
@@ -436,23 +446,27 @@ impl PbsmRun<'_> {
         left: &ItemStream,
         right: &ItemStream,
     ) -> Result<()> {
-        let l = left.read_all(env)?;
-        let r = right.read_all(env)?;
-        self.max_partition_bytes = self
-            .max_partition_bytes
-            .max((l.len() + r.len()) * std::mem::size_of::<Item>());
         let PbsmRun {
             predicate,
             sink,
             pairs,
             done,
+            load_left,
+            load_right,
+            scratch,
             ..
         } = self;
-        let stats = sweep_join::<ForwardSweep, _>(&l, &r, |a, b| {
+        left.read_all_into(env, load_left)?;
+        right.read_all_into(env, load_right)?;
+        let loaded = load_left.len() + load_right.len();
+        self.max_partition_bytes = self
+            .max_partition_bytes
+            .max(loaded * std::mem::size_of::<Item>());
+        let stats = sweep_join_eps_with::<ForwardSweep, _>(load_left, load_right, 0.0, scratch, |a, b| {
             report_candidate(*predicate, path, &mut **sink, pairs, done, a, b)
         });
         env.charge(CpuOp::RectTest, stats.rect_tests);
-        env.charge(CpuOp::Compare, (l.len() + r.len()) as u64);
+        env.charge(CpuOp::Compare, loaded as u64);
         self.sweep_total.merge(&stats);
         Ok(())
     }
@@ -542,8 +556,11 @@ impl PbsmRun<'_> {
         // readers charge their own block buffers out of the slack above.
         let _claim = env.memory.try_reserve(6 * chunk_bytes)?;
         let mut lr = left.reader();
+        // One pair of chunk buffers for the whole block-nested loop.
+        let mut lchunk: Vec<Item> = Vec::with_capacity(chunk_items);
+        let mut rchunk: Vec<Item> = Vec::with_capacity(chunk_items);
         loop {
-            let mut lchunk = Vec::with_capacity(chunk_items);
+            lchunk.clear();
             while lchunk.len() < chunk_items {
                 match lr.next(env)? {
                     Some(it) => lchunk.push(it),
@@ -558,7 +575,7 @@ impl PbsmRun<'_> {
                 if self.done {
                     return Ok(());
                 }
-                let mut rchunk = Vec::with_capacity(chunk_items);
+                rchunk.clear();
                 while rchunk.len() < chunk_items {
                     match rr.next(env)? {
                         Some(it) => rchunk.push(it),
@@ -573,9 +590,10 @@ impl PbsmRun<'_> {
                     sink,
                     pairs,
                     done,
+                    scratch,
                     ..
                 } = self;
-                let stats = sweep_join::<ForwardSweep, _>(&lchunk, &rchunk, |a, b| {
+                let stats = sweep_join_eps_with::<ForwardSweep, _>(&lchunk, &rchunk, 0.0, scratch, |a, b| {
                     report_candidate(*predicate, path, &mut **sink, pairs, done, a, b)
                 });
                 env.charge(CpuOp::RectTest, stats.rect_tests);

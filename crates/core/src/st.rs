@@ -16,7 +16,7 @@
 use usj_geom::Item;
 use usj_io::{CpuOp, PageId, Result, SimEnv};
 use usj_rtree::{NodeKind, NodeStore, RTree};
-use usj_sweep::{sweep_join, ForwardSweep, SweepJoinStats};
+use usj_sweep::{sweep_join_eps_with, ForwardSweep, SweepJoinStats, SweepScratch};
 
 use crate::input::JoinInput;
 use crate::predicate::Predicate;
@@ -156,6 +156,9 @@ impl JoinOperator for StJoin {
         // is exact for the distance predicate too.
         let mut pairs = 0u64;
         let mut done = false;
+        // One scratch pair serves the per-node-pair sweeps of the whole
+        // traversal (ST runs one small sweep per intersecting node pair).
+        let mut scratch = SweepScratch::new();
         let mut stack: Vec<(PageId, PageId)> = Vec::new();
         env.charge(CpuOp::RectTest, 1);
         if left_tree.bbox().expanded(eps).intersects(&right_tree.bbox()) {
@@ -208,11 +211,17 @@ impl JoinOperator for StJoin {
             // it to directory rectangles would wrongly prune subtrees).
             let leaf_level = node_a.kind == NodeKind::Leaf && node_b.kind == NodeKind::Leaf;
             let mut matches: Vec<(u32, u32)> = Vec::new();
-            let stats = sweep_join::<ForwardSweep, _>(&a_entries, &b_entries, |a, b| {
-                if !leaf_level || predicate.accepts(&a.rect, &b.rect) {
-                    matches.push((a.id, b.id));
-                }
-            });
+            let stats = sweep_join_eps_with::<ForwardSweep, _>(
+                &a_entries,
+                &b_entries,
+                0.0,
+                &mut scratch,
+                |a, b| {
+                    if !leaf_level || predicate.accepts(&a.rect, &b.rect) {
+                        matches.push((a.id, b.id));
+                    }
+                },
+            );
             env.charge(CpuOp::RectTest, stats.rect_tests);
             env.charge(
                 CpuOp::Compare,

@@ -62,6 +62,43 @@ impl Item {
             .cmp_by_lower_y(&other.rect)
             .then_with(|| self.id.cmp(&other.id))
     }
+
+    /// Packed radix key of the sweep order: the order-preserving bit images
+    /// of `lo.y` (high half) and `lo.x` (low half).
+    ///
+    /// Comparing two keys with a single branchless `u64` comparison is
+    /// equivalent to comparing `(lo.y, lo.x)` lexicographically with
+    /// [`ord_f32`](crate::rect::ord_f32) for every non-NaN coordinate (`-0.0` and
+    /// `+0.0` map to the same key). The external sort precomputes this key
+    /// once per record and falls back to the full [`Item::cmp_by_lower_y`]
+    /// comparator only on key collisions, which removes the multi-field
+    /// float-comparison chain from the hot sort loop.
+    #[inline]
+    pub fn sweep_key(&self) -> u64 {
+        ((f32_order_key(self.rect.lo.y) as u64) << 32) | f32_order_key(self.rect.lo.x) as u64
+    }
+}
+
+/// Order-preserving bit image of an `f32`: `f32_order_key(a) <
+/// f32_order_key(b)` iff [`ord_f32`](crate::rect::ord_f32)`(a, b)` is
+/// `Less` (with `-0.0 == +0.0`, and every NaN mapped to the maximum key —
+/// equal to each other and above all numbers, exactly like `ord_f32`).
+#[inline]
+fn f32_order_key(x: f32) -> u32 {
+    if x.is_nan() {
+        // `ord_f32` treats all NaNs as equal and larger than any number;
+        // mapping them to one maximal key keeps the keyed sorts consistent
+        // with the comparators even for sign-bit NaNs.
+        return u32::MAX;
+    }
+    // `x + 0.0` collapses -0.0 onto +0.0 so the key order matches the
+    // `partial_cmp`-based comparators, which treat the two zeroes as equal.
+    let bits = (x + 0.0).to_bits();
+    if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    }
 }
 
 /// Sorts a slice of items into sweep order (ascending lower y-coordinate).
@@ -96,6 +133,64 @@ mod tests {
         let it = item(0.0, 0.0, 1.0, 1.0, 1);
         let mut buf = [0u8; ITEM_BYTES - 1];
         it.encode(&mut buf);
+    }
+
+    #[test]
+    fn sweep_key_orders_like_the_comparator() {
+        let samples = [
+            item(-5.5, -3.25, 0.0, 0.0, 1),
+            item(0.0, -3.25, 1.0, 1.0, 2),
+            item(-0.0, -3.25, 1.0, 1.0, 3), // -0.0 must collapse onto +0.0
+            item(0.0, 0.0, 1.0, 1.0, 4),
+            item(7.5, 0.0, 8.0, 1.0, 5),
+            item(1e-20, 2.5e7, 1.0, 3.0e7, 6),
+            item(f32::MAX, f32::MAX, f32::MAX, f32::MAX, 7),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let by_key = a.sweep_key().cmp(&b.sweep_key());
+                let by_cmp = a.rect.cmp_by_lower_y(&b.rect);
+                if by_key != std::cmp::Ordering::Equal {
+                    assert_eq!(by_key, by_cmp, "{a:?} vs {b:?}");
+                } else {
+                    // Key collision: lo.y and lo.x are order-equal, so the
+                    // comparator must have fallen through its first two
+                    // fields too.
+                    assert_eq!(a.rect.lo.y, b.rect.lo.y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_key_treats_all_nans_as_one_maximal_key() {
+        let neg_nan = f32::from_bits(0xFFC0_0000);
+        assert!(neg_nan.is_nan() && neg_nan.is_sign_negative());
+        let a = Item::new(
+            Rect {
+                lo: crate::Point::new(0.0, neg_nan),
+                hi: crate::Point::new(1.0, f32::NAN),
+            },
+            1,
+        );
+        let b = item(0.0, f32::MAX, 1.0, f32::MAX, 2);
+        let c = Item::new(
+            Rect {
+                lo: crate::Point::new(0.0, f32::NAN),
+                hi: crate::Point::new(1.0, f32::NAN),
+            },
+            3,
+        );
+        // Both NaN signs share the maximal key, above every number — the
+        // same order ord_f32 gives the comparator-based sorts.
+        assert_eq!(a.sweep_key() >> 32, u64::from(u32::MAX));
+        assert_eq!(a.sweep_key() >> 32, c.sweep_key() >> 32);
+        assert!(a.sweep_key() > b.sweep_key());
+        assert_eq!(
+            a.rect.cmp_by_lower_y(&b.rect),
+            std::cmp::Ordering::Greater,
+            "key order must agree with the comparator"
+        );
     }
 
     #[test]

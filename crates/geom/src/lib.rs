@@ -25,7 +25,7 @@ pub mod point;
 pub mod rect;
 
 pub use interval::Interval;
-pub use item::{Item, ObjectId, ITEM_BYTES};
+pub use item::{sort_by_lower_y, Item, ObjectId, ITEM_BYTES};
 pub use point::Point;
 pub use rect::Rect;
 

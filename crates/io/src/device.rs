@@ -202,13 +202,28 @@ impl BlockDevice {
 
     /// Reads `n` consecutive pages starting at `first` as one I/O operation.
     pub fn read_pages(&mut self, first: PageId, n: u64) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.read_pages_into(first, n, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads `n` consecutive pages starting at `first` as one I/O operation
+    /// into a caller-provided buffer (cleared first).
+    ///
+    /// This is the zero-allocation sibling of
+    /// [`read_pages`](BlockDevice::read_pages): sequential consumers such as
+    /// [`ItemStreamReader`](crate::stream::ItemStreamReader) reuse one buffer
+    /// across every block of a scan instead of allocating a fresh vector per
+    /// read. The I/O accounting is identical.
+    pub fn read_pages_into(&mut self, first: PageId, n: u64, out: &mut Vec<u8>) -> Result<()> {
         self.check_range(first, n)?;
         self.record(first, n, true);
-        let mut out = Vec::with_capacity(n as usize * PAGE_SIZE);
+        out.clear();
+        out.reserve(n as usize * PAGE_SIZE);
         for i in 0..n {
             out.extend_from_slice(self.page_ref(first + i).bytes());
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Writes a single page (the buffer is truncated or zero-padded to the

@@ -10,7 +10,7 @@
 
 use std::cmp::Ordering;
 
-use usj_geom::{Item, Rect, ITEM_BYTES};
+use usj_geom::{Item, Rect};
 
 use crate::error::Result;
 use crate::page::PAGE_SIZE;
@@ -33,18 +33,47 @@ pub struct SortStats {
 }
 
 /// Sorts `input` by ascending lower y-coordinate (the plane-sweep order).
+///
+/// Uses the key-accelerated path: the packed [`Item::sweep_key`] radix key is
+/// precomputed once per record, so the hot sort loop compares single `u64`
+/// values instead of walking the multi-field float comparator.
 pub fn external_sort_by_lower_y(env: &mut SimEnv, input: &ItemStream) -> Result<ItemStream> {
-    external_sort_by(env, input, Item::cmp_by_lower_y).map(|(s, _)| s)
+    external_sort_by_key(env, input, |it| it.sweep_key(), Item::cmp_by_lower_y).map(|(s, _)| s)
 }
 
 /// Sorts `input` with an arbitrary comparator, returning the sorted stream
 /// and the sort statistics.
+///
+/// Prefer [`external_sort_by_key`] when a `u64` key that agrees with the
+/// comparator's leading fields is available — the run-formation sort and the
+/// merge heap then compare precomputed keys and only fall back to the
+/// comparator on collisions.
 pub fn external_sort_by<F>(
     env: &mut SimEnv,
     input: &ItemStream,
     cmp: F,
 ) -> Result<(ItemStream, SortStats)>
 where
+    F: Fn(&Item, &Item) -> Ordering + Copy,
+{
+    external_sort_by_key(env, input, |_| 0, cmp)
+}
+
+/// One record of the keyed run buffer: the precomputed key and the record.
+type SortEntry = (u64, Item);
+
+/// Sorts `input` by `(key, cmp)`: the precomputed `u64` key decides first and
+/// `cmp` breaks key collisions, so `cmp` must refine the key's order (true
+/// for any comparator whose leading fields the key packs). Returns the
+/// sorted stream and the sort statistics.
+pub fn external_sort_by_key<K, F>(
+    env: &mut SimEnv,
+    input: &ItemStream,
+    key: K,
+    cmp: F,
+) -> Result<(ItemStream, SortStats)>
+where
+    K: Fn(&Item) -> u64 + Copy,
     F: Fn(&Item, &Item) -> Ordering + Copy,
 {
     let pages_per_block = input.pages_per_block();
@@ -55,25 +84,32 @@ where
     };
 
     // Run formation: fill half the internal memory, sort, write out. The run
-    // buffer is the sort's dominant working set, so it is claimed from the
-    // memory governor up front (the stream reader and run writer buffers
-    // charge themselves).
-    let run_capacity = ((env.memory_limit / 2) / ITEM_BYTES).max(1024);
+    // buffer (keys + records) is the sort's dominant working set, so it is
+    // claimed from the memory governor up front (the stream reader and run
+    // writer buffers charge themselves). Capacity is sized by the *keyed*
+    // entry (32 bytes — honest accounting for the resident keys), so runs
+    // are ~38 % shorter than the pre-key 20-byte sizing; inputs whose size
+    // falls between the two thresholds at a given memory limit form one
+    // more run and pay one more (charged) merge pass.
+    let entry_bytes = std::mem::size_of::<SortEntry>();
+    let run_capacity = ((env.memory_limit / 2) / entry_bytes).max(1024);
     let buffer_capacity = run_capacity.min(input.len() as usize + 1);
-    let run_reservation = env.memory.try_reserve(buffer_capacity * ITEM_BYTES)?;
+    let run_reservation = env.memory.try_reserve(buffer_capacity * entry_bytes)?;
     let mut runs: Vec<ItemStream> = Vec::new();
     let mut reader = input.reader();
-    let mut buffer: Vec<Item> = Vec::with_capacity(buffer_capacity);
+    let mut buffer: Vec<SortEntry> = Vec::with_capacity(buffer_capacity);
     loop {
         let item = reader.next(env)?;
         if let Some(it) = item {
             stats.bbox = stats.bbox.union(&it.rect);
-            buffer.push(it);
+            buffer.push((key(&it), it));
         }
         if buffer.len() >= run_capacity || (item.is_none() && !buffer.is_empty()) {
-            sort_in_memory(env, &mut buffer, cmp);
+            sort_entries_in_memory(env, &mut buffer, cmp);
             let mut w = ItemStreamWriter::new(env, pages_per_block);
-            w.extend(env, &buffer)?;
+            for (_, it) in &buffer {
+                w.push(env, *it)?;
+            }
             runs.push(w.finish(env)?);
             buffer.clear();
         }
@@ -102,7 +138,7 @@ where
                 next_level.push(group[0].clone());
                 continue;
             }
-            next_level.push(merge_group(env, group, cmp, pages_per_block)?);
+            next_level.push(merge_group(env, group, key, cmp, pages_per_block)?);
         }
         runs = next_level;
     }
@@ -115,20 +151,50 @@ pub fn sort_in_memory<F>(env: &mut SimEnv, buffer: &mut [Item], cmp: F)
 where
     F: Fn(&Item, &Item) -> Ordering + Copy,
 {
-    let n = buffer.len() as u64;
+    charge_sort(env, buffer.len() as u64);
+    buffer.sort_unstable_by(cmp);
+}
+
+/// Sorts a keyed run buffer: unstable sort over the precomputed `u64` keys,
+/// comparator fallback on collisions only. Same deterministic CPU charges as
+/// [`sort_in_memory`] — the key trick changes host wall-clock, not the
+/// simulated cost model.
+fn sort_entries_in_memory<F>(env: &mut SimEnv, buffer: &mut [SortEntry], cmp: F)
+where
+    F: Fn(&Item, &Item) -> Ordering + Copy,
+{
+    charge_sort(env, buffer.len() as u64);
+    buffer.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| cmp(&a.1, &b.1)));
+}
+
+fn charge_sort(env: &mut SimEnv, n: u64) {
     if n > 1 {
         let log = (64 - n.leading_zeros()) as u64;
         env.charge(CpuOp::Compare, n * log);
         env.charge(CpuOp::ItemMove, n);
     }
-    buffer.sort_unstable_by(cmp);
 }
 
-/// One entry of the k-way merge heap.
+/// One entry of the k-way merge heap: precomputed key, record, source run.
 #[derive(Clone, Copy)]
 struct HeapEntry {
+    key: u64,
     item: Item,
     run: usize,
+}
+
+impl HeapEntry {
+    /// Key-first comparison with comparator fallback on collisions.
+    #[inline]
+    fn less_than<F>(&self, other: &HeapEntry, cmp: F) -> bool
+    where
+        F: Fn(&Item, &Item) -> Ordering,
+    {
+        self.key
+            .cmp(&other.key)
+            .then_with(|| cmp(&self.item, &other.item))
+            == Ordering::Less
+    }
 }
 
 /// Minimal binary min-heap parameterised by an external comparator.
@@ -159,7 +225,7 @@ where
         while i > 0 {
             let parent = (i - 1) / 2;
             env.charge(CpuOp::Compare, 1);
-            if (self.cmp)(&self.entries[i].item, &self.entries[parent].item) == Ordering::Less {
+            if self.entries[i].less_than(&self.entries[parent], self.cmp) {
                 self.entries.swap(i, parent);
                 i = parent;
             } else {
@@ -183,15 +249,13 @@ where
             let mut smallest = i;
             if l < self.entries.len() {
                 env.charge(CpuOp::Compare, 1);
-                if (self.cmp)(&self.entries[l].item, &self.entries[smallest].item) == Ordering::Less
-                {
+                if self.entries[l].less_than(&self.entries[smallest], self.cmp) {
                     smallest = l;
                 }
             }
             if r < self.entries.len() {
                 env.charge(CpuOp::Compare, 1);
-                if (self.cmp)(&self.entries[r].item, &self.entries[smallest].item) == Ordering::Less
-                {
+                if self.entries[r].less_than(&self.entries[smallest], self.cmp) {
                     smallest = r;
                 }
             }
@@ -205,20 +269,22 @@ where
     }
 }
 
-fn merge_group<F>(
+fn merge_group<K, F>(
     env: &mut SimEnv,
     group: &[ItemStream],
+    key: K,
     cmp: F,
     pages_per_block: u64,
 ) -> Result<ItemStream>
 where
+    K: Fn(&Item) -> u64 + Copy,
     F: Fn(&Item, &Item) -> Ordering + Copy,
 {
     let mut readers: Vec<ItemStreamReader> = group.iter().map(|s| s.reader()).collect();
     let mut heap = MergeHeap::new(cmp);
     for (run, r) in readers.iter_mut().enumerate() {
         if let Some(item) = r.next(env)? {
-            heap.push(env, HeapEntry { item, run });
+            heap.push(env, HeapEntry { key: key(&item), item, run });
         }
     }
     let mut out = ItemStreamWriter::new(env, pages_per_block);
@@ -226,7 +292,7 @@ where
         let e = heap.pop(env).expect("non-empty heap");
         out.push(env, e.item)?;
         if let Some(next) = readers[e.run].next(env)? {
-            heap.push(env, HeapEntry { item: next, run: e.run });
+            heap.push(env, HeapEntry { key: key(&next), item: next, run: e.run });
         }
     }
     out.finish(env)

@@ -56,4 +56,4 @@ pub use machine::MachineConfig;
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use sim::SimEnv;
 pub use stats::{CpuCounter, CpuOp, IoStats};
-pub use stream::{ItemStream, ItemStreamReader, ItemStreamWriter};
+pub use stream::{ItemStream, ItemStreamReader, ItemStreamWriter, ItemsView};

@@ -7,6 +7,22 @@
 //! consecutive pages; as long as a single stream is written at a time the
 //! extents themselves end up consecutive on the device and the traffic is
 //! classified as sequential.
+//!
+//! ## Zero-copy block decode
+//!
+//! Readers and writers work directly on page-laid-out byte buffers. A reader
+//! pulls each block into one reusable byte buffer
+//! ([`BlockDevice::read_pages_into`](crate::BlockDevice::read_pages_into) —
+//! no per-block allocation) and decodes records lazily on delivery; the old
+//! decode-the-whole-block-into-`Vec<Item>` staging pass is gone, and skipped
+//! records ([`ItemStream::reader_from`] starts) are never decoded at all.
+//! Bulk consumers iterate an [`ItemsView`] — a borrowed items-view over the
+//! page-resident bytes of the current block — via
+//! [`ItemStreamReader::next_view`]. Gauge reservations are per *block*: a
+//! writer claims its block buffer once (falling back to per-record growth
+//! only when the governor is too tight for a whole block), a reader re-sizes
+//! one claim per block fill, so the gauge's atomic counters leave the
+//! per-record hot path.
 
 use usj_geom::{Item, ITEM_BYTES};
 
@@ -24,6 +40,64 @@ pub const ITEMS_PER_PAGE: usize = PAGE_SIZE / ITEM_BYTES;
 /// 64 pages × 8 KiB = 512 KiB, the logical page size the paper uses for the
 /// stream-based algorithms to exploit sequential disk access.
 pub const DEFAULT_PAGES_PER_BLOCK: u64 = 64;
+
+/// Byte offset of record `i` within a page-laid-out block buffer.
+///
+/// Items never straddle a page boundary: each page holds exactly
+/// [`ITEMS_PER_PAGE`] records and the remaining tail bytes are unused,
+/// mirroring the paper's fixed 20-byte record files.
+#[inline]
+fn record_offset(i: usize) -> usize {
+    (i / ITEMS_PER_PAGE) * PAGE_SIZE + (i % ITEMS_PER_PAGE) * ITEM_BYTES
+}
+
+/// A borrowed items-view over the page-resident bytes of one stream block.
+///
+/// The view indexes records in place — nothing is decoded until a record is
+/// actually requested, and no intermediate `Vec<Item>` is materialised.
+/// Obtained from [`ItemStreamReader::next_view`].
+#[derive(Debug, Clone, Copy)]
+pub struct ItemsView<'a> {
+    bytes: &'a [u8],
+    /// Index of the first viewed record within the block.
+    start: usize,
+    len: usize,
+}
+
+impl<'a> ItemsView<'a> {
+    /// Number of records in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the view holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Decodes the record at index `i` (`0 <= i < len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> Item {
+        assert!(i < self.len, "view index {i} out of bounds ({})", self.len);
+        let off = record_offset(self.start + i);
+        Item::decode(&self.bytes[off..off + ITEM_BYTES])
+    }
+
+    /// Iterates over the records, decoding each lazily.
+    pub fn iter(&self) -> impl Iterator<Item = Item> + 'a {
+        let (bytes, start) = (self.bytes, self.start);
+        (0..self.len).map(move |i| {
+            let off = record_offset(start + i);
+            Item::decode(&bytes[off..off + ITEM_BYTES])
+        })
+    }
+}
 
 /// A stream of [`Item`] records stored on the simulated disk.
 #[derive(Debug, Clone)]
@@ -92,7 +166,8 @@ impl ItemStream {
 
     /// Creates a reader positioned at record `start` (clamped to the stream
     /// length). Blocks before the start are never read — only the block
-    /// containing `start` pays for the records in front of it.
+    /// containing `start` pays for the records in front of it — and the
+    /// skipped records at the front of that block are never even decoded.
     pub fn reader_from(&self, start: u64) -> ItemStreamReader {
         let items_per_block = self.pages_per_block * ITEMS_PER_PAGE as u64;
         let (block, delivered, skip) = if start >= self.len {
@@ -108,9 +183,10 @@ impl ItemStream {
         ItemStreamReader {
             stream: self.clone(),
             next_block: block,
-            buffer: Vec::new(),
+            block: Vec::new(),
+            in_block: 0,
+            pos: 0,
             reservation: None,
-            buffer_pos: 0,
             items_delivered: delivered,
             pending_skip: skip,
         }
@@ -175,24 +251,46 @@ impl ItemStream {
 
     /// Reads the entire stream into memory (one sequential pass).
     pub fn read_all(&self, env: &mut SimEnv) -> Result<Vec<Item>> {
-        let mut out = Vec::with_capacity(self.len as usize);
-        let mut r = self.reader();
-        while let Some(it) = r.next(env)? {
-            out.push(it);
-        }
+        let mut out = Vec::new();
+        self.read_all_into(env, &mut out)?;
         Ok(out)
+    }
+
+    /// Reads the entire stream into a caller-provided buffer (cleared first),
+    /// one sequential pass through borrowed block views.
+    ///
+    /// Callers that load many streams in a row (PBSM loads one pair of
+    /// partition streams per partition) reuse one buffer instead of
+    /// allocating per load.
+    pub fn read_all_into(&self, env: &mut SimEnv, out: &mut Vec<Item>) -> Result<()> {
+        out.clear();
+        out.reserve(self.len as usize);
+        let mut r = self.reader();
+        while let Some(view) = r.next_view(env)? {
+            out.extend(view.iter());
+        }
+        Ok(())
     }
 }
 
 /// Incremental writer producing an [`ItemStream`].
+///
+/// Records are encoded straight into a page-laid-out block buffer (no
+/// `Vec<Item>` staging, no per-flush allocation). The buffer's gauge claim is
+/// made once per writer — per-*block*, not per-record — with a graceful
+/// fallback to per-record growth when the governor cannot spare a whole
+/// block up front.
 #[derive(Debug)]
 pub struct ItemStreamWriter {
     extents: Vec<PageId>,
     pages_per_block: u64,
-    buffer: Vec<Item>,
-    /// Gauge claim on the block buffer, grown per record and released on
-    /// every flush, so partially filled buffers are charged exactly.
+    /// Page-laid-out bytes of the block being filled.
+    buf: Vec<u8>,
+    items_in_buf: usize,
+    /// Gauge claim on the block buffer (see the struct docs).
     reservation: MemoryReservation,
+    /// Whether `reservation` covers a whole block's records up front.
+    block_reserved: bool,
     len: u64,
     finished: bool,
 }
@@ -209,8 +307,10 @@ impl ItemStreamWriter {
         ItemStreamWriter {
             extents: Vec::new(),
             pages_per_block,
-            buffer: Vec::with_capacity((pages_per_block as usize) * ITEMS_PER_PAGE),
+            buf: Vec::new(),
+            items_in_buf: 0,
             reservation: env.memory.reserve_empty(),
+            block_reserved: false,
             len: 0,
             finished: false,
         }
@@ -225,10 +325,33 @@ impl ItemStreamWriter {
         if self.finished {
             return Err(IoSimError::InvalidStreamState("push after finish"));
         }
-        self.reservation.try_grow(ITEM_BYTES)?;
-        self.buffer.push(item);
+        if !self.block_reserved {
+            if self.items_in_buf == 0
+                && self
+                    .reservation
+                    .try_set(self.items_per_block() * ITEM_BYTES)
+                    .is_ok()
+            {
+                // One gauge transaction covers the whole block; held until
+                // `finish` so subsequent blocks are free of gauge traffic.
+                self.block_reserved = true;
+            } else {
+                // Governor too tight for a whole block: degrade to exact
+                // per-record accounting, as before the block-granular path.
+                self.reservation.try_grow(ITEM_BYTES)?;
+            }
+        }
+        let off = record_offset(self.items_in_buf);
+        if self.buf.len() < off + ITEM_BYTES {
+            // Grow to the next page boundary; `resize` zero-fills the page
+            // tails that pad records to page granularity.
+            let pages = self.items_in_buf / ITEMS_PER_PAGE + 1;
+            self.buf.resize(pages * PAGE_SIZE, 0);
+        }
+        item.encode(&mut self.buf[off..off + ITEM_BYTES]);
+        self.items_in_buf += 1;
         self.len += 1;
-        if self.buffer.len() >= self.items_per_block() {
+        if self.items_in_buf >= self.items_per_block() {
             self.flush_block(env)?;
         }
         Ok(())
@@ -243,25 +366,19 @@ impl ItemStreamWriter {
     }
 
     fn flush_block(&mut self, env: &mut SimEnv) -> Result<()> {
-        if self.buffer.is_empty() {
+        if self.items_in_buf == 0 {
             return Ok(());
         }
-        let pages_needed = (self.buffer.len() as u64).div_ceil(ITEMS_PER_PAGE as u64);
+        let pages_needed = (self.items_in_buf as u64).div_ceil(ITEMS_PER_PAGE as u64);
         let first = env.device.allocate(pages_needed);
-        let mut bytes = vec![0u8; (pages_needed as usize) * PAGE_SIZE];
-        for (i, it) in self.buffer.iter().enumerate() {
-            // Items never straddle a page boundary: each page holds exactly
-            // ITEMS_PER_PAGE records and the remaining tail bytes are unused,
-            // mirroring the paper's fixed 20-byte record files.
-            let page_idx = i / ITEMS_PER_PAGE;
-            let offset = page_idx * PAGE_SIZE + (i % ITEMS_PER_PAGE) * ITEM_BYTES;
-            it.encode(&mut bytes[offset..offset + ITEM_BYTES]);
-        }
-        env.charge(CpuOp::ItemMove, self.buffer.len() as u64);
-        env.device.write_pages(first, pages_needed, &bytes)?;
+        env.charge(CpuOp::ItemMove, self.items_in_buf as u64);
+        env.device.write_pages(first, pages_needed, &self.buf)?;
         self.extents.push(first);
-        self.buffer.clear();
-        self.reservation.release();
+        self.buf.clear();
+        self.items_in_buf = 0;
+        if !self.block_reserved {
+            self.reservation.release();
+        }
         Ok(())
     }
 
@@ -269,6 +386,7 @@ impl ItemStreamWriter {
     pub fn finish(mut self, env: &mut SimEnv) -> Result<ItemStream> {
         self.flush_block(env)?;
         self.finished = true;
+        self.reservation.release();
         Ok(ItemStream {
             extents: std::mem::take(&mut self.extents),
             pages_per_block: self.pages_per_block,
@@ -278,20 +396,28 @@ impl ItemStreamWriter {
 }
 
 /// Sequential reader over an [`ItemStream`].
+///
+/// One reusable byte buffer holds the page-resident bytes of the current
+/// block; records are decoded lazily on delivery (or iterated in place
+/// through [`next_view`](ItemStreamReader::next_view)).
 #[derive(Debug)]
 pub struct ItemStreamReader {
     stream: ItemStream,
     next_block: usize,
-    buffer: Vec<Item>,
-    /// Gauge claim on the block buffer, (re)established on every refill.
-    /// `None` until the first block is read (readers are created without an
-    /// environment).
+    /// Raw page bytes of the current block (reused across blocks).
+    block: Vec<u8>,
+    /// Records resident in `block`.
+    in_block: usize,
+    /// Index of the next record to deliver within `block`.
+    pos: usize,
+    /// Gauge claim on the block buffer, (re)sized on every refill — one
+    /// gauge transaction per block. `None` until the first block is read
+    /// (readers are created without an environment).
     reservation: Option<MemoryReservation>,
-    buffer_pos: usize,
     items_delivered: u64,
     /// Records to step over inside the first block read (a
     /// [`reader_from`](ItemStream::reader_from) start that is not
-    /// block-aligned).
+    /// block-aligned). Skipped records are never decoded.
     pending_skip: u64,
 }
 
@@ -303,21 +429,43 @@ impl ItemStreamReader {
 
     /// Returns the next record, or `None` at end of stream.
     pub fn next(&mut self, env: &mut SimEnv) -> Result<Option<Item>> {
-        if self.buffer_pos >= self.buffer.len() && !self.fill(env)? {
+        if self.pos >= self.in_block && !self.fill(env)? {
             return Ok(None);
         }
-        let it = self.buffer[self.buffer_pos];
-        self.buffer_pos += 1;
+        let off = record_offset(self.pos);
+        let it = Item::decode(&self.block[off..off + ITEM_BYTES]);
+        self.pos += 1;
         self.items_delivered += 1;
         Ok(Some(it))
     }
 
     /// Returns the next record without consuming it.
     pub fn peek(&mut self, env: &mut SimEnv) -> Result<Option<Item>> {
-        if self.buffer_pos >= self.buffer.len() && !self.fill(env)? {
+        if self.pos >= self.in_block && !self.fill(env)? {
             return Ok(None);
         }
-        Ok(self.buffer.get(self.buffer_pos).copied())
+        let off = record_offset(self.pos);
+        Ok(Some(Item::decode(&self.block[off..off + ITEM_BYTES])))
+    }
+
+    /// Returns a borrowed view over every not-yet-delivered record of the
+    /// current block (reading the next block if the buffer is drained), or
+    /// `None` at end of stream. The viewed records count as delivered.
+    ///
+    /// This is the bulk-iteration path: one `next_view` call per block, no
+    /// per-record state updates, no intermediate `Vec<Item>`.
+    pub fn next_view(&mut self, env: &mut SimEnv) -> Result<Option<ItemsView<'_>>> {
+        if self.pos >= self.in_block && !self.fill(env)? {
+            return Ok(None);
+        }
+        let view = ItemsView {
+            bytes: &self.block,
+            start: self.pos,
+            len: self.in_block - self.pos,
+        };
+        self.items_delivered += view.len as u64;
+        self.pos = self.in_block;
+        Ok(Some(view))
     }
 
     fn fill(&mut self, env: &mut SimEnv) -> Result<bool> {
@@ -341,23 +489,19 @@ impl ItemStreamReader {
             }
         }
         let first = self.stream.extents[self.next_block];
-        let bytes = env.device.read_pages(first, pages)?;
-        self.buffer.clear();
-        self.buffer.reserve(in_this_block as usize);
-        for i in 0..in_this_block as usize {
-            let page_idx = i / ITEMS_PER_PAGE;
-            let offset = page_idx * PAGE_SIZE + (i % ITEMS_PER_PAGE) * ITEM_BYTES;
-            self.buffer.push(Item::decode(&bytes[offset..offset + ITEM_BYTES]));
-        }
+        env.device.read_pages_into(first, pages, &mut self.block)?;
         env.charge(CpuOp::ItemMove, in_this_block);
-        self.buffer_pos = 0;
+        self.in_block = in_this_block as usize;
+        self.pos = 0;
         self.next_block += 1;
         if self.pending_skip > 0 {
-            let skip = self.pending_skip.min(self.buffer.len() as u64);
-            self.buffer_pos = skip as usize;
+            // Step over the records in front of a mid-block start without
+            // decoding them.
+            let skip = self.pending_skip.min(self.in_block as u64);
+            self.pos = skip as usize;
             self.items_delivered += skip;
             self.pending_skip = 0;
-            if self.buffer_pos >= self.buffer.len() {
+            if self.pos >= self.in_block {
                 return self.fill(env);
             }
         }
@@ -547,5 +691,144 @@ mod tests {
         let s2 = w2.finish(&mut env).unwrap();
         assert_eq!(s1.read_all(&mut env).unwrap(), d1);
         assert_eq!(s2.read_all(&mut env).unwrap(), d2);
+    }
+
+    #[test]
+    fn view_iteration_equals_owned_decode_item_for_item() {
+        let mut env = env();
+        // Multiple blocks plus a partial tail block.
+        let data = items((ITEMS_PER_PAGE as u32) * 6 + 11);
+        let s = ItemStream::from_items_with_block(&mut env, &data, 2).unwrap();
+
+        // Owned path: record-at-a-time decode.
+        let mut owned = Vec::new();
+        let mut r = s.reader();
+        while let Some(it) = r.next(&mut env).unwrap() {
+            owned.push(it);
+        }
+
+        // Borrowed path: block views, indexed and iterated.
+        let mut viewed = Vec::new();
+        let mut r = s.reader();
+        while let Some(view) = r.next_view(&mut env).unwrap() {
+            assert!(!view.is_empty());
+            for i in 0..view.len() {
+                viewed.push(view.get(i));
+            }
+            // The iterator decodes the same records as indexed access.
+            assert!(view.iter().eq(viewed[viewed.len() - view.len()..].iter().copied()));
+        }
+
+        assert_eq!(owned, data);
+        assert_eq!(viewed, data);
+        assert_eq!(r.items_delivered(), data.len() as u64);
+    }
+
+    #[test]
+    fn view_iteration_matches_owned_on_mid_stream_starts() {
+        let mut env = env();
+        let data = items((ITEMS_PER_PAGE as u32) * 4 + 5);
+        let s = ItemStream::from_items_with_block(&mut env, &data, 2).unwrap();
+        let items_per_block = 2 * ITEMS_PER_PAGE as u64;
+        for start in [1u64, items_per_block - 1, items_per_block + 17, s.len() - 1] {
+            let mut owned = Vec::new();
+            let mut r = s.reader_from(start);
+            while let Some(it) = r.next(&mut env).unwrap() {
+                owned.push(it);
+            }
+            let mut viewed = Vec::new();
+            let mut r = s.reader_from(start);
+            while let Some(view) = r.next_view(&mut env).unwrap() {
+                viewed.extend(view.iter());
+            }
+            assert_eq!(owned, data[start as usize..], "start {start}");
+            assert_eq!(viewed, owned, "start {start}");
+        }
+    }
+
+    #[test]
+    fn views_read_identically_from_a_base_snapshot_overlay() {
+        use crate::device::BlockDevice;
+
+        let mut env = env();
+        let data = items((ITEMS_PER_PAGE as u32) * 3 + 7);
+        let s = ItemStream::from_items_with_block(&mut env, &data, 2).unwrap();
+
+        // Freeze the device and layer a fresh one on top: the stream's pages
+        // now come from the read-only base snapshot.
+        let base = env.device.snapshot();
+        let mut overlay_env = SimEnv::new(MachineConfig::machine3());
+        overlay_env.device = BlockDevice::with_base(base);
+
+        let mut viewed = Vec::new();
+        let mut r = s.reader();
+        while let Some(view) = r.next_view(&mut overlay_env).unwrap() {
+            viewed.extend(view.iter());
+        }
+        assert_eq!(viewed, data);
+        // Snapshot reads are charged like any other read.
+        assert_eq!(overlay_env.device.stats().pages_read, s.pages());
+        // The mid-stream path works over the overlay too.
+        let mut tail = Vec::new();
+        let mut r = s.reader_from(s.len() - 3);
+        while let Some(view) = r.next_view(&mut overlay_env).unwrap() {
+            tail.extend(view.iter());
+        }
+        assert_eq!(tail, data[data.len() - 3..]);
+    }
+
+    #[test]
+    fn read_all_into_reuses_the_buffer() {
+        let mut env = env();
+        let a = items(ITEMS_PER_PAGE as u32 + 3);
+        let b = items(7);
+        let sa = ItemStream::from_items_with_block(&mut env, &a, 1).unwrap();
+        let sb = ItemStream::from_items_with_block(&mut env, &b, 1).unwrap();
+        let mut buf = Vec::new();
+        sa.read_all_into(&mut env, &mut buf).unwrap();
+        assert_eq!(buf, a);
+        let cap = buf.capacity();
+        sb.read_all_into(&mut env, &mut buf).unwrap();
+        assert_eq!(buf, b);
+        assert!(buf.capacity() >= cap, "read_all_into must not shrink the buffer");
+    }
+
+    #[test]
+    fn writer_claims_blocks_not_records_from_the_gauge() {
+        let mut env = env();
+        let block_payload = ITEMS_PER_PAGE * ITEM_BYTES;
+        let mut w = ItemStreamWriter::new(&mut env, 1);
+        assert_eq!(env.memory.current(), 0, "no claim before the first record");
+        w.push(&mut env, items(1)[0]).unwrap();
+        assert_eq!(
+            env.memory.current(),
+            block_payload,
+            "the first record claims the whole block"
+        );
+        w.extend(&mut env, &items(ITEMS_PER_PAGE as u32 * 2)).unwrap();
+        assert_eq!(
+            env.memory.current(),
+            block_payload,
+            "later records and flushes cause no gauge traffic"
+        );
+        let s = w.finish(&mut env).unwrap();
+        assert_eq!(env.memory.current(), 0, "finish releases the claim");
+        assert_eq!(s.len(), 1 + 2 * ITEMS_PER_PAGE as u64);
+    }
+
+    #[test]
+    fn writer_degrades_to_per_record_claims_under_a_tight_governor() {
+        // A limit below one default block: the writer must still work,
+        // charging record-granular claims like the pre-block-granular path.
+        let mut env = SimEnv::new(MachineConfig::machine3()).with_memory_limit(4096);
+        let mut w = ItemStreamWriter::new(&mut env, DEFAULT_PAGES_PER_BLOCK);
+        let data = items(100);
+        for it in &data {
+            w.push(&mut env, *it).unwrap();
+        }
+        assert_eq!(env.memory.current(), 100 * ITEM_BYTES);
+        let s = w.finish(&mut env).unwrap();
+        assert_eq!(env.memory.current(), 0);
+        assert_eq!(s.read_all(&mut env).unwrap(), data);
     }
 }

@@ -107,15 +107,20 @@ pub fn bulk_load_stream(
     if bbox.is_empty() {
         bbox = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
     }
-    // Pass 2: external sort by Hilbert value of the centre point.
+    // Pass 2: external sort by Hilbert value of the centre point. The value
+    // is the sort's u64 key, so the run sorts and the merge heap compare
+    // precomputed keys instead of re-deriving the Hilbert curve position on
+    // every comparison.
     let space = bbox;
-    let (sorted, _) = extsort::external_sort_by(env, input, move |a, b| {
-        let ca = a.rect.center();
-        let cb = b.rect.center();
-        hilbert::hilbert_value(ca.x, ca.y, &space)
-            .cmp(&hilbert::hilbert_value(cb.x, cb.y, &space))
-            .then_with(|| a.cmp_by_lower_y(b))
-    })?;
+    let (sorted, _) = extsort::external_sort_by_key(
+        env,
+        input,
+        move |it| {
+            let c = it.rect.center();
+            hilbert::hilbert_value(c.x, c.y, &space)
+        },
+        Item::cmp_by_lower_y,
+    )?;
     // Pass 3: pack nodes from the sorted stream.
     let mut sorted_reader = sorted.reader();
     let mut next = move |env: &mut SimEnv| -> Result<Option<Item>> { sorted_reader.next(env) };

@@ -222,7 +222,8 @@ impl Catalog {
         if self.by_name.contains_key(name) {
             return Err(ServiceError::DuplicateDataset(name.to_string()));
         }
-        let (sorted, stats) = extsort::external_sort_by(env, stream, Item::cmp_by_lower_y)?;
+        let (sorted, stats) =
+            extsort::external_sort_by_key(env, stream, Item::sweep_key, Item::cmp_by_lower_y)?;
         let bbox = if stats.bbox.is_empty() {
             Rect::from_coords(0.0, 0.0, 1.0, 1.0)
         } else {

@@ -187,6 +187,24 @@ where
     sweep_join_eps::<S, F>(left, right, 0.0, report)
 }
 
+/// Reusable sorted-copy buffers for [`sweep_join_eps_with`].
+///
+/// One in-memory sweep needs a sorted copy of each input. Callers that run
+/// many sweeps in a row (PBSM joins one per partition, ST one per node pair)
+/// keep a scratch around so the copies stop allocating fresh vectors.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    left: Vec<Item>,
+    right: Vec<Item>,
+}
+
+impl SweepScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        SweepScratch::default()
+    }
+}
+
 /// [`sweep_join`] with ε-expansion of the left input.
 ///
 /// Every left rectangle is grown by `eps` on all sides before the sweep, so
@@ -198,16 +216,33 @@ where
 /// Expanding only one side keeps the test symmetric (`d(a, b) <= eps` is
 /// symmetric) while shifting every left sort key by the same constant, which
 /// preserves the sorted order the sweep relies on.
-pub fn sweep_join_eps<S, F>(left: &[Item], right: &[Item], eps: f32, mut report: F) -> SweepJoinStats
+pub fn sweep_join_eps<S, F>(left: &[Item], right: &[Item], eps: f32, report: F) -> SweepJoinStats
 where
     S: SweepStructure,
     F: FnMut(&Item, &Item),
 {
-    let mut l: Vec<Item> = left
-        .iter()
-        .map(|it| Item::new(it.rect.expanded(eps), it.id))
-        .collect();
-    let mut r: Vec<Item> = right.to_vec();
+    sweep_join_eps_with::<S, F>(left, right, eps, &mut SweepScratch::new(), report)
+}
+
+/// [`sweep_join_eps`] with caller-provided scratch buffers for the sorted
+/// input copies (see [`SweepScratch`]).
+pub fn sweep_join_eps_with<S, F>(
+    left: &[Item],
+    right: &[Item],
+    eps: f32,
+    scratch: &mut SweepScratch,
+    mut report: F,
+) -> SweepJoinStats
+where
+    S: SweepStructure,
+    F: FnMut(&Item, &Item),
+{
+    let l = &mut scratch.left;
+    let r = &mut scratch.right;
+    l.clear();
+    l.extend(left.iter().map(|it| Item::new(it.rect.expanded(eps), it.id)));
+    r.clear();
+    r.extend_from_slice(right);
     l.sort_unstable_by(Item::cmp_by_lower_y);
     r.sort_unstable_by(Item::cmp_by_lower_y);
 

@@ -2,29 +2,69 @@
 //!
 //! This is the structure used by most earlier spatial-join implementations
 //! (including the original PBSM and the R-tree tree join): the active
-//! rectangles of each input are kept in a single unordered list, every query
-//! scans the entire list, and expired entries are removed when the sweep
-//! line passes them.
+//! rectangles of each input are kept in a single unordered list and every
+//! query scans the entire list.
+//!
+//! This implementation keeps the resident set in struct-of-arrays layout
+//! (see the `soa` module): the overlap scan reads three packed `f32` arrays
+//! with a branch-light comparison, and expiration is lazy — an expiry
+//! min-heap keeps the exact live count and expiration totals while
+//! passed items linger as tombstones until a batched compaction reclaims
+//! them. Identical pair sequences and counters to the eager
+//! [`ListSweep`](crate::ListSweep) reference kernel, without the `O(n)`
+//! `retain` on every push.
 
 use usj_geom::Item;
 
+use crate::soa::{ExpiryHeap, SoaBuf};
 use crate::structure::{SweepStats, SweepStructure};
 
-/// Unordered active-list interval structure.
-#[derive(Debug, Default)]
+/// Compact once tombstones exceed physical entries / denominator: the
+/// threshold keeps the scan overhead of tombstones bounded while the
+/// batched compaction itself stays amortized-constant per insert.
+const COMPACT_DENOMINATOR: usize = 4;
+
+/// Never compact below this many tombstones — small resident sets would
+/// otherwise hit the threshold every few expirations and thrash the arrays
+/// with `O(n)` copies whose batching is the whole point.
+const COMPACT_FLOOR: usize = 64;
+
+/// Unordered active-list interval structure in struct-of-arrays layout with
+/// lazy batched expiration.
+#[derive(Debug)]
 pub struct ForwardSweep {
-    active: Vec<Item>,
+    buf: SoaBuf,
+    heap: ExpiryHeap,
+    /// Entries with `y_hi < cut` are tombstones (logically expired).
+    cut: f32,
+    /// Tombstoned entries still physically present in `buf`.
+    dead: usize,
     stats: SweepStats,
+}
+
+impl Default for ForwardSweep {
+    fn default() -> Self {
+        ForwardSweep::new()
+    }
 }
 
 impl ForwardSweep {
     /// Creates an empty structure.
     pub fn new() -> Self {
-        ForwardSweep::default()
+        ForwardSweep {
+            buf: SoaBuf::default(),
+            heap: ExpiryHeap::default(),
+            // The tombstone threshold must start below every possible
+            // y-coordinate (a zero-default would silently tombstone
+            // negative-y items).
+            cut: f32::NEG_INFINITY,
+            dead: 0,
+            stats: SweepStats::default(),
+        }
     }
 
     fn note_size(&mut self) {
-        self.stats.max_resident = self.stats.max_resident.max(self.active.len());
+        self.stats.max_resident = self.stats.max_resident.max(self.heap.len());
         self.stats.max_bytes = self.stats.max_bytes.max(self.bytes());
     }
 }
@@ -35,35 +75,47 @@ impl SweepStructure for ForwardSweep {
     }
 
     fn insert(&mut self, item: Item) {
-        self.active.push(item);
+        self.buf.push(&item);
+        self.heap.push(item.rect.hi.y, 1);
         self.stats.inserts += 1;
         self.note_size();
     }
 
     fn expire_before(&mut self, y: f32) -> usize {
-        let before = self.active.len();
-        self.active.retain(|it| it.rect.hi.y >= y);
-        let removed = before - self.active.len();
+        if y > self.cut {
+            self.cut = y;
+        }
+        let cut = self.cut;
+        let mut removed = 0;
+        while self.heap.pop_if(|top| top < cut).is_some() {
+            removed += 1;
+        }
+        self.dead += removed;
         self.stats.expirations += removed as u64;
+        if self.dead >= COMPACT_FLOOR && self.dead * COMPACT_DENOMINATOR > self.buf.len() {
+            self.buf.compact(cut);
+            self.dead = 0;
+        }
         removed
     }
 
     fn query<F: FnMut(&Item)>(&mut self, query: &Item, mut report: F) {
-        let qx = query.rect.x_interval();
-        for it in &self.active {
-            self.stats.rect_tests += 1;
-            if qx.overlaps(&it.rect.x_interval()) {
-                report(it);
-            }
-        }
+        // Tombstones are skipped without being counted — the eager reference
+        // kernel never saw them either (`scan_overlaps` only counts live
+        // entries).
+        let buf = &self.buf;
+        let tests = buf.scan_overlaps(self.cut, query.rect.lo.x, query.rect.hi.x, |i| {
+            report(&buf.item(i));
+        });
+        self.stats.rect_tests += tests;
     }
 
     fn len(&self) -> usize {
-        self.active.len()
+        self.heap.len()
     }
 
     fn bytes(&self) -> usize {
-        self.active.len() * std::mem::size_of::<Item>()
+        self.buf.len() * std::mem::size_of::<Item>() + self.heap.bytes()
     }
 
     fn stats(&self) -> SweepStats {
@@ -123,6 +175,22 @@ mod tests {
     }
 
     #[test]
+    fn expired_items_are_never_reported_even_before_compaction() {
+        let mut s = ForwardSweep::new();
+        // Many short-lived items plus one survivor: the tombstone density
+        // stays below the compaction threshold after the first expiration,
+        // so the query must skip tombstones by itself.
+        s.insert(item(0.0, 0.0, 1.0, 1.0, 1));
+        s.insert(item(0.0, 0.0, 1.0, 10.0, 2));
+        s.insert(item(0.0, 0.0, 1.0, 10.0, 3));
+        assert_eq!(s.expire_before(2.0), 1);
+        let q = item(0.0, 2.0, 1.0, 3.0, 99);
+        assert_eq!(collect_query(&mut s, &q), vec![2, 3]);
+        // Tombstones are not rectangle-tested either.
+        assert_eq!(s.stats().rect_tests, 2);
+    }
+
+    #[test]
     fn stats_track_inserts_tests_and_memory() {
         let mut s = ForwardSweep::new();
         for i in 0..10 {
@@ -136,7 +204,8 @@ mod tests {
         assert_eq!(st.inserts, 10);
         assert_eq!(st.rect_tests, 10);
         assert_eq!(st.max_resident, 10);
-        assert_eq!(st.max_bytes, 10 * std::mem::size_of::<Item>());
+        // 20 payload bytes per entry plus 8 bytes of expiry bookkeeping.
+        assert_eq!(st.max_bytes, 10 * (std::mem::size_of::<Item>() + 8));
         s.expire_before(100.0);
         assert_eq!(s.stats().expirations, 10);
     }
@@ -146,5 +215,18 @@ mod tests {
         let s = ForwardSweep::with_extent(0.0, 100.0);
         assert!(s.is_empty());
         assert_eq!(ForwardSweep::name(), "Forward-Sweep");
+    }
+
+    #[test]
+    fn default_instance_handles_negative_coordinates() {
+        // Regression: a derived Default once left the tombstone cut at 0.0,
+        // silently hiding items that live entirely below y = 0.
+        let mut s = ForwardSweep::default();
+        s.insert(item(-5.0, -10.0, -4.0, -1.0, 1));
+        assert_eq!(s.len(), 1);
+        let q = item(-4.5, -9.0, -4.2, -8.0, 99);
+        assert_eq!(collect_query(&mut s, &q), vec![1]);
+        assert_eq!(s.expire_before(-0.5), 1);
+        assert!(s.is_empty());
     }
 }

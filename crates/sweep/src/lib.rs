@@ -15,6 +15,14 @@
 //!   only inspect the strips they intersect. The SSSJ paper measured it to be
 //!   2–5× faster than the alternatives on real data.
 //!
+//! Both structures keep their resident sets in **struct-of-arrays layout**
+//! with **lazy batched expiration** (see [`soa`](crate::forward) docs): the
+//! overlap scan streams packed coordinate arrays and the per-push `O(n)`
+//! expiration `retain` of the naive kernel is replaced by an exact expiry
+//! heap plus threshold-triggered tombstone compaction. The pre-optimization
+//! list kernel survives as [`ListSweep`] — the differential-testing oracle
+//! and the wall-clock baseline of the `hotpath` benchmark.
+//!
 //! The [`SweepDriver`] consumes two y-sorted item sequences (in-memory slices
 //! or, in the join crate, streams extracted from R-trees) and produces the
 //! intersecting pairs plus detailed operation counts, which the simulation
@@ -31,14 +39,20 @@
 
 pub mod driver;
 pub mod forward;
+pub mod reference;
+mod soa;
 pub mod spill;
 pub mod striped;
 pub mod structure;
 
-pub use driver::{sweep_join, sweep_join_count, sweep_join_eps, Side, SweepDriver, SweepJoinStats};
+pub use driver::{
+    sweep_join, sweep_join_count, sweep_join_eps, sweep_join_eps_with, Side, SweepDriver,
+    SweepJoinStats, SweepScratch,
+};
 pub use forward::ForwardSweep;
+pub use reference::{EagerStripedSweep, ListSweep};
 pub use spill::SpillingSweepDriver;
-pub use striped::StripedSweep;
+pub use striped::{StripedSweep, INITIAL_STRIPS, MAX_STRIPS, TARGET_PER_STRIP};
 pub use structure::{SweepStats, SweepStructure};
 
 // Property-based tests need the external `proptest` crate, which the

@@ -6,7 +6,9 @@ use usj_geom::{Item, Rect};
 use usj_io::{MachineConfig, SimEnv};
 use usj_proptest::{forall, Gen};
 
-use crate::{sweep_join, ForwardSweep, Side, SpillingSweepDriver, StripedSweep, SweepStructure};
+use crate::{
+    sweep_join, ForwardSweep, ListSweep, Side, SpillingSweepDriver, StripedSweep, SweepStructure,
+};
 
 fn arb_items(g: &mut Gen, max_len: usize, id_base: u32) -> Vec<Item> {
     let mut next = 0u32;
@@ -96,6 +98,48 @@ fn striped_sweep_never_tests_more_than_forward_on_point_like_data() {
         let s = sweep_join::<StripedSweep, _>(&l, &r, |_, _| {});
         assert!(s.rect_tests <= f.rect_tests);
         assert_eq!(f.pairs, s.pairs);
+    });
+}
+
+#[test]
+fn soa_kernels_match_the_naive_list_sweep() {
+    // The differential satellite: the optimized SoA kernels must report the
+    // exact pair set of the naive eager list sweep on arbitrary workloads,
+    // and their stats bookkeeping must balance.
+    forall!(64, |g| {
+        let left = arb_items(g, 80, 0);
+        let right = arb_items(g, 80, 10_000);
+        let reference = run::<ListSweep>(&left, &right);
+        assert_eq!(run::<ForwardSweep>(&left, &right), reference);
+        assert_eq!(run::<StripedSweep>(&left, &right), reference);
+    });
+}
+
+#[test]
+fn soa_kernel_stats_invariants_hold_on_arbitrary_sweeps() {
+    forall!(64, |g| {
+        let mut items = arb_items(g, 120, 0);
+        items.sort_unstable_by(Item::cmp_by_lower_y);
+        fn drive<S: SweepStructure>(items: &[Item]) {
+            let mut s = S::with_extent(-100.0, 130.0);
+            for it in items {
+                s.expire_before(it.rect.lo.y);
+                s.insert(*it);
+                let st = s.stats();
+                // inserts = expirations + live residents, at every step.
+                assert_eq!(st.inserts, st.expirations + s.len() as u64, "{}", S::name());
+                // max_bytes is monotone vs the resident count.
+                assert!(st.max_resident >= s.len());
+                assert!(st.max_bytes >= s.len() * std::mem::size_of::<Item>());
+            }
+            s.expire_before(f32::INFINITY);
+            let st = s.stats();
+            assert_eq!(st.expirations, st.inserts);
+            assert!(s.is_empty());
+        }
+        drive::<ForwardSweep>(&items);
+        drive::<StripedSweep>(&items);
+        drive::<ListSweep>(&items);
     });
 }
 

@@ -1,0 +1,362 @@
+//! Shared building blocks of the struct-of-arrays interval structures.
+//!
+//! Both [`ForwardSweep`](crate::ForwardSweep) and
+//! [`StripedSweep`](crate::StripedSweep) keep their resident sets in a
+//! [`SoaBuf`]: five parallel arrays (`x_lo`, `x_hi`, `y_lo`, `y_hi`, `id`)
+//! instead of a `Vec<Item>`. The interval-overlap scan then touches three
+//! tightly packed `f32` streams with no pointer chasing and a branch-light
+//! inner comparison, which the compiler can unroll and vectorize.
+//!
+//! Expiration is *lazy*: passing the sweep line over an item's upper edge
+//! only pops its entry from an [`ExpiryHeap`] (exact counters, `O(log n)`)
+//! and leaves the array entry behind as a tombstone that scans skip with a
+//! single `y_hi >= cut` comparison. Tombstones are reclaimed in batches by
+//! [`SoaBuf::compact`] once their density crosses a threshold, so the
+//! per-push `O(n)` `retain` of the old list kernel disappears from the hot
+//! path while every reported pair and every counter stays identical.
+
+use usj_geom::{Item, Point, Rect};
+
+/// Struct-of-arrays storage for one resident set (or one strip of it).
+///
+/// Entries are append-only between [`SoaBuf::compact`] calls; logical
+/// deletion is the caller's `y_hi < cut` tombstone test.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SoaBuf {
+    /// Lower x-coordinates of the stored rectangles.
+    pub x_lo: Vec<f32>,
+    /// Upper x-coordinates.
+    pub x_hi: Vec<f32>,
+    /// Lower y-coordinates (only needed to reconstruct reported items).
+    pub y_lo: Vec<f32>,
+    /// Upper y-coordinates — the expiry positions the scans and the
+    /// tombstone test compare against.
+    pub y_hi: Vec<f32>,
+    /// Object identifiers.
+    pub id: Vec<u32>,
+}
+
+impl SoaBuf {
+    /// Number of physical entries (live + tombstoned).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.x_lo.len()
+    }
+
+    /// Appends one item.
+    #[inline]
+    pub fn push(&mut self, item: &Item) {
+        self.x_lo.push(item.rect.lo.x);
+        self.x_hi.push(item.rect.hi.x);
+        self.y_lo.push(item.rect.lo.y);
+        self.y_hi.push(item.rect.hi.y);
+        self.id.push(item.id);
+    }
+
+    /// Reconstructs the full item stored at index `i`.
+    #[inline]
+    pub fn item(&self, i: usize) -> Item {
+        Item::new(
+            Rect::new(
+                Point::new(self.x_lo[i], self.y_lo[i]),
+                Point::new(self.x_hi[i], self.y_hi[i]),
+            ),
+            self.id[i],
+        )
+    }
+
+    /// Scans the buffer for live entries whose x-projection overlaps
+    /// `[q_lo, q_hi]`, invoking `on_hit` with the index of each match (in
+    /// insertion order) and returning the number of live entries tested.
+    ///
+    /// The scan runs in two passes: a side-effect-free counting pass whose
+    /// boolean-sum reductions the compiler turns into packed float compares
+    /// over the whole buffer, and — only when the count found something — a
+    /// scalar locate pass that re-finds the matching indices and stops as
+    /// soon as the counted hits are delivered. Most sweep queries hit little
+    /// or nothing, so the callback and all per-hit work stay out of the hot
+    /// loop, and the typical query is one vectorized sweep over three packed
+    /// `f32` streams.
+    #[inline]
+    pub fn scan_overlaps(
+        &self,
+        cut: f32,
+        q_lo: f32,
+        q_hi: f32,
+        mut on_hit: impl FnMut(usize),
+    ) -> u64 {
+        let n = self.len();
+        let x_lo = &self.x_lo[..n];
+        let x_hi = &self.x_hi[..n];
+        let y_hi = &self.y_hi[..n];
+        let mut live_n = 0u32;
+        let mut hit_n = 0u32;
+        for j in 0..n {
+            let live = (y_hi[j] >= cut) as u32;
+            live_n += live;
+            hit_n += live & (x_lo[j] <= q_hi) as u32 & (q_lo <= x_hi[j]) as u32;
+        }
+        if hit_n > 0 {
+            let mut remaining = hit_n;
+            for j in 0..n {
+                if y_hi[j] >= cut && x_lo[j] <= q_hi && q_lo <= x_hi[j] {
+                    on_hit(j);
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        u64::from(live_n)
+    }
+
+    /// Drops every entry with `y_hi < cut` (the tombstones), preserving the
+    /// order of the survivors. Returns the number of surviving entries.
+    pub fn compact(&mut self, cut: f32) -> usize {
+        let mut w = 0;
+        for r in 0..self.len() {
+            if self.y_hi[r] >= cut {
+                if w != r {
+                    self.x_lo[w] = self.x_lo[r];
+                    self.x_hi[w] = self.x_hi[r];
+                    self.y_lo[w] = self.y_lo[r];
+                    self.y_hi[w] = self.y_hi[r];
+                    self.id[w] = self.id[r];
+                }
+                w += 1;
+            }
+        }
+        self.truncate(w);
+        w
+    }
+
+    /// Truncates all five arrays to `len` entries.
+    #[inline]
+    pub fn truncate(&mut self, len: usize) {
+        self.x_lo.truncate(len);
+        self.x_hi.truncate(len);
+        self.y_lo.truncate(len);
+        self.y_hi.truncate(len);
+        self.id.truncate(len);
+    }
+
+    /// Removes every entry for which `drop` returns `true`, preserving order.
+    /// `drop` receives the entry index and may inspect the arrays through the
+    /// provided buffer reference before the entry is overwritten.
+    pub fn retain_indexed(&mut self, mut keep: impl FnMut(&SoaBuf, usize) -> bool) {
+        let mut w = 0;
+        for r in 0..self.len() {
+            if keep(&*self, r) {
+                if w != r {
+                    self.x_lo[w] = self.x_lo[r];
+                    self.x_hi[w] = self.x_hi[r];
+                    self.y_lo[w] = self.y_lo[r];
+                    self.y_hi[w] = self.y_hi[r];
+                    self.id[w] = self.id[r];
+                }
+                w += 1;
+            }
+        }
+        self.truncate(w);
+    }
+}
+
+/// One live resident item as seen by the expiry bookkeeping: its expiry
+/// position and how many strip copies it occupies.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExpiryEntry {
+    /// Upper y-coordinate — the sweep position at which the item expires.
+    pub y: f32,
+    /// Physical array entries the item occupies (1 for the forward sweep,
+    /// the strip-overlap count for the striped sweep).
+    pub copies: u32,
+}
+
+/// A 4-ary min-heap over the expiry positions of the live resident items.
+///
+/// One entry per unique resident item. `len()` is therefore the exact live
+/// resident count, and popping entries as the sweep line passes them keeps
+/// the expiration counters exact without scanning the arrays.
+///
+/// Four children per node halve the tree depth of a binary heap and let the
+/// sift-down pick the smallest child with a short run of compares over one
+/// or two cache lines — pops are the per-item fixed cost of the lazy
+/// expiration scheme, so their constant matters.
+#[derive(Debug, Default)]
+pub(crate) struct ExpiryHeap {
+    entries: Vec<ExpiryEntry>,
+}
+
+/// Heap arity.
+const D: usize = 4;
+
+impl ExpiryHeap {
+    /// Number of live resident items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bytes occupied by the bookkeeping entries.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<ExpiryEntry>()
+    }
+
+    /// Pushes one live item.
+    pub fn push(&mut self, y: f32, copies: u32) {
+        self.entries.push(ExpiryEntry { y, copies });
+        let mut i = self.entries.len() - 1;
+        // Sift up with a hole: the new entry is written only once at its
+        // final position.
+        let e = self.entries[i];
+        while i > 0 {
+            let parent = (i - 1) / D;
+            if e.y < self.entries[parent].y {
+                self.entries[i] = self.entries[parent];
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.entries[i] = e;
+    }
+
+    /// Index of the smallest child of `i`, if any.
+    #[inline]
+    fn min_child(&self, i: usize) -> Option<usize> {
+        let first = D * i + 1;
+        if first >= self.entries.len() {
+            return None;
+        }
+        let last = (first + D).min(self.entries.len());
+        let mut best = first;
+        for c in first + 1..last {
+            if self.entries[c].y < self.entries[best].y {
+                best = c;
+            }
+        }
+        Some(best)
+    }
+
+    /// Restores the heap property downward from `i`, assuming the entry at
+    /// `i` is the only possible violation (hole technique: one final write).
+    fn sift_down(&mut self, mut i: usize) {
+        let e = self.entries[i];
+        while let Some(c) = self.min_child(i) {
+            if self.entries[c].y < e.y {
+                self.entries[i] = self.entries[c];
+                i = c;
+            } else {
+                break;
+            }
+        }
+        self.entries[i] = e;
+    }
+
+    /// Pops the soonest-expiring entry if `pred` accepts its expiry position.
+    pub fn pop_if(&mut self, pred: impl Fn(f32) -> bool) -> Option<ExpiryEntry> {
+        let top = *self.entries.first()?;
+        if !pred(top.y) {
+            return None;
+        }
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        self.entries.pop();
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// Appends every live expiry position to `out` (one per unique item, in
+    /// heap order — callers that need an order must sort or select).
+    pub fn expiries_into(&self, out: &mut Vec<f32>) {
+        out.extend(self.entries.iter().map(|e| e.y));
+    }
+
+    /// Replaces the heap contents with `entries` and restores the heap
+    /// property in `O(n)` (used when a strip-layout rebuild changes every
+    /// item's copy count).
+    pub fn rebuild(&mut self, entries: Vec<ExpiryEntry>) {
+        self.entries = entries;
+        let n = self.entries.len();
+        if n < 2 {
+            return;
+        }
+        let last_parent = (n - 2) / D;
+        for start in (0..=last_parent).rev() {
+            self.sift_down(start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_geom::Rect;
+
+    fn item(x0: f32, y0: f32, x1: f32, y1: f32, id: u32) -> Item {
+        Item::new(Rect::from_coords(x0, y0, x1, y1), id)
+    }
+
+    #[test]
+    fn soa_push_item_roundtrip_and_compact() {
+        let mut b = SoaBuf::default();
+        b.push(&item(0.0, 1.0, 2.0, 3.0, 7));
+        b.push(&item(4.0, 1.0, 5.0, 9.0, 8));
+        b.push(&item(6.0, 1.0, 7.0, 2.0, 9));
+        assert_eq!(b.item(1), item(4.0, 1.0, 5.0, 9.0, 8));
+        // Entries expiring below 3.0 (ids 9) become tombstones and compact away.
+        assert_eq!(b.compact(3.0), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.item(0).id, 7);
+        assert_eq!(b.item(1).id, 8);
+    }
+
+    #[test]
+    fn heap_pops_in_expiry_order_with_exact_counts() {
+        let mut h = ExpiryHeap::default();
+        for (y, c) in [(5.0, 1), (1.0, 3), (9.0, 2), (1.0, 1), (4.0, 5)] {
+            h.push(y, c);
+        }
+        assert_eq!(h.len(), 5);
+        let mut popped = Vec::new();
+        while let Some(e) = h.pop_if(|y| y < 5.0) {
+            popped.push((e.y, e.copies));
+        }
+        popped.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        assert_eq!(popped, vec![(1.0, 1), (1.0, 3), (4.0, 5)]);
+        assert_eq!(h.len(), 2);
+        assert!(h.pop_if(|y| y < 5.0).is_none());
+        assert_eq!(h.pop_if(|y| y <= 5.0).map(|e| e.copies), Some(1));
+    }
+
+    #[test]
+    fn heap_rebuild_restores_the_heap_property() {
+        let mut h = ExpiryHeap::default();
+        h.rebuild(
+            [8.0, 3.0, 6.0, 1.0, 9.0, 2.0]
+                .iter()
+                .map(|&y| ExpiryEntry { y, copies: 1 })
+                .collect(),
+        );
+        let mut order = Vec::new();
+        while let Some(e) = h.pop_if(|_| true) {
+            order.push(e.y);
+        }
+        assert_eq!(order, vec![1.0, 2.0, 3.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn retain_indexed_keeps_order() {
+        let mut b = SoaBuf::default();
+        for i in 0..6 {
+            b.push(&item(i as f32, 0.0, i as f32 + 1.0, 10.0, i));
+        }
+        b.retain_indexed(|buf, i| buf.id[i] % 2 == 0);
+        assert_eq!(b.len(), 3);
+        assert_eq!((b.id[0], b.id[1], b.id[2]), (0, 2, 4));
+    }
+}

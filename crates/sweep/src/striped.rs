@@ -1,11 +1,11 @@
 //! The `Striped-Sweep` interval structure.
 //!
-//! The x-extent of the data is divided into a fixed number of vertical
-//! strips. Every active interval is registered in each strip it overlaps, so
-//! a query only has to look at the strips its own x-projection touches —
-//! typically a small constant number for the short road/hydrography segments
-//! of the TIGER data. The SSSJ study found this structure to be a factor of
-//! 2–5 faster than `Forward-Sweep` and the tree-based alternatives on most
+//! The x-extent of the data is divided into a number of vertical strips.
+//! Every active interval is registered in each strip it overlaps, so a query
+//! only has to look at the strips its own x-projection touches — typically a
+//! small constant number for the short road/hydrography segments of the
+//! TIGER data. The SSSJ study found this structure to be a factor of 2–5
+//! faster than `Forward-Sweep` and the tree-based alternatives on most
 //! real-life data sets, which is why both SSSJ and PQ use it.
 //!
 //! Because an interval may be registered in several strips, a query could see
@@ -13,26 +13,66 @@
 //! pair only in its *canonical* strip — the strip containing the larger of
 //! the two lower x-endpoints, i.e. the leftmost strip where both intervals
 //! are present.
+//!
+//! ## Hot-path layout
+//!
+//! Each strip is a struct-of-arrays buffer (the `soa` module's `SoaBuf`), so the
+//! per-strip overlap scan streams packed `f32` arrays instead of chasing
+//! 20-byte `Item` records. Expiration is lazy: an exact expiry heap tracks
+//! the live residents while passed entries linger as tombstones until a
+//! batched compaction (density threshold) reclaims them — the `O(strips +
+//! copies)` `retain` the old kernel paid on *every* push is gone.
+//!
+//! ## Density-based strip auto-tuning
+//!
+//! A fixed strip count wastes memory on sparse inputs and degenerates into
+//! long per-strip scans on dense ones. Structures created through
+//! [`SweepStructure::with_extent`] therefore start at [`INITIAL_STRIPS`] and
+//! rebuild to roughly [`TARGET_PER_STRIP`] live residents per strip
+//! (doubling up to [`MAX_STRIPS`], shrinking again after heavy eviction);
+//! the rebuilds are geometric, so their amortized cost per insert is
+//! constant. [`StripedSweep::with_strips`] pins an explicit count and
+//! disables the tuning.
 
 use usj_geom::Item;
 
+use crate::soa::{ExpiryEntry, ExpiryHeap, SoaBuf};
 use crate::structure::{SweepStats, SweepStructure};
 
-/// Default number of strips.
-///
-/// The SSSJ implementation tunes the strip count to the data; 256 is a good
-/// middle ground for the workloads in this reproduction (hundreds of strips
-/// keep the per-strip lists short without wasting memory on empty strips).
-pub const DEFAULT_STRIPS: usize = 256;
+/// Strip count an auto-tuned structure starts with.
+pub const INITIAL_STRIPS: usize = 16;
 
-/// Row index of the strip containing `x` for a structure of `n` strips over
-/// `[x_lo, x_hi]` (coordinates outside the extent clamp onto the border
-/// strips). A free function so the `retain`-based removal loops can use the
-/// same formula while the strip vector is mutably borrowed.
+/// Upper bound of the auto-tuning (4096 strips keep the per-strip overhead
+/// bounded while keeping per-strip scans short on dense workloads).
+pub const MAX_STRIPS: usize = 4096;
+
+/// Live residents per strip the auto-tuning rebuilds towards. A strip that
+/// holds a few cache lines of entries amortizes the per-strip scan setup;
+/// fewer residents per strip would trade that for more replicated copies of
+/// strip-spanning rectangles.
+pub const TARGET_PER_STRIP: usize = 16;
+
+/// Growth trigger: rebuild once the live residents exceed this many per
+/// strip (hysteresis above [`TARGET_PER_STRIP`] so rebuilds stay geometric).
+const GROW_PER_STRIP: usize = 32;
+
+/// Compact once tombstoned copies exceed half the physical entries.
+const COMPACT_DENOMINATOR: usize = 2;
+
+/// Never compact below this many tombstoned copies — compaction walks every
+/// strip, so firing it for a handful of tombstones in a small resident set
+/// would thrash instead of batch.
+const COMPACT_FLOOR: usize = 64;
+
+/// Row index of the strip containing `x` for `n` strips over `[x_lo, ..]`
+/// with precomputed scale `inv_span = n / (x_hi - x_lo)` (coordinates
+/// outside the extent clamp onto the border strips). A free function so the
+/// compaction loops can use the same formula while the strip vector is
+/// mutably borrowed. The scale is precomputed once per layout: a multiply on
+/// the insert/query path instead of an `f64` division.
 #[inline]
-fn strip_index(x_lo: f32, x_hi: f32, n: usize, x: f32) -> usize {
-    let t = (f64::from(x) - f64::from(x_lo)) / (f64::from(x_hi) - f64::from(x_lo));
-    let idx = (t * n as f64).floor();
+fn strip_index(x_lo: f32, inv_span: f64, n: usize, x: f32) -> usize {
+    let idx = ((f64::from(x) - f64::from(x_lo)) * inv_span).floor();
     if idx < 0.0 {
         0
     } else if idx >= n as f64 {
@@ -42,19 +82,36 @@ fn strip_index(x_lo: f32, x_hi: f32, n: usize, x: f32) -> usize {
     }
 }
 
-/// Striped active-list interval structure.
+/// The strip scale for `n` strips over `[x_lo, x_hi]`.
+#[inline]
+fn inv_span(x_lo: f32, x_hi: f32, n: usize) -> f64 {
+    n as f64 / (f64::from(x_hi) - f64::from(x_lo))
+}
+
+/// Striped interval structure in struct-of-arrays layout with lazy batched
+/// expiration and density-based strip auto-tuning.
 #[derive(Debug)]
 pub struct StripedSweep {
-    strips: Vec<Vec<Item>>,
+    strips: Vec<SoaBuf>,
+    /// Exact live bookkeeping: one `(expiry, copies)` entry per resident item.
+    heap: ExpiryHeap,
     x_lo: f32,
     x_hi: f32,
-    resident: usize,
-    copies: usize,
+    /// Precomputed `strips / (x_hi - x_lo)` of the current layout.
+    inv_span: f64,
+    /// Entries with `y_hi < cut` are tombstones (logically expired).
+    cut: f32,
+    /// Strip copies of live items.
+    live_copies: usize,
+    /// Physical strip entries (live + tombstoned).
+    phys_copies: usize,
+    auto_tune: bool,
     stats: SweepStats,
 }
 
 impl StripedSweep {
-    /// Creates a structure with an explicit strip count over `[x_lo, x_hi]`.
+    /// Creates a structure with an explicit, fixed strip count over
+    /// `[x_lo, x_hi]` (auto-tuning disabled).
     ///
     /// # Panics
     ///
@@ -63,11 +120,15 @@ impl StripedSweep {
         assert!(strips > 0, "strip count must be positive");
         let (x_lo, x_hi) = if x_hi > x_lo { (x_lo, x_hi) } else { (x_lo, x_lo + 1.0) };
         StripedSweep {
-            strips: vec![Vec::new(); strips],
+            strips: vec![SoaBuf::default(); strips],
+            heap: ExpiryHeap::default(),
             x_lo,
             x_hi,
-            resident: 0,
-            copies: 0,
+            inv_span: inv_span(x_lo, x_hi, strips),
+            cut: f32::NEG_INFINITY,
+            live_copies: 0,
+            phys_copies: 0,
+            auto_tune: false,
             stats: SweepStats::default(),
         }
     }
@@ -79,7 +140,7 @@ impl StripedSweep {
 
     #[inline]
     fn strip_of(&self, x: f32) -> usize {
-        strip_index(self.x_lo, self.x_hi, self.strips.len(), x)
+        strip_index(self.x_lo, self.inv_span, self.strips.len(), x)
     }
 
     /// Strip range `[first, last]` overlapped by an item's x-projection.
@@ -88,14 +149,8 @@ impl StripedSweep {
         (self.strip_of(item.rect.lo.x), self.strip_of(item.rect.hi.x))
     }
 
-    /// Home strip of an item: the strip containing its lower x-endpoint.
-    #[inline]
-    fn home_strip(&self, item: &Item) -> usize {
-        self.strip_of(item.rect.lo.x)
-    }
-
     fn note_size(&mut self) {
-        self.stats.max_resident = self.stats.max_resident.max(self.resident);
+        self.stats.max_resident = self.stats.max_resident.max(self.heap.len());
         self.stats.max_bytes = self.stats.max_bytes.max(self.bytes());
     }
 
@@ -103,111 +158,180 @@ impl StripedSweep {
     /// entry per unique item. The spilling driver uses this to pick an
     /// eviction cut-off.
     pub fn resident_expiries(&self, out: &mut Vec<f32>) {
+        self.heap.expiries_into(out);
+    }
+
+    /// Strip count the auto-tuning would pick for `live` residents.
+    fn desired_strips(live: usize) -> usize {
+        let raw = live.div_ceil(TARGET_PER_STRIP).max(INITIAL_STRIPS);
+        raw.next_power_of_two().min(MAX_STRIPS)
+    }
+
+    /// Rebuilds the strip layout for `new_strips` strips from the live
+    /// residents (tombstones are dropped for free along the way).
+    fn retune(&mut self, new_strips: usize) {
+        let cut = self.cut;
+        let mut live: Vec<Item> = Vec::with_capacity(self.heap.len());
         for (s, strip) in self.strips.iter().enumerate() {
-            for it in strip {
-                if self.strip_of(it.rect.lo.x) == s {
-                    out.push(it.rect.hi.y);
+            for i in 0..strip.len() {
+                if strip.y_hi[i] >= cut && self.strip_of(strip.x_lo[i]) == s {
+                    live.push(strip.item(i));
                 }
             }
         }
+        self.strips = vec![SoaBuf::default(); new_strips];
+        self.inv_span = inv_span(self.x_lo, self.x_hi, new_strips);
+        let mut entries = Vec::with_capacity(live.len());
+        let mut copies_total = 0;
+        for item in &live {
+            let (first, last) = self.strip_range(item);
+            for s in first..=last {
+                self.strips[s].push(item);
+            }
+            let copies = last - first + 1;
+            copies_total += copies;
+            entries.push(ExpiryEntry {
+                y: item.rect.hi.y,
+                copies: copies as u32,
+            });
+        }
+        self.heap.rebuild(entries);
+        self.live_copies = copies_total;
+        self.phys_copies = copies_total;
     }
 
-    /// Removes and returns every resident item whose upper y-coordinate is
-    /// at most `y_cut` — the items the sweep line will expire soonest.
+    /// Drops every tombstoned entry from every strip.
+    fn compact(&mut self) {
+        let cut = self.cut;
+        let mut phys = 0;
+        for strip in &mut self.strips {
+            phys += strip.compact(cut);
+        }
+        self.phys_copies = phys;
+    }
+
+    /// Removes every resident item whose upper y-coordinate is at most
+    /// `y_cut` — the items the sweep line will expire soonest — appending
+    /// them to `out` (which is *not* cleared, so callers can batch several
+    /// evictions into one reusable buffer).
     ///
     /// Unlike [`SweepStructure::expire_before`] the removed items are still
     /// *active* (the sweep line has not passed them); the caller takes over
     /// responsibility for joining them against later arrivals. This is the
-    /// eviction primitive of the external spilling sweep.
-    pub fn evict_until(&mut self, y_cut: f32) -> Vec<Item> {
-        let mut evicted = Vec::new();
-        let mut removed_copies = 0;
-        let (x_lo, x_hi) = (self.x_lo, self.x_hi);
+    /// eviction primitive of the external spilling sweep. Returns the number
+    /// of evicted items.
+    pub fn evict_until(&mut self, y_cut: f32, out: &mut Vec<Item>) -> usize {
+        let before = out.len();
+        let (x_lo, scale, cut) = (self.x_lo, self.inv_span, self.cut);
         let n = self.strips.len();
+        let mut phys = 0;
         for (s, strip) in self.strips.iter_mut().enumerate() {
-            let before = strip.len();
-            strip.retain(|it| {
-                let evict = it.rect.hi.y <= y_cut;
-                if evict && strip_index(x_lo, x_hi, n, it.rect.lo.x) == s {
-                    evicted.push(*it);
+            strip.retain_indexed(|buf, i| {
+                let y = buf.y_hi[i];
+                if y < cut {
+                    return false; // tombstone: reclaim silently
                 }
-                !evict
+                if y <= y_cut {
+                    if strip_index(x_lo, scale, n, buf.x_lo[i]) == s {
+                        out.push(buf.item(i));
+                    }
+                    return false;
+                }
+                true
             });
-            removed_copies += before - strip.len();
+            phys += strip.len();
         }
-        self.copies -= removed_copies;
-        self.resident -= evicted.len();
-        evicted
+        self.phys_copies = phys;
+        while let Some(e) = self.heap.pop_if(|y| y <= y_cut) {
+            self.live_copies -= e.copies as usize;
+        }
+        if self.auto_tune {
+            let desired = Self::desired_strips(self.heap.len());
+            if self.strips.len() > 4 * desired {
+                self.retune(desired);
+            }
+        }
+        out.len() - before
     }
 }
 
 impl SweepStructure for StripedSweep {
     fn with_extent(x_lo: f32, x_hi: f32) -> Self {
-        StripedSweep::with_strips(x_lo, x_hi, DEFAULT_STRIPS)
+        let mut s = StripedSweep::with_strips(x_lo, x_hi, INITIAL_STRIPS);
+        s.auto_tune = true;
+        s
     }
 
     fn insert(&mut self, item: Item) {
         let (first, last) = self.strip_range(&item);
         for s in first..=last {
-            self.strips[s].push(item);
-            self.copies += 1;
+            self.strips[s].push(&item);
         }
-        self.resident += 1;
+        let copies = last - first + 1;
+        self.heap.push(item.rect.hi.y, copies as u32);
+        self.live_copies += copies;
+        self.phys_copies += copies;
         self.stats.inserts += 1;
+        if self.auto_tune
+            && self.heap.len() > self.strips.len() * GROW_PER_STRIP
+            && self.strips.len() < MAX_STRIPS
+        {
+            self.retune(Self::desired_strips(self.heap.len()));
+        }
         self.note_size();
     }
 
     fn expire_before(&mut self, y: f32) -> usize {
-        let mut removed_unique = 0;
-        let mut removed_copies = 0;
-        // An item is counted as expired in its home strip only, so the unique
-        // count is exact even though copies live in several strips.
-        let (x_lo, x_hi) = (self.x_lo, self.x_hi);
-        let n = self.strips.len();
-        for (s, strip) in self.strips.iter_mut().enumerate() {
-            let before = strip.len();
-            strip.retain(|it| {
-                let expired = it.rect.hi.y < y;
-                if expired && strip_index(x_lo, x_hi, n, it.rect.lo.x) == s {
-                    removed_unique += 1;
-                }
-                !expired
-            });
-            removed_copies += before - strip.len();
+        if y > self.cut {
+            self.cut = y;
         }
-        self.copies -= removed_copies;
-        self.resident -= removed_unique;
-        self.stats.expirations += removed_unique as u64;
-        removed_unique
+        let cut = self.cut;
+        let mut removed = 0usize;
+        while let Some(e) = self.heap.pop_if(|top| top < cut) {
+            self.live_copies -= e.copies as usize;
+            removed += 1;
+        }
+        self.stats.expirations += removed as u64;
+        let dead = self.phys_copies - self.live_copies;
+        if dead >= COMPACT_FLOOR && dead * COMPACT_DENOMINATOR > self.phys_copies {
+            self.compact();
+        }
+        removed
     }
 
     fn query<F: FnMut(&Item)>(&mut self, query: &Item, mut report: F) {
         let (first, last) = self.strip_range(query);
-        let q_home = self.home_strip(query);
-        let qx = query.rect.x_interval();
+        let q_home = self.strip_of(query.rect.lo.x);
+        let (q_lo, q_hi) = (query.rect.lo.x, query.rect.hi.x);
+        let cut = self.cut;
+        let mut tests = 0u64;
         for s in first..=last {
-            for it in &self.strips[s] {
-                self.stats.rect_tests += 1;
-                if !qx.overlaps(&it.rect.x_interval()) {
-                    continue;
-                }
+            let strip = &self.strips[s];
+            tests += strip.scan_overlaps(cut, q_lo, q_hi, |i| {
                 // Canonical strip of the pair: where the rightmost of the two
                 // lower endpoints falls. Report the pair only there.
-                let canonical = q_home.max(self.strip_of(it.rect.lo.x));
+                let canonical = q_home.max(self.strip_of(strip.x_lo[i]));
                 if canonical == s {
-                    report(it);
+                    report(&strip.item(i));
                 }
-            }
+            });
         }
+        self.stats.rect_tests += tests;
     }
 
     fn len(&self) -> usize {
-        self.resident
+        self.heap.len()
     }
 
+    /// Physical footprint: strip entries *including* not-yet-compacted
+    /// tombstones, per-strip array headers, and the expiry-heap
+    /// bookkeeping. Honest for the memory governor — a consequence is that
+    /// spill budgets near the pre-overhaul threshold may trigger slightly
+    /// earlier than the old `copies * 20` accounting did.
     fn bytes(&self) -> usize {
-        self.copies * std::mem::size_of::<Item>()
-            + self.strips.len() * std::mem::size_of::<Vec<Item>>()
+        self.phys_copies * std::mem::size_of::<Item>()
+            + self.strips.len() * std::mem::size_of::<SoaBuf>()
+            + self.heap.bytes()
     }
 
     fn stats(&self) -> SweepStats {
@@ -276,6 +400,21 @@ mod tests {
     }
 
     #[test]
+    fn expired_items_are_never_reported_even_before_compaction() {
+        let mut s = StripedSweep::with_strips(0.0, 100.0, 4);
+        s.insert(item(10.0, 0.0, 12.0, 1.0, 1));
+        s.insert(item(10.0, 0.0, 12.0, 10.0, 2));
+        s.insert(item(10.0, 0.0, 12.0, 10.0, 3));
+        assert_eq!(s.expire_before(2.0), 1);
+        // Tombstone density (1 of 3) is below the compaction threshold: the
+        // dead entry is still physically present but must stay invisible.
+        let q = item(11.0, 2.0, 11.5, 3.0, 99);
+        let before = s.stats().rect_tests;
+        assert_eq!(collect_query(&mut s, &q), vec![2, 3]);
+        assert_eq!(s.stats().rect_tests, before + 2);
+    }
+
+    #[test]
     fn coordinates_outside_the_extent_are_clamped() {
         let mut s = StripedSweep::with_strips(0.0, 10.0, 4);
         s.insert(item(-5.0, 0.0, -1.0, 10.0, 1));
@@ -302,10 +441,57 @@ mod tests {
     }
 
     #[test]
-    fn default_extent_constructor_uses_default_strip_count() {
+    fn default_extent_constructor_starts_at_the_initial_strip_count() {
         let s = StripedSweep::with_extent(0.0, 1.0);
-        assert_eq!(s.strip_count(), DEFAULT_STRIPS);
+        assert_eq!(s.strip_count(), INITIAL_STRIPS);
         assert_eq!(StripedSweep::name(), "Striped-Sweep");
+    }
+
+    #[test]
+    fn strip_count_grows_with_density_and_shrinks_after_eviction() {
+        const N: u32 = 10_000;
+        let mut s = StripedSweep::with_extent(0.0, 1000.0);
+        for i in 0..N {
+            let x = (i % 997) as f32;
+            s.insert(item(x, 0.0, x + 0.5, 1e6, i));
+        }
+        assert!(
+            s.strip_count() > INITIAL_STRIPS,
+            "{N} residents must outgrow {INITIAL_STRIPS} strips"
+        );
+        assert!(s.strip_count() <= MAX_STRIPS);
+        assert_eq!(s.len(), N as usize);
+        // Queries still see every overlap exactly once across rebuilds.
+        let q = item(0.0, 1.0, 1000.0, 2.0, u32::MAX);
+        let mut hits = Vec::new();
+        s.query(&q, |it| hits.push(it.id));
+        hits.sort_unstable();
+        hits.dedup();
+        assert_eq!(hits.len(), N as usize);
+        // Evicting nearly everything shrinks the layout again.
+        let grown = s.strip_count();
+        let mut out = Vec::new();
+        assert_eq!(s.evict_until(1e6, &mut out), N as usize);
+        assert_eq!(out.len(), N as usize);
+        assert!(s.is_empty());
+        assert!(s.strip_count() < grown, "eviction should shrink the strips");
+    }
+
+    #[test]
+    fn evict_until_appends_only_active_unique_items() {
+        let mut s = StripedSweep::with_strips(0.0, 100.0, 10);
+        s.insert(item(0.0, 0.0, 100.0, 3.0, 1)); // wide: copies in all strips
+        s.insert(item(1.0, 0.0, 2.0, 1.0, 2));
+        s.insert(item(3.0, 0.0, 4.0, 9.0, 3));
+        assert_eq!(s.expire_before(2.0), 1); // id 2 expires
+        let mut out = vec![item(9.0, 9.0, 9.5, 9.5, 77)]; // pre-existing entry
+        assert_eq!(s.evict_until(5.0, &mut out), 1);
+        // The expired item is not re-surfaced; the wide one appears once.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].id, 1);
+        assert_eq!(s.len(), 1);
+        let q = item(0.0, 2.5, 100.0, 2.6, 99);
+        assert_eq!(collect_query(&mut s, &q), vec![3]);
     }
 
     #[test]

@@ -94,5 +94,7 @@ pub mod prelude {
         CancelToken, Catalog, Dataset, DatasetId, JoinSpec, PlanCache, QueryKind, QueryOutcome,
         QueryRequest, QueryStatus, Service, ServiceConfig, ServiceReport, ServiceStats,
     };
-    pub use usj_sweep::{ForwardSweep, StripedSweep, SweepStructure};
+    pub use usj_sweep::{
+        EagerStripedSweep, ForwardSweep, ListSweep, StripedSweep, SweepScratch, SweepStructure,
+    };
 }
