@@ -2,21 +2,35 @@
 //!
 //! ```text
 //! repro <experiment> [--scale N] [--seed N] [--presets NJ,NY,...]
+//!                    [--requests N] [--workers A,B,...]
 //!
 //! experiments:
 //!   table2 table3 table4 fig2-estimated fig2-observed fig3 crossover
 //!   ablation-sweep ablation-buffer ablation-tiles ablation-packing
-//!   low-memory service hotpath all
+//!   low-memory service hotpath load all
 //! ```
 //!
 //! `service` and `hotpath` additionally write their rows as machine-readable
 //! `BENCH_service.json` / `BENCH_hotpath.json` in the current directory.
+//! `load` (which honours `--requests` and `--workers`) rewrites
+//! `BENCH_service.json` with the open-loop tail-latency rows and *appends* a
+//! point to the tracked `BENCH_trajectory.json`.
 
-use usj_bench::{ExperimentConfig, *};
+use usj_bench::{ExperimentConfig, LoadSpec, *};
 use usj_datagen::Preset;
 
-fn parse_config(args: &[String]) -> ExperimentConfig {
+/// Parsed command line: the shared experiment knobs plus the load-harness
+/// overrides (ignored by every other experiment).
+struct CliOptions {
+    cfg: ExperimentConfig,
+    requests: Option<usize>,
+    workers: Option<Vec<usize>>,
+}
+
+fn parse_config(args: &[String]) -> CliOptions {
     let mut cfg = ExperimentConfig::default();
+    let mut requests = None;
+    let mut workers = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,16 +59,46 @@ fn parse_config(args: &[String]) -> ExperimentConfig {
                     })
                     .collect();
             }
+            "--requests" => {
+                i += 1;
+                requests = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| die("--requests expects a positive integer")),
+                );
+            }
+            "--workers" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| die("--workers expects a list"));
+                let parsed: Vec<usize> = list
+                    .split(',')
+                    .map(|n| {
+                        n.parse()
+                            .ok()
+                            .filter(|&w| w > 0)
+                            .unwrap_or_else(|| die("--workers expects positive integers"))
+                    })
+                    .collect();
+                workers = Some(parsed);
+            }
             other => die(&format!("unknown option '{other}'")),
         }
         i += 1;
     }
-    cfg
+    CliOptions {
+        cfg,
+        requests,
+        workers,
+    }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: repro <experiment> [--scale N] [--seed N] [--presets NJ,NY,...]");
+    eprintln!(
+        "usage: repro <experiment> [--scale N] [--seed N] [--presets NJ,NY,...] \
+         [--requests N] [--workers A,B,...]"
+    );
     std::process::exit(2);
 }
 
@@ -63,7 +107,8 @@ fn main() {
     let Some(experiment) = args.first() else {
         die("missing experiment name");
     };
-    let cfg = parse_config(&args[1..]);
+    let opts = parse_config(&args[1..]);
+    let cfg = opts.cfg.clone();
     println!(
         "# unified-spatial-join repro — experiment '{}', scale 1/{}, seed {}",
         experiment, cfg.scale, cfg.seed
@@ -104,6 +149,33 @@ fn main() {
                 kernels.len(),
                 joins.len()
             );
+        }
+        "load" => {
+            let mut spec = LoadSpec::from_config(&cfg);
+            if let Some(requests) = opts.requests {
+                spec.requests = requests;
+            }
+            if let Some(workers) = opts.workers {
+                spec.worker_counts = workers;
+            }
+            let outcome = load_bench(&spec);
+            let path = "BENCH_service.json";
+            std::fs::write(path, load_bench_json(&spec, &outcome))
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!("wrote {path} ({} rows + batching A/B)", outcome.rows.len());
+
+            let unix_time = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            let point = trajectory_point(&spec, &outcome, unix_time);
+            let trajectory = "BENCH_trajectory.json";
+            let existing = std::fs::read_to_string(trajectory).ok();
+            let updated = append_trajectory(existing.as_deref(), &point)
+                .unwrap_or_else(|e| die(&e));
+            std::fs::write(trajectory, updated)
+                .unwrap_or_else(|e| die(&format!("cannot write {trajectory}: {e}")));
+            println!("appended 1 point to {trajectory}");
         }
         "all" => run_all(&cfg),
         other => die(&format!("unknown experiment '{other}'")),

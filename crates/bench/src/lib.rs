@@ -19,6 +19,7 @@
 //! | `repro low-memory` | memory governor: spill I/O vs 4/16/64 MB limits |
 //! | `repro service` | service throughput: 16 concurrent requests at 2/4/8 workers under a 16 MB shared budget (also writes `BENCH_service.json`) |
 //! | `repro hotpath` | wall-clock of the real kernels: SoA sweep vs the naive list baseline, plus all four algorithms (also writes `BENCH_hotpath.json`) |
+//! | `repro load` | open-loop load harness: tail latency, queue depth and deferral rate over a seeded arrival schedule, plus the shared-scan A/B (writes `BENCH_service.json`, appends to `BENCH_trajectory.json`) |
 //! | `repro all` | everything above |
 //!
 //! Every experiment accepts `--scale <divisor>` (default 200) which divides
@@ -32,12 +33,18 @@
 
 pub mod experiments;
 pub mod hotpath;
+pub mod loadgen;
 pub mod quick;
 pub mod service_exp;
 pub mod setup;
 
 pub use experiments::*;
 pub use hotpath::{hotpath, hotpath_json, HotpathJoinRow, HotpathKernelRow};
+pub use loadgen::{
+    append_trajectory, generate_schedule, load_bench, load_bench_json, trajectory_point,
+    ArrivalCurve, BatchingComparison, LoadOutcome, LoadRow, LoadSpec, RequestTemplate,
+    TemplateKind,
+};
 pub use quick::{BenchReport, QuickBench};
 pub use service_exp::{service_bench, service_bench_json, ServiceBenchRow};
 pub use setup::{ExperimentConfig, PreparedWorkload};

@@ -1,0 +1,758 @@
+//! Deterministic open-loop load harness for the query service.
+//!
+//! The paper's cost model is about *sustained* external-memory throughput,
+//! but `repro service` measures one 16-request batch. This module drives
+//! [`usj_service::Service`] the way a front end under heavy traffic would:
+//! a seeded (SplitMix64) generator produces an **arrival schedule** —
+//! thousands of mixed requests (joins, window/point selections, `LIMIT`
+//! queries, occasional pre-fired cancellations) with arrival offsets drawn
+//! from a configurable rate curve — and the driver submits each request at
+//! its scheduled instant through [`Service::with_session`], *regardless of
+//! how backed up the service is*.
+//!
+//! That open-loop discipline is the point: a closed loop (submit, wait,
+//! submit) lets a slow server throttle its own load, so queueing delay
+//! hides from the measurement (the coordinated-omission trap). Here
+//! arrivals keep coming while the queue grows, so p95/p99 latency reflects
+//! what a client would actually see under that offered load.
+//!
+//! Everything is deterministic from the seed *except* wall-clock timing:
+//! the schedule itself replays bit-identically ([`generate_schedule`]), and
+//! [`ServiceStats::replay_digest`](usj_service::ServiceStats::replay_digest)
+//! over the outcome is interleaving-
+//! independent, which is what makes the tracked `BENCH_trajectory.json`
+//! points comparable across PRs.
+
+use std::time::{Duration, Instant};
+
+use usj_core::Algo;
+use usj_datagen::rng::SmallRng;
+use usj_datagen::{Preset, WorkloadSpec};
+use usj_geom::{Point, Rect};
+use usj_io::{MachineConfig, SimEnv};
+use usj_service::{
+    Catalog, CancelToken, DatasetId, QueryRequest, Service, ServiceConfig, ServiceReport,
+};
+
+use crate::setup::ExperimentConfig;
+
+/// Shared admission budget of the load harness (16 MB, matching
+/// `repro service`).
+pub const LOAD_MEMORY_LIMIT: usize = 16 * 1024 * 1024;
+
+/// Default request count of `repro load` (the acceptance floor is 1000).
+pub const LOAD_REQUESTS: usize = 1024;
+
+/// Worker counts swept by `repro load`.
+pub const LOAD_WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// How the offered arrival rate evolves over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalCurve {
+    /// Constant rate: a Poisson process at the base rate.
+    Uniform,
+    /// Rate ramps linearly from 0.5× to 1.5× the base rate — the "morning
+    /// traffic builds up" shape; the tail of the run oversubscribes the
+    /// service and the queue-depth series shows the backlog forming.
+    Ramp,
+    /// Alternating calm/burst phases (four cycles; bursts offer 3× the
+    /// base rate, calms 0.33×) — stresses admission during spikes.
+    Burst,
+}
+
+impl ArrivalCurve {
+    /// Instantaneous rate multiplier at `progress` ∈ [0, 1).
+    fn multiplier(self, progress: f64) -> f64 {
+        match self {
+            ArrivalCurve::Uniform => 1.0,
+            ArrivalCurve::Ramp => 0.5 + progress,
+            ArrivalCurve::Burst => {
+                let phase = (progress * 8.0) as u64;
+                if phase % 2 == 0 {
+                    1.0 / 3.0
+                } else {
+                    3.0
+                }
+            }
+        }
+    }
+
+    /// Name used in the JSON emission.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalCurve::Uniform => "uniform",
+            ArrivalCurve::Ramp => "ramp",
+            ArrivalCurve::Burst => "burst",
+        }
+    }
+}
+
+/// What one scheduled request will do, independent of any concrete
+/// `Service` (dataset ids are bound at submission time). `PartialEq` makes
+/// whole schedules comparable — the seed-replay test's contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateKind {
+    /// A roads ⋈ hydro join with the given algorithm.
+    Join(Algo),
+    /// A window selection over the roads dataset.
+    Window(Rect),
+    /// A point (stabbing) selection over the roads dataset.
+    Point(Point),
+}
+
+/// One entry of the arrival schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTemplate {
+    /// Arrival offset from the session start, in microseconds.
+    pub arrival_us: u64,
+    /// What to run.
+    pub kind: TemplateKind,
+    /// Admission priority.
+    pub priority: u8,
+    /// `LIMIT n`, when drawn.
+    pub limit: Option<u64>,
+    /// Whether the request arrives already cancelled (fired at submit, so
+    /// it deterministically resolves `Cancelled(None)` without running —
+    /// the client-gave-up-while-queued case).
+    pub cancelled: bool,
+}
+
+/// Configuration of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Workload preset the catalog is built from.
+    pub preset: Preset,
+    /// Scale divisor for the dataset (same meaning as everywhere else).
+    pub scale: u64,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Requests in the schedule.
+    pub requests: usize,
+    /// Mean offered arrival rate, requests per second.
+    pub arrival_rate_hz: f64,
+    /// Rate curve shape.
+    pub curve: ArrivalCurve,
+    /// Worker counts to sweep.
+    pub worker_counts: Vec<usize>,
+    /// Fraction of requests that are joins (the rest are selections).
+    pub join_fraction: f64,
+}
+
+impl LoadSpec {
+    /// The `repro load` configuration: LOAD_REQUESTS mixed requests at a
+    /// ramping ~2 kHz offered rate over 2/4/8 workers.
+    pub fn from_config(cfg: &ExperimentConfig) -> Self {
+        LoadSpec {
+            preset: cfg.presets.first().copied().unwrap_or(Preset::NJ),
+            scale: cfg.scale,
+            seed: cfg.seed,
+            requests: LOAD_REQUESTS,
+            arrival_rate_hz: 2000.0,
+            curve: ArrivalCurve::Ramp,
+            worker_counts: LOAD_WORKER_COUNTS.to_vec(),
+            join_fraction: 0.15,
+        }
+    }
+}
+
+/// Generates the deterministic arrival schedule for `spec`: equal specs
+/// produce bit-identical schedules on every platform.
+///
+/// Inter-arrival gaps are exponential (a Poisson process) with the
+/// instantaneous rate shaped by the curve; request kinds, priorities,
+/// limits and cancellations are drawn from fixed mix weights. Windows are
+/// sized between 2 % and 25 % of the data region per axis, so selection
+/// costs span two orders of magnitude — the "cheap query stuck behind a
+/// heavy one" scenario the overtake policy exists for.
+pub fn generate_schedule(spec: &LoadSpec, region: Rect) -> Vec<RequestTemplate> {
+    // Domain-separate the schedule stream from the workload generator's.
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x4c4f_4144_4745_4e21);
+    let mut arrival_us = 0u64;
+    let join_algos = [Algo::Sssj, Algo::Pq, Algo::St];
+    let mut joins = 0usize;
+    (0..spec.requests)
+        .map(|i| {
+            let progress = i as f64 / spec.requests.max(1) as f64;
+            let rate = (spec.arrival_rate_hz * spec.curve.multiplier(progress)).max(1e-3);
+            // Exponential inter-arrival gap, clamped away from ln(0).
+            let u = rng.gen_f64().min(1.0 - 1e-12);
+            let gap_s = -(1.0f64 - u).ln() / rate;
+            arrival_us += (gap_s * 1e6) as u64;
+
+            let kind = if rng.gen_f64() < spec.join_fraction {
+                let algo = join_algos[joins % join_algos.len()];
+                joins += 1;
+                TemplateKind::Join(algo)
+            } else if rng.gen_f64() < 0.15 {
+                let x = region.lo.x + rng.gen_f32() * region.width();
+                let y = region.lo.y + rng.gen_f32() * region.height();
+                TemplateKind::Point(Point::new(x, y))
+            } else {
+                let w = region.width() * rng.gen_range_f32(0.02, 0.25);
+                let h = region.height() * rng.gen_range_f32(0.02, 0.25);
+                let x = region.lo.x + rng.gen_f32() * (region.width() - w).max(0.0);
+                let y = region.lo.y + rng.gen_f32() * (region.height() - h).max(0.0);
+                TemplateKind::Window(Rect::from_coords(x, y, x + w, y + h))
+            };
+            let priority = if rng.gen_f64() < 0.2 {
+                rng.gen_range_usize(1, 4) as u8
+            } else {
+                0
+            };
+            let limit = if rng.gen_f64() < 0.1 {
+                Some(rng.gen_range_usize(1, 64) as u64)
+            } else {
+                None
+            };
+            let cancelled = rng.gen_f64() < 0.03;
+            RequestTemplate {
+                arrival_us,
+                kind,
+                priority,
+                limit,
+                cancelled,
+            }
+        })
+        .collect()
+}
+
+/// Binds one template to concrete dataset ids.
+fn instantiate(template: &RequestTemplate, roads: DatasetId, hydro: DatasetId) -> QueryRequest {
+    let mut request = match &template.kind {
+        TemplateKind::Join(algo) => QueryRequest::join(roads, hydro).with_algorithm(*algo),
+        TemplateKind::Window(window) => QueryRequest::window(roads, *window),
+        TemplateKind::Point(point) => QueryRequest::point(roads, *point),
+    };
+    request = request.with_priority(template.priority);
+    if let Some(limit) = template.limit {
+        request = request.with_limit(limit);
+    }
+    if template.cancelled {
+        let token = CancelToken::new();
+        token.cancel();
+        request = request.with_cancel(token);
+    }
+    request
+}
+
+/// One measured worker-count configuration of the load harness.
+#[derive(Debug, Clone)]
+pub struct LoadRow {
+    /// Worker threads of the service.
+    pub workers: usize,
+    /// Whether shared-scan batching was enabled.
+    pub shared_scans_enabled: bool,
+    /// Requests submitted / completed / cancelled / failed.
+    pub requests: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests cancelled.
+    pub cancelled: u64,
+    /// Requests failed.
+    pub failed: u64,
+    /// Latency percentiles over completed requests (µs, nearest-rank).
+    pub p50_us: u64,
+    /// 95th percentile latency (µs).
+    pub p95_us: u64,
+    /// 99th percentile latency (µs).
+    pub p99_us: u64,
+    /// Largest completed-request latency (µs).
+    pub max_latency_us: u64,
+    /// Deferral events per submitted request.
+    pub deferral_rate: f64,
+    /// Completed requests per second of wall clock.
+    pub throughput_rps: f64,
+    /// Mean of the queue-depth samples taken at each submission.
+    pub mean_queue_depth: f64,
+    /// Largest pending-queue length the service observed.
+    pub max_queue_depth: usize,
+    /// Shared scans executed / queries coalesced into them.
+    pub shared_scans: u64,
+    /// Queries serviced as shared-scan riders.
+    pub coalesced: u64,
+    /// Total pairs delivered.
+    pub pairs: u64,
+    /// Wall-clock time of the whole session (ms).
+    pub wall_ms: f64,
+    /// Interleaving-independent digest of the outcome
+    /// ([`usj_service::ServiceStats::replay_digest`]).
+    pub replay_digest: u64,
+}
+
+/// The queue-depth series sampled at each submission: `(offset_us, depth)`,
+/// decimated to at most [`DEPTH_SAMPLES`] evenly spaced points.
+pub type DepthSeries = Vec<(u64, usize)>;
+
+/// Queue-depth samples kept per row in the JSON emission.
+pub const DEPTH_SAMPLES: usize = 32;
+
+/// Builds a fresh catalog + service for `spec` at `workers` and drives the
+/// schedule open-loop through a session. Returns the report, the sampled
+/// queue-depth series and the wall-clock seconds.
+fn drive(
+    spec: &LoadSpec,
+    schedule: &[RequestTemplate],
+    workers: usize,
+    shared_scans: bool,
+) -> (ServiceReport, DepthSeries, f64) {
+    let workload = WorkloadSpec::preset(spec.preset)
+        .with_scale(spec.scale)
+        .generate(spec.seed);
+    let mut env = SimEnv::new(MachineConfig::machine3());
+    let mut catalog = Catalog::new();
+    let (roads, hydro) = env.unaccounted(|env| {
+        (
+            catalog.register(env, "roads", &workload.roads).expect("register roads"),
+            catalog.register(env, "hydro", &workload.hydro).expect("register hydro"),
+        )
+    });
+    let service = Service::new(
+        env,
+        catalog,
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_memory_limit(LOAD_MEMORY_LIMIT)
+            .with_shared_scans(shared_scans),
+    );
+    let started = Instant::now();
+    let (depths, report) = service.with_session(|session| {
+        let mut depths: DepthSeries = Vec::with_capacity(schedule.len());
+        for template in schedule {
+            // Open loop: wait for the scheduled arrival instant (never for
+            // the service), then submit. If the driver is behind schedule
+            // the request goes in immediately — arrivals are never dropped
+            // or delayed by backpressure.
+            let target = Duration::from_micros(template.arrival_us);
+            let elapsed = started.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+            session.submit(instantiate(template, roads, hydro));
+            depths.push((started.elapsed().as_micros() as u64, session.queue_depth()));
+        }
+        depths
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    (report, depths, wall_s)
+}
+
+/// Nearest-rank percentile (q ∈ (0, 1]) over an unsorted latency sample.
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Decimates a full series to at most `keep` evenly spaced samples.
+fn decimate(series: &[(u64, usize)], keep: usize) -> DepthSeries {
+    if series.len() <= keep || keep == 0 {
+        return series.to_vec();
+    }
+    (0..keep)
+        .map(|i| series[i * (series.len() - 1) / (keep - 1).max(1)])
+        .collect()
+}
+
+/// Folds one driven session into a [`LoadRow`].
+fn summarize(
+    workers: usize,
+    shared_scans: bool,
+    report: &ServiceReport,
+    depths: &[(u64, usize)],
+    wall_s: f64,
+) -> LoadRow {
+    let stats = &report.stats;
+    let mut latencies: Vec<u64> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.is_completed())
+        .map(|o| o.stats.latency.as_micros() as u64)
+        .collect();
+    latencies.sort_unstable();
+    let mean_depth = if depths.is_empty() {
+        0.0
+    } else {
+        depths.iter().map(|&(_, d)| d as f64).sum::<f64>() / depths.len() as f64
+    };
+    LoadRow {
+        workers,
+        shared_scans_enabled: shared_scans,
+        requests: stats.submitted,
+        completed: stats.completed,
+        cancelled: stats.cancelled,
+        failed: stats.failed,
+        p50_us: percentile_us(&latencies, 0.50),
+        p95_us: percentile_us(&latencies, 0.95),
+        p99_us: percentile_us(&latencies, 0.99),
+        max_latency_us: latencies.last().copied().unwrap_or(0),
+        deferral_rate: stats.deferrals as f64 / stats.submitted.max(1) as f64,
+        throughput_rps: stats.completed as f64 / wall_s.max(1e-9),
+        mean_queue_depth: mean_depth,
+        max_queue_depth: stats.max_queue_depth,
+        shared_scans: stats.shared_scans,
+        coalesced: stats.coalesced,
+        pairs: stats.pairs,
+        wall_ms: wall_s * 1000.0,
+        replay_digest: stats.replay_digest(),
+    }
+}
+
+/// The shared-scan A/B measurement: the same window-heavy schedule with
+/// batching off, then on.
+#[derive(Debug, Clone)]
+pub struct BatchingComparison {
+    /// Worker count both arms ran at.
+    pub workers: usize,
+    /// Per-query execution (the baseline).
+    pub serial: LoadRow,
+    /// Shared-scan batching enabled.
+    pub batched: LoadRow,
+}
+
+impl BatchingComparison {
+    /// Throughput ratio batched / serial.
+    pub fn speedup(&self) -> f64 {
+        self.batched.throughput_rps / self.serial.throughput_rps.max(1e-9)
+    }
+}
+
+/// Everything one `repro load` run measures.
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    /// One row per swept worker count (serial execution mode).
+    pub rows: Vec<LoadRow>,
+    /// Queue-depth series per row, decimated.
+    pub depth_series: Vec<DepthSeries>,
+    /// The shared-scan A/B on the window-heavy mix.
+    pub comparison: BatchingComparison,
+}
+
+/// Runs the load harness: the mixed schedule over every worker count, then
+/// the window-heavy shared-scan A/B. Prints one table row per
+/// configuration and returns everything for JSON emission.
+pub fn load_bench(spec: &LoadSpec) -> LoadOutcome {
+    let workload = WorkloadSpec::preset(spec.preset)
+        .with_scale(spec.scale)
+        .generate(spec.seed);
+    let schedule = generate_schedule(spec, workload.region);
+    println!(
+        "\n== Open-loop load: {} requests, ~{:.0} req/s ({}) on {}, seed {} ==",
+        spec.requests,
+        spec.arrival_rate_hz,
+        spec.curve.name(),
+        spec.preset.name(),
+        spec.seed
+    );
+    println!(
+        "{:>7} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9}",
+        "Workers", "Batch", "Complete", "p50 µs", "p95 µs", "p99 µs", "Thru r/s", "Defer/r", "MaxQ", "Wall ms"
+    );
+    let print_row = |row: &LoadRow| {
+        println!(
+            "{:>7} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9.0} {:>8.2} {:>8} {:>9.1}",
+            row.workers,
+            if row.shared_scans_enabled { "on" } else { "off" },
+            row.completed,
+            row.p50_us,
+            row.p95_us,
+            row.p99_us,
+            row.throughput_rps,
+            row.deferral_rate,
+            row.max_queue_depth,
+            row.wall_ms
+        );
+    };
+
+    let mut rows = Vec::new();
+    let mut depth_series = Vec::new();
+    for &workers in &spec.worker_counts {
+        let (report, depths, wall_s) = drive(spec, &schedule, workers, false);
+        let row = summarize(workers, false, &report, &depths, wall_s);
+        print_row(&row);
+        rows.push(row);
+        depth_series.push(decimate(&depths, DEPTH_SAMPLES));
+    }
+
+    // The A/B arm: a selection-only spec (shared scans never batch joins)
+    // offered as one instantaneous burst, so wall clock measures service
+    // capacity rather than the arrival schedule.
+    let mut window_spec = spec.clone();
+    window_spec.join_fraction = 0.0;
+    window_spec.arrival_rate_hz = 1e9;
+    let window_schedule = generate_schedule(&window_spec, workload.region);
+    let ab_workers = spec.worker_counts.get(spec.worker_counts.len() / 2).copied().unwrap_or(4);
+    let (serial_report, serial_depths, serial_wall) =
+        drive(&window_spec, &window_schedule, ab_workers, false);
+    let serial = summarize(ab_workers, false, &serial_report, &serial_depths, serial_wall);
+    print_row(&serial);
+    let (batched_report, batched_depths, batched_wall) =
+        drive(&window_spec, &window_schedule, ab_workers, true);
+    let batched = summarize(ab_workers, true, &batched_report, &batched_depths, batched_wall);
+    print_row(&batched);
+    assert_eq!(
+        serial_report.stats.pairs, batched_report.stats.pairs,
+        "shared scans must deliver identical pairs"
+    );
+    let comparison = BatchingComparison {
+        workers: ab_workers,
+        serial,
+        batched,
+    };
+    println!(
+        "(shared-scan batching: {:.2}x throughput on the window-heavy mix, identical pair sets)",
+        comparison.speedup()
+    );
+    LoadOutcome {
+        rows,
+        depth_series,
+        comparison,
+    }
+}
+
+fn row_json(row: &LoadRow, depths: Option<&DepthSeries>) -> String {
+    let depth_json = depths.map_or(String::from("[]"), |series| {
+        let samples: Vec<String> = series
+            .iter()
+            .map(|&(us, depth)| format!("[{us}, {depth}]"))
+            .collect();
+        format!("[{}]", samples.join(", "))
+    });
+    format!(
+        "{{\"workers\": {}, \"shared_scans\": {}, \"requests\": {}, \"completed\": {}, \
+         \"cancelled\": {}, \"failed\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+         \"max_latency_us\": {}, \"deferral_rate\": {:.4}, \"throughput_rps\": {:.1}, \
+         \"mean_queue_depth\": {:.2}, \"max_queue_depth\": {}, \"shared_scan_count\": {}, \
+         \"coalesced\": {}, \"pairs\": {}, \"wall_ms\": {:.3}, \"replay_digest\": {}, \
+         \"queue_depth_series\": {}}}",
+        row.workers,
+        row.shared_scans_enabled,
+        row.requests,
+        row.completed,
+        row.cancelled,
+        row.failed,
+        row.p50_us,
+        row.p95_us,
+        row.p99_us,
+        row.max_latency_us,
+        row.deferral_rate,
+        row.throughput_rps,
+        row.mean_queue_depth,
+        row.max_queue_depth,
+        row.shared_scans,
+        row.coalesced,
+        row.pairs,
+        row.wall_ms,
+        row.replay_digest,
+        depth_json
+    )
+}
+
+/// Renders the outcome as the `BENCH_service.json` document `repro load`
+/// writes (hand-rolled JSON — the workspace is dependency-free).
+pub fn load_bench_json(spec: &LoadSpec, outcome: &LoadOutcome) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"load\",\n");
+    out.push_str(&format!("  \"preset\": \"{}\",\n", spec.preset.name()));
+    out.push_str(&format!("  \"scale\": {},\n", spec.scale));
+    out.push_str(&format!("  \"seed\": {},\n", spec.seed));
+    out.push_str(&format!("  \"requests\": {},\n", spec.requests));
+    out.push_str(&format!("  \"arrival_rate_hz\": {:.1},\n", spec.arrival_rate_hz));
+    out.push_str(&format!("  \"curve\": \"{}\",\n", spec.curve.name()));
+    out.push_str(&format!("  \"shared_memory_limit_bytes\": {},\n", LOAD_MEMORY_LIMIT));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in outcome.rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&row_json(row, outcome.depth_series.get(i)));
+        out.push_str(if i + 1 == outcome.rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"batching\": {\n");
+    out.push_str(&format!("    \"workers\": {},\n", outcome.comparison.workers));
+    out.push_str(&format!("    \"serial\": {},\n", row_json(&outcome.comparison.serial, None)));
+    out.push_str(&format!("    \"batched\": {},\n", row_json(&outcome.comparison.batched, None)));
+    out.push_str(&format!("    \"speedup\": {:.3}\n", outcome.comparison.speedup()));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Header of a fresh `BENCH_trajectory.json`.
+const TRAJECTORY_HEADER: &str = "{\n  \"description\": \"usj load-harness tail-latency \
+trajectory; repro load appends one point per run\",\n  \"points\": [\n";
+
+/// Footer every valid trajectory file ends with.
+const TRAJECTORY_FOOTER: &str = "  ]\n}\n";
+
+/// Renders one trajectory point for this outcome. `unix_time` is the
+/// caller-provided wall-clock stamp (seconds since the epoch).
+pub fn trajectory_point(spec: &LoadSpec, outcome: &LoadOutcome, unix_time: u64) -> String {
+    // The reference row is the largest swept worker count — the
+    // configuration the ROADMAP's tail-latency goal is about.
+    let reference = outcome.rows.last().expect("at least one worker count");
+    format!(
+        "    {{\"unix_time\": {}, \"preset\": \"{}\", \"scale\": {}, \"seed\": {}, \
+         \"requests\": {}, \"workers\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+         \"deferral_rate\": {:.4}, \"throughput_rps\": {:.1}, \"max_queue_depth\": {}, \
+         \"shared_scan_speedup\": {:.3}, \"replay_digest\": {}}}\n",
+        unix_time,
+        spec.preset.name(),
+        spec.scale,
+        spec.seed,
+        reference.requests,
+        reference.workers,
+        reference.p50_us,
+        reference.p95_us,
+        reference.p99_us,
+        reference.deferral_rate,
+        reference.throughput_rps,
+        reference.max_queue_depth,
+        outcome.comparison.speedup(),
+        reference.replay_digest
+    )
+}
+
+/// Appends `point` to an existing trajectory document, preserving every
+/// earlier point; starts a fresh document when `existing` is `None`.
+///
+/// Returns `Err` (and touches nothing) when the existing content does not
+/// look like a trajectory file — the tracked baseline must never be
+/// silently clobbered.
+pub fn append_trajectory(existing: Option<&str>, point: &str) -> Result<String, String> {
+    let Some(text) = existing else {
+        return Ok(format!("{TRAJECTORY_HEADER}{point}{TRAJECTORY_FOOTER}"));
+    };
+    if !text.contains("\"points\": [") || !text.ends_with(TRAJECTORY_FOOTER) {
+        return Err(String::from(
+            "existing BENCH_trajectory.json is not a trajectory document; refusing to overwrite",
+        ));
+    }
+    let body = &text[..text.len() - TRAJECTORY_FOOTER.len()];
+    let mut out = String::from(body);
+    if out.trim_end().ends_with('}') {
+        // A previous point is present: give it the separating comma.
+        out.truncate(out.trim_end().len());
+        out.push_str(",\n");
+    }
+    out.push_str(point);
+    out.push_str(TRAJECTORY_FOOTER);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> LoadSpec {
+        LoadSpec {
+            preset: Preset::NJ,
+            scale: 2_000,
+            seed: 42,
+            requests: 96,
+            arrival_rate_hz: 4000.0,
+            curve: ArrivalCurve::Ramp,
+            worker_counts: vec![2],
+            join_fraction: 0.15,
+        }
+    }
+
+    #[test]
+    fn schedules_replay_bit_identically_from_a_seed() {
+        let spec = tiny_spec();
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let a = generate_schedule(&spec, region);
+        let b = generate_schedule(&spec, region);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        // The mix has some of everything.
+        assert!(a.iter().any(|t| matches!(t.kind, TemplateKind::Join(_))));
+        assert!(a.iter().any(|t| matches!(t.kind, TemplateKind::Window(_))));
+        assert!(a.iter().any(|t| t.limit.is_some()));
+
+        let mut other = spec;
+        other.seed ^= 1;
+        let c = generate_schedule(&other, region);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_service_outcomes() {
+        // The seed-replay satellite: two fresh services, same schedule —
+        // the interleaving-independent digest must match exactly.
+        let spec = tiny_spec();
+        let first = load_bench(&spec);
+        let second = load_bench(&spec);
+        assert_eq!(
+            first.rows[0].replay_digest, second.rows[0].replay_digest,
+            "replay digest must be deterministic across runs"
+        );
+        assert_eq!(first.rows[0].requests, second.rows[0].requests);
+        assert_eq!(first.rows[0].completed, second.rows[0].completed);
+        assert_eq!(first.rows[0].cancelled, second.rows[0].cancelled);
+        assert_eq!(first.rows[0].pairs, second.rows[0].pairs);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_batching_beats_serial() {
+        let spec = tiny_spec();
+        let outcome = load_bench(&spec);
+        for row in &outcome.rows {
+            assert_eq!(row.requests, 96);
+            assert!(row.completed > 0);
+            assert!(row.p50_us <= row.p95_us && row.p95_us <= row.p99_us);
+            assert!(row.p99_us <= row.max_latency_us);
+            assert!(row.throughput_rps > 0.0);
+        }
+        // The A/B arm coalesces aggressively on the window-only mix...
+        assert!(outcome.comparison.batched.shared_scans > 0);
+        assert!(outcome.comparison.batched.coalesced > 0);
+        assert_eq!(outcome.comparison.serial.shared_scans, 0);
+        // ...delivers identical output (asserted inside load_bench too)...
+        assert_eq!(outcome.comparison.batched.pairs, outcome.comparison.serial.pairs);
+        // ...and is measurably faster.
+        assert!(
+            outcome.comparison.speedup() > 1.0,
+            "batched throughput must beat serial ({:.1} vs {:.1} r/s)",
+            outcome.comparison.batched.throughput_rps,
+            outcome.comparison.serial.throughput_rps
+        );
+    }
+
+    #[test]
+    fn load_json_is_structurally_sound() {
+        let spec = tiny_spec();
+        let outcome = load_bench(&spec);
+        let json = load_bench_json(&spec, &outcome);
+        assert!(json.contains("\"experiment\": \"load\""));
+        assert!(json.contains("\"batching\""));
+        assert!(json.contains("\"queue_depth_series\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn trajectory_appends_and_never_clobbers() {
+        let spec = tiny_spec();
+        let outcome = load_bench(&spec);
+        let p1 = trajectory_point(&spec, &outcome, 1_700_000_000);
+        let p2 = trajectory_point(&spec, &outcome, 1_700_000_600);
+
+        let fresh = append_trajectory(None, &p1).unwrap();
+        assert!(fresh.contains("\"points\": ["));
+        assert_eq!(fresh.matches("\"unix_time\":").count(), 1);
+
+        let appended = append_trajectory(Some(&fresh), &p2).unwrap();
+        assert_eq!(appended.matches("\"unix_time\":").count(), 2, "append keeps the first point");
+        assert!(appended.contains("1700000000") && appended.contains("1700000600"));
+        assert_eq!(appended.matches('{').count(), appended.matches('}').count());
+
+        let third = append_trajectory(Some(&appended), &p1).unwrap();
+        assert_eq!(third.matches("\"unix_time\":").count(), 3);
+
+        assert!(
+            append_trajectory(Some("not a trajectory"), &p1).is_err(),
+            "unknown content must be refused, not clobbered"
+        );
+    }
+}
+

@@ -53,7 +53,7 @@ pub use pq::PqJoin;
 pub use predicate::Predicate;
 pub use query::{Algo, Execution, MemoryPlan, PartitionStrategy, QueryPlan, SpatialQuery};
 pub use result::{JoinResult, MemoryStats};
-pub use sink::{CollectSink, CountSink, LimitSink, PairSink, SampleSink, TripleSink};
+pub use sink::{CollectSink, CountSink, FanoutSink, LimitSink, PairSink, SampleSink, TripleSink};
 pub use sssj::SssjJoin;
 pub use st::StJoin;
 

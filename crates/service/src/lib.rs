@@ -39,11 +39,16 @@ pub mod catalog;
 pub mod plan_cache;
 pub mod service;
 
+// Property-based tests on the vendored `usj_proptest` harness; opt-in
+// behind the `proptest` feature like the rest of the workspace.
+#[cfg(all(test, feature = "proptest"))]
+mod proptests;
+
 pub use catalog::{Catalog, Dataset, DatasetId};
 pub use plan_cache::{PlanCache, PlanKey};
 pub use service::{
-    CancelToken, JoinSpec, QueryKind, QueryOutcome, QueryRequest, QueryStatus, Service,
-    ServiceConfig, ServiceReport, ServiceStats,
+    CancelToken, JoinSpec, QueryKind, QueryOutcome, QueryRequest, QueryStats, QueryStatus,
+    Service, ServiceConfig, ServiceReport, ServiceStats, Session,
 };
 
 use std::fmt;

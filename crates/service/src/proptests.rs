@@ -1,0 +1,177 @@
+//! Property-based tests for the admission queue on the in-tree
+//! `usj_proptest` harness: scheduling invariants that must hold for *any*
+//! request mix, worker count and memory limit —
+//!
+//! * grants never exceed the shared limit (individually or concurrently),
+//! * overtaking is bounded by `max_overtakes` (no starvation),
+//! * admission within one priority class is FIFO when nothing overtakes,
+//! * every submitted request resolves to exactly one outcome.
+
+use usj_geom::{Item, Rect};
+use usj_io::{MachineConfig, SimEnv};
+use usj_proptest::{forall, Gen};
+
+use crate::service::{QueryRequest, Service, ServiceConfig};
+use crate::Catalog;
+
+/// A small fixed dataset pair: the properties under test are scheduling
+/// invariants, so the *requests* vary per case, not the data.
+fn tiny_service(config: ServiceConfig) -> (Service, crate::DatasetId, crate::DatasetId) {
+    let mut env = SimEnv::new(MachineConfig::machine3());
+    let items: Vec<Item> = (0..64)
+        .map(|i| {
+            let (x, y) = ((i % 8) as f32 * 5.0, (i / 8) as f32 * 5.0);
+            Item::new(Rect::from_coords(x, y, x + 3.0, y + 3.0), i)
+        })
+        .collect();
+    let mut catalog = Catalog::new();
+    let a = catalog.register(&mut env, "a", &items).unwrap();
+    let b = catalog.register(&mut env, "b", &items).unwrap();
+    (Service::new(env, catalog, config), a, b)
+}
+
+/// An arbitrary request mix: joins and selections with random priorities,
+/// random explicit budgets (some deliberately larger than any limit we
+/// draw), limits and pre-fired cancellations.
+fn arb_requests(
+    g: &mut Gen,
+    a: crate::DatasetId,
+    b: crate::DatasetId,
+    max_len: usize,
+) -> Vec<QueryRequest> {
+    g.vec(1, max_len, |g| {
+        let mut request = if g.bool_with(0.4) {
+            QueryRequest::join(a, b).with_algorithm(usj_core::Algo::Sssj)
+        } else {
+            let x = g.f32_in(0.0, 30.0);
+            let y = g.f32_in(0.0, 30.0);
+            QueryRequest::window(a, Rect::from_coords(x, y, x + g.f32_in(1.0, 15.0), y + 5.0))
+        };
+        if g.bool_with(0.5) {
+            request = request.with_priority(g.u32_in(0, 4) as u8);
+        }
+        if g.bool_with(0.4) {
+            request = request.with_memory_budget(g.usize_in(256 * 1024, 8 * 1024 * 1024));
+        }
+        if g.bool_with(0.3) {
+            request = request.with_limit(g.u64_in(0, 20));
+        }
+        if g.bool_with(0.15) {
+            let token = crate::CancelToken::new();
+            token.cancel();
+            request = request.with_cancel(token);
+        }
+        request
+    })
+}
+
+#[test]
+fn grants_never_exceed_the_shared_limit_under_random_mixes() {
+    forall!(16, |g| {
+        let limit = g.usize_in(1024 * 1024, 12 * 1024 * 1024);
+        let workers = g.usize_in(1, 5);
+        let config = ServiceConfig::default()
+            .with_workers(workers)
+            .with_memory_limit(limit)
+            .with_max_overtakes(g.u64_in(0, 6))
+            .with_shared_scans(g.bool_with(0.5));
+        let (service, a, b) = tiny_service(config);
+        let requests = arb_requests(g, a, b, 24);
+        let n = requests.len();
+        let report = service.run(requests);
+
+        // Every request resolves to exactly one outcome, in order.
+        assert_eq!(report.outcomes.len(), n);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.request, i);
+        }
+        assert_eq!(
+            report.stats.completed + report.stats.failed + report.stats.cancelled,
+            n as u64
+        );
+        // No single grant, nor the concurrent sum of grants, exceeds the
+        // shared limit; measured peaks stay within each grant.
+        assert!(report.stats.peak_admitted_bytes <= limit);
+        for outcome in &report.outcomes {
+            assert!(outcome.stats.admitted_bytes <= limit);
+            if outcome.stats.admitted_bytes > 0 {
+                if let Some(result) = outcome.result() {
+                    assert!(
+                        result.memory.peak_bytes <= outcome.stats.admitted_bytes,
+                        "request #{}: peak {} exceeds its grant {}",
+                        outcome.request,
+                        result.memory.peak_bytes,
+                        outcome.stats.admitted_bytes
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn overtaking_is_bounded_so_nothing_starves() {
+    forall!(16, |g| {
+        let max_overtakes = g.u64_in(0, 5);
+        let config = ServiceConfig::default()
+            .with_workers(g.usize_in(2, 5))
+            .with_memory_limit(g.usize_in(2 * 1024 * 1024, 6 * 1024 * 1024))
+            .with_max_overtakes(max_overtakes);
+        let (service, a, b) = tiny_service(config);
+        let requests = arb_requests(g, a, b, 24);
+        let report = service.run(requests);
+        for outcome in &report.outcomes {
+            assert!(
+                outcome.stats.overtaken <= max_overtakes,
+                "request #{} overtaken {} > max {}",
+                outcome.request,
+                outcome.stats.overtaken,
+                max_overtakes
+            );
+        }
+    });
+}
+
+#[test]
+fn admission_is_fifo_within_a_priority_class_without_overtaking() {
+    forall!(16, |g| {
+        // One worker, equal budgets, overtaking disabled: admission order
+        // must be exactly (priority desc, submission asc) over the
+        // requests that were admitted.
+        let config = ServiceConfig::default()
+            .with_workers(1)
+            .with_memory_limit(8 * 1024 * 1024)
+            .with_max_overtakes(0);
+        let (service, a, b) = tiny_service(config);
+        let n = g.usize_in(2, 16);
+        let requests: Vec<QueryRequest> = (0..n)
+            .map(|_| {
+                let mut r = if g.bool_with(0.5) {
+                    QueryRequest::join(a, b).with_algorithm(usj_core::Algo::Sssj)
+                } else {
+                    QueryRequest::window(a, Rect::from_coords(0.0, 0.0, 20.0, 20.0))
+                };
+                if g.bool_with(0.6) {
+                    r = r.with_priority(g.u32_in(0, 3) as u8);
+                }
+                r.with_memory_budget(1024 * 1024)
+            })
+            .collect();
+        let priorities: Vec<u8> = requests.iter().map(|r| r.priority).collect();
+        let report = service.run(requests);
+        let mut admitted: Vec<(u64, u8, usize)> = report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.stats.admission_seq.map(|s| (s, priorities[o.request], o.request)))
+            .collect();
+        admitted.sort_unstable();
+        for pair in admitted.windows(2) {
+            let (_, p1, i1) = pair[0];
+            let (_, p2, i2) = pair[1];
+            assert!(
+                p1 > p2 || (p1 == p2 && i1 < i2),
+                "admission order violated: #{i1} (priority {p1}) before #{i2} (priority {p2})"
+            );
+        }
+    });
+}

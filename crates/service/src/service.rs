@@ -27,8 +27,27 @@
 //! * **Results** stream through the `PairSink`/`ControlFlow` machinery:
 //!   `LIMIT` and [`CancelToken`] cancellation genuinely stop the producing
 //!   traversal, saving I/O.
+//! * **Open-loop sessions**: [`Service::with_session`] keeps the worker
+//!   pool alive while a driver thread [`submit`](Session::submit)s requests
+//!   on its own schedule — the load-generator mode. [`Service::run`] is the
+//!   batch special case (everything submitted up front, session closed
+//!   immediately). Queue waits are anchored at each request's *first
+//!   enqueue*, so a deferred request's re-admission attempts never reset
+//!   its measured wait.
+//! * **Bounded overtake**: a free worker may admit a later (smaller or
+//!   cheaper) request over a blocked head-of-line one, but only
+//!   [`ServiceConfig::max_overtakes`] times per queue entry — after that
+//!   the entry becomes a barrier no admission scan passes, so heavy
+//!   requests cannot starve.
+//! * **Shared-scan batching** (opt-in via
+//!   [`ServiceConfig::with_shared_scans`]): when a window/point selection
+//!   is admitted, compatible pending selections over the same dataset are
+//!   coalesced into one R-tree traversal
+//!   ([`RTree::multi_window_query`](usj_rtree::RTree::multi_window_query))
+//!   fanned out through per-query sinks ([`usj_core::FanoutSink`]). Every
+//!   member observes exactly the item sequence its solo traversal would
+//!   have produced; the scan's I/O is accounted once, on the batch leader.
 
-use std::cmp::Reverse;
 use std::fmt;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,7 +55,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use usj_core::{
-    Algo, Execution, JoinResult, MemoryStats, PairSink, Predicate, SpatialQuery,
+    Algo, Execution, FanoutSink, JoinResult, MemoryStats, PairSink, Predicate, SpatialQuery,
 };
 use usj_geom::{Point, Rect, ITEM_BYTES};
 use usj_io::{CpuCounter, CpuOp, IoSimError, IoStats, MemoryGauge, Page, SimEnv, PAGE_SIZE};
@@ -70,6 +89,18 @@ pub struct ServiceConfig {
     /// Whether completed query plans are memoized by fingerprint
     /// (default: on).
     pub use_plan_cache: bool,
+    /// How many times a pending request may be overtaken by later
+    /// admissions before it becomes a barrier the admission scan will not
+    /// pass (default 8). `0` disables overtaking entirely (strict
+    /// priority/FIFO admission).
+    pub max_overtakes: u64,
+    /// Whether compatible pending window/point selections are coalesced
+    /// into one shared R-tree scan when one of them is admitted
+    /// (default: off — per-query execution, the measurement baseline).
+    pub shared_scans: bool,
+    /// Largest number of selections one shared scan services, the admitted
+    /// leader included (default 16).
+    pub max_scan_batch: usize,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +109,9 @@ impl Default for ServiceConfig {
             workers: 4,
             memory_limit: usj_io::sim::DEFAULT_MEMORY_LIMIT,
             use_plan_cache: true,
+            max_overtakes: 8,
+            shared_scans: false,
+            max_scan_batch: 16,
         }
     }
 }
@@ -98,6 +132,25 @@ impl ServiceConfig {
     /// Disables the plan cache (builder style).
     pub fn without_plan_cache(mut self) -> Self {
         self.use_plan_cache = false;
+        self
+    }
+
+    /// Sets the per-entry overtake bound (builder style).
+    pub fn with_max_overtakes(mut self, max: u64) -> Self {
+        self.max_overtakes = max;
+        self
+    }
+
+    /// Enables or disables shared-scan batching (builder style).
+    pub fn with_shared_scans(mut self, enabled: bool) -> Self {
+        self.shared_scans = enabled;
+        self
+    }
+
+    /// Sets the largest shared-scan batch size (builder style; clamped to
+    /// at least 1, i.e. the leader alone).
+    pub fn with_max_scan_batch(mut self, size: usize) -> Self {
+        self.max_scan_batch = size.max(1);
         self
     }
 }
@@ -311,9 +364,29 @@ pub struct QueryStats {
     /// Times a free worker examined this request and could not admit it for
     /// lack of gauge headroom.
     pub deferrals: u64,
-    /// Wall-clock time from submission to admission (or to resolution, for
-    /// queries that never ran).
+    /// Wall-clock time from this request's *first enqueue* to its admission
+    /// (or to resolution, for queries that never ran). Deferrals and
+    /// re-admission attempts do not reset the anchor.
     pub queue_wait: Duration,
+    /// Wall-clock time from first enqueue to resolution (queue wait plus
+    /// execution) — the client-observed latency the load harness
+    /// aggregates into percentiles.
+    pub latency: Duration,
+    /// Position in the service's admission order (`None` if the request
+    /// was never admitted). Within one priority class, un-overtaken
+    /// admissions happen in submission order — the FIFO property the
+    /// admission-queue property tests check.
+    pub admission_seq: Option<u64>,
+    /// Times a later request was admitted over this one while it waited.
+    /// Bounded by [`ServiceConfig::max_overtakes`] by construction.
+    pub overtaken: u64,
+    /// Whether this query was serviced as a shared-scan *rider*: coalesced
+    /// into another admitted selection's traversal. Riders reserve no
+    /// admission budget of their own ([`admitted_bytes`] stays 0) and
+    /// report zero I/O — the scan is accounted once, on the leader.
+    ///
+    /// [`admitted_bytes`]: QueryStats::admitted_bytes
+    pub coalesced: bool,
 }
 
 /// The outcome of one submitted query.
@@ -389,6 +462,12 @@ pub struct ServiceStats {
     pub max_queue_wait: Duration,
     /// Sum of all queue waits.
     pub total_queue_wait: Duration,
+    /// Shared scans executed (traversals that serviced ≥ 2 queries).
+    pub shared_scans: u64,
+    /// Queries serviced as shared-scan riders.
+    pub coalesced: u64,
+    /// High-water mark of the pending queue length.
+    pub max_queue_depth: usize,
 }
 
 impl fmt::Display for ServiceStats {
@@ -414,6 +493,43 @@ impl fmt::Display for ServiceStats {
             self.plan_cache_hits,
             self.plan_cache_hits + self.plan_cache_misses,
         )
+    }
+}
+
+impl ServiceStats {
+    /// A digest over the *interleaving-independent* fields: request
+    /// resolution counts, delivered pairs, aggregate page I/O, and
+    /// plan-cache misses. Two runs of the same request schedule against the
+    /// same catalog produce equal digests regardless of worker scheduling —
+    /// the seed-replay determinism contract of the load harness.
+    ///
+    /// Timing-dependent fields (waits, deferrals, overtakes, plan-cache
+    /// hit/miss *split* per query, queue depth) are deliberately excluded;
+    /// aggregate I/O is included because with the plan cache on, each join
+    /// shape is planned exactly once per batch no matter which query pays
+    /// for it. Shared-scan mode trims rider I/O by a timing-dependent
+    /// amount, so compare digests with [`shared_scans`] disabled.
+    ///
+    /// [`shared_scans`]: ServiceConfig::shared_scans
+    pub fn replay_digest(&self) -> u64 {
+        // FNV-1a over the stable fields, dependency-free.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.submitted);
+        eat(self.admitted);
+        eat(self.completed);
+        eat(self.failed);
+        eat(self.cancelled);
+        eat(self.pairs);
+        eat(self.io.pages_read);
+        eat(self.io.pages_written);
+        eat(self.plan_cache_misses);
+        h
     }
 }
 
@@ -465,15 +581,23 @@ pub struct Service {
     base: Arc<Vec<Page>>,
 }
 
-/// Scheduler queue shared by the workers.
-struct QueueState {
-    /// Request indices still awaiting admission, sorted by
-    /// (priority desc, submission order asc).
-    pending: Vec<usize>,
-    /// Queries currently running.
-    running: usize,
-    /// Per-request deferral counts.
-    deferrals: Vec<u64>,
+/// One submitted request's scheduler-side record, alive from submission to
+/// report assembly.
+struct Entry {
+    /// The request itself; taken (moved out) when the entry is claimed for
+    /// execution, so the worker runs it without holding the queue lock.
+    request: Option<QueryRequest>,
+    /// Admission-gauge estimate, computed once at submission.
+    estimate: usize,
+    /// First-enqueue instant — the queue-wait and latency anchor. Deferrals
+    /// and re-admission attempts never reset it.
+    submitted_at: Instant,
+    deferrals: u64,
+    overtaken: u64,
+    admission_seq: Option<u64>,
+    queue_wait: Option<Duration>,
+    coalesced: bool,
+    outcome: Option<QueryOutcome>,
 }
 
 /// Aggregate totals folded in as queries finish.
@@ -489,26 +613,104 @@ struct AggTotals {
     peak_query_bytes: usize,
     max_wait: Duration,
     total_wait: Duration,
+    deferrals: u64,
+    shared_scans: u64,
+    coalesced: u64,
 }
 
-/// Borrow bundle handed to every worker.
-struct RunCtx<'a> {
-    requests: &'a [QueryRequest],
-    estimates: &'a [usize],
-    state: &'a Mutex<QueueState>,
-    cv: &'a Condvar,
-    gauge: &'a MemoryGauge,
-    base: &'a Arc<Vec<Page>>,
-    slots: &'a [Mutex<Option<QueryOutcome>>],
-    agg: &'a Mutex<AggTotals>,
-    started: Instant,
+/// Scheduler state shared by the workers of one batch or session.
+struct SessionState {
+    /// One entry per submitted request, in submission order.
+    entries: Vec<Entry>,
+    /// Indices into `entries` awaiting admission, sorted by
+    /// (priority desc, submission order asc).
+    pending: Vec<usize>,
+    /// Queries (or shared-scan batches) currently holding a reservation.
+    running: usize,
+    /// Set when the submitting side is done; workers drain and exit.
+    closed: bool,
+    next_admission_seq: u64,
+    max_queue_depth: usize,
+    agg: AggTotals,
+}
+
+/// The synchronization bundle shared by the workers and the submitter.
+struct SessionShared {
+    state: Mutex<SessionState>,
+    cv: Condvar,
+    gauge: MemoryGauge,
 }
 
 /// What a worker decided to do with a scanned request.
 enum Job {
-    Run(usize, usj_io::MemoryReservation),
+    Run {
+        lead: (usize, QueryRequest),
+        riders: Vec<(usize, QueryRequest)>,
+        reservation: usj_io::MemoryReservation,
+    },
     Cancel(usize),
     Fail(usize, ServiceError),
+}
+
+/// An open submission handle into a running [`Service::with_session`]
+/// scope: the load harness's way of driving the worker pool open-loop.
+///
+/// Requests submitted here enter the same priority/FIFO admission queue as
+/// a batch's; outcomes are collected into the session's final
+/// [`ServiceReport`] in submission order. The handle also exposes the
+/// instantaneous queue depth so an open-loop driver can record backlog
+/// growth over time.
+pub struct Session<'a> {
+    service: &'a Service,
+    shared: &'a SessionShared,
+}
+
+impl Session<'_> {
+    /// Enqueues one request and wakes the workers. Returns the request's
+    /// index in the session's final report.
+    pub fn submit(&self, request: QueryRequest) -> usize {
+        let estimate = self.service.admission_estimate(&request);
+        let priority = request.priority;
+        let mut guard = self.shared.state.lock().expect("queue poisoned");
+        let state = &mut *guard;
+        let idx = state.entries.len();
+        state.entries.push(Entry {
+            request: Some(request),
+            estimate,
+            submitted_at: Instant::now(),
+            deferrals: 0,
+            overtaken: 0,
+            admission_seq: None,
+            queue_wait: None,
+            coalesced: false,
+            outcome: None,
+        });
+        let entries = &state.entries;
+        let pos = state.pending.partition_point(|&e| {
+            let queued = entries[e].request.as_ref().expect("pending entries own their request");
+            queued.priority >= priority
+        });
+        state.pending.insert(pos, idx);
+        state.max_queue_depth = state.max_queue_depth.max(state.pending.len());
+        drop(guard);
+        self.shared.cv.notify_all();
+        idx
+    }
+
+    /// Requests currently awaiting admission.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("queue poisoned").pending.len()
+    }
+
+    /// Queries (or shared-scan batches) currently executing.
+    pub fn running(&self) -> usize {
+        self.shared.state.lock().expect("queue poisoned").running
+    }
+
+    /// Requests submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.shared.state.lock().expect("queue poisoned").entries.len()
+    }
 }
 
 impl Service {
@@ -566,56 +768,78 @@ impl Service {
 
     /// Executes a batch of requests on the worker pool and returns every
     /// outcome plus the service-wide roll-up.
+    ///
+    /// This is the closed session special case: everything is enqueued up
+    /// front and the session closes immediately, so the workers drain the
+    /// queue and exit.
     pub fn run(&self, requests: Vec<QueryRequest>) -> ServiceReport {
-        let n = requests.len();
-        let started = Instant::now();
-        let base = Arc::clone(&self.base);
-        let gauge = MemoryGauge::new(self.config.memory_limit);
-        let estimates: Vec<usize> = requests.iter().map(|r| self.admission_estimate(r)).collect();
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| (Reverse(requests[i].priority), i));
-        let state = Mutex::new(QueueState {
-            pending: order,
-            running: 0,
-            deferrals: vec![0; n],
-        });
-        let cv = Condvar::new();
-        let slots: Vec<Mutex<Option<QueryOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let agg = Mutex::new(AggTotals::default());
+        let workers = self.config.workers.max(1).min(requests.len().max(1));
+        self.session_core(requests, workers, |_| {}).1
+    }
+
+    /// Runs an *open* session: spawns the worker pool, hands the caller a
+    /// [`Session`] submission handle, and keeps the workers alive until the
+    /// closure returns — the open-loop load-generation mode, where arrival
+    /// times follow the driver's schedule rather than the batch boundary.
+    ///
+    /// Returns the closure's value and the report over every request
+    /// submitted during the session, in submission order.
+    pub fn with_session<T>(&self, f: impl FnOnce(&Session<'_>) -> T) -> (T, ServiceReport) {
+        self.session_core(Vec::new(), self.config.workers.max(1), f)
+    }
+
+    /// The shared engine under [`run`](Service::run) and
+    /// [`with_session`](Service::with_session): enqueue `initial`, spawn
+    /// `workers`, let `f` drive the session, close, drain, report.
+    fn session_core<T>(
+        &self,
+        initial: Vec<QueryRequest>,
+        workers: usize,
+        f: impl FnOnce(&Session<'_>) -> T,
+    ) -> (T, ServiceReport) {
+        let shared = SessionShared {
+            state: Mutex::new(SessionState {
+                entries: Vec::new(),
+                pending: Vec::new(),
+                running: 0,
+                closed: false,
+                next_admission_seq: 0,
+                max_queue_depth: 0,
+                agg: AggTotals::default(),
+            }),
+            cv: Condvar::new(),
+            gauge: MemoryGauge::new(self.config.memory_limit),
+        };
+        let session = Session {
+            service: self,
+            shared: &shared,
+        };
+        for request in initial {
+            session.submit(request);
+        }
         let (cache_hits_before, cache_misses_before) = {
             let cache = self.plan_cache.lock().expect("plan cache poisoned");
             (cache.hits(), cache.misses())
         };
 
-        let ctx = RunCtx {
-            requests: &requests,
-            estimates: &estimates,
-            state: &state,
-            cv: &cv,
-            gauge: &gauge,
-            base: &base,
-            slots: &slots,
-            agg: &agg,
-            started,
-        };
-        let workers = self.config.workers.max(1).min(n.max(1));
-        std::thread::scope(|scope| {
+        let value = std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| self.worker_loop(&ctx));
+                scope.spawn(|| self.worker_loop(&shared));
             }
+            let value = f(&session);
+            shared.state.lock().expect("queue poisoned").closed = true;
+            shared.cv.notify_all();
+            value
         });
 
-        let state = state.into_inner().expect("queue poisoned");
-        let agg = agg.into_inner().expect("totals poisoned");
-        let mut outcomes = Vec::with_capacity(n);
-        for (i, slot) in slots.into_iter().enumerate() {
-            let mut outcome = slot
-                .into_inner()
-                .expect("slot poisoned")
-                .expect("every request resolves to an outcome");
-            outcome.stats.deferrals = state.deferrals[i];
-            outcomes.push(outcome);
-        }
+        let state = shared.state.into_inner().expect("queue poisoned");
+        let agg = state.agg;
+        let n = state.entries.len();
+        let outcomes: Vec<QueryOutcome> = state
+            .entries
+            .into_iter()
+            .map(|e| e.outcome.expect("every request resolves to an outcome"))
+            .collect();
         let cache = self.plan_cache.lock().expect("plan cache poisoned");
         let stats = ServiceStats {
             memory_limit: self.config.memory_limit,
@@ -625,142 +849,266 @@ impl Service {
             completed: agg.completed,
             failed: agg.failed,
             cancelled: agg.cancelled,
-            deferrals: state.deferrals.iter().sum(),
+            deferrals: agg.deferrals,
             plan_cache_hits: cache.hits() - cache_hits_before,
             plan_cache_misses: cache.misses() - cache_misses_before,
-            peak_admitted_bytes: gauge.peak(),
+            peak_admitted_bytes: shared.gauge.peak(),
             peak_query_bytes: agg.peak_query_bytes,
             pairs: agg.pairs,
             io: agg.io,
             cpu: agg.cpu,
             max_queue_wait: agg.max_wait,
             total_queue_wait: agg.total_wait,
+            shared_scans: agg.shared_scans,
+            coalesced: agg.coalesced,
+            max_queue_depth: state.max_queue_depth,
         };
-        ServiceReport { outcomes, stats }
+        (value, ServiceReport { outcomes, stats })
     }
 
     /// One worker: repeatedly claim the first admissible pending request (in
-    /// priority/FIFO order), run it on a forked environment, release its
-    /// budget, until the queue drains.
-    fn worker_loop(&self, ctx: &RunCtx<'_>) {
-        loop {
-            let job = {
-                let mut q = ctx.state.lock().expect("queue poisoned");
-                loop {
-                    if q.pending.is_empty() {
-                        return;
-                    }
-                    let mut picked = None;
-                    for pos in 0..q.pending.len() {
-                        let idx = q.pending[pos];
-                        let request = &ctx.requests[idx];
-                        if request.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
-                            picked = Some((pos, Job::Cancel(idx)));
-                            break;
-                        }
-                        match ctx.gauge.try_reserve(ctx.estimates[idx]) {
-                            Ok(reservation) => {
-                                picked = Some((pos, Job::Run(idx, reservation)));
-                                break;
-                            }
-                            Err(_) => q.deferrals[idx] += 1,
-                        }
-                    }
-                    match picked {
-                        Some((pos, job)) => {
-                            q.pending.remove(pos);
-                            if matches!(job, Job::Run(..)) {
-                                q.running += 1;
-                                // This admission may have exhausted the
-                                // shared budget for the next request in
-                                // line: record that head-of-queue deferral
-                                // at admission time, so the count reflects
-                                // the queue's oversubscription rather than
-                                // scan timing.
-                                if let Some(&next) = q.pending.first() {
-                                    if ctx.estimates[next] > ctx.gauge.headroom() {
-                                        q.deferrals[next] += 1;
-                                    }
-                                }
-                            }
-                            break job;
-                        }
-                        None if q.running == 0 => {
-                            // Nothing is running, so no reservation will ever
-                            // be released: the head request's budget simply
-                            // does not fit the shared limit. Fail it loudly
-                            // to keep the queue moving.
-                            let idx = q.pending.remove(0);
-                            break Job::Fail(
-                                idx,
-                                ServiceError::Io(IoSimError::MemoryLimitExceeded {
-                                    required: ctx.estimates[idx],
-                                    limit: self.config.memory_limit,
-                                }),
-                            );
-                        }
-                        None => {
-                            q = ctx.cv.wait(q).expect("queue poisoned");
-                        }
-                    }
-                }
-            };
+    /// priority/FIFO order, bounded overtake allowed), run it — together
+    /// with any coalesced shared-scan riders — on a forked environment,
+    /// release its budget, until the session closes and the queue drains.
+    fn worker_loop(&self, shared: &SessionShared) {
+        while let Some(job) = self.claim(shared) {
             match job {
-                Job::Run(idx, reservation) => {
+                Job::Run {
+                    lead,
+                    riders,
+                    reservation,
+                } => {
                     let granted = reservation.bytes();
-                    let wait = ctx.started.elapsed();
-                    let outcome = self.execute(idx, granted, wait, ctx);
-                    self.finish(ctx, idx, outcome, wait, true);
+                    let rider_count = riders.len() as u64;
+                    let outcomes = if riders.is_empty() {
+                        vec![self.execute_one(lead.0, &lead.1, granted)]
+                    } else {
+                        self.execute_shared_scan(&lead, &riders, granted)
+                    };
                     drop(reservation);
-                    let mut q = ctx.state.lock().expect("queue poisoned");
-                    q.running -= 1;
-                    drop(q);
-                    ctx.cv.notify_all();
+                    let mut state = shared.state.lock().expect("queue poisoned");
+                    for outcome in outcomes {
+                        Self::finish(&mut state, outcome, true);
+                    }
+                    if rider_count > 0 {
+                        state.agg.shared_scans += 1;
+                        state.agg.coalesced += rider_count;
+                    }
+                    state.running -= 1;
+                    drop(state);
+                    shared.cv.notify_all();
                 }
                 Job::Cancel(idx) => {
-                    let wait = ctx.started.elapsed();
                     let outcome = QueryOutcome {
                         request: idx,
                         status: QueryStatus::Cancelled(None),
                         pairs: None,
-                        stats: QueryStats {
-                            admitted_bytes: 0,
-                            deferrals: 0,
-                            queue_wait: wait,
-                        },
+                        stats: QueryStats::default(),
                     };
-                    self.finish(ctx, idx, outcome, wait, false);
-                    ctx.cv.notify_all();
+                    let mut state = shared.state.lock().expect("queue poisoned");
+                    Self::finish(&mut state, outcome, false);
+                    drop(state);
+                    shared.cv.notify_all();
                 }
                 Job::Fail(idx, err) => {
-                    let wait = ctx.started.elapsed();
                     let outcome = QueryOutcome {
                         request: idx,
                         status: QueryStatus::Failed(err),
                         pairs: None,
-                        stats: QueryStats {
-                            admitted_bytes: 0,
-                            deferrals: 0,
-                            queue_wait: wait,
-                        },
+                        stats: QueryStats::default(),
                     };
-                    self.finish(ctx, idx, outcome, wait, false);
-                    ctx.cv.notify_all();
+                    let mut state = shared.state.lock().expect("queue poisoned");
+                    Self::finish(&mut state, outcome, false);
+                    drop(state);
+                    shared.cv.notify_all();
                 }
             }
         }
     }
 
-    /// Folds one finished outcome into the aggregate totals and stores it.
-    fn finish(
-        &self,
-        ctx: &RunCtx<'_>,
-        idx: usize,
-        outcome: QueryOutcome,
-        wait: Duration,
-        admitted: bool,
-    ) {
-        let mut agg = ctx.agg.lock().expect("totals poisoned");
+    /// Scans the pending queue under the lock for the next piece of work,
+    /// blocking on the condvar while nothing is actionable. Returns `None`
+    /// when the session is closed and the queue has drained.
+    ///
+    /// The scan honors the overtake bound: trying an entry that fails
+    /// admission records a deferral, and once that entry has been overtaken
+    /// [`ServiceConfig::max_overtakes`] times it becomes a barrier — the
+    /// scan stops there instead of admitting anything behind it, so a heavy
+    /// request's wait is bounded by K admissions rather than unbounded.
+    fn claim(&self, shared: &SessionShared) -> Option<Job> {
+        enum Picked {
+            Run(usj_io::MemoryReservation),
+            Cancel,
+        }
+        let mut guard = shared.state.lock().expect("queue poisoned");
+        loop {
+            let state = &mut *guard;
+            if state.pending.is_empty() {
+                if state.closed {
+                    return None;
+                }
+                guard = shared.cv.wait(guard).expect("queue poisoned");
+                continue;
+            }
+            let mut picked = None;
+            for pos in 0..state.pending.len() {
+                let idx = state.pending[pos];
+                let entry = &mut state.entries[idx];
+                let request = entry.request.as_ref().expect("pending entries own their request");
+                if request.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    picked = Some((pos, Picked::Cancel));
+                    break;
+                }
+                match shared.gauge.try_reserve(entry.estimate) {
+                    Ok(reservation) => {
+                        picked = Some((pos, Picked::Run(reservation)));
+                        break;
+                    }
+                    Err(_) => {
+                        entry.deferrals += 1;
+                        if entry.overtaken >= self.config.max_overtakes {
+                            // Barrier: this entry has been overtaken its
+                            // full allowance — nothing behind it may be
+                            // admitted before it runs.
+                            break;
+                        }
+                    }
+                }
+            }
+            match picked {
+                Some((pos, Picked::Cancel)) => {
+                    let idx = state.pending.remove(pos);
+                    let entry = &mut state.entries[idx];
+                    entry.queue_wait = Some(entry.submitted_at.elapsed());
+                    return Some(Job::Cancel(idx));
+                }
+                Some((pos, Picked::Run(reservation))) => {
+                    // Everything the admitted entry jumped over was
+                    // overtaken once more.
+                    for p in 0..pos {
+                        let overtaken = state.pending[p];
+                        state.entries[overtaken].overtaken += 1;
+                    }
+                    let idx = state.pending.remove(pos);
+                    let rider_idxs = self.collect_riders(state, idx);
+                    let lead = Self::claim_entry(state, idx, false);
+                    let riders: Vec<(usize, QueryRequest)> = rider_idxs
+                        .into_iter()
+                        .map(|i| Self::claim_entry(state, i, true))
+                        .collect();
+                    state.running += 1;
+                    // This admission may have exhausted the shared budget
+                    // for the next request in line: record that
+                    // head-of-queue deferral at admission time, so the
+                    // count reflects the queue's oversubscription rather
+                    // than scan timing.
+                    if let Some(&next) = state.pending.first() {
+                        if state.entries[next].estimate > shared.gauge.headroom() {
+                            state.entries[next].deferrals += 1;
+                        }
+                    }
+                    return Some(Job::Run {
+                        lead,
+                        riders,
+                        reservation,
+                    });
+                }
+                None if state.running == 0 => {
+                    // Nothing is running, so no reservation will ever be
+                    // released: the head request's budget simply does not
+                    // fit the shared limit. Fail it loudly to keep the
+                    // queue moving.
+                    let idx = state.pending.remove(0);
+                    let entry = &mut state.entries[idx];
+                    entry.queue_wait = Some(entry.submitted_at.elapsed());
+                    let required = entry.estimate;
+                    return Some(Job::Fail(
+                        idx,
+                        ServiceError::Io(IoSimError::MemoryLimitExceeded {
+                            required,
+                            limit: self.config.memory_limit,
+                        }),
+                    ));
+                }
+                None => {
+                    guard = shared.cv.wait(guard).expect("queue poisoned");
+                }
+            }
+        }
+    }
+
+    /// Marks `idx` admitted (stamping its admission order and queue wait)
+    /// and moves its request out for execution off-lock.
+    fn claim_entry(state: &mut SessionState, idx: usize, coalesced: bool) -> (usize, QueryRequest) {
+        let seq = state.next_admission_seq;
+        state.next_admission_seq += 1;
+        let entry = &mut state.entries[idx];
+        entry.admission_seq = Some(seq);
+        entry.queue_wait = Some(entry.submitted_at.elapsed());
+        entry.coalesced = coalesced;
+        let request = entry.request.take().expect("pending entries own their request");
+        (idx, request)
+    }
+
+    /// Pulls pending selections compatible with the just-admitted `lead`
+    /// out of the queue to ride its scan: same dataset, window/point kind,
+    /// not cancelled, up to [`ServiceConfig::max_scan_batch`] members.
+    ///
+    /// Riders reserve no extra admission budget — the batch shares the
+    /// leader's grant and its single `NodeStore` — so coalescing never
+    /// increases the aggregate footprint, and pulling a rider from the
+    /// middle of the queue delays no one (the scan happens regardless);
+    /// riders therefore don't count toward anyone's overtake allowance and
+    /// may be collected from behind a starvation barrier.
+    fn collect_riders(&self, state: &mut SessionState, lead: usize) -> Vec<usize> {
+        if !self.config.shared_scans {
+            return Vec::new();
+        }
+        let lead_dataset = match state.entries[lead].request.as_ref().map(|r| &r.kind) {
+            Some(QueryKind::Window { dataset, .. }) | Some(QueryKind::Point { dataset, .. }) => {
+                *dataset
+            }
+            _ => return Vec::new(),
+        };
+        let cap = self.config.max_scan_batch.max(1) - 1;
+        let mut riders = Vec::new();
+        let mut pos = 0;
+        while pos < state.pending.len() && riders.len() < cap {
+            let idx = state.pending[pos];
+            let request = state.entries[idx]
+                .request
+                .as_ref()
+                .expect("pending entries own their request");
+            let compatible = matches!(
+                request.kind,
+                QueryKind::Window { dataset, .. } | QueryKind::Point { dataset, .. }
+                    if dataset == lead_dataset
+            );
+            let live = !request.cancel.as_ref().is_some_and(|t| t.is_cancelled());
+            if compatible && live {
+                riders.push(idx);
+                state.pending.remove(pos);
+            } else {
+                pos += 1;
+            }
+        }
+        riders
+    }
+
+    /// Folds one finished outcome into the aggregate totals, stamps the
+    /// entry's scheduling stats onto it, and stores it.
+    fn finish(state: &mut SessionState, mut outcome: QueryOutcome, admitted: bool) {
+        let idx = outcome.request;
+        {
+            let entry = &state.entries[idx];
+            outcome.stats.deferrals = entry.deferrals;
+            outcome.stats.overtaken = entry.overtaken;
+            outcome.stats.queue_wait = entry.queue_wait.unwrap_or_default();
+            outcome.stats.latency = entry.submitted_at.elapsed();
+            outcome.stats.admission_seq = entry.admission_seq;
+            outcome.stats.coalesced = entry.coalesced;
+        }
+        let agg = &mut state.agg;
         if admitted {
             agg.admitted += 1;
         }
@@ -775,23 +1123,16 @@ impl Service {
             agg.cpu.merge(&result.cpu);
             agg.peak_query_bytes = agg.peak_query_bytes.max(result.memory.peak_bytes);
         }
-        agg.max_wait = agg.max_wait.max(wait);
-        agg.total_wait += wait;
-        drop(agg);
-        *ctx.slots[idx].lock().expect("slot poisoned") = Some(outcome);
+        agg.max_wait = agg.max_wait.max(outcome.stats.queue_wait);
+        agg.total_wait += outcome.stats.queue_wait;
+        agg.deferrals += outcome.stats.deferrals;
+        state.entries[idx].outcome = Some(outcome);
     }
 
     /// Runs one admitted query on a fresh forked environment whose hard
     /// memory limit is the granted budget.
-    fn execute(
-        &self,
-        idx: usize,
-        granted: usize,
-        wait: Duration,
-        ctx: &RunCtx<'_>,
-    ) -> QueryOutcome {
-        let request = &ctx.requests[idx];
-        let mut wenv = self.env.fork_with_base(Arc::clone(ctx.base));
+    fn execute_one(&self, idx: usize, request: &QueryRequest, granted: usize) -> QueryOutcome {
+        let mut wenv = self.env.fork_with_base(Arc::clone(&self.base));
         wenv.set_memory_limit(granted);
         let mut sink = ServiceSink::new(request);
         let ran = match &request.kind {
@@ -818,10 +1159,121 @@ impl Service {
             pairs: sink.collected,
             stats: QueryStats {
                 admitted_bytes: granted,
-                deferrals: 0,
-                queue_wait: wait,
+                ..QueryStats::default()
             },
         }
+    }
+
+    /// Runs the leader and its riders as one R-tree traversal fanned out
+    /// through per-query sinks. Each member observes exactly the item
+    /// sequence its solo traversal would produce (the differential tests'
+    /// byte-identity contract); a member's `LIMIT` or cancellation
+    /// deactivates only its fan-out slot, and the traversal stops entirely
+    /// once every member has broken. The scan's I/O, CPU and peak memory
+    /// are accounted once, on the leader — riders report pair counts only.
+    fn execute_shared_scan(
+        &self,
+        lead: &(usize, QueryRequest),
+        riders: &[(usize, QueryRequest)],
+        granted: usize,
+    ) -> Vec<QueryOutcome> {
+        let members: Vec<&(usize, QueryRequest)> =
+            std::iter::once(lead).chain(riders.iter()).collect();
+        let fail_all = |err: ServiceError| -> Vec<QueryOutcome> {
+            members
+                .iter()
+                .enumerate()
+                .map(|(k, (idx, _))| QueryOutcome {
+                    request: *idx,
+                    status: QueryStatus::Failed(err.clone()),
+                    pairs: None,
+                    stats: QueryStats {
+                        admitted_bytes: if k == 0 { granted } else { 0 },
+                        ..QueryStats::default()
+                    },
+                })
+                .collect()
+        };
+        let dataset_id = match &lead.1.kind {
+            QueryKind::Window { dataset, .. } | QueryKind::Point { dataset, .. } => *dataset,
+            QueryKind::Join(_) => unreachable!("shared scans coalesce selections only"),
+        };
+        let windows: Vec<Rect> = members
+            .iter()
+            .map(|(_, request)| match &request.kind {
+                QueryKind::Window { window, .. } => *window,
+                QueryKind::Point { point, .. } => {
+                    Rect::from_coords(point.x, point.y, point.x, point.y)
+                }
+                QueryKind::Join(_) => unreachable!("shared scans coalesce selections only"),
+            })
+            .collect();
+        let ds = match self.dataset(dataset_id) {
+            Ok(ds) => ds,
+            Err(e) => return fail_all(e),
+        };
+
+        let mut wenv = self.env.fork_with_base(Arc::clone(&self.base));
+        wenv.set_memory_limit(granted);
+        let mut sinks: Vec<ServiceSink> =
+            members.iter().map(|(_, request)| ServiceSink::new(request)).collect();
+        let measurement = wenv.begin();
+        wenv.memory.begin_phase();
+        let mut store = NodeStore::with_capacity_bytes_gauged(granted, &wenv.memory);
+        let scanned = {
+            let slots: Vec<&mut dyn PairSink> =
+                sinks.iter_mut().map(|s| s as &mut dyn PairSink).collect();
+            let mut fanout = FanoutSink::new(slots);
+            ds.tree()
+                .multi_window_query(&mut wenv, &mut store, &windows, &mut |i, item| {
+                    fanout.emit_to(i, item.id, 0)
+                })
+        };
+        let delivered: u64 = sinks.iter().map(|s| s.delivered).sum();
+        wenv.charge(CpuOp::OutputPair, delivered);
+        let (io, cpu) = wenv.since(&measurement);
+        if let Err(e) = scanned {
+            return fail_all(ServiceError::Io(e));
+        }
+
+        let misses = store.stats().misses;
+        let resident = store.resident_pages() * PAGE_SIZE;
+        let peak = wenv.memory.peak();
+        members
+            .iter()
+            .zip(sinks)
+            .enumerate()
+            .map(|(k, ((idx, _), sink))| {
+                let leader = k == 0;
+                let result = JoinResult {
+                    pairs: sink.delivered,
+                    io: if leader { io } else { IoStats::default() },
+                    cpu: if leader { cpu } else { CpuCounter::default() },
+                    index_page_requests: if leader { misses } else { 0 },
+                    sweep: Default::default(),
+                    memory: MemoryStats {
+                        priority_queue_bytes: 0,
+                        sweep_structure_bytes: 0,
+                        other_bytes: if leader { resident } else { 0 },
+                        peak_bytes: if leader { peak } else { 0 },
+                    },
+                };
+                let status = if sink.cancelled {
+                    QueryStatus::Cancelled(Some(result))
+                } else {
+                    QueryStatus::Completed(result)
+                };
+                QueryOutcome {
+                    request: *idx,
+                    status,
+                    pairs: sink.collected,
+                    stats: QueryStats {
+                        admitted_bytes: if leader { granted } else { 0 },
+                        ..QueryStats::default()
+                    },
+                }
+            })
+            .collect()
     }
 
     fn dataset(&self, id: DatasetId) -> Result<&Dataset> {
@@ -1235,6 +1687,186 @@ mod tests {
         let outcome = &report.outcomes[0];
         assert_eq!(outcome.result().unwrap().pairs, expected);
         assert_eq!(outcome.pairs.as_ref().unwrap().len() as u64, expected);
+    }
+
+    #[test]
+    fn session_accepts_submissions_while_workers_run() {
+        let a = grid(10, 4.0, 0.0, 0);
+        let (service, ia, _) = service_over(&a, &a, ServiceConfig::default().with_workers(2));
+        let window = Rect::from_coords(0.0, 0.0, 20.0, 20.0);
+        let ((), report) = service.with_session(|session| {
+            for k in 0..6 {
+                let idx = session.submit(if k % 2 == 0 {
+                    QueryRequest::join(ia, ia).with_algorithm(Algo::Sssj)
+                } else {
+                    QueryRequest::window(ia, window)
+                });
+                assert_eq!(idx, k);
+            }
+            assert_eq!(session.submitted(), 6);
+            // Depth and running are sampled live; both are bounded by what
+            // was submitted.
+            assert!(session.queue_depth() <= 6);
+        });
+        assert_eq!(report.stats.submitted, 6);
+        assert_eq!(report.stats.completed, 6);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.request, i, "outcomes stay in submission order");
+            assert!(outcome.stats.latency >= outcome.stats.queue_wait);
+            assert!(outcome.stats.admission_seq.is_some());
+        }
+    }
+
+    fn selection_mix(ia: DatasetId) -> Vec<QueryRequest> {
+        vec![
+            QueryRequest::window(ia, Rect::from_coords(0.0, 0.0, 30.0, 30.0)).collecting(),
+            QueryRequest::window(ia, Rect::from_coords(10.0, 10.0, 80.0, 80.0)).collecting(),
+            QueryRequest::window(ia, Rect::from_coords(0.0, 0.0, 80.0, 80.0))
+                .with_limit(5)
+                .collecting(),
+            QueryRequest::point(ia, Point::new(17.0, 22.0)).collecting(),
+            QueryRequest::window(ia, Rect::from_coords(-5.0, -5.0, -1.0, -1.0)).collecting(),
+        ]
+    }
+
+    #[test]
+    fn shared_scans_match_serial_execution_byte_for_byte() {
+        let a = grid(20, 4.0, 0.0, 0);
+        let (serial, ia, _) = service_over(&a, &a, ServiceConfig::default().with_workers(1));
+        let (batched, ib, _) = service_over(
+            &a,
+            &a,
+            ServiceConfig::default().with_workers(1).with_shared_scans(true),
+        );
+        assert_eq!(ia, ib, "identical registration order gives identical ids");
+        let serial_report = serial.run(selection_mix(ia));
+        let batched_report = batched.run(selection_mix(ib));
+
+        // One worker, everything queued up front: the whole mix rides one
+        // scan.
+        assert_eq!(batched_report.stats.shared_scans, 1);
+        assert_eq!(batched_report.stats.coalesced, 4);
+        assert_eq!(serial_report.stats.shared_scans, 0);
+
+        for (s, b) in serial_report.outcomes.iter().zip(&batched_report.outcomes) {
+            assert!(s.is_completed() && b.is_completed());
+            assert_eq!(
+                s.result().unwrap().pairs,
+                b.result().unwrap().pairs,
+                "request #{}",
+                s.request
+            );
+            assert_eq!(s.pairs, b.pairs, "request #{}: byte-identical pair lists", s.request);
+        }
+        assert_eq!(serial_report.stats.pairs, batched_report.stats.pairs);
+        // The shared scan reads the tree once instead of five times.
+        assert!(
+            batched_report.stats.io.pages_read < serial_report.stats.io.pages_read,
+            "coalescing must save I/O ({} vs {})",
+            batched_report.stats.io.pages_read,
+            serial_report.stats.io.pages_read
+        );
+        // Riders hold no budget of their own.
+        for outcome in &batched_report.outcomes {
+            if outcome.stats.coalesced {
+                assert_eq!(outcome.stats.admitted_bytes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_scans_do_not_coalesce_across_datasets_or_joins() {
+        let a = grid(12, 4.0, 0.0, 0);
+        let b = grid(12, 4.0, 1.0, 50_000);
+        let (service, ia, ib) = service_over(
+            &a,
+            &b,
+            ServiceConfig::default().with_workers(1).with_shared_scans(true),
+        );
+        let window = Rect::from_coords(0.0, 0.0, 30.0, 30.0);
+        let report = service.run(vec![
+            QueryRequest::window(ia, window),
+            QueryRequest::join(ia, ib).with_algorithm(Algo::Sssj),
+            QueryRequest::window(ib, window),
+        ]);
+        assert_eq!(report.stats.completed, 3);
+        // Nothing compatible to coalesce: different datasets, and the join
+        // never batches.
+        assert_eq!(report.stats.shared_scans, 0);
+        assert_eq!(report.stats.coalesced, 0);
+    }
+
+    #[test]
+    fn overtakes_are_bounded_and_stamped() {
+        let a = grid(30, 4.0, 0.0, 0);
+        let limit = 4 * 1024 * 1024;
+        let (service, ia, _) = service_over(
+            &a,
+            &a,
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_memory_limit(limit)
+                .with_max_overtakes(2),
+        );
+        // A long heavy join runs first; a second heavy join blocks on the
+        // gauge while cheap selections are free to overtake it — but no
+        // more than max_overtakes times.
+        let heavy = || {
+            QueryRequest::join(ia, ia)
+                .with_algorithm(Algo::Sssj)
+                .with_memory_budget(3 * 1024 * 1024)
+        };
+        let mut requests = vec![heavy(), heavy()];
+        for _ in 0..6 {
+            requests.push(QueryRequest::window(ia, Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        }
+        let report = service.run(requests);
+        assert_eq!(report.stats.completed, 8);
+        for outcome in &report.outcomes {
+            assert!(
+                outcome.stats.overtaken <= 2,
+                "request #{} overtaken {} times (> max_overtakes)",
+                outcome.request,
+                outcome.stats.overtaken
+            );
+        }
+    }
+
+    #[test]
+    fn queue_wait_is_anchored_at_first_enqueue() {
+        // Regression test for the deferred-wait accounting fix: a request
+        // that sits behind a running query must report the full span from
+        // its first enqueue to its admission, not the residue since its
+        // last failed admission attempt.
+        let a = grid(30, 4.0, 0.0, 0);
+        let limit = 4 * 1024 * 1024;
+        let (service, ia, _) = service_over(
+            &a,
+            &a,
+            ServiceConfig::default().with_workers(2).with_memory_limit(limit),
+        );
+        // Both demand 3 of the 4 MB: strictly serialized by the gauge even
+        // though two workers are free, so the second's queue wait covers
+        // the first's entire execution.
+        let heavy = || {
+            QueryRequest::join(ia, ia)
+                .with_algorithm(Algo::Sssj)
+                .with_memory_budget(3 * 1024 * 1024)
+        };
+        let report = service.run(vec![heavy(), heavy()]);
+        assert_eq!(report.stats.completed, 2);
+        let first = &report.outcomes[0].stats;
+        let second = &report.outcomes[1].stats;
+        assert!(second.deferrals > 0, "the second must have been deferred");
+        let first_execution = first.latency.saturating_sub(first.queue_wait);
+        assert!(
+            second.queue_wait >= first_execution / 2,
+            "deferred wait must cover the blocking query's execution \
+             ({:?} vs execution {:?})",
+            second.queue_wait,
+            first_execution
+        );
+        assert!(second.latency >= second.queue_wait);
     }
 
     #[test]

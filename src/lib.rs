@@ -82,9 +82,9 @@ pub mod prelude {
         query::{Algo, Execution, MemoryPlan, PartitionStrategy, QueryPlan, SpatialQuery},
         sssj::SssjJoin,
         st::StJoin,
-        CatalogedInput, CollectSink, CountSink, GridHistogram, JoinAlgorithm, JoinInput,
-        JoinOperator, JoinResult, LimitSink, MemoryStats, MultiwayJoin, PairSink, Predicate,
-        SampleSink, TripleSink,
+        CatalogedInput, CollectSink, CountSink, FanoutSink, GridHistogram, JoinAlgorithm,
+        JoinInput, JoinOperator, JoinResult, LimitSink, MemoryStats, MultiwayJoin, PairSink,
+        Predicate, SampleSink, TripleSink,
     };
     pub use usj_datagen::{Preset, Workload, WorkloadSpec};
     pub use usj_geom::{Interval, Point, Rect};
@@ -92,7 +92,8 @@ pub mod prelude {
     pub use usj_rtree::{NodeStore, RTree};
     pub use usj_service::{
         CancelToken, Catalog, Dataset, DatasetId, JoinSpec, PlanCache, QueryKind, QueryOutcome,
-        QueryRequest, QueryStatus, Service, ServiceConfig, ServiceReport, ServiceStats,
+        QueryRequest, QueryStats, QueryStatus, Service, ServiceConfig, ServiceReport,
+        ServiceStats, Session,
     };
     pub use usj_sweep::{
         EagerStripedSweep, ForwardSweep, ListSweep, StripedSweep, SweepScratch, SweepStructure,
