@@ -7,14 +7,16 @@
 //! experiments:
 //!   table2 table3 table4 fig2-estimated fig2-observed fig3 crossover
 //!   ablation-sweep ablation-buffer ablation-tiles ablation-packing
-//!   low-memory service hotpath load all
+//!   low-memory service hotpath load live all
 //! ```
 //!
-//! `service` and `hotpath` additionally write their rows as machine-readable
-//! `BENCH_service.json` / `BENCH_hotpath.json` in the current directory.
-//! `load` (which honours `--requests` and `--workers`) rewrites
-//! `BENCH_service.json` with the open-loop tail-latency rows and *appends* a
-//! point to the tracked `BENCH_trajectory.json`.
+//! `service` additionally writes its rows as machine-readable
+//! `BENCH_service.json` in the current directory. `hotpath` writes the full
+//! detail as `BENCH_hotpath_latest.json` and *appends* a compact point to
+//! the tracked `BENCH_hotpath.json` trajectory. `load` (which honours
+//! `--requests` and `--workers`) and `live` rewrite `BENCH_service.json`
+//! with their latest rows and *append* a point to the tracked
+//! `BENCH_trajectory.json`.
 
 use usj_bench::{ExperimentConfig, LoadSpec, *};
 use usj_datagen::Preset;
@@ -93,6 +95,13 @@ fn parse_config(args: &[String]) -> CliOptions {
     }
 }
 
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
@@ -141,14 +150,27 @@ fn main() {
         "hotpath" => {
             let (kernels, joins) = hotpath(&cfg);
             let json = hotpath_json(&cfg, &kernels, &joins);
-            let path = "BENCH_hotpath.json";
-            std::fs::write(path, &json)
-                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            let latest = "BENCH_hotpath_latest.json";
+            std::fs::write(latest, &json)
+                .unwrap_or_else(|e| die(&format!("cannot write {latest}: {e}")));
             println!(
-                "wrote {path} ({} kernel rows, {} join rows)",
+                "wrote {latest} ({} kernel rows, {} join rows)",
                 kernels.len(),
                 joins.len()
             );
+
+            let point = hotpath_trajectory_point(&cfg, &kernels, &joins, unix_now());
+            let trajectory = "BENCH_hotpath.json";
+            let existing = std::fs::read_to_string(trajectory).ok();
+            let updated = append_trajectory_with(
+                existing.as_deref(),
+                &point,
+                HOTPATH_TRAJECTORY_DESCRIPTION,
+            )
+            .unwrap_or_else(|e| die(&e));
+            std::fs::write(trajectory, updated)
+                .unwrap_or_else(|e| die(&format!("cannot write {trajectory}: {e}")));
+            println!("appended 1 point to {trajectory}");
         }
         "load" => {
             let mut spec = LoadSpec::from_config(&cfg);
@@ -164,11 +186,27 @@ fn main() {
                 .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             println!("wrote {path} ({} rows + batching A/B)", outcome.rows.len());
 
-            let unix_time = std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_secs())
-                .unwrap_or(0);
-            let point = trajectory_point(&spec, &outcome, unix_time);
+            let point = trajectory_point(&spec, &outcome, unix_now());
+            let trajectory = "BENCH_trajectory.json";
+            let existing = std::fs::read_to_string(trajectory).ok();
+            let updated = append_trajectory(existing.as_deref(), &point)
+                .unwrap_or_else(|e| die(&e));
+            std::fs::write(trajectory, updated)
+                .unwrap_or_else(|e| die(&format!("cannot write {trajectory}: {e}")));
+            println!("appended 1 point to {trajectory}");
+        }
+        "live" => {
+            let (rows, interference) = live_bench(&cfg);
+            let path = "BENCH_service.json";
+            std::fs::write(path, live_bench_json(&cfg, &rows, &interference))
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!(
+                "wrote {path} ({} early-result rows, {} interference rows)",
+                rows.len(),
+                interference.len()
+            );
+
+            let point = live_trajectory_point(&cfg, &rows, &interference, unix_now());
             let trajectory = "BENCH_trajectory.json";
             let existing = std::fs::read_to_string(trajectory).ok();
             let updated = append_trajectory(existing.as_deref(), &point)

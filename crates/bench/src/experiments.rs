@@ -459,6 +459,7 @@ pub fn run_all(cfg: &ExperimentConfig) {
     low_memory(cfg);
     crate::service_exp::service_bench(cfg);
     crate::hotpath::hotpath(cfg);
+    crate::live_exp::live_bench(cfg);
 }
 
 #[cfg(test)]

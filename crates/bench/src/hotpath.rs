@@ -18,9 +18,12 @@
 //!   in either the host time or the simulated cost model show up in the
 //!   same artifact.
 //!
-//! `repro hotpath` writes the rows as machine-readable `BENCH_hotpath.json`.
-//! Wall-clock numbers vary across hosts; the speedup *ratios* and the
-//! oracle-checked pair counts are the stable part.
+//! `repro hotpath` writes the full rows as `BENCH_hotpath_latest.json`
+//! (scratch, overwritten per run) and **appends** a compact point to the
+//! tracked `BENCH_hotpath.json` trajectory, so cross-PR wall-clock history
+//! accumulates instead of each run replacing the baseline. Wall-clock
+//! numbers vary across hosts; the speedup *ratios* and the oracle-checked
+//! pair counts are the stable part.
 
 use std::time::Instant;
 
@@ -325,6 +328,56 @@ pub fn hotpath_json(
     out
 }
 
+/// Renders one point of the tracked `BENCH_hotpath.json` *trajectory*:
+/// the per-preset kernel speedups plus every join's median wall-clock —
+/// the numbers a cross-PR regression scan needs, without the per-run CPU
+/// counter detail (that lives in `BENCH_hotpath_latest.json`). `unix_time`
+/// is the caller-provided wall-clock stamp (seconds since the epoch).
+pub fn hotpath_trajectory_point(
+    cfg: &ExperimentConfig,
+    kernels: &[HotpathKernelRow],
+    joins: &[HotpathJoinRow],
+    unix_time: u64,
+) -> String {
+    let kernel_points: Vec<String> = kernels
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"preset\": \"{}\", \"pairs\": {}, \"striped_ms\": {:.4}, \
+                 \"speedup_striped_vs_list\": {:.3}, \"speedup_striped_vs_eager\": {:.3}}}",
+                r.preset,
+                r.pairs,
+                r.striped_ms,
+                r.speedup_striped(),
+                r.speedup_striped_vs_eager()
+            )
+        })
+        .collect();
+    let join_points: Vec<String> = joins
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"preset\": \"{}\", \"algo\": \"{}\", \"wall_ms_median\": {:.4}, \
+                 \"peak_bytes\": {}}}",
+                r.preset, r.algo, r.wall_ms_median, r.peak_bytes
+            )
+        })
+        .collect();
+    format!(
+        "    {{\"experiment\": \"hotpath\", \"unix_time\": {}, \"scale\": {}, \"seed\": {}, \
+         \"kernel\": [{}], \"joins\": [{}]}}\n",
+        unix_time,
+        cfg.scale,
+        cfg.seed,
+        kernel_points.join(", "),
+        join_points.join(", ")
+    )
+}
+
+/// Description stamped into a fresh hotpath trajectory document.
+pub const HOTPATH_TRAJECTORY_DESCRIPTION: &str =
+    "usj hot-path wall-clock trajectory; repro hotpath appends one point per run";
+
 /// Host wall-clock of one closure call, milliseconds (exposed for smoke
 /// tests that want a single ad-hoc measurement).
 pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -360,6 +413,26 @@ mod tests {
         assert_eq!(json.matches("\"algo\":").count(), 8);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        // The trajectory point is append-compatible with the shared
+        // trajectory machinery and keeps every earlier point.
+        let point = hotpath_trajectory_point(&cfg, &kernels, &joins, 1_700_000_000);
+        assert_eq!(point.matches('{').count(), point.matches('}').count());
+        let doc = crate::loadgen::append_trajectory_with(
+            None,
+            &point,
+            HOTPATH_TRAJECTORY_DESCRIPTION,
+        )
+        .unwrap();
+        assert!(doc.contains(HOTPATH_TRAJECTORY_DESCRIPTION));
+        let doc2 = crate::loadgen::append_trajectory_with(
+            Some(&doc),
+            &point,
+            HOTPATH_TRAJECTORY_DESCRIPTION,
+        )
+        .unwrap();
+        assert_eq!(doc2.matches("\"experiment\": \"hotpath\"").count(), 2);
+
         let (_, ms) = time_ms(|| 1 + 1);
         assert!(ms >= 0.0);
     }

@@ -18,8 +18,9 @@
 //! | `repro ablation-packing` | 75 %+20 % packing vs full packing (Sec. 7) |
 //! | `repro low-memory` | memory governor: spill I/O vs 4/16/64 MB limits |
 //! | `repro service` | service throughput: 16 concurrent requests at 2/4/8 workers under a 16 MB shared budget (also writes `BENCH_service.json`) |
-//! | `repro hotpath` | wall-clock of the real kernels: SoA sweep vs the naive list baseline, plus all four algorithms (also writes `BENCH_hotpath.json`) |
+//! | `repro hotpath` | wall-clock of the real kernels: SoA sweep vs the naive list baseline, plus all four algorithms (writes `BENCH_hotpath_latest.json`, appends to the tracked `BENCH_hotpath.json` trajectory) |
 //! | `repro load` | open-loop load harness: tail latency, queue depth and deferral rate over a seeded arrival schedule, plus the shared-scan A/B (writes `BENCH_service.json`, appends to `BENCH_trajectory.json`) |
+//! | `repro live` | streaming joins over live LSM datasets: time-to-first-K-pairs vs full offline SSSJ, plus ingest-while-querying compaction interference (writes `BENCH_service.json`, appends to `BENCH_trajectory.json`) |
 //! | `repro all` | everything above |
 //!
 //! Every experiment accepts `--scale <divisor>` (default 200) which divides
@@ -33,17 +34,25 @@
 
 pub mod experiments;
 pub mod hotpath;
+pub mod live_exp;
 pub mod loadgen;
 pub mod quick;
 pub mod service_exp;
 pub mod setup;
 
 pub use experiments::*;
-pub use hotpath::{hotpath, hotpath_json, HotpathJoinRow, HotpathKernelRow};
+pub use hotpath::{
+    hotpath, hotpath_json, hotpath_trajectory_point, HotpathJoinRow, HotpathKernelRow,
+    HOTPATH_TRAJECTORY_DESCRIPTION,
+};
+pub use live_exp::{
+    live_bench, live_bench_json, live_trajectory_point, LiveBenchRow, LiveInterferenceRow,
+    FIRST_K,
+};
 pub use loadgen::{
-    append_trajectory, generate_schedule, load_bench, load_bench_json, trajectory_point,
-    ArrivalCurve, BatchingComparison, LoadOutcome, LoadRow, LoadSpec, RequestTemplate,
-    TemplateKind,
+    append_trajectory, append_trajectory_with, generate_schedule, load_bench, load_bench_json,
+    trajectory_point, ArrivalCurve, BatchingComparison, LoadOutcome, LoadRow, LoadSpec,
+    RequestTemplate, TemplateKind,
 };
 pub use quick::{BenchReport, QuickBench};
 pub use service_exp::{service_bench, service_bench_json, ServiceBenchRow};

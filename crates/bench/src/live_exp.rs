@@ -1,0 +1,521 @@
+//! The `live` experiment: streaming joins over LSM datasets under ingestion.
+//!
+//! Two questions, both wall-clock:
+//!
+//! * **Early results** — the streaming symmetric join emits pairs as items
+//!   arrive, so its *time-to-first-K-pairs* should sit far below the
+//!   offline SSSJ's *total* wall-clock on the same snapshot (which must
+//!   first materialise the snapshot into one sorted run, then sweep it to
+//!   completion). That gap is the entire point of the operator.
+//! * **Compaction interference** — a query that lands while the dataset
+//!   carries unmerged delta runs reads more, smaller runs than one landing
+//!   right after a compaction folded everything into a fresh base. The
+//!   ingest-while-querying loop drives [`Service::append_live`] and
+//!   [`QueryRequest::streaming_join`] in alternation and buckets the
+//!   per-query latencies by how fragmented the snapshot was.
+//!
+//! `repro live` writes the rows as `BENCH_service.json` (the scratch
+//! latest-run document, like `repro load`) and appends one point to the
+//! tracked `BENCH_trajectory.json`.
+
+use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
+
+use usj_core::{JoinInput, JoinOperator, PairSink, SssjJoin};
+use usj_datagen::WorkloadSpec;
+use usj_geom::Item;
+use usj_io::{MachineConfig, SimEnv};
+use usj_live::{LiveConfig, LiveDataset, LiveSnapshot, StreamingJoin};
+use usj_service::{Catalog, QueryRequest, Service, ServiceConfig};
+
+use crate::setup::ExperimentConfig;
+
+/// The early-result target: wall-clock until this many pairs have been
+/// delivered (clamped to the result size on small workloads).
+pub const FIRST_K: u64 = 1000;
+
+/// Ingest batches driven through the service in the interference loop.
+const INGEST_BATCHES: usize = 8;
+
+/// A sink that timestamps the K-th delivered pair and keeps streaming.
+struct FirstKSink {
+    k: u64,
+    count: u64,
+    started: Instant,
+    first_k: Option<Duration>,
+}
+
+impl FirstKSink {
+    fn new(k: u64) -> Self {
+        FirstKSink {
+            k,
+            count: 0,
+            started: Instant::now(),
+            first_k: None,
+        }
+    }
+}
+
+impl PairSink for FirstKSink {
+    fn emit(&mut self, _left: u32, _right: u32) -> ControlFlow<()> {
+        self.count += 1;
+        if self.first_k.is_none() && self.count >= self.k {
+            self.first_k = Some(self.started.elapsed());
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// One preset's early-result measurement.
+#[derive(Debug, Clone)]
+pub struct LiveBenchRow {
+    /// Workload preset name.
+    pub preset: String,
+    /// Items in the left (road) snapshot.
+    pub left_items: u64,
+    /// Items in the right (hydrography) snapshot.
+    pub right_items: u64,
+    /// Total intersecting pairs (streaming == offline, asserted).
+    pub pairs: u64,
+    /// The K the stopwatch waited for: `min(FIRST_K, pairs)`.
+    pub first_k: u64,
+    /// Wall-clock until the K-th streamed pair, milliseconds.
+    pub streaming_first_k_ms: f64,
+    /// Wall-clock of the full streaming join, milliseconds.
+    pub streaming_total_ms: f64,
+    /// Wall-clock of the offline path — materialise the snapshots into
+    /// sorted runs, then SSSJ to completion — milliseconds.
+    pub offline_sssj_ms: f64,
+    /// Sorted runs in the left snapshot (base + deltas + memtable).
+    pub left_runs: usize,
+    /// Sorted runs in the right snapshot.
+    pub right_runs: usize,
+}
+
+impl LiveBenchRow {
+    /// How much sooner the K-th pair arrives than the offline answer.
+    pub fn early_speedup(&self) -> f64 {
+        self.offline_sssj_ms / self.streaming_first_k_ms.max(f64::EPSILON)
+    }
+}
+
+/// One preset's ingest-while-querying interference measurement.
+#[derive(Debug, Clone)]
+pub struct LiveInterferenceRow {
+    /// Workload preset name.
+    pub preset: String,
+    /// Append batches driven through the service.
+    pub ingest_batches: u64,
+    /// Memtable flushes those appends triggered (both datasets).
+    pub flushes: u64,
+    /// Compactions those appends triggered (both datasets).
+    pub compactions: u64,
+    /// Largest delta-run count any query saw across both inputs.
+    pub max_delta_runs: usize,
+    /// Mean streaming-query latency when ≥ 1 delta run was pending, ms.
+    pub query_ms_fragmented: f64,
+    /// Mean streaming-query latency over fully compacted inputs, ms.
+    pub query_ms_compacted: f64,
+    /// Wall-clock spent inside appends that compacted, milliseconds.
+    pub compaction_ms: f64,
+}
+
+impl LiveInterferenceRow {
+    /// Fragmented / compacted latency ratio (1.0 when a bucket is empty).
+    pub fn interference(&self) -> f64 {
+        if self.query_ms_compacted <= 0.0 || self.query_ms_fragmented <= 0.0 {
+            1.0
+        } else {
+            self.query_ms_fragmented / self.query_ms_compacted
+        }
+    }
+}
+
+/// Builds a live dataset whose history left it genuinely fragmented: part
+/// of the items as the base run, the rest appended in chunks small enough
+/// to flush several delta runs but not enough to trigger compaction.
+fn fragmented_dataset(env: &mut SimEnv, name: &str, items: &[Item]) -> LiveDataset {
+    let split = items.len() / 2;
+    let config = LiveConfig {
+        flush_threshold_bytes: (items.len() / 8).max(64) * usj_geom::ITEM_BYTES,
+        compact_after_deltas: 0, // manual only: keep the runs for the bench
+    };
+    let ds = env.unaccounted(|env| {
+        let mut ds = LiveDataset::create(env, name, &items[..split], config)
+            .expect("create live dataset");
+        for chunk in items[split..].chunks((items.len() / 6).max(32)) {
+            ds.append(env, chunk).expect("append");
+        }
+        ds
+    });
+    env.device.reset_stats();
+    ds
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    samples[samples.len() / 2]
+}
+
+/// Times the offline path once: snapshot → one sorted run → full SSSJ.
+fn offline_once(env: &mut SimEnv, left: &LiveSnapshot, right: &LiveSnapshot) -> (u64, f64) {
+    let start = Instant::now();
+    let sl = left.to_stream(env).expect("materialise left");
+    let sr = right.to_stream(env).expect("materialise right");
+    let result = SssjJoin::default()
+        .run(env, JoinInput::Stream(&sl), JoinInput::Stream(&sr))
+        .expect("offline SSSJ");
+    (result.pairs, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// Times the streaming join once, returning (pairs, first-K ms, total ms).
+fn streaming_once(
+    env: &mut SimEnv,
+    left: &LiveSnapshot,
+    right: &LiveSnapshot,
+    k: u64,
+) -> (u64, f64, f64) {
+    let mut sink = FirstKSink::new(k);
+    let start = Instant::now();
+    StreamingJoin::default()
+        .run(env, left, right, &mut sink)
+        .expect("streaming join");
+    let total_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let first_k_ms = sink
+        .first_k
+        .map_or(total_ms, |d| d.as_secs_f64() * 1000.0);
+    (sink.count, first_k_ms, total_ms)
+}
+
+/// Wall-clock samples per timed case (median reported).
+const SAMPLES: usize = 3;
+
+/// Runs the live experiment: the early-result race on every preset, then
+/// the service-driven ingest-while-querying interference loop.
+///
+/// Panics if the streaming pair count ever diverges from the offline
+/// SSSJ's — the timings are only meaningful while the answers agree.
+pub fn live_bench(cfg: &ExperimentConfig) -> (Vec<LiveBenchRow>, Vec<LiveInterferenceRow>) {
+    println!(
+        "\n== Live: time-to-first-{FIRST_K}-pairs (streaming) vs full offline SSSJ (scale divisor {}) ==",
+        cfg.scale
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>10} {:>8} {:>11} {:>11} {:>11} {:>9}",
+        "Data set", "left", "right", "pairs", "K", "first-K ms", "stream ms", "offline ms", "early x"
+    );
+    let mut rows = Vec::new();
+    for &preset in &cfg.presets {
+        let workload = WorkloadSpec::preset(preset)
+            .with_scale(cfg.scale)
+            .generate(cfg.seed);
+        let mut env = SimEnv::new(MachineConfig::machine3());
+        let roads = fragmented_dataset(&mut env, "roads", &workload.roads);
+        let hydro = fragmented_dataset(&mut env, "hydro", &workload.hydro);
+        let (snap_l, snap_r) = (roads.snapshot(), hydro.snapshot());
+
+        // One untimed differential run pins the pair counts before any
+        // timing is believed.
+        let (offline_pairs, _) = offline_once(&mut env, &snap_l, &snap_r);
+        let k = FIRST_K.min(offline_pairs.max(1));
+        let (streamed, _, _) = streaming_once(&mut env, &snap_l, &snap_r, k);
+        assert_eq!(
+            streamed, offline_pairs,
+            "{preset}: streaming join diverged from offline SSSJ"
+        );
+
+        let mut first_k_samples = Vec::with_capacity(SAMPLES);
+        let mut total_samples = Vec::with_capacity(SAMPLES);
+        let mut offline_samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let (_, first_k_ms, total_ms) = streaming_once(&mut env, &snap_l, &snap_r, k);
+            first_k_samples.push(first_k_ms);
+            total_samples.push(total_ms);
+            let (_, offline_ms) = offline_once(&mut env, &snap_l, &snap_r);
+            offline_samples.push(offline_ms);
+        }
+        let row = LiveBenchRow {
+            preset: preset.name().to_string(),
+            left_items: snap_l.len(),
+            right_items: snap_r.len(),
+            pairs: offline_pairs,
+            first_k: k,
+            streaming_first_k_ms: median_ms(&mut first_k_samples),
+            streaming_total_ms: median_ms(&mut total_samples),
+            offline_sssj_ms: median_ms(&mut offline_samples),
+            left_runs: snap_l.run_count(),
+            right_runs: snap_r.run_count(),
+        };
+        println!(
+            "{:<10} {:>9} {:>9} {:>10} {:>8} {:>11.3} {:>11.3} {:>11.3} {:>8.1}x",
+            row.preset,
+            row.left_items,
+            row.right_items,
+            row.pairs,
+            row.first_k,
+            row.streaming_first_k_ms,
+            row.streaming_total_ms,
+            row.offline_sssj_ms,
+            row.early_speedup(),
+        );
+        rows.push(row);
+    }
+
+    println!("\n== Live: ingest-while-querying through the service (compaction interference) ==");
+    println!(
+        "{:<10} {:>8} {:>8} {:>9} {:>9} {:>12} {:>12} {:>9} {:>11}",
+        "Data set", "batches", "flushes", "compacts", "max runs", "frag q ms", "compact q ms", "interf", "compact ms"
+    );
+    let mut interference = Vec::new();
+    for &preset in &cfg.presets {
+        let row = interference_loop(cfg, preset);
+        println!(
+            "{:<10} {:>8} {:>8} {:>9} {:>9} {:>12.3} {:>12.3} {:>8.2}x {:>11.1}",
+            row.preset,
+            row.ingest_batches,
+            row.flushes,
+            row.compactions,
+            row.max_delta_runs,
+            row.query_ms_fragmented,
+            row.query_ms_compacted,
+            row.interference(),
+            row.compaction_ms,
+        );
+        interference.push(row);
+    }
+    println!(
+        "(first-K clock starts when the join starts; the offline column includes materialising \
+         the snapshot into one sorted run, which is exactly the work streaming avoids)"
+    );
+    (rows, interference)
+}
+
+/// Alternates `append_live` batches with streaming queries on one service,
+/// bucketing query latency by snapshot fragmentation at execution time.
+fn interference_loop(cfg: &ExperimentConfig, preset: usj_datagen::Preset) -> LiveInterferenceRow {
+    let workload = WorkloadSpec::preset(preset)
+        .with_scale(cfg.scale)
+        .generate(cfg.seed);
+    let mut service = Service::new(
+        SimEnv::new(MachineConfig::machine3()),
+        Catalog::new(),
+        ServiceConfig::default().with_workers(2),
+    );
+    let half_r = workload.roads.len() / 2;
+    let half_h = workload.hydro.len() / 2;
+    // Flush every ~quarter batch; compact after two pending deltas, so the
+    // loop naturally alternates fragmented and freshly-compacted states.
+    let config = |items: usize| LiveConfig {
+        flush_threshold_bytes: (items / (INGEST_BATCHES * 4)).max(64) * usj_geom::ITEM_BYTES,
+        compact_after_deltas: 2,
+    };
+    let la = service
+        .register_live("roads", &workload.roads[..half_r], config(workload.roads.len()))
+        .expect("register roads");
+    let lb = service
+        .register_live("hydro", &workload.hydro[..half_h], config(workload.hydro.len()))
+        .expect("register hydro");
+
+    let road_chunks: Vec<&[Item]> = workload.roads[half_r..]
+        .chunks(workload.roads[half_r..].len().div_ceil(INGEST_BATCHES))
+        .collect();
+    let hydro_chunks: Vec<&[Item]> = workload.hydro[half_h..]
+        .chunks(workload.hydro[half_h..].len().div_ceil(INGEST_BATCHES))
+        .collect();
+
+    let stats_of = |service: &Service, name: &str| {
+        let (_, ds) = service.live().lookup(name).expect("dataset registered");
+        (ds.stats(), ds.delta_runs().len())
+    };
+    let (mut fragmented, mut compacted): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+    let mut max_delta_runs = 0usize;
+    let mut compaction_ms = 0.0f64;
+    let mut batches = 0u64;
+    for i in 0..road_chunks.len().max(hydro_chunks.len()) {
+        let before = stats_of(&service, "roads").0.compactions
+            + stats_of(&service, "hydro").0.compactions;
+        let ingest_start = Instant::now();
+        if let Some(chunk) = road_chunks.get(i) {
+            service.append_live("roads", chunk).expect("append roads");
+        }
+        if let Some(chunk) = hydro_chunks.get(i) {
+            service.append_live("hydro", chunk).expect("append hydro");
+        }
+        let ingest_ms = ingest_start.elapsed().as_secs_f64() * 1000.0;
+        let after = stats_of(&service, "roads").0.compactions
+            + stats_of(&service, "hydro").0.compactions;
+        if after > before {
+            compaction_ms += ingest_ms;
+        }
+        batches += 1;
+
+        let pending = stats_of(&service, "roads").1 + stats_of(&service, "hydro").1;
+        max_delta_runs = max_delta_runs.max(pending);
+        let report = service.run(vec![QueryRequest::streaming_join(la, lb)]);
+        let outcome = &report.outcomes[0];
+        assert!(outcome.is_completed(), "{:?}", outcome.status);
+        let latency_ms = outcome.stats.latency.as_secs_f64() * 1000.0;
+        if pending > 0 {
+            fragmented.push(latency_ms);
+        } else {
+            compacted.push(latency_ms);
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let (roads_stats, _) = stats_of(&service, "roads");
+    let (hydro_stats, _) = stats_of(&service, "hydro");
+    LiveInterferenceRow {
+        preset: preset.name().to_string(),
+        ingest_batches: batches,
+        flushes: roads_stats.flushes + hydro_stats.flushes,
+        compactions: roads_stats.compactions + hydro_stats.compactions,
+        max_delta_runs,
+        query_ms_fragmented: mean(&fragmented),
+        query_ms_compacted: mean(&compacted),
+        compaction_ms,
+    }
+}
+
+/// Renders the outcome as the `BENCH_service.json` document `repro live`
+/// writes (hand-rolled JSON — the workspace is dependency-free).
+pub fn live_bench_json(
+    cfg: &ExperimentConfig,
+    rows: &[LiveBenchRow],
+    interference: &[LiveInterferenceRow],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"live\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", cfg.scale));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"first_k_target\": {FIRST_K},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"preset\": \"{}\", \"left_items\": {}, \"right_items\": {}, \"pairs\": {}, \
+             \"first_k\": {}, \"streaming_first_k_ms\": {:.4}, \"streaming_total_ms\": {:.4}, \
+             \"offline_sssj_ms\": {:.4}, \"early_speedup\": {:.3}, \
+             \"left_runs\": {}, \"right_runs\": {}}}{}\n",
+            r.preset,
+            r.left_items,
+            r.right_items,
+            r.pairs,
+            r.first_k,
+            r.streaming_first_k_ms,
+            r.streaming_total_ms,
+            r.offline_sssj_ms,
+            r.early_speedup(),
+            r.left_runs,
+            r.right_runs,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"interference\": [\n");
+    for (i, r) in interference.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"preset\": \"{}\", \"ingest_batches\": {}, \"flushes\": {}, \
+             \"compactions\": {}, \"max_delta_runs\": {}, \"query_ms_fragmented\": {:.4}, \
+             \"query_ms_compacted\": {:.4}, \"interference\": {:.3}, \"compaction_ms\": {:.4}}}{}\n",
+            r.preset,
+            r.ingest_batches,
+            r.flushes,
+            r.compactions,
+            r.max_delta_runs,
+            r.query_ms_fragmented,
+            r.query_ms_compacted,
+            r.interference(),
+            r.compaction_ms,
+            if i + 1 == interference.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders one `BENCH_trajectory.json` point for this run. `unix_time` is
+/// the caller-provided wall-clock stamp (seconds since the epoch).
+pub fn live_trajectory_point(
+    cfg: &ExperimentConfig,
+    rows: &[LiveBenchRow],
+    interference: &[LiveInterferenceRow],
+    unix_time: u64,
+) -> String {
+    let per_preset: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"preset\": \"{}\", \"first_k\": {}, \"streaming_first_k_ms\": {:.4}, \
+                 \"offline_sssj_ms\": {:.4}, \"early_speedup\": {:.3}}}",
+                r.preset,
+                r.first_k,
+                r.streaming_first_k_ms,
+                r.offline_sssj_ms,
+                r.early_speedup()
+            )
+        })
+        .collect();
+    let worst_interference = interference
+        .iter()
+        .map(|r| r.interference())
+        .fold(1.0f64, f64::max);
+    format!(
+        "    {{\"experiment\": \"live\", \"unix_time\": {}, \"scale\": {}, \"seed\": {}, \
+         \"first_k_target\": {}, \"worst_interference\": {:.3}, \"rows\": [{}]}}\n",
+        unix_time,
+        cfg.scale,
+        cfg.seed,
+        FIRST_K,
+        worst_interference,
+        per_preset.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_datagen::Preset;
+
+    #[test]
+    fn live_bench_runs_and_serializes_on_a_tiny_configuration() {
+        let cfg = ExperimentConfig {
+            scale: 2_000,
+            seed: 7,
+            presets: vec![Preset::NJ, Preset::NY],
+        };
+        let (rows, interference) = live_bench(&cfg);
+        assert_eq!(rows.len(), 2, "one early-result row per preset");
+        assert_eq!(interference.len(), 2, "one interference row per preset");
+        for r in &rows {
+            // The stopwatch is monotone by construction, and the snapshot
+            // history really was fragmented.
+            assert!(r.streaming_first_k_ms <= r.streaming_total_ms);
+            assert!(r.left_runs > 1, "{}: base-only snapshot", r.preset);
+            assert!(r.first_k <= FIRST_K && r.first_k >= 1);
+        }
+        for r in &interference {
+            assert_eq!(r.ingest_batches, INGEST_BATCHES as u64);
+            assert!(r.flushes > 0, "{}: no flush ever triggered", r.preset);
+            assert!(r.compactions > 0, "{}: no compaction triggered", r.preset);
+            assert!(r.max_delta_runs > 0);
+        }
+
+        let json = live_bench_json(&cfg, &rows, &interference);
+        assert!(json.contains("\"experiment\": \"live\""));
+        assert_eq!(json.matches("\"preset\":").count(), 4);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        let point = live_trajectory_point(&cfg, &rows, &interference, 1_700_000_000);
+        assert!(point.contains("\"experiment\": \"live\""));
+        assert_eq!(point.matches('{').count(), point.matches('}').count());
+        let doc = crate::loadgen::append_trajectory(None, &point).unwrap();
+        let doc = crate::loadgen::append_trajectory(Some(&doc), &point).unwrap();
+        assert_eq!(doc.matches("\"experiment\": \"live\"").count(), 2);
+    }
+}

@@ -577,9 +577,9 @@ pub fn load_bench_json(spec: &LoadSpec, outcome: &LoadOutcome) -> String {
     out
 }
 
-/// Header of a fresh `BENCH_trajectory.json`.
-const TRAJECTORY_HEADER: &str = "{\n  \"description\": \"usj load-harness tail-latency \
-trajectory; repro load appends one point per run\",\n  \"points\": [\n";
+/// Description stamped into a fresh `BENCH_trajectory.json`.
+const TRAJECTORY_DESCRIPTION: &str =
+    "usj load-harness tail-latency trajectory; repro load appends one point per run";
 
 /// Footer every valid trajectory file ends with.
 const TRAJECTORY_FOOTER: &str = "  ]\n}\n";
@@ -619,8 +619,21 @@ pub fn trajectory_point(spec: &LoadSpec, outcome: &LoadOutcome, unix_time: u64) 
 /// look like a trajectory file — the tracked baseline must never be
 /// silently clobbered.
 pub fn append_trajectory(existing: Option<&str>, point: &str) -> Result<String, String> {
+    append_trajectory_with(existing, point, TRAJECTORY_DESCRIPTION)
+}
+
+/// [`append_trajectory`] with a caller-chosen description for the fresh
+/// document — the hotpath trajectory shares the file format but not the
+/// load harness's header text.
+pub fn append_trajectory_with(
+    existing: Option<&str>,
+    point: &str,
+    description: &str,
+) -> Result<String, String> {
     let Some(text) = existing else {
-        return Ok(format!("{TRAJECTORY_HEADER}{point}{TRAJECTORY_FOOTER}"));
+        return Ok(format!(
+            "{{\n  \"description\": \"{description}\",\n  \"points\": [\n{point}{TRAJECTORY_FOOTER}"
+        ));
     };
     if !text.contains("\"points\": [") || !text.ends_with(TRAJECTORY_FOOTER) {
         return Err(String::from(

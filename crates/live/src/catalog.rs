@@ -1,0 +1,647 @@
+//! LSM-style live dataset handles and their generation snapshots.
+//!
+//! A [`LiveDataset`] layers three tiers, youngest to oldest:
+//!
+//! 1. the gauged in-memory [`Memtable`] of not-yet-persisted inserts,
+//! 2. zero or more sorted **delta runs** on the device (each one flushed
+//!    memtable, sweep-key ordered),
+//! 3. the immutable **base run** with its bulk-loaded R-tree — exactly the
+//!    representation the static catalog persists.
+//!
+//! [`LiveDataset::append`] buffers inserts and flushes the memtable into a
+//! new delta run when its reservation reaches the configured threshold;
+//! once enough deltas accumulate, [`LiveDataset::compact`] folds base +
+//! deltas into a new base via the external sort (which degenerates into a
+//! k-way merge of the already-sorted runs on the packed `u64` sweep key)
+//! and rebuilds the R-tree. Every mutation bumps the **generation**.
+//!
+//! Reads never lock ingestion out: [`LiveDataset::snapshot`] clones the
+//! immutable run handles and freezes a sorted copy of the memtable. Device
+//! pages of persisted runs are never rewritten (compaction allocates new
+//! ones), so a snapshot stays valid however far ingestion advances — and it
+//! works unchanged on a forked worker environment layered over a device
+//! snapshot, which is how the service executes streaming joins.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use usj_geom::{Item, Rect};
+use usj_io::{extsort, ItemStream, ItemStreamReader, ItemStreamWriter, SimEnv};
+use usj_rtree::RTree;
+
+use crate::memtable::{frozen_sorted, Memtable};
+use crate::{LiveError, Result};
+
+/// Logical block size (in pages) of live base and delta runs.
+///
+/// Much smaller than [`usj_io::stream::DEFAULT_PAGES_PER_BLOCK`] on purpose: a
+/// snapshot cursor's reader claims one block of records from the memory
+/// gauge per refill, so the block size is the streaming-read granularity.
+/// Batch-oriented runs want big blocks (fewer seeks); a live run is read
+/// incrementally by symmetric joins that must coexist with the sweep
+/// structures inside a worker's admission budget, so it trades a few extra
+/// blocks for a small, steady per-cursor footprint.
+pub const LIVE_PAGES_PER_BLOCK: u64 = 2;
+
+/// Tuning knobs of a live dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// Memtable footprint (bytes) that triggers a flush to a delta run.
+    pub flush_threshold_bytes: usize,
+    /// Delta-run count that triggers automatic compaction (0 disables
+    /// auto-compaction; [`LiveDataset::compact`] can still be called).
+    pub compact_after_deltas: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            flush_threshold_bytes: 256 * 1024,
+            compact_after_deltas: 4,
+        }
+    }
+}
+
+/// One flushed memtable: a sweep-key-sorted run on the device.
+#[derive(Debug, Clone)]
+pub struct DeltaRun {
+    run: ItemStream,
+    bbox: Rect,
+}
+
+impl DeltaRun {
+    /// Records in the run.
+    pub fn len(&self) -> u64 {
+        self.run.len()
+    }
+
+    /// Returns `true` when the run holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.run.is_empty()
+    }
+
+    /// Bounding box of the run.
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+}
+
+/// Counters of one live dataset's ingestion history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Items appended since creation.
+    pub appended: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Items written to delta runs by flushes.
+    pub flushed_items: u64,
+    /// Items merged into new bases by compactions.
+    pub compacted_items: u64,
+}
+
+/// An LSM-style live dataset: immutable base + delta runs + memtable.
+#[derive(Debug)]
+pub struct LiveDataset {
+    name: String,
+    generation: u64,
+    base: ItemStream,
+    tree: RTree,
+    bbox: Rect,
+    deltas: Vec<DeltaRun>,
+    memtable: Memtable,
+    config: LiveConfig,
+    stats: LiveStats,
+}
+
+impl LiveDataset {
+    /// Creates a live dataset from an initial batch of records: externally
+    /// sorts them into the base run and bulk-loads its R-tree — the same
+    /// preparation pipeline as a static catalog registration.
+    pub fn create(
+        env: &mut SimEnv,
+        name: &str,
+        base_items: &[Item],
+        config: LiveConfig,
+    ) -> Result<Self> {
+        let stream = ItemStream::from_items_with_block(env, base_items, LIVE_PAGES_PER_BLOCK)?;
+        let (base, sort_stats) =
+            extsort::external_sort_by_key(env, &stream, Item::sweep_key, Item::cmp_by_lower_y)?;
+        let bbox = if sort_stats.bbox.is_empty() {
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0)
+        } else {
+            sort_stats.bbox
+        };
+        let tree = RTree::bulk_load_stream(env, &base)?;
+        Ok(LiveDataset {
+            name: name.to_string(),
+            generation: 0,
+            base,
+            tree,
+            bbox,
+            deltas: Vec::new(),
+            memtable: Memtable::new(env),
+            config,
+            stats: LiveStats::default(),
+        })
+    }
+
+    /// The registration name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Generation counter: bumped by every flush and compaction, so two
+    /// snapshots with equal generations see identical data.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total records visible to a snapshot taken now.
+    pub fn len(&self) -> u64 {
+        self.base.len()
+            + self.deltas.iter().map(DeltaRun::len).sum::<u64>()
+            + self.memtable.len() as u64
+    }
+
+    /// Returns `true` when no record is visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bounding box of everything visible (base, deltas and memtable).
+    pub fn bbox(&self) -> Rect {
+        let mut bbox = self.bbox;
+        for d in &self.deltas {
+            bbox = bbox.union(&d.bbox);
+        }
+        if !self.memtable.bbox().is_empty() {
+            bbox = bbox.union(&self.memtable.bbox());
+        }
+        bbox
+    }
+
+    /// The base run's R-tree (rebuilt by compaction; deltas and memtable
+    /// are *not* indexed — streaming consumers merge them by sweep key).
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// Delta runs currently awaiting compaction.
+    pub fn delta_runs(&self) -> &[DeltaRun] {
+        &self.deltas
+    }
+
+    /// Items currently buffered in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Ingestion counters.
+    pub fn stats(&self) -> LiveStats {
+        self.stats
+    }
+
+    /// Appends a batch of records.
+    ///
+    /// Inserts are buffered in the gauged memtable; when its footprint
+    /// reaches the flush threshold it is drained into a sorted delta run on
+    /// the device (charged I/O), and when enough deltas accumulate a merge
+    /// compaction folds them into a new base. Either maintenance step may
+    /// run zero or more times per call — the caller just appends.
+    pub fn append(&mut self, env: &mut SimEnv, items: &[Item]) -> Result<()> {
+        for &item in items {
+            self.memtable.insert(item)?;
+            self.stats.appended += 1;
+            if self.memtable.bytes() >= self.config.flush_threshold_bytes {
+                self.flush(env)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the memtable into a new sorted delta run (no-op when empty),
+    /// then compacts if the delta count reached the configured threshold.
+    pub fn flush(&mut self, env: &mut SimEnv) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let items = self.memtable.drain_sorted();
+        let mut bbox = Rect::empty();
+        let mut writer = ItemStreamWriter::new(env, LIVE_PAGES_PER_BLOCK);
+        for &item in &items {
+            bbox = if bbox.is_empty() {
+                item.rect
+            } else {
+                bbox.union(&item.rect)
+            };
+            writer.push(env, item)?;
+        }
+        let run = writer.finish(env)?;
+        self.stats.flushes += 1;
+        self.stats.flushed_items += items.len() as u64;
+        self.deltas.push(DeltaRun { run, bbox });
+        self.generation += 1;
+        if self.config.compact_after_deltas > 0
+            && self.deltas.len() >= self.config.compact_after_deltas
+        {
+            self.compact(env)?;
+        }
+        Ok(())
+    }
+
+    /// Merge compaction: folds base + every delta run into a new base run
+    /// and rebuilds the R-tree.
+    ///
+    /// The runs are concatenated and pushed through the external sort on
+    /// the packed sweep key; since every input run is already sorted, run
+    /// formation emits large presorted runs and the sort degenerates into
+    /// the k-way merge — all I/O charged like any other maintenance work.
+    /// The old base pages stay valid on the device, which is what keeps
+    /// earlier snapshots readable.
+    pub fn compact(&mut self, env: &mut SimEnv) -> Result<()> {
+        if self.deltas.is_empty() {
+            return Ok(());
+        }
+        let mut concat = ItemStreamWriter::new(env, LIVE_PAGES_PER_BLOCK);
+        let mut reader = self.base.reader();
+        while let Some(item) = reader.next(env)? {
+            concat.push(env, item)?;
+        }
+        let mut merged_items = self.base.len();
+        for delta in &self.deltas {
+            let mut reader = delta.run.reader();
+            while let Some(item) = reader.next(env)? {
+                concat.push(env, item)?;
+            }
+            merged_items += delta.run.len();
+        }
+        let concatenated = concat.finish(env)?;
+        let (base, sort_stats) = extsort::external_sort_by_key(
+            env,
+            &concatenated,
+            Item::sweep_key,
+            Item::cmp_by_lower_y,
+        )?;
+        self.bbox = if sort_stats.bbox.is_empty() {
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0)
+        } else {
+            sort_stats.bbox
+        };
+        self.tree = RTree::bulk_load_stream(env, &base)?;
+        self.base = base;
+        self.deltas.clear();
+        self.generation += 1;
+        self.stats.compactions += 1;
+        self.stats.compacted_items += merged_items;
+        Ok(())
+    }
+
+    /// Takes a consistent generation snapshot: immutable handles of the
+    /// base and delta runs plus a frozen sorted copy of the memtable.
+    ///
+    /// The snapshot stays valid while ingestion continues (persisted pages
+    /// are never rewritten) and can be read from any environment whose
+    /// device holds those pages — including a service worker's fork over a
+    /// device snapshot.
+    pub fn snapshot(&self) -> LiveSnapshot {
+        let mut runs = Vec::with_capacity(1 + self.deltas.len());
+        runs.push(self.base.clone());
+        for d in &self.deltas {
+            runs.push(d.run.clone());
+        }
+        LiveSnapshot {
+            generation: self.generation,
+            runs,
+            memtable: Arc::new(frozen_sorted(self.memtable.items())),
+            bbox: self.bbox(),
+        }
+    }
+}
+
+/// Identifier of a live dataset within one [`LiveCatalog`] (its
+/// registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LiveId(pub u32);
+
+/// A named registry of live datasets.
+#[derive(Debug, Default)]
+pub struct LiveCatalog {
+    datasets: Vec<LiveDataset>,
+    by_name: HashMap<String, u32>,
+}
+
+impl LiveCatalog {
+    /// An empty registry.
+    pub fn new() -> Self {
+        LiveCatalog::default()
+    }
+
+    /// Number of registered live datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Returns `true` when no live dataset is registered.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Registers a live dataset under `name` with an initial base batch.
+    pub fn register(
+        &mut self,
+        env: &mut SimEnv,
+        name: &str,
+        base_items: &[Item],
+        config: LiveConfig,
+    ) -> Result<LiveId> {
+        if self.by_name.contains_key(name) {
+            return Err(LiveError::DuplicateDataset(name.to_string()));
+        }
+        let dataset = LiveDataset::create(env, name, base_items, config)?;
+        let id = LiveId(self.datasets.len() as u32);
+        self.by_name.insert(name.to_string(), id.0);
+        self.datasets.push(dataset);
+        Ok(id)
+    }
+
+    /// Looks a live dataset up by identifier.
+    pub fn get(&self, id: LiveId) -> Option<&LiveDataset> {
+        self.datasets.get(id.0 as usize)
+    }
+
+    /// Looks a live dataset up by name.
+    pub fn lookup(&self, name: &str) -> Option<(LiveId, &LiveDataset)> {
+        let idx = *self.by_name.get(name)?;
+        Some((LiveId(idx), &self.datasets[idx as usize]))
+    }
+
+    /// Appends records to the live dataset registered under `name`.
+    pub fn append(&mut self, env: &mut SimEnv, name: &str, items: &[Item]) -> Result<()> {
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| LiveError::UnknownDataset(name.to_string()))?;
+        self.datasets[idx as usize].append(env, items)
+    }
+
+    /// Mutable access by name (flush/compact maintenance).
+    pub fn get_mut_by_name(&mut self, name: &str) -> Option<&mut LiveDataset> {
+        let idx = *self.by_name.get(name)?;
+        Some(&mut self.datasets[idx as usize])
+    }
+
+    /// Iterates over the registered live datasets in registration order.
+    pub fn datasets(&self) -> impl Iterator<Item = &LiveDataset> {
+        self.datasets.iter()
+    }
+}
+
+/// A consistent, immutable view of one live dataset at one generation.
+#[derive(Debug, Clone)]
+pub struct LiveSnapshot {
+    generation: u64,
+    /// Sweep-key-sorted runs, oldest (base) first.
+    runs: Vec<ItemStream>,
+    /// Frozen sorted copy of the memtable at snapshot time.
+    memtable: Arc<Vec<Item>>,
+    bbox: Rect,
+}
+
+impl LiveSnapshot {
+    /// The generation this snapshot captured.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total records in the snapshot.
+    pub fn len(&self) -> u64 {
+        self.runs.iter().map(ItemStream::len).sum::<u64>() + self.memtable.len() as u64
+    }
+
+    /// Returns `true` when the snapshot holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persisted runs in the snapshot (base + deltas).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Bounding box of the snapshot.
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// A streaming merge cursor over every tier, delivering records in
+    /// ascending sweep-key order *without* materialising or re-sorting
+    /// anything — this is what lets a streaming join emit pairs while the
+    /// scan is still running.
+    pub fn cursor(&self) -> SnapshotCursor {
+        SnapshotCursor {
+            readers: self.runs.iter().map(ItemStream::reader).collect(),
+            memtable: Arc::clone(&self.memtable),
+            mem_pos: 0,
+        }
+    }
+
+    /// Materialises the merged snapshot as one sorted stream on the device
+    /// (charged I/O) — the "equivalent snapshot" an offline join runs on.
+    pub fn to_stream(&self, env: &mut SimEnv) -> Result<ItemStream> {
+        let mut writer = ItemStreamWriter::with_default_block(env);
+        let mut cursor = self.cursor();
+        while let Some(item) = cursor.next(env)? {
+            writer.push(env, item)?;
+        }
+        Ok(writer.finish(env)?)
+    }
+}
+
+/// Streaming k-way merge over a snapshot's runs and frozen memtable.
+#[derive(Debug)]
+pub struct SnapshotCursor {
+    readers: Vec<ItemStreamReader>,
+    memtable: Arc<Vec<Item>>,
+    mem_pos: usize,
+}
+
+impl SnapshotCursor {
+    /// The next record in ascending sweep-key order, or `None` when every
+    /// tier is exhausted. Run pages are read (and charged) on demand.
+    pub fn next(&mut self, env: &mut SimEnv) -> Result<Option<Item>> {
+        // The run count is 1 + pending deltas — small by construction
+        // (compaction folds deltas back) — so a linear scan over the heads
+        // beats heap bookkeeping.
+        let mut best: Option<(usize, u64)> = None;
+        for (i, reader) in self.readers.iter_mut().enumerate() {
+            if let Some(head) = reader.peek(env)? {
+                let key = head.sweep_key();
+                if best.map_or(true, |(_, k)| key < k) {
+                    best = Some((i, key));
+                }
+            }
+        }
+        let mem_key = self.memtable.get(self.mem_pos).map(|it| it.sweep_key());
+        if let Some(key) = mem_key {
+            if best.map_or(true, |(_, k)| key < k) {
+                let item = self.memtable[self.mem_pos];
+                self.mem_pos += 1;
+                return Ok(Some(item));
+            }
+        }
+        match best {
+            Some((i, _)) => Ok(self.readers[i].next(env)?),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usj_io::MachineConfig;
+
+    fn env() -> SimEnv {
+        SimEnv::new(MachineConfig::machine3())
+    }
+
+    fn item(x: f32, y: f32, id: u32) -> Item {
+        Item::new(Rect::from_coords(x, y, x + 2.0, y + 2.0), id)
+    }
+
+    fn batch(n: u32, id_base: u32, seed: u32) -> Vec<Item> {
+        // Deterministic scattered rectangles, deliberately unsorted.
+        (0..n)
+            .map(|i| {
+                let h = (i.wrapping_mul(2_654_435_761).wrapping_add(seed)) % 10_000;
+                item((h % 97) as f32, (h % 89) as f32, id_base + i)
+            })
+            .collect()
+    }
+
+    fn tiny_config() -> LiveConfig {
+        LiveConfig {
+            flush_threshold_bytes: 64 * usj_geom::ITEM_BYTES,
+            compact_after_deltas: 3,
+        }
+    }
+
+    #[test]
+    fn snapshot_merges_all_tiers_in_sweep_key_order() {
+        let mut env = env();
+        let base = batch(200, 0, 1);
+        let mut ds = LiveDataset::create(&mut env, "live", &base, tiny_config()).unwrap();
+        ds.append(&mut env, &batch(150, 10_000, 2)).unwrap();
+        assert_eq!(ds.len(), 350);
+
+        let snap = ds.snapshot();
+        assert_eq!(snap.len(), 350);
+        let mut cursor = snap.cursor();
+        let mut seen = Vec::new();
+        let mut last_key = 0u64;
+        while let Some(it) = cursor.next(&mut env).unwrap() {
+            assert!(it.sweep_key() >= last_key, "cursor must be sorted");
+            last_key = it.sweep_key();
+            seen.push(it.id);
+        }
+        seen.sort_unstable();
+        let mut expected: Vec<u32> = (0..200).chain(10_000..10_150).collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn flush_threshold_creates_delta_runs_and_compaction_folds_them() {
+        let mut env = env();
+        let mut ds = LiveDataset::create(&mut env, "live", &batch(100, 0, 3), tiny_config())
+            .unwrap();
+        // Enough appends to cross the flush threshold several times; the
+        // third flush triggers auto-compaction (compact_after_deltas = 3).
+        ds.append(&mut env, &batch(400, 50_000, 4)).unwrap();
+        let stats = ds.stats();
+        assert!(stats.flushes >= 3, "{stats:?}");
+        assert!(stats.compactions >= 1, "{stats:?}");
+        assert!(ds.delta_runs().len() < 3);
+        assert_eq!(ds.len(), 500);
+        // The compacted tree indexes the merged base.
+        assert!(ds.tree().num_items() > 100);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_ingestion() {
+        let mut env = env();
+        let mut ds =
+            LiveDataset::create(&mut env, "live", &batch(120, 0, 5), tiny_config()).unwrap();
+        ds.append(&mut env, &batch(30, 1_000_000, 6)).unwrap();
+        let before = ds.snapshot();
+        let gen_before = before.generation();
+        let len_before = before.len();
+
+        // Keep ingesting past flushes *and* a compaction.
+        ds.append(&mut env, &batch(500, 2_000_000, 7)).unwrap();
+        assert!(ds.generation() > gen_before);
+
+        // The earlier snapshot still reads exactly its 150 records.
+        let mut cursor = before.cursor();
+        let mut n = 0u64;
+        while cursor.next(&mut env).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, len_before);
+        assert_eq!(n, 150);
+    }
+
+    #[test]
+    fn to_stream_materialises_the_same_records_as_the_cursor() {
+        let mut env = env();
+        let mut ds =
+            LiveDataset::create(&mut env, "live", &batch(80, 0, 8), tiny_config()).unwrap();
+        ds.append(&mut env, &batch(70, 5_000, 9)).unwrap();
+        let snap = ds.snapshot();
+        let stream = snap.to_stream(&mut env).unwrap();
+        assert_eq!(stream.len(), snap.len());
+        let items = stream.read_all(&mut env).unwrap();
+        assert!(items.windows(2).all(|w| w[0].sweep_key() <= w[1].sweep_key()));
+    }
+
+    #[test]
+    fn live_catalog_registers_appends_and_rejects_duplicates() {
+        let mut env = env();
+        let mut catalog = LiveCatalog::new();
+        let id = catalog
+            .register(&mut env, "feed", &batch(50, 0, 10), LiveConfig::default())
+            .unwrap();
+        assert!(matches!(
+            catalog.register(&mut env, "feed", &[], LiveConfig::default()),
+            Err(LiveError::DuplicateDataset(_))
+        ));
+        catalog.append(&mut env, "feed", &batch(20, 900, 11)).unwrap();
+        assert!(matches!(
+            catalog.append(&mut env, "nope", &[]),
+            Err(LiveError::UnknownDataset(_))
+        ));
+        assert_eq!(catalog.get(id).unwrap().len(), 70);
+        assert_eq!(catalog.lookup("feed").unwrap().1.stats().appended, 20);
+    }
+
+    #[test]
+    fn snapshots_read_from_forked_worker_environments() {
+        // The service execution model: workers fork over a device snapshot.
+        let mut env = env();
+        let mut ds =
+            LiveDataset::create(&mut env, "live", &batch(90, 0, 12), tiny_config()).unwrap();
+        ds.append(&mut env, &batch(200, 40_000, 13)).unwrap();
+        let snap = ds.snapshot();
+
+        let base_pages = env.device.snapshot();
+        let mut worker = env.fork_with_base(base_pages);
+        let mut cursor = snap.cursor();
+        let mut n = 0u64;
+        while cursor.next(&mut worker).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, snap.len());
+    }
+}

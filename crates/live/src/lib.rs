@@ -1,0 +1,92 @@
+//! Live ingestion and streaming joins: the "millions of users *writing*"
+//! half of the north star.
+//!
+//! Everything below this crate assumes a dataset is fully prepared (sorted
+//! run + R-tree + histogram) before the first query touches it. This crate
+//! adds the non-blocking path, two cooperating pieces:
+//!
+//! * [`LiveCatalog`] / [`LiveDataset`] — an LSM-style dataset handle: an
+//!   immutable **base run** (the same persisted representation the static
+//!   catalog builds) plus an in-memory gauged **memtable** of inserts that
+//!   flushes to sorted **delta runs** on the device when its reservation
+//!   hits a threshold, with **merge compaction** folding the deltas back
+//!   into a new base + rebuilt R-tree. Reads go through generation
+//!   [`LiveSnapshot`]s — immutable unions of sorted runs plus a frozen
+//!   memtable copy — so queries keep a consistent view while ingestion
+//!   continues.
+//! * [`StreamingJoin`] — a pull-driven join over two snapshots built on the
+//!   [`SymmetricSweepDriver`](usj_sweep::SymmetricSweepDriver): each
+//!   arriving item is inserted into its side's resident set and probed
+//!   against the opposite side, so pairs surface **as items arrive**
+//!   instead of after a blocking full sort. Memory pressure spills
+//!   residents to the device and recovers their pairs with log-suffix
+//!   fix-up joins; the reported pair *set* is identical to offline SSSJ on
+//!   the same snapshot.
+//!
+//! The service crate wires these into its catalog and admission control
+//! (`register_live` / `append_live` / `QueryKind::StreamingJoin`).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod catalog;
+pub mod memtable;
+pub mod streaming;
+
+pub use catalog::{
+    DeltaRun, LiveCatalog, LiveConfig, LiveDataset, LiveId, LiveSnapshot, LiveStats,
+    SnapshotCursor,
+};
+pub use memtable::Memtable;
+pub use streaming::StreamingJoin;
+
+// Property-based tests on the vendored `usj_proptest` harness; opt-in
+// behind the `proptest` feature like the rest of the workspace.
+#[cfg(all(test, feature = "proptest"))]
+mod proptests;
+
+use std::fmt;
+
+use usj_io::IoSimError;
+
+/// Errors produced by the live catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiveError {
+    /// An error bubbled up from the simulated I/O substrate (including
+    /// `MemoryLimitExceeded` when the memtable outgrows the gauge).
+    Io(IoSimError),
+    /// A live dataset name was registered twice.
+    DuplicateDataset(String),
+    /// An operation referred to a live dataset the catalog does not hold.
+    UnknownDataset(String),
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Io(e) => write!(f, "i/o: {e}"),
+            LiveError::DuplicateDataset(name) => {
+                write!(f, "live dataset '{name}' is already registered")
+            }
+            LiveError::UnknownDataset(name) => write!(f, "unknown live dataset '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IoSimError> for LiveError {
+    fn from(e: IoSimError) -> Self {
+        LiveError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LiveError>;

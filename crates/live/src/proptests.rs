@@ -1,0 +1,231 @@
+//! Property-based differential suite on the in-tree `usj_proptest` harness.
+//!
+//! The streaming operator's contract is *set equality*: over any ingestion
+//! history (random base/append splits, flush points and compaction
+//! cadences) and any memory limit (including ones that force the symmetric
+//! driver to spill), [`StreamingJoin`] must report exactly the pair set the
+//! offline SSSJ reports on the materialised snapshot. A separate property
+//! drives the [`SymmetricSweepDriver`] directly so the *arrival
+//! interleaving* — fixed to the min-lower-y pull policy inside
+//! `StreamingJoin` — is itself randomised.
+
+use usj_core::{CollectSink, JoinInput, JoinOperator, LimitSink, SssjJoin};
+use usj_geom::{Item, Rect};
+use usj_io::{MachineConfig, SimEnv};
+use usj_proptest::{forall, Gen};
+use usj_sweep::{Side, SymmetricSweepDriver};
+
+use crate::catalog::{LiveConfig, LiveDataset};
+use crate::streaming::StreamingJoin;
+
+fn env() -> SimEnv {
+    SimEnv::new(MachineConfig::machine3())
+}
+
+fn arb_items(g: &mut Gen, max_len: usize, id_base: u32) -> Vec<Item> {
+    let mut next = 0u32;
+    g.vec(0, max_len, |g| {
+        let x = g.f32_in(-100.0, 100.0);
+        let y = g.f32_in(-100.0, 100.0);
+        let w = g.f32_in(0.0, 25.0);
+        // Occasional tall rectangles keep residents alive across many
+        // arrivals — the regime that exercises eviction and fix-up.
+        let h = if g.bool_with(0.15) {
+            g.f32_in(50.0, 200.0)
+        } else {
+            g.f32_in(0.0, 20.0)
+        };
+        let id = id_base + next;
+        next += 1;
+        Item::new(Rect::from_coords(x, y, x + w, y + h), id)
+    })
+}
+
+fn arb_config(g: &mut Gen) -> LiveConfig {
+    LiveConfig {
+        // 4..96 buffered items per flush: every draw lands the flush points
+        // somewhere else in the ingestion history.
+        flush_threshold_bytes: g.usize_in(4, 96) * usj_geom::ITEM_BYTES,
+        // 0 disables auto-compaction entirely, so snapshots with many delta
+        // runs are drawn as often as freshly-compacted single-run ones.
+        compact_after_deltas: g.usize_in(0, 4),
+    }
+}
+
+/// Builds a live dataset through a randomised ingestion history: a random
+/// base/append split, random append chunking, random flush/compaction
+/// cadence, and sometimes an explicit flush or compaction at the end.
+fn arb_dataset(g: &mut Gen, env: &mut SimEnv, name: &str, id_base: u32) -> LiveDataset {
+    let items = arb_items(g, 140, id_base);
+    let split = g.usize_in(0, items.len() + 1);
+    let mut ds = LiveDataset::create(env, name, &items[..split], arb_config(g)).unwrap();
+    let mut rest = &items[split..];
+    while !rest.is_empty() {
+        let chunk = g.usize_in(1, rest.len() + 1);
+        ds.append(env, &rest[..chunk]).unwrap();
+        rest = &rest[chunk..];
+    }
+    if g.bool_with(0.3) {
+        ds.flush(env).unwrap();
+    }
+    if g.bool_with(0.2) {
+        ds.compact(env).unwrap();
+    }
+    ds
+}
+
+fn sorted(mut pairs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    pairs.sort_unstable();
+    pairs
+}
+
+fn brute(left: &[Item], right: &[Item]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for a in left {
+        for b in right {
+            if a.rect.intersects(&b.rect) {
+                out.push((a.id, b.id));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Offline reference: SSSJ over the materialised snapshot streams.
+fn offline_pairs(
+    env: &mut SimEnv,
+    l: &crate::LiveSnapshot,
+    r: &crate::LiveSnapshot,
+) -> Vec<(u32, u32)> {
+    let sl = l.to_stream(env).unwrap();
+    let sr = r.to_stream(env).unwrap();
+    let (_, pairs) = SssjJoin::default()
+        .run_collect(env, JoinInput::Stream(&sl), JoinInput::Stream(&sr))
+        .unwrap();
+    sorted(pairs)
+}
+
+#[test]
+fn streaming_join_matches_offline_sssj_across_random_ingestion_histories() {
+    forall!(48, |g| {
+        let mut env = env();
+        let l = arb_dataset(g, &mut env, "l", 0);
+        let r = arb_dataset(g, &mut env, "r", 1_000_000);
+        let (snap_l, snap_r) = (l.snapshot(), r.snapshot());
+
+        let mut sink = CollectSink::default();
+        let live = StreamingJoin::default()
+            .run(&mut env, &snap_l, &snap_r, &mut sink)
+            .unwrap();
+
+        let reference = offline_pairs(&mut env, &snap_l, &snap_r);
+        let live_sorted = sorted(sink.pairs);
+        assert!(live_sorted.windows(2).all(|w| w[0] != w[1]), "duplicate pair");
+        assert_eq!(live_sorted, reference);
+        assert_eq!(live.pairs as usize, reference.len());
+    });
+}
+
+#[test]
+fn streaming_join_matches_offline_under_random_memory_limits() {
+    // The worker-fork execution model of the service: datasets are built in
+    // an unconstrained environment, the join runs on a forked worker whose
+    // gauge is limited — sometimes low enough to force the symmetric driver
+    // to spill. The pair set must be identical either way, and the gauge
+    // must be respected.
+    forall!(24, |g| {
+        let mut env = env();
+        let l = arb_dataset(g, &mut env, "l", 0);
+        let r = arb_dataset(g, &mut env, "r", 1_000_000);
+        let (snap_l, snap_r) = (l.snapshot(), r.snapshot());
+        let reference = offline_pairs(&mut env, &snap_l, &snap_r);
+
+        let limit = [96 * 1024, 192 * 1024, 4 * 1024 * 1024][g.usize_in(0, 3)];
+        let base = env.device.snapshot();
+        let mut worker = env.fork_with_base(base);
+        worker.set_memory_limit(limit);
+
+        let mut sink = CollectSink::default();
+        let live = StreamingJoin::default()
+            .run(&mut worker, &snap_l, &snap_r, &mut sink)
+            .unwrap();
+        assert_eq!(sorted(sink.pairs), reference);
+        assert!(
+            live.memory.peak_bytes <= limit,
+            "gauge peak {} over limit {limit}",
+            live.memory.peak_bytes
+        );
+    });
+}
+
+#[test]
+fn symmetric_driver_matches_brute_force_on_arbitrary_interleavings() {
+    // StreamingJoin always pulls the smaller lower-y head; the driver's
+    // contract is stronger — *any* cross-side interleaving of the two
+    // sorted streams yields the same pair set. Drive it directly with a
+    // random interleaving under a spill-inducing budget.
+    forall!(32, |g| {
+        let left = arb_items(g, 100, 0);
+        let right = arb_items(g, 100, 1_000_000);
+        let mut l = left.clone();
+        let mut r = right.clone();
+        l.sort_unstable_by(Item::cmp_by_lower_y);
+        r.sort_unstable_by(Item::cmp_by_lower_y);
+
+        let mut env = env().with_memory_limit(64 * 1024);
+        let bias = g.unit_f64(); // skews draws towards one side running ahead
+        let mut driver = SymmetricSweepDriver::new(&env, -100.0, 130.0);
+        let mut out = Vec::new();
+        let (mut li, mut ri) = (0, 0);
+        while li < l.len() || ri < r.len() {
+            let take_left = match (l.get(li), r.get(ri)) {
+                (Some(_), Some(_)) => g.bool_with(bias),
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_left {
+                driver
+                    .push(&mut env, Side::Left, l[li], |a, b| out.push((a.id, b.id)))
+                    .unwrap();
+                li += 1;
+            } else {
+                driver
+                    .push(&mut env, Side::Right, r[ri], |a, b| out.push((a.id, b.id)))
+                    .unwrap();
+                ri += 1;
+            }
+        }
+        driver
+            .finish(&mut env, |a, b| out.push((a.id, b.id)))
+            .unwrap();
+        assert_eq!(sorted(out), brute(&left, &right));
+        assert!(env.memory.peak() <= env.memory_limit);
+    });
+}
+
+#[test]
+fn mid_stream_cancellation_emits_an_exact_prefix_of_the_pair_set() {
+    // A sink that breaks (LIMIT, cancellation) must stop the join with
+    // exactly min(k, total) pairs emitted, every one of them a true result
+    // pair, and no duplicates — the service's cancellation contract.
+    forall!(24, |g| {
+        let mut env = env();
+        let l = arb_dataset(g, &mut env, "l", 0);
+        let r = arb_dataset(g, &mut env, "r", 1_000_000);
+        let (snap_l, snap_r) = (l.snapshot(), r.snapshot());
+        let reference = offline_pairs(&mut env, &snap_l, &snap_r);
+
+        let k = g.usize_in(0, 20);
+        let mut sink = LimitSink::new(CollectSink::default(), k as u64);
+        StreamingJoin::default()
+            .run(&mut env, &snap_l, &snap_r, &mut sink)
+            .unwrap();
+        let emitted = sorted(sink.into_inner().pairs);
+        assert_eq!(emitted.len(), k.min(reference.len()));
+        assert!(emitted.windows(2).all(|w| w[0] != w[1]), "duplicate pair");
+        for p in &emitted {
+            assert!(reference.binary_search(p).is_ok(), "{p:?} not a result pair");
+        }
+    });
+}

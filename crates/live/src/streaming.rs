@@ -1,0 +1,351 @@
+//! The streaming spatial join over two live snapshots.
+//!
+//! Offline SSSJ is *blocking*: nothing is reported until both inputs have
+//! been fully externally sorted. [`StreamingJoin`] removes the block. Each
+//! side of a [`LiveSnapshot`] is already a union of
+//! sweep-key-sorted runs, so its [`SnapshotCursor`](crate::SnapshotCursor)
+//! delivers items in
+//! global lower-y order *incrementally* — pages are read on demand as the
+//! merge advances. The join feeds the two cursors into the
+//! [`SymmetricSweepDriver`], which inserts
+//! every arriving item into its side's resident interval structure and
+//! probes the opposite side, emitting pairs **while the scan is running**:
+//! the first pair surfaces after a handful of page reads instead of after
+//! two full sort passes.
+//!
+//! The driver tolerates *any* cross-side interleaving (watermark-based
+//! expiry), so the pull policy here — advance whichever head has the
+//! smaller lower-y — is just the one that keeps the resident sets smallest.
+//! Under memory pressure residents spill to the device and their missed
+//! pairs are recovered by log-suffix fix-up joins; the reported pair *set*
+//! is identical to offline SSSJ on the same snapshot (the property-based
+//! differential suite proves this across interleavings, flush points and
+//! memory limits).
+
+use usj_core::{JoinResult, MemoryStats, PairSink, Predicate};
+use usj_geom::{Item, Rect};
+use usj_io::{CpuOp, SimEnv};
+use usj_sweep::{Side, SymmetricSweepDriver};
+
+use crate::catalog::LiveSnapshot;
+use crate::Result;
+
+/// Configuration of the streaming snapshot join.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamingJoin {
+    /// Optional bounding box of the data, used to size the striped sweep
+    /// structures. When absent the union of the snapshot boxes is used.
+    pub region_hint: Option<Rect>,
+    /// The pair-selection predicate (default: MBR intersection).
+    pub predicate: Predicate,
+}
+
+impl StreamingJoin {
+    /// Sets the region hint (builder style).
+    pub fn with_region(mut self, region: Rect) -> Self {
+        self.region_hint = Some(region);
+        self
+    }
+
+    /// Sets the join predicate (builder style).
+    pub fn with_predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Runs the join over two snapshots, reporting pairs through `sink` as
+    /// they are discovered.
+    ///
+    /// A `ControlFlow::Break` from the sink (LIMIT reached, cancellation)
+    /// terminates the join early, skipping any outstanding fix-up I/O —
+    /// exactly the early-termination contract of the offline operators.
+    pub fn run(
+        &self,
+        env: &mut SimEnv,
+        left: &LiveSnapshot,
+        right: &LiveSnapshot,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinResult> {
+        let measurement = env.begin();
+        env.memory.begin_phase();
+        let predicate = self.predicate;
+        let eps = predicate.epsilon();
+        // ε-expansion of the left input (distance joins): a uniform shift
+        // of every left sort key, so the merged order below stays correct.
+        let expand = |item: Item| {
+            if eps > 0.0 {
+                Item::new(item.rect.expanded(eps), item.id)
+            } else {
+                item
+            }
+        };
+        let region = self
+            .region_hint
+            .unwrap_or_else(|| left.bbox().union(&right.bbox()))
+            .expanded(eps);
+
+        let mut lcur = left.cursor();
+        let mut rcur = right.cursor();
+        // Prime both cursors *before* sizing the driver: the first pull
+        // claims the readers' block buffers from the gauge, so the driver's
+        // headroom-derived spill budget accounts for them.
+        let mut lnext = lcur.next(env)?.map(expand);
+        let mut rnext = rcur.next(env)?;
+        let mut driver = SymmetricSweepDriver::new(env, region.lo.x, region.hi.x);
+        let mut closed = [false; 2];
+        let mut pairs = 0u64;
+        let mut done = false;
+        while !done {
+            if lnext.is_none() && !closed[Side::Left as usize] {
+                closed[Side::Left as usize] = true;
+                driver.close_side(env, Side::Left, |a, b| {
+                    if done || !predicate.accepts(&a.rect, &b.rect) {
+                        return;
+                    }
+                    if sink.emit(a.id, b.id).is_break() {
+                        done = true;
+                    } else {
+                        pairs += 1;
+                    }
+                })?;
+                continue;
+            }
+            if rnext.is_none() && !closed[Side::Right as usize] {
+                closed[Side::Right as usize] = true;
+                driver.close_side(env, Side::Right, |a, b| {
+                    if done || !predicate.accepts(&a.rect, &b.rect) {
+                        return;
+                    }
+                    if sink.emit(a.id, b.id).is_break() {
+                        done = true;
+                    } else {
+                        pairs += 1;
+                    }
+                })?;
+                continue;
+            }
+            if lnext.is_none() && rnext.is_none() {
+                break;
+            }
+            let take_left = match (&lnext, &rnext) {
+                (Some(a), Some(b)) => {
+                    env.charge(CpuOp::Compare, 1);
+                    a.cmp_by_lower_y(b) != std::cmp::Ordering::Greater
+                }
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_left {
+                let item = lnext.take().expect("checked above");
+                driver.push(env, Side::Left, item, |a, b| {
+                    if done || !predicate.accepts(&a.rect, &b.rect) {
+                        return;
+                    }
+                    if sink.emit(a.id, b.id).is_break() {
+                        done = true;
+                    } else {
+                        pairs += 1;
+                    }
+                })?;
+                lnext = lcur.next(env)?.map(expand);
+            } else {
+                let item = rnext.take().expect("checked above");
+                driver.push(env, Side::Right, item, |a, b| {
+                    if done || !predicate.accepts(&a.rect, &b.rect) {
+                        return;
+                    }
+                    if sink.emit(a.id, b.id).is_break() {
+                        done = true;
+                    } else {
+                        pairs += 1;
+                    }
+                })?;
+                rnext = rcur.next(env)?;
+            }
+        }
+        // Any spill epoch still open (late arrivals kept it alive) fixes up
+        // here — unless the sink stopped the join, which skips that I/O.
+        let mut sweep = if done {
+            driver.discard()
+        } else {
+            driver.finish(env, |a, b| {
+                if done || !predicate.accepts(&a.rect, &b.rect) {
+                    return;
+                }
+                if sink.emit(a.id, b.id).is_break() {
+                    done = true;
+                } else {
+                    pairs += 1;
+                }
+            })?
+        };
+        sweep.pairs = pairs;
+        env.charge(CpuOp::RectTest, sweep.rect_tests);
+        env.charge(CpuOp::OutputPair, pairs);
+
+        let (io, cpu) = env.since(&measurement);
+        Ok(JoinResult {
+            pairs,
+            io,
+            cpu,
+            index_page_requests: 0,
+            sweep,
+            memory: MemoryStats {
+                priority_queue_bytes: 0,
+                sweep_structure_bytes: sweep.max_structure_bytes,
+                other_bytes: 0,
+                peak_bytes: env.memory.peak(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{LiveConfig, LiveDataset};
+    use usj_core::{CollectSink, JoinInput, JoinOperator, LimitSink, SssjJoin};
+    use usj_io::MachineConfig;
+
+    fn env() -> SimEnv {
+        SimEnv::new(MachineConfig::machine3())
+    }
+
+    fn batch(n: u32, id_base: u32, seed: u32) -> Vec<Item> {
+        (0..n)
+            .map(|i| {
+                let h = (i.wrapping_mul(2_654_435_761).wrapping_add(seed)) % 10_000;
+                let x = (h % 97) as f32;
+                let y = (h % 89) as f32;
+                Item::new(Rect::from_coords(x, y, x + 3.0, y + 3.0), id_base + i)
+            })
+            .collect()
+    }
+
+    fn tiny_config() -> LiveConfig {
+        LiveConfig {
+            flush_threshold_bytes: 64 * usj_geom::ITEM_BYTES,
+            compact_after_deltas: 3,
+        }
+    }
+
+    /// Builds a live dataset mid-ingestion: base + delta runs + memtable.
+    fn live_pair(env: &mut SimEnv) -> (LiveDataset, LiveDataset) {
+        let mut l = LiveDataset::create(env, "l", &batch(300, 0, 1), tiny_config()).unwrap();
+        l.append(env, &batch(250, 10_000, 2)).unwrap();
+        let mut r = LiveDataset::create(env, "r", &batch(300, 500_000, 3), tiny_config()).unwrap();
+        r.append(env, &batch(250, 600_000, 4)).unwrap();
+        (l, r)
+    }
+
+    fn sorted(mut pairs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        pairs.sort_unstable();
+        pairs
+    }
+
+    #[test]
+    fn streaming_join_matches_offline_sssj_on_the_same_snapshot() {
+        let mut env = env();
+        let (l, r) = live_pair(&mut env);
+        let (snap_l, snap_r) = (l.snapshot(), r.snapshot());
+
+        let mut live_sink = CollectSink::default();
+        let live = StreamingJoin::default()
+            .run(&mut env, &snap_l, &snap_r, &mut live_sink)
+            .unwrap();
+
+        let sl = snap_l.to_stream(&mut env).unwrap();
+        let sr = snap_r.to_stream(&mut env).unwrap();
+        let (offline, offline_pairs) = SssjJoin::default()
+            .run_collect(&mut env, JoinInput::Stream(&sl), JoinInput::Stream(&sr))
+            .unwrap();
+
+        assert!(live.pairs > 0, "the workload must actually join");
+        assert_eq!(live.pairs, offline.pairs);
+        let live_sorted = sorted(live_sink.pairs);
+        assert_eq!(live_sorted, sorted(offline_pairs));
+        // Exactly-once: no duplicates in the streaming output.
+        assert!(live_sorted.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn distance_predicate_matches_offline() {
+        let mut env = env();
+        let (l, r) = live_pair(&mut env);
+        let (snap_l, snap_r) = (l.snapshot(), r.snapshot());
+        let predicate = Predicate::WithinDistance(1.5);
+
+        let mut live_sink = CollectSink::default();
+        StreamingJoin::default()
+            .with_predicate(predicate)
+            .run(&mut env, &snap_l, &snap_r, &mut live_sink)
+            .unwrap();
+
+        let sl = snap_l.to_stream(&mut env).unwrap();
+        let sr = snap_r.to_stream(&mut env).unwrap();
+        let (_, offline_pairs) = SssjJoin::default()
+            .with_predicate(predicate)
+            .run_collect(&mut env, JoinInput::Stream(&sl), JoinInput::Stream(&sr))
+            .unwrap();
+
+        assert!(!offline_pairs.is_empty());
+        assert_eq!(sorted(live_sink.pairs), sorted(offline_pairs));
+    }
+
+    #[test]
+    fn limit_sink_terminates_the_join_early() {
+        let mut env = env();
+        let (l, r) = live_pair(&mut env);
+        let (snap_l, snap_r) = (l.snapshot(), r.snapshot());
+        let mut sink = LimitSink::new(CollectSink::default(), 7);
+        let result = StreamingJoin::default()
+            .run(&mut env, &snap_l, &snap_r, &mut sink)
+            .unwrap();
+        assert_eq!(result.pairs, 7);
+        assert_eq!(sink.into_inner().pairs.len(), 7);
+    }
+
+    #[test]
+    fn spilling_under_a_small_memory_limit_matches_offline() {
+        // Tall rectangles never expire, so the resident sets grow to the
+        // whole input and blow through the governed budget: the driver must
+        // spill and recover every pair via fix-up joins. The join runs on a
+        // memory-limited worker fork over a device snapshot — the service
+        // execution model — while dataset preparation stays unconstrained.
+        let mut env = env();
+        let tall = |n: u32, id_base: u32, shift: f32| -> Vec<Item> {
+            (0..n)
+                .map(|i| {
+                    let x = ((i % 250) as f32) * 4.0 + shift;
+                    Item::new(Rect::from_coords(x, 0.0, x + 1.0, 1_000.0), id_base + i)
+                })
+                .collect()
+        };
+        let l = LiveDataset::create(&mut env, "l", &tall(4_000, 0, 0.0), tiny_config()).unwrap();
+        let r =
+            LiveDataset::create(&mut env, "r", &tall(4_000, 100_000, 0.5), tiny_config()).unwrap();
+        let (snap_l, snap_r) = (l.snapshot(), r.snapshot());
+
+        let base = env.device.snapshot();
+        let mut worker = env.fork_with_base(base);
+        worker.set_memory_limit(128 * 1024);
+        let mut live_sink = CollectSink::default();
+        let live = StreamingJoin::default()
+            .run(&mut worker, &snap_l, &snap_r, &mut live_sink)
+            .unwrap();
+        assert!(
+            live.sweep.spill_runs > 0,
+            "the budget must force spilling: {:?}",
+            live.sweep
+        );
+        assert!(live.memory.peak_bytes <= 128 * 1024);
+
+        let sl = snap_l.to_stream(&mut env).unwrap();
+        let sr = snap_r.to_stream(&mut env).unwrap();
+        let (_, offline_pairs) = SssjJoin::default()
+            .run_collect(&mut env, JoinInput::Stream(&sl), JoinInput::Stream(&sr))
+            .unwrap();
+        assert!(!offline_pairs.is_empty());
+        assert_eq!(sorted(live_sink.pairs), sorted(offline_pairs));
+    }
+}

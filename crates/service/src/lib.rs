@@ -30,7 +30,18 @@
 //!   [`JoinResult`](usj_core::JoinResult).
 //! * [`plan_cache`] — completed [`QueryPlan`](usj_core::QueryPlan)s are
 //!   memoized by query fingerprint, so repeat queries skip the planner's
-//!   cost-estimation I/O (the `Algo::Auto` directory probes).
+//!   cost-estimation I/O (the `Algo::Auto` directory probes). The cache
+//!   also remembers each fingerprint's measured memory-gauge peak from
+//!   completed runs, which replaces the size-based admission heuristic on
+//!   repeat workloads ([`Service::admission_estimate`] adds a 25% safety
+//!   margin) — so a service that has seen a query before admits it more
+//!   densely the next time.
+//!
+//! The service also fronts the *live* layer ([`usj_live`]):
+//! [`Service::register_live`] / [`Service::append_live`] mutate LSM-style
+//! datasets between sessions, and [`QueryRequest::streaming_join`] runs the
+//! incremental symmetric sweep over generation snapshots taken at execution
+//! time — first pairs stream out before either input is fully read.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -50,6 +61,7 @@ pub use service::{
     CancelToken, JoinSpec, QueryKind, QueryOutcome, QueryRequest, QueryStats, QueryStatus,
     Service, ServiceConfig, ServiceReport, ServiceStats, Session,
 };
+pub use usj_live::{LiveConfig, LiveId};
 
 use std::fmt;
 
@@ -91,6 +103,16 @@ impl std::error::Error for ServiceError {
 impl From<IoSimError> for ServiceError {
     fn from(e: IoSimError) -> Self {
         ServiceError::Io(e)
+    }
+}
+
+impl From<usj_live::LiveError> for ServiceError {
+    fn from(e: usj_live::LiveError) -> Self {
+        match e {
+            usj_live::LiveError::Io(io) => ServiceError::Io(io),
+            usj_live::LiveError::DuplicateDataset(name) => ServiceError::DuplicateDataset(name),
+            usj_live::LiveError::UnknownDataset(name) => ServiceError::UnknownDataset(name),
+        }
     }
 }
 

@@ -94,6 +94,9 @@ impl PlanKey {
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: HashMap<PlanKey, QueryPlan>,
+    /// Highest memory-gauge peak observed for a completed, *untruncated* run
+    /// of each fingerprint — feeds admission estimation on repeat workloads.
+    peaks: HashMap<PlanKey, usize>,
     hits: u64,
     misses: u64,
 }
@@ -121,6 +124,21 @@ impl PlanCache {
     /// Stores the plan computed for `key`.
     pub fn insert(&mut self, key: PlanKey, plan: QueryPlan) {
         self.plans.insert(key, plan);
+    }
+
+    /// Records the memory-gauge peak of a completed run of `key`,
+    /// max-merged with any earlier observation. Callers must only report
+    /// runs that executed to completion with no `LIMIT` and no
+    /// cancellation — a truncated run's peak under-states the query's real
+    /// footprint and would poison admission estimates.
+    pub fn record_peak(&mut self, key: PlanKey, peak_bytes: usize) {
+        let slot = self.peaks.entry(key).or_insert(0);
+        *slot = (*slot).max(peak_bytes);
+    }
+
+    /// The largest observed completed-run peak for `key`, if any.
+    pub fn peak(&self, key: &PlanKey) -> Option<usize> {
+        self.peaks.get(key).copied()
     }
 
     /// Number of distinct plans held.
@@ -187,5 +205,19 @@ mod tests {
         // covered by the service tests — here only the bookkeeping.
         assert!(cache.is_empty());
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn peaks_max_merge_per_fingerprint() {
+        let mut cache = PlanCache::new();
+        let key = PlanKey::new(&spec(0, 1, Algo::Sssj));
+        assert_eq!(cache.peak(&key), None);
+        cache.record_peak(key, 1000);
+        cache.record_peak(key, 400); // smaller later run never shrinks it
+        assert_eq!(cache.peak(&key), Some(1000));
+        cache.record_peak(key, 2500);
+        assert_eq!(cache.peak(&key), Some(2500));
+        let other = PlanKey::new(&spec(1, 0, Algo::Sssj));
+        assert_eq!(cache.peak(&other), None);
     }
 }

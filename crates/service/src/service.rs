@@ -57,8 +57,9 @@ use std::time::{Duration, Instant};
 use usj_core::{
     Algo, Execution, FanoutSink, JoinResult, MemoryStats, PairSink, Predicate, SpatialQuery,
 };
-use usj_geom::{Point, Rect, ITEM_BYTES};
+use usj_geom::{Item, Point, Rect, ITEM_BYTES};
 use usj_io::{CpuCounter, CpuOp, IoSimError, IoStats, MemoryGauge, Page, SimEnv, PAGE_SIZE};
+use usj_live::{LiveCatalog, LiveConfig, LiveDataset, LiveId, StreamingJoin};
 use usj_rtree::NodeStore;
 
 use crate::catalog::{Catalog, Dataset, DatasetId};
@@ -231,6 +232,18 @@ pub enum QueryKind {
         /// The query point.
         point: Point,
     },
+    /// A streaming symmetric join over two *live* datasets
+    /// ([`Service::register_live`]): executed over generation snapshots
+    /// taken when the query starts running, emitting pairs while the
+    /// snapshot runs are still being scanned (no blocking pre-sort).
+    StreamingJoin {
+        /// Left live dataset.
+        left: LiveId,
+        /// Right live dataset.
+        right: LiveId,
+        /// Pair predicate (default intersection).
+        predicate: Predicate,
+    },
 }
 
 /// One query submitted to the service.
@@ -285,6 +298,15 @@ impl QueryRequest {
         Self::with_kind(QueryKind::Point { dataset, point })
     }
 
+    /// A streaming-join request over two live datasets.
+    pub fn streaming_join(left: LiveId, right: LiveId) -> Self {
+        Self::with_kind(QueryKind::StreamingJoin {
+            left,
+            right,
+            predicate: Predicate::default(),
+        })
+    }
+
     /// Selects the join algorithm (builder style; no-op for selections).
     pub fn with_algorithm(mut self, algo: Algo) -> Self {
         if let QueryKind::Join(spec) = &mut self.kind {
@@ -295,8 +317,10 @@ impl QueryRequest {
 
     /// Selects the join predicate (builder style; no-op for selections).
     pub fn with_predicate(mut self, predicate: Predicate) -> Self {
-        if let QueryKind::Join(spec) = &mut self.kind {
-            spec.predicate = predicate;
+        match &mut self.kind {
+            QueryKind::Join(spec) => spec.predicate = predicate,
+            QueryKind::StreamingJoin { predicate: p, .. } => *p = predicate,
+            QueryKind::Window { .. } | QueryKind::Point { .. } => {}
         }
         self
     }
@@ -574,10 +598,16 @@ pub struct ServiceReport {
 pub struct Service {
     env: SimEnv,
     catalog: Catalog,
+    /// Live (LSM) datasets. Ingestion ([`Service::register_live`],
+    /// [`Service::append_live`]) requires `&mut self`, so it happens
+    /// strictly *between* sessions; during a session the live catalog is
+    /// frozen and queries read generation snapshots of it.
+    live: LiveCatalog,
     config: ServiceConfig,
     plan_cache: Mutex<PlanCache>,
-    /// The frozen catalog storage, snapshotted once at construction and
-    /// shared by every batch's worker forks.
+    /// The frozen catalog storage, snapshotted at construction and
+    /// re-snapshotted after every live-catalog mutation, shared by every
+    /// batch's worker forks.
     base: Arc<Vec<Page>>,
 }
 
@@ -723,6 +753,7 @@ impl Service {
         Service {
             env,
             catalog,
+            live: LiveCatalog::new(),
             config,
             plan_cache: Mutex::new(PlanCache::new()),
             base,
@@ -732,6 +763,36 @@ impl Service {
     /// The frozen catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The live (LSM-style) side of the catalog.
+    pub fn live(&self) -> &LiveCatalog {
+        &self.live
+    }
+
+    /// Registers a live dataset with an initial base batch, re-snapshotting
+    /// the device so subsequent queries' worker forks can read its runs.
+    ///
+    /// Takes `&mut self`: ingestion interleaves with query *sessions*, not
+    /// with individual queries — submit a batch, append, submit the next.
+    pub fn register_live(
+        &mut self,
+        name: &str,
+        base_items: &[Item],
+        config: LiveConfig,
+    ) -> Result<LiveId> {
+        let id = self.live.register(&mut self.env, name, base_items, config)?;
+        self.base = self.env.device.snapshot();
+        Ok(id)
+    }
+
+    /// Appends records to a registered live dataset (buffered in its
+    /// memtable; flushes and compactions run as configured), then
+    /// re-snapshots the device so new delta runs are visible to queries.
+    pub fn append_live(&mut self, name: &str, items: &[Item]) -> Result<()> {
+        self.live.append(&mut self.env, name, items)?;
+        self.base = self.env.device.snapshot();
+        Ok(())
     }
 
     /// The service configuration.
@@ -749,7 +810,15 @@ impl Service {
     /// explicit [`memory_budget`](QueryRequest::memory_budget) clamped to
     /// `[MIN_QUERY_BUDGET, memory_limit]`, or a size-based heuristic
     /// (3× the input bytes with a [`JOIN_BUDGET_FLOOR`] floor for joins,
-    /// [`SELECTION_BUDGET`] for selections).
+    /// 1× for streaming joins — the symmetric operator spills instead of
+    /// growing — and [`SELECTION_BUDGET`] for selections).
+    ///
+    /// When the plan cache holds a *measured* peak for a join's fingerprint
+    /// (recorded from earlier uncancelled, unlimited runs of the same query
+    /// shape), the estimate is that peak plus a 25 % safety margin instead
+    /// of the size heuristic — repeat workloads are admitted against what
+    /// the query actually used, so more of them fit the shared budget
+    /// concurrently.
     pub fn admission_estimate(&self, request: &QueryRequest) -> usize {
         let limit = self.config.memory_limit;
         if let Some(bytes) = request.memory_budget {
@@ -757,9 +826,23 @@ impl Service {
         }
         let want = match &request.kind {
             QueryKind::Join(spec) => {
-                let len = |id: DatasetId| self.catalog.get(id).map_or(0, |d| d.len());
-                let bytes = (len(spec.left) + len(spec.right)) as usize * ITEM_BYTES;
-                (3 * bytes).max(JOIN_BUDGET_FLOOR)
+                let measured = self.config.use_plan_cache.then(|| {
+                    let cache = self.plan_cache.lock().expect("plan cache poisoned");
+                    cache.peak(&PlanKey::new(spec))
+                });
+                match measured.flatten() {
+                    Some(peak) => (peak + peak / 4).max(MIN_QUERY_BUDGET),
+                    None => {
+                        let len = |id: DatasetId| self.catalog.get(id).map_or(0, |d| d.len());
+                        let bytes = (len(spec.left) + len(spec.right)) as usize * ITEM_BYTES;
+                        (3 * bytes).max(JOIN_BUDGET_FLOOR)
+                    }
+                }
+            }
+            QueryKind::StreamingJoin { left, right, .. } => {
+                let len = |id: LiveId| self.live.get(id).map_or(0, |d| d.len());
+                let bytes = (len(*left) + len(*right)) as usize * ITEM_BYTES;
+                bytes.max(JOIN_BUDGET_FLOOR)
             }
             QueryKind::Window { .. } | QueryKind::Point { .. } => SELECTION_BUDGET,
         };
@@ -1137,6 +1220,11 @@ impl Service {
         let mut sink = ServiceSink::new(request);
         let ran = match &request.kind {
             QueryKind::Join(spec) => self.run_join(&mut wenv, spec, &mut sink),
+            QueryKind::StreamingJoin {
+                left,
+                right,
+                predicate,
+            } => self.run_streaming_join(&mut wenv, *left, *right, *predicate, &mut sink),
             QueryKind::Window { dataset, window } => {
                 self.run_selection(&mut wenv, *dataset, *window, granted, &mut sink)
             }
@@ -1196,7 +1284,7 @@ impl Service {
         };
         let dataset_id = match &lead.1.kind {
             QueryKind::Window { dataset, .. } | QueryKind::Point { dataset, .. } => *dataset,
-            QueryKind::Join(_) => unreachable!("shared scans coalesce selections only"),
+            _ => unreachable!("shared scans coalesce selections only"),
         };
         let windows: Vec<Rect> = members
             .iter()
@@ -1205,7 +1293,7 @@ impl Service {
                 QueryKind::Point { point, .. } => {
                     Rect::from_coords(point.x, point.y, point.x, point.y)
                 }
-                QueryKind::Join(_) => unreachable!("shared scans coalesce selections only"),
+                _ => unreachable!("shared scans coalesce selections only"),
             })
             .collect();
         let ds = match self.dataset(dataset_id) {
@@ -1282,6 +1370,33 @@ impl Service {
             .ok_or_else(|| ServiceError::UnknownDataset(format!("#{}", id.0)))
     }
 
+    fn live_dataset(&self, id: LiveId) -> Result<&LiveDataset> {
+        self.live
+            .get(id)
+            .ok_or_else(|| ServiceError::UnknownDataset(format!("live#{}", id.0)))
+    }
+
+    /// Runs a streaming symmetric join on the worker fork, over generation
+    /// snapshots taken now — consistent views that stay valid however far
+    /// ingestion advances between sessions. Streaming joins bypass the plan
+    /// cache: there is nothing to plan (one operator, no algorithm choice),
+    /// and the fingerprint space of a mutating dataset is unbounded.
+    fn run_streaming_join(
+        &self,
+        wenv: &mut SimEnv,
+        left: LiveId,
+        right: LiveId,
+        predicate: Predicate,
+        sink: &mut ServiceSink,
+    ) -> Result<JoinResult> {
+        let snap_l = self.live_dataset(left)?.snapshot();
+        let snap_r = self.live_dataset(right)?.snapshot();
+        StreamingJoin::default()
+            .with_predicate(predicate)
+            .run(wenv, &snap_l, &snap_r, sink)
+            .map_err(ServiceError::from)
+    }
+
     fn run_join(
         &self,
         wenv: &mut SimEnv,
@@ -1323,6 +1438,16 @@ impl Service {
         let (io, cpu) = wenv.since(&measurement);
         result.io = io;
         result.cpu = cpu;
+        // Feed the admission estimator: remember the gauge peak of this
+        // fingerprint, but only from runs that went to completion —
+        // LIMIT-truncated or cancelled runs stop early and under-state the
+        // query's true footprint.
+        if self.config.use_plan_cache && sink.limit.is_none() && !sink.cancelled {
+            self.plan_cache
+                .lock()
+                .expect("plan cache poisoned")
+                .record_peak(PlanKey::new(spec), result.memory.peak_bytes);
+        }
         Ok(result)
     }
 
@@ -1878,5 +2003,132 @@ mod tests {
         assert_eq!(report.stats.submitted, 0);
         let text = format!("{}", report.stats);
         assert!(text.contains("0 submitted"), "{text}");
+    }
+
+    fn brute_pairs(a: &[Item], b: &[Item]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for x in a {
+            for y in b {
+                if x.rect.intersects(&y.rect) {
+                    out.push((x.id, y.id));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn streaming_joins_run_over_live_datasets_through_the_service() {
+        let a = grid(12, 4.0, 0.0, 0);
+        let b = grid(12, 4.0, 1.5, 100_000);
+        let (mut service, _, _) = service_over(&a, &b, ServiceConfig::default().with_workers(2));
+        // Register with part of each dataset, then ingest the rest through
+        // appends — flushes and compactions happen behind the thresholds.
+        let config = LiveConfig {
+            flush_threshold_bytes: 40 * ITEM_BYTES,
+            compact_after_deltas: 2,
+        };
+        let la = service.register_live("live_a", &a[..60], config).unwrap();
+        let lb = service.register_live("live_b", &b[..30], config).unwrap();
+        for chunk in a[60..].chunks(37) {
+            service.append_live("live_a", chunk).unwrap();
+        }
+        for chunk in b[30..].chunks(53) {
+            service.append_live("live_b", chunk).unwrap();
+        }
+        assert_eq!(service.live().lookup("live_a").map(|(id, _)| id), Some(la));
+
+        let expected = brute_pairs(&a, &b);
+        let report = service.run(vec![
+            QueryRequest::streaming_join(la, lb).collecting(),
+            QueryRequest::streaming_join(la, lb),
+            QueryRequest::streaming_join(la, lb).with_limit(7).collecting(),
+        ]);
+        assert_eq!(report.stats.completed, 3);
+        let mut collected = report.outcomes[0].pairs.clone().unwrap();
+        collected.sort_unstable();
+        assert_eq!(collected, expected);
+        assert_eq!(report.outcomes[1].result().unwrap().pairs, expected.len() as u64);
+        // LIMIT truncates the stream to an exact prefix of true pairs.
+        let limited = report.outcomes[2].pairs.as_ref().unwrap();
+        assert_eq!(limited.len(), 7.min(expected.len()));
+        for p in limited {
+            assert!(expected.binary_search(p).is_ok(), "{p:?} not a result pair");
+        }
+    }
+
+    #[test]
+    fn live_registration_rejects_duplicates_and_unknown_ids_fail_cleanly() {
+        let a = grid(6, 4.0, 0.0, 0);
+        let (mut service, _, _) = service_over(&a, &a, ServiceConfig::default());
+        let la = service
+            .register_live("points", &a, LiveConfig::default())
+            .unwrap();
+        assert!(matches!(
+            service.register_live("points", &a, LiveConfig::default()),
+            Err(ServiceError::DuplicateDataset(_))
+        ));
+        assert!(matches!(
+            service.append_live("nowhere", &a),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+        let report = service.run(vec![QueryRequest::streaming_join(la, LiveId(99))]);
+        assert!(
+            matches!(
+                &report.outcomes[0].status,
+                QueryStatus::Failed(ServiceError::UnknownDataset(_))
+            ),
+            "{:?}",
+            report.outcomes[0].status
+        );
+    }
+
+    #[test]
+    fn measured_peaks_tighten_repeat_admission() {
+        // First run of a fingerprint is admitted on the 3x-input-size
+        // heuristic; once a completed run has recorded its real gauge peak,
+        // repeats are admitted on peak + 25% — a strictly smaller claim
+        // here, so the same shared budget packs more concurrent queries.
+        let a = grid(20, 4.0, 0.0, 0);
+        let b = grid(20, 4.0, 1.5, 100_000);
+        let (service, ia, ib) = service_over(&a, &b, ServiceConfig::default().with_workers(1));
+        let request = || QueryRequest::join(ia, ib).with_algorithm(Algo::Sssj);
+
+        let first = service.run(vec![request()]);
+        let second = service.run(vec![request()]);
+        let (o1, o2) = (&first.outcomes[0], &second.outcomes[0]);
+        assert!(o1.is_completed() && o2.is_completed());
+        assert_eq!(o1.result().unwrap().pairs, o2.result().unwrap().pairs);
+        assert!(
+            o2.stats.admitted_bytes < o1.stats.admitted_bytes,
+            "measured-peak admission must be denser than the heuristic \
+             ({} vs {})",
+            o2.stats.admitted_bytes,
+            o1.stats.admitted_bytes
+        );
+        // The margin really covers the run: the repeat finished inside its
+        // tighter budget.
+        assert!(o2.result().unwrap().memory.peak_bytes <= o2.stats.admitted_bytes);
+    }
+
+    #[test]
+    fn truncated_runs_never_poison_admission_estimates() {
+        // A LIMIT-stopped run's peak under-states the query's footprint; it
+        // must not be recorded, so the repeat is still admitted on the
+        // conservative heuristic.
+        let a = grid(20, 4.0, 0.0, 0);
+        let b = grid(20, 4.0, 1.5, 100_000);
+        let (service, ia, ib) = service_over(&a, &b, ServiceConfig::default().with_workers(1));
+        let limited = service.run(vec![QueryRequest::join(ia, ib)
+            .with_algorithm(Algo::Sssj)
+            .with_limit(1)]);
+        assert!(limited.outcomes[0].is_completed());
+        let repeat = service.run(vec![QueryRequest::join(ia, ib).with_algorithm(Algo::Sssj)]);
+        assert_eq!(
+            repeat.outcomes[0].stats.admitted_bytes,
+            limited.outcomes[0].stats.admitted_bytes,
+            "a truncated run must not shrink the next admission"
+        );
     }
 }

@@ -33,6 +33,12 @@
 //! to the simulated device and recovers their missed intersections with a
 //! log-based fix-up join, keeping the memory governor's limit a hard
 //! invariant at the price of extra (charged) I/O.
+//!
+//! For *live* inputs that cannot be globally sorted up front, the
+//! [`SymmetricSweepDriver`] relaxes the protocol to per-side ordering with
+//! arbitrary cross-side interleaving (watermark-based expiry, XJoin-style),
+//! emitting pairs as items arrive while reusing the same spill/fix-up
+//! machinery.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -44,6 +50,7 @@ mod soa;
 pub mod spill;
 pub mod striped;
 pub mod structure;
+pub mod symmetric;
 
 pub use driver::{
     sweep_join, sweep_join_count, sweep_join_eps, sweep_join_eps_with, Side, SweepDriver,
@@ -52,6 +59,7 @@ pub use driver::{
 pub use forward::ForwardSweep;
 pub use reference::{EagerStripedSweep, ListSweep};
 pub use spill::SpillingSweepDriver;
+pub use symmetric::SymmetricSweepDriver;
 pub use striped::{StripedSweep, INITIAL_STRIPS, MAX_STRIPS, TARGET_PER_STRIP};
 pub use structure::{SweepStats, SweepStructure};
 

@@ -43,30 +43,120 @@ pub const MIN_SWEEP_BUDGET: usize = 4096;
 /// Logical block size (in pages) of the spill batches and the shadow log.
 /// Small on purpose: the writers' block buffers are themselves charged to
 /// the gauge.
-const SPILL_PAGES_PER_BLOCK: u64 = 1;
+pub(crate) const SPILL_PAGES_PER_BLOCK: u64 = 1;
 
 /// One eviction: the spilled items of both sides, plus where in the shared
 /// shadow log the post-eviction arrivals begin.
+///
+/// Shared with the symmetric streaming driver
+/// ([`SymmetricSweepDriver`](crate::SymmetricSweepDriver)), whose epoch
+/// lifecycle is watermark-driven but whose batches are identical.
 #[derive(Debug)]
-struct SpillBatch {
-    left: ItemStream,
-    right: ItemStream,
-    log_left_start: u64,
-    log_right_start: u64,
+pub(crate) struct SpillBatch {
+    pub(crate) left: ItemStream,
+    pub(crate) right: ItemStream,
+    pub(crate) log_left_start: u64,
+    pub(crate) log_right_start: u64,
 }
 
 /// The live spill state: open batches and the shared shadow log of every
 /// arrival since the first of them. Ends (and is fixed up) once the sweep
 /// line passes `max_y`.
 #[derive(Debug)]
-struct SpillEpoch {
-    batches: Vec<SpillBatch>,
-    log_left: ItemStreamWriter,
-    log_right: ItemStreamWriter,
-    log_left_n: u64,
-    log_right_n: u64,
+pub(crate) struct SpillEpoch {
+    pub(crate) batches: Vec<SpillBatch>,
+    pub(crate) log_left: ItemStreamWriter,
+    pub(crate) log_right: ItemStreamWriter,
+    pub(crate) log_left_n: u64,
+    pub(crate) log_right_n: u64,
     /// Largest upper y-coordinate among all spilled items of the epoch.
-    max_y: f32,
+    pub(crate) max_y: f32,
+}
+
+impl SpillEpoch {
+    /// An empty epoch with fresh shadow logs.
+    pub(crate) fn new(env: &mut SimEnv) -> Self {
+        SpillEpoch {
+            batches: Vec::new(),
+            log_left: ItemStreamWriter::new(env, SPILL_PAGES_PER_BLOCK),
+            log_right: ItemStreamWriter::new(env, SPILL_PAGES_PER_BLOCK),
+            log_left_n: 0,
+            log_right_n: 0,
+            max_y: f32::NEG_INFINITY,
+        }
+    }
+
+    /// Shadow-logs one arrival on `side`.
+    pub(crate) fn log(&mut self, env: &mut SimEnv, side: Side, item: Item) -> Result<()> {
+        match side {
+            Side::Left => {
+                self.log_left.push(env, item)?;
+                self.log_left_n += 1;
+            }
+            Side::Right => {
+                self.log_right.push(env, item)?;
+                self.log_right_n += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Joins one spilled batch side against the shadow-log entries that arrived
+/// after its eviction, returning the number of rectangle tests performed.
+///
+/// The batch is read back in memory-governed chunks and the log suffix is
+/// streamed past each chunk. Chunking matters: an "evict everything" batch
+/// can approach the whole budget, and at epoch-close time the live
+/// structures may hold the budget again — reserving the full batch could
+/// spuriously exceed the limit, while a chunk of the *current* headroom
+/// always fits. The log reader starts directly at the batch's suffix, so
+/// pre-eviction blocks are never re-read (they were probed in memory;
+/// re-reporting them would duplicate pairs).
+pub(crate) fn join_batch_against_log<F: FnMut(&Item, &Item)>(
+    env: &mut SimEnv,
+    spilled: &ItemStream,
+    log: &ItemStream,
+    log_start: u64,
+    spilled_side: Side,
+    report: &mut F,
+) -> Result<u64> {
+    if spilled.is_empty() || log.len() <= log_start {
+        return Ok(0);
+    }
+    let mut rect_tests = 0u64;
+    let chunk_bytes = (env.memory.headroom() / 2)
+        .max(MIN_SWEEP_BUDGET)
+        .min(spilled.data_bytes() as usize);
+    let chunk_items = (chunk_bytes / usj_geom::ITEM_BYTES).max(1);
+    let mut claim = env.memory.try_reserve(chunk_items * usj_geom::ITEM_BYTES)?;
+    let mut spilled_reader = spilled.reader();
+    loop {
+        let mut chunk = Vec::with_capacity(chunk_items);
+        while chunk.len() < chunk_items {
+            match spilled_reader.next(env)? {
+                Some(s) => chunk.push(s),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            break;
+        }
+        let mut reader = log.reader_from(log_start);
+        while let Some(z) = reader.next(env)? {
+            for s in &chunk {
+                rect_tests += 1;
+                if s.rect.intersects(&z.rect) {
+                    match spilled_side {
+                        Side::Left => report(s, &z),
+                        Side::Right => report(&z, s),
+                    }
+                }
+            }
+        }
+    }
+    claim.release();
+    Ok(rect_tests)
 }
 
 /// A memory-governed streaming plane-sweep join over two y-sorted inputs.
@@ -160,16 +250,7 @@ impl SpillingSweepDriver {
         // Shadow-log the arrival: its pairs with already-spilled items can
         // only be discovered at fix-up time.
         if let Some(epoch) = &mut self.epoch {
-            match side {
-                Side::Left => {
-                    epoch.log_left.push(env, item)?;
-                    epoch.log_left_n += 1;
-                }
-                Side::Right => {
-                    epoch.log_right.push(env, item)?;
-                    epoch.log_right_n += 1;
-                }
-            }
+            epoch.log(env, side, item)?;
         }
 
         match side {
@@ -249,14 +330,7 @@ impl SpillingSweepDriver {
 
         let epoch = match &mut self.epoch {
             Some(e) => e,
-            None => self.epoch.insert(SpillEpoch {
-                batches: Vec::new(),
-                log_left: ItemStreamWriter::new(env, SPILL_PAGES_PER_BLOCK),
-                log_right: ItemStreamWriter::new(env, SPILL_PAGES_PER_BLOCK),
-                log_left_n: 0,
-                log_right_n: 0,
-                max_y: f32::NEG_INFINITY,
-            }),
+            None => self.epoch.insert(SpillEpoch::new(env)),
         };
         epoch.max_y = epoch.max_y.max(batch_max_y);
         epoch.batches.push(SpillBatch {
@@ -285,17 +359,7 @@ impl SpillingSweepDriver {
     }
 
     /// Joins one spilled batch side against the shadow-log entries that
-    /// arrived after its eviction: the batch is read back in
-    /// memory-governed chunks and the log suffix is streamed past each
-    /// chunk.
-    ///
-    /// Chunking matters: an "evict everything" batch can approach the whole
-    /// budget, and at epoch-close time the live structures may hold the
-    /// budget again — reserving the full batch could spuriously exceed the
-    /// limit, while a chunk of the *current* headroom always fits. The log
-    /// reader starts directly at the batch's suffix, so pre-eviction blocks
-    /// are never re-read (they were probed in memory; re-reporting them
-    /// would duplicate pairs).
+    /// arrived after its eviction (see [`join_batch_against_log`]).
     fn join_spilled<F: FnMut(&Item, &Item)>(
         &mut self,
         env: &mut SimEnv,
@@ -305,40 +369,8 @@ impl SpillingSweepDriver {
         spilled_side: Side,
         report: &mut F,
     ) -> Result<()> {
-        if spilled.is_empty() || log.len() <= log_start {
-            return Ok(());
-        }
-        let chunk_bytes = (env.memory.headroom() / 2)
-            .max(MIN_SWEEP_BUDGET)
-            .min(spilled.data_bytes() as usize);
-        let chunk_items = (chunk_bytes / usj_geom::ITEM_BYTES).max(1);
-        let mut claim = env.memory.try_reserve(chunk_items * usj_geom::ITEM_BYTES)?;
-        let mut spilled_reader = spilled.reader();
-        loop {
-            let mut chunk = Vec::with_capacity(chunk_items);
-            while chunk.len() < chunk_items {
-                match spilled_reader.next(env)? {
-                    Some(s) => chunk.push(s),
-                    None => break,
-                }
-            }
-            if chunk.is_empty() {
-                break;
-            }
-            let mut reader = log.reader_from(log_start);
-            while let Some(z) = reader.next(env)? {
-                for s in &chunk {
-                    self.fixup_rect_tests += 1;
-                    if s.rect.intersects(&z.rect) {
-                        match spilled_side {
-                            Side::Left => report(s, &z),
-                            Side::Right => report(&z, s),
-                        }
-                    }
-                }
-            }
-        }
-        claim.release();
+        self.fixup_rect_tests +=
+            join_batch_against_log(env, spilled, log, log_start, spilled_side, report)?;
         Ok(())
     }
 

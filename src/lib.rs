@@ -21,6 +21,10 @@
 //!   paper's new PQ join), the multi-way extension, the cost model that
 //!   decides between indexed and non-indexed execution, and the parallel
 //!   partitioned executor that shards any of them across a worker pool.
+//! * [`live`] — LSM-style live ingestion (memtable → sorted delta runs →
+//!   merge compaction, with generation snapshots) and the symmetric
+//!   streaming join that emits pairs while its inputs are still being
+//!   scanned.
 //! * [`service`] — the register-once/query-many layer: a dataset
 //!   [`Catalog`](prelude::Catalog) persisting sorted runs, R-trees and
 //!   histogram summaries on the device, and a concurrent
@@ -63,6 +67,7 @@ pub use usj_core as join;
 pub use usj_datagen as datagen;
 pub use usj_geom as geom;
 pub use usj_io as io;
+pub use usj_live as live;
 pub use usj_rtree as rtree;
 pub use usj_service as service;
 pub use usj_sweep as sweep;
@@ -89,6 +94,7 @@ pub mod prelude {
     pub use usj_datagen::{Preset, Workload, WorkloadSpec};
     pub use usj_geom::{Interval, Point, Rect};
     pub use usj_io::{machine::MachineConfig, sim::SimEnv, stats::IoStats};
+    pub use usj_live::{LiveCatalog, LiveConfig, LiveDataset, LiveSnapshot, StreamingJoin};
     pub use usj_rtree::{NodeStore, RTree};
     pub use usj_service::{
         CancelToken, Catalog, Dataset, DatasetId, JoinSpec, PlanCache, QueryKind, QueryOutcome,
