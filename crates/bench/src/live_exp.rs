@@ -99,25 +99,38 @@ impl LiveBenchRow {
     }
 }
 
-/// One preset's ingest-while-querying interference measurement.
+/// One preset × maintenance-mode ingest-while-querying measurement.
 #[derive(Debug, Clone)]
 pub struct LiveInterferenceRow {
     /// Workload preset name.
     pub preset: String,
-    /// Append batches driven through the service.
-    pub ingest_batches: u64,
-    /// Memtable flushes those appends triggered (both datasets).
+    /// Maintenance mode: `"inline"` (flush/compaction run inside
+    /// `append_live`) or `"background"` (handed to the worker thread).
+    pub mode: &'static str,
+    /// Append calls driven through the service.
+    pub appends: u64,
+    /// Memtable flushes maintenance performed (both datasets, post-quiesce).
     pub flushes: u64,
-    /// Compactions those appends triggered (both datasets).
+    /// Compactions maintenance performed (both datasets, post-quiesce).
     pub compactions: u64,
-    /// Largest delta-run count any query saw across both inputs.
-    pub max_delta_runs: usize,
-    /// Mean streaming-query latency when ≥ 1 delta run was pending, ms.
+    /// Largest *observed* maintenance backlog (delta runs + pending flush
+    /// batches, both datasets) at any query submit.
+    pub max_backlog: usize,
+    /// Mean streaming-query latency when the observed backlog at submit
+    /// time was non-zero, ms.
     pub query_ms_fragmented: f64,
-    /// Mean streaming-query latency over fully compacted inputs, ms.
+    /// Mean streaming-query latency when the observed backlog was zero, ms.
     pub query_ms_compacted: f64,
-    /// Wall-clock spent inside appends that compacted, milliseconds.
-    pub compaction_ms: f64,
+    /// Median `append_live` wall-clock, microseconds.
+    pub append_p50_us: f64,
+    /// 99th-percentile `append_live` wall-clock, microseconds — the
+    /// append-stall number the background worker exists to shrink.
+    pub append_p99_us: f64,
+    /// Worst `append_live` wall-clock, microseconds.
+    pub append_max_us: f64,
+    /// Pairs of the final post-quiesce streaming join (asserted equal
+    /// across modes — same data, same answer).
+    pub pairs: u64,
 }
 
 impl LiveInterferenceRow {
@@ -261,45 +274,82 @@ pub fn live_bench(cfg: &ExperimentConfig) -> (Vec<LiveBenchRow>, Vec<LiveInterfe
         rows.push(row);
     }
 
-    println!("\n== Live: ingest-while-querying through the service (compaction interference) ==");
     println!(
-        "{:<10} {:>8} {:>8} {:>9} {:>9} {:>12} {:>12} {:>9} {:>11}",
-        "Data set", "batches", "flushes", "compacts", "max runs", "frag q ms", "compact q ms", "interf", "compact ms"
+        "\n== Live: ingest-while-querying through the service (inline vs background maintenance) =="
+    );
+    println!(
+        "{:<10} {:<10} {:>7} {:>7} {:>8} {:>8} {:>11} {:>11} {:>7} {:>10} {:>10} {:>10}",
+        "Data set", "mode", "appends", "flushes", "compacts", "backlog", "frag q ms", "quiet q ms",
+        "interf", "ap p50 µs", "ap p99 µs", "ap max µs"
     );
     let mut interference = Vec::new();
     for &preset in &cfg.presets {
-        let row = interference_loop(cfg, preset);
-        println!(
-            "{:<10} {:>8} {:>8} {:>9} {:>9} {:>12.3} {:>12.3} {:>8.2}x {:>11.1}",
-            row.preset,
-            row.ingest_batches,
-            row.flushes,
-            row.compactions,
-            row.max_delta_runs,
-            row.query_ms_fragmented,
-            row.query_ms_compacted,
-            row.interference(),
-            row.compaction_ms,
+        let inline = interference_loop(cfg, preset, false);
+        let background = interference_loop(cfg, preset, true);
+        // The two modes ran identical histories; after quiescing, the final
+        // streaming join must produce identical answers or the stall
+        // comparison below compares different work.
+        assert_eq!(
+            inline.pairs, background.pairs,
+            "{preset:?}: inline and background maintenance diverged"
         );
-        interference.push(row);
+        for row in [inline, background] {
+            println!(
+                "{:<10} {:<10} {:>7} {:>7} {:>8} {:>8} {:>11.3} {:>11.3} {:>6.2}x {:>10.1} {:>10.1} {:>10.1}",
+                row.preset,
+                row.mode,
+                row.appends,
+                row.flushes,
+                row.compactions,
+                row.max_backlog,
+                row.query_ms_fragmented,
+                row.query_ms_compacted,
+                row.interference(),
+                row.append_p50_us,
+                row.append_p99_us,
+                row.append_max_us,
+            );
+            interference.push(row);
+        }
     }
     println!(
         "(first-K clock starts when the join starts; the offline column includes materialising \
-         the snapshot into one sorted run, which is exactly the work streaming avoids)"
+         the snapshot into one sorted run, which is exactly the work streaming avoids. The \
+         interference buckets key on the backlog *observed at submit time*, and append-stall \
+         percentiles time each append_live call — inline mode pays flush+compaction inside the \
+         call, background mode hands them to the maintenance worker)"
     );
     (rows, interference)
 }
 
+/// A percentile from an unsorted sample set (nearest-rank), in microseconds.
+fn percentile_us(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
 /// Alternates `append_live` batches with streaming queries on one service,
-/// bucketing query latency by snapshot fragmentation at execution time.
-fn interference_loop(cfg: &ExperimentConfig, preset: usj_datagen::Preset) -> LiveInterferenceRow {
+/// timing every append call and bucketing query latency by the maintenance
+/// backlog *observed at submit time* ([`Service::live_backlog`]) — the load
+/// the query actually raced, not a post-hoc stats delta.
+fn interference_loop(
+    cfg: &ExperimentConfig,
+    preset: usj_datagen::Preset,
+    background: bool,
+) -> LiveInterferenceRow {
     let workload = WorkloadSpec::preset(preset)
         .with_scale(cfg.scale)
         .generate(cfg.seed);
-    let mut service = Service::new(
+    let service = Service::new(
         SimEnv::new(MachineConfig::machine3()),
         Catalog::new(),
-        ServiceConfig::default().with_workers(2),
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_background_maintenance(background),
     );
     let half_r = workload.roads.len() / 2;
     let half_h = workload.hydro.len() / 2;
@@ -323,44 +373,51 @@ fn interference_loop(cfg: &ExperimentConfig, preset: usj_datagen::Preset) -> Liv
         .chunks(workload.hydro[half_h..].len().div_ceil(INGEST_BATCHES))
         .collect();
 
-    let stats_of = |service: &Service, name: &str| {
-        let (_, ds) = service.live().lookup(name).expect("dataset registered");
-        (ds.stats(), ds.delta_runs().len())
+    let mut append_us: Vec<f64> = Vec::new();
+    // Each ingest batch is driven as small sub-appends so the stall
+    // distribution has enough samples to make a p99 meaningful.
+    let mut timed_append = |name: &str, chunk: &[Item]| {
+        for sub in chunk.chunks(64) {
+            let start = Instant::now();
+            service.append_live(name, sub).expect("append");
+            append_us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
     };
     let (mut fragmented, mut compacted): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
-    let mut max_delta_runs = 0usize;
-    let mut compaction_ms = 0.0f64;
-    let mut batches = 0u64;
+    let mut max_backlog = 0usize;
     for i in 0..road_chunks.len().max(hydro_chunks.len()) {
-        let before = stats_of(&service, "roads").0.compactions
-            + stats_of(&service, "hydro").0.compactions;
-        let ingest_start = Instant::now();
         if let Some(chunk) = road_chunks.get(i) {
-            service.append_live("roads", chunk).expect("append roads");
+            timed_append("roads", chunk);
         }
         if let Some(chunk) = hydro_chunks.get(i) {
-            service.append_live("hydro", chunk).expect("append hydro");
+            timed_append("hydro", chunk);
         }
-        let ingest_ms = ingest_start.elapsed().as_secs_f64() * 1000.0;
-        let after = stats_of(&service, "roads").0.compactions
-            + stats_of(&service, "hydro").0.compactions;
-        if after > before {
-            compaction_ms += ingest_ms;
-        }
-        batches += 1;
 
-        let pending = stats_of(&service, "roads").1 + stats_of(&service, "hydro").1;
-        max_delta_runs = max_delta_runs.max(pending);
+        // Bucket by the backlog observed *now*, at submit — under
+        // background maintenance this is what the query races.
+        let backlog = service.live_backlog("roads").unwrap_or(0)
+            + service.live_backlog("hydro").unwrap_or(0);
+        max_backlog = max_backlog.max(backlog);
         let report = service.run(vec![QueryRequest::streaming_join(la, lb)]);
         let outcome = &report.outcomes[0];
         assert!(outcome.is_completed(), "{:?}", outcome.status);
         let latency_ms = outcome.stats.latency.as_secs_f64() * 1000.0;
-        if pending > 0 {
+        if backlog > 0 {
             fragmented.push(latency_ms);
         } else {
             compacted.push(latency_ms);
         }
     }
+
+    // Drain all maintenance, then take the final differential answer the
+    // caller compares across modes.
+    service.quiesce_live("roads").expect("quiesce roads");
+    service.quiesce_live("hydro").expect("quiesce hydro");
+    let report = service.run(vec![QueryRequest::streaming_join(la, lb)]);
+    let outcome = &report.outcomes[0];
+    assert!(outcome.is_completed(), "{:?}", outcome.status);
+    let pairs = outcome.result().expect("completed").pairs;
+
     let mean = |v: &[f64]| {
         if v.is_empty() {
             0.0
@@ -368,17 +425,21 @@ fn interference_loop(cfg: &ExperimentConfig, preset: usj_datagen::Preset) -> Liv
             v.iter().sum::<f64>() / v.len() as f64
         }
     };
-    let (roads_stats, _) = stats_of(&service, "roads");
-    let (hydro_stats, _) = stats_of(&service, "hydro");
+    let stats_of = |name: &str| service.live_stats(name).expect("dataset registered");
+    let (roads_stats, hydro_stats) = (stats_of("roads"), stats_of("hydro"));
     LiveInterferenceRow {
         preset: preset.name().to_string(),
-        ingest_batches: batches,
+        mode: if background { "background" } else { "inline" },
+        appends: append_us.len() as u64,
         flushes: roads_stats.flushes + hydro_stats.flushes,
         compactions: roads_stats.compactions + hydro_stats.compactions,
-        max_delta_runs,
+        max_backlog,
         query_ms_fragmented: mean(&fragmented),
         query_ms_compacted: mean(&compacted),
-        compaction_ms,
+        append_p50_us: percentile_us(&mut append_us, 50.0),
+        append_p99_us: percentile_us(&mut append_us, 99.0),
+        append_max_us: percentile_us(&mut append_us, 100.0),
+        pairs,
     }
 }
 
@@ -419,18 +480,23 @@ pub fn live_bench_json(
     out.push_str("  \"interference\": [\n");
     for (i, r) in interference.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"preset\": \"{}\", \"ingest_batches\": {}, \"flushes\": {}, \
-             \"compactions\": {}, \"max_delta_runs\": {}, \"query_ms_fragmented\": {:.4}, \
-             \"query_ms_compacted\": {:.4}, \"interference\": {:.3}, \"compaction_ms\": {:.4}}}{}\n",
+            "    {{\"preset\": \"{}\", \"mode\": \"{}\", \"appends\": {}, \"flushes\": {}, \
+             \"compactions\": {}, \"max_backlog\": {}, \"query_ms_fragmented\": {:.4}, \
+             \"query_ms_compacted\": {:.4}, \"interference\": {:.3}, \"append_p50_us\": {:.2}, \
+             \"append_p99_us\": {:.2}, \"append_max_us\": {:.2}, \"pairs\": {}}}{}\n",
             r.preset,
-            r.ingest_batches,
+            r.mode,
+            r.appends,
             r.flushes,
             r.compactions,
-            r.max_delta_runs,
+            r.max_backlog,
             r.query_ms_fragmented,
             r.query_ms_compacted,
             r.interference(),
-            r.compaction_ms,
+            r.append_p50_us,
+            r.append_p99_us,
+            r.append_max_us,
+            r.pairs,
             if i + 1 == interference.len() { "" } else { "," }
         ));
     }
@@ -464,14 +530,27 @@ pub fn live_trajectory_point(
         .iter()
         .map(|r| r.interference())
         .fold(1.0f64, f64::max);
+    // The trajectory tracks both modes' worst append-stall p99 so the
+    // background-vs-inline gap is visible run over run.
+    let worst_p99 = |mode: &str| {
+        interference
+            .iter()
+            .filter(|r| r.mode == mode)
+            .map(|r| r.append_p99_us)
+            .fold(0.0f64, f64::max)
+    };
     format!(
         "    {{\"experiment\": \"live\", \"unix_time\": {}, \"scale\": {}, \"seed\": {}, \
-         \"first_k_target\": {}, \"worst_interference\": {:.3}, \"rows\": [{}]}}\n",
+         \"first_k_target\": {}, \"worst_interference\": {:.3}, \
+         \"append_p99_us_inline\": {:.2}, \"append_p99_us_background\": {:.2}, \
+         \"rows\": [{}]}}\n",
         unix_time,
         cfg.scale,
         cfg.seed,
         FIRST_K,
         worst_interference,
+        worst_p99("inline"),
+        worst_p99("background"),
         per_preset.join(", ")
     )
 }
@@ -490,7 +569,11 @@ mod tests {
         };
         let (rows, interference) = live_bench(&cfg);
         assert_eq!(rows.len(), 2, "one early-result row per preset");
-        assert_eq!(interference.len(), 2, "one interference row per preset");
+        assert_eq!(
+            interference.len(),
+            4,
+            "one interference row per preset per maintenance mode"
+        );
         for r in &rows {
             // The stopwatch is monotone by construction, and the snapshot
             // history really was fragmented.
@@ -499,15 +582,27 @@ mod tests {
             assert!(r.first_k <= FIRST_K && r.first_k >= 1);
         }
         for r in &interference {
-            assert_eq!(r.ingest_batches, INGEST_BATCHES as u64);
+            assert!(r.appends > 0, "{}: no appends timed", r.preset);
             assert!(r.flushes > 0, "{}: no flush ever triggered", r.preset);
             assert!(r.compactions > 0, "{}: no compaction triggered", r.preset);
-            assert!(r.max_delta_runs > 0);
+            assert!(r.pairs > 0, "{}: empty final join", r.preset);
+            assert!(r.append_p50_us <= r.append_p99_us);
+            assert!(r.append_p99_us <= r.append_max_us);
+        }
+        for pair in interference.chunks(2) {
+            assert_eq!(pair[0].mode, "inline");
+            assert_eq!(pair[1].mode, "background");
+            assert_eq!(
+                pair[0].pairs, pair[1].pairs,
+                "{}: maintenance modes diverged",
+                pair[0].preset
+            );
         }
 
         let json = live_bench_json(&cfg, &rows, &interference);
         assert!(json.contains("\"experiment\": \"live\""));
-        assert_eq!(json.matches("\"preset\":").count(), 4);
+        assert!(json.contains("\"mode\": \"background\""));
+        assert_eq!(json.matches("\"preset\":").count(), 6);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
 

@@ -186,6 +186,22 @@ impl MemoryReservation {
     pub fn release(&mut self) {
         self.shrink(self.bytes);
     }
+
+    /// Moves every byte held into a *new* reservation against the same
+    /// gauge, leaving `self` empty. The gauge total is unchanged — no
+    /// release/re-reserve window where another thread could claim the
+    /// bytes. This is the hand-over primitive of the live-catalog flush
+    /// path: a frozen memtable transfers its claim to the flush batch,
+    /// which keeps charging the gauge until the batch is persisted.
+    pub fn take(&mut self) -> MemoryReservation {
+        let bytes = self.bytes;
+        self.bytes = 0;
+        MemoryReservation {
+            inner: Arc::clone(&self.inner),
+            limit: self.limit,
+            bytes,
+        }
+    }
 }
 
 impl Drop for MemoryReservation {
@@ -254,6 +270,20 @@ mod tests {
         assert_eq!(g.peak(), 10, "phase peak starts at the live usage");
         let _c = g.try_reserve(25).unwrap();
         assert_eq!(g.peak(), 35);
+    }
+
+    #[test]
+    fn take_transfers_bytes_without_touching_the_gauge() {
+        let g = MemoryGauge::new(100);
+        let mut a = g.try_reserve(60).unwrap();
+        let b = a.take();
+        assert_eq!(a.bytes(), 0);
+        assert_eq!(b.bytes(), 60);
+        assert_eq!(g.current(), 60, "the gauge total is unchanged by take");
+        drop(a);
+        assert_eq!(g.current(), 60, "the emptied source releases nothing");
+        drop(b);
+        assert_eq!(g.current(), 0);
     }
 
     #[test]

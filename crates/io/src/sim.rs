@@ -170,6 +170,27 @@ impl SimEnv {
         self.device.set_accounting(was);
         out
     }
+
+    /// Runs `f` under a *temporary* memory budget of `bytes`, restoring the
+    /// previous gauge and limit afterwards.
+    ///
+    /// The scoped work gets a fresh gauge enforcing `bytes`, so its sorts and
+    /// merges degrade (spill) at that budget instead of the environment's
+    /// full limit. Reservations created before the call keep charging the
+    /// *old* gauge (which is restored on exit), so long-lived structures —
+    /// live memtables, frozen flush batches — are unaffected. This is the
+    /// governor of background maintenance: compaction merges run inside
+    /// `with_budget(maintenance_budget_bytes, ..)` so their transient working
+    /// sets stay bounded independently of query admission.
+    pub fn with_budget<T>(&mut self, bytes: usize, f: impl FnOnce(&mut SimEnv) -> T) -> T {
+        let prev_limit = self.memory_limit;
+        let prev_gauge = std::mem::replace(&mut self.memory, MemoryGauge::new(bytes));
+        self.memory_limit = bytes;
+        let out = f(self);
+        self.memory_limit = prev_limit;
+        self.memory = prev_gauge;
+        out
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +282,24 @@ mod tests {
         // must be lower than the all-random estimate.
         assert!(obs.io_secs < est.io_secs);
         assert!(obs.io_secs > 0.0);
+    }
+
+    #[test]
+    fn with_budget_scopes_the_gauge_and_restores_it() {
+        let mut env = SimEnv::new(MachineConfig::machine3()).with_memory_limit(1 << 20);
+        let outer = env.memory.try_reserve(512 * 1024).unwrap();
+        env.with_budget(64 * 1024, |e| {
+            assert_eq!(e.memory_limit, 64 * 1024);
+            // The scoped gauge starts empty: the outer reservation charges
+            // the (suspended) outer gauge, not this one.
+            assert_eq!(e.memory.current(), 0);
+            assert!(e.memory.try_reserve(128 * 1024).is_err());
+            let _inner = e.memory.try_reserve(32 * 1024).unwrap();
+        });
+        assert_eq!(env.memory_limit, 1 << 20);
+        assert_eq!(env.memory.current(), 512 * 1024);
+        drop(outer);
+        assert_eq!(env.memory.current(), 0);
     }
 
     #[test]

@@ -1,28 +1,46 @@
 //! LSM-style live dataset handles and their generation snapshots.
 //!
-//! A [`LiveDataset`] layers three tiers, youngest to oldest:
+//! A [`LiveDataset`] layers four tiers, youngest to oldest:
 //!
 //! 1. the gauged in-memory [`Memtable`] of not-yet-persisted inserts,
-//! 2. zero or more sorted **delta runs** on the device (each one flushed
-//!    memtable, sweep-key ordered),
-//! 3. the immutable **base run** with its bulk-loaded R-tree — exactly the
+//! 2. zero or more **frozen flush batches** — sorted memtable contents
+//!    awaiting their device write, still holding their gauge reservation,
+//! 3. zero or more sorted **delta runs** on the device (each one persisted
+//!    batch, sweep-key ordered),
+//! 4. the immutable **base run** with its bulk-loaded R-tree — exactly the
 //!    representation the static catalog persists.
 //!
-//! [`LiveDataset::append`] buffers inserts and flushes the memtable into a
-//! new delta run when its reservation reaches the configured threshold;
-//! once enough deltas accumulate, [`LiveDataset::compact`] folds base +
-//! deltas into a new base via the external sort (which degenerates into a
-//! k-way merge of the already-sorted runs on the packed `u64` sweep key)
-//! and rebuilds the R-tree. Every mutation bumps the **generation**.
+//! Maintenance — persisting a frozen batch as a delta run, and merge
+//! compaction folding base + deltas into a new base with a rebuilt R-tree
+//! — is exposed as **split phases** so it can run off the appending thread:
+//!
+//! * [`LiveDataset::freeze`] moves the memtable into the flush queue
+//!   (no I/O, no environment — an append-path operation);
+//! * [`LiveDataset::begin_flush`] / [`LiveDataset::run_flush`] /
+//!   [`LiveDataset::publish_flush`] persist the oldest frozen batch — only
+//!   `run_flush` touches the device, and it needs no `&self`, so a
+//!   background worker can hold the storage environment without holding
+//!   the dataset;
+//! * [`LiveDataset::begin_compaction`] / [`LiveDataset::run_compaction`] /
+//!   [`LiveDataset::publish_compaction`] do the same for the merge: the
+//!   plan clones immutable run handles, the merge runs against them on the
+//!   environment alone, and publication atomically swaps the new base in —
+//!   keeping any delta runs that were flushed *while* the merge ran.
+//!
+//! The synchronous [`LiveDataset::append`] / [`LiveDataset::flush`] /
+//! [`LiveDataset::compact`] entry points compose exactly these phases
+//! inline, so inline and background maintenance execute identical code and
+//! produce identical runs.
 //!
 //! Reads never lock ingestion out: [`LiveDataset::snapshot`] clones the
-//! immutable run handles and freezes a sorted copy of the memtable. Device
-//! pages of persisted runs are never rewritten (compaction allocates new
-//! ones), so a snapshot stays valid however far ingestion advances — and it
-//! works unchanged on a forked worker environment layered over a device
-//! snapshot, which is how the service executes streaming joins.
+//! immutable run handles, the frozen batches, and a sorted copy of the
+//! memtable. Device pages of persisted runs are never rewritten (compaction
+//! allocates new ones), so a snapshot stays valid however far ingestion
+//! advances — and it works unchanged on a forked worker environment layered
+//! over a device snapshot, which is how the service executes streaming
+//! joins.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use usj_geom::{Item, Rect};
@@ -86,6 +104,88 @@ impl DeltaRun {
     }
 }
 
+/// A frozen memtable awaiting its device write: the items (already sorted
+/// by sweep key) plus the gauge reservation they still hold. The
+/// reservation transfers from the memtable via
+/// [`MemoryReservation::take`](usj_io::MemoryReservation::take), so the
+/// bytes keep charging the ingestion gauge until [`publish_flush`]
+/// (which drops the batch) persists them — admission control never loses
+/// sight of buffered-but-unpersisted data.
+///
+/// [`publish_flush`]: LiveDataset::publish_flush
+#[derive(Debug)]
+struct FlushBatch {
+    items: Arc<Vec<Item>>,
+    bbox: Rect,
+    reservation: usj_io::MemoryReservation,
+}
+
+impl FlushBatch {
+    fn bytes(&self) -> usize {
+        self.reservation.bytes()
+    }
+}
+
+/// A claimed flush: an immutable handle on the oldest frozen batch, enough
+/// to write its delta run without touching the dataset. Produced by
+/// [`LiveDataset::begin_flush`], consumed by [`LiveDataset::publish_flush`].
+#[derive(Debug, Clone)]
+pub struct FlushJob {
+    items: Arc<Vec<Item>>,
+    bbox: Rect,
+}
+
+impl FlushJob {
+    /// Items the flush will persist (sorted by sweep key).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when the job carries no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A claimed compaction: immutable handles of the base and the delta runs
+/// the merge will fold. Produced by [`LiveDataset::begin_compaction`] (which
+/// marks the dataset as compacting so no second merge claims the same
+/// runs), consumed by [`LiveDataset::publish_compaction`] /
+/// [`LiveDataset::abort_compaction`].
+#[derive(Debug, Clone)]
+pub struct CompactionPlan {
+    base: ItemStream,
+    deltas: Vec<ItemStream>,
+}
+
+impl CompactionPlan {
+    /// Number of delta runs this plan folds into the new base.
+    pub fn delta_count(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Total records the merge will process.
+    pub fn len(&self) -> u64 {
+        self.base.len() + self.deltas.iter().map(ItemStream::len).sum::<u64>()
+    }
+
+    /// Returns `true` when the plan covers no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The result of a finished merge, ready to publish: the new base run, its
+/// rebuilt R-tree and bounding box, and how many delta runs it folded.
+#[derive(Debug)]
+pub struct CompactionOutput {
+    base: ItemStream,
+    tree: RTree,
+    bbox: Rect,
+    merged_items: u64,
+    folded_deltas: usize,
+}
+
 /// Counters of one live dataset's ingestion history.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LiveStats {
@@ -101,7 +201,8 @@ pub struct LiveStats {
     pub compacted_items: u64,
 }
 
-/// An LSM-style live dataset: immutable base + delta runs + memtable.
+/// An LSM-style live dataset: immutable base + delta runs + frozen flush
+/// batches + memtable.
 #[derive(Debug)]
 pub struct LiveDataset {
     name: String,
@@ -110,7 +211,9 @@ pub struct LiveDataset {
     tree: RTree,
     bbox: Rect,
     deltas: Vec<DeltaRun>,
+    flushing: VecDeque<FlushBatch>,
     memtable: Memtable,
+    compacting: bool,
     config: LiveConfig,
     stats: LiveStats,
 }
@@ -141,7 +244,9 @@ impl LiveDataset {
             tree,
             bbox,
             deltas: Vec::new(),
+            flushing: VecDeque::new(),
             memtable: Memtable::new(env),
+            compacting: false,
             config,
             stats: LiveStats::default(),
         })
@@ -152,8 +257,7 @@ impl LiveDataset {
         &self.name
     }
 
-    /// Generation counter: bumped by every flush and compaction, so two
-    /// snapshots with equal generations see identical data.
+    /// Generation counter: bumped by every published flush and compaction.
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -162,6 +266,7 @@ impl LiveDataset {
     pub fn len(&self) -> u64 {
         self.base.len()
             + self.deltas.iter().map(DeltaRun::len).sum::<u64>()
+            + self.flushing.iter().map(|b| b.items.len() as u64).sum::<u64>()
             + self.memtable.len() as u64
     }
 
@@ -170,11 +275,17 @@ impl LiveDataset {
         self.len() == 0
     }
 
-    /// Bounding box of everything visible (base, deltas and memtable).
+    /// Bounding box of everything visible (base, deltas, frozen batches and
+    /// memtable).
     pub fn bbox(&self) -> Rect {
         let mut bbox = self.bbox;
         for d in &self.deltas {
             bbox = bbox.union(&d.bbox);
+        }
+        for b in &self.flushing {
+            if !b.bbox.is_empty() {
+                bbox = bbox.union(&b.bbox);
+            }
         }
         if !self.memtable.bbox().is_empty() {
             bbox = bbox.union(&self.memtable.bbox());
@@ -193,9 +304,26 @@ impl LiveDataset {
         &self.deltas
     }
 
+    /// Frozen flush batches awaiting their device write.
+    pub fn pending_flush_batches(&self) -> usize {
+        self.flushing.len()
+    }
+
+    /// Bytes held by frozen flush batches (still charged to the gauge).
+    pub fn pending_flush_bytes(&self) -> usize {
+        self.flushing.iter().map(FlushBatch::bytes).sum()
+    }
+
     /// Items currently buffered in the memtable.
     pub fn memtable_len(&self) -> usize {
         self.memtable.len()
+    }
+
+    /// Returns `true` while a claimed compaction is in flight
+    /// ([`begin_compaction`](LiveDataset::begin_compaction) has run but
+    /// neither publish nor abort has).
+    pub fn is_compacting(&self) -> bool {
+        self.compacting
     }
 
     /// Ingestion counters.
@@ -203,56 +331,153 @@ impl LiveDataset {
         self.stats
     }
 
+    /// The configured tuning knobs.
+    pub fn config(&self) -> LiveConfig {
+        self.config
+    }
+
+    /// Returns `true` when the memtable has reached the flush threshold.
+    pub fn wants_freeze(&self) -> bool {
+        !self.memtable.is_empty() && self.memtable.bytes() >= self.config.flush_threshold_bytes
+    }
+
+    /// Returns `true` when the delta-run count has reached the configured
+    /// compaction threshold and no merge is already in flight.
+    pub fn wants_compaction(&self) -> bool {
+        self.config.compact_after_deltas > 0
+            && self.deltas.len() >= self.config.compact_after_deltas
+            && !self.compacting
+    }
+
+    /// Returns `true` while any maintenance is outstanding: a threshold-
+    /// crossed memtable, frozen batches awaiting their write, a merge in
+    /// flight, or a delta count at the compaction threshold. The background
+    /// worker's quiesce loop drains until this is `false`.
+    pub fn maintenance_pending(&self) -> bool {
+        self.wants_freeze()
+            || !self.flushing.is_empty()
+            || self.compacting
+            || self.wants_compaction()
+    }
+
     /// Appends a batch of records.
     ///
-    /// Inserts are buffered in the gauged memtable; when its footprint
-    /// reaches the flush threshold it is drained into a sorted delta run on
-    /// the device (charged I/O), and when enough deltas accumulate a merge
-    /// compaction folds them into a new base. Either maintenance step may
-    /// run zero or more times per call — the caller just appends.
+    /// Inserts are buffered in the gauged memtable. In this synchronous
+    /// entry point, crossing the flush threshold runs the whole maintenance
+    /// pipeline inline ([`flush`](LiveDataset::flush)): freeze, persist,
+    /// and compact if due — the pre-background behaviour. Callers that own
+    /// a background worker use [`append_buffered`](LiveDataset::append_buffered)
+    /// instead and let the worker drive the same phases.
     pub fn append(&mut self, env: &mut SimEnv, items: &[Item]) -> Result<()> {
         for &item in items {
             self.memtable.insert(item)?;
             self.stats.appended += 1;
-            if self.memtable.bytes() >= self.config.flush_threshold_bytes {
+            if self.wants_freeze() {
                 self.flush(env)?;
             }
         }
         Ok(())
     }
 
-    /// Drains the memtable into a new sorted delta run (no-op when empty),
-    /// then compacts if the delta count reached the configured threshold.
-    pub fn flush(&mut self, env: &mut SimEnv) -> Result<()> {
-        if self.memtable.is_empty() {
-            return Ok(());
+    /// Appends records touching *only* the memtable (and, past the flush
+    /// threshold, the freeze queue): no device I/O, no environment — the
+    /// append path of background-maintenance mode. Returns `true` when the
+    /// call left maintenance pending (the caller should nudge its worker).
+    pub fn append_buffered(&mut self, items: &[Item]) -> Result<bool> {
+        for &item in items {
+            self.memtable.insert(item)?;
+            self.stats.appended += 1;
+            if self.wants_freeze() {
+                self.freeze();
+            }
         }
-        let items = self.memtable.drain_sorted();
-        let mut bbox = Rect::empty();
-        let mut writer = ItemStreamWriter::new(env, LIVE_PAGES_PER_BLOCK);
-        for &item in &items {
-            bbox = if bbox.is_empty() {
-                item.rect
-            } else {
-                bbox.union(&item.rect)
-            };
-            writer.push(env, item)?;
-        }
-        let run = writer.finish(env)?;
-        self.stats.flushes += 1;
-        self.stats.flushed_items += items.len() as u64;
-        self.deltas.push(DeltaRun { run, bbox });
-        self.generation += 1;
-        if self.config.compact_after_deltas > 0
-            && self.deltas.len() >= self.config.compact_after_deltas
-        {
-            self.compact(env)?;
-        }
-        Ok(())
+        Ok(self.maintenance_pending())
     }
 
-    /// Merge compaction: folds base + every delta run into a new base run
-    /// and rebuilds the R-tree.
+    /// Freezes the memtable into the flush queue: its items (sorted), bbox
+    /// and gauge reservation move into a `FlushBatch` awaiting the device
+    /// write, and the memtable is left empty for new inserts. No I/O, no
+    /// environment. Returns `false` (and does nothing) when the memtable is
+    /// empty.
+    pub fn freeze(&mut self) -> bool {
+        if self.memtable.is_empty() {
+            return false;
+        }
+        let (items, bbox, reservation) = self.memtable.freeze();
+        self.flushing.push_back(FlushBatch {
+            items: Arc::new(items),
+            bbox,
+            reservation,
+        });
+        true
+    }
+
+    /// Claims the oldest frozen batch for persisting: an immutable handle
+    /// good for [`run_flush`](LiveDataset::run_flush) without `&self`.
+    /// Returns `None` when no batch is frozen.
+    pub fn begin_flush(&self) -> Option<FlushJob> {
+        self.flushing.front().map(|b| FlushJob {
+            items: Arc::clone(&b.items),
+            bbox: b.bbox,
+        })
+    }
+
+    /// Writes a claimed batch as a sorted delta run on `env`'s device
+    /// (charged I/O). Needs no dataset access — this is the phase a
+    /// background worker runs while appends and snapshots proceed.
+    pub fn run_flush(env: &mut SimEnv, job: &FlushJob) -> Result<ItemStream> {
+        let mut writer = ItemStreamWriter::new(env, LIVE_PAGES_PER_BLOCK);
+        for &item in job.items.iter() {
+            writer.push(env, item)?;
+        }
+        Ok(writer.finish(env)?)
+    }
+
+    /// Publishes a persisted flush: pops the frozen batch (releasing its
+    /// gauge reservation), appends the delta run, and bumps the generation.
+    ///
+    /// Flushes publish in freeze order: the job must be the one claimed
+    /// from the current queue front (there is one maintenance actor by
+    /// construction — the inline caller or the single background worker).
+    pub fn publish_flush(&mut self, job: FlushJob, run: ItemStream) {
+        let batch = self
+            .flushing
+            .pop_front()
+            .expect("publish_flush without a frozen batch");
+        debug_assert!(
+            Arc::ptr_eq(&batch.items, &job.items),
+            "flushes must publish in freeze order"
+        );
+        self.stats.flushes += 1;
+        self.stats.flushed_items += run.len();
+        self.deltas.push(DeltaRun {
+            run,
+            bbox: job.bbox,
+        });
+        self.generation += 1;
+    }
+
+    /// Claims a merge compaction over the current base + delta runs.
+    ///
+    /// Marks the dataset as compacting (a second claim returns `None`
+    /// until publish/abort) and hands back immutable run handles: the merge
+    /// itself ([`run_compaction`](LiveDataset::run_compaction)) needs only
+    /// an environment, so flushes may *append* new delta runs while it
+    /// runs — publication keeps them. Returns `None` when there is nothing
+    /// to fold.
+    pub fn begin_compaction(&mut self) -> Option<CompactionPlan> {
+        if self.compacting || self.deltas.is_empty() {
+            return None;
+        }
+        self.compacting = true;
+        Some(CompactionPlan {
+            base: self.base.clone(),
+            deltas: self.deltas.iter().map(|d| d.run.clone()).collect(),
+        })
+    }
+
+    /// Merge compaction work: folds the plan's base + delta runs into a new
+    /// base run and bulk-loads its R-tree.
     ///
     /// The runs are concatenated and pushed through the external sort on
     /// the packed sweep key; since every input run is already sorted, run
@@ -260,22 +485,19 @@ impl LiveDataset {
     /// the k-way merge — all I/O charged like any other maintenance work.
     /// The old base pages stay valid on the device, which is what keeps
     /// earlier snapshots readable.
-    pub fn compact(&mut self, env: &mut SimEnv) -> Result<()> {
-        if self.deltas.is_empty() {
-            return Ok(());
-        }
+    pub fn run_compaction(env: &mut SimEnv, plan: &CompactionPlan) -> Result<CompactionOutput> {
         let mut concat = ItemStreamWriter::new(env, LIVE_PAGES_PER_BLOCK);
-        let mut reader = self.base.reader();
+        let mut reader = plan.base.reader();
         while let Some(item) = reader.next(env)? {
             concat.push(env, item)?;
         }
-        let mut merged_items = self.base.len();
-        for delta in &self.deltas {
-            let mut reader = delta.run.reader();
+        let mut merged_items = plan.base.len();
+        for delta in &plan.deltas {
+            let mut reader = delta.reader();
             while let Some(item) = reader.next(env)? {
                 concat.push(env, item)?;
             }
-            merged_items += delta.run.len();
+            merged_items += delta.len();
         }
         let concatenated = concat.finish(env)?;
         let (base, sort_stats) = extsort::external_sort_by_key(
@@ -284,22 +506,109 @@ impl LiveDataset {
             Item::sweep_key,
             Item::cmp_by_lower_y,
         )?;
-        self.bbox = if sort_stats.bbox.is_empty() {
+        let bbox = if sort_stats.bbox.is_empty() {
             Rect::from_coords(0.0, 0.0, 1.0, 1.0)
         } else {
             sort_stats.bbox
         };
-        self.tree = RTree::bulk_load_stream(env, &base)?;
-        self.base = base;
-        self.deltas.clear();
+        let tree = RTree::bulk_load_stream(env, &base)?;
+        Ok(CompactionOutput {
+            base,
+            tree,
+            bbox,
+            merged_items,
+            folded_deltas: plan.deltas.len(),
+        })
+    }
+
+    /// Publishes a finished merge: swaps the new base/tree/bbox in, removes
+    /// exactly the delta runs the plan folded (keeping any flushed since),
+    /// clears the compacting mark, and bumps the generation.
+    pub fn publish_compaction(&mut self, out: CompactionOutput) {
+        debug_assert!(self.compacting, "publish_compaction without a claim");
+        debug_assert!(out.folded_deltas <= self.deltas.len());
+        self.base = out.base;
+        self.tree = out.tree;
+        self.bbox = out.bbox;
+        self.deltas.drain(..out.folded_deltas);
         self.generation += 1;
+        self.compacting = false;
         self.stats.compactions += 1;
-        self.stats.compacted_items += merged_items;
+        self.stats.compacted_items += out.merged_items;
+    }
+
+    /// Releases a compaction claim without publishing (the merge failed or
+    /// was abandoned); the dataset is unchanged and a new claim may be
+    /// taken.
+    pub fn abort_compaction(&mut self) {
+        self.compacting = false;
+    }
+
+    /// Synchronous maintenance: freezes the memtable, persists every frozen
+    /// batch into delta runs, then compacts if the delta count reached the
+    /// configured threshold — the freeze/flush/compact phases composed
+    /// inline.
+    pub fn flush(&mut self, env: &mut SimEnv) -> Result<()> {
+        self.freeze();
+        while let Some(job) = self.begin_flush() {
+            let run = Self::run_flush(env, &job)?;
+            self.publish_flush(job, run);
+        }
+        if self.wants_compaction() {
+            self.compact(env)?;
+        }
         Ok(())
     }
 
+    /// Synchronous merge compaction: claim, merge and publish in one call
+    /// (no-op when there is nothing to fold or a merge is in flight).
+    pub fn compact(&mut self, env: &mut SimEnv) -> Result<()> {
+        let Some(plan) = self.begin_compaction() else {
+            return Ok(());
+        };
+        match Self::run_compaction(env, &plan) {
+            Ok(out) => {
+                self.publish_compaction(out);
+                Ok(())
+            }
+            Err(e) => {
+                self.abort_compaction();
+                Err(e)
+            }
+        }
+    }
+
+    /// Fully quiesces the dataset inline: drains the memtable and every
+    /// frozen batch to delta runs, then folds everything into the base
+    /// (regardless of the compaction threshold). Afterwards the dataset is
+    /// a single sorted base run + R-tree — the precondition for promotion
+    /// into the frozen catalog.
+    pub fn quiesce(&mut self, env: &mut SimEnv) -> Result<()> {
+        self.freeze();
+        while let Some(job) = self.begin_flush() {
+            let run = Self::run_flush(env, &job)?;
+            self.publish_flush(job, run);
+        }
+        self.compact(env)
+    }
+
+    /// Decomposes a quiesced dataset into its persisted parts (sorted base
+    /// run, R-tree, bounding box) for promotion into the frozen catalog.
+    ///
+    /// Fails with [`LiveError::NotQuiesced`] when the memtable, the flush
+    /// queue or the delta list is non-empty — call
+    /// [`quiesce`](LiveDataset::quiesce) (or drain through a background
+    /// worker) first.
+    pub fn into_frozen_parts(self) -> Result<(ItemStream, RTree, Rect)> {
+        if !self.memtable.is_empty() || !self.flushing.is_empty() || !self.deltas.is_empty() {
+            return Err(LiveError::NotQuiesced(self.name));
+        }
+        Ok((self.base, self.tree, self.bbox))
+    }
+
     /// Takes a consistent generation snapshot: immutable handles of the
-    /// base and delta runs plus a frozen sorted copy of the memtable.
+    /// base and delta runs, the frozen flush batches, plus a sorted copy of
+    /// the memtable.
     ///
     /// The snapshot stays valid while ingestion continues (persisted pages
     /// are never rewritten) and can be read from any environment whose
@@ -307,14 +616,35 @@ impl LiveDataset {
     /// device snapshot.
     pub fn snapshot(&self) -> LiveSnapshot {
         let mut runs = Vec::with_capacity(1 + self.deltas.len());
-        runs.push(self.base.clone());
+        runs.push(SnapshotRun {
+            stream: self.base.clone(),
+            bbox: self.bbox,
+        });
         for d in &self.deltas {
-            runs.push(d.run.clone());
+            runs.push(SnapshotRun {
+                stream: d.run.clone(),
+                bbox: d.bbox,
+            });
+        }
+        let mut mem_runs: Vec<MemRun> = self
+            .flushing
+            .iter()
+            .map(|b| MemRun {
+                items: Arc::clone(&b.items),
+                bbox: b.bbox,
+            })
+            .collect();
+        if !self.memtable.is_empty() {
+            mem_runs.push(MemRun {
+                items: Arc::new(frozen_sorted(self.memtable.items())),
+                bbox: self.memtable.bbox(),
+            });
         }
         LiveSnapshot {
             generation: self.generation,
             runs,
-            memtable: Arc::new(frozen_sorted(self.memtable.items())),
+            mem_runs,
+            tree: self.tree.clone(),
             bbox: self.bbox(),
         }
     }
@@ -326,9 +656,13 @@ impl LiveDataset {
 pub struct LiveId(pub u32);
 
 /// A named registry of live datasets.
+///
+/// Slots are tombstoned rather than removed
+/// ([`take`](LiveCatalog::take) leaves a `None` behind), so a [`LiveId`]
+/// handed out earlier never silently re-points at a different dataset.
 #[derive(Debug, Default)]
 pub struct LiveCatalog {
-    datasets: Vec<LiveDataset>,
+    datasets: Vec<Option<LiveDataset>>,
     by_name: HashMap<String, u32>,
 }
 
@@ -340,12 +674,12 @@ impl LiveCatalog {
 
     /// Number of registered live datasets.
     pub fn len(&self) -> usize {
-        self.datasets.len()
+        self.by_name.len()
     }
 
     /// Returns `true` when no live dataset is registered.
     pub fn is_empty(&self) -> bool {
-        self.datasets.is_empty()
+        self.by_name.is_empty()
     }
 
     /// Registers a live dataset under `name` with an initial base batch.
@@ -360,21 +694,40 @@ impl LiveCatalog {
             return Err(LiveError::DuplicateDataset(name.to_string()));
         }
         let dataset = LiveDataset::create(env, name, base_items, config)?;
+        self.insert(dataset)
+    }
+
+    /// Registers an already-built live dataset under its own name.
+    ///
+    /// This is the two-phase registration path of a service that keeps its
+    /// storage environment behind a separate lock: the dataset is created
+    /// on the storage environment first ([`LiveDataset::create`]), its
+    /// pages are made visible to readers, and only then does the catalog
+    /// entry appear.
+    pub fn insert(&mut self, dataset: LiveDataset) -> Result<LiveId> {
+        if self.by_name.contains_key(dataset.name()) {
+            return Err(LiveError::DuplicateDataset(dataset.name().to_string()));
+        }
         let id = LiveId(self.datasets.len() as u32);
-        self.by_name.insert(name.to_string(), id.0);
-        self.datasets.push(dataset);
+        self.by_name.insert(dataset.name().to_string(), id.0);
+        self.datasets.push(Some(dataset));
         Ok(id)
     }
 
     /// Looks a live dataset up by identifier.
     pub fn get(&self, id: LiveId) -> Option<&LiveDataset> {
-        self.datasets.get(id.0 as usize)
+        self.datasets.get(id.0 as usize)?.as_ref()
+    }
+
+    /// Mutable access by identifier.
+    pub fn get_mut(&mut self, id: LiveId) -> Option<&mut LiveDataset> {
+        self.datasets.get_mut(id.0 as usize)?.as_mut()
     }
 
     /// Looks a live dataset up by name.
     pub fn lookup(&self, name: &str) -> Option<(LiveId, &LiveDataset)> {
         let idx = *self.by_name.get(name)?;
-        Some((LiveId(idx), &self.datasets[idx as usize]))
+        Some((LiveId(idx), self.datasets[idx as usize].as_ref()?))
     }
 
     /// Appends records to the live dataset registered under `name`.
@@ -383,18 +736,86 @@ impl LiveCatalog {
             .by_name
             .get(name)
             .ok_or_else(|| LiveError::UnknownDataset(name.to_string()))?;
-        self.datasets[idx as usize].append(env, items)
+        self.datasets[idx as usize]
+            .as_mut()
+            .ok_or_else(|| LiveError::UnknownDataset(name.to_string()))?
+            .append(env, items)
     }
 
     /// Mutable access by name (flush/compact maintenance).
     pub fn get_mut_by_name(&mut self, name: &str) -> Option<&mut LiveDataset> {
         let idx = *self.by_name.get(name)?;
-        Some(&mut self.datasets[idx as usize])
+        self.datasets[idx as usize].as_mut()
+    }
+
+    /// Removes the live dataset registered under `name` and returns it
+    /// (promotion into the frozen catalog). The slot is tombstoned: other
+    /// datasets keep their [`LiveId`]s, and the name becomes free for
+    /// re-registration.
+    pub fn take(&mut self, name: &str) -> Option<(LiveId, LiveDataset)> {
+        let idx = self.by_name.remove(name)?;
+        let dataset = self.datasets[idx as usize].take()?;
+        Some((LiveId(idx), dataset))
     }
 
     /// Iterates over the registered live datasets in registration order.
     pub fn datasets(&self) -> impl Iterator<Item = &LiveDataset> {
-        self.datasets.iter()
+        self.datasets.iter().filter_map(Option::as_ref)
+    }
+
+    /// Iterates mutably over the registered live datasets (maintenance).
+    pub fn datasets_mut(&mut self) -> impl Iterator<Item = &mut LiveDataset> {
+        self.datasets.iter_mut().filter_map(Option::as_mut)
+    }
+}
+
+/// One persisted run in a snapshot: its stream handle and bounding box
+/// (the box prunes run scans in window/point selections).
+#[derive(Debug, Clone)]
+pub struct SnapshotRun {
+    stream: ItemStream,
+    bbox: Rect,
+}
+
+impl SnapshotRun {
+    /// The persisted sorted run.
+    pub fn stream(&self) -> &ItemStream {
+        &self.stream
+    }
+
+    /// Bounding box of the run.
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// Records in the run.
+    pub fn len(&self) -> u64 {
+        self.stream.len()
+    }
+
+    /// Returns `true` when the run holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+}
+
+/// One in-memory run in a snapshot (a frozen flush batch or the memtable
+/// copy): sweep-key-sorted items plus their bounding box.
+#[derive(Debug, Clone)]
+pub struct MemRun {
+    items: Arc<Vec<Item>>,
+    bbox: Rect,
+}
+
+impl MemRun {
+    /// The sorted items.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Bounding box of the run.
+    pub fn bbox(&self) -> Rect {
+        self.bbox
     }
 }
 
@@ -402,10 +823,13 @@ impl LiveCatalog {
 #[derive(Debug, Clone)]
 pub struct LiveSnapshot {
     generation: u64,
-    /// Sweep-key-sorted runs, oldest (base) first.
-    runs: Vec<ItemStream>,
-    /// Frozen sorted copy of the memtable at snapshot time.
-    memtable: Arc<Vec<Item>>,
+    /// Sweep-key-sorted persisted runs, oldest (base) first.
+    runs: Vec<SnapshotRun>,
+    /// In-memory sorted runs: frozen flush batches (oldest first), then the
+    /// frozen memtable copy.
+    mem_runs: Vec<MemRun>,
+    /// The base run's R-tree (indexes `runs[0]` only).
+    tree: RTree,
     bbox: Rect,
 }
 
@@ -417,7 +841,8 @@ impl LiveSnapshot {
 
     /// Total records in the snapshot.
     pub fn len(&self) -> u64 {
-        self.runs.iter().map(ItemStream::len).sum::<u64>() + self.memtable.len() as u64
+        self.runs.iter().map(SnapshotRun::len).sum::<u64>()
+            + self.mem_runs.iter().map(|m| m.items.len() as u64).sum::<u64>()
     }
 
     /// Returns `true` when the snapshot holds no records.
@@ -428,6 +853,24 @@ impl LiveSnapshot {
     /// Persisted runs in the snapshot (base + deltas).
     pub fn run_count(&self) -> usize {
         self.runs.len()
+    }
+
+    /// The persisted runs (base first), with their bounding boxes.
+    pub fn runs(&self) -> &[SnapshotRun] {
+        &self.runs
+    }
+
+    /// The in-memory runs (frozen batches oldest-first, memtable copy
+    /// last).
+    pub fn mem_runs(&self) -> &[MemRun] {
+        &self.mem_runs
+    }
+
+    /// The base run's R-tree. It indexes *only* the base run
+    /// (`runs()[0]`); delta and in-memory runs are routed through their
+    /// bounding boxes by selection code.
+    pub fn tree(&self) -> &RTree {
+        &self.tree
     }
 
     /// Bounding box of the snapshot.
@@ -441,9 +884,15 @@ impl LiveSnapshot {
     /// scan is still running.
     pub fn cursor(&self) -> SnapshotCursor {
         SnapshotCursor {
-            readers: self.runs.iter().map(ItemStream::reader).collect(),
-            memtable: Arc::clone(&self.memtable),
-            mem_pos: 0,
+            readers: self.runs.iter().map(|r| r.stream.reader()).collect(),
+            mem: self
+                .mem_runs
+                .iter()
+                .map(|m| MemCursor {
+                    items: Arc::clone(&m.items),
+                    pos: 0,
+                })
+                .collect(),
         }
     }
 
@@ -459,21 +908,28 @@ impl LiveSnapshot {
     }
 }
 
-/// Streaming k-way merge over a snapshot's runs and frozen memtable.
+/// Position in one in-memory sorted run.
+#[derive(Debug)]
+struct MemCursor {
+    items: Arc<Vec<Item>>,
+    pos: usize,
+}
+
+/// Streaming k-way merge over a snapshot's persisted and in-memory runs.
 #[derive(Debug)]
 pub struct SnapshotCursor {
     readers: Vec<ItemStreamReader>,
-    memtable: Arc<Vec<Item>>,
-    mem_pos: usize,
+    mem: Vec<MemCursor>,
 }
 
 impl SnapshotCursor {
     /// The next record in ascending sweep-key order, or `None` when every
     /// tier is exhausted. Run pages are read (and charged) on demand.
     pub fn next(&mut self, env: &mut SimEnv) -> Result<Option<Item>> {
-        // The run count is 1 + pending deltas — small by construction
-        // (compaction folds deltas back) — so a linear scan over the heads
-        // beats heap bookkeeping.
+        // The run count is 1 + pending deltas + pending batches — small by
+        // construction (maintenance folds them back) — so a linear scan
+        // over the heads beats heap bookkeeping. Persisted runs win key
+        // ties (oldest-first), in-memory runs only on strictly smaller.
         let mut best: Option<(usize, u64)> = None;
         for (i, reader) in self.readers.iter_mut().enumerate() {
             if let Some(head) = reader.peek(env)? {
@@ -483,11 +939,20 @@ impl SnapshotCursor {
                 }
             }
         }
-        let mem_key = self.memtable.get(self.mem_pos).map(|it| it.sweep_key());
-        if let Some(key) = mem_key {
+        let mut best_mem: Option<(usize, u64)> = None;
+        for (i, m) in self.mem.iter().enumerate() {
+            if let Some(item) = m.items.get(m.pos) {
+                let key = item.sweep_key();
+                if best_mem.map_or(true, |(_, k)| key < k) {
+                    best_mem = Some((i, key));
+                }
+            }
+        }
+        if let Some((i, key)) = best_mem {
             if best.map_or(true, |(_, k)| key < k) {
-                let item = self.memtable[self.mem_pos];
-                self.mem_pos += 1;
+                let m = &mut self.mem[i];
+                let item = m.items[m.pos];
+                m.pos += 1;
                 return Ok(Some(item));
             }
         }
@@ -528,6 +993,19 @@ mod tests {
         }
     }
 
+    fn collect_ids(env: &mut SimEnv, snap: &LiveSnapshot) -> Vec<u32> {
+        let mut cursor = snap.cursor();
+        let mut seen = Vec::new();
+        let mut last_key = 0u64;
+        while let Some(it) = cursor.next(env).unwrap() {
+            assert!(it.sweep_key() >= last_key, "cursor must be sorted");
+            last_key = it.sweep_key();
+            seen.push(it.id);
+        }
+        seen.sort_unstable();
+        seen
+    }
+
     #[test]
     fn snapshot_merges_all_tiers_in_sweep_key_order() {
         let mut env = env();
@@ -538,15 +1016,7 @@ mod tests {
 
         let snap = ds.snapshot();
         assert_eq!(snap.len(), 350);
-        let mut cursor = snap.cursor();
-        let mut seen = Vec::new();
-        let mut last_key = 0u64;
-        while let Some(it) = cursor.next(&mut env).unwrap() {
-            assert!(it.sweep_key() >= last_key, "cursor must be sorted");
-            last_key = it.sweep_key();
-            seen.push(it.id);
-        }
-        seen.sort_unstable();
+        let seen = collect_ids(&mut env, &snap);
         let mut expected: Vec<u32> = (0..200).chain(10_000..10_150).collect();
         expected.sort_unstable();
         assert_eq!(seen, expected);
@@ -643,5 +1113,179 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, snap.len());
+    }
+
+    #[test]
+    fn split_phase_flush_matches_inline_flush() {
+        let mut env = env();
+        // Same ingestion through the inline path and the split phases.
+        let items = batch(140, 0, 20);
+        let extra = batch(90, 10_000, 21);
+        let mut inline = LiveDataset::create(&mut env, "a", &items, tiny_config()).unwrap();
+        inline.append(&mut env, &extra).unwrap();
+        inline.flush(&mut env).unwrap();
+
+        let mut phased = LiveDataset::create(&mut env, "b", &items, tiny_config()).unwrap();
+        phased.append_buffered(&extra).unwrap();
+        phased.freeze();
+        while let Some(job) = phased.begin_flush() {
+            let run = LiveDataset::run_flush(&mut env, &job).unwrap();
+            phased.publish_flush(job, run);
+        }
+        while phased.wants_compaction() {
+            let plan = phased.begin_compaction().unwrap();
+            let out = LiveDataset::run_compaction(&mut env, &plan).unwrap();
+            phased.publish_compaction(out);
+        }
+
+        let a = collect_ids(&mut env, &inline.snapshot());
+        let b = collect_ids(&mut env, &phased.snapshot());
+        assert_eq!(a, b);
+        assert_eq!(inline.len(), phased.len());
+    }
+
+    #[test]
+    fn frozen_batches_keep_their_gauge_reservation_until_published() {
+        let mut env = env();
+        let mut ds = LiveDataset::create(&mut env, "live", &[], tiny_config()).unwrap();
+        ds.append_buffered(&batch(200, 0, 30)).unwrap();
+        assert!(ds.pending_flush_batches() > 0, "threshold crossings freeze");
+        let held = ds.pending_flush_bytes();
+        assert!(held > 0);
+        assert!(env.memory.current() >= held, "frozen bytes stay charged");
+
+        while let Some(job) = ds.begin_flush() {
+            let run = LiveDataset::run_flush(&mut env, &job).unwrap();
+            ds.publish_flush(job, run);
+        }
+        assert_eq!(ds.pending_flush_bytes(), 0);
+        // Only the (small) residual memtable reservation remains.
+        assert!(env.memory.current() < held);
+    }
+
+    #[test]
+    fn appends_during_a_claimed_compaction_survive_publication() {
+        let mut env = env();
+        let mut ds = LiveDataset::create(&mut env, "live", &batch(100, 0, 40), tiny_config())
+            .unwrap();
+        // Two delta runs, no compaction yet.
+        ds.append_buffered(&batch(64, 10_000, 41)).unwrap();
+        ds.append_buffered(&batch(64, 20_000, 42)).unwrap();
+        ds.freeze();
+        while let Some(job) = ds.begin_flush() {
+            let run = LiveDataset::run_flush(&mut env, &job).unwrap();
+            ds.publish_flush(job, run);
+        }
+        assert!(ds.delta_runs().len() >= 2);
+
+        let plan = ds.begin_compaction().unwrap();
+        assert!(ds.is_compacting());
+        assert!(ds.begin_compaction().is_none(), "one claim at a time");
+
+        // A flush lands *while* the merge is (conceptually) running.
+        ds.append_buffered(&batch(64, 30_000, 43)).unwrap();
+        ds.freeze();
+        while let Some(job) = ds.begin_flush() {
+            let run = LiveDataset::run_flush(&mut env, &job).unwrap();
+            ds.publish_flush(job, run);
+        }
+        let pending_after_claim = ds.delta_runs().len() - plan.delta_count();
+        assert!(pending_after_claim > 0, "the mid-merge flush must land");
+
+        let out = LiveDataset::run_compaction(&mut env, &plan).unwrap();
+        ds.publish_compaction(out);
+        assert!(!ds.is_compacting());
+        assert_eq!(
+            ds.delta_runs().len(),
+            pending_after_claim,
+            "runs flushed during the merge survive publication"
+        );
+        assert_eq!(ds.len(), 100 + 64 + 64 + 64);
+
+        // Every record is still visible exactly once.
+        let seen = collect_ids(&mut env, &ds.snapshot());
+        let mut expected: Vec<u32> = (0..100)
+            .chain(10_000..10_064)
+            .chain(20_000..20_064)
+            .chain(30_000..30_064)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn snapshot_sees_frozen_batches_and_stays_isolated() {
+        let mut env = env();
+        let mut ds = LiveDataset::create(&mut env, "live", &batch(50, 0, 50), tiny_config())
+            .unwrap();
+        ds.append_buffered(&batch(80, 5_000, 51)).unwrap();
+        assert!(ds.pending_flush_batches() > 0);
+        let snap = ds.snapshot();
+        assert_eq!(snap.len(), 130);
+        assert!(!snap.mem_runs().is_empty());
+
+        // Publishing the flushes afterwards does not disturb the snapshot.
+        while let Some(job) = ds.begin_flush() {
+            let run = LiveDataset::run_flush(&mut env, &job).unwrap();
+            ds.publish_flush(job, run);
+        }
+        let seen = collect_ids(&mut env, &snap);
+        let mut expected: Vec<u32> = (0..50).chain(5_000..5_080).collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn quiesce_folds_everything_into_the_base() {
+        let mut env = env();
+        let mut ds = LiveDataset::create(&mut env, "live", &batch(60, 0, 60), tiny_config())
+            .unwrap();
+        ds.append_buffered(&batch(150, 9_000, 61)).unwrap();
+        ds.quiesce(&mut env).unwrap();
+        assert_eq!(ds.memtable_len(), 0);
+        assert_eq!(ds.pending_flush_batches(), 0);
+        assert!(ds.delta_runs().is_empty());
+        assert_eq!(ds.len(), 210);
+        let (base, tree, bbox) = ds.into_frozen_parts().unwrap();
+        assert_eq!(base.len(), 210);
+        assert_eq!(tree.num_items(), 210);
+        assert!(!bbox.is_empty());
+    }
+
+    #[test]
+    fn into_frozen_parts_requires_quiescence() {
+        let mut env = env();
+        let mut ds = LiveDataset::create(&mut env, "live", &batch(40, 0, 70), tiny_config())
+            .unwrap();
+        ds.append_buffered(&batch(10, 1_000, 71)).unwrap();
+        assert!(matches!(
+            ds.into_frozen_parts(),
+            Err(LiveError::NotQuiesced(_))
+        ));
+    }
+
+    #[test]
+    fn take_tombstones_the_slot_and_keeps_other_ids_stable() {
+        let mut env = env();
+        let mut catalog = LiveCatalog::new();
+        let a = catalog
+            .register(&mut env, "a", &batch(10, 0, 80), LiveConfig::default())
+            .unwrap();
+        let b = catalog
+            .register(&mut env, "b", &batch(20, 100, 81), LiveConfig::default())
+            .unwrap();
+        let (taken_id, taken) = catalog.take("a").unwrap();
+        assert_eq!(taken_id, a);
+        assert_eq!(taken.len(), 10);
+        assert!(catalog.get(a).is_none(), "slot is tombstoned");
+        assert!(catalog.lookup("a").is_none());
+        assert_eq!(catalog.get(b).unwrap().len(), 20);
+        assert_eq!(catalog.len(), 1);
+        // The name is free again; the new dataset gets a fresh id.
+        let a2 = catalog
+            .register(&mut env, "a", &batch(5, 900, 82), LiveConfig::default())
+            .unwrap();
+        assert_ne!(a2, a);
+        assert_eq!(catalog.get(b).unwrap().len(), 20);
     }
 }

@@ -34,11 +34,11 @@ pub mod memtable;
 pub mod streaming;
 
 pub use catalog::{
-    DeltaRun, LiveCatalog, LiveConfig, LiveDataset, LiveId, LiveSnapshot, LiveStats,
-    SnapshotCursor,
+    CompactionOutput, CompactionPlan, DeltaRun, FlushJob, LiveCatalog, LiveConfig, LiveDataset,
+    LiveId, LiveSnapshot, LiveStats, MemRun, SnapshotCursor, SnapshotRun,
 };
 pub use memtable::Memtable;
-pub use streaming::StreamingJoin;
+pub use streaming::{JoinSide, StreamingJoin};
 
 // Property-based tests on the vendored `usj_proptest` harness; opt-in
 // behind the `proptest` feature like the rest of the workspace.
@@ -59,6 +59,9 @@ pub enum LiveError {
     DuplicateDataset(String),
     /// An operation referred to a live dataset the catalog does not hold.
     UnknownDataset(String),
+    /// Promotion was attempted on a dataset still holding unpersisted or
+    /// uncompacted tiers (memtable, frozen batches or delta runs).
+    NotQuiesced(String),
 }
 
 impl fmt::Display for LiveError {
@@ -69,6 +72,9 @@ impl fmt::Display for LiveError {
                 write!(f, "live dataset '{name}' is already registered")
             }
             LiveError::UnknownDataset(name) => write!(f, "unknown live dataset '{name}'"),
+            LiveError::NotQuiesced(name) => {
+                write!(f, "live dataset '{name}' is not quiesced (pending tiers remain)")
+            }
         }
     }
 }

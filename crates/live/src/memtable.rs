@@ -83,6 +83,19 @@ impl Memtable {
         self.reservation.release();
         items
     }
+
+    /// Freezes the buffer for an asynchronous flush: returns the items
+    /// sorted by sweep key, their bounding box, and the gauge reservation
+    /// they hold (transferred via
+    /// [`MemoryReservation::take`](usj_io::MemoryReservation::take), so the
+    /// bytes stay charged until the frozen batch is persisted and dropped).
+    /// The memtable is left empty and immediately ready for new inserts.
+    pub fn freeze(&mut self) -> (Vec<Item>, Rect, MemoryReservation) {
+        let mut items = std::mem::take(&mut self.items);
+        items.sort_unstable_by_key(Item::sweep_key);
+        let bbox = std::mem::replace(&mut self.bbox, Rect::empty());
+        (items, bbox, self.reservation.take())
+    }
 }
 
 /// A sorted, frozen copy of the memtable for a snapshot, charged to the
@@ -121,6 +134,30 @@ mod tests {
         assert!(drained.windows(2).all(|w| w[0].sweep_key() <= w[1].sweep_key()));
         assert!(mem.is_empty());
         assert_eq!(env.memory.current(), 0, "drain releases the reservation");
+    }
+
+    #[test]
+    fn freeze_hands_the_reservation_over_and_resets_the_buffer() {
+        let env = SimEnv::new(MachineConfig::machine3());
+        let mut mem = Memtable::new(&env);
+        for i in 0..50 {
+            mem.insert(item(i as f32, (50 - i) as f32, i)).unwrap();
+        }
+        let charged = env.memory.current();
+        assert!(charged >= 50 * ITEM_BYTES);
+
+        let (items, bbox, reservation) = mem.freeze();
+        assert_eq!(items.len(), 50);
+        assert!(items.windows(2).all(|w| w[0].sweep_key() <= w[1].sweep_key()));
+        assert!(!bbox.is_empty());
+        assert!(mem.is_empty());
+        assert!(mem.bbox().is_empty());
+        // The bytes stay charged through the handed-over reservation...
+        assert_eq!(env.memory.current(), charged);
+        // ...and the emptied memtable accepts new inserts immediately.
+        mem.insert(item(1.0, 1.0, 999)).unwrap();
+        drop(reservation);
+        assert!(env.memory.current() < charged);
     }
 
     #[test]

@@ -243,6 +243,39 @@ impl Catalog {
         Ok(id)
     }
 
+    /// Adopts an already-prepared dataset — a persisted y-sorted run and
+    /// its bulk-loaded R-tree — building only the missing histogram
+    /// summary.
+    ///
+    /// This is the promotion path from the live layer: a quiesced
+    /// [`LiveDataset`](usj_live::LiveDataset) is exactly a sorted base run
+    /// plus a packed R-tree (compaction runs the same pipeline as
+    /// [`register_stream`](Catalog::register_stream)), so promotion only
+    /// pays for the histogram scan instead of re-sorting and re-indexing.
+    pub fn adopt(
+        &mut self,
+        env: &mut SimEnv,
+        name: &str,
+        sorted: ItemStream,
+        tree: RTree,
+        bbox: Rect,
+    ) -> Result<DatasetId> {
+        if self.by_name.contains_key(name) {
+            return Err(ServiceError::DuplicateDataset(name.to_string()));
+        }
+        let histogram = GridHistogram::from_stream(env, bbox, self.histogram_cells, &sorted)?;
+        let id = DatasetId(self.datasets.len() as u32);
+        self.by_name.insert(name.to_string(), id.0);
+        self.datasets.push(Dataset {
+            name: name.to_string(),
+            sorted,
+            tree,
+            histogram,
+            bbox,
+        });
+        Ok(id)
+    }
+
     /// Serializes the catalog directory onto the device, returning the root
     /// page of the saved directory.
     ///

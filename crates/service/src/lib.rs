@@ -77,6 +77,9 @@ pub enum ServiceError {
     DuplicateDataset(String),
     /// A query referred to a dataset the catalog does not hold.
     UnknownDataset(String),
+    /// Promotion was attempted on a live dataset still holding unpersisted
+    /// or uncompacted tiers (memtable, frozen batches or delta runs).
+    NotQuiesced(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -87,6 +90,9 @@ impl fmt::Display for ServiceError {
                 write!(f, "dataset '{name}' is already registered")
             }
             ServiceError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
+            ServiceError::NotQuiesced(name) => {
+                write!(f, "live dataset '{name}' is not quiesced (pending tiers remain)")
+            }
         }
     }
 }
@@ -112,6 +118,7 @@ impl From<usj_live::LiveError> for ServiceError {
             usj_live::LiveError::Io(io) => ServiceError::Io(io),
             usj_live::LiveError::DuplicateDataset(name) => ServiceError::DuplicateDataset(name),
             usj_live::LiveError::UnknownDataset(name) => ServiceError::UnknownDataset(name),
+            usj_live::LiveError::NotQuiesced(name) => ServiceError::NotQuiesced(name),
         }
     }
 }

@@ -5,7 +5,9 @@
 //! * grants never exceed the shared limit (individually or concurrently),
 //! * overtaking is bounded by `max_overtakes` (no starvation),
 //! * admission within one priority class is FIFO when nothing overtakes,
-//! * every submitted request resolves to exactly one outcome.
+//! * every submitted request resolves to exactly one outcome,
+//! * promoting a live dataset into the frozen catalog is indistinguishable
+//!   from registering the same items directly.
 
 use usj_geom::{Item, Rect};
 use usj_io::{MachineConfig, SimEnv};
@@ -173,5 +175,95 @@ fn admission_is_fifo_within_a_priority_class_without_overtaking() {
                 "admission order violated: #{i1} (priority {p1}) before #{i2} (priority {p2})"
             );
         }
+    });
+}
+
+#[test]
+fn promotion_roundtrip_is_indistinguishable_from_fresh_registration() {
+    forall!(8, |g| {
+        // A random item set, grown through live ingestion with a random
+        // history (split point, chunk sizes, maintenance mode, thresholds),
+        // then promoted into the frozen catalog. Every query answer must be
+        // identical to a catalog that registered the same items directly —
+        // promotion may not lose, duplicate or distort anything, and the
+        // histogram it builds must drive the same planner decisions.
+        let n = g.usize_in(40, 160);
+        let items: Vec<Item> = (0..n as u32)
+            .map(|i| {
+                let x = g.f32_in(0.0, 80.0);
+                let y = g.f32_in(0.0, 80.0);
+                Item::new(
+                    Rect::from_coords(x, y, x + g.f32_in(0.2, 9.0), y + g.f32_in(0.2, 9.0)),
+                    i,
+                )
+            })
+            .collect();
+        let peer: Vec<Item> = (0..48u32)
+            .map(|i| {
+                let (x, y) = ((i % 8) as f32 * 9.0, (i / 8) as f32 * 11.0);
+                Item::new(Rect::from_coords(x, y, x + 7.0, y + 8.0), 500_000 + i)
+            })
+            .collect();
+
+        // Grown path: part of the items as the registration base, the rest
+        // appended in random chunks; random maintenance mode; promote.
+        let mut env = SimEnv::new(MachineConfig::machine3());
+        let mut catalog = Catalog::new();
+        let peer_grown = catalog.register(&mut env, "peer", &peer).unwrap();
+        let mut service = Service::new(
+            env,
+            catalog,
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_background_maintenance(g.bool_with(0.5)),
+        );
+        let split = g.usize_in(1, n);
+        let config = crate::LiveConfig {
+            flush_threshold_bytes: g.usize_in(8, 64) * usj_geom::ITEM_BYTES,
+            compact_after_deltas: g.usize_in(0, 4),
+        };
+        service.register_live("grown", &items[..split], config).unwrap();
+        let mut rest = &items[split..];
+        while !rest.is_empty() {
+            let take = g.usize_in(1, rest.len() + 1).min(rest.len());
+            service.append_live("grown", &rest[..take]).unwrap();
+            rest = &rest[take..];
+        }
+        let promoted = service.promote_live("grown").unwrap();
+
+        // Oracle path: the same set registered directly (promotion sorts by
+        // sweep key, so identity is set-level, not order-level).
+        let mut env2 = SimEnv::new(MachineConfig::machine3());
+        let mut catalog2 = Catalog::new();
+        let peer_fresh = catalog2.register(&mut env2, "peer", &peer).unwrap();
+        let fresh = catalog2.register(&mut env2, "fresh", &items).unwrap();
+        let oracle = Service::new(env2, catalog2, ServiceConfig::default().with_workers(2));
+
+        let wx = g.f32_in(-5.0, 60.0);
+        let wy = g.f32_in(-5.0, 60.0);
+        let window = Rect::from_coords(wx, wy, wx + g.f32_in(2.0, 40.0), wy + g.f32_in(2.0, 40.0));
+        let requests = |ds: crate::DatasetId, peer: crate::DatasetId| {
+            vec![
+                QueryRequest::join(ds, peer)
+                    .with_algorithm(usj_core::Algo::Sssj)
+                    .collecting(),
+                QueryRequest::join(ds, peer).collecting(), // Algo::Auto → planner on the histogram
+                QueryRequest::window(ds, window).collecting(),
+            ]
+        };
+        let got = service.run(requests(promoted, peer_grown));
+        let want = oracle.run(requests(fresh, peer_fresh));
+        for k in 0..3 {
+            let mut g_pairs = got.outcomes[k].pairs.clone().expect("promoted query collected");
+            let mut w_pairs = want.outcomes[k].pairs.clone().expect("oracle query collected");
+            g_pairs.sort_unstable();
+            w_pairs.sort_unstable();
+            assert_eq!(g_pairs, w_pairs, "query #{k} diverged after promotion");
+        }
+        // Histogram parity: same cells, same totals — the summary the live
+        // side never maintained was rebuilt faithfully at promotion.
+        let gh = service.catalog().get(promoted).unwrap().histogram();
+        let wh = oracle.catalog().get(fresh).unwrap().histogram();
+        assert_eq!(gh.total(), wh.total(), "histogram totals diverged");
     });
 }

@@ -47,19 +47,38 @@
 //!   fanned out through per-query sinks ([`usj_core::FanoutSink`]). Every
 //!   member observes exactly the item sequence its solo traversal would
 //!   have produced; the scan's I/O is accounted once, on the batch leader.
+//! * **Background maintenance** (opt-in via
+//!   [`ServiceConfig::with_background_maintenance`]): live-dataset flushes
+//!   and merge compactions run on a dedicated worker thread instead of
+//!   inside [`Service::append_live`]. Appends return after the memtable
+//!   insert (plus an O(1) freeze past the threshold); the worker runs the
+//!   same split maintenance phases the inline path composes, against
+//!   immutable run handles, under a scoped
+//!   [`maintenance budget`](ServiceConfig::maintenance_budget_bytes), and
+//!   publishes each new generation through the snapshot mechanism. The
+//!   publication order — base page snapshot first, then the run handle —
+//!   paired with the read order — run handles first, then the base — keeps
+//!   every visible run readable from every worker fork by construction.
 
 use std::fmt;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use usj_core::{
     Algo, Execution, FanoutSink, JoinResult, MemoryStats, PairSink, Predicate, SpatialQuery,
 };
 use usj_geom::{Item, Point, Rect, ITEM_BYTES};
-use usj_io::{CpuCounter, CpuOp, IoSimError, IoStats, MemoryGauge, Page, SimEnv, PAGE_SIZE};
-use usj_live::{LiveCatalog, LiveConfig, LiveDataset, LiveId, StreamingJoin};
+use usj_io::{
+    BlockDevice, CpuCounter, CpuOp, IoSimError, IoStats, MachineConfig, MemoryGauge, Page, SimEnv,
+    PAGE_SIZE,
+};
+use usj_live::{
+    CompactionPlan, FlushJob, JoinSide, LiveCatalog, LiveConfig, LiveDataset, LiveId, LiveSnapshot,
+    LiveStats, StreamingJoin,
+};
 use usj_rtree::NodeStore;
 
 use crate::catalog::{Catalog, Dataset, DatasetId};
@@ -102,6 +121,18 @@ pub struct ServiceConfig {
     /// Largest number of selections one shared scan services, the admitted
     /// leader included (default 16).
     pub max_scan_batch: usize,
+    /// Whether live-dataset maintenance (flushes, merge compactions) runs
+    /// on a dedicated background worker thread instead of inside
+    /// [`Service::append_live`] (default: off — the inline baseline the
+    /// interference benchmark compares against). Both modes compose the
+    /// same split maintenance phases, so they produce identical runs.
+    pub background_maintenance: bool,
+    /// Scoped memory budget (bytes) for each maintenance step's transient
+    /// working set — flush writes and compaction merges run under
+    /// [`SimEnv::with_budget`] of this size, so background merges degrade
+    /// (spill) at a bounded footprint instead of competing unboundedly
+    /// with query admission (default 4 MiB).
+    pub maintenance_budget_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -113,6 +144,8 @@ impl Default for ServiceConfig {
             max_overtakes: 8,
             shared_scans: false,
             max_scan_batch: 16,
+            background_maintenance: false,
+            maintenance_budget_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -152,6 +185,20 @@ impl ServiceConfig {
     /// at least 1, i.e. the leader alone).
     pub fn with_max_scan_batch(mut self, size: usize) -> Self {
         self.max_scan_batch = size.max(1);
+        self
+    }
+
+    /// Enables or disables the background maintenance worker (builder
+    /// style).
+    pub fn with_background_maintenance(mut self, enabled: bool) -> Self {
+        self.background_maintenance = enabled;
+        self
+    }
+
+    /// Sets the scoped per-step maintenance memory budget (builder style;
+    /// clamped to at least one stream block so flush writers always fit).
+    pub fn with_maintenance_budget(mut self, bytes: usize) -> Self {
+        self.maintenance_budget_bytes = bytes.max(64 * 1024);
         self
     }
 }
@@ -244,6 +291,36 @@ pub enum QueryKind {
         /// Pair predicate (default intersection).
         predicate: Predicate,
     },
+    /// A mixed streaming join: a *live* dataset's generation snapshot
+    /// against a *cataloged* dataset's persisted y-sorted run, through the
+    /// same symmetric sweep — the cataloged run is already in sweep-key
+    /// order, so it feeds the driver directly without materialising
+    /// anything. Pairs are emitted `(live_id, cataloged_id)`.
+    MixedJoin {
+        /// The live side.
+        live: LiveId,
+        /// The cataloged side.
+        dataset: DatasetId,
+        /// Pair predicate (default intersection).
+        predicate: Predicate,
+    },
+    /// A window selection over a live dataset's snapshot: the base run goes
+    /// through its R-tree while delta and in-memory runs are scanned
+    /// linearly behind their bounding boxes. Streams `(id, 0)` pairs.
+    LiveWindow {
+        /// The live dataset to select from.
+        dataset: LiveId,
+        /// The query window.
+        window: Rect,
+    },
+    /// A point (stabbing) selection over a live dataset's snapshot.
+    /// Streams `(id, 0)` pairs.
+    LivePoint {
+        /// The live dataset to select from.
+        dataset: LiveId,
+        /// The query point.
+        point: Point,
+    },
 }
 
 /// One query submitted to the service.
@@ -307,6 +384,26 @@ impl QueryRequest {
         })
     }
 
+    /// A mixed streaming-join request: a live dataset against a cataloged
+    /// one.
+    pub fn mixed_join(live: LiveId, dataset: DatasetId) -> Self {
+        Self::with_kind(QueryKind::MixedJoin {
+            live,
+            dataset,
+            predicate: Predicate::default(),
+        })
+    }
+
+    /// A window-selection request over a live dataset.
+    pub fn live_window(dataset: LiveId, window: Rect) -> Self {
+        Self::with_kind(QueryKind::LiveWindow { dataset, window })
+    }
+
+    /// A point-selection request over a live dataset.
+    pub fn live_point(dataset: LiveId, point: Point) -> Self {
+        Self::with_kind(QueryKind::LivePoint { dataset, point })
+    }
+
     /// Selects the join algorithm (builder style; no-op for selections).
     pub fn with_algorithm(mut self, algo: Algo) -> Self {
         if let QueryKind::Join(spec) = &mut self.kind {
@@ -319,8 +416,12 @@ impl QueryRequest {
     pub fn with_predicate(mut self, predicate: Predicate) -> Self {
         match &mut self.kind {
             QueryKind::Join(spec) => spec.predicate = predicate,
-            QueryKind::StreamingJoin { predicate: p, .. } => *p = predicate,
-            QueryKind::Window { .. } | QueryKind::Point { .. } => {}
+            QueryKind::StreamingJoin { predicate: p, .. }
+            | QueryKind::MixedJoin { predicate: p, .. } => *p = predicate,
+            QueryKind::Window { .. }
+            | QueryKind::Point { .. }
+            | QueryKind::LiveWindow { .. }
+            | QueryKind::LivePoint { .. } => {}
         }
         self
     }
@@ -596,19 +697,236 @@ pub struct ServiceReport {
 /// ```
 #[derive(Debug)]
 pub struct Service {
-    env: SimEnv,
+    /// The shared mutable state of the live (LSM) side, behind three
+    /// independent locks — see [`LiveStore`]. Shared with the background
+    /// maintenance worker when one is running.
+    store: Arc<LiveStore>,
     catalog: Catalog,
-    /// Live (LSM) datasets. Ingestion ([`Service::register_live`],
-    /// [`Service::append_live`]) requires `&mut self`, so it happens
-    /// strictly *between* sessions; during a session the live catalog is
-    /// frozen and queries read generation snapshots of it.
-    live: LiveCatalog,
     config: ServiceConfig,
+    /// The machine model, copied out of the storage environment so query
+    /// worker forks can be built without touching the storage lock.
+    machine: MachineConfig,
     plan_cache: Mutex<PlanCache>,
-    /// The frozen catalog storage, snapshotted at construction and
-    /// re-snapshotted after every live-catalog mutation, shared by every
-    /// batch's worker forks.
-    base: Arc<Vec<Page>>,
+    /// The background maintenance worker, when
+    /// [`ServiceConfig::background_maintenance`] is on. Dropped (shut down
+    /// and joined) before the store is dissolved.
+    maintenance: Option<Maintenance>,
+}
+
+/// The live side's shared state. Three locks, deliberately independent:
+///
+/// * `storage` — the device-owning environment. All persisted-run I/O
+///   (registration, flush writes, compaction merges, promotion) happens
+///   here. Appends, snapshot-taking and query execution never touch it, so
+///   a long merge never blocks them.
+/// * `live` — the catalog of [`LiveDataset`] handles: memtables, run
+///   handles, generations. Held only for O(in-memory) operations (inserts,
+///   claims, publications, snapshot clones) — never across device I/O.
+/// * `base` — the latest device page snapshot, forked by query workers.
+///
+/// **Publication ordering invariant**: a maintenance actor makes new pages
+/// readable *before* making the run that references them visible — it
+/// snapshots the device (under `storage`), advances `base`, and only then
+/// publishes the run handle (under `live`). Readers do the reverse: clone
+/// run handles first (a snapshot, under `live`), then fork the base. Since
+/// device pages are append-only (snapshots are prefixes of later
+/// snapshots), every run a reader can see has its pages in the base it
+/// forks. Lock order, where nesting is needed at all, is
+/// `live` → `storage` → `base`; the maintenance loop itself holds at most
+/// one of the three at a time.
+#[derive(Debug)]
+struct LiveStore {
+    storage: Mutex<SimEnv>,
+    live: Mutex<LiveCatalog>,
+    base: Mutex<Arc<Vec<Page>>>,
+}
+
+impl LiveStore {
+    /// Advances the base snapshot slot — monotonically, so two actors
+    /// racing their publications can never move readers *backwards* onto a
+    /// snapshot that lacks already-visible pages.
+    fn publish_base(&self, snap: Arc<Vec<Page>>) {
+        let mut base = self.base.lock().expect("base slot poisoned");
+        if snap.len() > base.len() {
+            *base = snap;
+        }
+    }
+
+    /// The current base snapshot for a worker fork.
+    fn fork_base(&self) -> Arc<Vec<Page>> {
+        Arc::clone(&self.base.lock().expect("base slot poisoned"))
+    }
+}
+
+/// One step of live maintenance, claimed under the `live` lock and executed
+/// against immutable handles on the storage environment.
+enum MaintStep {
+    Flush(FlushJob),
+    Compact(CompactionPlan),
+}
+
+/// Drives one dataset's maintenance to completion: claim a step under the
+/// `live` lock, run its I/O on the storage environment under the scoped
+/// maintenance budget, publish base-then-run, repeat until nothing is
+/// pending. `full` forces a terminal freeze + compaction regardless of the
+/// configured thresholds (the quiesce path); otherwise the dataset's own
+/// thresholds decide.
+///
+/// This one function *is* live maintenance for both modes: the inline path
+/// calls it on the appending thread, the background worker calls it on its
+/// own — so the two modes produce identical runs by construction.
+fn tend_live(store: &LiveStore, name: &str, budget: usize, full: bool) -> Result<()> {
+    loop {
+        // Claim: O(in-memory) work only under the live lock.
+        let step = {
+            let mut live = store.live.lock().expect("live catalog poisoned");
+            let Some(ds) = live.get_mut_by_name(name) else {
+                // Taken (promoted) with a tend still queued — nothing to do.
+                return Ok(());
+            };
+            if (full && ds.memtable_len() > 0) || ds.wants_freeze() {
+                ds.freeze();
+            }
+            if let Some(job) = ds.begin_flush() {
+                MaintStep::Flush(job)
+            } else if full && !ds.delta_runs().is_empty() || ds.wants_compaction() {
+                match ds.begin_compaction() {
+                    Some(plan) => MaintStep::Compact(plan),
+                    None => return Ok(()),
+                }
+            } else {
+                return Ok(());
+            }
+        };
+        // Execute: device I/O on the storage environment, inside the scoped
+        // maintenance budget; then snapshot *under the same lock hold*, so
+        // the snapshot is guaranteed to contain the step's pages.
+        match step {
+            MaintStep::Flush(job) => {
+                let (run, snap) = {
+                    let mut storage = store.storage.lock().expect("storage env poisoned");
+                    let run =
+                        storage.with_budget(budget, |env| LiveDataset::run_flush(env, &job))?;
+                    let snap = storage.device.snapshot();
+                    (run, snap)
+                };
+                // Publish: base pages first, then the run handle.
+                store.publish_base(snap);
+                let mut live = store.live.lock().expect("live catalog poisoned");
+                if let Some(ds) = live.get_mut_by_name(name) {
+                    ds.publish_flush(job, run);
+                }
+            }
+            MaintStep::Compact(plan) => {
+                let ran = {
+                    let mut storage = store.storage.lock().expect("storage env poisoned");
+                    storage
+                        .with_budget(budget, |env| LiveDataset::run_compaction(env, &plan))
+                        .map(|out| (out, storage.device.snapshot()))
+                };
+                match ran {
+                    Ok((out, snap)) => {
+                        store.publish_base(snap);
+                        let mut live = store.live.lock().expect("live catalog poisoned");
+                        if let Some(ds) = live.get_mut_by_name(name) {
+                            ds.publish_compaction(out);
+                        }
+                    }
+                    Err(e) => {
+                        let mut live = store.live.lock().expect("live catalog poisoned");
+                        if let Some(ds) = live.get_mut_by_name(name) {
+                            ds.abort_compaction();
+                        }
+                        return Err(e.into());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A queued unit of background maintenance.
+#[derive(Debug)]
+enum MaintJob {
+    /// Run [`tend_live`] for the named dataset until nothing is pending.
+    Tend(String),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// The background maintenance worker: one thread, an mpsc job queue, and an
+/// in-flight counter so [`Service::quiesce_live`] can wait for the queue to
+/// drain. Dropping it sends `Shutdown` and joins the thread — the
+/// shutdown/join discipline that keeps [`Service::into_parts`] sound.
+#[derive(Debug)]
+struct Maintenance {
+    tx: mpsc::Sender<MaintJob>,
+    /// Jobs enqueued but not yet finished, with a condvar for waiters.
+    inflight: Arc<(Mutex<u64>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Maintenance {
+    fn spawn(store: Arc<LiveStore>, budget: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<MaintJob>();
+        let inflight = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let worker_inflight = Arc::clone(&inflight);
+        let handle = std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                match job {
+                    MaintJob::Shutdown => break,
+                    MaintJob::Tend(name) => {
+                        // A maintenance error (e.g. device full) leaves the
+                        // dataset consistent with the work still pending;
+                        // the next append's tend retries it. Queries and
+                        // appends keep working off the last published
+                        // generation either way.
+                        let _ = tend_live(&store, &name, budget, false);
+                        let (count, cv) = &*worker_inflight;
+                        let mut n = count.lock().expect("inflight counter poisoned");
+                        *n -= 1;
+                        cv.notify_all();
+                    }
+                }
+            }
+        });
+        Maintenance {
+            tx,
+            inflight,
+            handle: Some(handle),
+        }
+    }
+
+    /// Queues a tend for `name`; the worker coalesces naturally (a tend
+    /// drains *everything* pending, so later queued tends for the same
+    /// dataset fall through as no-ops).
+    fn enqueue(&self, name: &str) {
+        let (count, cv) = &*self.inflight;
+        *count.lock().expect("inflight counter poisoned") += 1;
+        if self.tx.send(MaintJob::Tend(name.to_string())).is_err() {
+            // Worker already shut down (only happens mid-drop).
+            *count.lock().expect("inflight counter poisoned") -= 1;
+            cv.notify_all();
+        }
+    }
+
+    /// Blocks until every queued job has finished.
+    fn wait_idle(&self) {
+        let (count, cv) = &*self.inflight;
+        let mut n = count.lock().expect("inflight counter poisoned");
+        while *n > 0 {
+            n = cv.wait(n).expect("inflight counter poisoned");
+        }
+    }
+}
+
+impl Drop for Maintenance {
+    fn drop(&mut self) {
+        let _ = self.tx.send(MaintJob::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// One submitted request's scheduler-side record, alive from submission to
@@ -750,13 +1068,22 @@ impl Service {
     /// and every batch's worker forks share that snapshot.
     pub fn new(env: SimEnv, catalog: Catalog, config: ServiceConfig) -> Self {
         let base = env.device.snapshot();
+        let machine = env.machine.clone();
+        let store = Arc::new(LiveStore {
+            storage: Mutex::new(env),
+            live: Mutex::new(LiveCatalog::new()),
+            base: Mutex::new(base),
+        });
+        let maintenance = config
+            .background_maintenance
+            .then(|| Maintenance::spawn(Arc::clone(&store), config.maintenance_budget_bytes));
         Service {
-            env,
+            store,
             catalog,
-            live: LiveCatalog::new(),
             config,
+            machine,
             plan_cache: Mutex::new(PlanCache::new()),
-            base,
+            maintenance,
         }
     }
 
@@ -765,34 +1092,127 @@ impl Service {
         &self.catalog
     }
 
-    /// The live (LSM-style) side of the catalog.
-    pub fn live(&self) -> &LiveCatalog {
-        &self.live
+    /// Runs `f` against the live (LSM-style) side of the catalog, under its
+    /// lock. With background maintenance on, the view is a consistent point
+    /// in time but maintenance may publish a new generation the moment the
+    /// closure returns — don't cache tier shapes across calls.
+    pub fn with_live<T>(&self, f: impl FnOnce(&LiveCatalog) -> T) -> T {
+        f(&self.store.live.lock().expect("live catalog poisoned"))
     }
 
-    /// Registers a live dataset with an initial base batch, re-snapshotting
-    /// the device so subsequent queries' worker forks can read its runs.
-    ///
-    /// Takes `&mut self`: ingestion interleaves with query *sessions*, not
-    /// with individual queries — submit a batch, append, submit the next.
-    pub fn register_live(
-        &mut self,
-        name: &str,
-        base_items: &[Item],
-        config: LiveConfig,
-    ) -> Result<LiveId> {
-        let id = self.live.register(&mut self.env, name, base_items, config)?;
-        self.base = self.env.device.snapshot();
-        Ok(id)
+    /// Lifetime counters for the named live dataset, if it exists.
+    pub fn live_stats(&self, name: &str) -> Option<LiveStats> {
+        self.with_live(|live| live.lookup(name).map(|(_, ds)| ds.stats()))
     }
 
-    /// Appends records to a registered live dataset (buffered in its
-    /// memtable; flushes and compactions run as configured), then
-    /// re-snapshots the device so new delta runs are visible to queries.
-    pub fn append_live(&mut self, name: &str, items: &[Item]) -> Result<()> {
-        self.live.append(&mut self.env, name, items)?;
-        self.base = self.env.device.snapshot();
+    /// The named live dataset's *observed maintenance backlog*: delta runs
+    /// awaiting compaction plus frozen batches awaiting flush, at this
+    /// instant. Under background maintenance this is the number a submitter
+    /// actually races against — the load the worker has not yet retired —
+    /// which makes it the right bucketing key for interference experiments
+    /// (post-hoc stats deltas can't tell "ran during compaction" from "ran
+    /// just after").
+    pub fn live_backlog(&self, name: &str) -> Option<usize> {
+        self.with_live(|live| {
+            live.lookup(name)
+                .map(|(_, ds)| ds.delta_runs().len() + ds.pending_flush_batches())
+        })
+    }
+
+    /// Registers a live dataset with an initial base batch, publishing the
+    /// new device pages so queries' worker forks can read its base run.
+    pub fn register_live(&self, name: &str, base_items: &[Item], config: LiveConfig) -> Result<LiveId> {
+        // Hold the live lock across creation so two racing registrations of
+        // the same name can't both pass the duplicate check (lock order:
+        // live → storage).
+        let mut live = self.store.live.lock().expect("live catalog poisoned");
+        if live.lookup(name).is_some() {
+            return Err(ServiceError::DuplicateDataset(name.to_string()));
+        }
+        let (dataset, snap) = {
+            let mut storage = self.store.storage.lock().expect("storage env poisoned");
+            let dataset = LiveDataset::create(&mut storage, name, base_items, config)?;
+            let snap = storage.device.snapshot();
+            (dataset, snap)
+        };
+        self.store.publish_base(snap);
+        Ok(live.insert(dataset)?)
+    }
+
+    /// Appends records to a registered live dataset. The records land in the
+    /// dataset's memtable and are immediately visible to queries; flushes
+    /// and compactions the append makes due either run here inline or are
+    /// handed to the background maintenance worker, per
+    /// [`ServiceConfig::background_maintenance`].
+    pub fn append_live(&self, name: &str, items: &[Item]) -> Result<()> {
+        let pending = {
+            let mut live = self.store.live.lock().expect("live catalog poisoned");
+            let Some(ds) = live.get_mut_by_name(name) else {
+                return Err(ServiceError::UnknownDataset(name.to_string()));
+            };
+            ds.append_buffered(items)?
+        };
+        if pending {
+            match &self.maintenance {
+                Some(worker) => worker.enqueue(name),
+                None => tend_live(
+                    &self.store,
+                    name,
+                    self.config.maintenance_budget_bytes,
+                    false,
+                )?,
+            }
+        }
         Ok(())
+    }
+
+    /// Drains the named live dataset's maintenance backlog to *nothing*:
+    /// waits out any queued background work, then flushes the memtable and
+    /// folds every delta into the base run. Afterwards the dataset is a
+    /// single sorted run + R-tree — the shape
+    /// [`promote_live`](Service::promote_live) requires, and the shape that makes
+    /// benchmark pair-checks deterministic.
+    pub fn quiesce_live(&self, name: &str) -> Result<()> {
+        if self.with_live(|live| live.lookup(name).is_none()) {
+            return Err(ServiceError::UnknownDataset(name.to_string()));
+        }
+        if let Some(worker) = &self.maintenance {
+            worker.wait_idle();
+        }
+        tend_live(&self.store, name, self.config.maintenance_budget_bytes, true)
+    }
+
+    /// Promotes a quiesced live dataset into the frozen catalog: quiesces
+    /// it, removes it from the live side, builds the grid histogram its
+    /// frozen peers carry (the one summary the live path never maintains),
+    /// and registers the already-sorted run + R-tree under the same name.
+    /// Returns the new frozen [`DatasetId`]; subsequent queries address it
+    /// via [`QueryKind::Join`] / [`QueryKind::Window`] like any cataloged
+    /// dataset.
+    pub fn promote_live(&mut self, name: &str) -> Result<DatasetId> {
+        if self.with_live(|live| live.lookup(name).is_none()) {
+            return Err(ServiceError::UnknownDataset(name.to_string()));
+        }
+        // Refuse before touching the live side: a failed adoption after
+        // `take` would drop the dataset on the floor.
+        if self.catalog.lookup(name).is_some() {
+            return Err(ServiceError::DuplicateDataset(name.to_string()));
+        }
+        self.quiesce_live(name)?;
+        let (_, dataset) = {
+            let mut live = self.store.live.lock().expect("live catalog poisoned");
+            live.take(name)
+                .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))?
+        };
+        let (sorted, tree, bbox) = dataset.into_frozen_parts()?;
+        let (id, snap) = {
+            let mut storage = self.store.storage.lock().expect("storage env poisoned");
+            let id = self.catalog.adopt(&mut storage, name, sorted, tree, bbox)?;
+            let snap = storage.device.snapshot();
+            (id, snap)
+        };
+        self.store.publish_base(snap);
+        Ok(id)
     }
 
     /// The service configuration.
@@ -801,9 +1221,15 @@ impl Service {
     }
 
     /// Dissolves the service, returning the environment and catalog (e.g. to
-    /// register more datasets and build a new service).
-    pub fn into_parts(self) -> (SimEnv, Catalog) {
-        (self.env, self.catalog)
+    /// register more datasets and build a new service). Shuts down and joins
+    /// the background maintenance worker first, so the store has exactly one
+    /// owner left.
+    pub fn into_parts(mut self) -> (SimEnv, Catalog) {
+        drop(self.maintenance.take());
+        let store = Arc::try_unwrap(self.store)
+            .unwrap_or_else(|_| panic!("maintenance worker joined; no other store owners remain"));
+        let env = store.storage.into_inner().expect("storage env poisoned");
+        (env, self.catalog)
     }
 
     /// The memory estimate admission control will reserve for `request`: an
@@ -840,11 +1266,24 @@ impl Service {
                 }
             }
             QueryKind::StreamingJoin { left, right, .. } => {
-                let len = |id: LiveId| self.live.get(id).map_or(0, |d| d.len());
+                let live = self.store.live.lock().expect("live catalog poisoned");
+                let len = |id: LiveId| live.get(id).map_or(0, |d| d.len());
                 let bytes = (len(*left) + len(*right)) as usize * ITEM_BYTES;
                 bytes.max(JOIN_BUDGET_FLOOR)
             }
-            QueryKind::Window { .. } | QueryKind::Point { .. } => SELECTION_BUDGET,
+            QueryKind::MixedJoin { live, dataset, .. } => {
+                let live_len = {
+                    let catalog = self.store.live.lock().expect("live catalog poisoned");
+                    catalog.get(*live).map_or(0, |d| d.len())
+                };
+                let ds_len = self.catalog.get(*dataset).map_or(0, |d| d.len());
+                let bytes = (live_len + ds_len) as usize * ITEM_BYTES;
+                bytes.max(JOIN_BUDGET_FLOOR)
+            }
+            QueryKind::Window { .. }
+            | QueryKind::Point { .. }
+            | QueryKind::LiveWindow { .. }
+            | QueryKind::LivePoint { .. } => SELECTION_BUDGET,
         };
         want.min(limit.max(1))
     }
@@ -1215,27 +1654,8 @@ impl Service {
     /// Runs one admitted query on a fresh forked environment whose hard
     /// memory limit is the granted budget.
     fn execute_one(&self, idx: usize, request: &QueryRequest, granted: usize) -> QueryOutcome {
-        let mut wenv = self.env.fork_with_base(Arc::clone(&self.base));
-        wenv.set_memory_limit(granted);
         let mut sink = ServiceSink::new(request);
-        let ran = match &request.kind {
-            QueryKind::Join(spec) => self.run_join(&mut wenv, spec, &mut sink),
-            QueryKind::StreamingJoin {
-                left,
-                right,
-                predicate,
-            } => self.run_streaming_join(&mut wenv, *left, *right, *predicate, &mut sink),
-            QueryKind::Window { dataset, window } => {
-                self.run_selection(&mut wenv, *dataset, *window, granted, &mut sink)
-            }
-            QueryKind::Point { dataset, point } => self.run_selection(
-                &mut wenv,
-                *dataset,
-                Rect::from_coords(point.x, point.y, point.x, point.y),
-                granted,
-                &mut sink,
-            ),
-        };
+        let ran = self.dispatch(&request.kind, granted, &mut sink);
         let status = match ran {
             Ok(result) if sink.cancelled => QueryStatus::Cancelled(Some(result)),
             Ok(result) => QueryStatus::Completed(result),
@@ -1301,8 +1721,7 @@ impl Service {
             Err(e) => return fail_all(e),
         };
 
-        let mut wenv = self.env.fork_with_base(Arc::clone(&self.base));
-        wenv.set_memory_limit(granted);
+        let mut wenv = self.worker_env(granted);
         let mut sinks: Vec<ServiceSink> =
             members.iter().map(|(_, request)| ServiceSink::new(request)).collect();
         let measurement = wenv.begin();
@@ -1364,37 +1783,185 @@ impl Service {
             .collect()
     }
 
+    /// Routes an admitted query to its operator. Live-reading kinds take
+    /// their generation snapshots **before** the worker environment is
+    /// built: snapshots clone run handles under the `live` lock, the
+    /// environment forks the base page slot afterwards — the reader half of
+    /// the [`LiveStore`] publication-ordering invariant, guaranteeing every
+    /// visible run's pages exist in the forked base even while background
+    /// maintenance publishes concurrently.
+    fn dispatch(&self, kind: &QueryKind, granted: usize, sink: &mut ServiceSink) -> Result<JoinResult> {
+        match kind {
+            QueryKind::Join(spec) => {
+                let mut wenv = self.worker_env(granted);
+                self.run_join(&mut wenv, spec, sink)
+            }
+            // Streaming joins bypass the plan cache: there is nothing to
+            // plan (one operator, no algorithm choice), and the fingerprint
+            // space of a mutating dataset is unbounded.
+            QueryKind::StreamingJoin {
+                left,
+                right,
+                predicate,
+            } => {
+                let snap_l = self.live_snapshot(*left)?;
+                let snap_r = self.live_snapshot(*right)?;
+                let mut wenv = self.worker_env(granted);
+                StreamingJoin::default()
+                    .with_predicate(*predicate)
+                    .run(&mut wenv, &snap_l, &snap_r, sink)
+                    .map_err(ServiceError::from)
+            }
+            QueryKind::MixedJoin {
+                live,
+                dataset,
+                predicate,
+            } => {
+                let snap = self.live_snapshot(*live)?;
+                let ds = self.dataset(*dataset)?;
+                let mut wenv = self.worker_env(granted);
+                StreamingJoin::default()
+                    .with_predicate(*predicate)
+                    .run_mixed(
+                        &mut wenv,
+                        JoinSide::Live(&snap),
+                        JoinSide::Run {
+                            sorted: ds.sorted(),
+                            bbox: ds.bbox(),
+                        },
+                        sink,
+                    )
+                    .map_err(ServiceError::from)
+            }
+            QueryKind::Window { dataset, window } => {
+                let mut wenv = self.worker_env(granted);
+                self.run_selection(&mut wenv, *dataset, *window, granted, sink)
+            }
+            QueryKind::Point { dataset, point } => {
+                let mut wenv = self.worker_env(granted);
+                self.run_selection(
+                    &mut wenv,
+                    *dataset,
+                    Rect::from_coords(point.x, point.y, point.x, point.y),
+                    granted,
+                    sink,
+                )
+            }
+            QueryKind::LiveWindow { dataset, window } => {
+                let snap = self.live_snapshot(*dataset)?;
+                let mut wenv = self.worker_env(granted);
+                self.run_live_selection(&mut wenv, &snap, *window, granted, sink)
+            }
+            QueryKind::LivePoint { dataset, point } => {
+                let snap = self.live_snapshot(*dataset)?;
+                let mut wenv = self.worker_env(granted);
+                self.run_live_selection(
+                    &mut wenv,
+                    &snap,
+                    Rect::from_coords(point.x, point.y, point.x, point.y),
+                    granted,
+                    sink,
+                )
+            }
+        }
+    }
+
+    /// A fresh execution environment for one admitted query: its own I/O
+    /// accounting, a hard memory limit of the granted budget, and a device
+    /// layered over the *current* published base snapshot.
+    fn worker_env(&self, granted: usize) -> SimEnv {
+        SimEnv {
+            device: BlockDevice::with_base(self.store.fork_base()),
+            machine: self.machine.clone(),
+            cpu: CpuCounter::new(),
+            memory_limit: granted,
+            memory: MemoryGauge::new(granted),
+        }
+    }
+
     fn dataset(&self, id: DatasetId) -> Result<&Dataset> {
         self.catalog
             .get(id)
             .ok_or_else(|| ServiceError::UnknownDataset(format!("#{}", id.0)))
     }
 
-    fn live_dataset(&self, id: LiveId) -> Result<&LiveDataset> {
-        self.live
-            .get(id)
+    /// A generation snapshot of a live dataset — a consistent view that
+    /// stays valid however far ingestion and maintenance advance while the
+    /// query runs.
+    fn live_snapshot(&self, id: LiveId) -> Result<LiveSnapshot> {
+        let live = self.store.live.lock().expect("live catalog poisoned");
+        live.get(id)
+            .map(|ds| ds.snapshot())
             .ok_or_else(|| ServiceError::UnknownDataset(format!("live#{}", id.0)))
     }
 
-    /// Runs a streaming symmetric join on the worker fork, over generation
-    /// snapshots taken now — consistent views that stay valid however far
-    /// ingestion advances between sessions. Streaming joins bypass the plan
-    /// cache: there is nothing to plan (one operator, no algorithm choice),
-    /// and the fingerprint space of a mutating dataset is unbounded.
-    fn run_streaming_join(
+    /// Index-backed selection over a live snapshot, tier by tier: the base
+    /// run through its R-tree, then each delta run and in-memory run
+    /// linear-scanned *only* when its bounding box intersects the window.
+    /// Emission order — base-tree order, deltas oldest-first, memory runs
+    /// last — is deterministic for a given generation, which is what the
+    /// differential tests pin down.
+    fn run_live_selection(
         &self,
         wenv: &mut SimEnv,
-        left: LiveId,
-        right: LiveId,
-        predicate: Predicate,
+        snap: &LiveSnapshot,
+        window: Rect,
+        granted: usize,
         sink: &mut ServiceSink,
     ) -> Result<JoinResult> {
-        let snap_l = self.live_dataset(left)?.snapshot();
-        let snap_r = self.live_dataset(right)?.snapshot();
-        StreamingJoin::default()
-            .with_predicate(predicate)
-            .run(wenv, &snap_l, &snap_r, sink)
-            .map_err(ServiceError::from)
+        let measurement = wenv.begin();
+        wenv.memory.begin_phase();
+        let mut store = NodeStore::with_capacity_bytes_gauged(granted, &wenv.memory);
+        let mut alive = snap
+            .tree()
+            .window_query_via(wenv, &mut store, &window, &mut |item| {
+                sink.emit(item.id, 0)
+            })?;
+        // Delta runs (runs[0] is the base the tree already covered).
+        for run in snap.runs().iter().skip(1) {
+            if !alive {
+                break;
+            }
+            if !run.bbox().intersects(&window) {
+                continue;
+            }
+            let mut reader = run.stream().reader();
+            while let Some(item) = reader.next(wenv)? {
+                if item.rect.intersects(&window) && sink.emit(item.id, 0).is_break() {
+                    alive = false;
+                    break;
+                }
+            }
+        }
+        for mem in snap.mem_runs() {
+            if !alive {
+                break;
+            }
+            if !mem.bbox().intersects(&window) {
+                continue;
+            }
+            for item in mem.items() {
+                if item.rect.intersects(&window) && sink.emit(item.id, 0).is_break() {
+                    alive = false;
+                    break;
+                }
+            }
+        }
+        wenv.charge(CpuOp::OutputPair, sink.delivered);
+        let (io, cpu) = wenv.since(&measurement);
+        Ok(JoinResult {
+            pairs: sink.delivered,
+            io,
+            cpu,
+            index_page_requests: store.stats().misses,
+            sweep: Default::default(),
+            memory: MemoryStats {
+                priority_queue_bytes: 0,
+                sweep_structure_bytes: 0,
+                other_bytes: store.resident_pages() * PAGE_SIZE,
+                peak_bytes: wenv.memory.peak(),
+            },
+        })
     }
 
     fn run_join(
@@ -2022,7 +2589,7 @@ mod tests {
     fn streaming_joins_run_over_live_datasets_through_the_service() {
         let a = grid(12, 4.0, 0.0, 0);
         let b = grid(12, 4.0, 1.5, 100_000);
-        let (mut service, _, _) = service_over(&a, &b, ServiceConfig::default().with_workers(2));
+        let (service, _, _) = service_over(&a, &b, ServiceConfig::default().with_workers(2));
         // Register with part of each dataset, then ingest the rest through
         // appends — flushes and compactions happen behind the thresholds.
         let config = LiveConfig {
@@ -2037,7 +2604,10 @@ mod tests {
         for chunk in b[30..].chunks(53) {
             service.append_live("live_b", chunk).unwrap();
         }
-        assert_eq!(service.live().lookup("live_a").map(|(id, _)| id), Some(la));
+        assert_eq!(
+            service.with_live(|live| live.lookup("live_a").map(|(id, _)| id)),
+            Some(la)
+        );
 
         let expected = brute_pairs(&a, &b);
         let report = service.run(vec![
@@ -2061,7 +2631,7 @@ mod tests {
     #[test]
     fn live_registration_rejects_duplicates_and_unknown_ids_fail_cleanly() {
         let a = grid(6, 4.0, 0.0, 0);
-        let (mut service, _, _) = service_over(&a, &a, ServiceConfig::default());
+        let (service, _, _) = service_over(&a, &a, ServiceConfig::default());
         let la = service
             .register_live("points", &a, LiveConfig::default())
             .unwrap();
@@ -2082,6 +2652,273 @@ mod tests {
             "{:?}",
             report.outcomes[0].status
         );
+    }
+
+    /// Builds a service holding one *fragmented* live dataset over `live`
+    /// (partial base + chunked appends, so every tier — base run, delta
+    /// runs, frozen batches, memtable — is populated) and one frozen
+    /// cataloged dataset over `frozen`.
+    fn mixed_service(live: &[Item], frozen: &[Item]) -> (Service, LiveId, DatasetId) {
+        let (service, _, ib) = service_over(frozen, frozen, ServiceConfig::default().with_workers(2));
+        let config = LiveConfig {
+            flush_threshold_bytes: 40 * ITEM_BYTES,
+            compact_after_deltas: 3,
+        };
+        let split = live.len() / 3;
+        let la = service.register_live("mixed", &live[..split], config).unwrap();
+        for chunk in live[split..].chunks(29) {
+            service.append_live("mixed", chunk).unwrap();
+        }
+        (service, la, ib)
+    }
+
+    #[test]
+    fn mixed_joins_match_brute_force_including_limit_and_cancellation() {
+        let a = grid(12, 4.0, 0.0, 0);
+        let b = grid(12, 4.0, 1.5, 100_000);
+        let (service, la, ib) = mixed_service(&a, &b);
+        // The live side genuinely spans tiers when the join runs.
+        assert!(service.live_backlog("mixed").unwrap_or(0) > 0 || {
+            service.with_live(|l| l.get(la).unwrap().memtable_len() > 0)
+        });
+
+        let expected = brute_pairs(&a, &b);
+        let token = CancelToken::new();
+        token.cancel();
+        let report = service.run(vec![
+            QueryRequest::mixed_join(la, ib).collecting(),
+            QueryRequest::mixed_join(la, ib),
+            QueryRequest::mixed_join(la, ib).with_limit(9).collecting(),
+            QueryRequest::mixed_join(la, ib).with_cancel(token),
+        ]);
+        let mut collected = report.outcomes[0].pairs.clone().unwrap();
+        collected.sort_unstable();
+        assert_eq!(collected, expected, "mixed join diverged from brute force");
+        assert_eq!(report.outcomes[1].result().unwrap().pairs, expected.len() as u64);
+        // LIMIT truncates the stream to an exact prefix of true pairs.
+        let limited = report.outcomes[2].pairs.as_ref().unwrap();
+        assert_eq!(limited.len(), 9.min(expected.len()));
+        for p in limited {
+            assert!(expected.binary_search(p).is_ok(), "{p:?} not a result pair");
+        }
+        assert!(matches!(report.outcomes[3].status, QueryStatus::Cancelled(None)));
+        assert_eq!(report.stats.completed, 3);
+        assert_eq!(report.stats.cancelled, 1);
+    }
+
+    #[test]
+    fn mixed_join_cancellation_stops_the_stream_partway() {
+        let a = grid(14, 4.0, 0.0, 0);
+        let b = grid(14, 4.0, 1.5, 100_000);
+        let (service, la, ib) = mixed_service(&a, &b);
+        let expected = brute_pairs(&a, &b);
+        let token = CancelToken::new();
+        let (_, report) = service.with_session(|session| {
+            session.submit(QueryRequest::mixed_join(la, ib).with_cancel(token.clone()).collecting());
+            // Spin until the query is genuinely executing, then pull the
+            // token out from under it mid-stream.
+            while session.running() == 0 && session.queue_depth() > 0 {
+                std::thread::yield_now();
+            }
+            token.cancel();
+        });
+        let outcome = &report.outcomes[0];
+        // Raced against a fast query the cancel may lose — but whatever
+        // prefix streamed out must consist of true pairs only.
+        match &outcome.status {
+            QueryStatus::Cancelled(partial) => {
+                let delivered = outcome.pairs.as_ref().map_or(0, |p| p.len());
+                assert!(delivered <= expected.len());
+                assert!(partial.is_none() || partial.as_ref().unwrap().pairs == delivered as u64);
+            }
+            QueryStatus::Completed(r) => assert_eq!(r.pairs, expected.len() as u64),
+            QueryStatus::Failed(e) => panic!("mixed join failed: {e}"),
+        }
+        for p in outcome.pairs.as_ref().unwrap() {
+            assert!(expected.binary_search(p).is_ok(), "{p:?} not a result pair");
+        }
+    }
+
+    #[test]
+    fn live_selections_cover_every_tier_and_match_brute_force() {
+        let a = grid(13, 4.0, 0.0, 0);
+        let (service, la, _) = mixed_service(&a, &a);
+        let windows = [
+            Rect::from_coords(0.0, 0.0, 18.0, 18.0),
+            Rect::from_coords(20.0, 20.0, 52.0, 52.0),
+            Rect::from_coords(-5.0, -5.0, 100.0, 100.0),
+            Rect::from_coords(90.0, 90.0, 95.0, 95.0), // beyond the bbox
+        ];
+        let mut requests: Vec<QueryRequest> = windows
+            .iter()
+            .map(|w| QueryRequest::live_window(la, *w).collecting())
+            .collect();
+        let probe = Point { x: 10.1, y: 10.1 };
+        requests.push(QueryRequest::live_point(la, probe).collecting());
+        requests.push(QueryRequest::live_window(la, windows[2]).with_limit(5).collecting());
+        let report = service.run(requests);
+        assert_eq!(report.stats.completed, 6);
+        for (i, window) in windows.iter().enumerate() {
+            let mut expected: Vec<u32> = a
+                .iter()
+                .filter(|it| it.rect.intersects(window))
+                .map(|it| it.id)
+                .collect();
+            expected.sort_unstable();
+            let mut got: Vec<u32> = report.outcomes[i]
+                .pairs
+                .as_ref()
+                .unwrap()
+                .iter()
+                .map(|&(id, _)| id)
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, expected, "window #{i} diverged from brute force");
+        }
+        let probe_rect = Rect::from_coords(probe.x, probe.y, probe.x, probe.y);
+        let hits = a.iter().filter(|it| it.rect.intersects(&probe_rect)).count();
+        assert_eq!(report.outcomes[4].pairs.as_ref().unwrap().len(), hits);
+        assert_eq!(report.outcomes[5].pairs.as_ref().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn background_maintenance_matches_inline_and_shrinks_no_answers() {
+        let a = grid(12, 4.0, 0.0, 0);
+        let b = grid(12, 4.0, 1.5, 100_000);
+        let run_mode = |background: bool| {
+            let mut env = SimEnv::new(MachineConfig::machine3());
+            let mut catalog = Catalog::new();
+            let ib = catalog.register(&mut env, "frozen", &b).unwrap();
+            let service = Service::new(
+                env,
+                catalog,
+                ServiceConfig::default()
+                    .with_workers(2)
+                    .with_background_maintenance(background),
+            );
+            let config = LiveConfig {
+                flush_threshold_bytes: 32 * ITEM_BYTES,
+                compact_after_deltas: 2,
+            };
+            let la = service.register_live("live", &a[..40], config).unwrap();
+            for chunk in a[40..].chunks(23) {
+                service.append_live("live", chunk).unwrap();
+            }
+            // Quiesce: waits out the background queue, then drains every
+            // tier into a single compacted base run.
+            service.quiesce_live("live").unwrap();
+            assert_eq!(service.live_backlog("live"), Some(0));
+            service.with_live(|live| {
+                let ds = live.get(la).unwrap();
+                assert_eq!(ds.memtable_len(), 0, "quiesce left memtable items");
+                assert_eq!(ds.pending_flush_batches(), 0);
+            });
+            let stats = service.live_stats("live").unwrap();
+            assert!(stats.flushes > 0, "maintenance never flushed");
+            let report = service.run(vec![QueryRequest::mixed_join(la, ib).collecting()]);
+            let mut pairs = report.outcomes[0].pairs.clone().unwrap();
+            pairs.sort_unstable();
+            pairs
+        };
+        let inline = run_mode(false);
+        let background = run_mode(true);
+        assert_eq!(inline, brute_pairs(&a, &b));
+        assert_eq!(inline, background, "maintenance modes diverged");
+    }
+
+    #[test]
+    fn promotion_roundtrip_matches_a_fresh_registration() {
+        let a = grid(11, 4.0, 0.0, 0);
+        let b = grid(11, 4.0, 1.5, 100_000);
+        let window = Rect::from_coords(3.0, 3.0, 25.0, 25.0);
+
+        // Promoted path: grow the dataset through live appends (background
+        // maintenance on, to exercise the worker), then promote.
+        let mut env = SimEnv::new(MachineConfig::machine3());
+        let mut catalog = Catalog::new();
+        let ib = catalog.register(&mut env, "peer", &b).unwrap();
+        let mut service = Service::new(
+            env,
+            catalog,
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_background_maintenance(true),
+        );
+        let config = LiveConfig {
+            flush_threshold_bytes: 32 * ITEM_BYTES,
+            compact_after_deltas: 2,
+        };
+        service.register_live("grown", &a[..30], config).unwrap();
+        for chunk in a[30..].chunks(17) {
+            service.append_live("grown", chunk).unwrap();
+        }
+        let promoted = service.promote_live("grown").unwrap();
+        // The dataset moved sides wholesale.
+        assert!(service.with_live(|live| live.lookup("grown").is_none()));
+        assert!(matches!(
+            service.append_live("grown", &a[..1]),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+        let frozen = service.catalog().get(promoted).expect("promoted dataset");
+        assert_eq!(frozen.len(), a.len() as u64);
+        let report = service.run(vec![
+            QueryRequest::join(promoted, ib).with_algorithm(Algo::Sssj).collecting(),
+            QueryRequest::window(promoted, window).collecting(),
+        ]);
+
+        // Oracle path: register the same items directly.
+        let mut env2 = SimEnv::new(MachineConfig::machine3());
+        let mut catalog2 = Catalog::new();
+        // Promotion preserves item identity, not arrival order — the
+        // adopted run is sweep-key sorted. Register the same *set*.
+        let fresh = catalog2.register(&mut env2, "fresh", &a).unwrap();
+        let ib2 = catalog2.register(&mut env2, "peer", &b).unwrap();
+        let oracle_service = Service::new(env2, catalog2, ServiceConfig::default().with_workers(2));
+        let oracle = oracle_service.run(vec![
+            QueryRequest::join(fresh, ib2).with_algorithm(Algo::Sssj).collecting(),
+            QueryRequest::window(fresh, window).collecting(),
+        ]);
+
+        for k in 0..2 {
+            let mut got = report.outcomes[k].pairs.clone().unwrap();
+            let mut want = oracle.outcomes[k].pairs.clone().unwrap();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "query #{k} diverged after promotion");
+        }
+        // The promoted dataset has a real histogram: its admission estimate
+        // path and planner treat it exactly like a registered peer.
+        assert!(frozen.histogram().total() > 0);
+    }
+
+    #[test]
+    fn promote_refuses_unknown_and_double_promotion() {
+        let a = grid(6, 4.0, 0.0, 0);
+        let (mut service, _, _) = {
+            let (s, x, y) = service_over(&a, &a, ServiceConfig::default());
+            (s, x, y)
+        };
+        assert!(matches!(
+            service.promote_live("missing"),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+        service
+            .register_live("once", &a, LiveConfig::default())
+            .unwrap();
+        service.promote_live("once").unwrap();
+        assert!(matches!(
+            service.promote_live("once"),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+        // The name is now taken on the frozen side too.
+        assert!(matches!(
+            service.register_live("once", &a, LiveConfig::default()).map(|_| ()),
+            Ok(())
+        ));
+        assert!(matches!(
+            service.promote_live("once"),
+            Err(ServiceError::DuplicateDataset(_))
+        ));
     }
 
     #[test]
