@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale N] [--seed N] [--presets NJ,NY,...]
-//!                    [--requests N] [--workers A,B,...]
+//!                    [--requests N] [--workers A,B,...] [--trace PATH]
 //!
 //! experiments:
 //!   table2 table3 table4 fig2-estimated fig2-observed fig3 crossover
@@ -15,8 +15,12 @@
 //! detail as `BENCH_hotpath_latest.json` and *appends* a compact point to
 //! the tracked `BENCH_hotpath.json` trajectory. `load` (which honours
 //! `--requests` and `--workers`) and `live` rewrite `BENCH_service.json`
-//! with their latest rows and *append* a point to the tracked
-//! `BENCH_trajectory.json`.
+//! with their latest rows — including a `metrics` snapshot of the
+//! service's counter/gauge/histogram registry for `load` — and *append* a
+//! point to the tracked `BENCH_trajectory.json`. `load --trace PATH`
+//! additionally replays the schedule once with tracing on and writes the
+//! run as a Chrome trace-event document (open in `chrome://tracing` or
+//! Perfetto).
 
 use usj_bench::{ExperimentConfig, LoadSpec, *};
 use usj_datagen::Preset;
@@ -27,12 +31,14 @@ struct CliOptions {
     cfg: ExperimentConfig,
     requests: Option<usize>,
     workers: Option<Vec<usize>>,
+    trace: Option<String>,
 }
 
 fn parse_config(args: &[String]) -> CliOptions {
     let mut cfg = ExperimentConfig::default();
     let mut requests = None;
     let mut workers = None;
+    let mut trace = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -84,6 +90,15 @@ fn parse_config(args: &[String]) -> CliOptions {
                     .collect();
                 workers = Some(parsed);
             }
+            "--trace" => {
+                i += 1;
+                trace = Some(
+                    args.get(i)
+                        .filter(|p| !p.is_empty())
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace expects an output path")),
+                );
+            }
             other => die(&format!("unknown option '{other}'")),
         }
         i += 1;
@@ -92,6 +107,7 @@ fn parse_config(args: &[String]) -> CliOptions {
         cfg,
         requests,
         workers,
+        trace,
     }
 }
 
@@ -106,7 +122,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro <experiment> [--scale N] [--seed N] [--presets NJ,NY,...] \
-         [--requests N] [--workers A,B,...]"
+         [--requests N] [--workers A,B,...] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -117,6 +133,9 @@ fn main() {
         die("missing experiment name");
     };
     let opts = parse_config(&args[1..]);
+    if opts.trace.is_some() && experiment != "load" {
+        die("--trace is only supported by the load experiment");
+    }
     let cfg = opts.cfg.clone();
     println!(
         "# unified-spatial-join repro — experiment '{}', scale 1/{}, seed {}",
@@ -194,6 +213,13 @@ fn main() {
             std::fs::write(trajectory, updated)
                 .unwrap_or_else(|e| die(&format!("cannot write {trajectory}: {e}")));
             println!("appended 1 point to {trajectory}");
+
+            if let Some(trace_path) = &opts.trace {
+                let doc = load_trace_json(&spec);
+                std::fs::write(trace_path, doc)
+                    .unwrap_or_else(|e| die(&format!("cannot write {trace_path}: {e}")));
+                println!("wrote Chrome trace-event document {trace_path}");
+            }
         }
         "live" => {
             let (rows, interference) = live_bench(&cfg);

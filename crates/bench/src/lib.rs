@@ -51,8 +51,8 @@ pub use live_exp::{
 };
 pub use loadgen::{
     append_trajectory, append_trajectory_with, generate_schedule, load_bench, load_bench_json,
-    trajectory_point, ArrivalCurve, BatchingComparison, LoadOutcome, LoadRow, LoadSpec,
-    RequestTemplate, TemplateKind,
+    load_trace_json, trajectory_point, ArrivalCurve, BatchingComparison, LoadOutcome, LoadRow,
+    LoadSpec, RequestTemplate, TemplateKind,
 };
 pub use quick::{BenchReport, QuickBench};
 pub use service_exp::{service_bench, service_bench_json, ServiceBenchRow};

@@ -322,16 +322,6 @@ pub fn live_bench(cfg: &ExperimentConfig) -> (Vec<LiveBenchRow>, Vec<LiveInterfe
     (rows, interference)
 }
 
-/// A percentile from an unsorted sample set (nearest-rank), in microseconds.
-fn percentile_us(samples: &mut [f64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
-    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
-    samples[rank.clamp(1, samples.len()) - 1]
-}
-
 /// Alternates `append_live` batches with streaming queries on one service,
 /// timing every append call and bucketing query latency by the maintenance
 /// backlog *observed at submit time* ([`Service::live_backlog`]) — the load
@@ -373,14 +363,17 @@ fn interference_loop(
         .chunks(workload.hydro[half_h..].len().div_ceil(INGEST_BATCHES))
         .collect();
 
-    let mut append_us: Vec<f64> = Vec::new();
+    // Append stalls feed the shared `usj_obs` log-bucketed histogram
+    // (monotone quantiles, ≤ 1/16 + 1 µs above exact nearest-rank) —
+    // the same summary the service's own metrics use.
+    let append_us = usj_obs::LogHistogram::new();
     // Each ingest batch is driven as small sub-appends so the stall
     // distribution has enough samples to make a p99 meaningful.
-    let mut timed_append = |name: &str, chunk: &[Item]| {
+    let timed_append = |name: &str, chunk: &[Item]| {
         for sub in chunk.chunks(64) {
             let start = Instant::now();
             service.append_live(name, sub).expect("append");
-            append_us.push(start.elapsed().as_secs_f64() * 1e6);
+            append_us.record(start.elapsed().as_micros() as u64);
         }
     };
     let (mut fragmented, mut compacted): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
@@ -430,15 +423,15 @@ fn interference_loop(
     LiveInterferenceRow {
         preset: preset.name().to_string(),
         mode: if background { "background" } else { "inline" },
-        appends: append_us.len() as u64,
+        appends: append_us.count(),
         flushes: roads_stats.flushes + hydro_stats.flushes,
         compactions: roads_stats.compactions + hydro_stats.compactions,
         max_backlog,
         query_ms_fragmented: mean(&fragmented),
         query_ms_compacted: mean(&compacted),
-        append_p50_us: percentile_us(&mut append_us, 50.0),
-        append_p99_us: percentile_us(&mut append_us, 99.0),
-        append_max_us: percentile_us(&mut append_us, 100.0),
+        append_p50_us: append_us.quantile(0.50) as f64,
+        append_p99_us: append_us.quantile(0.99) as f64,
+        append_max_us: append_us.max().unwrap_or(0) as f64,
         pairs,
     }
 }

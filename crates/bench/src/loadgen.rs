@@ -31,7 +31,8 @@ use usj_datagen::{Preset, WorkloadSpec};
 use usj_geom::{Point, Rect};
 use usj_io::{MachineConfig, SimEnv};
 use usj_service::{
-    Catalog, CancelToken, DatasetId, QueryRequest, Service, ServiceConfig, ServiceReport,
+    Catalog, CancelToken, ChromeTrace, DatasetId, QueryRequest, Service, ServiceConfig,
+    ServiceReport,
 };
 
 use crate::setup::ExperimentConfig;
@@ -250,7 +251,9 @@ pub struct LoadRow {
     pub cancelled: u64,
     /// Requests failed.
     pub failed: u64,
-    /// Latency percentiles over completed requests (µs, nearest-rank).
+    /// Latency percentiles over completed requests (µs, from the shared
+    /// `usj_obs` log-bucketed histogram: monotone, ≤ 1/16 + 1 µs above the
+    /// exact nearest-rank value).
     pub p50_us: u64,
     /// 95th percentile latency (µs).
     pub p95_us: u64,
@@ -288,13 +291,15 @@ pub const DEPTH_SAMPLES: usize = 32;
 
 /// Builds a fresh catalog + service for `spec` at `workers` and drives the
 /// schedule open-loop through a session. Returns the report, the sampled
-/// queue-depth series and the wall-clock seconds.
+/// queue-depth series, the wall-clock seconds and the service itself (so
+/// the caller can read its metrics registry or drain traces).
 fn drive(
     spec: &LoadSpec,
     schedule: &[RequestTemplate],
     workers: usize,
     shared_scans: bool,
-) -> (ServiceReport, DepthSeries, f64) {
+    traced: bool,
+) -> (ServiceReport, DepthSeries, f64, Service) {
     let workload = WorkloadSpec::preset(spec.preset)
         .with_scale(spec.scale)
         .generate(spec.seed);
@@ -314,6 +319,7 @@ fn drive(
             .with_memory_limit(LOAD_MEMORY_LIMIT)
             .with_shared_scans(shared_scans),
     );
+    service.set_tracing(traced);
     let started = Instant::now();
     let (depths, report) = service.with_session(|session| {
         let mut depths: DepthSeries = Vec::with_capacity(schedule.len());
@@ -333,16 +339,7 @@ fn drive(
         depths
     });
     let wall_s = started.elapsed().as_secs_f64();
-    (report, depths, wall_s)
-}
-
-/// Nearest-rank percentile (q ∈ (0, 1]) over an unsorted latency sample.
-fn percentile_us(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    (report, depths, wall_s, service)
 }
 
 /// Decimates a full series to at most `keep` evenly spaced samples.
@@ -364,13 +361,14 @@ fn summarize(
     wall_s: f64,
 ) -> LoadRow {
     let stats = &report.stats;
-    let mut latencies: Vec<u64> = report
-        .outcomes
-        .iter()
-        .filter(|o| o.is_completed())
-        .map(|o| o.stats.latency.as_micros() as u64)
-        .collect();
-    latencies.sort_unstable();
+    // The shared log-bucketed histogram (≤ 1/16 relative quantile error,
+    // property-tested in `usj_obs`) replaces the exact nearest-rank sort
+    // this module used to hand-roll — same histogram the service's own
+    // `query.latency_us` metric uses.
+    let latencies = usj_obs::LogHistogram::new();
+    for outcome in report.outcomes.iter().filter(|o| o.is_completed()) {
+        latencies.record(outcome.stats.latency.as_micros() as u64);
+    }
     let mean_depth = if depths.is_empty() {
         0.0
     } else {
@@ -383,10 +381,10 @@ fn summarize(
         completed: stats.completed,
         cancelled: stats.cancelled,
         failed: stats.failed,
-        p50_us: percentile_us(&latencies, 0.50),
-        p95_us: percentile_us(&latencies, 0.95),
-        p99_us: percentile_us(&latencies, 0.99),
-        max_latency_us: latencies.last().copied().unwrap_or(0),
+        p50_us: latencies.quantile(0.50),
+        p95_us: latencies.quantile(0.95),
+        p99_us: latencies.quantile(0.99),
+        max_latency_us: latencies.max().unwrap_or(0),
         deferral_rate: stats.deferrals as f64 / stats.submitted.max(1) as f64,
         throughput_rps: stats.completed as f64 / wall_s.max(1e-9),
         mean_queue_depth: mean_depth,
@@ -427,6 +425,9 @@ pub struct LoadOutcome {
     pub depth_series: Vec<DepthSeries>,
     /// The shared-scan A/B on the window-heavy mix.
     pub comparison: BatchingComparison,
+    /// [`usj_service::Service::metrics_snapshot`] of the reference row
+    /// (largest swept worker count), rendered as a JSON object.
+    pub metrics_json: String,
 }
 
 /// Runs the load harness: the mixed schedule over every worker count, then
@@ -467,12 +468,16 @@ pub fn load_bench(spec: &LoadSpec) -> LoadOutcome {
 
     let mut rows = Vec::new();
     let mut depth_series = Vec::new();
+    let mut metrics_json = String::from("{}");
     for &workers in &spec.worker_counts {
-        let (report, depths, wall_s) = drive(spec, &schedule, workers, false);
+        let (report, depths, wall_s, service) = drive(spec, &schedule, workers, false, false);
         let row = summarize(workers, false, &report, &depths, wall_s);
         print_row(&row);
         rows.push(row);
         depth_series.push(decimate(&depths, DEPTH_SAMPLES));
+        // The reference row (last, i.e. largest worker count) contributes
+        // the metrics snapshot the JSON emission embeds.
+        metrics_json = service.metrics_snapshot().to_json(2);
     }
 
     // The A/B arm: a selection-only spec (shared scans never batch joins)
@@ -483,12 +488,12 @@ pub fn load_bench(spec: &LoadSpec) -> LoadOutcome {
     window_spec.arrival_rate_hz = 1e9;
     let window_schedule = generate_schedule(&window_spec, workload.region);
     let ab_workers = spec.worker_counts.get(spec.worker_counts.len() / 2).copied().unwrap_or(4);
-    let (serial_report, serial_depths, serial_wall) =
-        drive(&window_spec, &window_schedule, ab_workers, false);
+    let (serial_report, serial_depths, serial_wall, _) =
+        drive(&window_spec, &window_schedule, ab_workers, false, false);
     let serial = summarize(ab_workers, false, &serial_report, &serial_depths, serial_wall);
     print_row(&serial);
-    let (batched_report, batched_depths, batched_wall) =
-        drive(&window_spec, &window_schedule, ab_workers, true);
+    let (batched_report, batched_depths, batched_wall, _) =
+        drive(&window_spec, &window_schedule, ab_workers, true, false);
     let batched = summarize(ab_workers, true, &batched_report, &batched_depths, batched_wall);
     print_row(&batched);
     assert_eq!(
@@ -508,7 +513,35 @@ pub fn load_bench(spec: &LoadSpec) -> LoadOutcome {
         rows,
         depth_series,
         comparison,
+        metrics_json,
     }
+}
+
+/// Replays the `spec` schedule once at the reference worker count with
+/// tracing on and renders the whole run as a Chrome trace-event document:
+/// thread 0 carries background maintenance, every admitted query runs on a
+/// thread named by its admission sequence. The traced run is *separate*
+/// from the measured sweep — tracing may only observe, but the benchmark
+/// numbers should not even pay the ring-buffer cost.
+pub fn load_trace_json(spec: &LoadSpec) -> String {
+    let workload = WorkloadSpec::preset(spec.preset)
+        .with_scale(spec.scale)
+        .generate(spec.seed);
+    let schedule = generate_schedule(spec, workload.region);
+    let workers = spec.worker_counts.last().copied().unwrap_or(4);
+    let (report, _, _, service) = drive(spec, &schedule, workers, false, true);
+    let mut chrome = ChromeTrace::new();
+    chrome.add_thread(0, "maintenance");
+    chrome.add_trace(0, &service.drain_background_trace());
+    for outcome in &report.outcomes {
+        if let (Some(seq), Some(trace)) =
+            (outcome.stats.admission_seq, outcome.stats.trace.as_ref())
+        {
+            chrome.add_thread(seq + 1, "query");
+            chrome.add_trace(seq + 1, trace);
+        }
+    }
+    chrome.finish()
 }
 
 fn row_json(row: &LoadRow, depths: Option<&DepthSeries>) -> String {
@@ -573,7 +606,8 @@ pub fn load_bench_json(spec: &LoadSpec, outcome: &LoadOutcome) -> String {
     out.push_str(&format!("    \"serial\": {},\n", row_json(&outcome.comparison.serial, None)));
     out.push_str(&format!("    \"batched\": {},\n", row_json(&outcome.comparison.batched, None)));
     out.push_str(&format!("    \"speedup\": {:.3}\n", outcome.comparison.speedup()));
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"metrics\": {}\n}}\n", outcome.metrics_json));
     out
 }
 

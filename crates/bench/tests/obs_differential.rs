@@ -1,0 +1,148 @@
+//! Differential proof that observability never perturbs execution.
+//!
+//! Every small preset × every algorithm runs twice — once under a
+//! *recording* span collector, once under the no-op recorder — and must
+//! deliver **byte-identical** pair sequences, charged [`IoStats`] and
+//! measured peak memory. The recording run must additionally produce a
+//! non-trivial span tree (the whole point), and the no-op recorder must
+//! stay within a few percent of the uninstrumented wall time on the
+//! hot-path kernel (the "tracing off is free" contract).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use usj_bench::setup::{ExperimentConfig, PreparedWorkload};
+use usj_core::{CollectSink, JoinAlgorithm, JoinInput, SpatialQuery};
+use usj_datagen::Preset;
+use usj_io::{IoStats, MachineConfig};
+use usj_obs::{NoopRecorder, QueryTrace, Recorder, RingCollector};
+
+const ALGORITHMS: [JoinAlgorithm; 4] = [
+    JoinAlgorithm::Sssj,
+    JoinAlgorithm::Pbsm,
+    JoinAlgorithm::Pq,
+    JoinAlgorithm::St,
+];
+
+/// Runs `alg` on a freshly built `preset` workload, collecting every pair.
+fn run_collect(
+    preset: Preset,
+    alg: JoinAlgorithm,
+) -> (Vec<(u32, u32)>, IoStats, usize) {
+    use JoinAlgorithm as A;
+    let cfg = ExperimentConfig::quick();
+    let mut p = PreparedWorkload::build(preset, &cfg, MachineConfig::machine3());
+    let (left, right) = match alg {
+        A::Pq | A::St => (
+            JoinInput::Indexed(&p.roads_tree),
+            JoinInput::Indexed(&p.hydro_tree),
+        ),
+        A::Sssj | A::Pbsm => (
+            JoinInput::Stream(&p.roads_stream),
+            JoinInput::Stream(&p.hydro_stream),
+        ),
+    };
+    let mut sink = CollectSink::default();
+    let result = SpatialQuery::new(left, right)
+        .algorithm(alg.into())
+        .execute(&mut p.env, &mut sink)
+        .expect("join");
+    (sink.pairs, result.io, result.memory.peak_bytes)
+}
+
+#[test]
+fn recording_and_noop_runs_are_byte_identical_for_every_preset_and_algorithm() {
+    for preset in Preset::small() {
+        for alg in ALGORITHMS {
+            // Baseline: no recorder installed at all.
+            let bare = run_collect(preset, alg);
+
+            // Recording run: spans land in a ring, execution must not move.
+            let ring = Arc::new(RingCollector::new(64 * 1024));
+            let recorded = {
+                let _g = usj_obs::install(
+                    Arc::clone(&ring) as Arc<dyn Recorder>,
+                    Arc::new(usj_obs::HostClock::new()),
+                );
+                run_collect(preset, alg)
+            };
+            let (events, dropped) = ring.drain();
+            let trace = QueryTrace::from_events(&events, dropped);
+
+            // No-op run: recorder installed but discarding.
+            let noop = {
+                let _g = usj_obs::install(
+                    Arc::new(NoopRecorder) as Arc<dyn Recorder>,
+                    Arc::new(usj_obs::HostClock::new()),
+                );
+                run_collect(preset, alg)
+            };
+
+            assert_eq!(
+                bare, recorded,
+                "{preset:?}/{alg:?}: recording changed pairs, I/O or peak memory"
+            );
+            assert_eq!(
+                bare, noop,
+                "{preset:?}/{alg:?}: the no-op recorder changed pairs, I/O or peak memory"
+            );
+            if matches!(alg, JoinAlgorithm::Sssj) {
+                assert!(
+                    trace.find("sssj.sort").is_some() && trace.find("sssj.sweep").is_some(),
+                    "{preset:?}: SSSJ must record its operator phases, got {}",
+                    trace.shape()
+                );
+                let sort = trace.find("sssj.sort").unwrap();
+                assert!(
+                    sort.io.pages_read > 0,
+                    "{preset:?}: the sort phase reads its input"
+                );
+            }
+        }
+    }
+}
+
+/// Minimum-of-samples wall time of one SSSJ join on a prepared workload.
+fn min_wall(p: &mut PreparedWorkload, samples: usize) -> Duration {
+    (0..samples)
+        .map(|_| {
+            p.reset();
+            let left = JoinInput::Stream(&p.roads_stream);
+            let right = JoinInput::Stream(&p.hydro_stream);
+            let started = Instant::now();
+            let mut sink = CollectSink::default();
+            SpatialQuery::new(left, right)
+                .algorithm(usj_core::Algo::Sssj)
+                .execute(&mut p.env, &mut sink)
+                .expect("join");
+            assert!(!sink.pairs.is_empty());
+            started.elapsed()
+        })
+        .min()
+        .expect("samples > 0")
+}
+
+#[test]
+fn noop_recorder_overhead_on_the_hotpath_is_marginal() {
+    // Minimum-of-samples on both sides absorbs scheduler noise; the bound
+    // is the issue's 5% plus a small absolute grace for timer jitter on
+    // very fast kernels.
+    let cfg = ExperimentConfig {
+        scale: 200,
+        ..ExperimentConfig::quick()
+    };
+    let mut p = PreparedWorkload::build(Preset::NJ, &cfg, MachineConfig::machine3());
+    let bare = min_wall(&mut p, 5);
+    let noop = {
+        let _g = usj_obs::install(
+            Arc::new(NoopRecorder) as Arc<dyn Recorder>,
+            Arc::new(usj_obs::HostClock::new()),
+        );
+        min_wall(&mut p, 5)
+    };
+    let bound = bare.mul_f64(1.05) + Duration::from_millis(2);
+    assert!(
+        noop <= bound,
+        "no-op recorder cost {noop:?} exceeds {bound:?} (bare {bare:?})"
+    );
+}

@@ -97,8 +97,10 @@ impl JoinOperator for SssjJoin {
         // Phase 1: sort both inputs by lower y-coordinate. Indexed inputs are
         // deliberately treated as flat files — this is the "ignore the index"
         // behaviour whose cost Section 6.3 quantifies.
+        let sort_phase = env.obs_phase("sssj.sort");
         let (left_sorted, left_bbox) = left.to_sorted_stream(env, self.region_hint)?;
         let (right_sorted, right_bbox) = right.to_sorted_stream(env, self.region_hint)?;
+        env.obs_close(sort_phase);
         let region = self
             .region_hint
             .unwrap_or_else(|| left_bbox.union(&right_bbox))
@@ -111,6 +113,7 @@ impl JoinOperator for SssjJoin {
         // budget it evicts cold items to the simulated device (this is the
         // degradation path the original SSSJ's worst-case partitioning step
         // covers; for the paper's workloads it never triggers).
+        let sweep_phase = env.obs_phase("sssj.sweep");
         let mut lr = left_sorted.reader();
         let mut rr = right_sorted.reader();
         let mut driver = SpillingSweepDriver::new(env, region.lo.x, region.hi.x);
@@ -155,8 +158,10 @@ impl JoinOperator for SssjJoin {
                 rnext = rr.next(env)?;
             }
         }
+        env.obs_close(sweep_phase);
         // Fix up any pending spill epoch — unless the sink stopped the join,
         // in which case the remaining fix-up I/O is skipped entirely.
+        let fixup_phase = env.obs_phase("sssj.fixup");
         let mut sweep = if done {
             driver.discard()
         } else {
@@ -171,6 +176,7 @@ impl JoinOperator for SssjJoin {
                 }
             })?
         };
+        env.obs_close(fixup_phase);
         sweep.pairs = pairs;
         env.charge(CpuOp::RectTest, sweep.rect_tests);
         env.charge(CpuOp::OutputPair, pairs);

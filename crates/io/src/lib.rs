@@ -54,6 +54,6 @@ pub use error::{IoSimError, Result};
 pub use gauge::{MemoryGauge, MemoryReservation};
 pub use machine::MachineConfig;
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use sim::SimEnv;
+pub use sim::{ObsPhase, SimEnv};
 pub use stats::{CpuCounter, CpuOp, IoStats};
 pub use stream::{ItemStream, ItemStreamReader, ItemStreamWriter, ItemsView};

@@ -23,6 +23,15 @@ pub struct Measurement {
     cpu_at_start: CpuCounter,
 }
 
+/// An open observability phase: a tracing span plus (when recording) the
+/// counter snapshot that will attribute the phase's charged I/O to it.
+/// Created by [`SimEnv::obs_phase`], closed by [`SimEnv::obs_close`].
+#[must_use = "close the phase with SimEnv::obs_close to attribute its I/O"]
+pub struct ObsPhase {
+    span: usj_obs::SpanGuard,
+    measure: Option<Measurement>,
+}
+
 /// The environment a join algorithm runs in: the simulated disk, the machine
 /// cost model, the deterministic CPU counter, and the internal-memory limit.
 #[derive(Debug)]
@@ -171,6 +180,32 @@ impl SimEnv {
         out
     }
 
+    /// Opens an observability span named `name` that will attribute the
+    /// charged I/O of the enclosed phase to itself.
+    ///
+    /// With no recorder installed on the current thread (the production
+    /// default) this is a single thread-local probe: no measurement is
+    /// taken and the returned phase is inert. When recording, the phase
+    /// snapshots the counters ([`SimEnv::begin`]) so that
+    /// [`obs_close`](SimEnv::obs_close) can report the delta on the span.
+    /// A phase that is dropped without `obs_close` still closes its span,
+    /// just without I/O attribution.
+    pub fn obs_phase(&self, name: &'static str) -> ObsPhase {
+        let span = usj_obs::span(name);
+        let measure = span.is_recording().then(|| self.begin());
+        ObsPhase { span, measure }
+    }
+
+    /// Closes an observability phase, attributing the I/O charged since
+    /// [`obs_phase`](SimEnv::obs_phase) to its span.
+    pub fn obs_close(&self, mut phase: ObsPhase) {
+        if let Some(m) = phase.measure.take() {
+            let (io, _) = self.since(&m);
+            phase.span.add_io(io.span_io());
+        }
+        // Dropping the guard emits the span-end event.
+    }
+
     /// Runs `f` under a *temporary* memory budget of `bytes`, restoring the
     /// previous gauge and limit afterwards.
     ///
@@ -300,6 +335,35 @@ mod tests {
         assert_eq!(env.memory.current(), 512 * 1024);
         drop(outer);
         assert_eq!(env.memory.current(), 0);
+    }
+
+    #[test]
+    fn obs_phase_attributes_io_only_when_recording() {
+        let mut env = SimEnv::new(MachineConfig::machine3());
+        let p = env.device.allocate(4);
+
+        // No recorder installed: the phase is inert (no measurement taken).
+        let phase = env.obs_phase("phase");
+        env.device.read_page(p).unwrap();
+        env.obs_close(phase);
+
+        // Recording: the span-end event carries the phase's I/O delta.
+        let ring = Arc::new(usj_obs::RingCollector::new(64));
+        let guard = usj_obs::install(ring.clone(), Arc::new(usj_obs::VirtualClock::new()));
+        let phase = env.obs_phase("phase");
+        env.device.read_page(p + 1).unwrap();
+        env.device.read_page(p + 3).unwrap();
+        env.obs_close(phase);
+        drop(guard);
+
+        let (events, dropped) = ring.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 2, "one begin + one end");
+        let usj_obs::Event::SpanEnd { io, .. } = &events[1] else {
+            panic!("expected span end, got {:?}", events[1]);
+        };
+        assert_eq!(io.pages_read, 2);
+        assert_eq!(io.seq_ops + io.rand_ops, 2);
     }
 
     #[test]

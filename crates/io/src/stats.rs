@@ -90,6 +90,18 @@ impl IoStats {
     pub fn merge(&mut self, other: &IoStats) {
         *self = self.combined(other);
     }
+
+    /// The four-number summary the observability layer attaches to spans
+    /// (`usj_obs` sits below this crate, so it cannot carry `IoStats`
+    /// itself).
+    pub fn span_io(&self) -> usj_obs::SpanIo {
+        usj_obs::SpanIo {
+            pages_read: self.pages_read,
+            pages_written: self.pages_written,
+            seq_ops: self.seq_read_ops + self.seq_write_ops,
+            rand_ops: self.rand_read_ops + self.rand_write_ops,
+        }
+    }
 }
 
 /// Kinds of CPU work tracked by the deterministic CPU model.

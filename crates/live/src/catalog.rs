@@ -426,11 +426,14 @@ impl LiveDataset {
     /// (charged I/O). Needs no dataset access — this is the phase a
     /// background worker runs while appends and snapshots proceed.
     pub fn run_flush(env: &mut SimEnv, job: &FlushJob) -> Result<ItemStream> {
+        let phase = env.obs_phase("live.flush");
         let mut writer = ItemStreamWriter::new(env, LIVE_PAGES_PER_BLOCK);
         for &item in job.items.iter() {
             writer.push(env, item)?;
         }
-        Ok(writer.finish(env)?)
+        let run = writer.finish(env)?;
+        env.obs_close(phase);
+        Ok(run)
     }
 
     /// Publishes a persisted flush: pops the frozen batch (releasing its
@@ -486,6 +489,7 @@ impl LiveDataset {
     /// The old base pages stay valid on the device, which is what keeps
     /// earlier snapshots readable.
     pub fn run_compaction(env: &mut SimEnv, plan: &CompactionPlan) -> Result<CompactionOutput> {
+        let phase = env.obs_phase("live.compaction");
         let mut concat = ItemStreamWriter::new(env, LIVE_PAGES_PER_BLOCK);
         let mut reader = plan.base.reader();
         while let Some(item) = reader.next(env)? {
@@ -512,6 +516,7 @@ impl LiveDataset {
             sort_stats.bbox
         };
         let tree = RTree::bulk_load_stream(env, &base)?;
+        env.obs_close(phase);
         Ok(CompactionOutput {
             base,
             tree,
@@ -680,6 +685,15 @@ impl LiveCatalog {
     /// Returns `true` when no live dataset is registered.
     pub fn is_empty(&self) -> bool {
         self.by_name.is_empty()
+    }
+
+    /// Iterates every registered live dataset (promotion leaves holes in
+    /// the id space; those are skipped).
+    pub fn iter(&self) -> impl Iterator<Item = (LiveId, &LiveDataset)> {
+        self.datasets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|ds| (LiveId(i as u32), ds)))
     }
 
     /// Registers a live dataset under `name` with an initial base batch.

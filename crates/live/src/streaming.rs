@@ -176,6 +176,7 @@ impl StreamingJoin {
             .unwrap_or_else(|| left.bbox().union(&right.bbox()))
             .expanded(eps);
 
+        let probe_phase = env.obs_phase("stream.probe");
         let mut lcur = left.cursor();
         let mut rcur = right.cursor();
         // Prime both cursors *before* sizing the driver: the first pull
@@ -255,8 +256,10 @@ impl StreamingJoin {
                 rnext = rcur.next(env)?;
             }
         }
+        env.obs_close(probe_phase);
         // Any spill epoch still open (late arrivals kept it alive) fixes up
         // here — unless the sink stopped the join, which skips that I/O.
+        let fixup_phase = env.obs_phase("stream.fixup");
         let mut sweep = if done {
             driver.discard()
         } else {
@@ -271,6 +274,7 @@ impl StreamingJoin {
                 }
             })?
         };
+        env.obs_close(fixup_phase);
         sweep.pairs = pairs;
         env.charge(CpuOp::RectTest, sweep.rect_tests);
         env.charge(CpuOp::OutputPair, pairs);

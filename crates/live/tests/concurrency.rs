@@ -275,6 +275,48 @@ fn seeded_history_0x0dds_and_ends() {
     check_seed(0x0dd5_a11d_e4d5);
 }
 
+/// Under a recording collector and a virtual clock, a seeded history is a
+/// pure function of its seed all the way down to the *trace* it emits: two
+/// replays must produce identical span trees (shape, nesting and order),
+/// and the tree must contain the maintenance and operator-phase spans the
+/// history exercised. The virtual clock never advances, so no host-timer
+/// jitter can leak into the comparison.
+#[test]
+fn seeded_history_trace_shape_is_deterministic() {
+    use std::sync::Arc;
+    use usj_obs::{QueryTrace, Recorder, RingCollector, VirtualClock};
+
+    let traced_run = |seed: u64| {
+        let ring = Arc::new(RingCollector::new(1 << 20));
+        let guard = usj_obs::install(
+            Arc::clone(&ring) as Arc<dyn Recorder>,
+            Arc::new(VirtualClock::new()),
+        );
+        let queries = run_history(seed);
+        drop(guard);
+        let (events, dropped) = ring.drain();
+        assert_eq!(dropped, 0, "ring sized for a full history");
+        (queries, QueryTrace::from_events(&events, dropped))
+    };
+
+    let seed = 0x5eed_0001;
+    let (queries_a, trace_a) = traced_run(seed);
+    let (queries_b, trace_b) = traced_run(seed);
+    assert_eq!(queries_a, queries_b);
+    assert_eq!(
+        trace_a.shape(),
+        trace_b.shape(),
+        "same seed, same virtual clock — the span tree must replay exactly"
+    );
+    // The history crossed every instrumented path at least once.
+    for span in ["live.flush", "live.compaction", "stream.probe", "sssj.sort"] {
+        assert!(
+            trace_a.find(span).is_some(),
+            "seed {seed:#x} never recorded a `{span}` span"
+        );
+    }
+}
+
 /// CI passes a run-unique seed through `USJ_SEED` (and prints it with
 /// `--nocapture`, so a red run's log carries its replay handle). Without
 /// the variable this covers one more fixed seed.

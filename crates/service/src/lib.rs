@@ -62,6 +62,9 @@ pub use service::{
     Service, ServiceConfig, ServiceReport, ServiceStats, Session,
 };
 pub use usj_live::{LiveConfig, LiveId};
+pub use usj_obs::{
+    ChromeTrace, Clock, HostClock, MetricsSnapshot, QueryTrace, TraceSpan, VirtualClock,
+};
 
 use std::fmt;
 

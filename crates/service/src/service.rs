@@ -65,7 +65,7 @@ use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use usj_core::{
     Algo, Execution, FanoutSink, JoinResult, MemoryStats, PairSink, Predicate, SpatialQuery,
@@ -78,6 +78,10 @@ use usj_io::{
 use usj_live::{
     CompactionPlan, FlushJob, JoinSide, LiveCatalog, LiveConfig, LiveDataset, LiveId, LiveSnapshot,
     LiveStats, StreamingJoin,
+};
+use usj_obs::{
+    Clock, HostClock, MetricsRegistry, MetricsSnapshot, QueryTrace, Recorder, RingCollector,
+    TraceSpan,
 };
 use usj_rtree::NodeStore;
 
@@ -96,6 +100,14 @@ pub const JOIN_BUDGET_FLOOR: usize = 2 * 1024 * 1024;
 /// Default admission estimate for window/point selections (node-store pool
 /// plus traversal state).
 pub const SELECTION_BUDGET: usize = 1024 * 1024;
+
+/// Per-query trace ring capacity, in events. A bounded trace drops its
+/// *oldest* events (and says how many) instead of growing without limit.
+const QUERY_TRACE_EVENTS: usize = 16 * 1024;
+
+/// Background-maintenance trace ring capacity, in events. Shared by every
+/// flush and compaction until [`Service::drain_background_trace`] empties it.
+const MAINT_TRACE_EVENTS: usize = 16 * 1024;
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -512,6 +524,13 @@ pub struct QueryStats {
     ///
     /// [`admitted_bytes`]: QueryStats::admitted_bytes
     pub coalesced: bool,
+    /// The per-query operator trace, when [`Service::set_tracing`] was on
+    /// while this query executed: a `query` root holding the synthesised
+    /// `admission.wait` leaf and the recorded `execute` span tree
+    /// (operator phases with attributed charged I/O, spill/expiry marks).
+    /// `None` whenever tracing is off — and the executed work is
+    /// byte-identical either way (the differential suite's contract).
+    pub trace: Option<QueryTrace>,
 }
 
 /// The outcome of one submitted query.
@@ -711,6 +730,86 @@ pub struct Service {
     /// [`ServiceConfig::background_maintenance`] is on. Dropped (shut down
     /// and joined) before the store is dissolved.
     maintenance: Option<Maintenance>,
+    /// The observability hub: metric registry, trace clock, tracing switch
+    /// and the background-maintenance event ring. Shared with the
+    /// maintenance worker.
+    obs: Arc<ServiceObs>,
+}
+
+/// The service's observability state, shared between the scheduler, the
+/// query workers and the background maintenance worker.
+///
+/// Metrics are always on (lock-free counters and log-bucketed histograms —
+/// cheap enough to never gate). Tracing is the expensive half (per-event
+/// allocation and ring pushes) and is off by default; flipping
+/// [`Service::set_tracing`] installs per-query [`RingCollector`]s in the
+/// execute path and routes maintenance spans into [`ServiceObs::maint`].
+#[derive(Debug)]
+struct ServiceObs {
+    /// Timestamp source for queue waits, latencies and trace spans. The
+    /// host monotonic clock in production; tests swap in a
+    /// [`usj_obs::VirtualClock`] via [`Service::set_clock`] to make waits
+    /// and trace bounds deterministic.
+    clock: Mutex<Arc<dyn Clock>>,
+    /// Whether per-query and maintenance span tracing is enabled.
+    tracing: AtomicBool,
+    /// Event ring for background maintenance spans (flush/compaction),
+    /// drained by [`Service::drain_background_trace`].
+    maint: Arc<RingCollector>,
+    /// Counters, gauges and histograms, snapshot via
+    /// [`Service::metrics_snapshot`].
+    registry: MetricsRegistry,
+}
+
+impl ServiceObs {
+    fn new() -> Self {
+        ServiceObs {
+            clock: Mutex::new(Arc::new(HostClock::new())),
+            tracing: AtomicBool::new(false),
+            maint: Arc::new(RingCollector::new(MAINT_TRACE_EVENTS)),
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    /// The current trace/wait clock.
+    fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock.lock().expect("obs clock poisoned"))
+    }
+
+    /// Current clock reading, microseconds.
+    fn now_us(&self) -> u64 {
+        self.clock().now_us()
+    }
+
+    fn tracing(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Installs the maintenance ring on the calling thread while tracing is
+    /// on; a no-op (`None`) otherwise.
+    fn install_maint(&self) -> Option<usj_obs::ObsGuard> {
+        self.tracing()
+            .then(|| usj_obs::install(Arc::clone(&self.maint) as Arc<dyn Recorder>, self.clock()))
+    }
+}
+
+/// Microseconds elapsed between two clock readings, as a [`Duration`]
+/// (clamped at zero — a swapped virtual clock never yields negative waits).
+fn us_between(from_us: u64, to_us: u64) -> Duration {
+    Duration::from_micros(to_us.saturating_sub(from_us))
+}
+
+/// Static label for a query kind, used as trace span detail.
+fn kind_label(kind: &QueryKind) -> &'static str {
+    match kind {
+        QueryKind::Join(_) => "join",
+        QueryKind::StreamingJoin { .. } => "streaming_join",
+        QueryKind::MixedJoin { .. } => "mixed_join",
+        QueryKind::Window { .. } => "window",
+        QueryKind::Point { .. } => "point",
+        QueryKind::LiveWindow { .. } => "live_window",
+        QueryKind::LivePoint { .. } => "live_point",
+    }
 }
 
 /// The live side's shared state. Three locks, deliberately independent:
@@ -775,7 +874,11 @@ enum MaintStep {
 /// This one function *is* live maintenance for both modes: the inline path
 /// calls it on the appending thread, the background worker calls it on its
 /// own — so the two modes produce identical runs by construction.
-fn tend_live(store: &LiveStore, name: &str, budget: usize, full: bool) -> Result<()> {
+fn tend_live(store: &LiveStore, obs: &ServiceObs, name: &str, budget: usize, full: bool) -> Result<()> {
+    // While tracing, route the `live.flush` / `live.compaction` spans the
+    // split-phase runners emit into the shared maintenance ring. Metric
+    // durations below are recorded unconditionally.
+    let _trace = obs.install_maint();
     loop {
         // Claim: O(in-memory) work only under the live lock.
         let step = {
@@ -803,6 +906,7 @@ fn tend_live(store: &LiveStore, name: &str, budget: usize, full: bool) -> Result
         // the snapshot is guaranteed to contain the step's pages.
         match step {
             MaintStep::Flush(job) => {
+                let t0 = obs.now_us();
                 let (run, snap) = {
                     let mut storage = store.storage.lock().expect("storage env poisoned");
                     let run =
@@ -810,6 +914,10 @@ fn tend_live(store: &LiveStore, name: &str, budget: usize, full: bool) -> Result
                     let snap = storage.device.snapshot();
                     (run, snap)
                 };
+                obs.registry.counter("maintenance.flushes").inc();
+                obs.registry
+                    .histogram("maintenance.flush_us")
+                    .record(obs.now_us().saturating_sub(t0));
                 // Publish: base pages first, then the run handle.
                 store.publish_base(snap);
                 let mut live = store.live.lock().expect("live catalog poisoned");
@@ -818,12 +926,17 @@ fn tend_live(store: &LiveStore, name: &str, budget: usize, full: bool) -> Result
                 }
             }
             MaintStep::Compact(plan) => {
+                let t0 = obs.now_us();
                 let ran = {
                     let mut storage = store.storage.lock().expect("storage env poisoned");
                     storage
                         .with_budget(budget, |env| LiveDataset::run_compaction(env, &plan))
                         .map(|out| (out, storage.device.snapshot()))
                 };
+                obs.registry.counter("maintenance.compactions").inc();
+                obs.registry
+                    .histogram("maintenance.compaction_us")
+                    .record(obs.now_us().saturating_sub(t0));
                 match ran {
                     Ok((out, snap)) => {
                         store.publish_base(snap);
@@ -867,7 +980,7 @@ struct Maintenance {
 }
 
 impl Maintenance {
-    fn spawn(store: Arc<LiveStore>, budget: usize) -> Self {
+    fn spawn(store: Arc<LiveStore>, obs: Arc<ServiceObs>, budget: usize) -> Self {
         let (tx, rx) = mpsc::channel::<MaintJob>();
         let inflight = Arc::new((Mutex::new(0u64), Condvar::new()));
         let worker_inflight = Arc::clone(&inflight);
@@ -881,7 +994,7 @@ impl Maintenance {
                         // the next append's tend retries it. Queries and
                         // appends keep working off the last published
                         // generation either way.
-                        let _ = tend_live(&store, &name, budget, false);
+                        let _ = tend_live(&store, &obs, &name, budget, false);
                         let (count, cv) = &*worker_inflight;
                         let mut n = count.lock().expect("inflight counter poisoned");
                         *n -= 1;
@@ -937,9 +1050,12 @@ struct Entry {
     request: Option<QueryRequest>,
     /// Admission-gauge estimate, computed once at submission.
     estimate: usize,
-    /// First-enqueue instant — the queue-wait and latency anchor. Deferrals
-    /// and re-admission attempts never reset it.
-    submitted_at: Instant,
+    /// First-enqueue reading of the service's observability clock
+    /// (microseconds) — the queue-wait and latency anchor. Deferrals and
+    /// re-admission attempts never reset it. Reading the pluggable clock
+    /// (rather than `Instant::now`) is what lets tests swap in a
+    /// [`usj_obs::VirtualClock`] and assert exact waits.
+    submitted_us: u64,
     deferrals: u64,
     overtaken: u64,
     admission_seq: Option<u64>,
@@ -1019,13 +1135,15 @@ impl Session<'_> {
     pub fn submit(&self, request: QueryRequest) -> usize {
         let estimate = self.service.admission_estimate(&request);
         let priority = request.priority;
+        let obs = &self.service.obs;
+        let submitted_us = obs.now_us();
         let mut guard = self.shared.state.lock().expect("queue poisoned");
         let state = &mut *guard;
         let idx = state.entries.len();
         state.entries.push(Entry {
             request: Some(request),
             estimate,
-            submitted_at: Instant::now(),
+            submitted_us,
             deferrals: 0,
             overtaken: 0,
             admission_seq: None,
@@ -1040,7 +1158,11 @@ impl Session<'_> {
         });
         state.pending.insert(pos, idx);
         state.max_queue_depth = state.max_queue_depth.max(state.pending.len());
+        let depth = state.pending.len() as i64;
         drop(guard);
+        obs.registry.counter("queries.submitted").inc();
+        obs.registry.gauge("queue.depth").set(depth);
+        obs.registry.gauge("queue.depth.peak").set_max(depth);
         self.shared.cv.notify_all();
         idx
     }
@@ -1074,9 +1196,14 @@ impl Service {
             live: Mutex::new(LiveCatalog::new()),
             base: Mutex::new(base),
         });
-        let maintenance = config
-            .background_maintenance
-            .then(|| Maintenance::spawn(Arc::clone(&store), config.maintenance_budget_bytes));
+        let obs = Arc::new(ServiceObs::new());
+        let maintenance = config.background_maintenance.then(|| {
+            Maintenance::spawn(
+                Arc::clone(&store),
+                Arc::clone(&obs),
+                config.maintenance_budget_bytes,
+            )
+        });
         Service {
             store,
             catalog,
@@ -1084,7 +1211,51 @@ impl Service {
             machine,
             plan_cache: Mutex::new(PlanCache::new()),
             maintenance,
+            obs,
         }
+    }
+
+    /// Swaps the observability clock used for queue waits, latencies and
+    /// trace timestamps. Production keeps the default host monotonic clock;
+    /// tests install a [`usj_obs::VirtualClock`] to make every measured
+    /// wait and trace bound deterministic.
+    ///
+    /// Swap before submitting work: waits anchor at submission, so a
+    /// mid-flight swap mixes time bases (negative deltas clamp to zero).
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *self.obs.clock.lock().expect("obs clock poisoned") = clock;
+    }
+
+    /// Enables or disables span tracing. Off (the default), queries carry
+    /// no [`QueryStats::trace`] and the execute path never touches the
+    /// span machinery beyond one thread-local probe; on, every query
+    /// drains its operator spans into a bounded per-query ring and
+    /// background maintenance records into the shared maintenance ring.
+    /// Executed work is byte-identical either way.
+    pub fn set_tracing(&self, on: bool) {
+        self.obs.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of every service metric: admission
+    /// counters, queue-depth gauges, wait/latency and maintenance-duration
+    /// histograms. The `live.backlog` gauge is refreshed here (delta runs
+    /// plus frozen batches summed over every live dataset).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let backlog: usize = self.with_live(|live| {
+            live.iter()
+                .map(|(_, ds)| ds.delta_runs().len() + ds.pending_flush_batches())
+                .sum()
+        });
+        self.obs.registry.gauge("live.backlog").set(backlog as i64);
+        self.obs.registry.snapshot()
+    }
+
+    /// Drains the background-maintenance event ring into a span tree of
+    /// the `live.flush` / `live.compaction` work recorded since the last
+    /// drain (empty unless [`set_tracing`](Service::set_tracing) was on).
+    pub fn drain_background_trace(&self) -> QueryTrace {
+        let (events, dropped) = self.obs.maint.drain();
+        QueryTrace::from_events(&events, dropped)
     }
 
     /// The frozen catalog.
@@ -1157,6 +1328,7 @@ impl Service {
                 Some(worker) => worker.enqueue(name),
                 None => tend_live(
                     &self.store,
+                    &self.obs,
                     name,
                     self.config.maintenance_budget_bytes,
                     false,
@@ -1179,7 +1351,13 @@ impl Service {
         if let Some(worker) = &self.maintenance {
             worker.wait_idle();
         }
-        tend_live(&self.store, name, self.config.maintenance_budget_bytes, true)
+        tend_live(
+            &self.store,
+            &self.obs,
+            name,
+            self.config.maintenance_budget_bytes,
+            true,
+        )
     }
 
     /// Promotes a quiesced live dataset into the frozen catalog: quiesces
@@ -1410,11 +1588,13 @@ impl Service {
                     drop(reservation);
                     let mut state = shared.state.lock().expect("queue poisoned");
                     for outcome in outcomes {
-                        Self::finish(&mut state, outcome, true);
+                        self.finish(&mut state, outcome, true);
                     }
                     if rider_count > 0 {
                         state.agg.shared_scans += 1;
                         state.agg.coalesced += rider_count;
+                        self.obs.registry.counter("sharedscan.batches").inc();
+                        self.obs.registry.counter("sharedscan.riders").add(rider_count);
                     }
                     state.running -= 1;
                     drop(state);
@@ -1428,7 +1608,7 @@ impl Service {
                         stats: QueryStats::default(),
                     };
                     let mut state = shared.state.lock().expect("queue poisoned");
-                    Self::finish(&mut state, outcome, false);
+                    self.finish(&mut state, outcome, false);
                     drop(state);
                     shared.cv.notify_all();
                 }
@@ -1440,7 +1620,7 @@ impl Service {
                         stats: QueryStats::default(),
                     };
                     let mut state = shared.state.lock().expect("queue poisoned");
-                    Self::finish(&mut state, outcome, false);
+                    self.finish(&mut state, outcome, false);
                     drop(state);
                     shared.cv.notify_all();
                 }
@@ -1488,6 +1668,7 @@ impl Service {
                     }
                     Err(_) => {
                         entry.deferrals += 1;
+                        self.obs.registry.counter("admission.deferrals").inc();
                         if entry.overtaken >= self.config.max_overtakes {
                             // Barrier: this entry has been overtaken its
                             // full allowance — nothing behind it may be
@@ -1500,8 +1681,10 @@ impl Service {
             match picked {
                 Some((pos, Picked::Cancel)) => {
                     let idx = state.pending.remove(pos);
+                    let now_us = self.obs.now_us();
                     let entry = &mut state.entries[idx];
-                    entry.queue_wait = Some(entry.submitted_at.elapsed());
+                    entry.queue_wait = Some(us_between(entry.submitted_us, now_us));
+                    self.obs.registry.gauge("queue.depth").set(state.pending.len() as i64);
                     return Some(Job::Cancel(idx));
                 }
                 Some((pos, Picked::Run(reservation))) => {
@@ -1511,14 +1694,20 @@ impl Service {
                         let overtaken = state.pending[p];
                         state.entries[overtaken].overtaken += 1;
                     }
+                    if pos > 0 {
+                        self.obs.registry.counter("admission.overtakes").add(pos as u64);
+                    }
                     let idx = state.pending.remove(pos);
                     let rider_idxs = self.collect_riders(state, idx);
-                    let lead = Self::claim_entry(state, idx, false);
+                    let now_us = self.obs.now_us();
+                    let lead = Self::claim_entry(state, idx, false, now_us);
                     let riders: Vec<(usize, QueryRequest)> = rider_idxs
                         .into_iter()
-                        .map(|i| Self::claim_entry(state, i, true))
+                        .map(|i| Self::claim_entry(state, i, true, now_us))
                         .collect();
                     state.running += 1;
+                    self.obs.registry.counter("admission.grants").inc();
+                    self.obs.registry.gauge("queue.depth").set(state.pending.len() as i64);
                     // This admission may have exhausted the shared budget
                     // for the next request in line: record that
                     // head-of-queue deferral at admission time, so the
@@ -1527,6 +1716,7 @@ impl Service {
                     if let Some(&next) = state.pending.first() {
                         if state.entries[next].estimate > shared.gauge.headroom() {
                             state.entries[next].deferrals += 1;
+                            self.obs.registry.counter("admission.deferrals").inc();
                         }
                     }
                     return Some(Job::Run {
@@ -1541,8 +1731,10 @@ impl Service {
                     // fit the shared limit. Fail it loudly to keep the
                     // queue moving.
                     let idx = state.pending.remove(0);
+                    let now_us = self.obs.now_us();
                     let entry = &mut state.entries[idx];
-                    entry.queue_wait = Some(entry.submitted_at.elapsed());
+                    entry.queue_wait = Some(us_between(entry.submitted_us, now_us));
+                    self.obs.registry.gauge("queue.depth").set(state.pending.len() as i64);
                     let required = entry.estimate;
                     return Some(Job::Fail(
                         idx,
@@ -1559,14 +1751,20 @@ impl Service {
         }
     }
 
-    /// Marks `idx` admitted (stamping its admission order and queue wait)
-    /// and moves its request out for execution off-lock.
-    fn claim_entry(state: &mut SessionState, idx: usize, coalesced: bool) -> (usize, QueryRequest) {
+    /// Marks `idx` admitted (stamping its admission order and queue wait
+    /// against the clock reading `now_us`) and moves its request out for
+    /// execution off-lock.
+    fn claim_entry(
+        state: &mut SessionState,
+        idx: usize,
+        coalesced: bool,
+        now_us: u64,
+    ) -> (usize, QueryRequest) {
         let seq = state.next_admission_seq;
         state.next_admission_seq += 1;
         let entry = &mut state.entries[idx];
         entry.admission_seq = Some(seq);
-        entry.queue_wait = Some(entry.submitted_at.elapsed());
+        entry.queue_wait = Some(us_between(entry.submitted_us, now_us));
         entry.coalesced = coalesced;
         let request = entry.request.take().expect("pending entries own their request");
         (idx, request)
@@ -1618,18 +1816,50 @@ impl Service {
     }
 
     /// Folds one finished outcome into the aggregate totals, stamps the
-    /// entry's scheduling stats onto it, and stores it.
-    fn finish(state: &mut SessionState, mut outcome: QueryOutcome, admitted: bool) {
+    /// entry's scheduling stats onto it, records the terminal metrics, and
+    /// stores it.
+    fn finish(&self, state: &mut SessionState, mut outcome: QueryOutcome, admitted: bool) {
         let idx = outcome.request;
         {
             let entry = &state.entries[idx];
             outcome.stats.deferrals = entry.deferrals;
             outcome.stats.overtaken = entry.overtaken;
             outcome.stats.queue_wait = entry.queue_wait.unwrap_or_default();
-            outcome.stats.latency = entry.submitted_at.elapsed();
+            outcome.stats.latency = us_between(entry.submitted_us, self.obs.now_us());
             outcome.stats.admission_seq = entry.admission_seq;
             outcome.stats.coalesced = entry.coalesced;
         }
+        // Wrap the recorded execute tree (if this query was traced) under a
+        // `query` root alongside the admission wait, synthesised from the
+        // scheduler's own measurement — the wait predates the execute
+        // context, so it cannot be a recorded span.
+        if let Some(trace) = outcome.stats.trace.take() {
+            let wait_us = u64::try_from(outcome.stats.queue_wait.as_micros()).unwrap_or(u64::MAX);
+            let exec_start = trace.roots.first().map_or(0, |r| r.start_us);
+            let end = trace.roots.iter().map(|r| r.end_us).max().unwrap_or(exec_start);
+            let start = exec_start.saturating_sub(wait_us);
+            let mut root = TraceSpan::leaf("query", start, end);
+            root.children.push(TraceSpan::leaf("admission.wait", start, exec_start));
+            root.children.extend(trace.roots);
+            outcome.stats.trace = Some(QueryTrace {
+                roots: vec![root],
+                orphan_marks: trace.orphan_marks,
+                dropped_events: trace.dropped_events,
+            });
+        }
+        let metrics = &self.obs.registry;
+        match &outcome.status {
+            QueryStatus::Completed(_) => metrics.counter("queries.completed").inc(),
+            QueryStatus::Cancelled(_) => metrics.counter("queries.cancelled").inc(),
+            QueryStatus::Failed(_) => metrics.counter("queries.failed").inc(),
+        }
+        let wait = &outcome.stats.queue_wait;
+        metrics
+            .histogram("queue.wait_us")
+            .record(u64::try_from(wait.as_micros()).unwrap_or(u64::MAX));
+        metrics
+            .histogram("query.latency_us")
+            .record(u64::try_from(outcome.stats.latency.as_micros()).unwrap_or(u64::MAX));
         let agg = &mut state.agg;
         if admitted {
             agg.admitted += 1;
@@ -1655,7 +1885,7 @@ impl Service {
     /// memory limit is the granted budget.
     fn execute_one(&self, idx: usize, request: &QueryRequest, granted: usize) -> QueryOutcome {
         let mut sink = ServiceSink::new(request);
-        let ran = self.dispatch(&request.kind, granted, &mut sink);
+        let (ran, trace) = self.dispatch_traced(&request.kind, granted, &mut sink);
         let status = match ran {
             Ok(result) if sink.cancelled => QueryStatus::Cancelled(Some(result)),
             Ok(result) => QueryStatus::Completed(result),
@@ -1667,9 +1897,41 @@ impl Service {
             pairs: sink.collected,
             stats: QueryStats {
                 admitted_bytes: granted,
+                trace,
                 ..QueryStats::default()
             },
         }
+    }
+
+    /// [`dispatch`](Service::dispatch), wrapped in a per-query span context
+    /// while tracing is on: a fresh bounded ring collects the `execute`
+    /// root and every operator phase the layers below emit, and the
+    /// drained events come back as the raw execute-side [`QueryTrace`]
+    /// ([`finish`](Service::finish) adds the admission wait). With tracing
+    /// off this is exactly `dispatch` — no ring, no spans, no extra work.
+    fn dispatch_traced(
+        &self,
+        kind: &QueryKind,
+        granted: usize,
+        sink: &mut ServiceSink,
+    ) -> (Result<JoinResult>, Option<QueryTrace>) {
+        if !self.obs.tracing() {
+            return (self.dispatch(kind, granted, sink), None);
+        }
+        let collector = Arc::new(RingCollector::new(QUERY_TRACE_EVENTS));
+        let guard =
+            usj_obs::install(Arc::clone(&collector) as Arc<dyn Recorder>, self.obs.clock());
+        let ran = {
+            let mut root = usj_obs::span_detail("execute", || kind_label(kind).to_string());
+            let ran = self.dispatch(kind, granted, sink);
+            if let Ok(result) = &ran {
+                root.add_io(result.io.span_io());
+            }
+            ran
+        };
+        drop(guard);
+        let (events, dropped) = collector.drain();
+        (ran, Some(QueryTrace::from_events(&events, dropped)))
     }
 
     /// Runs the leader and its riders as one R-tree traversal fanned out
@@ -1724,6 +1986,19 @@ impl Service {
         let mut wenv = self.worker_env(granted);
         let mut sinks: Vec<ServiceSink> =
             members.iter().map(|(_, request)| ServiceSink::new(request)).collect();
+        // While tracing, the whole batch records one `execute` span (the
+        // traversal happens once); the trace lands on the leader's stats,
+        // mirroring the I/O accounting.
+        let collector = self
+            .obs
+            .tracing()
+            .then(|| Arc::new(RingCollector::new(QUERY_TRACE_EVENTS)));
+        let guard = collector
+            .as_ref()
+            .map(|c| usj_obs::install(Arc::clone(c) as Arc<dyn Recorder>, self.obs.clock()));
+        let mut root = collector
+            .is_some()
+            .then(|| usj_obs::span_detail("execute", || format!("shared_scan x{}", members.len())));
         let measurement = wenv.begin();
         wenv.memory.begin_phase();
         let mut store = NodeStore::with_capacity_bytes_gauged(granted, &wenv.memory);
@@ -1739,6 +2014,15 @@ impl Service {
         let delivered: u64 = sinks.iter().map(|s| s.delivered).sum();
         wenv.charge(CpuOp::OutputPair, delivered);
         let (io, cpu) = wenv.since(&measurement);
+        if let Some(span) = root.as_mut() {
+            span.add_io(io.span_io());
+        }
+        drop(root);
+        drop(guard);
+        let mut trace = collector.map(|c| {
+            let (events, dropped) = c.drain();
+            QueryTrace::from_events(&events, dropped)
+        });
         if let Err(e) = scanned {
             return fail_all(ServiceError::Io(e));
         }
@@ -1776,6 +2060,7 @@ impl Service {
                     pairs: sink.collected,
                     stats: QueryStats {
                         admitted_bytes: if leader { granted } else { 0 },
+                        trace: if leader { trace.take() } else { None },
                         ..QueryStats::default()
                     },
                 }

@@ -327,6 +327,10 @@ impl SpillingSweepDriver {
 
         self.stats.spilled_items += (self.evict_left.len() + self.evict_right.len()) as u64;
         self.stats.spill_runs += 1;
+        usj_obs::instant(
+            "sweep.spill",
+            (self.evict_left.len() + self.evict_right.len()) as u64,
+        );
 
         let epoch = match &mut self.epoch {
             Some(e) => e,

@@ -204,15 +204,25 @@ impl SymmetricSweepDriver {
     ) -> Result<()> {
         let [w_left, w_right] = self.watermark;
         // Left residents serve probes from future *right* arrivals (whose
-        // lower-y is at least w_right), and vice versa.
+        // lower-y is at least w_right), and vice versa. The resident count
+        // is only sampled while a recorder is installed, so the expiry
+        // event costs nothing on the production path.
+        let before = usj_obs::enabled().then(|| self.left.len() + self.right.len());
         self.left.expire_before(w_right);
         self.right.expire_before(w_left);
+        if let Some(before) = before {
+            let expired = before.saturating_sub(self.left.len() + self.right.len());
+            if expired > 0 {
+                usj_obs::instant("sweep.expire", expired as u64);
+            }
+        }
 
         // A spilled item is unreachable once both sides have passed it —
         // conservative for per-side batches, exact for mixed ones.
         let horizon = w_left.min(w_right);
         if self.epoch.as_ref().is_some_and(|e| e.max_y < horizon) {
             let epoch = self.epoch.take().expect("checked above");
+            usj_obs::instant("sweep.fixup_epoch", epoch.batches.len() as u64);
             self.fixup_epoch(env, epoch, report)?;
         }
         Ok(())
@@ -268,6 +278,10 @@ impl SymmetricSweepDriver {
 
         self.stats.spilled_items += (self.evict_left.len() + self.evict_right.len()) as u64;
         self.stats.spill_runs += 1;
+        usj_obs::instant(
+            "sweep.spill",
+            (self.evict_left.len() + self.evict_right.len()) as u64,
+        );
 
         let epoch = match &mut self.epoch {
             Some(e) => e,

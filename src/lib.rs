@@ -68,6 +68,7 @@ pub use usj_datagen as datagen;
 pub use usj_geom as geom;
 pub use usj_io as io;
 pub use usj_live as live;
+pub use usj_obs as obs;
 pub use usj_rtree as rtree;
 pub use usj_service as service;
 pub use usj_sweep as sweep;
@@ -95,6 +96,9 @@ pub mod prelude {
     pub use usj_geom::{Interval, Point, Rect};
     pub use usj_io::{machine::MachineConfig, sim::SimEnv, stats::IoStats};
     pub use usj_live::{LiveCatalog, LiveConfig, LiveDataset, LiveSnapshot, StreamingJoin};
+    pub use usj_obs::{
+        ChromeTrace, HostClock, LogHistogram, MetricsSnapshot, QueryTrace, VirtualClock,
+    };
     pub use usj_rtree::{NodeStore, RTree};
     pub use usj_service::{
         CancelToken, Catalog, Dataset, DatasetId, JoinSpec, PlanCache, QueryKind, QueryOutcome,
