@@ -7,7 +7,7 @@
 //! experiments:
 //!   table2 table3 table4 fig2-estimated fig2-observed fig3 crossover
 //!   ablation-sweep ablation-buffer ablation-tiles ablation-packing
-//!   low-memory service hotpath load live all
+//!   low-memory service hotpath load live faults all
 //! ```
 //!
 //! `service` additionally writes its rows as machine-readable
@@ -20,7 +20,9 @@
 //! point to the tracked `BENCH_trajectory.json`. `load --trace PATH`
 //! additionally replays the schedule once with tracing on and writes the
 //! run as a Chrome trace-event document (open in `chrome://tracing` or
-//! Perfetto).
+//! Perfetto). `faults` rewrites `BENCH_service.json` with the chaos rows
+//! (injected-fault, retry, panic and crash-recovery counters) and appends
+//! a point to `BENCH_trajectory.json`.
 
 use usj_bench::{ExperimentConfig, LoadSpec, *};
 use usj_datagen::Preset;
@@ -237,6 +239,26 @@ fn main() {
             let existing = std::fs::read_to_string(trajectory).ok();
             let updated = append_trajectory(existing.as_deref(), &point)
                 .unwrap_or_else(|e| die(&e));
+            std::fs::write(trajectory, updated)
+                .unwrap_or_else(|e| die(&format!("cannot write {trajectory}: {e}")));
+            println!("appended 1 point to {trajectory}");
+        }
+        "faults" => {
+            let rows = faults_bench(&cfg);
+            let path = "BENCH_service.json";
+            std::fs::write(path, faults_bench_json(&cfg, &rows))
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!("wrote {path} ({} rows)", rows.len());
+
+            let point = faults_trajectory_point(&cfg, &rows, unix_now());
+            let trajectory = "BENCH_trajectory.json";
+            let existing = std::fs::read_to_string(trajectory).ok();
+            let updated = append_trajectory_with(
+                existing.as_deref(),
+                &point,
+                FAULTS_TRAJECTORY_DESCRIPTION,
+            )
+            .unwrap_or_else(|e| die(&e));
             std::fs::write(trajectory, updated)
                 .unwrap_or_else(|e| die(&format!("cannot write {trajectory}: {e}")));
             println!("appended 1 point to {trajectory}");

@@ -460,6 +460,7 @@ pub fn run_all(cfg: &ExperimentConfig) {
     crate::service_exp::service_bench(cfg);
     crate::hotpath::hotpath(cfg);
     crate::live_exp::live_bench(cfg);
+    crate::faults_exp::faults_bench(cfg);
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //! | `repro hotpath` | wall-clock of the real kernels: SoA sweep vs the naive list baseline, plus all four algorithms (writes `BENCH_hotpath_latest.json`, appends to the tracked `BENCH_hotpath.json` trajectory) |
 //! | `repro load` | open-loop load harness: tail latency, queue depth and deferral rate over a seeded arrival schedule, plus the shared-scan A/B (writes `BENCH_service.json`, appends to `BENCH_trajectory.json`) |
 //! | `repro live` | streaming joins over live LSM datasets: time-to-first-K-pairs vs full offline SSSJ, plus ingest-while-querying compaction interference (writes `BENCH_service.json`, appends to `BENCH_trajectory.json`) |
+//! | `repro faults` | chaos: the mixed service batch under seeded fault injection with bounded retry, panic/deadline probes, and a crash/recover durability loop (writes `BENCH_service.json`, appends to `BENCH_trajectory.json`) |
 //! | `repro all` | everything above |
 //!
 //! Every experiment accepts `--scale <divisor>` (default 200) which divides
@@ -33,6 +34,7 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod faults_exp;
 pub mod hotpath;
 pub mod live_exp;
 pub mod loadgen;
@@ -41,6 +43,10 @@ pub mod service_exp;
 pub mod setup;
 
 pub use experiments::*;
+pub use faults_exp::{
+    faults_bench, faults_bench_json, faults_trajectory_point, FaultsBenchRow,
+    FAULTS_TRAJECTORY_DESCRIPTION,
+};
 pub use hotpath::{
     hotpath, hotpath_json, hotpath_trajectory_point, HotpathJoinRow, HotpathKernelRow,
     HOTPATH_TRAJECTORY_DESCRIPTION,

@@ -21,6 +21,7 @@
 use std::sync::Arc;
 
 use crate::error::{IoSimError, Result};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 
@@ -38,6 +39,10 @@ pub struct BlockDevice {
     /// steps that the paper excludes from its measurements (e.g. workload
     /// materialisation) run with accounting disabled.
     accounting: bool,
+    /// Installed fault schedule, if any. Boxed so the fault-free device
+    /// (the overwhelmingly common case) pays only one pointer of state and
+    /// a single `is_some` branch per operation.
+    faults: Option<Box<FaultPlan>>,
 }
 
 impl BlockDevice {
@@ -49,6 +54,7 @@ impl BlockDevice {
             stats: IoStats::default(),
             head: None,
             accounting: true,
+            faults: None,
         }
     }
 
@@ -119,6 +125,24 @@ impl BlockDevice {
     #[inline]
     pub fn accounting(&self) -> bool {
         self.accounting
+    }
+
+    /// Installs a fault schedule; subsequent reads and writes may fail with
+    /// [`IoSimError::DeviceFault`], tear multi-page writes, or panic,
+    /// according to the plan. Replaces any previously installed plan.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(plan));
+    }
+
+    /// Removes the installed fault schedule, returning its final counters.
+    pub fn clear_faults(&mut self) -> Option<FaultStats> {
+        self.faults.take().map(|p| p.stats())
+    }
+
+    /// Counters of the installed fault schedule (`None` when no plan is
+    /// installed).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|p| p.stats())
     }
 
     /// Allocates `n` zero-filled pages at the end of the device and returns
@@ -196,6 +220,9 @@ impl BlockDevice {
     /// Reads a single page, returning a copy of its contents.
     pub fn read_page(&mut self, page: PageId) -> Result<Vec<u8>> {
         self.check_range(page, 1)?;
+        if let Some(plan) = self.faults.as_mut() {
+            plan.before_read()?;
+        }
         self.record(page, 1, true);
         Ok(self.page_ref(page).bytes().to_vec())
     }
@@ -217,6 +244,9 @@ impl BlockDevice {
     /// read. The I/O accounting is identical.
     pub fn read_pages_into(&mut self, first: PageId, n: u64, out: &mut Vec<u8>) -> Result<()> {
         self.check_range(first, n)?;
+        if let Some(plan) = self.faults.as_mut() {
+            plan.before_read()?;
+        }
         self.record(first, n, true);
         out.clear();
         out.reserve(n as usize * PAGE_SIZE);
@@ -237,6 +267,10 @@ impl BlockDevice {
         }
         self.check_range(page, 1)?;
         self.check_writable(page)?;
+        if let Some(plan) = self.faults.as_mut() {
+            // Single-page writes are atomic: `before_write(1)` never tears.
+            plan.before_write(1)?;
+        }
         self.record(page, 1, false);
         let dst = self.page_mut(page).bytes_mut();
         dst[..data.len()].copy_from_slice(data);
@@ -259,8 +293,16 @@ impl BlockDevice {
         }
         self.check_range(first, n)?;
         self.check_writable(first)?;
-        self.record(first, n, false);
-        for i in 0..n as usize {
+        // A torn write durably commits only the first `k < n` pages before
+        // failing persistently — the crash-mid-write case that run
+        // checksums exist to detect.
+        let torn = match self.faults.as_mut() {
+            Some(plan) => plan.before_write(n)?,
+            None => None,
+        };
+        let written = torn.unwrap_or(n);
+        self.record(first, written, false);
+        for i in 0..written as usize {
             let dst = self.page_mut(first + i as u64).bytes_mut();
             let start = i * PAGE_SIZE;
             let end = ((i + 1) * PAGE_SIZE).min(data.len());
@@ -275,6 +317,9 @@ impl BlockDevice {
                     *b = 0;
                 }
             }
+        }
+        if torn.is_some() {
+            return Err(IoSimError::DeviceFault { transient: false });
         }
         Ok(())
     }
@@ -451,6 +496,99 @@ mod tests {
         assert_eq!(relayered.base_pages(), 2);
         assert_eq!(&relayered.read_page(p).unwrap()[..5], b"first");
         assert_eq!(&relayered.read_page(q).unwrap()[..6], b"second");
+    }
+
+    #[test]
+    fn transient_read_fault_is_retryable_and_unaccounted() {
+        use crate::fault::FaultConfig;
+        let mut d = BlockDevice::new();
+        d.allocate(4);
+        d.write_page(0, b"payload").unwrap();
+        d.reset_stats();
+        d.install_faults(FaultPlan::new(FaultConfig {
+            read_fault: 1.0,
+            max_faults: 1,
+            ..FaultConfig::quiet(5)
+        }));
+        assert_eq!(
+            d.read_page(0),
+            Err(IoSimError::DeviceFault { transient: true })
+        );
+        // The failed operation moved no data and charged no I/O.
+        assert_eq!(d.stats().total_ops(), 0);
+        // The budget is spent: the retry succeeds and reads the real bytes.
+        let back = d.read_page(0).unwrap();
+        assert_eq!(&back[..7], b"payload");
+        assert_eq!(d.stats().pages_read, 1);
+        let stats = d.clear_faults().unwrap();
+        assert_eq!(stats.read_faults, 1);
+        assert_eq!(stats.ops, 2);
+    }
+
+    #[test]
+    fn torn_write_commits_a_strict_prefix_then_fails_persistently() {
+        use crate::fault::FaultConfig;
+        let mut d = BlockDevice::new();
+        let p = d.allocate(4);
+        let data: Vec<u8> = (0..PAGE_SIZE * 4).map(|i| (i % 239 + 1) as u8).collect();
+        d.install_faults(FaultPlan::new(FaultConfig {
+            torn_write: 1.0,
+            max_faults: 1,
+            ..FaultConfig::quiet(11)
+        }));
+        assert_eq!(
+            d.write_pages(p, 4, &data),
+            Err(IoSimError::DeviceFault { transient: false })
+        );
+        let k = d.fault_stats().unwrap().torn_writes;
+        assert_eq!(k, 1);
+        // Some strict prefix of pages holds the data, the rest stayed zero,
+        // and accounting matches the pages actually committed.
+        let committed = d.stats().pages_written;
+        assert!((1..4).contains(&committed), "committed {committed}");
+        let back = d.read_pages(p, 4).unwrap();
+        let cut = committed as usize * PAGE_SIZE;
+        assert_eq!(&back[..cut], &data[..cut]);
+        assert!(back[cut..].iter().all(|&b| b == 0));
+        // The budget is spent: re-issuing the whole write now succeeds.
+        d.write_pages(p, 4, &data).unwrap();
+        assert_eq!(d.read_pages(p, 4).unwrap(), data);
+    }
+
+    #[test]
+    fn fault_free_plan_is_byte_identical_to_no_plan() {
+        use crate::fault::FaultConfig;
+        let run = |install: bool| {
+            let mut d = BlockDevice::new();
+            if install {
+                d.install_faults(FaultPlan::new(FaultConfig::quiet(3)));
+            }
+            let p = d.allocate(4);
+            let data: Vec<u8> = (0..PAGE_SIZE * 3).map(|i| (i % 13) as u8).collect();
+            d.write_pages(p, 3, &data).unwrap();
+            let back = d.read_pages(p, 3).unwrap();
+            (back, d.stats())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn faults_fire_only_on_valid_operations() {
+        use crate::fault::FaultConfig;
+        let mut d = BlockDevice::new();
+        d.allocate(1);
+        d.install_faults(FaultPlan::new(FaultConfig {
+            read_fault: 1.0,
+            write_fault: 1.0,
+            ..FaultConfig::quiet(1)
+        }));
+        // Out-of-bounds / read-only violations report their own error and
+        // consume no fault-schedule decisions.
+        assert!(matches!(
+            d.read_page(9),
+            Err(IoSimError::PageOutOfBounds { .. })
+        ));
+        assert_eq!(d.fault_stats().unwrap().ops, 0);
     }
 
     #[test]

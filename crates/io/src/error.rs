@@ -39,6 +39,17 @@ pub enum IoSimError {
     /// An operation was issued against a stream in the wrong state
     /// (e.g. reading a stream that is still being written).
     InvalidStreamState(&'static str),
+    /// The device failed the operation because an installed
+    /// [`FaultPlan`](crate::fault::FaultPlan) scheduled a fault here.
+    ///
+    /// `transient: true` means a retry of the same operation may succeed
+    /// (the simulated bus hiccup); `transient: false` means durable damage
+    /// was done — a multi-page write was torn at a page boundary — and the
+    /// caller must treat the written region as garbage.
+    DeviceFault {
+        /// Whether retrying the operation can succeed.
+        transient: bool,
+    },
 }
 
 impl fmt::Display for IoSimError {
@@ -58,6 +69,10 @@ impl fmt::Display for IoSimError {
             }
             IoSimError::CorruptRecord(what) => write!(f, "corrupt record: {what}"),
             IoSimError::InvalidStreamState(what) => write!(f, "invalid stream state: {what}"),
+            IoSimError::DeviceFault { transient } => {
+                let kind = if *transient { "transient" } else { "torn write" };
+                write!(f, "injected device fault ({kind})")
+            }
         }
     }
 }

@@ -20,6 +20,9 @@
 //!   charged the average random read time, Figure 2(a)–(c)) and the
 //!   *observed* cost (sequential and random accesses charged differently,
 //!   Figure 2(d)–(f) and Figure 3).
+//! * [`fault::FaultPlan`] — seeded, deterministic fault injection (transient
+//!   device errors, torn multi-page writes, injected panics) installed on a
+//!   device for chaos testing; zero-cost when absent.
 //! * [`buffer::LruBufferPool`] — the LRU page cache used by the ST join.
 //! * [`gauge::MemoryGauge`] — the memory governor: every allocation-heavy
 //!   structure registers its bytes, making the internal-memory limit a hard,
@@ -40,6 +43,7 @@ pub mod cost;
 pub mod device;
 pub mod error;
 pub mod extsort;
+pub mod fault;
 pub mod gauge;
 pub mod machine;
 pub mod page;
@@ -51,6 +55,7 @@ pub use buffer::LruBufferPool;
 pub use cost::{CostBreakdown, CostModel};
 pub use device::BlockDevice;
 pub use error::{IoSimError, Result};
+pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use gauge::{MemoryGauge, MemoryReservation};
 pub use machine::MachineConfig;
 pub use page::{Page, PageId, PAGE_SIZE};

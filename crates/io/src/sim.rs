@@ -131,6 +131,18 @@ impl SimEnv {
         }
     }
 
+    /// Installs a fault schedule on this environment's device; see
+    /// [`BlockDevice::install_faults`].
+    pub fn install_faults(&mut self, plan: crate::fault::FaultPlan) {
+        self.device.install_faults(plan);
+    }
+
+    /// Counters of the installed fault schedule, if any; see
+    /// [`BlockDevice::fault_stats`].
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.device.fault_stats()
+    }
+
     /// The cost model for this environment's machine.
     pub fn cost_model(&self) -> CostModel {
         CostModel::new(self.machine.clone())

@@ -126,6 +126,18 @@ impl ItemStream {
         self.pages_per_block
     }
 
+    /// First-page identifiers of the stream's extents, in stream order.
+    ///
+    /// Every extent spans [`pages_per_block`](ItemStream::pages_per_block)
+    /// pages except possibly the last (its page count follows from
+    /// [`len`](ItemStream::len)). Exposed so integrity layers (the live
+    /// catalog's per-block run checksums) can address the stream's storage
+    /// block by block.
+    #[inline]
+    pub fn extents(&self) -> &[PageId] {
+        &self.extents
+    }
+
     /// Number of disk pages occupied by the stream.
     pub fn pages(&self) -> u64 {
         let items_per_block = self.pages_per_block * ITEMS_PER_PAGE as u64;

@@ -44,9 +44,10 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use usj_geom::{Item, Rect};
-use usj_io::{extsort, ItemStream, ItemStreamReader, ItemStreamWriter, SimEnv};
+use usj_io::{extsort, ItemStream, ItemStreamReader, ItemStreamWriter, PageId, SimEnv, PAGE_SIZE};
 use usj_rtree::RTree;
 
+use crate::manifest::{self, Manifest, RootPointer, RunRecord};
 use crate::memtable::{frozen_sorted, Memtable};
 use crate::{LiveError, Result};
 
@@ -201,6 +202,40 @@ pub struct LiveStats {
     pub compacted_items: u64,
 }
 
+/// Durable-mode bookkeeping of a live dataset: the fixed root-pointer
+/// page, the write epoch, and memoized per-run checksums (each persisted
+/// run's pages are immutable, so its checksums are computed by read-back
+/// once and reused by every later manifest write).
+#[derive(Debug)]
+struct DurableState {
+    root: PageId,
+    epoch: u64,
+    memo: HashMap<(PageId, u64), Vec<u64>>,
+}
+
+/// Key of the checksum memo: a persisted run is identified by its first
+/// extent page and its length (pages are never rewritten, so the pair is
+/// stable and unique per run).
+fn run_key(stream: &ItemStream) -> (PageId, u64) {
+    (stream.extents().first().copied().unwrap_or(u64::MAX), stream.len())
+}
+
+/// What [`LiveDataset::recover`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation recorded in the recovered manifest.
+    pub generation: u64,
+    /// Manifest-write epoch of the recovered root pointer.
+    pub epoch: u64,
+    /// Runs (base + deltas) that passed checksum verification and were
+    /// kept.
+    pub verified_runs: usize,
+    /// Delta runs dropped because a checksum mismatch was found (the
+    /// mismatching run and everything younger — publication order makes
+    /// younger runs unreliable once an older one is damaged).
+    pub dropped_deltas: usize,
+}
+
 /// An LSM-style live dataset: immutable base + delta runs + frozen flush
 /// batches + memtable.
 #[derive(Debug)]
@@ -216,6 +251,8 @@ pub struct LiveDataset {
     compacting: bool,
     config: LiveConfig,
     stats: LiveStats,
+    /// Durable-mode state; `None` for the default in-memory-only dataset.
+    durable: Option<DurableState>,
 }
 
 impl LiveDataset {
@@ -249,7 +286,219 @@ impl LiveDataset {
             compacting: false,
             config,
             stats: LiveStats::default(),
+            durable: None,
         })
+    }
+
+    /// Creates a live dataset like [`create`](LiveDataset::create) and
+    /// immediately makes it durable: allocates the root-pointer page and
+    /// writes the first manifest. Returns the dataset and the root page a
+    /// later [`recover`](LiveDataset::recover) starts from.
+    pub fn create_durable(
+        env: &mut SimEnv,
+        name: &str,
+        base_items: &[Item],
+        config: LiveConfig,
+    ) -> Result<(Self, PageId)> {
+        let mut ds = Self::create(env, name, base_items, config)?;
+        let root = ds.enable_durability(env)?;
+        Ok((ds, root))
+    }
+
+    /// Makes an existing dataset durable: allocates the fixed root-pointer
+    /// page and writes a manifest of the current published state. A no-op
+    /// (returning the existing root) when already durable.
+    pub fn enable_durability(&mut self, env: &mut SimEnv) -> Result<PageId> {
+        if let Some(d) = &self.durable {
+            return Ok(d.root);
+        }
+        let root = env.device.allocate(1);
+        self.durable = Some(DurableState {
+            root,
+            epoch: 0,
+            memo: HashMap::new(),
+        });
+        self.write_manifest(env)?;
+        Ok(root)
+    }
+
+    /// Returns `true` when the dataset persists manifests.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The root-pointer page of a durable dataset.
+    pub fn durable_root(&self) -> Option<PageId> {
+        self.durable.as_ref().map(|d| d.root)
+    }
+
+    /// Manifest-write epoch of a durable dataset (0 before the first
+    /// successful write).
+    pub fn durable_epoch(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.epoch)
+    }
+
+    /// Persists the current *published* state — base run + delta runs,
+    /// with per-block checksums — as a new manifest body, then atomically
+    /// swings the root pointer to it. The root write is the commit point:
+    /// appends acknowledged before it are durable only once it completes.
+    ///
+    /// The memtable and frozen flush batches are deliberately *not*
+    /// covered: they are the volatile tiers a crash loses (see the failure
+    /// model in ARCHITECTURE.md).
+    ///
+    /// The body goes to freshly allocated pages, so a torn body write
+    /// damages nothing (the root still points at the previous manifest)
+    /// and the caller may simply retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset is not durable — call
+    /// [`enable_durability`](LiveDataset::enable_durability) first.
+    pub fn write_manifest(&mut self, env: &mut SimEnv) -> Result<()> {
+        let phase = env.obs_phase("live.manifest");
+        let durable = self
+            .durable
+            .as_mut()
+            .expect("write_manifest requires enable_durability");
+        // Checksums by read-back, memoized per run: persisted pages are
+        // immutable, so each run pays its verify-after-write scan once.
+        let mut records = Vec::with_capacity(1 + self.deltas.len());
+        for (stream, bbox) in std::iter::once((&self.base, self.bbox))
+            .chain(self.deltas.iter().map(|d| (&d.run, d.bbox)))
+        {
+            let key = run_key(stream);
+            let checksums = match durable.memo.get(&key) {
+                Some(c) => c.clone(),
+                None => {
+                    let fresh = manifest::run_checksums(env, stream)?;
+                    durable.memo.insert(key, fresh.clone());
+                    fresh
+                }
+            };
+            records.push(RunRecord {
+                stream: stream.clone(),
+                bbox,
+                checksums,
+            });
+        }
+        // Drop memo entries for runs no longer referenced (old bases and
+        // folded deltas) so the memo tracks the live run set.
+        let live: std::collections::HashSet<(PageId, u64)> =
+            records.iter().map(|r| run_key(&r.stream)).collect();
+        durable.memo.retain(|k, _| live.contains(k));
+        let mut records = records.into_iter();
+        let body = Manifest {
+            generation: self.generation,
+            base: records.next().expect("base record always present"),
+            deltas: records.collect(),
+        }
+        .encode();
+        let pages = (body.len() as u64).div_ceil(PAGE_SIZE as u64).max(1);
+        let first = env.device.allocate(pages);
+        env.device.write_pages(first, pages, &body)?;
+        let epoch = durable.epoch + 1;
+        let root = RootPointer {
+            epoch,
+            first,
+            pages,
+            bytes: body.len() as u64,
+        };
+        env.device.write_page(durable.root, &root.encode())?;
+        durable.epoch = epoch;
+        env.obs_close(phase);
+        Ok(())
+    }
+
+    /// Rebuilds the last *published* durable state from a device: reads
+    /// the root pointer, follows it to the manifest, verifies every run's
+    /// checksums, and reconstructs the dataset (empty memtable, no frozen
+    /// batches — those tiers are volatile by contract).
+    ///
+    /// A damaged **base** is unrecoverable ([`LiveError::Corrupted`]).
+    /// A damaged **delta** rolls back: that run and every younger delta
+    /// are dropped, restoring the newest fully-intact prefix of the
+    /// publication order. The report says what was kept and dropped.
+    ///
+    /// The old root page usually lives in the restart's *read-only* device
+    /// snapshot, so the recovered dataset is re-homed: a fresh root page
+    /// is allocated on `env` and the verified state is immediately
+    /// re-manifested there (epoch bumped past the recovered one). Callers
+    /// that will crash again must track the new root via
+    /// [`durable_root`](LiveDataset::durable_root).
+    pub fn recover(
+        env: &mut SimEnv,
+        name: &str,
+        root: PageId,
+        config: LiveConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let phase = env.obs_phase("live.recover");
+        let ptr = RootPointer::decode(&env.device.read_page(root)?)?;
+        let raw = env.device.read_pages(ptr.first, ptr.pages)?;
+        let body = raw
+            .get(..ptr.bytes as usize)
+            .ok_or_else(|| LiveError::Corrupted("manifest shorter than its root claims".into()))?;
+        let m = Manifest::decode(body)?;
+        if !manifest::verify_run(env, &m.base)? {
+            return Err(LiveError::Corrupted(format!(
+                "base run checksum mismatch (generation {})",
+                m.generation
+            )));
+        }
+        let mut memo = HashMap::new();
+        memo.insert(run_key(&m.base.stream), m.base.checksums.clone());
+        let mut deltas = Vec::with_capacity(m.deltas.len());
+        let mut dropped = 0usize;
+        for (i, d) in m.deltas.iter().enumerate() {
+            if manifest::verify_run(env, d)? {
+                memo.insert(run_key(&d.stream), d.checksums.clone());
+                deltas.push(DeltaRun {
+                    run: d.stream.clone(),
+                    bbox: d.bbox,
+                });
+            } else {
+                // Roll back this delta and everything younger: deltas
+                // publish in order, so the intact prefix is the newest
+                // consistent published state.
+                dropped = m.deltas.len() - i;
+                break;
+            }
+        }
+        let verified_runs = 1 + deltas.len();
+        let tree = RTree::bulk_load_stream(env, &m.base.stream)?;
+        let new_root = env.device.allocate(1);
+        let mut ds = LiveDataset {
+            name: name.to_string(),
+            generation: m.generation,
+            base: m.base.stream,
+            tree,
+            bbox: m.base.bbox,
+            deltas,
+            flushing: VecDeque::new(),
+            memtable: Memtable::new(env),
+            compacting: false,
+            config,
+            stats: LiveStats::default(),
+            durable: Some(DurableState {
+                root: new_root,
+                epoch: ptr.epoch,
+                memo,
+            }),
+        };
+        // Re-commit the verified state on the new root, so the next crash
+        // recovers from *this* incarnation (and a rollback is made
+        // permanent rather than rediscovered every restart).
+        ds.write_manifest(env)?;
+        env.obs_close(phase);
+        Ok((
+            ds,
+            RecoveryReport {
+                generation: m.generation,
+                epoch: ptr.epoch,
+                verified_runs,
+                dropped_deltas: dropped,
+            },
+        ))
     }
 
     /// The registration name.
@@ -302,6 +551,19 @@ impl LiveDataset {
     /// Delta runs currently awaiting compaction.
     pub fn delta_runs(&self) -> &[DeltaRun] {
         &self.deltas
+    }
+
+    /// Reads back every record in the *published* tiers (base run plus
+    /// delta runs) — exactly the set a
+    /// [`write_manifest`](LiveDataset::write_manifest) covers and a crash
+    /// preserves. The volatile tiers (memtable, frozen flush batches) are
+    /// deliberately excluded; recovery oracles compare against this.
+    pub fn published_items(&self, env: &mut SimEnv) -> Result<Vec<Item>> {
+        let mut out = self.base.read_all(env)?;
+        for d in &self.deltas {
+            out.extend(d.run.read_all(env)?);
+        }
+        Ok(out)
     }
 
     /// Frozen flush batches awaiting their device write.
@@ -1276,6 +1538,159 @@ mod tests {
             ds.into_frozen_parts(),
             Err(LiveError::NotQuiesced(_))
         ));
+    }
+
+    /// Crash simulation used by the durability tests: freeze the device
+    /// and build a fresh environment layered over the snapshot — exactly
+    /// what a process restart over persistent storage sees (all pages
+    /// readable, in-memory state gone).
+    fn crash(env: &SimEnv) -> SimEnv {
+        env.fork_with_base(env.device.snapshot())
+    }
+
+    #[test]
+    fn durable_dataset_recovers_its_published_generation() {
+        let mut env = env();
+        let (mut ds, root) =
+            LiveDataset::create_durable(&mut env, "live", &batch(120, 0, 90), tiny_config())
+                .unwrap();
+        assert!(ds.is_durable());
+        assert_eq!(ds.durable_root(), Some(root));
+        // Ingest across flushes and a compaction, then drain the memtable
+        // so the full record set is published before manifesting.
+        ds.append(&mut env, &batch(300, 10_000, 91)).unwrap();
+        ds.flush(&mut env).unwrap();
+        ds.write_manifest(&mut env).unwrap();
+        let published_ids = collect_ids(&mut env, &ds.snapshot());
+        let generation = ds.generation();
+
+        // Unmanifested work after the last manifest: volatile by contract.
+        ds.append_buffered(&batch(40, 90_000, 92)).unwrap();
+
+        let mut after = crash(&env);
+        let (rec, report) =
+            LiveDataset::recover(&mut after, "live", root, tiny_config()).unwrap();
+        assert_eq!(report.generation, generation);
+        assert_eq!(report.dropped_deltas, 0);
+        assert_eq!(report.verified_runs, 1 + rec.delta_runs().len());
+        assert_eq!(rec.generation(), generation);
+        assert_eq!(rec.memtable_len(), 0, "memtable is volatile");
+        assert_eq!(rec.pending_flush_batches(), 0);
+        // The recovered pair-visible record set is exactly the manifested
+        // one — the unmanifested appends are gone, nothing else is.
+        assert_eq!(collect_ids(&mut after, &rec.snapshot()), published_ids);
+        // The recovered dataset keeps working: append, flush, re-manifest.
+        let mut rec = rec;
+        rec.append(&mut after, &batch(25, 200_000, 93)).unwrap();
+        rec.write_manifest(&mut after).unwrap();
+        assert!(rec.durable_epoch().unwrap() > report.epoch);
+    }
+
+    #[test]
+    fn recovery_rolls_back_a_corrupted_delta_and_everything_younger() {
+        let mut env = env();
+        let (mut ds, root) =
+            LiveDataset::create_durable(&mut env, "live", &batch(80, 0, 94), tiny_config())
+                .unwrap();
+        // Several delta runs, no compaction in the way (freeze+publish
+        // manually; how the memtable splits batches is irrelevant here).
+        for (i, seed) in [(0u32, 95u32), (1, 96), (2, 97)] {
+            ds.append_buffered(&batch(64, 10_000 + i * 1_000, seed)).unwrap();
+            ds.freeze();
+            while let Some(job) = ds.begin_flush() {
+                let run = LiveDataset::run_flush(&mut env, &job).unwrap();
+                ds.publish_flush(job, run);
+            }
+        }
+        let delta_count = ds.delta_runs().len();
+        assert!(delta_count >= 3);
+        ds.write_manifest(&mut env).unwrap();
+
+        // Records that must survive: the base plus the oldest delta only.
+        let mut expected: Vec<u32> = (0..80).collect();
+        expected.extend(ds.deltas[0].run.read_all(&mut env).unwrap().iter().map(|it| it.id));
+        expected.sort_unstable();
+
+        // Silently damage a page of the *second* delta run.
+        let victim = ds.deltas[1].run.extents()[0];
+        env.device.write_page(victim, b"rot").unwrap();
+
+        let mut after = crash(&env);
+        let (rec, report) =
+            LiveDataset::recover(&mut after, "live", root, tiny_config()).unwrap();
+        assert_eq!(
+            report.dropped_deltas,
+            delta_count - 1,
+            "damaged delta and everything younger must go"
+        );
+        assert_eq!(rec.delta_runs().len(), 1, "intact prefix survives");
+        assert_eq!(collect_ids(&mut after, &rec.snapshot()), expected);
+    }
+
+    #[test]
+    fn recovery_fails_hard_on_a_corrupted_base() {
+        let mut env = env();
+        let (mut ds, root) =
+            LiveDataset::create_durable(&mut env, "live", &batch(100, 0, 98), tiny_config())
+                .unwrap();
+        ds.write_manifest(&mut env).unwrap();
+        let victim = ds.base.extents()[0];
+        env.device.write_page(victim, b"rot").unwrap();
+        let mut after = crash(&env);
+        assert!(matches!(
+            LiveDataset::recover(&mut after, "live", root, tiny_config()),
+            Err(LiveError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn torn_manifest_body_write_leaves_the_previous_manifest_live() {
+        use usj_io::{FaultConfig, FaultPlan, IoSimError};
+        // No auto-compaction: every flush keeps its delta, so enough
+        // appends give the manifest a multi-page body that *can* tear.
+        let config = LiveConfig {
+            flush_threshold_bytes: 64 * usj_geom::ITEM_BYTES,
+            compact_after_deltas: 0,
+        };
+        let mut env = env();
+        let (mut ds, root) =
+            LiveDataset::create_durable(&mut env, "live", &batch(200, 0, 99), config).unwrap();
+        let ids_v1 = collect_ids(&mut env, &ds.snapshot());
+
+        ds.append(&mut env, &batch(7_500, 10_000, 100)).unwrap();
+        ds.flush(&mut env).unwrap(); // drain the memtable: all 7 500 published
+        assert!(
+            ds.delta_runs().len() > 110,
+            "need enough delta records for a multi-page manifest body"
+        );
+        env.install_faults(FaultPlan::new(FaultConfig {
+            torn_write: 1.0,
+            max_faults: 1,
+            ..FaultConfig::quiet(7)
+        }));
+        let err = ds.write_manifest(&mut env);
+        env.device.clear_faults();
+        assert_eq!(
+            err,
+            Err(LiveError::Io(IoSimError::DeviceFault { transient: false })),
+            "the multi-page body write must tear"
+        );
+
+        // Crash now: recovery lands on the previous manifest, intact.
+        let mut after = crash(&env);
+        let (rec, report) = LiveDataset::recover(&mut after, "live", root, config).unwrap();
+        assert_eq!(report.epoch, 1, "first manifest is still the committed one");
+        assert_eq!(collect_ids(&mut after, &rec.snapshot()), ids_v1);
+
+        // And without a crash, simply retrying the write commits v2.
+        ds.write_manifest(&mut env).unwrap();
+        let mut after2 = crash(&env);
+        let (rec2, report2) = LiveDataset::recover(&mut after2, "live", root, config).unwrap();
+        assert_eq!(report2.epoch, 2);
+        assert_eq!(
+            collect_ids(&mut after2, &rec2.snapshot()),
+            collect_ids(&mut env, &ds.snapshot())
+        );
     }
 
     #[test]

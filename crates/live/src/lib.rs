@@ -30,13 +30,15 @@
 #![deny(missing_docs)]
 
 pub mod catalog;
+pub mod manifest;
 pub mod memtable;
 pub mod streaming;
 
 pub use catalog::{
     CompactionOutput, CompactionPlan, DeltaRun, FlushJob, LiveCatalog, LiveConfig, LiveDataset,
-    LiveId, LiveSnapshot, LiveStats, MemRun, SnapshotCursor, SnapshotRun,
+    LiveId, LiveSnapshot, LiveStats, MemRun, RecoveryReport, SnapshotCursor, SnapshotRun,
 };
+pub use manifest::{Manifest, RootPointer, RunRecord};
 pub use memtable::Memtable;
 pub use streaming::{JoinSide, StreamingJoin};
 
@@ -62,6 +64,11 @@ pub enum LiveError {
     /// Promotion was attempted on a dataset still holding unpersisted or
     /// uncompacted tiers (memtable, frozen batches or delta runs).
     NotQuiesced(String),
+    /// Durable state failed an integrity check: a manifest or root pointer
+    /// with a bad magic/checksum, or a base run whose per-block checksums
+    /// no longer match its pages. Unrecoverable by design — the message
+    /// says which check failed.
+    Corrupted(String),
 }
 
 impl fmt::Display for LiveError {
@@ -75,6 +82,7 @@ impl fmt::Display for LiveError {
             LiveError::NotQuiesced(name) => {
                 write!(f, "live dataset '{name}' is not quiesced (pending tiers remain)")
             }
+            LiveError::Corrupted(what) => write!(f, "durable state corrupted: {what}"),
         }
     }
 }

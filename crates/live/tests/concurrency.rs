@@ -23,12 +23,12 @@
 //! * **Conservation** — no tier transition loses or duplicates records:
 //!   every snapshot holds exactly the shadow model's items.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::ops::ControlFlow;
 
 use usj_core::{JoinInput, JoinOperator, PairSink, SssjJoin};
 use usj_geom::{Item, Rect};
-use usj_io::{MachineConfig, SimEnv};
+use usj_io::{MachineConfig, PageId, SimEnv};
 use usj_live::{CompactionPlan, FlushJob, LiveConfig, LiveDataset, LiveSnapshot, StreamingJoin};
 use usj_proptest::Gen;
 
@@ -327,4 +327,307 @@ fn seeded_history_from_env() {
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(0xfa11_bacc);
     check_seed(seed);
+}
+
+// ---------------------------------------------------------------------------
+// Crash histories: durable datasets under process-crash simulation.
+//
+// Same seeded-scheduler idea as above, but both datasets are durable
+// (checksummed manifests behind a root pointer) and the step alphabet
+// gains `write_manifest` and CRASH. A crash drops *every* in-memory
+// structure — memtables, frozen batches, claimed flushes/compactions,
+// the dataset handles themselves — and restarts from a read-only device
+// snapshot via `LiveDataset::recover`. The invariant proven at every
+// crash point: recovery returns exactly the record set covered by the
+// last committed manifest — nothing acknowledged-and-published is lost,
+// nothing is fabricated — and the history then *continues* on the
+// recovered datasets, so later joins and retained-snapshot sweeps keep
+// holding across an arbitrary number of crashes.
+// ---------------------------------------------------------------------------
+
+/// Tuning shared by every durable actor: explicit freezes only (a huge
+/// threshold keeps `append_buffered` from splitting batches at
+/// gauge-dependent points, so the model knows exactly which ids each
+/// flush publishes) and scheduler-driven compaction.
+fn crash_config() -> LiveConfig {
+    LiveConfig { flush_threshold_bytes: 1 << 30, compact_after_deltas: 0 }
+}
+
+/// A durable dataset under test plus a tier-accurate shadow model.
+struct DurableActor {
+    name: &'static str,
+    ds: LiveDataset,
+    /// Current root-pointer page (recovery re-homes it, so it moves).
+    root: PageId,
+    /// Every item currently alive (pruned to the durable set on crash).
+    shadow: Vec<Item>,
+    /// Ids sitting in the memtable (volatile).
+    mem: Vec<u32>,
+    /// Frozen flush batches awaiting their device write (volatile).
+    frozen: VecDeque<Vec<u32>>,
+    /// Ids persisted in published runs (base + deltas).
+    published: BTreeSet<u32>,
+    /// `published` as of the last committed manifest — what a crash at
+    /// this instant must recover, no more and no less.
+    durable: BTreeSet<u32>,
+    inflight_flush: Option<FlushJob>,
+    inflight_compaction: Option<CompactionPlan>,
+    next_id: u32,
+}
+
+impl DurableActor {
+    fn new(env: &mut SimEnv, name: &'static str, g: &mut Gen, id_base: u32) -> Self {
+        let base: Vec<Item> =
+            (0..g.usize_in(8, 48)).map(|i| random_item(g, id_base + i as u32)).collect();
+        let (ds, root) = LiveDataset::create_durable(env, name, &base, crash_config())
+            .expect("create durable dataset");
+        let published: BTreeSet<u32> = base.iter().map(|i| i.id).collect();
+        DurableActor {
+            name,
+            ds,
+            root,
+            shadow: base,
+            mem: Vec::new(),
+            frozen: VecDeque::new(),
+            durable: published.clone(),
+            published,
+            inflight_flush: None,
+            inflight_compaction: None,
+            next_id: id_base + 10_000,
+        }
+    }
+
+    /// The model's view of every live id, tier by tier. Must equal what
+    /// a snapshot reads at all times.
+    fn model_ids(&self) -> BTreeSet<u32> {
+        let mut out = self.published.clone();
+        out.extend(self.frozen.iter().flatten().copied());
+        out.extend(self.mem.iter().copied());
+        out
+    }
+
+    /// Finishes a claimed flush, cross-checking the written run against
+    /// the model's oldest frozen batch before publishing it.
+    fn finish_flush(&mut self, env: &mut SimEnv) {
+        if let Some(job) = self.inflight_flush.take() {
+            let run = LiveDataset::run_flush(env, &job).expect("run flush");
+            let written: BTreeSet<u32> =
+                run.read_all(env).expect("read flushed run").iter().map(|i| i.id).collect();
+            let batch = self.frozen.pop_front().expect("model missed the claimed batch");
+            assert_eq!(
+                written,
+                batch.iter().copied().collect::<BTreeSet<u32>>(),
+                "flushed run diverged from the claimed batch"
+            );
+            self.ds.publish_flush(job, run);
+            self.published.extend(batch);
+        }
+    }
+
+    /// Commits a manifest: everything currently published becomes the
+    /// set a crash must recover.
+    fn commit_manifest(&mut self, env: &mut SimEnv) {
+        self.ds.write_manifest(env).expect("write manifest");
+        self.durable = self.published.clone();
+    }
+}
+
+/// Simulates a process crash and restart for both actors at once (they
+/// share the device, as two datasets of one service process would).
+/// Every in-memory structure is dropped; a fresh environment is built on
+/// the device snapshot (old pages readable but immutable); each actor
+/// recovers from its root pointer and must see exactly its durable set.
+fn crash_and_recover(env: &mut SimEnv, actors: [&mut DurableActor; 2]) {
+    let mut revived = env.fork_with_base(env.device.snapshot());
+    for actor in actors {
+        let (ds, report) = LiveDataset::recover(&mut revived, actor.name, actor.root, crash_config())
+            .expect("recover from crash");
+        assert_eq!(report.dropped_deltas, 0, "clean crash must not drop verified deltas");
+        let got = snapshot_ids(&mut revived, &ds.snapshot());
+        assert_eq!(
+            got, actor.durable,
+            "recovery of '{}' lost or fabricated manifested records",
+            actor.name
+        );
+        actor.ds = ds;
+        actor.root = actor.ds.durable_root().expect("recovered dataset is durable");
+        let durable = &actor.durable;
+        actor.shadow.retain(|i| durable.contains(&i.id));
+        actor.mem.clear();
+        actor.frozen.clear();
+        actor.published = actor.durable.clone();
+        actor.inflight_flush = None;
+        actor.inflight_compaction = None;
+    }
+    *env = revived;
+}
+
+/// Runs one seeded crash history; returns (query steps, crash steps).
+fn run_crash_history(seed: u64) -> (usize, usize) {
+    let mut g = Gen::new(seed);
+    let mut env = SimEnv::new(MachineConfig::machine3());
+    let mut left = DurableActor::new(&mut env, "left", &mut g, 0);
+    let mut right = DurableActor::new(&mut env, "right", &mut g, 1_000_000);
+    type Retained = (LiveSnapshot, LiveSnapshot, BTreeSet<(u32, u32)>);
+    let mut retained: Vec<Retained> = Vec::new();
+    let (mut queries, mut crashes) = (0usize, 0usize);
+
+    for _ in 0..STEPS {
+        let pick_left = g.bool_with(0.5);
+        let step = g.usize_in(0, 12);
+        // Whole-process steps first (they need both actors).
+        if step == 10 {
+            crash_and_recover(&mut env, [&mut left, &mut right]);
+            crashes += 1;
+            continue;
+        }
+        if step >= 11 {
+            // Query step: conservation + model self-consistency + every
+            // pair-set oracle, exactly as in the volatile histories.
+            let (sl, sr) = (left.ds.snapshot(), right.ds.snapshot());
+            for (actor, snap) in [(&left, &sl), (&right, &sr)] {
+                let expect: BTreeSet<u32> = actor.shadow.iter().map(|i| i.id).collect();
+                assert_eq!(expect, actor.model_ids(), "shadow and tier model diverged");
+                assert_eq!(
+                    snapshot_ids(&mut env, snap),
+                    expect,
+                    "'{}' snapshot lost items",
+                    actor.name
+                );
+            }
+            let expected = brute_pairs(&left.shadow, &right.shadow);
+            let streamed = streaming_pairs(&mut env, &sl, &sr);
+            assert_eq!(streamed, expected, "streaming join diverged from shadow model");
+            assert_eq!(
+                streamed,
+                offline_pairs(&mut env, &sl, &sr),
+                "streaming join diverged from offline SSSJ"
+            );
+            queries += 1;
+            if retained.len() < RETAINED_SNAPSHOTS {
+                retained.push((sl, sr, expected));
+            }
+            continue;
+        }
+
+        let actor = if pick_left { &mut left } else { &mut right };
+        match step {
+            // Append a small batch (memtable only; threshold never trips).
+            0..=2 => {
+                let batch: Vec<Item> = (0..g.usize_in(1, 12))
+                    .map(|_| {
+                        let id = actor.next_id;
+                        actor.next_id += 1;
+                        random_item(&mut g, id)
+                    })
+                    .collect();
+                actor.ds.append_buffered(&batch).expect("append");
+                actor.mem.extend(batch.iter().map(|i| i.id));
+                actor.shadow.extend_from_slice(&batch);
+            }
+            // Freeze the memtable into one flush batch.
+            3 => {
+                if actor.ds.freeze() {
+                    actor.frozen.push_back(std::mem::take(&mut actor.mem));
+                }
+            }
+            4 => {
+                if actor.inflight_flush.is_none() {
+                    actor.inflight_flush = actor.ds.begin_flush();
+                }
+            }
+            5 => actor.finish_flush(&mut env),
+            6 => {
+                if actor.inflight_compaction.is_none() {
+                    actor.inflight_compaction = actor.ds.begin_compaction();
+                }
+            }
+            // Compaction rewrites published runs without changing the set.
+            7 => {
+                if let Some(plan) = actor.inflight_compaction.take() {
+                    let out = LiveDataset::run_compaction(&mut env, &plan).expect("run compaction");
+                    actor.ds.publish_compaction(out);
+                }
+            }
+            8 => {
+                if actor.inflight_compaction.take().is_some() {
+                    actor.ds.abort_compaction();
+                }
+            }
+            // Commit point: everything published becomes durable.
+            _ => actor.commit_manifest(&mut env),
+        }
+    }
+
+    // Drain: publish every tier, commit, then one last crash — after
+    // which *every* acknowledged record must survive.
+    for actor in [&mut left, &mut right] {
+        actor.finish_flush(&mut env);
+        if let Some(plan) = actor.inflight_compaction.take() {
+            let out = LiveDataset::run_compaction(&mut env, &plan).expect("drain compaction");
+            actor.ds.publish_compaction(out);
+        }
+        actor.ds.quiesce(&mut env).expect("quiesce");
+        actor.mem.clear();
+        actor.frozen.clear();
+        actor.published = actor.shadow.iter().map(|i| i.id).collect();
+        actor.commit_manifest(&mut env);
+    }
+    crash_and_recover(&mut env, [&mut left, &mut right]);
+    crashes += 1;
+    assert_eq!(left.shadow.len() as u64, left.ds.len(), "post-crash length mismatch");
+    assert_eq!(right.shadow.len() as u64, right.ds.len(), "post-crash length mismatch");
+
+    let final_expected = brute_pairs(&left.shadow, &right.shadow);
+    let (fl, fr) = (left.ds.snapshot(), right.ds.snapshot());
+    assert_eq!(
+        streaming_pairs(&mut env, &fl, &fr),
+        final_expected,
+        "post-recovery join diverged"
+    );
+    // Old snapshots still answer identically: the crash snapshot keeps
+    // every persisted page readable, and memtable copies live in the
+    // snapshot itself.
+    for (i, (sl, sr, expected)) in retained.iter().enumerate() {
+        assert_eq!(
+            &streaming_pairs(&mut env, sl, sr),
+            expected,
+            "retained snapshot #{i} changed its answer after crashes"
+        );
+    }
+    (queries, crashes)
+}
+
+/// Runs a crash history and reports how to replay it on failure.
+fn check_crash_seed(seed: u64) {
+    println!("crash history seed {seed:#018x} (replay: USJ_SEED={seed})");
+    let (queries, crashes) = run_crash_history(seed);
+    assert!(queries > 0, "seed {seed:#x}: crash history never hit a query step");
+    assert!(crashes > 1, "seed {seed:#x}: crash history never crashed mid-run");
+}
+
+#[test]
+fn crash_history_0x5eed_0002() {
+    check_crash_seed(0x5eed_0002);
+}
+
+#[test]
+fn crash_history_0xbad_c0ffee() {
+    check_crash_seed(0x0bad_c0ffee);
+}
+
+#[test]
+fn crash_history_0xc4a5_4df0() {
+    check_crash_seed(0xc4a5_4df0);
+}
+
+/// CI's run-unique seed covers a fresh crash history every run; the
+/// printed line is the replay handle.
+#[test]
+fn crash_history_from_env() {
+    let seed = std::env::var("USJ_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0xcafe_fa11);
+    check_crash_seed(seed);
 }

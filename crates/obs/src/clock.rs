@@ -19,6 +19,18 @@ use std::time::Instant;
 pub trait Clock: Send + Sync + fmt::Debug {
     /// Microseconds elapsed since the clock's origin.
     fn now_us(&self) -> u64;
+
+    /// Waits `dur_us` microseconds *on this clock*.
+    ///
+    /// The default implementation sleeps the calling thread, which is what
+    /// a [`HostClock`] caller wants. [`VirtualClock`] overrides it to
+    /// advance itself instead, so retry-backoff schedules driven through a
+    /// `Clock` (the service's transient-fault retries) replay instantly
+    /// and deterministically under test: the waited-for duration shows up
+    /// exactly in subsequent `now_us` readings, with no host time spent.
+    fn wait_us(&self, dur_us: u64) {
+        std::thread::sleep(std::time::Duration::from_micros(dur_us));
+    }
 }
 
 /// The production clock: microseconds since the clock was created, read
@@ -83,6 +95,12 @@ impl Clock for VirtualClock {
     fn now_us(&self) -> u64 {
         self.now_us.load(Ordering::Relaxed)
     }
+
+    /// Advances the clock instead of sleeping: the wait is visible in the
+    /// virtual timeline but costs no host time.
+    fn wait_us(&self, dur_us: u64) {
+        self.advance(dur_us);
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +126,24 @@ mod tests {
         assert_eq!(c.now_us(), 1_000);
         let dyn_clock: Arc<dyn Clock> = c;
         assert_eq!(dyn_clock.now_us(), 1_000);
+    }
+
+    #[test]
+    fn virtual_clock_wait_advances_instead_of_sleeping() {
+        let c = Arc::new(VirtualClock::new());
+        let dyn_clock: Arc<dyn Clock> = c.clone();
+        let host_before = Instant::now();
+        dyn_clock.wait_us(5_000_000); // five virtual seconds
+        assert!(host_before.elapsed().as_secs() < 1, "must not sleep for real");
+        assert_eq!(c.now_us(), 5_000_000);
+    }
+
+    #[test]
+    fn host_clock_wait_sleeps_at_least_the_duration() {
+        let c = HostClock::new();
+        let before = c.now_us();
+        c.wait_us(2_000);
+        assert!(c.now_us() - before >= 2_000);
     }
 
     #[test]

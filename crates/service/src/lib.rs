@@ -83,6 +83,34 @@ pub enum ServiceError {
     /// Promotion was attempted on a live dataset still holding unpersisted
     /// or uncompacted tiers (memtable, frozen batches or delta runs).
     NotQuiesced(String),
+    /// Durable state failed an integrity check (bubbled up from the live
+    /// layer's manifest/checksum verification).
+    Corrupted(String),
+    /// A worker thread panicked while executing the query. The panic was
+    /// contained: the worker kept running, the query's admission
+    /// reservation was released, and the payload is carried here.
+    WorkerPanicked(String),
+    /// The query missed its [`deadline`](service::QueryRequest::deadline_us)
+    /// — either while waiting in the admission queue or mid-execution.
+    DeadlineExceeded {
+        /// The deadline, microseconds on the service clock.
+        deadline_us: u64,
+        /// When the deadline was noticed, on the same clock.
+        now_us: u64,
+    },
+    /// The query waited longer than the configured admission timeout
+    /// without getting a reservation
+    /// ([`ServiceConfig::with_admission_timeout_us`](service::ServiceConfig::with_admission_timeout_us)).
+    AdmissionTimeout {
+        /// The configured timeout, microseconds.
+        timeout_us: u64,
+        /// How long the query actually waited before giving up.
+        waited_us: u64,
+    },
+    /// A shared lock was poisoned by a panic in another thread and the
+    /// protected state cannot be trusted on this path. The payload names
+    /// the lock.
+    LockPoisoned(&'static str),
 }
 
 impl fmt::Display for ServiceError {
@@ -95,6 +123,19 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
             ServiceError::NotQuiesced(name) => {
                 write!(f, "live dataset '{name}' is not quiesced (pending tiers remain)")
+            }
+            ServiceError::Corrupted(what) => write!(f, "durable state corrupted: {what}"),
+            ServiceError::WorkerPanicked(payload) => {
+                write!(f, "worker panicked while executing the query: {payload}")
+            }
+            ServiceError::DeadlineExceeded { deadline_us, now_us } => {
+                write!(f, "deadline exceeded: deadline {deadline_us}us, noticed at {now_us}us")
+            }
+            ServiceError::AdmissionTimeout { timeout_us, waited_us } => {
+                write!(f, "admission timed out after {waited_us}us (timeout {timeout_us}us)")
+            }
+            ServiceError::LockPoisoned(which) => {
+                write!(f, "lock '{which}' poisoned by a panic in another thread")
             }
         }
     }
@@ -122,6 +163,7 @@ impl From<usj_live::LiveError> for ServiceError {
             usj_live::LiveError::DuplicateDataset(name) => ServiceError::DuplicateDataset(name),
             usj_live::LiveError::UnknownDataset(name) => ServiceError::UnknownDataset(name),
             usj_live::LiveError::NotQuiesced(name) => ServiceError::NotQuiesced(name),
+            usj_live::LiveError::Corrupted(what) => ServiceError::Corrupted(what),
         }
     }
 }

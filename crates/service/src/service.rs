@@ -62,6 +62,7 @@
 
 use std::fmt;
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -72,8 +73,8 @@ use usj_core::{
 };
 use usj_geom::{Item, Point, Rect, ITEM_BYTES};
 use usj_io::{
-    BlockDevice, CpuCounter, CpuOp, IoSimError, IoStats, MachineConfig, MemoryGauge, Page, SimEnv,
-    PAGE_SIZE,
+    fault::derive_seed, BlockDevice, CpuCounter, CpuOp, FaultConfig, FaultPlan, IoSimError,
+    IoStats, MachineConfig, MemoryGauge, Page, SimEnv, PAGE_SIZE,
 };
 use usj_live::{
     CompactionPlan, FlushJob, JoinSide, LiveCatalog, LiveConfig, LiveDataset, LiveId, LiveSnapshot,
@@ -145,6 +146,29 @@ pub struct ServiceConfig {
     /// (spill) at a bounded footprint instead of competing unboundedly
     /// with query admission (default 4 MiB).
     pub maintenance_budget_bytes: usize,
+    /// Bounded retries for transient device faults
+    /// ([`IoSimError::DeviceFault`]` { transient: true }`): a failed query
+    /// or maintenance step is re-run up to this many times with
+    /// exponential backoff before the error surfaces (default 3).
+    pub fault_retries: u32,
+    /// Base backoff between transient-fault retries, microseconds on the
+    /// observability clock — attempt *n* waits `base << (n-1)`. Driven
+    /// through [`Clock::wait_us`], so a
+    /// [`VirtualClock`](usj_obs::VirtualClock) replays the schedule
+    /// exactly without host sleeps (default 1000 µs).
+    pub fault_backoff_us: u64,
+    /// Longest a request may wait in the admission queue without getting a
+    /// reservation before it fails with [`ServiceError::AdmissionTimeout`]
+    /// (default `None` — wait indefinitely). Only deferred requests time
+    /// out; a request the gauge can admit is never failed by this knob.
+    pub admission_timeout_us: Option<u64>,
+    /// Deterministic fault injection (default `None` — zero cost, no fault
+    /// machinery touched). When set, every query's forked environment and
+    /// the storage environment get [`FaultPlan`]s derived from this
+    /// config's seed via domain-separated streams, so a seed replays the
+    /// exact same fault schedule while distinct queries see independent
+    /// faults.
+    pub fault_plan: Option<FaultConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -158,6 +182,10 @@ impl Default for ServiceConfig {
             max_scan_batch: 16,
             background_maintenance: false,
             maintenance_budget_bytes: 4 * 1024 * 1024,
+            fault_retries: 3,
+            fault_backoff_us: 1_000,
+            admission_timeout_us: None,
+            fault_plan: None,
         }
     }
 }
@@ -211,6 +239,27 @@ impl ServiceConfig {
     /// clamped to at least one stream block so flush writers always fit).
     pub fn with_maintenance_budget(mut self, bytes: usize) -> Self {
         self.maintenance_budget_bytes = bytes.max(64 * 1024);
+        self
+    }
+
+    /// Sets the transient-fault retry policy (builder style): up to
+    /// `retries` re-runs, attempt *n* backing off `backoff_base_us << (n-1)`
+    /// microseconds on the observability clock.
+    pub fn with_fault_retries(mut self, retries: u32, backoff_base_us: u64) -> Self {
+        self.fault_retries = retries;
+        self.fault_backoff_us = backoff_base_us;
+        self
+    }
+
+    /// Sets the admission-wait timeout (builder style).
+    pub fn with_admission_timeout_us(mut self, timeout_us: u64) -> Self {
+        self.admission_timeout_us = Some(timeout_us);
+        self
+    }
+
+    /// Installs deterministic fault injection (builder style).
+    pub fn with_fault_plan(mut self, faults: FaultConfig) -> Self {
+        self.fault_plan = Some(faults);
         self
     }
 }
@@ -353,6 +402,13 @@ pub struct QueryRequest {
     pub memory_budget: Option<usize>,
     /// Cooperative cancellation flag.
     pub cancel: Option<CancelToken>,
+    /// Absolute deadline, microseconds on the service's observability
+    /// clock. A request past its deadline fails with
+    /// [`ServiceError::DeadlineExceeded`] — noticed in the admission queue
+    /// before it runs, and at emission checkpoints while it runs (firing
+    /// the attached [`CancelToken`], if any, so the producing traversal
+    /// genuinely stops).
+    pub deadline_us: Option<u64>,
 }
 
 impl QueryRequest {
@@ -364,6 +420,7 @@ impl QueryRequest {
             collect: false,
             memory_budget: None,
             cancel: None,
+            deadline_us: None,
         }
     }
 
@@ -474,6 +531,15 @@ impl QueryRequest {
     /// Attaches a cancellation token (builder style).
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Sets an absolute deadline on the observability clock (builder
+    /// style). `0` means "already expired": the request resolves to
+    /// [`ServiceError::DeadlineExceeded`] without running — the
+    /// deterministic smoke case.
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
         self
     }
 }
@@ -773,7 +839,7 @@ impl ServiceObs {
 
     /// The current trace/wait clock.
     fn clock(&self) -> Arc<dyn Clock> {
-        Arc::clone(&self.clock.lock().expect("obs clock poisoned"))
+        Arc::clone(&*relock(self.clock.lock()))
     }
 
     /// Current clock reading, microseconds.
@@ -798,6 +864,98 @@ impl ServiceObs {
 fn us_between(from_us: u64, to_us: u64) -> Duration {
     Duration::from_micros(to_us.saturating_sub(from_us))
 }
+
+/// Recovers a poisoned lock guard.
+///
+/// The service's lock-poisoning policy, from the `unwrap()` audit: worker
+/// and maintenance panics are contained with `catch_unwind` *before* they
+/// reach scheduler state, and every structure these locks protect keeps its
+/// invariants across a panic (the device is append-only, catalog and queue
+/// mutations are not interleaved with faultable I/O). Refusing service
+/// forever because some earlier thread panicked would turn one contained
+/// fault into a total outage — so scheduler, storage and observability
+/// locks *recover*, while query-path lookups whose callers return `Result`
+/// propagate [`ServiceError::LockPoisoned`] instead (see
+/// [`Service::live_snapshot`]).
+fn relock<T>(result: std::sync::LockResult<T>) -> T {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Transient-fault retry policy: how many re-runs, and the base backoff.
+#[derive(Debug, Clone, Copy)]
+struct FaultRetry {
+    retries: u32,
+    backoff_us: u64,
+}
+
+impl FaultRetry {
+    fn of(config: &ServiceConfig) -> Self {
+        FaultRetry {
+            retries: config.fault_retries,
+            backoff_us: config.fault_backoff_us,
+        }
+    }
+
+    /// Backoff before retry attempt `n` (1-based): `base << (n-1)`,
+    /// shift-capped so a misconfigured retry count cannot overflow.
+    fn backoff_for(&self, attempt: u32) -> u64 {
+        self.backoff_us.saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+    }
+}
+
+/// Runs `f`, retrying transient device faults per `retry` with
+/// clock-driven exponential backoff. Every observed device fault bumps
+/// `faults.injected`; every re-run bumps `faults.retries`. Non-transient
+/// errors (torn writes included) surface immediately.
+fn retry_transient<T>(
+    obs: &ServiceObs,
+    retry: FaultRetry,
+    mut f: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match f() {
+            Err(ServiceError::Io(IoSimError::DeviceFault { transient: true }))
+                if attempt < retry.retries =>
+            {
+                attempt += 1;
+                obs.registry.counter("faults.injected").inc();
+                obs.registry.counter("faults.retries").inc();
+                obs.clock().wait_us(retry.backoff_for(attempt));
+            }
+            Err(e) => {
+                if matches!(&e, ServiceError::Io(IoSimError::DeviceFault { .. })) {
+                    obs.registry.counter("faults.injected").inc();
+                }
+                return Err(e);
+            }
+            ok => return ok,
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Fault stream id for one query attempt: request index in the low half,
+/// retry attempt in the high half — every (query, attempt) pair draws an
+/// independent, replayable fault schedule, so a retry is not doomed to hit
+/// the very fault decision that failed it.
+fn query_fault_stream(idx: usize, attempt: u32) -> u64 {
+    (idx as u64 & 0xffff_ffff) | (u64::from(attempt) << 32)
+}
+
+/// Reserved fault stream for the storage environment (flushes, compactions,
+/// promotions) — far outside the per-query space.
+const STORAGE_FAULT_STREAM: u64 = u64::MAX;
 
 /// Static label for a query kind, used as trace span detail.
 fn kind_label(kind: &QueryKind) -> &'static str {
@@ -845,7 +1003,7 @@ impl LiveStore {
     /// racing their publications can never move readers *backwards* onto a
     /// snapshot that lacks already-visible pages.
     fn publish_base(&self, snap: Arc<Vec<Page>>) {
-        let mut base = self.base.lock().expect("base slot poisoned");
+        let mut base = relock(self.base.lock());
         if snap.len() > base.len() {
             *base = snap;
         }
@@ -853,7 +1011,7 @@ impl LiveStore {
 
     /// The current base snapshot for a worker fork.
     fn fork_base(&self) -> Arc<Vec<Page>> {
-        Arc::clone(&self.base.lock().expect("base slot poisoned"))
+        Arc::clone(&*relock(self.base.lock()))
     }
 }
 
@@ -874,7 +1032,14 @@ enum MaintStep {
 /// This one function *is* live maintenance for both modes: the inline path
 /// calls it on the appending thread, the background worker calls it on its
 /// own — so the two modes produce identical runs by construction.
-fn tend_live(store: &LiveStore, obs: &ServiceObs, name: &str, budget: usize, full: bool) -> Result<()> {
+fn tend_live(
+    store: &LiveStore,
+    obs: &ServiceObs,
+    name: &str,
+    budget: usize,
+    full: bool,
+    retry: FaultRetry,
+) -> Result<()> {
     // While tracing, route the `live.flush` / `live.compaction` spans the
     // split-phase runners emit into the shared maintenance ring. Metric
     // durations below are recorded unconditionally.
@@ -882,7 +1047,7 @@ fn tend_live(store: &LiveStore, obs: &ServiceObs, name: &str, budget: usize, ful
     loop {
         // Claim: O(in-memory) work only under the live lock.
         let step = {
-            let mut live = store.live.lock().expect("live catalog poisoned");
+            let mut live = relock(store.live.lock());
             let Some(ds) = live.get_mut_by_name(name) else {
                 // Taken (promoted) with a tend still queued — nothing to do.
                 return Ok(());
@@ -907,32 +1072,36 @@ fn tend_live(store: &LiveStore, obs: &ServiceObs, name: &str, budget: usize, ful
         match step {
             MaintStep::Flush(job) => {
                 let t0 = obs.now_us();
-                let (run, snap) = {
-                    let mut storage = store.storage.lock().expect("storage env poisoned");
+                // Transient device faults re-run the whole flush: `begin_flush`
+                // only *peeked* the batch, so a failed attempt leaves it queued
+                // and a re-run writes a fresh run from the same records.
+                let (run, snap) = retry_transient(obs, retry, || {
+                    let mut storage = relock(store.storage.lock());
                     let run =
                         storage.with_budget(budget, |env| LiveDataset::run_flush(env, &job))?;
                     let snap = storage.device.snapshot();
-                    (run, snap)
-                };
+                    Ok((run, snap))
+                })?;
                 obs.registry.counter("maintenance.flushes").inc();
                 obs.registry
                     .histogram("maintenance.flush_us")
                     .record(obs.now_us().saturating_sub(t0));
                 // Publish: base pages first, then the run handle.
                 store.publish_base(snap);
-                let mut live = store.live.lock().expect("live catalog poisoned");
+                let mut live = relock(store.live.lock());
                 if let Some(ds) = live.get_mut_by_name(name) {
                     ds.publish_flush(job, run);
                 }
             }
             MaintStep::Compact(plan) => {
                 let t0 = obs.now_us();
-                let ran = {
-                    let mut storage = store.storage.lock().expect("storage env poisoned");
+                let ran = retry_transient(obs, retry, || {
+                    let mut storage = relock(store.storage.lock());
                     storage
                         .with_budget(budget, |env| LiveDataset::run_compaction(env, &plan))
                         .map(|out| (out, storage.device.snapshot()))
-                };
+                        .map_err(ServiceError::from)
+                });
                 obs.registry.counter("maintenance.compactions").inc();
                 obs.registry
                     .histogram("maintenance.compaction_us")
@@ -940,17 +1109,17 @@ fn tend_live(store: &LiveStore, obs: &ServiceObs, name: &str, budget: usize, ful
                 match ran {
                     Ok((out, snap)) => {
                         store.publish_base(snap);
-                        let mut live = store.live.lock().expect("live catalog poisoned");
+                        let mut live = relock(store.live.lock());
                         if let Some(ds) = live.get_mut_by_name(name) {
                             ds.publish_compaction(out);
                         }
                     }
                     Err(e) => {
-                        let mut live = store.live.lock().expect("live catalog poisoned");
+                        let mut live = relock(store.live.lock());
                         if let Some(ds) = live.get_mut_by_name(name) {
                             ds.abort_compaction();
                         }
-                        return Err(e.into());
+                        return Err(e);
                     }
                 }
             }
@@ -980,7 +1149,7 @@ struct Maintenance {
 }
 
 impl Maintenance {
-    fn spawn(store: Arc<LiveStore>, obs: Arc<ServiceObs>, budget: usize) -> Self {
+    fn spawn(store: Arc<LiveStore>, obs: Arc<ServiceObs>, budget: usize, retry: FaultRetry) -> Self {
         let (tx, rx) = mpsc::channel::<MaintJob>();
         let inflight = Arc::new((Mutex::new(0u64), Condvar::new()));
         let worker_inflight = Arc::clone(&inflight);
@@ -993,10 +1162,21 @@ impl Maintenance {
                         // dataset consistent with the work still pending;
                         // the next append's tend retries it. Queries and
                         // appends keep working off the last published
-                        // generation either way.
-                        let _ = tend_live(&store, &obs, &name, budget, false);
+                        // generation either way. A *panic* inside the tend
+                        // is contained the same way: the claimed step is
+                        // abandoned (its records stay in the queued tiers),
+                        // the poisoned locks recover via `relock`, and —
+                        // crucially — the in-flight count still drops, so
+                        // `wait_idle` never hangs on a dead job.
+                        let tended = catch_unwind(AssertUnwindSafe(|| {
+                            let _ = tend_live(&store, &obs, &name, budget, false, retry);
+                        }));
+                        if tended.is_err() {
+                            obs.registry.counter("faults.panics").inc();
+                            obs.registry.counter("faults.injected").inc();
+                        }
                         let (count, cv) = &*worker_inflight;
-                        let mut n = count.lock().expect("inflight counter poisoned");
+                        let mut n = relock(count.lock());
                         *n -= 1;
                         cv.notify_all();
                     }
@@ -1015,10 +1195,10 @@ impl Maintenance {
     /// dataset fall through as no-ops).
     fn enqueue(&self, name: &str) {
         let (count, cv) = &*self.inflight;
-        *count.lock().expect("inflight counter poisoned") += 1;
+        *relock(count.lock()) += 1;
         if self.tx.send(MaintJob::Tend(name.to_string())).is_err() {
             // Worker already shut down (only happens mid-drop).
-            *count.lock().expect("inflight counter poisoned") -= 1;
+            *relock(count.lock()) -= 1;
             cv.notify_all();
         }
     }
@@ -1026,9 +1206,9 @@ impl Maintenance {
     /// Blocks until every queued job has finished.
     fn wait_idle(&self) {
         let (count, cv) = &*self.inflight;
-        let mut n = count.lock().expect("inflight counter poisoned");
+        let mut n = relock(count.lock());
         while *n > 0 {
-            n = cv.wait(n).expect("inflight counter poisoned");
+            n = relock(cv.wait(n));
         }
     }
 }
@@ -1137,7 +1317,7 @@ impl Session<'_> {
         let priority = request.priority;
         let obs = &self.service.obs;
         let submitted_us = obs.now_us();
-        let mut guard = self.shared.state.lock().expect("queue poisoned");
+        let mut guard = relock(self.shared.state.lock());
         let state = &mut *guard;
         let idx = state.entries.len();
         state.entries.push(Entry {
@@ -1169,17 +1349,25 @@ impl Session<'_> {
 
     /// Requests currently awaiting admission.
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().expect("queue poisoned").pending.len()
+        relock(self.shared.state.lock()).pending.len()
     }
 
     /// Queries (or shared-scan batches) currently executing.
     pub fn running(&self) -> usize {
-        self.shared.state.lock().expect("queue poisoned").running
+        relock(self.shared.state.lock()).running
     }
 
     /// Requests submitted so far.
     pub fn submitted(&self) -> usize {
-        self.shared.state.lock().expect("queue poisoned").entries.len()
+        relock(self.shared.state.lock()).entries.len()
+    }
+
+    /// Bytes currently held on the session's admission gauge. The leak
+    /// oracle for the chaos suite: once every submitted query has resolved
+    /// — completed, failed, panicked, cancelled or timed out — this must
+    /// read zero, or some failure path kept its reservation.
+    pub fn admission_bytes_in_use(&self) -> usize {
+        self.shared.gauge.current()
     }
 }
 
@@ -1188,7 +1376,15 @@ impl Service {
     /// device. The device is snapshotted *once* here — the catalog is
     /// frozen for the service's lifetime and queries never mutate it —
     /// and every batch's worker forks share that snapshot.
-    pub fn new(env: SimEnv, catalog: Catalog, config: ServiceConfig) -> Self {
+    pub fn new(mut env: SimEnv, catalog: Catalog, config: ServiceConfig) -> Self {
+        // Under a fault plan, the *storage* environment (flushes,
+        // compactions, promotions) draws from its own reserved stream —
+        // independent of every per-query schedule and replayable on its own.
+        if let Some(faults) = config.fault_plan {
+            let mut storage_faults = faults;
+            storage_faults.seed = derive_seed(faults.seed, STORAGE_FAULT_STREAM);
+            env.install_faults(FaultPlan::new(storage_faults));
+        }
         let base = env.device.snapshot();
         let machine = env.machine.clone();
         let store = Arc::new(LiveStore {
@@ -1202,6 +1398,7 @@ impl Service {
                 Arc::clone(&store),
                 Arc::clone(&obs),
                 config.maintenance_budget_bytes,
+                FaultRetry::of(&config),
             )
         });
         Service {
@@ -1223,7 +1420,7 @@ impl Service {
     /// Swap before submitting work: waits anchor at submission, so a
     /// mid-flight swap mixes time bases (negative deltas clamp to zero).
     pub fn set_clock(&self, clock: Arc<dyn Clock>) {
-        *self.obs.clock.lock().expect("obs clock poisoned") = clock;
+        *relock(self.obs.clock.lock()) = clock;
     }
 
     /// Enables or disables span tracing. Off (the default), queries carry
@@ -1268,7 +1465,10 @@ impl Service {
     /// in time but maintenance may publish a new generation the moment the
     /// closure returns — don't cache tier shapes across calls.
     pub fn with_live<T>(&self, f: impl FnOnce(&LiveCatalog) -> T) -> T {
-        f(&self.store.live.lock().expect("live catalog poisoned"))
+        // The deref is load-bearing: without it, inference unifies
+        // `relock`'s T with `LiveCatalog` instead of the guard.
+        #[allow(clippy::explicit_auto_deref)]
+        f(&*relock(self.store.live.lock()))
     }
 
     /// Lifetime counters for the named live dataset, if it exists.
@@ -1296,16 +1496,20 @@ impl Service {
         // Hold the live lock across creation so two racing registrations of
         // the same name can't both pass the duplicate check (lock order:
         // live → storage).
-        let mut live = self.store.live.lock().expect("live catalog poisoned");
+        let mut live = self
+            .store
+            .live
+            .lock()
+            .map_err(|_| ServiceError::LockPoisoned("live catalog"))?;
         if live.lookup(name).is_some() {
             return Err(ServiceError::DuplicateDataset(name.to_string()));
         }
-        let (dataset, snap) = {
-            let mut storage = self.store.storage.lock().expect("storage env poisoned");
+        let (dataset, snap) = retry_transient(&self.obs, FaultRetry::of(&self.config), || {
+            let mut storage = relock(self.store.storage.lock());
             let dataset = LiveDataset::create(&mut storage, name, base_items, config)?;
             let snap = storage.device.snapshot();
-            (dataset, snap)
-        };
+            Ok((dataset, snap))
+        })?;
         self.store.publish_base(snap);
         Ok(live.insert(dataset)?)
     }
@@ -1317,7 +1521,11 @@ impl Service {
     /// [`ServiceConfig::background_maintenance`].
     pub fn append_live(&self, name: &str, items: &[Item]) -> Result<()> {
         let pending = {
-            let mut live = self.store.live.lock().expect("live catalog poisoned");
+            let mut live = self
+                .store
+                .live
+                .lock()
+                .map_err(|_| ServiceError::LockPoisoned("live catalog"))?;
             let Some(ds) = live.get_mut_by_name(name) else {
                 return Err(ServiceError::UnknownDataset(name.to_string()));
             };
@@ -1332,6 +1540,7 @@ impl Service {
                     name,
                     self.config.maintenance_budget_bytes,
                     false,
+                    FaultRetry::of(&self.config),
                 )?,
             }
         }
@@ -1357,6 +1566,7 @@ impl Service {
             name,
             self.config.maintenance_budget_bytes,
             true,
+            FaultRetry::of(&self.config),
         )
     }
 
@@ -1378,13 +1588,13 @@ impl Service {
         }
         self.quiesce_live(name)?;
         let (_, dataset) = {
-            let mut live = self.store.live.lock().expect("live catalog poisoned");
+            let mut live = relock(self.store.live.lock());
             live.take(name)
                 .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))?
         };
         let (sorted, tree, bbox) = dataset.into_frozen_parts()?;
         let (id, snap) = {
-            let mut storage = self.store.storage.lock().expect("storage env poisoned");
+            let mut storage = relock(self.store.storage.lock());
             let id = self.catalog.adopt(&mut storage, name, sorted, tree, bbox)?;
             let snap = storage.device.snapshot();
             (id, snap)
@@ -1406,7 +1616,7 @@ impl Service {
         drop(self.maintenance.take());
         let store = Arc::try_unwrap(self.store)
             .unwrap_or_else(|_| panic!("maintenance worker joined; no other store owners remain"));
-        let env = store.storage.into_inner().expect("storage env poisoned");
+        let env = relock(store.storage.into_inner());
         (env, self.catalog)
     }
 
@@ -1431,7 +1641,7 @@ impl Service {
         let want = match &request.kind {
             QueryKind::Join(spec) => {
                 let measured = self.config.use_plan_cache.then(|| {
-                    let cache = self.plan_cache.lock().expect("plan cache poisoned");
+                    let cache = relock(self.plan_cache.lock());
                     cache.peak(&PlanKey::new(spec))
                 });
                 match measured.flatten() {
@@ -1444,14 +1654,14 @@ impl Service {
                 }
             }
             QueryKind::StreamingJoin { left, right, .. } => {
-                let live = self.store.live.lock().expect("live catalog poisoned");
+                let live = relock(self.store.live.lock());
                 let len = |id: LiveId| live.get(id).map_or(0, |d| d.len());
                 let bytes = (len(*left) + len(*right)) as usize * ITEM_BYTES;
                 bytes.max(JOIN_BUDGET_FLOOR)
             }
             QueryKind::MixedJoin { live, dataset, .. } => {
                 let live_len = {
-                    let catalog = self.store.live.lock().expect("live catalog poisoned");
+                    let catalog = relock(self.store.live.lock());
                     catalog.get(*live).map_or(0, |d| d.len())
                 };
                 let ds_len = self.catalog.get(*dataset).map_or(0, |d| d.len());
@@ -1518,7 +1728,7 @@ impl Service {
             session.submit(request);
         }
         let (cache_hits_before, cache_misses_before) = {
-            let cache = self.plan_cache.lock().expect("plan cache poisoned");
+            let cache = relock(self.plan_cache.lock());
             (cache.hits(), cache.misses())
         };
 
@@ -1527,12 +1737,12 @@ impl Service {
                 scope.spawn(|| self.worker_loop(&shared));
             }
             let value = f(&session);
-            shared.state.lock().expect("queue poisoned").closed = true;
+            relock(shared.state.lock()).closed = true;
             shared.cv.notify_all();
             value
         });
 
-        let state = shared.state.into_inner().expect("queue poisoned");
+        let state = relock(shared.state.into_inner());
         let agg = state.agg;
         let n = state.entries.len();
         let outcomes: Vec<QueryOutcome> = state
@@ -1540,7 +1750,7 @@ impl Service {
             .into_iter()
             .map(|e| e.outcome.expect("every request resolves to an outcome"))
             .collect();
-        let cache = self.plan_cache.lock().expect("plan cache poisoned");
+        let cache = relock(self.plan_cache.lock());
         let stats = ServiceStats {
             memory_limit: self.config.memory_limit,
             workers,
@@ -1583,10 +1793,34 @@ impl Service {
                     let outcomes = if riders.is_empty() {
                         vec![self.execute_one(lead.0, &lead.1, granted)]
                     } else {
-                        self.execute_shared_scan(&lead, &riders, granted)
+                        // Contain a panic anywhere in the shared traversal:
+                        // every member fails with the payload, the leader
+                        // keeps the grant accounting, and the reservation
+                        // drop below still runs.
+                        catch_unwind(AssertUnwindSafe(|| {
+                            self.execute_shared_scan(&lead, &riders, granted)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            self.obs.registry.counter("faults.panics").inc();
+                            self.obs.registry.counter("faults.injected").inc();
+                            let err = ServiceError::WorkerPanicked(panic_payload(payload.as_ref()));
+                            std::iter::once(&lead)
+                                .chain(riders.iter())
+                                .enumerate()
+                                .map(|(k, (idx, _))| QueryOutcome {
+                                    request: *idx,
+                                    status: QueryStatus::Failed(err.clone()),
+                                    pairs: None,
+                                    stats: QueryStats {
+                                        admitted_bytes: if k == 0 { granted } else { 0 },
+                                        ..QueryStats::default()
+                                    },
+                                })
+                                .collect()
+                        })
                     };
                     drop(reservation);
-                    let mut state = shared.state.lock().expect("queue poisoned");
+                    let mut state = relock(shared.state.lock());
                     for outcome in outcomes {
                         self.finish(&mut state, outcome, true);
                     }
@@ -1607,7 +1841,7 @@ impl Service {
                         pairs: None,
                         stats: QueryStats::default(),
                     };
-                    let mut state = shared.state.lock().expect("queue poisoned");
+                    let mut state = relock(shared.state.lock());
                     self.finish(&mut state, outcome, false);
                     drop(state);
                     shared.cv.notify_all();
@@ -1619,7 +1853,7 @@ impl Service {
                         pairs: None,
                         stats: QueryStats::default(),
                     };
-                    let mut state = shared.state.lock().expect("queue poisoned");
+                    let mut state = relock(shared.state.lock());
                     self.finish(&mut state, outcome, false);
                     drop(state);
                     shared.cv.notify_all();
@@ -1641,17 +1875,28 @@ impl Service {
         enum Picked {
             Run(usj_io::MemoryReservation),
             Cancel,
+            Deadline { deadline_us: u64, now_us: u64 },
+            AdmissionTimeout { waited_us: u64 },
         }
-        let mut guard = shared.state.lock().expect("queue poisoned");
+        let mut guard = relock(shared.state.lock());
         loop {
             let state = &mut *guard;
             if state.pending.is_empty() {
                 if state.closed {
                     return None;
                 }
-                guard = shared.cv.wait(guard).expect("queue poisoned");
+                guard = relock(shared.cv.wait(guard));
                 continue;
             }
+            // Read the clock once per scan pass, and only when some pending
+            // request can actually time out — the common no-deadline,
+            // no-timeout configuration never touches the clock here.
+            let timed = self.config.admission_timeout_us.is_some();
+            let need_clock = timed
+                || state.pending.iter().any(|&i| {
+                    state.entries[i].request.as_ref().is_some_and(|r| r.deadline_us.is_some())
+                });
+            let scan_now = if need_clock { self.obs.now_us() } else { 0 };
             let mut picked = None;
             for pos in 0..state.pending.len() {
                 let idx = state.pending[pos];
@@ -1661,6 +1906,12 @@ impl Service {
                     picked = Some((pos, Picked::Cancel));
                     break;
                 }
+                if let Some(deadline_us) = request.deadline_us {
+                    if scan_now >= deadline_us {
+                        picked = Some((pos, Picked::Deadline { deadline_us, now_us: scan_now }));
+                        break;
+                    }
+                }
                 match shared.gauge.try_reserve(entry.estimate) {
                     Ok(reservation) => {
                         picked = Some((pos, Picked::Run(reservation)));
@@ -1669,6 +1920,16 @@ impl Service {
                     Err(_) => {
                         entry.deferrals += 1;
                         self.obs.registry.counter("admission.deferrals").inc();
+                        if let Some(timeout_us) = self.config.admission_timeout_us {
+                            // Only requests the gauge actually deferred can
+                            // time out — an admissible request is admitted
+                            // on this very scan regardless of its age.
+                            let waited_us = scan_now.saturating_sub(entry.submitted_us);
+                            if waited_us >= timeout_us {
+                                picked = Some((pos, Picked::AdmissionTimeout { waited_us }));
+                                break;
+                            }
+                        }
                         if entry.overtaken >= self.config.max_overtakes {
                             // Barrier: this entry has been overtaken its
                             // full allowance — nothing behind it may be
@@ -1686,6 +1947,36 @@ impl Service {
                     entry.queue_wait = Some(us_between(entry.submitted_us, now_us));
                     self.obs.registry.gauge("queue.depth").set(state.pending.len() as i64);
                     return Some(Job::Cancel(idx));
+                }
+                Some((pos, Picked::Deadline { deadline_us, now_us })) => {
+                    let idx = state.pending.remove(pos);
+                    let entry = &mut state.entries[idx];
+                    entry.queue_wait = Some(us_between(entry.submitted_us, now_us));
+                    // Fire the request's own token too, so a shared
+                    // external handle observes the expiry.
+                    if let Some(request) = entry.request.as_ref() {
+                        if let Some(token) = &request.cancel {
+                            token.cancel();
+                        }
+                    }
+                    self.obs.registry.gauge("queue.depth").set(state.pending.len() as i64);
+                    self.obs.registry.counter("faults.deadline_exceeded").inc();
+                    return Some(Job::Fail(
+                        idx,
+                        ServiceError::DeadlineExceeded { deadline_us, now_us },
+                    ));
+                }
+                Some((pos, Picked::AdmissionTimeout { waited_us })) => {
+                    let timeout_us = self.config.admission_timeout_us.unwrap_or(0);
+                    let idx = state.pending.remove(pos);
+                    let entry = &mut state.entries[idx];
+                    entry.queue_wait = Some(Duration::from_micros(waited_us));
+                    self.obs.registry.gauge("queue.depth").set(state.pending.len() as i64);
+                    self.obs.registry.counter("faults.admission_timeouts").inc();
+                    return Some(Job::Fail(
+                        idx,
+                        ServiceError::AdmissionTimeout { timeout_us, waited_us },
+                    ));
                 }
                 Some((pos, Picked::Run(reservation))) => {
                     // Everything the admitted entry jumped over was
@@ -1745,7 +2036,15 @@ impl Service {
                     ));
                 }
                 None => {
-                    guard = shared.cv.wait(guard).expect("queue poisoned");
+                    if need_clock {
+                        // A deadline or admission timeout can expire with no
+                        // accompanying notify (time passes, no reservation is
+                        // released) — poll with a short timed wait so expiry
+                        // is noticed promptly even on an otherwise idle queue.
+                        guard = relock(shared.cv.wait_timeout(guard, Duration::from_millis(5))).0;
+                    } else {
+                        guard = relock(shared.cv.wait(guard));
+                    }
                 }
             }
         }
@@ -1884,22 +2183,90 @@ impl Service {
     /// Runs one admitted query on a fresh forked environment whose hard
     /// memory limit is the granted budget.
     fn execute_one(&self, idx: usize, request: &QueryRequest, granted: usize) -> QueryOutcome {
-        let mut sink = ServiceSink::new(request);
-        let (ran, trace) = self.dispatch_traced(&request.kind, granted, &mut sink);
-        let status = match ran {
-            Ok(result) if sink.cancelled => QueryStatus::Cancelled(Some(result)),
-            Ok(result) => QueryStatus::Completed(result),
-            Err(e) => QueryStatus::Failed(e),
-        };
-        QueryOutcome {
+        let metrics = &self.obs.registry;
+        let outcome = |status, pairs, trace| QueryOutcome {
             request: idx,
             status,
-            pairs: sink.collected,
+            pairs,
             stats: QueryStats {
                 admitted_bytes: granted,
                 trace,
                 ..QueryStats::default()
             },
+        };
+        // Deadline already blown at admission-to-execution handoff: report
+        // it without building an environment (deadline 0 takes this path
+        // deterministically).
+        if let Some(deadline_us) = request.deadline_us {
+            let now_us = self.obs.now_us();
+            if now_us >= deadline_us {
+                metrics.counter("faults.deadline_exceeded").inc();
+                return outcome(
+                    QueryStatus::Failed(ServiceError::DeadlineExceeded { deadline_us, now_us }),
+                    None,
+                    None,
+                );
+            }
+        }
+        let retry = FaultRetry::of(&self.config);
+        let clock = self.obs.clock();
+        let mut attempt = 0u32;
+        loop {
+            // A fresh sink per attempt: a retried query re-emits from pair
+            // zero, so partial output from the failed attempt never leaks.
+            let mut sink = ServiceSink::new(request, &clock);
+            let dispatched = catch_unwind(AssertUnwindSafe(|| {
+                self.dispatch_traced(&request.kind, granted, query_fault_stream(idx, attempt), &mut sink)
+            }));
+            let (ran, trace) = match dispatched {
+                Ok(ran) => ran,
+                Err(payload) => {
+                    // The worker thread survives; the panicking attempt's
+                    // forked environment (and its gauge bytes) died with the
+                    // unwind, and the reservation is released by the caller.
+                    metrics.counter("faults.panics").inc();
+                    metrics.counter("faults.injected").inc();
+                    return outcome(
+                        QueryStatus::Failed(ServiceError::WorkerPanicked(panic_payload(
+                            payload.as_ref(),
+                        ))),
+                        None,
+                        None,
+                    );
+                }
+            };
+            match ran {
+                Err(ServiceError::Io(IoSimError::DeviceFault { transient: true }))
+                    if attempt < retry.retries =>
+                {
+                    attempt += 1;
+                    metrics.counter("faults.injected").inc();
+                    metrics.counter("faults.retries").inc();
+                    clock.wait_us(retry.backoff_for(attempt));
+                    continue;
+                }
+                ran => {
+                    if matches!(
+                        &ran,
+                        Err(ServiceError::Io(IoSimError::DeviceFault { .. }))
+                    ) {
+                        metrics.counter("faults.injected").inc();
+                    }
+                    let status = match ran {
+                        _ if sink.deadline_hit => {
+                            metrics.counter("faults.deadline_exceeded").inc();
+                            QueryStatus::Failed(ServiceError::DeadlineExceeded {
+                                deadline_us: request.deadline_us.unwrap_or(0),
+                                now_us: clock.now_us(),
+                            })
+                        }
+                        Ok(result) if sink.cancelled => QueryStatus::Cancelled(Some(result)),
+                        Ok(result) => QueryStatus::Completed(result),
+                        Err(e) => QueryStatus::Failed(e),
+                    };
+                    return outcome(status, sink.collected, trace);
+                }
+            }
         }
     }
 
@@ -1913,17 +2280,18 @@ impl Service {
         &self,
         kind: &QueryKind,
         granted: usize,
+        fault_stream: u64,
         sink: &mut ServiceSink,
     ) -> (Result<JoinResult>, Option<QueryTrace>) {
         if !self.obs.tracing() {
-            return (self.dispatch(kind, granted, sink), None);
+            return (self.dispatch(kind, granted, fault_stream, sink), None);
         }
         let collector = Arc::new(RingCollector::new(QUERY_TRACE_EVENTS));
         let guard =
             usj_obs::install(Arc::clone(&collector) as Arc<dyn Recorder>, self.obs.clock());
         let ran = {
             let mut root = usj_obs::span_detail("execute", || kind_label(kind).to_string());
-            let ran = self.dispatch(kind, granted, sink);
+            let ran = self.dispatch(kind, granted, fault_stream, sink);
             if let Ok(result) = &ran {
                 root.add_io(result.io.span_io());
             }
@@ -1983,9 +2351,15 @@ impl Service {
             Err(e) => return fail_all(e),
         };
 
-        let mut wenv = self.worker_env(granted);
+        // The batch shares one traversal, so it draws one fault schedule —
+        // keyed by the leader's index, attempt 0 (shared scans are not
+        // retried: a transient fault fails the whole batch, and each member
+        // resubmits solo if it cares).
+        let fault_stream = query_fault_stream(lead.0, 0);
+        let clock = self.obs.clock();
+        let mut wenv = self.worker_env(granted, fault_stream);
         let mut sinks: Vec<ServiceSink> =
-            members.iter().map(|(_, request)| ServiceSink::new(request)).collect();
+            members.iter().map(|(_, request)| ServiceSink::new(request, &clock)).collect();
         // While tracing, the whole batch records one `execute` span (the
         // traversal happens once); the trace lands on the leader's stats,
         // mirroring the I/O accounting.
@@ -2024,6 +2398,9 @@ impl Service {
             QueryTrace::from_events(&events, dropped)
         });
         if let Err(e) = scanned {
+            if matches!(e, IoSimError::DeviceFault { .. }) {
+                self.obs.registry.counter("faults.injected").inc();
+            }
             return fail_all(ServiceError::Io(e));
         }
 
@@ -2049,7 +2426,13 @@ impl Service {
                         peak_bytes: if leader { peak } else { 0 },
                     },
                 };
-                let status = if sink.cancelled {
+                let status = if sink.deadline_hit {
+                    self.obs.registry.counter("faults.deadline_exceeded").inc();
+                    QueryStatus::Failed(ServiceError::DeadlineExceeded {
+                        deadline_us: sink.deadline_us.unwrap_or(0),
+                        now_us: clock.now_us(),
+                    })
+                } else if sink.cancelled {
                     QueryStatus::Cancelled(Some(result))
                 } else {
                     QueryStatus::Completed(result)
@@ -2075,10 +2458,16 @@ impl Service {
     /// the [`LiveStore`] publication-ordering invariant, guaranteeing every
     /// visible run's pages exist in the forked base even while background
     /// maintenance publishes concurrently.
-    fn dispatch(&self, kind: &QueryKind, granted: usize, sink: &mut ServiceSink) -> Result<JoinResult> {
+    fn dispatch(
+        &self,
+        kind: &QueryKind,
+        granted: usize,
+        fault_stream: u64,
+        sink: &mut ServiceSink,
+    ) -> Result<JoinResult> {
         match kind {
             QueryKind::Join(spec) => {
-                let mut wenv = self.worker_env(granted);
+                let mut wenv = self.worker_env(granted, fault_stream);
                 self.run_join(&mut wenv, spec, sink)
             }
             // Streaming joins bypass the plan cache: there is nothing to
@@ -2091,7 +2480,7 @@ impl Service {
             } => {
                 let snap_l = self.live_snapshot(*left)?;
                 let snap_r = self.live_snapshot(*right)?;
-                let mut wenv = self.worker_env(granted);
+                let mut wenv = self.worker_env(granted, fault_stream);
                 StreamingJoin::default()
                     .with_predicate(*predicate)
                     .run(&mut wenv, &snap_l, &snap_r, sink)
@@ -2104,7 +2493,7 @@ impl Service {
             } => {
                 let snap = self.live_snapshot(*live)?;
                 let ds = self.dataset(*dataset)?;
-                let mut wenv = self.worker_env(granted);
+                let mut wenv = self.worker_env(granted, fault_stream);
                 StreamingJoin::default()
                     .with_predicate(*predicate)
                     .run_mixed(
@@ -2119,11 +2508,11 @@ impl Service {
                     .map_err(ServiceError::from)
             }
             QueryKind::Window { dataset, window } => {
-                let mut wenv = self.worker_env(granted);
+                let mut wenv = self.worker_env(granted, fault_stream);
                 self.run_selection(&mut wenv, *dataset, *window, granted, sink)
             }
             QueryKind::Point { dataset, point } => {
-                let mut wenv = self.worker_env(granted);
+                let mut wenv = self.worker_env(granted, fault_stream);
                 self.run_selection(
                     &mut wenv,
                     *dataset,
@@ -2134,12 +2523,12 @@ impl Service {
             }
             QueryKind::LiveWindow { dataset, window } => {
                 let snap = self.live_snapshot(*dataset)?;
-                let mut wenv = self.worker_env(granted);
+                let mut wenv = self.worker_env(granted, fault_stream);
                 self.run_live_selection(&mut wenv, &snap, *window, granted, sink)
             }
             QueryKind::LivePoint { dataset, point } => {
                 let snap = self.live_snapshot(*dataset)?;
-                let mut wenv = self.worker_env(granted);
+                let mut wenv = self.worker_env(granted, fault_stream);
                 self.run_live_selection(
                     &mut wenv,
                     &snap,
@@ -2153,10 +2542,20 @@ impl Service {
 
     /// A fresh execution environment for one admitted query: its own I/O
     /// accounting, a hard memory limit of the granted budget, and a device
-    /// layered over the *current* published base snapshot.
-    fn worker_env(&self, granted: usize) -> SimEnv {
+    /// layered over the *current* published base snapshot. Under a
+    /// configured fault plan the device also draws a fault schedule seeded
+    /// by `fault_stream` — unique per (query, retry attempt), so every
+    /// attempt sees an independent, replayable schedule. With no plan
+    /// configured this is byte-identical to the fault-free build.
+    fn worker_env(&self, granted: usize, fault_stream: u64) -> SimEnv {
+        let mut device = BlockDevice::with_base(self.store.fork_base());
+        if let Some(faults) = self.config.fault_plan {
+            let mut query_faults = faults;
+            query_faults.seed = derive_seed(faults.seed, fault_stream);
+            device.install_faults(FaultPlan::new(query_faults));
+        }
         SimEnv {
-            device: BlockDevice::with_base(self.store.fork_base()),
+            device,
             machine: self.machine.clone(),
             cpu: CpuCounter::new(),
             memory_limit: granted,
@@ -2172,9 +2571,15 @@ impl Service {
 
     /// A generation snapshot of a live dataset — a consistent view that
     /// stays valid however far ingestion and maintenance advance while the
-    /// query runs.
+    /// query runs. This lookup is *on the query path* and returns
+    /// `Result`, so a poisoned catalog propagates as a typed
+    /// [`ServiceError::LockPoisoned`] instead of panicking the worker.
     fn live_snapshot(&self, id: LiveId) -> Result<LiveSnapshot> {
-        let live = self.store.live.lock().expect("live catalog poisoned");
+        let live = self
+            .store
+            .live
+            .lock()
+            .map_err(|_| ServiceError::LockPoisoned("live catalog"))?;
         live.get(id)
             .map(|ds| ds.snapshot())
             .ok_or_else(|| ServiceError::UnknownDataset(format!("live#{}", id.0)))
@@ -2274,7 +2679,7 @@ impl Service {
             // exactly once per service lifetime). Planning while holding
             // the cache lock briefly serializes concurrent *planning* —
             // execution, the expensive part, stays fully concurrent.
-            let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
+            let mut cache = relock(self.plan_cache.lock());
             match cache.lookup(&key) {
                 Some(plan) => plan,
                 None => {
@@ -2295,10 +2700,7 @@ impl Service {
         // LIMIT-truncated or cancelled runs stop early and under-state the
         // query's true footprint.
         if self.config.use_plan_cache && sink.limit.is_none() && !sink.cancelled {
-            self.plan_cache
-                .lock()
-                .expect("plan cache poisoned")
-                .record_peak(PlanKey::new(spec), result.memory.peak_bytes);
+            relock(self.plan_cache.lock()).record_peak(PlanKey::new(spec), result.memory.peak_bytes);
         }
         Ok(result)
     }
@@ -2347,16 +2749,31 @@ struct ServiceSink {
     limit: Option<u64>,
     cancel: Option<CancelToken>,
     cancelled: bool,
+    /// Absolute execution deadline on the service clock, if the request
+    /// carries one; checked every [`ServiceSink::DEADLINE_CHECK_EVERY`]
+    /// emissions so a deadline-free query pays nothing per pair.
+    deadline_us: Option<u64>,
+    clock: Option<Arc<dyn Clock>>,
+    deadline_hit: bool,
+    since_check: u32,
 }
 
 impl ServiceSink {
-    fn new(request: &QueryRequest) -> Self {
+    /// Emissions between deadline probes: a mid-stream deadline is noticed
+    /// at worst this many pairs late, and the clock is read 64× less often.
+    const DEADLINE_CHECK_EVERY: u32 = 64;
+
+    fn new(request: &QueryRequest, clock: &Arc<dyn Clock>) -> Self {
         ServiceSink {
             collected: request.collect.then(Vec::new),
             delivered: 0,
             limit: request.limit,
             cancel: request.cancel.clone(),
             cancelled: false,
+            deadline_us: request.deadline_us,
+            clock: request.deadline_us.map(|_| Arc::clone(clock)),
+            deadline_hit: false,
+            since_check: 0,
         }
     }
 }
@@ -2368,6 +2785,18 @@ impl PairSink for ServiceSink {
                 self.cancelled = true;
                 return ControlFlow::Break(());
             }
+        }
+        if let (Some(deadline_us), Some(clock)) = (self.deadline_us, self.clock.as_ref()) {
+            if self.since_check == 0 && clock.now_us() >= deadline_us {
+                self.deadline_hit = true;
+                // Fire the token too: the break stops this operator, the
+                // token stops any cooperating producer upstream.
+                if let Some(token) = &self.cancel {
+                    token.cancel();
+                }
+                return ControlFlow::Break(());
+            }
+            self.since_check = (self.since_check + 1) % Self::DEADLINE_CHECK_EVERY;
         }
         if self.limit.is_some_and(|l| self.delivered >= l) {
             return ControlFlow::Break(());
